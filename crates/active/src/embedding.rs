@@ -1,0 +1,102 @@
+//! Embeddings from an intermediate layer of a trained model.
+
+use ei_nn::{NnError, Sequential};
+
+/// Extracts the activation of layer `layer` (0-based; `None` selects the
+/// last layer with parameters before the classifier head — the usual
+/// embedding point) for every input.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLayer`] when `layer` is out of range, or
+/// forward-pass errors for wrongly sized inputs.
+pub fn embed(
+    model: &Sequential,
+    inputs: &[Vec<f32>],
+    layer: Option<usize>,
+) -> Result<Vec<Vec<f32>>, NnError> {
+    let n_layers = model.layers().len();
+    let layer = match layer {
+        Some(l) => {
+            if l >= n_layers {
+                return Err(NnError::InvalidLayer {
+                    index: l,
+                    reason: format!("model has {n_layers} layers"),
+                });
+            }
+            l
+        }
+        None => default_embedding_layer(model),
+    };
+    let mut out = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let cache = model.forward_cached(input, false, None)?;
+        out.push(cache.activations[layer + 1].clone());
+    }
+    Ok(out)
+}
+
+/// The second-to-last parameterized layer, or the last layer if none
+/// qualifies — a reasonable "semantic" embedding point.
+pub fn default_embedding_layer(model: &Sequential) -> usize {
+    let param_layers: Vec<usize> = model
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.weights.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    match param_layers.len() {
+        0 => model.layers().len().saturating_sub(1),
+        1 => param_layers[0],
+        n => param_layers[n - 2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_nn::spec::{Activation, Dims, LayerSpec, ModelSpec};
+
+    fn model() -> Sequential {
+        let spec = ModelSpec::new(Dims::new(1, 4, 1))
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 6, activation: Activation::Relu })
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::None })
+            .layer(LayerSpec::Softmax);
+        Sequential::build(&spec, 1).unwrap()
+    }
+
+    #[test]
+    fn default_layer_is_penultimate_parameterized() {
+        // parameterized layers are 1 and 2; default embedding = 1
+        assert_eq!(default_embedding_layer(&model()), 1);
+    }
+
+    #[test]
+    fn embeddings_have_layer_width() {
+        let m = model();
+        let inputs = vec![vec![0.1, 0.2, 0.3, 0.4], vec![0.4, 0.3, 0.2, 0.1]];
+        let embs = embed(&m, &inputs, None).unwrap();
+        assert_eq!(embs.len(), 2);
+        assert!(embs.iter().all(|e| e.len() == 6));
+        // explicit layer selection
+        let logits = embed(&m, &inputs, Some(2)).unwrap();
+        assert!(logits.iter().all(|e| e.len() == 2));
+    }
+
+    #[test]
+    fn out_of_range_layer_rejected() {
+        let m = model();
+        assert!(embed(&m, &[vec![0.0; 4]], Some(10)).is_err());
+        assert!(embed(&m, &[vec![0.0; 3]], None).is_err());
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_embeddings() {
+        let m = model();
+        let embs =
+            embed(&m, &[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0, 1.0]], None).unwrap();
+        assert_ne!(embs[0], embs[1]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cluster-proximity labeling suggestions.
+
+use ei_tensor::ops::squared_distance;
+use std::collections::BTreeMap;
+
+/// A labeling suggestion for one unlabeled sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// Index of the sample in the unlabeled set.
+    pub index: usize,
+    /// Suggested label, or `None` when the sample looks like an outlier
+    /// that should be reviewed or removed.
+    pub label: Option<String>,
+    /// Distance to the nearest class centroid (embedding units).
+    pub distance: f32,
+}
+
+/// Suggests labels for unlabeled embeddings by proximity to labeled class
+/// clusters.
+#[derive(Debug, Clone)]
+pub struct AutoLabeler {
+    centroids: Vec<(String, Vec<f32>)>,
+    /// Per-class mean member distance (cluster spread).
+    spreads: Vec<f32>,
+    /// Accept a suggestion when `distance <= accept_factor * spread`.
+    accept_factor: f32,
+}
+
+impl AutoLabeler {
+    /// Builds class centroids from labeled embeddings.
+    ///
+    /// `accept_factor` scales each class's spread into an acceptance
+    /// radius; 2.0 is a reasonable default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embeddings` and `labels` differ in length or are empty.
+    pub fn fit(embeddings: &[Vec<f32>], labels: &[String], accept_factor: f32) -> AutoLabeler {
+        assert_eq!(embeddings.len(), labels.len(), "embeddings/labels length mismatch");
+        assert!(!embeddings.is_empty(), "need labeled data");
+        let mut groups: BTreeMap<&String, Vec<&Vec<f32>>> = BTreeMap::new();
+        for (e, l) in embeddings.iter().zip(labels) {
+            groups.entry(l).or_default().push(e);
+        }
+        let dims = embeddings[0].len();
+        let mut centroids = Vec::new();
+        let mut spreads = Vec::new();
+        for (label, members) in groups {
+            let mut c = vec![0.0f32; dims];
+            for m in &members {
+                for (cv, &mv) in c.iter_mut().zip(m.iter()) {
+                    *cv += mv;
+                }
+            }
+            for cv in c.iter_mut() {
+                *cv /= members.len() as f32;
+            }
+            let spread = (members
+                .iter()
+                .map(|m| squared_distance(m, &c).sqrt())
+                .sum::<f32>()
+                / members.len() as f32)
+                .max(1e-3);
+            centroids.push((label.clone(), c));
+            spreads.push(spread);
+        }
+        AutoLabeler { centroids, spreads, accept_factor }
+    }
+
+    /// Class labels known to the labeler (sorted).
+    pub fn labels(&self) -> Vec<&str> {
+        self.centroids.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// Produces one suggestion per unlabeled embedding.
+    pub fn suggest(&self, unlabeled: &[Vec<f32>]) -> Vec<Suggestion> {
+        unlabeled
+            .iter()
+            .enumerate()
+            .map(|(index, e)| {
+                let mut best: Option<(usize, f32)> = None;
+                for (ci, (_, c)) in self.centroids.iter().enumerate() {
+                    let d = squared_distance(e, c).sqrt();
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((ci, d));
+                    }
+                }
+                let (ci, distance) = best.expect("at least one centroid");
+                let label = if distance <= self.accept_factor * self.spreads[ci] {
+                    Some(self.centroids[ci].0.clone())
+                } else {
+                    None
+                };
+                Suggestion { index, label, distance }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled() -> (Vec<Vec<f32>>, Vec<String>) {
+        let mut embeddings = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let j = (i % 5) as f32 * 0.1;
+            embeddings.push(vec![1.0 + j, 1.0 - j]);
+            labels.push("walk".to_string());
+            embeddings.push(vec![-1.0 - j, -1.0 + j]);
+            labels.push("idle".to_string());
+        }
+        (embeddings, labels)
+    }
+
+    #[test]
+    fn suggests_nearby_class() {
+        let (e, l) = labeled();
+        let labeler = AutoLabeler::fit(&e, &l, 2.0);
+        assert_eq!(labeler.labels(), vec!["idle", "walk"]);
+        let suggestions = labeler.suggest(&[vec![1.1, 0.9], vec![-1.1, -0.9]]);
+        assert_eq!(suggestions[0].label.as_deref(), Some("walk"));
+        assert_eq!(suggestions[1].label.as_deref(), Some("idle"));
+    }
+
+    #[test]
+    fn flags_outliers_for_review() {
+        let (e, l) = labeled();
+        let labeler = AutoLabeler::fit(&e, &l, 2.0);
+        let suggestions = labeler.suggest(&[vec![50.0, 50.0]]);
+        assert_eq!(suggestions[0].label, None, "far point must not be auto-labeled");
+        assert!(suggestions[0].distance > 10.0);
+    }
+
+    #[test]
+    fn accept_factor_controls_radius() {
+        let (e, l) = labeled();
+        let strict = AutoLabeler::fit(&e, &l, 0.1);
+        let lax = AutoLabeler::fit(&e, &l, 100.0);
+        let probe = vec![vec![2.0, 2.0]];
+        assert_eq!(strict.suggest(&probe)[0].label, None);
+        assert!(lax.suggest(&probe)[0].label.is_some());
+    }
+
+    #[test]
+    fn suggestion_indices_track_input() {
+        let (e, l) = labeled();
+        let labeler = AutoLabeler::fit(&e, &l, 2.0);
+        let suggestions = labeler.suggest(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![-1.0, -1.0]]);
+        assert_eq!(suggestions.iter().map(|s| s.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Active learning for the embedded sensor ecosystem (paper §4.8).
+//!
+//! The platform's loop: "(1) train a model on a small, labeled subset of
+//! your data, (2) generate semantically meaningful embeddings using an
+//! intermediate layer of the trained model, (3) visualize the embeddings
+//! … in 2D space using a dimensionality reduction algorithm, and
+//! (4) manually or automatically label or remove samples based on their
+//! proximity to existing class clusters."
+//!
+//! * [`embedding::embed`] — step 2: intermediate-layer activations;
+//! * [`projection::Pca`] / [`projection::refine_layout`] — step 3: PCA to
+//!   2-D plus a t-SNE-style neighbor-embedding refinement;
+//! * [`labeling::AutoLabeler`] — step 4: cluster-proximity suggestions
+//!   (assign a label, or flag as an outlier to remove).
+
+pub mod embedding;
+pub mod labeling;
+pub mod projection;
+
+pub use embedding::embed;
+pub use labeling::{AutoLabeler, Suggestion};
+pub use projection::{refine_layout, Pca};

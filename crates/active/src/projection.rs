@@ -1,0 +1,248 @@
+//! Dimensionality reduction to 2-D: PCA plus a t-SNE-style refinement.
+
+use ei_tensor::ops::squared_distance;
+
+/// A 2-component PCA fit by power iteration with deflation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Vec<f32>,
+    components: [Vec<f32>; 2],
+}
+
+impl Pca {
+    /// Fits two principal components on rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows are ragged/zero-length.
+    pub fn fit(data: &[Vec<f32>]) -> Pca {
+        assert!(!data.is_empty(), "pca needs data");
+        let dims = data[0].len();
+        assert!(dims > 0 && data.iter().all(|r| r.len() == dims), "ragged rows");
+        let n = data.len() as f32;
+        let mean: Vec<f32> =
+            (0..dims).map(|d| data.iter().map(|r| r[d]).sum::<f32>() / n).collect();
+        let centered: Vec<Vec<f32>> = data
+            .iter()
+            .map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect())
+            .collect();
+        let first = power_iteration(&centered, None);
+        let second = power_iteration(&centered, Some(&first));
+        Pca { mean, components: [first, second] }
+    }
+
+    /// Projects one point to 2-D.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) on dimension mismatch.
+    pub fn transform(&self, point: &[f32]) -> [f32; 2] {
+        debug_assert_eq!(point.len(), self.mean.len());
+        let centered: Vec<f32> = point.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        [
+            dot(&centered, &self.components[0]),
+            dot(&centered, &self.components[1]),
+        ]
+    }
+
+    /// Projects many points.
+    pub fn transform_all(&self, data: &[Vec<f32>]) -> Vec<[f32; 2]> {
+        data.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dominant covariance eigenvector by power iteration; with `deflate`,
+/// finds the next component orthogonal to it.
+fn power_iteration(centered: &[Vec<f32>], deflate: Option<&[f32]>) -> Vec<f32> {
+    let dims = centered[0].len();
+    // deterministic non-degenerate start
+    let mut v: Vec<f32> = (0..dims).map(|d| 1.0 + 0.01 * d as f32).collect();
+    normalize(&mut v);
+    for _ in 0..60 {
+        // w = C v computed as X^T (X v) / n
+        let mut w = vec![0.0f32; dims];
+        for row in centered {
+            let proj = dot(row, &v);
+            for (wi, &ri) in w.iter_mut().zip(row) {
+                *wi += proj * ri;
+            }
+        }
+        if let Some(d) = deflate {
+            let along = dot(&w, d);
+            for (wi, &di) in w.iter_mut().zip(d) {
+                *wi -= along * di;
+            }
+        }
+        let norm = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            // degenerate direction (e.g. rank-1 data): return any unit
+            // vector orthogonal to the deflation direction
+            let mut fallback = vec![0.0f32; dims];
+            fallback[dims - 1] = 1.0;
+            if let Some(d) = deflate {
+                let along = dot(&fallback, d);
+                for (fi, &di) in fallback.iter_mut().zip(d) {
+                    *fi -= along * di;
+                }
+                if fallback.iter().all(|&x| x.abs() < 1e-9) {
+                    fallback = vec![0.0; dims];
+                    fallback[0] = 1.0;
+                }
+            }
+            normalize(&mut fallback);
+            return fallback;
+        }
+        v = w;
+        normalize(&mut v);
+    }
+    v
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+    for x in v {
+        *x /= norm;
+    }
+}
+
+/// t-SNE-style refinement of a 2-D layout: iteratively attracts each
+/// point toward its high-dimensional nearest neighbours and repels it from
+/// everything nearby in 2-D, starting from (usually) a PCA layout.
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `layout` and `embeddings` differ in
+/// length.
+pub fn refine_layout(
+    layout: &[[f32; 2]],
+    embeddings: &[Vec<f32>],
+    neighbours: usize,
+    iterations: usize,
+) -> Vec<[f32; 2]> {
+    debug_assert_eq!(layout.len(), embeddings.len());
+    let n = layout.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = neighbours.clamp(1, n.saturating_sub(1).max(1));
+    // high-dimensional k nearest neighbours
+    let mut knn: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<(usize, f32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, squared_distance(&embeddings[i], &embeddings[j])))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+        knn.push(dists.into_iter().take(k).map(|(j, _)| j).collect());
+    }
+    let mut pos: Vec<[f32; 2]> = layout.to_vec();
+    let step = 0.1f32;
+    for _ in 0..iterations {
+        let mut force = vec![[0.0f32; 2]; n];
+        for i in 0..n {
+            // attraction to high-D neighbours
+            for &j in &knn[i] {
+                for d in 0..2 {
+                    force[i][d] += (pos[j][d] - pos[i][d]) * 0.5;
+                }
+            }
+            // repulsion from close non-neighbours
+            for j in 0..n {
+                if j == i || knn[i].contains(&j) {
+                    continue;
+                }
+                let dx = pos[i][0] - pos[j][0];
+                let dy = pos[i][1] - pos[j][1];
+                let d2 = (dx * dx + dy * dy).max(1e-4);
+                if d2 < 4.0 {
+                    force[i][0] += dx / d2 * 0.2;
+                    force[i][1] += dy / d2 * 0.2;
+                }
+            }
+        }
+        for i in 0..n {
+            pos[i][0] += step * force[i][0];
+            pos[i][1] += step * force[i][1];
+        }
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters() -> Vec<Vec<f32>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f32 * 0.1;
+            data.push(vec![10.0 + j, 0.0 + j, 1.0]);
+            data.push(vec![-10.0 - j, 0.5 - j, 1.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn pca_separates_clusters_on_first_axis() {
+        let data = two_clusters();
+        let pca = Pca::fit(&data);
+        let proj = pca.transform_all(&data);
+        // even indices (cluster A) and odd (cluster B) must separate in x
+        let a_mean: f32 =
+            proj.iter().step_by(2).map(|p| p[0]).sum::<f32>() / (proj.len() / 2) as f32;
+        let b_mean: f32 =
+            proj.iter().skip(1).step_by(2).map(|p| p[0]).sum::<f32>() / (proj.len() / 2) as f32;
+        assert!((a_mean - b_mean).abs() > 10.0, "a {a_mean} b {b_mean}");
+    }
+
+    #[test]
+    fn pca_components_orthonormal() {
+        let pca = Pca::fit(&two_clusters());
+        let c0 = &pca.components[0];
+        let c1 = &pca.components[1];
+        assert!((dot(c0, c0) - 1.0).abs() < 1e-3);
+        assert!((dot(c1, c1) - 1.0).abs() < 1e-3);
+        assert!(dot(c0, c1).abs() < 1e-2, "components must be orthogonal");
+    }
+
+    #[test]
+    fn pca_handles_degenerate_rank() {
+        // rank-1 data: second component must still be a valid unit vector
+        let data: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 0.0]).collect();
+        let pca = Pca::fit(&data);
+        let norm1: f32 = pca.components[1].iter().map(|x| x * x).sum();
+        assert!((norm1 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn refinement_tightens_clusters() {
+        let data = two_clusters();
+        let pca = Pca::fit(&data);
+        let layout = pca.transform_all(&data);
+        let refined = refine_layout(&layout, &data, 5, 30);
+        assert_eq!(refined.len(), layout.len());
+        // same-cluster spread should not blow up; cross-cluster separation kept
+        let a_center = centroid(refined.iter().step_by(2));
+        let b_center = centroid(refined.iter().skip(1).step_by(2));
+        let sep = (a_center[0] - b_center[0]).powi(2) + (a_center[1] - b_center[1]).powi(2);
+        assert!(sep > 25.0, "separation {sep}");
+    }
+
+    fn centroid<'a>(points: impl Iterator<Item = &'a [f32; 2]>) -> [f32; 2] {
+        let pts: Vec<&[f32; 2]> = points.collect();
+        let n = pts.len() as f32;
+        [
+            pts.iter().map(|p| p[0]).sum::<f32>() / n,
+            pts.iter().map(|p| p[1]).sum::<f32>() / n,
+        ]
+    }
+
+    #[test]
+    fn refine_empty_layout() {
+        assert!(refine_layout(&[], &[], 3, 5).is_empty());
+    }
+}

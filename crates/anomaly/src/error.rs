@@ -1,0 +1,42 @@
+//! Error type for anomaly-detection training.
+
+use std::fmt;
+
+/// Errors produced while fitting or scoring anomaly models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnomalyError {
+    /// Training data was empty, inconsistent, or smaller than `k`.
+    InvalidTrainingData(String),
+    /// A scored point had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Provided feature count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for AnomalyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            AnomalyError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnomalyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AnomalyError::DimensionMismatch { expected: 3, actual: 2 }
+            .to_string()
+            .contains("expected 3"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Diagonal-covariance Gaussian mixture models fit by EM.
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::{AnomalyError, Result};
+
+/// GMM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub tol: f64,
+    /// Seed (components are initialized from a k-means fit).
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig { components: 4, max_iters: 60, tol: 1e-5, seed: 0 }
+    }
+}
+
+/// Variance floor preventing component collapse.
+const VAR_FLOOR: f32 = 1e-4;
+
+/// A fitted diagonal-covariance Gaussian mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm {
+    weights: Vec<f32>,
+    means: Vec<Vec<f32>>,
+    variances: Vec<Vec<f32>>,
+    dims: usize,
+}
+
+impl Gmm {
+    /// Fits the mixture with EM, initializing means from k-means++.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidTrainingData`] for empty/ragged data
+    /// or fewer rows than components.
+    pub fn fit(data: &[Vec<f32>], config: GmmConfig) -> Result<Gmm> {
+        let kmeans = KMeans::fit(
+            data,
+            KMeansConfig { k: config.components, max_iters: 20, seed: config.seed },
+        )?;
+        let dims = kmeans.dims();
+        let k = config.components;
+        let mut means: Vec<Vec<f32>> = kmeans.centroids().to_vec();
+        let mut weights = vec![1.0f32 / k as f32; k];
+        // initial variances: global per-dimension variance
+        let global_var: Vec<f32> = {
+            let n = data.len() as f32;
+            let mean: Vec<f32> = (0..dims)
+                .map(|d| data.iter().map(|r| r[d]).sum::<f32>() / n)
+                .collect();
+            (0..dims)
+                .map(|d| {
+                    (data.iter().map(|r| (r[d] - mean[d]).powi(2)).sum::<f32>() / n)
+                        .max(VAR_FLOOR)
+                })
+                .collect()
+        };
+        let mut variances = vec![global_var; k];
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut resp = vec![vec![0.0f32; k]; data.len()];
+        for _ in 0..config.max_iters {
+            // E step
+            let mut ll = 0.0f64;
+            for (row, r) in data.iter().zip(resp.iter_mut()) {
+                let logps: Vec<f64> = (0..k)
+                    .map(|c| {
+                        (weights[c].max(1e-12) as f64).ln()
+                            + log_gaussian(row, &means[c], &variances[c])
+                    })
+                    .collect();
+                let max = logps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let sum: f64 = logps.iter().map(|&lp| (lp - max).exp()).sum();
+                ll += max + sum.ln();
+                for (c, slot) in r.iter_mut().enumerate() {
+                    *slot = ((logps[c] - max).exp() / sum) as f32;
+                }
+            }
+            ll /= data.len() as f64;
+            if (ll - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = ll;
+            // M step
+            for c in 0..k {
+                let nk: f32 = resp.iter().map(|r| r[c]).sum::<f32>().max(1e-6);
+                weights[c] = nk / data.len() as f32;
+                for d in 0..dims {
+                    let mean =
+                        data.iter().zip(&resp).map(|(row, r)| r[c] * row[d]).sum::<f32>() / nk;
+                    means[c][d] = mean;
+                }
+                for d in 0..dims {
+                    let var = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(row, r)| r[c] * (row[d] - means[c][d]).powi(2))
+                        .sum::<f32>()
+                        / nk;
+                    variances[c][d] = var.max(VAR_FLOOR);
+                }
+            }
+        }
+        Ok(Gmm { weights, means, variances, dims })
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[Vec<f32>] {
+        &self.means
+    }
+
+    /// Mixture weights (sum to 1).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Log-likelihood of one point under the mixture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] for wrongly sized points.
+    pub fn log_likelihood(&self, point: &[f32]) -> Result<f64> {
+        if point.len() != self.dims {
+            return Err(AnomalyError::DimensionMismatch {
+                expected: self.dims,
+                actual: point.len(),
+            });
+        }
+        let logps: Vec<f64> = (0..self.weights.len())
+            .map(|c| {
+                (self.weights[c].max(1e-12) as f64).ln()
+                    + log_gaussian(point, &self.means[c], &self.variances[c])
+            })
+            .collect();
+        let max = logps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = logps.iter().map(|&lp| (lp - max).exp()).sum();
+        Ok(max + sum.ln())
+    }
+
+    /// Anomaly score: negative log-likelihood (higher = more anomalous).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] for wrongly sized points.
+    pub fn anomaly_score(&self, point: &[f32]) -> Result<f64> {
+        Ok(-self.log_likelihood(point)?)
+    }
+}
+
+/// Log-density of a diagonal Gaussian.
+fn log_gaussian(x: &[f32], mean: &[f32], var: &[f32]) -> f64 {
+    let mut ll = 0.0f64;
+    for ((xv, mv), vv) in x.iter().zip(mean).zip(var) {
+        let v = *vv as f64;
+        let d = (*xv - *mv) as f64;
+        ll += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + d * d / v);
+    }
+    ll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_blobs(seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for center in [[-5.0f32, 0.0], [5.0, 0.0]] {
+            for _ in 0..60 {
+                data.push(vec![
+                    center[0] + rng.gen_range(-0.8f32..0.8),
+                    center[1] + rng.gen_range(-0.8f32..0.8),
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_two_modes() {
+        let data = two_blobs(1);
+        let gmm = Gmm::fit(&data, GmmConfig { components: 2, ..Default::default() }).unwrap();
+        let mut xs: Vec<f32> = gmm.means().iter().map(|m| m[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] + 5.0).abs() < 1.0, "left mode at {}", xs[0]);
+        assert!((xs[1] - 5.0).abs() < 1.0, "right mode at {}", xs[1]);
+        let wsum: f32 = gmm.weights().iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn likelihood_higher_on_modes_than_between() {
+        let data = two_blobs(2);
+        let gmm = Gmm::fit(&data, GmmConfig { components: 2, ..Default::default() }).unwrap();
+        let on_mode = gmm.log_likelihood(&[5.0, 0.0]).unwrap();
+        let between = gmm.log_likelihood(&[0.0, 0.0]).unwrap();
+        assert!(on_mode > between + 2.0, "{on_mode} vs {between}");
+    }
+
+    #[test]
+    fn anomaly_scores_rank_outliers() {
+        let data = two_blobs(3);
+        let gmm = Gmm::fit(&data, GmmConfig { components: 2, ..Default::default() }).unwrap();
+        let inlier = gmm.anomaly_score(&[-5.0, 0.0]).unwrap();
+        let outlier = gmm.anomaly_score(&[0.0, 30.0]).unwrap();
+        assert!(outlier > inlier + 10.0);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let data = two_blobs(4);
+        let gmm = Gmm::fit(&data, GmmConfig { components: 2, ..Default::default() }).unwrap();
+        assert!(gmm.log_likelihood(&[0.0]).is_err());
+        assert!(Gmm::fit(&[], GmmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn variance_floor_prevents_collapse() {
+        // identical points would otherwise produce zero variance
+        let data = vec![vec![2.0f32, 2.0]; 20];
+        let gmm = Gmm::fit(&data, GmmConfig { components: 2, ..Default::default() }).unwrap();
+        let ll = gmm.log_likelihood(&[2.0, 2.0]).unwrap();
+        assert!(ll.is_finite());
+    }
+}

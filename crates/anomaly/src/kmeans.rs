@@ -1,0 +1,301 @@
+//! K-means clustering with k-means++ seeding and distance-based anomaly
+//! scores.
+
+use crate::{AnomalyError, Result};
+use ei_tensor::ops::squared_distance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 8, max_iters: 50, seed: 0 }
+    }
+}
+
+/// A fitted K-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f32>>,
+    /// Mean member distance per cluster (the "radius" used to normalize
+    /// anomaly scores).
+    radii: Vec<f32>,
+    dims: usize,
+}
+
+impl KMeans {
+    /// Fits the model on rows of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidTrainingData`] for empty data, ragged
+    /// rows, `k == 0`, or fewer rows than clusters.
+    pub fn fit(data: &[Vec<f32>], config: KMeansConfig) -> Result<KMeans> {
+        if config.k == 0 {
+            return Err(AnomalyError::InvalidTrainingData("k must be non-zero".into()));
+        }
+        if data.len() < config.k {
+            return Err(AnomalyError::InvalidTrainingData(format!(
+                "{} rows cannot form {} clusters",
+                data.len(),
+                config.k
+            )));
+        }
+        let dims = data[0].len();
+        if dims == 0 || data.iter().any(|r| r.len() != dims) {
+            return Err(AnomalyError::InvalidTrainingData("ragged or empty rows".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // k-means++ seeding
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(config.k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        while centroids.len() < config.k {
+            let weights: Vec<f32> = data
+                .iter()
+                .map(|row| {
+                    centroids
+                        .iter()
+                        .map(|c| squared_distance(row, c))
+                        .fold(f32::INFINITY, f32::min)
+                })
+                .collect();
+            let total: f32 = weights.iter().sum();
+            if total <= f32::EPSILON {
+                // all residual points coincide with centroids: duplicate one
+                centroids.push(data[rng.gen_range(0..data.len())].clone());
+                continue;
+            }
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = 0usize;
+            for (i, &w) in weights.iter().enumerate() {
+                if pick <= w {
+                    chosen = i;
+                    break;
+                }
+                pick -= w;
+            }
+            centroids.push(data[chosen].clone());
+        }
+
+        // Lloyd iterations
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..config.max_iters {
+            let mut changed = false;
+            for (i, row) in data.iter().enumerate() {
+                let best = nearest(&centroids, row).0;
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // recompute centroids
+            let mut sums = vec![vec![0.0f32; dims]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (row, &a) in data.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cv, &s) in c.iter_mut().zip(sum) {
+                        *cv = s / count as f32;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // radii: mean member distance (fallback: global mean distance)
+        let mut dist_sums = vec![0.0f32; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (row, &a) in data.iter().zip(&assignment) {
+            dist_sums[a] += squared_distance(row, &centroids[a]).sqrt();
+            counts[a] += 1;
+        }
+        let global =
+            dist_sums.iter().sum::<f32>() / counts.iter().sum::<usize>().max(1) as f32;
+        let radii: Vec<f32> = dist_sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { (s / c as f32).max(1e-6) } else { global.max(1e-6) })
+            .collect();
+
+        Ok(KMeans { centroids, radii, dims })
+    }
+
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Index of the nearest cluster for a point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] for wrongly sized points.
+    pub fn predict(&self, point: &[f32]) -> Result<usize> {
+        self.check(point)?;
+        Ok(nearest(&self.centroids, point).0)
+    }
+
+    /// Anomaly score: distance to the nearest centroid divided by that
+    /// cluster's mean member distance. Roughly, ≤1 is inlier territory and
+    /// values well above 1 are anomalous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] for wrongly sized points.
+    pub fn anomaly_score(&self, point: &[f32]) -> Result<f32> {
+        self.check(point)?;
+        let (idx, d2) = nearest(&self.centroids, point);
+        Ok(d2.sqrt() / self.radii[idx])
+    }
+
+    /// Total within-cluster squared distance of a dataset under this model.
+    pub fn inertia(&self, data: &[Vec<f32>]) -> f32 {
+        data.iter().map(|row| nearest(&self.centroids, row).1).sum()
+    }
+
+    fn check(&self, point: &[f32]) -> Result<()> {
+        if point.len() != self.dims {
+            return Err(AnomalyError::DimensionMismatch {
+                expected: self.dims,
+                actual: point.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `(index, squared distance)` of the closest centroid.
+fn nearest(centroids: &[Vec<f32>], point: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_distance(point, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert, proptest, ProptestConfig};
+
+    fn blobs(seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for center in [[0.0f32, 0.0], [10.0, 10.0], [0.0, 10.0]] {
+            for _ in 0..30 {
+                data.push(vec![
+                    center[0] + rng.gen_range(-0.5f32..0.5),
+                    center[1] + rng.gen_range(-0.5f32..0.5),
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(KMeans::fit(&[], KMeansConfig::default()).is_err());
+        assert!(KMeans::fit(&[vec![1.0]], KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(KMeans::fit(&[vec![1.0]], KMeansConfig { k: 2, ..Default::default() }).is_err());
+        assert!(KMeans::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            KMeansConfig { k: 1, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let data = blobs(1);
+        let model = KMeans::fit(&data, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        // every centroid is near one of the true centers
+        for c in model.centroids() {
+            let near = [[0.0f32, 0.0], [10.0, 10.0], [0.0, 10.0]]
+                .iter()
+                .any(|t| squared_distance(c, t) < 1.0);
+            assert!(near, "centroid {c:?} far from every blob");
+        }
+        // and all points assign to their own blob consistently
+        let a = model.predict(&[0.1, -0.1]).unwrap();
+        let b = model.predict(&[0.2, 0.3]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anomaly_scores_separate_outliers() {
+        let data = blobs(2);
+        let model = KMeans::fit(&data, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        let inlier = model.anomaly_score(&[0.1, 0.1]).unwrap();
+        let outlier = model.anomaly_score(&[5.0, 5.0]).unwrap();
+        assert!(inlier < 2.0, "inlier score {inlier}");
+        assert!(outlier > 5.0 * inlier.max(0.1), "outlier score {outlier} vs {inlier}");
+    }
+
+    #[test]
+    fn predict_dimension_checked() {
+        let data = blobs(3);
+        let model = KMeans::fit(&data, KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        assert!(model.predict(&[1.0]).is_err());
+        assert!(model.anomaly_score(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(4);
+        let cfg = KMeansConfig { k: 3, seed: 9, ..Default::default() };
+        let a = KMeans::fit(&data, cfg).unwrap();
+        let b = KMeans::fit(&data, cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let data = vec![vec![1.0, 1.0]; 10];
+        let model = KMeans::fit(&data, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        assert_eq!(model.centroids().len(), 3);
+        assert!(model.anomaly_score(&[1.0, 1.0]).unwrap() < 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_more_clusters_never_increase_inertia(seed in 0u64..50) {
+            let data = blobs(seed);
+            let i2 = KMeans::fit(&data, KMeansConfig { k: 2, seed, ..Default::default() })
+                .unwrap()
+                .inertia(&data);
+            let i6 = KMeans::fit(&data, KMeansConfig { k: 6, seed, ..Default::default() })
+                .unwrap()
+                .inertia(&data);
+            // k-means++ with Lloyd refinement: more clusters should not be
+            // substantially worse
+            prop_assert!(i6 <= i2 * 1.05, "k=6 inertia {i6} vs k=2 {i2}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Unsupervised anomaly detection for sensor features (paper §4.3).
+//!
+//! "Edge Impulse supports several unsupervised learning algorithms to
+//! tackle anomaly detection problems. At the moment, Edge Impulse uses
+//! K-means clustering and will support Gaussian mixture models (GMM) in
+//! the near future." Both live here:
+//!
+//! * [`kmeans::KMeans`] — Lloyd's algorithm with k-means++ seeding; the
+//!   anomaly score of a point is its distance to the nearest centroid
+//!   normalized by that cluster's radius, so scores ≳ 1 are suspicious;
+//! * [`gmm::Gmm`] — diagonal-covariance Gaussian mixtures fit by EM; the
+//!   anomaly score is the negative log-likelihood.
+//!
+//! Both models train on *normal* data only (typically spectral features
+//! from `ei-dsp`'s spectral-analysis block) and flag deviations at
+//! inference time.
+
+pub mod error;
+pub mod gmm;
+pub mod kmeans;
+pub mod scaler;
+
+pub use error::AnomalyError;
+pub use gmm::Gmm;
+pub use kmeans::KMeans;
+pub use scaler::Standardizer;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AnomalyError>;

@@ -1,0 +1,122 @@
+//! Per-dimension feature standardization.
+//!
+//! Spectral features mix scales wildly (log-energies near −23 for silent
+//! bands, RMS values near 1), so raw Euclidean distance is dominated by
+//! whichever dimensions happen to be loudest. The platform's anomaly block
+//! standardizes features before clustering; [`Standardizer`] reproduces
+//! that: `z = (x − μ) / σ` with per-dimension statistics from the
+//! training (normal) data.
+
+use crate::{AnomalyError, Result};
+
+/// Fitted per-dimension mean/standard-deviation scaler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits the scaler on rows of equal length.
+    ///
+    /// Dimensions with (near-)zero variance get a unit scale so they pass
+    /// through unchanged (centered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidTrainingData`] for empty data or
+    /// ragged rows.
+    pub fn fit(data: &[Vec<f32>]) -> Result<Standardizer> {
+        if data.is_empty() {
+            return Err(AnomalyError::InvalidTrainingData("scaler needs data".into()));
+        }
+        let dims = data[0].len();
+        if dims == 0 || data.iter().any(|r| r.len() != dims) {
+            return Err(AnomalyError::InvalidTrainingData("ragged or empty rows".into()));
+        }
+        let n = data.len() as f32;
+        let means: Vec<f32> =
+            (0..dims).map(|d| data.iter().map(|r| r[d]).sum::<f32>() / n).collect();
+        let stds: Vec<f32> = (0..dims)
+            .map(|d| {
+                let var = data.iter().map(|r| (r[d] - means[d]).powi(2)).sum::<f32>() / n;
+                let std = var.sqrt();
+                if std < 1e-6 {
+                    1.0
+                } else {
+                    std
+                }
+            })
+            .collect();
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] for wrongly sized rows.
+    pub fn transform(&self, row: &[f32]) -> Result<Vec<f32>> {
+        if row.len() != self.means.len() {
+            return Err(AnomalyError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: row.len(),
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect())
+    }
+
+    /// Standardizes many rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] for wrongly sized rows.
+    pub fn transform_all(&self, data: &[Vec<f32>]) -> Result<Vec<Vec<f32>>> {
+        data.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let data: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![i as f32, 1000.0 + 10.0 * i as f32]).collect();
+        let scaler = Standardizer::fit(&data).unwrap();
+        let z = scaler.transform_all(&data).unwrap();
+        for d in 0..2 {
+            let mean: f32 = z.iter().map(|r| r[d]).sum::<f32>() / z.len() as f32;
+            let var: f32 = z.iter().map(|r| r[d].powi(2)).sum::<f32>() / z.len() as f32;
+            assert!(mean.abs() < 1e-4, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_passes_through_centered() {
+        let data = vec![vec![5.0f32, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let scaler = Standardizer::fit(&data).unwrap();
+        let z = scaler.transform(&[5.0, 2.0]).unwrap();
+        assert_eq!(z[0], 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Standardizer::fit(&[]).is_err());
+        assert!(Standardizer::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let scaler = Standardizer::fit(&[vec![1.0, 2.0]]).unwrap();
+        assert!(scaler.transform(&[1.0]).is_err());
+        assert_eq!(scaler.dims(), 2);
+    }
+}

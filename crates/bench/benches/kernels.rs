@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks of the hot paths: DSP feature extraction,
+//! float vs int8 inference, both engines, the memory planner, and
+//! quantization itself. These measure host throughput (the on-device
+//! latencies of the paper come from `ei-device`'s cycle model); they exist
+//! to keep the reference kernels honest as the code evolves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ei_bench::Task;
+use ei_data::synth::KwsGenerator;
+use ei_dsp::{blocks::MfccBlock, DspBlock, MfccConfig};
+use ei_runtime::planner::plan_model;
+use ei_runtime::{EonProgram, InferenceEngine, Interpreter};
+use std::hint::black_box;
+
+fn bench_dsp(c: &mut Criterion) {
+    let block = MfccBlock::new(MfccConfig::default()).expect("valid config");
+    let audio = KwsGenerator::default().generate(0, 1);
+    c.bench_function("mfcc_16k_1s", |b| {
+        b.iter(|| block.process(black_box(&audio)).expect("processes"))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (float_a, int8_a) = Task::KeywordSpotting.untrained_artifacts();
+    let features = vec![0.1f32; float_a.input_len()];
+    c.bench_function("kws_dscnn_float_forward", |b| {
+        b.iter(|| float_a.run_reference(black_box(&features)).expect("runs"))
+    });
+    c.bench_function("kws_dscnn_int8_forward", |b| {
+        b.iter(|| int8_a.run_reference(black_box(&features)).expect("runs"))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (float_a, _) = Task::ImageClassification.untrained_artifacts();
+    let features = vec![0.3f32; float_a.input_len()];
+    let interp = Interpreter::new(float_a.clone()).expect("builds");
+    let eon = EonProgram::compile(float_a).expect("compiles");
+    c.bench_function("ic_interpreter_run", |b| {
+        b.iter(|| interp.run(black_box(&features)).expect("runs"))
+    });
+    c.bench_function("ic_eon_run", |b| {
+        b.iter(|| eon.run(black_box(&features)).expect("runs"))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let (float_a, _) = Task::VisualWakeWords.untrained_artifacts();
+    c.bench_function("vww_memory_planning", |b| {
+        b.iter(|| plan_model(black_box(&float_a)).expect("plans"))
+    });
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let task = Task::ImageClassification;
+    let spec = task.model_spec();
+    let model = ei_nn::Sequential::build(&spec, 42).expect("builds");
+    let dims = task.design().feature_dims().expect("valid");
+    let calib = vec![vec![0.05f32; dims.len()], vec![-0.05f32; dims.len()]];
+    c.bench_function("ic_quantize_model", |b| {
+        b.iter(|| ei_quant::quantize_model(black_box(&model), black_box(&calib)).expect("quantizes"))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    use ei_nn::spec::{Activation, Dims, LayerSpec, ModelSpec};
+    use ei_nn::train::{TrainConfig, Trainer};
+    use ei_nn::Sequential;
+    let spec = ModelSpec::new(Dims::new(1, 64, 1))
+        .layer(LayerSpec::Flatten)
+        .layer(LayerSpec::Dense { units: 32, activation: Activation::Relu })
+        .layer(LayerSpec::Dense { units: 4, activation: Activation::None })
+        .layer(LayerSpec::Softmax);
+    let inputs: Vec<Vec<f32>> =
+        (0..64).map(|i| (0..64).map(|j| ((i * j) % 17) as f32 * 0.05).collect()).collect();
+    let labels: Vec<usize> = (0..64).map(|i| i % 4).collect();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        validation_split: 0.0,
+        restore_best: false,
+        ..TrainConfig::default()
+    });
+    c.bench_function("mlp_one_epoch_64_samples", |b| {
+        b.iter(|| {
+            let mut model = Sequential::build(&spec, 1).expect("builds");
+            trainer.train(&mut model, black_box(&inputs), black_box(&labels)).expect("trains")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dsp, bench_inference, bench_engines, bench_planner, bench_quantization, bench_training
+}
+criterion_main!(benches);

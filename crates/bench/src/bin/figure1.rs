@@ -1,0 +1,21 @@
+//! Regenerates paper Figure 1: the ML-workflow stages, the ecosystem
+//! challenge each answers, and the platform feature implementing it.
+
+use ei_core::workflow::workflow_map;
+
+fn main() {
+    println!("Figure 1. The challenges associated with the ML workflow and the");
+    println!("platform features that solve them.");
+    println!();
+    println!("{:<16} {:<20} {:<58} Module", "Stage", "Challenge", "Feature");
+    println!("{}", "-".repeat(120));
+    for entry in workflow_map() {
+        println!(
+            "{:<16} {:<20} {:<58} {}",
+            format!("{:?}", entry.stage),
+            format!("{:?}", entry.challenge),
+            entry.feature,
+            entry.module
+        );
+    }
+}

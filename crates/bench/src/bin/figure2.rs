@@ -1,0 +1,65 @@
+//! Regenerates paper Figure 2: the Studio project view — the impulse as a
+//! block chain with its dataflow, per-block parameters and the ML-workflow
+//! steps listed down the side.
+
+use ei_bench::Task;
+use ei_core::workflow::workflow_map;
+use ei_nn::Sequential;
+
+fn main() {
+    let task = Task::KeywordSpotting;
+    let design = task.design();
+    let block = design.dsp_block().expect("valid dsp");
+    let dims = design.feature_dims().expect("valid design");
+    let spec = task.model_spec();
+    let model = Sequential::build(&spec, 42).expect("preset builds");
+    let classes = task.classes();
+
+    println!("Figure 2. Project view: the impulse as connected blocks.");
+    println!();
+    // workflow steps down the side, as in the Studio's left rail
+    println!("workflow steps:");
+    for entry in workflow_map() {
+        println!("  - {:?}", entry.stage);
+    }
+    println!();
+    // the block chain
+    let features = block.output_len(design.window_samples).expect("window fits");
+    println!(
+        "┌─────────────────────┐   ┌─────────────────────┐   ┌─────────────────────────┐   ┌──────────────────┐"
+    );
+    println!(
+        "│ Time series data    │──►│ {:<19} │──►│ Classification          │──►│ Output features  │",
+        block.name()
+    );
+    println!(
+        "│ window: {:>6} smp  │   │ {:<19} │   │ {:<23} │   │ {:<16} │",
+        design.window_samples,
+        format!("out: {features} features"),
+        spec.name,
+        format!("{classes} classes"),
+    );
+    println!(
+        "│ axis: audio @16 kHz │   │ {:<19} │   │ {:<23} │   │ {:<16} │",
+        format!("shape: {dims}"),
+        format!("{} parameters", model.param_count()),
+        "yes/no/up/down",
+    );
+    println!(
+        "└─────────────────────┘   └─────────────────────┘   └─────────────────────────┘   └──────────────────┘"
+    );
+    println!();
+    // per-block parameter panel
+    println!("processing block parameters: {}", design.dsp.summary());
+    println!("learn block layers:");
+    for (i, layer) in model.layers().iter().enumerate() {
+        println!(
+            "  {i:>2}. {:<18} {} -> {}  ({} params, {} MACs)",
+            layer.spec.op_name(),
+            layer.input,
+            layer.output,
+            layer.param_count(),
+            layer.macs()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates paper Figure 3: the EON Tuner result view — one card per
+//! configuration with accuracy and stacked latency / RAM / flash bars
+//! against the selected target's constraints.
+
+use ei_bench::{bar, kb, quick_mode, Task};
+use ei_data::synth::KwsGenerator;
+use ei_device::{Board, Profiler};
+use ei_nn::train::TrainConfig;
+use ei_runtime::EngineKind;
+use ei_tuner::{EonTuner, SearchSpace, TunerConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let board = Board::nano33_ble_sense();
+    let dataset = KwsGenerator::default().dataset(if quick { 6 } else { 14 }, 3);
+    let tuner = EonTuner::new(
+        SearchSpace::kws_table3(16_000),
+        Profiler::new(board.clone()),
+        Task::KeywordSpotting.window(),
+        TunerConfig {
+            trials: if quick { 3 } else { 6 },
+            train: TrainConfig {
+                epochs: if quick { 1 } else { 3 },
+                batch_size: 16,
+                learning_rate: 0.005,
+                ..TrainConfig::default()
+            },
+            quantize: false,
+            engine: EngineKind::TflmInterpreter,
+            max_latency_ms: None,
+            seed: 21,
+        },
+    );
+    eprintln!("running EON Tuner for the Fig. 3 view...");
+    let report = tuner.run(&dataset).expect("tuner runs");
+
+    println!("Figure 3. EON Tuner result view — target: {} ({} MHz, {} kB RAM, {} MB flash)",
+        board.name,
+        board.clock_hz / 1_000_000,
+        board.ram_bytes / 1024,
+        board.flash_bytes / (1024 * 1024),
+    );
+    println!();
+    let max_ms = report.trials.iter().map(|t| t.total_ms()).fold(1.0, f64::max);
+    for (i, t) in report.trials.iter().enumerate() {
+        println!("#{:<2} {}  +  {}", i + 1, t.dsp_name, t.model_name);
+        println!("    accuracy  {:>5.1}%", t.accuracy * 100.0);
+        println!(
+            "    latency   [{}] {:>6.0} ms  (DSP {:.0} / NN {:.0})",
+            bar(t.total_ms(), max_ms, 24),
+            t.total_ms(),
+            t.dsp_ms,
+            t.nn_ms
+        );
+        println!(
+            "    ram       [{}] {:>6} kB of {} kB",
+            bar(t.total_ram() as f64, board.ram_bytes as f64, 24),
+            kb(t.total_ram()),
+            board.ram_bytes / 1024
+        );
+        println!(
+            "    flash     [{}] {:>6} kB of {} kB",
+            bar(t.flash as f64, board.flash_bytes as f64, 24),
+            kb(t.flash),
+            board.flash_bytes / 1024
+        );
+        println!("    fits      {}", if t.fits { "yes" } else { "NO" });
+        println!();
+    }
+    if let Some(best) = report.best_fitting() {
+        println!(
+            "selected configuration: {} + {} ({:.1}% @ {:.0} ms)",
+            best.dsp_name,
+            best.model_name,
+            best.accuracy * 100.0,
+            best.total_ms()
+        );
+    }
+}

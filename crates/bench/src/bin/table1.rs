@@ -1,0 +1,27 @@
+//! Regenerates paper Table 1: the embedded platforms used for evaluation.
+
+use ei_device::Board;
+
+fn main() {
+    println!("Table 1. Embedded platforms used for evaluation.");
+    println!();
+    println!(
+        "{:<24} {:<16} {:>9} {:>8} {:>8}",
+        "Platform", "Processor", "Clock", "Flash", "RAM"
+    );
+    for board in Board::paper_boards() {
+        let ram = if board.ram_bytes >= 1024 * 1024 {
+            format!("{} MB", board.ram_bytes / (1024 * 1024))
+        } else {
+            format!("{} kB", board.ram_bytes / 1024)
+        };
+        println!(
+            "{:<24} {:<16} {:>6} MHz {:>5} MB {:>8}",
+            board.name,
+            board.processor,
+            board.clock_hz / 1_000_000,
+            board.flash_bytes / (1024 * 1024),
+            ram,
+        );
+    }
+}

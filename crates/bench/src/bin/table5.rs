@@ -1,0 +1,11 @@
+//! Regenerates paper Table 5: comparison of supported features across
+//! MLOps platforms (Y = fully supported, ~ = partial, X = unsupported).
+
+use ei_platform::features::render_table;
+
+fn main() {
+    println!("Table 5. Comparison of supported features of MLOps platforms.");
+    println!("Y: fully supported, ~: partially supported, X: not supported.");
+    println!();
+    print!("{}", render_table());
+}

@@ -1,0 +1,257 @@
+//! Continuous (streaming) classification with calibrated post-processing.
+//!
+//! On-device keyword spotting never sees isolated clips: audio streams in,
+//! the impulse classifies overlapping windows, and the calibrated
+//! post-processing chain turns per-window probabilities into *events*.
+//! [`ContinuousClassifier`] is that runtime: push samples as they arrive,
+//! get back the events that fired. The detection chain is causal, so
+//! streaming results are identical to batch-processing the same signal.
+
+use crate::postprocess::{EventDetector, PostProcessConfig};
+use ei_core::impulse::TrainedImpulse;
+use ei_core::Result;
+use ei_runtime::ModelArtifact;
+
+/// An event fired by the streaming post-processing chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedEvent {
+    /// Classification-window index at which the event fired.
+    pub window_index: usize,
+    /// Sample offset of the window's start within the stream.
+    pub sample_offset: usize,
+    /// Smoothed probability at firing time.
+    pub probability: f32,
+}
+
+/// Sliding-window streaming classifier for one target class.
+#[derive(Debug, Clone)]
+pub struct ContinuousClassifier {
+    impulse: TrainedImpulse,
+    artifact: ModelArtifact,
+    detector: EventDetector,
+    target_class: usize,
+    stride: usize,
+    /// Raw samples not yet fully consumed.
+    buffer: Vec<f32>,
+    /// Absolute sample offset of `buffer[0]` within the stream.
+    buffer_offset: usize,
+    /// Per-window probabilities so far.
+    probs: Vec<f32>,
+    /// Number of events already reported.
+    reported: usize,
+}
+
+impl ContinuousClassifier {
+    /// Creates a streaming classifier.
+    ///
+    /// `stride` is the hop between consecutive windows in samples;
+    /// `target_class` indexes [`TrainedImpulse::labels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `target_class` is out of range.
+    pub fn new(
+        impulse: TrainedImpulse,
+        artifact: ModelArtifact,
+        target_class: usize,
+        stride: usize,
+        config: PostProcessConfig,
+    ) -> ContinuousClassifier {
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(target_class < impulse.labels().len(), "target class out of range");
+        ContinuousClassifier {
+            impulse,
+            artifact,
+            detector: EventDetector::new(config),
+            target_class,
+            stride,
+            buffer: Vec::new(),
+            buffer_offset: 0,
+            probs: Vec::new(),
+            reported: 0,
+        }
+    }
+
+    /// The label being detected.
+    pub fn target_label(&self) -> &str {
+        &self.impulse.labels()[self.target_class]
+    }
+
+    /// Number of classification windows processed so far.
+    pub fn windows_processed(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Feeds new samples; returns events that fired since the last call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classification failures.
+    pub fn push(&mut self, samples: &[f32]) -> Result<Vec<DetectedEvent>> {
+        self.buffer.extend_from_slice(samples);
+        let window = self.impulse.design().window_samples;
+        // classify every complete window
+        while self.buffer.len() >= window {
+            let result = self.impulse.classify_with(&self.artifact, &self.buffer[..window])?;
+            self.probs.push(result.probabilities[self.target_class]);
+            let advance = self.stride.min(self.buffer.len());
+            self.buffer.drain(..advance);
+            self.buffer_offset += advance;
+        }
+        // causal detection: re-running on the longer prefix cannot change
+        // already-reported events
+        let detections = self.detector.detect(&self.probs);
+        let fresh: Vec<DetectedEvent> = detections[self.reported.min(detections.len())..]
+            .iter()
+            .map(|&window_index| DetectedEvent {
+                window_index,
+                sample_offset: window_index * self.stride,
+                probability: self.smoothed_at(window_index),
+            })
+            .collect();
+        self.reported = detections.len();
+        Ok(fresh)
+    }
+
+    fn smoothed_at(&self, i: usize) -> f32 {
+        let k = self.detector.config().mean_filter;
+        let start = (i + 1).saturating_sub(k);
+        let window = &self.probs[start..=i.min(self.probs.len() - 1)];
+        window.iter().sum::<f32>() / window.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_core::impulse::ImpulseDesign;
+    use ei_data::synth::KwsGenerator;
+    use ei_dsp::{DspConfig, MfccConfig};
+    use ei_nn::presets;
+    use ei_nn::train::TrainConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn generator() -> KwsGenerator {
+        KwsGenerator {
+            classes: vec!["go".into()],
+            sample_rate_hz: 8_000,
+            duration_s: 0.25,
+            noise: 0.03,
+        }
+    }
+
+    /// "go" clips vs *white noise* backgrounds — the distribution the
+    /// streaming classifier actually sees between keywords.
+    fn spotter_dataset() -> ei_data::Dataset {
+        use ei_data::{Sample, SensorKind};
+        let gen = generator();
+        let mut ds = ei_data::Dataset::new("stream");
+        let mut rng = StdRng::seed_from_u64(77);
+        for k in 0..20 {
+            ds.add(
+                Sample::new(0, gen.generate(0, k), SensorKind::Audio).with_label("go"),
+            );
+            let noise: Vec<f32> = (0..2_000).map(|_| rng.gen_range(-0.06f32..0.06)).collect();
+            ds.add(Sample::new(0, noise, SensorKind::Audio).with_label("background"));
+        }
+        ds
+    }
+
+    fn spotter() -> TrainedImpulse {
+        let dataset = spotter_dataset();
+        let design = ImpulseDesign::new(
+            "stream",
+            2_000,
+            DspConfig::Mfcc(MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 20,
+                sample_rate_hz: 8_000,
+            }),
+        )
+        .unwrap();
+        let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+        design
+            .train(
+                &spec,
+                &dataset,
+                &TrainConfig { epochs: 16, learning_rate: 0.01, ..TrainConfig::default() },
+            )
+            .unwrap()
+    }
+
+    fn stream_with_keywords(positions: &[usize], len: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stream: Vec<f32> = (0..len).map(|_| rng.gen_range(-0.04f32..0.04)).collect();
+        for (k, &pos) in positions.iter().enumerate() {
+            let clip = generator().generate(0, 300 + k as u64);
+            for (i, &v) in clip.iter().enumerate() {
+                stream[pos + i] += v;
+            }
+        }
+        stream
+    }
+
+    fn classifier(trained: TrainedImpulse) -> ContinuousClassifier {
+        let artifact = trained.float_artifact();
+        let go = trained.labels().iter().position(|l| l == "go").expect("'go' is a class");
+        ContinuousClassifier::new(
+            trained,
+            artifact,
+            go,
+            500,
+            PostProcessConfig { mean_filter: 1, threshold: 0.6, suppression: 6 },
+        )
+    }
+
+    #[test]
+    fn detects_embedded_keywords_near_their_positions() {
+        let trained = spotter();
+        let mut cc = classifier(trained);
+        assert_eq!(cc.target_label(), "go");
+        let positions = [4_000usize, 14_000];
+        let stream = stream_with_keywords(&positions, 24_000);
+        let mut events = Vec::new();
+        // push in uneven chunks like a real audio driver
+        for chunk in stream.chunks(733) {
+            events.extend(cc.push(chunk).unwrap());
+        }
+        assert_eq!(events.len(), 2, "events: {events:?}");
+        for (event, &pos) in events.iter().zip(&positions) {
+            let distance = event.sample_offset.abs_diff(pos);
+            assert!(distance <= 2_500, "event at {} vs keyword at {pos}", event.sample_offset);
+            assert!(event.probability >= 0.6);
+        }
+    }
+
+    #[test]
+    fn quiet_stream_fires_nothing() {
+        let mut cc = classifier(spotter());
+        let mut rng = StdRng::seed_from_u64(9);
+        let quiet: Vec<f32> = (0..16_000).map(|_| rng.gen_range(-0.03f32..0.03)).collect();
+        let mut events = Vec::new();
+        for chunk in quiet.chunks(1000) {
+            events.extend(cc.push(chunk).unwrap());
+        }
+        assert!(events.is_empty(), "spurious events: {events:?}");
+        assert!(cc.windows_processed() > 20);
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let trained = spotter();
+        let stream = stream_with_keywords(&[5_000], 12_000);
+        // streaming in chunks
+        let mut chunked = classifier(trained.clone());
+        let mut chunked_events = Vec::new();
+        for chunk in stream.chunks(311) {
+            chunked_events.extend(chunked.push(chunk).unwrap());
+        }
+        // one big push
+        let mut whole = classifier(trained);
+        let whole_events = whole.push(&stream).unwrap();
+        assert_eq!(chunked_events, whole_events);
+    }
+}

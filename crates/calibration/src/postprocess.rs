@@ -1,0 +1,212 @@
+//! The streaming post-processing chain and its FAR/FRR metrics.
+
+/// Post-processing applied to the per-window probability of the target
+/// class before declaring an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostProcessConfig {
+    /// Moving-average length over consecutive window probabilities
+    /// (1 disables smoothing).
+    pub mean_filter: usize,
+    /// Detection threshold on the smoothed probability.
+    pub threshold: f32,
+    /// Windows to suppress after a detection (debounce).
+    pub suppression: usize,
+}
+
+impl Default for PostProcessConfig {
+    fn default() -> Self {
+        PostProcessConfig { mean_filter: 3, threshold: 0.8, suppression: 5 }
+    }
+}
+
+impl PostProcessConfig {
+    /// Clamps all fields into their valid domains (used after mutation).
+    pub fn clamped(self) -> PostProcessConfig {
+        PostProcessConfig {
+            mean_filter: self.mean_filter.clamp(1, 32),
+            threshold: self.threshold.clamp(0.05, 0.999),
+            suppression: self.suppression.min(64),
+        }
+    }
+}
+
+/// Runs a [`PostProcessConfig`] over a probability stream.
+#[derive(Debug, Clone)]
+pub struct EventDetector {
+    config: PostProcessConfig,
+}
+
+impl EventDetector {
+    /// Creates a detector (config is clamped to valid ranges).
+    pub fn new(config: PostProcessConfig) -> EventDetector {
+        EventDetector { config: config.clamped() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PostProcessConfig {
+        self.config
+    }
+
+    /// Returns the window indices at which events fire.
+    pub fn detect(&self, probs: &[f32]) -> Vec<usize> {
+        let mut events = Vec::new();
+        let k = self.config.mean_filter;
+        let mut suppressed_until = 0usize;
+        for i in 0..probs.len() {
+            if i < suppressed_until {
+                continue;
+            }
+            let start = (i + 1).saturating_sub(k);
+            let window = &probs[start..=i];
+            let mean = window.iter().sum::<f32>() / window.len() as f32;
+            if mean >= self.config.threshold {
+                events.push(i);
+                suppressed_until = i + 1 + self.config.suppression;
+            }
+        }
+        events
+    }
+}
+
+/// FAR/FRR metrics of one detector run against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectionMetrics {
+    /// True events detected.
+    pub hits: usize,
+    /// True events missed.
+    pub misses: usize,
+    /// Detections with no matching true event.
+    pub false_accepts: usize,
+    /// False-acceptance rate: false accepts per 1000 windows.
+    pub far_per_1k: f32,
+    /// False-rejection rate: fraction of true events missed (0–1).
+    pub frr: f32,
+}
+
+/// Scores detections against ground-truth event positions.
+///
+/// A detection within `tolerance` windows of a true event counts as a hit
+/// for that event (each event matches at most one detection; extra
+/// detections are false accepts).
+pub fn score_detections(
+    detections: &[usize],
+    truth: &[usize],
+    tolerance: usize,
+    total_windows: usize,
+) -> DetectionMetrics {
+    let mut matched_truth = vec![false; truth.len()];
+    let mut false_accepts = 0usize;
+    for &d in detections {
+        let hit = truth.iter().enumerate().find(|(ti, &t)| {
+            !matched_truth[*ti] && d.abs_diff(t) <= tolerance
+        });
+        match hit {
+            Some((ti, _)) => matched_truth[ti] = true,
+            None => false_accepts += 1,
+        }
+    }
+    let hits = matched_truth.iter().filter(|&&m| m).count();
+    let misses = truth.len() - hits;
+    DetectionMetrics {
+        hits,
+        misses,
+        false_accepts,
+        far_per_1k: if total_windows == 0 {
+            0.0
+        } else {
+            false_accepts as f32 * 1000.0 / total_windows as f32
+        },
+        frr: if truth.is_empty() { 0.0 } else { misses as f32 / truth.len() as f32 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_controls_firing() {
+        let probs = vec![0.1, 0.2, 0.95, 0.1, 0.1];
+        let strict = EventDetector::new(PostProcessConfig {
+            mean_filter: 1,
+            threshold: 0.9,
+            suppression: 0,
+        });
+        assert_eq!(strict.detect(&probs), vec![2]);
+        let lax = EventDetector::new(PostProcessConfig {
+            mean_filter: 1,
+            threshold: 0.15,
+            suppression: 0,
+        });
+        assert_eq!(lax.detect(&probs), vec![1, 2], "0.2 and 0.95 clear the 0.15 threshold");
+    }
+
+    #[test]
+    fn mean_filter_suppresses_single_spikes() {
+        // one-window spike in noise
+        let probs = vec![0.1, 0.1, 0.99, 0.1, 0.1, 0.1];
+        let smoothed = EventDetector::new(PostProcessConfig {
+            mean_filter: 3,
+            threshold: 0.6,
+            suppression: 0,
+        });
+        assert!(smoothed.detect(&probs).is_empty(), "spike must be averaged away");
+        // a sustained event survives smoothing
+        let sustained = vec![0.1, 0.9, 0.95, 0.9, 0.1];
+        assert!(!smoothed.detect(&sustained).is_empty());
+    }
+
+    #[test]
+    fn suppression_debounces() {
+        let probs = vec![0.95; 10];
+        let detector = EventDetector::new(PostProcessConfig {
+            mean_filter: 1,
+            threshold: 0.5,
+            suppression: 4,
+        });
+        // fires at 0, suppressed until 5, fires at 5
+        assert_eq!(detector.detect(&probs), vec![0, 5]);
+    }
+
+    #[test]
+    fn clamping_repairs_degenerate_configs() {
+        let cfg =
+            PostProcessConfig { mean_filter: 0, threshold: 7.0, suppression: 1000 }.clamped();
+        assert_eq!(cfg.mean_filter, 1);
+        assert!(cfg.threshold <= 0.999);
+        assert_eq!(cfg.suppression, 64);
+    }
+
+    #[test]
+    fn scoring_hits_and_false_accepts() {
+        let metrics = score_detections(&[10, 50, 80], &[11, 48], 3, 1000);
+        assert_eq!(metrics.hits, 2);
+        assert_eq!(metrics.misses, 0);
+        assert_eq!(metrics.false_accepts, 1);
+        assert!((metrics.far_per_1k - 1.0).abs() < 1e-6);
+        assert_eq!(metrics.frr, 0.0);
+    }
+
+    #[test]
+    fn scoring_counts_misses() {
+        let metrics = score_detections(&[], &[5, 10], 2, 100);
+        assert_eq!(metrics.misses, 2);
+        assert_eq!(metrics.frr, 1.0);
+        assert_eq!(metrics.false_accepts, 0);
+    }
+
+    #[test]
+    fn one_event_matches_one_detection() {
+        // two detections near the same truth: second is a false accept
+        let metrics = score_detections(&[10, 12], &[11], 3, 100);
+        assert_eq!(metrics.hits, 1);
+        assert_eq!(metrics.false_accepts, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let metrics = score_detections(&[], &[], 2, 0);
+        assert_eq!(metrics.far_per_1k, 0.0);
+        assert_eq!(metrics.frr, 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Deployment bundles: the export formats the platform ships (paper §4.6).
+//!
+//! "Edge Impulse offers several possibilities for DSP and model deployment
+//! … standalone C++ library, Arduino library, process runner for Linux,
+//! WebAssembly library, and precompiled binaries." A bundle is the set of
+//! generated files for one target; the model body comes from the EON code
+//! generator (or a serialized weight blob for the interpreter path).
+
+use crate::impulse::TrainedImpulse;
+use crate::{CoreError, Result};
+use ei_runtime::codegen::{emit_c_source, emit_kernels_header};
+use ei_runtime::{EngineKind, EonProgram, InferenceEngine, Interpreter, ModelArtifact};
+
+/// Export target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeploymentTarget {
+    /// Standalone C++ library (any toolchain).
+    CppLibrary,
+    /// Arduino library layout.
+    ArduinoLibrary,
+    /// Linux EIM: native process exposing an I/O protocol.
+    LinuxEim,
+    /// WebAssembly library with a JS loader.
+    Wasm,
+}
+
+impl DeploymentTarget {
+    /// All targets.
+    pub fn all() -> [DeploymentTarget; 4] {
+        [
+            DeploymentTarget::CppLibrary,
+            DeploymentTarget::ArduinoLibrary,
+            DeploymentTarget::LinuxEim,
+            DeploymentTarget::Wasm,
+        ]
+    }
+}
+
+/// One generated file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleFile {
+    /// Path within the bundle.
+    pub path: String,
+    /// File contents.
+    pub contents: String,
+}
+
+/// A complete deployment bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentBundle {
+    /// The export target.
+    pub target: DeploymentTarget,
+    /// Engine the bundle embeds.
+    pub engine: EngineKind,
+    /// Generated files.
+    pub files: Vec<BundleFile>,
+}
+
+impl DeploymentBundle {
+    /// Looks a file up by path.
+    pub fn file(&self, path: &str) -> Option<&BundleFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Total bundle size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.files.iter().map(|f| f.contents.len()).sum()
+    }
+}
+
+/// Builds a deployment bundle for a trained impulse.
+///
+/// `artifact` selects float or int8; `engine` selects the EON compiled
+/// path (model as generated C) or the interpreter path (model as a
+/// serialized blob plus runtime).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn build_bundle(
+    trained: &TrainedImpulse,
+    artifact: ModelArtifact,
+    target: DeploymentTarget,
+    engine: EngineKind,
+) -> Result<DeploymentBundle> {
+    let mut files = Vec::new();
+    let design = trained.design();
+
+    // model_metadata.h — shared by every target
+    let labels_c: Vec<String> =
+        trained.labels().iter().map(|l| format!("\"{l}\"")).collect();
+    files.push(BundleFile {
+        path: "model/model_metadata.h".into(),
+        contents: format!(
+            "#pragma once\n\
+             #define EI_PROJECT_NAME \"{name}\"\n\
+             #define EI_RAW_SAMPLE_COUNT {window}\n\
+             #define EI_LABEL_COUNT {nlabels}\n\
+             #define EI_QUANTIZED {quant}\n\
+             static const char *ei_labels[] = {{ {labels} }};\n",
+            name = design.name,
+            window = design.window_samples,
+            nlabels = trained.labels().len(),
+            quant = u8::from(artifact.is_quantized()),
+            labels = labels_c.join(", "),
+        ),
+    });
+
+    // dsp_config.json — rebuildable processing block
+    files.push(BundleFile {
+        path: "model/dsp_config.json".into(),
+        contents: serde_json::to_string_pretty(&design.dsp)
+            .map_err(|e| CoreError::InvalidImpulse(e.to_string()))?,
+    });
+
+    // engine-specific model body
+    match engine {
+        EngineKind::EonCompiled => {
+            let program = EonProgram::compile(artifact.clone())?;
+            files.push(BundleFile {
+                path: "model/model_compiled.c".into(),
+                contents: emit_c_source(&program),
+            });
+            files.push(BundleFile {
+                path: "model/edgelab_kernels.h".into(),
+                contents: emit_kernels_header(&program),
+            });
+        }
+        EngineKind::TflmInterpreter => {
+            let interp = Interpreter::new(artifact.clone())?;
+            let report = interp.memory();
+            files.push(BundleFile {
+                path: "model/model_data.h".into(),
+                contents: format!(
+                    "#pragma once\n\
+                     /* serialized model blob for the interpreter */\n\
+                     #define EI_MODEL_BLOB_BYTES {}\n\
+                     #define EI_ARENA_BYTES {}\n\
+                     extern const unsigned char ei_model_blob[];\n",
+                    report.weight_bytes + report.model_format_bytes,
+                    report.arena_bytes,
+                ),
+            });
+        }
+    }
+
+    // target-specific glue
+    match target {
+        DeploymentTarget::CppLibrary => {
+            files.push(BundleFile {
+                path: "Makefile".into(),
+                contents: "CXXFLAGS += -Os -Imodel\nall:\n\t$(CXX) $(CXXFLAGS) main.cpp -o app\n"
+                    .into(),
+            });
+            files.push(BundleFile {
+                path: "main.cpp".into(),
+                contents: format!(
+                    "#include \"model/model_metadata.h\"\n\
+                     int main() {{ /* feed {} samples, call model_invoke */ return 0; }}\n",
+                    design.window_samples
+                ),
+            });
+        }
+        DeploymentTarget::ArduinoLibrary => {
+            files.push(BundleFile {
+                path: "library.properties".into(),
+                contents: format!(
+                    "name={name}\nversion=1.0.0\nsentence=Edge inference for {name}\n\
+                     paragraph=Generated by edgelab\ncategory=Data Processing\n",
+                    name = design.name
+                ),
+            });
+            files.push(BundleFile {
+                path: format!("examples/{0}/{0}.ino", design.name),
+                contents: "#include <model/model_metadata.h>\nvoid setup() {}\nvoid loop() {}\n"
+                    .into(),
+            });
+        }
+        DeploymentTarget::LinuxEim => {
+            files.push(BundleFile {
+                path: "model.eim.json".into(),
+                contents: serde_json::to_string_pretty(&serde_json::json!({
+                    "project": design.name,
+                    "protocol": "eim/1",
+                    "input_features": design.window_samples,
+                    "labels": trained.labels(),
+                    "quantized": artifact.is_quantized(),
+                    "engine": engine.to_string(),
+                }))
+                .map_err(|e| CoreError::InvalidImpulse(e.to_string()))?,
+            });
+        }
+        DeploymentTarget::Wasm => {
+            files.push(BundleFile {
+                path: "edge-impulse-standalone.js".into(),
+                contents: format!(
+                    "// wasm loader for {name}\n\
+                     export async function init() {{\n\
+                     \u{20} const module = await WebAssembly.instantiateStreaming(fetch('model.wasm'));\n\
+                     \u{20} return {{ classify: (raw) => module.instance.exports.run(raw) }};\n\
+                     }}\n",
+                    name = design.name
+                ),
+            });
+        }
+    }
+
+    Ok(DeploymentBundle { target, engine, files })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impulse::ImpulseDesign;
+    use ei_data::synth::KwsGenerator;
+    use ei_dsp::{DspConfig, MfccConfig};
+    use ei_nn::presets;
+    use ei_nn::train::TrainConfig;
+
+    fn trained() -> TrainedImpulse {
+        let gen = KwsGenerator {
+            classes: vec!["a".into(), "b".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        };
+        let dataset = gen.dataset(5, 1);
+        let design = ImpulseDesign::new(
+            "bundle-test",
+            1_000,
+            DspConfig::Mfcc(MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 16,
+                sample_rate_hz: 4_000,
+            }),
+        )
+        .unwrap();
+        let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 8);
+        design
+            .train(&spec, &dataset, &TrainConfig { epochs: 2, ..TrainConfig::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn eon_cpp_bundle_contains_compiled_model() {
+        let t = trained();
+        let bundle = build_bundle(
+            &t,
+            t.float_artifact(),
+            DeploymentTarget::CppLibrary,
+            EngineKind::EonCompiled,
+        )
+        .unwrap();
+        assert!(bundle.file("model/model_compiled.c").is_some());
+        assert!(bundle.file("model/edgelab_kernels.h").is_some());
+        assert!(bundle.file("Makefile").is_some());
+        let meta = bundle.file("model/model_metadata.h").unwrap();
+        assert!(meta.contents.contains("EI_RAW_SAMPLE_COUNT 1000"));
+        assert!(meta.contents.contains("\"a\", \"b\""));
+        assert!(bundle.size_bytes() > 500);
+    }
+
+    #[test]
+    fn tflm_bundle_ships_blob_not_source() {
+        let t = trained();
+        let bundle = build_bundle(
+            &t,
+            t.float_artifact(),
+            DeploymentTarget::CppLibrary,
+            EngineKind::TflmInterpreter,
+        )
+        .unwrap();
+        assert!(bundle.file("model/model_data.h").is_some());
+        assert!(bundle.file("model/model_compiled.c").is_none());
+    }
+
+    #[test]
+    fn every_target_builds() {
+        let t = trained();
+        for target in DeploymentTarget::all() {
+            let bundle =
+                build_bundle(&t, t.float_artifact(), target, EngineKind::EonCompiled).unwrap();
+            assert!(bundle.file("model/dsp_config.json").is_some(), "{target:?}");
+            assert!(!bundle.files.is_empty());
+        }
+    }
+
+    #[test]
+    fn eim_descriptor_is_valid_json() {
+        let t = trained();
+        let bundle = build_bundle(
+            &t,
+            t.int8_artifact().unwrap(),
+            DeploymentTarget::LinuxEim,
+            EngineKind::EonCompiled,
+        )
+        .unwrap();
+        let descriptor = bundle.file("model.eim.json").unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&descriptor.contents).unwrap();
+        assert_eq!(parsed["quantized"], true);
+        assert_eq!(parsed["input_features"], 1000);
+    }
+
+    #[test]
+    fn dsp_config_round_trips_from_bundle() {
+        let t = trained();
+        let bundle = build_bundle(
+            &t,
+            t.float_artifact(),
+            DeploymentTarget::Wasm,
+            EngineKind::EonCompiled,
+        )
+        .unwrap();
+        let cfg_file = bundle.file("model/dsp_config.json").unwrap();
+        let cfg: DspConfig = serde_json::from_str(&cfg_file.contents).unwrap();
+        assert_eq!(cfg, t.design().dsp);
+    }
+}

@@ -1,0 +1,227 @@
+//! The EIM process-runner protocol (paper §4.6).
+//!
+//! On Linux targets the platform ships the impulse as an *EIM*: "a
+//! compiled, native binary application that exposes the I/O interface for
+//! use by any number of programming languages (Python, Go, C++, Node.js,
+//! etc.)". The interface is newline-delimited JSON over stdio; this module
+//! implements the model side of that protocol so any JSON-speaking client
+//! can drive a trained impulse.
+//!
+//! Messages:
+//!
+//! * `{"hello": 1}` → model metadata (project, labels, window size, dtype);
+//! * `{"classify": [..raw samples..], "id": n}` → per-label probabilities
+//!   plus DSP/inference timing;
+//! * anything else → `{"success": false, "error": ...}`.
+
+use crate::impulse::TrainedImpulse;
+use crate::{CoreError, Result};
+use ei_runtime::ModelArtifact;
+use serde_json::{json, Value};
+
+/// A trained impulse behind the EIM JSON protocol.
+#[derive(Debug, Clone)]
+pub struct EimRunner {
+    impulse: TrainedImpulse,
+    artifact: ModelArtifact,
+}
+
+impl EimRunner {
+    /// Wraps a trained impulse and a deployment artifact.
+    pub fn new(impulse: TrainedImpulse, artifact: ModelArtifact) -> EimRunner {
+        EimRunner { impulse, artifact }
+    }
+
+    /// Handles one protocol line, returning the JSON response line.
+    ///
+    /// Protocol errors are returned *in-band* (`success: false`), matching
+    /// the real runner; only transport-level problems (non-JSON input)
+    /// surface as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadCommand`] when the line is not valid JSON.
+    pub fn handle_line(&self, line: &str) -> Result<String> {
+        let request: Value = serde_json::from_str(line)
+            .map_err(|e| CoreError::BadCommand(format!("invalid json: {e}")))?;
+        let response = self.handle(&request);
+        serde_json::to_string(&response)
+            .map_err(|e| CoreError::BadCommand(format!("response serialization: {e}")))
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, request: &Value) -> Value {
+        if request.get("hello").is_some() {
+            return json!({
+                "success": true,
+                "model_parameters": {
+                    "project_name": self.impulse.design().name,
+                    "input_features_count": self.impulse.design().window_samples,
+                    "labels": self.impulse.labels(),
+                    "label_count": self.impulse.labels().len(),
+                    "dsp": self.impulse.design().dsp.summary(),
+                    "quantized": self.artifact.is_quantized(),
+                },
+                "protocol_version": 1,
+            });
+        }
+        if let Some(features) = request.get("classify") {
+            let id = request.get("id").cloned().unwrap_or(Value::Null);
+            let raw: Option<Vec<f32>> = features
+                .as_array()
+                .map(|a| a.iter().filter_map(|v| v.as_f64().map(|x| x as f32)).collect());
+            let raw = match raw {
+                Some(r) if Some(r.len()) == features.as_array().map(Vec::len) => r,
+                _ => {
+                    return json!({
+                        "success": false,
+                        "id": id,
+                        "error": "classify expects an array of numbers",
+                    })
+                }
+            };
+            return match self.impulse.classify_with(&self.artifact, &raw) {
+                Ok(result) => {
+                    let classification: serde_json::Map<String, Value> = self
+                        .impulse
+                        .labels()
+                        .iter()
+                        .zip(&result.probabilities)
+                        .map(|(l, &p)| (l.clone(), json!(p)))
+                        .collect();
+                    json!({
+                        "success": true,
+                        "id": id,
+                        "result": { "classification": classification },
+                        "winner": result.label,
+                    })
+                }
+                Err(e) => json!({
+                    "success": false,
+                    "id": id,
+                    "error": e.to_string(),
+                }),
+            };
+        }
+        json!({
+            "success": false,
+            "error": "unknown message; expected 'hello' or 'classify'",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impulse::ImpulseDesign;
+    use ei_data::synth::KwsGenerator;
+    use ei_dsp::{DspConfig, MfccConfig};
+    use ei_nn::presets;
+    use ei_nn::train::TrainConfig;
+
+    fn generator() -> KwsGenerator {
+        KwsGenerator {
+            classes: vec!["yes".into(), "no".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        }
+    }
+
+    fn runner() -> EimRunner {
+        let dataset = generator().dataset(16, 4);
+        let design = ImpulseDesign::new(
+            "eim-test",
+            1_000,
+            DspConfig::Mfcc(MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 16,
+                sample_rate_hz: 4_000,
+            }),
+        )
+        .unwrap();
+        let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+        let trained = design
+            .train(
+                &spec,
+                &dataset,
+                &TrainConfig { epochs: 14, learning_rate: 0.01, ..TrainConfig::default() },
+            )
+            .unwrap();
+        let artifact = trained.int8_artifact().unwrap();
+        EimRunner::new(trained, artifact)
+    }
+
+    #[test]
+    fn hello_reports_model_parameters() {
+        let r = runner();
+        let response: Value =
+            serde_json::from_str(&r.handle_line(r#"{"hello": 1}"#).unwrap()).unwrap();
+        assert_eq!(response["success"], true);
+        let params = &response["model_parameters"];
+        assert_eq!(params["input_features_count"], 1000);
+        assert_eq!(params["label_count"], 2);
+        assert_eq!(params["quantized"], true);
+        assert_eq!(params["labels"][0], "no");
+    }
+
+    #[test]
+    fn classify_round_trip() {
+        let r = runner();
+        let clip = generator().generate(0, 77);
+        // the protocol must agree exactly with the in-process classifier
+        let expected = r.impulse.classify_with(&r.artifact, &clip).unwrap();
+        let request = json!({"classify": clip, "id": 42});
+        let response = r.handle(&request);
+        assert_eq!(response["success"], true);
+        assert_eq!(response["id"], 42);
+        let yes = response["result"]["classification"]["yes"].as_f64().unwrap();
+        let no = response["result"]["classification"]["no"].as_f64().unwrap();
+        assert!((yes + no - 1.0).abs() < 0.02, "int8 probabilities sum within the quantization grid");
+        assert_eq!(response["winner"], expected.label);
+        let no_index =
+            r.impulse.labels().iter().position(|l| l == "no").expect("'no' is a class");
+        assert!((no - expected.probabilities[no_index] as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classify_separates_the_two_keywords() {
+        // semantic check over several clips: the majority must classify to
+        // their own class even through the int8 path
+        let r = runner();
+        let gen = generator();
+        let mut correct = 0;
+        for seed in 200..210u64 {
+            for (ci, label) in ["yes", "no"].iter().enumerate() {
+                let response = r.handle(&json!({"classify": gen.generate(ci, seed)}));
+                if response["winner"] == *label {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 16, "only {correct}/20 clips classified correctly");
+    }
+
+    #[test]
+    fn protocol_errors_in_band() {
+        let r = runner();
+        // wrong window length
+        let response = r.handle(&json!({"classify": [1.0, 2.0], "id": 1}));
+        assert_eq!(response["success"], false);
+        assert_eq!(response["id"], 1);
+        // non-numeric payload
+        let response = r.handle(&json!({"classify": ["x"]}));
+        assert_eq!(response["success"], false);
+        // unknown message
+        let response = r.handle(&json!({"reboot": true}));
+        assert_eq!(response["success"], false);
+    }
+
+    #[test]
+    fn transport_errors_out_of_band() {
+        let r = runner();
+        assert!(matches!(r.handle_line("not json"), Err(CoreError::BadCommand(_))));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type unifying the platform substrates.
+
+use std::fmt;
+
+/// Errors produced by the platform core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// DSP block configuration or processing failed.
+    Dsp(String),
+    /// Model construction or training failed.
+    Nn(String),
+    /// Quantization failed.
+    Quant(String),
+    /// Runtime construction or execution failed.
+    Runtime(String),
+    /// Dataset access failed.
+    Data(String),
+    /// Impulse-level configuration problem.
+    InvalidImpulse(String),
+    /// An AT command was malformed or unsupported.
+    BadCommand(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dsp(m) => write!(f, "dsp error: {m}"),
+            CoreError::Nn(m) => write!(f, "model error: {m}"),
+            CoreError::Quant(m) => write!(f, "quantization error: {m}"),
+            CoreError::Runtime(m) => write!(f, "runtime error: {m}"),
+            CoreError::Data(m) => write!(f, "data error: {m}"),
+            CoreError::InvalidImpulse(m) => write!(f, "invalid impulse: {m}"),
+            CoreError::BadCommand(m) => write!(f, "bad command: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ei_dsp::DspError> for CoreError {
+    fn from(e: ei_dsp::DspError) -> Self {
+        CoreError::Dsp(e.to_string())
+    }
+}
+
+impl From<ei_nn::NnError> for CoreError {
+    fn from(e: ei_nn::NnError) -> Self {
+        CoreError::Nn(e.to_string())
+    }
+}
+
+impl From<ei_quant::QuantError> for CoreError {
+    fn from(e: ei_quant::QuantError) -> Self {
+        CoreError::Quant(e.to_string())
+    }
+}
+
+impl From<ei_runtime::RuntimeError> for CoreError {
+    fn from(e: ei_runtime::RuntimeError) -> Self {
+        CoreError::Runtime(e.to_string())
+    }
+}
+
+impl From<ei_data::DataError> for CoreError {
+    fn from(e: ei_data::DataError) -> Self {
+        CoreError::Data(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = ei_dsp::DspError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, CoreError::Dsp(_)));
+        let e: CoreError = ei_data::DataError::UnknownSample(3).into();
+        assert!(matches!(e, CoreError::Data(_)));
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,234 @@
+//! Model evaluation: confusion matrices, accuracy, precision/recall/F1.
+//!
+//! "A confusion matrix can be generated from the holdout set to provide
+//! overall or per-class accuracy and F1 scores" (paper §4.4).
+
+use std::fmt;
+
+/// A confusion matrix over a fixed label set.
+///
+/// `counts[truth][predicted]` is the number of samples with true class
+/// `truth` classified as `predicted`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    labels: Vec<String>,
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for the given labels.
+    pub fn new(labels: Vec<String>) -> ConfusionMatrix {
+        let n = labels.len();
+        ConfusionMatrix { labels, counts: vec![vec![0; n]; n] }
+    }
+
+    /// Records one prediction. Out-of-range indices are ignored (they can
+    /// only arise from a mismatched artifact and would otherwise panic).
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        if truth < self.counts.len() && predicted < self.counts.len() {
+            self.counts[truth][predicted] += 1;
+        }
+    }
+
+    /// The label set.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Raw count for a `(truth, predicted)` pair.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Precision of one class: `tp / (tp + fp)` (0 when undefined).
+    pub fn precision(&self, class: usize) -> f32 {
+        let tp = self.counts[class][class];
+        let predicted: usize = (0..self.counts.len()).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f32 / predicted as f32
+        }
+    }
+
+    /// Recall of one class: `tp / (tp + fn)` (0 when undefined).
+    pub fn recall(&self, class: usize) -> f32 {
+        let tp = self.counts[class][class];
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f32 / actual as f32
+        }
+    }
+
+    /// F1 score of one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f32 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over all classes.
+    pub fn macro_f1(&self) -> f32 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        (0..self.labels.len()).map(|c| self.f1(c)).sum::<f32>() / self.labels.len() as f32
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.labels.iter().map(String::len).max().unwrap_or(4).max(6);
+        write!(f, "{:>width$} |", "")?;
+        for l in &self.labels {
+            write!(f, " {l:>width$}")?;
+        }
+        writeln!(f)?;
+        for (t, row) in self.counts.iter().enumerate() {
+            write!(f, "{:>width$} |", self.labels[t])?;
+            for &c in row {
+                write!(f, " {c:>width$}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary metrics derived from a confusion matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// The full confusion matrix.
+    pub matrix: ConfusionMatrix,
+    /// Overall accuracy.
+    pub accuracy: f32,
+    /// Macro-averaged F1.
+    pub macro_f1: f32,
+    /// Per-class `(precision, recall, f1)` in label order.
+    pub per_class: Vec<(f32, f32, f32)>,
+}
+
+impl EvalReport {
+    /// Computes the summary from a finished matrix.
+    pub fn from_matrix(matrix: ConfusionMatrix) -> EvalReport {
+        let per_class = (0..matrix.labels().len())
+            .map(|c| (matrix.precision(c), matrix.recall(c), matrix.f1(c)))
+            .collect();
+        EvalReport {
+            accuracy: matrix.accuracy(),
+            macro_f1: matrix.macro_f1(),
+            per_class,
+            matrix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels2() -> Vec<String> {
+        vec!["cat".into(), "dog".into()]
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let mut m = ConfusionMatrix::new(labels2());
+        for _ in 0..10 {
+            m.record(0, 0);
+            m.record(1, 1);
+        }
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(0), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.total(), 20);
+    }
+
+    #[test]
+    fn known_metrics() {
+        let mut m = ConfusionMatrix::new(labels2());
+        // class 0: 8 correct, 2 misclassified as 1
+        // class 1: 6 correct, 4 misclassified as 0
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..6 {
+            m.record(1, 1);
+        }
+        for _ in 0..4 {
+            m.record(1, 0);
+        }
+        assert!((m.accuracy() - 0.7).abs() < 1e-6);
+        assert!((m.precision(0) - 8.0 / 12.0).abs() < 1e-6);
+        assert!((m.recall(0) - 0.8).abs() < 1e-6);
+        let p = 8.0 / 12.0f32;
+        let r = 0.8f32;
+        assert!((m.f1(0) - 2.0 * p * r / (p + r)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = ConfusionMatrix::new(labels2());
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.f1(0), 0.0);
+        let empty = ConfusionMatrix::new(vec![]);
+        assert_eq!(empty.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut m = ConfusionMatrix::new(labels2());
+        m.record(5, 0);
+        m.record(0, 5);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn display_contains_labels_and_counts() {
+        let mut m = ConfusionMatrix::new(labels2());
+        m.record(0, 0);
+        m.record(1, 0);
+        let s = m.to_string();
+        assert!(s.contains("cat"));
+        assert!(s.contains("dog"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn report_from_matrix() {
+        let mut m = ConfusionMatrix::new(labels2());
+        m.record(0, 0);
+        m.record(1, 1);
+        m.record(1, 0);
+        let report = EvalReport::from_matrix(m);
+        assert!((report.accuracy - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(report.per_class.len(), 2);
+        assert!(report.macro_f1 > 0.0);
+    }
+}

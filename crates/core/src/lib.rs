@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! The `edgelab` platform core: the impulse pipeline.
+//!
+//! An *impulse* is Edge Impulse's name for the deployable signal chain
+//! (paper §3, Fig. 2): raw sensor window → DSP processing block → learn
+//! block → classification. This crate wires the substrates together:
+//!
+//! * [`impulse::ImpulseDesign`] / [`impulse::TrainedImpulse`] — design,
+//!   feature extraction, training orchestration, end-to-end inference and
+//!   post-training quantization;
+//! * [`eval`] — confusion matrices, accuracy and per-class F1 (paper §4.4);
+//! * [`deploy`] — deployment bundles for the targets the platform exports
+//!   (standalone C++ library, Arduino library, Linux EIM descriptor,
+//!   WebAssembly) built on the EON code generator (paper §4.6);
+//! * [`eim`] — the Linux "EIM" process-runner JSON protocol (paper §4.6);
+//! * [`sdk`] — the firmware SDK facade: a simulated device that exposes
+//!   the AT-command serial protocol the platform's precompiled binaries
+//!   speak (paper §4.6);
+//! * [`workflow`] — the workflow-stage ↔ challenge map of paper Fig. 1.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ei_core::impulse::ImpulseDesign;
+//! use ei_data::synth::KwsGenerator;
+//! use ei_dsp::{DspConfig, MfccConfig};
+//! use ei_nn::presets;
+//! use ei_nn::train::TrainConfig;
+//!
+//! # fn main() -> Result<(), ei_core::CoreError> {
+//! let dataset = KwsGenerator::default().dataset(20, 42);
+//! let design = ImpulseDesign::new("kws-demo", 16_000, DspConfig::Mfcc(MfccConfig::default()))?;
+//! let dims = design.feature_dims()?;
+//! let spec = presets::ds_cnn(dims, 4, 32);
+//! let trained = design.train(&spec, &dataset, &TrainConfig::default())?;
+//! let clip = KwsGenerator::default().generate(0, 7);
+//! let result = trained.classify(&clip)?;
+//! println!("{} ({:.1}%)", result.label, result.confidence * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod deploy;
+pub mod eim;
+pub mod error;
+pub mod eval;
+pub mod impulse;
+pub mod sdk;
+pub mod workflow;
+
+pub use error::CoreError;
+pub use eval::{ConfusionMatrix, EvalReport};
+pub use impulse::{Classification, ImpulseDesign, TrainedImpulse};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,212 @@
+//! The firmware SDK facade: a simulated device speaking the AT-command
+//! serial protocol of the platform's precompiled binaries (paper §4.6:
+//! "the precompiled binary presents a simple set of AT commands for usage
+//! over a serial port").
+//!
+//! The same object doubles as the data-collection firmware: samples pushed
+//! over the "serial port" can be harvested for ingestion, which is how the
+//! CLI tools gather data from real devices (paper §4.1).
+
+use crate::impulse::TrainedImpulse;
+use crate::{CoreError, Result};
+use ei_runtime::ModelArtifact;
+
+/// A simulated device running the inference firmware.
+#[derive(Debug, Clone)]
+pub struct FirmwareDevice {
+    device_name: String,
+    impulse: TrainedImpulse,
+    artifact: ModelArtifact,
+    buffer: Vec<f32>,
+}
+
+impl FirmwareDevice {
+    /// Boots the firmware with a trained impulse and a deployment artifact.
+    pub fn new(device_name: &str, impulse: TrainedImpulse, artifact: ModelArtifact) -> FirmwareDevice {
+        FirmwareDevice { device_name: device_name.to_string(), impulse, artifact, buffer: Vec::new() }
+    }
+
+    /// Raw samples currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Handles one AT command line and returns the serial response.
+    ///
+    /// Supported commands:
+    ///
+    /// * `AT` — liveness ping;
+    /// * `AT+CONFIG?` — device and impulse information;
+    /// * `AT+SAMPLE=<v1,v2,…>` — append raw samples to the capture buffer;
+    /// * `AT+BUFFER?` — buffered sample count;
+    /// * `AT+CLEARBUFFER` — reset the buffer;
+    /// * `AT+RUNIMPULSE` — classify the buffered window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadCommand`] for unknown or malformed commands
+    /// and propagates classification failures.
+    pub fn handle_command(&mut self, line: &str) -> Result<String> {
+        let line = line.trim();
+        if line == "AT" {
+            return Ok("OK".into());
+        }
+        if line == "AT+CONFIG?" {
+            return Ok(format!(
+                "device={}\nproject={}\nwindow={}\nlabels={}\nquantized={}\nOK",
+                self.device_name,
+                self.impulse.design().name,
+                self.impulse.design().window_samples,
+                self.impulse.labels().join(","),
+                self.artifact.is_quantized(),
+            ));
+        }
+        if let Some(csv) = line.strip_prefix("AT+SAMPLE=") {
+            let mut added = 0usize;
+            for cell in csv.split(',') {
+                let v: f32 = cell
+                    .trim()
+                    .parse()
+                    .map_err(|_| CoreError::BadCommand(format!("non-numeric sample {cell:?}")))?;
+                self.buffer.push(v);
+                added += 1;
+            }
+            return Ok(format!("ADDED {added}\nOK"));
+        }
+        if line == "AT+BUFFER?" {
+            return Ok(format!(
+                "{}/{}\nOK",
+                self.buffer.len(),
+                self.impulse.design().window_samples
+            ));
+        }
+        if line == "AT+CLEARBUFFER" {
+            self.buffer.clear();
+            return Ok("OK".into());
+        }
+        if line == "AT+RUNIMPULSE" {
+            let window = self.impulse.design().window_samples;
+            if self.buffer.len() < window {
+                return Err(CoreError::BadCommand(format!(
+                    "buffer has {} samples, impulse needs {window}",
+                    self.buffer.len()
+                )));
+            }
+            let raw: Vec<f32> = self.buffer[self.buffer.len() - window..].to_vec();
+            let result = self.impulse.classify_with(&self.artifact, &raw)?;
+            let mut out = String::new();
+            for (label, p) in self.impulse.labels().iter().zip(&result.probabilities) {
+                out.push_str(&format!("{label}: {p:.5}\n"));
+            }
+            out.push_str(&format!("winner={} ({:.2}%)\nOK", result.label, result.confidence * 100.0));
+            return Ok(out);
+        }
+        Err(CoreError::BadCommand(format!("unknown command {line:?}")))
+    }
+
+    /// Drains the capture buffer for ingestion (the data-collection path).
+    pub fn take_buffer(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impulse::ImpulseDesign;
+    use ei_data::synth::KwsGenerator;
+    use ei_dsp::{DspConfig, MfccConfig};
+    use ei_nn::presets;
+    use ei_nn::train::TrainConfig;
+
+    fn generator() -> KwsGenerator {
+        KwsGenerator {
+            classes: vec!["go".into(), "stop".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        }
+    }
+
+    fn device() -> FirmwareDevice {
+        let dataset = generator().dataset(15, 2);
+        let design = ImpulseDesign::new(
+            "at-test",
+            1_000,
+            DspConfig::Mfcc(MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 16,
+                sample_rate_hz: 4_000,
+            }),
+        )
+        .unwrap();
+        let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+        let trained = design
+            .train(
+                &spec,
+                &dataset,
+                &TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() },
+            )
+            .unwrap();
+        let artifact = trained.float_artifact();
+        FirmwareDevice::new("sim-nano33", trained, artifact)
+    }
+
+    #[test]
+    fn ping_and_config() {
+        let mut dev = device();
+        assert_eq!(dev.handle_command("AT").unwrap(), "OK");
+        let cfg = dev.handle_command("AT+CONFIG?").unwrap();
+        assert!(cfg.contains("device=sim-nano33"));
+        assert!(cfg.contains("window=1000"));
+        assert!(cfg.contains("labels=go,stop"));
+    }
+
+    #[test]
+    fn sample_buffer_lifecycle() {
+        let mut dev = device();
+        assert_eq!(dev.handle_command("AT+SAMPLE=0.1,0.2,0.3").unwrap(), "ADDED 3\nOK");
+        assert!(dev.handle_command("AT+BUFFER?").unwrap().starts_with("3/1000"));
+        dev.handle_command("AT+CLEARBUFFER").unwrap();
+        assert_eq!(dev.buffered(), 0);
+        assert!(dev.handle_command("AT+SAMPLE=abc").is_err());
+    }
+
+    #[test]
+    fn run_impulse_over_serial() {
+        let mut dev = device();
+        // too early
+        assert!(dev.handle_command("AT+RUNIMPULSE").is_err());
+        // stream a real clip in chunks, as a serial capture would
+        let clip = generator().generate(0, 77);
+        for chunk in clip.chunks(250) {
+            let csv: Vec<String> = chunk.iter().map(f32::to_string).collect();
+            dev.handle_command(&format!("AT+SAMPLE={}", csv.join(","))).unwrap();
+        }
+        let out = dev.handle_command("AT+RUNIMPULSE").unwrap();
+        assert!(out.contains("go:"));
+        assert!(out.contains("stop:"));
+        assert!(out.contains("winner="));
+        assert!(out.ends_with("OK"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let mut dev = device();
+        assert!(matches!(
+            dev.handle_command("AT+NONSENSE"),
+            Err(CoreError::BadCommand(_))
+        ));
+    }
+
+    #[test]
+    fn take_buffer_for_ingestion() {
+        let mut dev = device();
+        dev.handle_command("AT+SAMPLE=1,2,3").unwrap();
+        let data = dev.take_buffer();
+        assert_eq!(data, vec![1.0, 2.0, 3.0]);
+        assert_eq!(dev.buffered(), 0);
+    }
+}

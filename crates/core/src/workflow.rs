@@ -1,0 +1,126 @@
+//! The ML-workflow stage ↔ challenge map of paper Figure 1.
+
+/// One stage of the end-to-end embedded-ML workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkflowStage {
+    /// Gathering and curating sensor data.
+    DataCollection,
+    /// DSP feature extraction.
+    Preprocessing,
+    /// Model design and training.
+    Training,
+    /// Accuracy / latency / memory evaluation.
+    Evaluation,
+    /// Compression and optimization (quantization, fusion, EON).
+    Optimization,
+    /// Conversion and compilation for a target.
+    Deployment,
+    /// Fleet monitoring and updates.
+    Monitoring,
+}
+
+/// The ecosystem challenge each stage answers (paper §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Challenge {
+    /// Challenge #1: no large curated sensor datasets; labeling is costly.
+    DataCollection,
+    /// Challenge #2: DSP is critical but lacks automated tooling.
+    DataPreprocessing,
+    /// Challenge #3: dependency hell across training and deployment.
+    Development,
+    /// Challenge #4: hardware heterogeneity restricts portability.
+    Deployment,
+    /// Challenge #5: no unified MLOps loop for embedded fleets.
+    Monitoring,
+}
+
+/// One row of the Figure 1 map: stage, the challenge it answers, and the
+/// platform feature that implements it (with the module that builds it
+/// here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowEntry {
+    /// Workflow stage.
+    pub stage: WorkflowStage,
+    /// Ecosystem challenge addressed.
+    pub challenge: Challenge,
+    /// Platform feature (paper terminology).
+    pub feature: &'static str,
+    /// The `edgelab` module implementing it.
+    pub module: &'static str,
+}
+
+/// The full workflow map in pipeline order.
+pub fn workflow_map() -> Vec<WorkflowEntry> {
+    vec![
+        WorkflowEntry {
+            stage: WorkflowStage::DataCollection,
+            challenge: Challenge::DataCollection,
+            feature: "multi-format ingestion, dataset versioning, active learning",
+            module: "ei-data / ei-active",
+        },
+        WorkflowEntry {
+            stage: WorkflowStage::Preprocessing,
+            challenge: Challenge::DataPreprocessing,
+            feature: "DSP processing blocks with autotune",
+            module: "ei-dsp",
+        },
+        WorkflowEntry {
+            stage: WorkflowStage::Training,
+            challenge: Challenge::Development,
+            feature: "visual learn blocks, LR finder, bias init, checkpointing",
+            module: "ei-nn",
+        },
+        WorkflowEntry {
+            stage: WorkflowStage::Evaluation,
+            challenge: Challenge::Development,
+            feature: "confusion matrices, on-device estimation, performance calibration",
+            module: "ei-core / ei-device / ei-calibration",
+        },
+        WorkflowEntry {
+            stage: WorkflowStage::Optimization,
+            challenge: Challenge::Deployment,
+            feature: "int8 quantization, operator fusion, EON compiler, EON tuner",
+            module: "ei-quant / ei-runtime / ei-tuner",
+        },
+        WorkflowEntry {
+            stage: WorkflowStage::Deployment,
+            challenge: Challenge::Deployment,
+            feature: "C++/Arduino/EIM/WASM export, firmware SDK",
+            module: "ei-core::deploy / ei-core::sdk",
+        },
+        WorkflowEntry {
+            stage: WorkflowStage::Monitoring,
+            challenge: Challenge::Monitoring,
+            feature: "REST API, jobs, versioned projects (IoT management via integrations)",
+            module: "ei-platform",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_covers_all_stages_in_order() {
+        let map = workflow_map();
+        assert_eq!(map.len(), 7);
+        assert_eq!(map.first().unwrap().stage, WorkflowStage::DataCollection);
+        assert_eq!(map.last().unwrap().stage, WorkflowStage::Monitoring);
+        // each of the five paper challenges appears at least once
+        for challenge in [
+            Challenge::DataCollection,
+            Challenge::DataPreprocessing,
+            Challenge::Development,
+            Challenge::Deployment,
+            Challenge::Monitoring,
+        ] {
+            assert!(map.iter().any(|e| e.challenge == challenge), "{challenge:?} missing");
+        }
+    }
+
+    #[test]
+    fn entries_name_modules() {
+        assert!(workflow_map().iter().all(|e| !e.module.is_empty() && !e.feature.is_empty()));
+    }
+}

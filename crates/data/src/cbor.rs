@@ -1,0 +1,419 @@
+//! Minimal CBOR (RFC 8949) decoding for acquisition payloads.
+//!
+//! The ingestion service accepts CBOR alongside JSON (paper §4.1) because
+//! battery-powered devices prefer the compact binary framing. This module
+//! implements the subset those payloads use — unsigned/negative integers,
+//! floats (16/32/64-bit), text strings, arrays and maps — plus an encoder
+//! for the same subset so device firmware (and our tests) can produce
+//! payloads.
+
+use crate::sample::{Sample, SensorKind};
+use crate::{DataError, Result};
+
+/// A decoded CBOR value (the subset acquisition payloads use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CborValue {
+    /// Any integer (negative values use CBOR major type 1).
+    Int(i64),
+    /// Any float width, widened to f64.
+    Float(f64),
+    /// A UTF-8 text string.
+    Text(String),
+    /// An array of values.
+    Array(Vec<CborValue>),
+    /// A map with text keys (non-text keys are rejected).
+    Map(Vec<(String, CborValue)>),
+    /// Booleans/null (major type 7 simple values).
+    Bool(bool),
+    /// CBOR `null`.
+    Null,
+}
+
+impl CborValue {
+    /// Numeric view of an `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            CborValue::Int(i) => Some(*i as f64),
+            CborValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in a `Map`.
+    pub fn get(&self, key: &str) -> Option<&CborValue> {
+        match self {
+            CborValue::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn err(reason: impl Into<String>) -> DataError {
+    DataError::ParseError { format: "cbor", reason: reason.into() }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8> {
+        let b = *self.data.get(self.pos).ok_or_else(|| err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(err("unexpected end of input"));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads the length/value argument following an initial byte.
+    fn argument(&mut self, info: u8) -> Result<u64> {
+        match info {
+            0..=23 => Ok(info as u64),
+            24 => Ok(self.byte()? as u64),
+            25 => {
+                let b = self.take(2)?;
+                Ok(u16::from_be_bytes([b[0], b[1]]) as u64)
+            }
+            26 => {
+                let b = self.take(4)?;
+                Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as u64)
+            }
+            27 => {
+                let b = self.take(8)?;
+                Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+            }
+            other => Err(err(format!("unsupported additional info {other}"))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<CborValue> {
+        if depth > 32 {
+            return Err(err("nesting too deep"));
+        }
+        let initial = self.byte()?;
+        let major = initial >> 5;
+        let info = initial & 0x1f;
+        match major {
+            0 => {
+                let v = self.argument(info)?;
+                i64::try_from(v).map(CborValue::Int).map_err(|_| err("integer overflow"))
+            }
+            1 => {
+                let v = self.argument(info)?;
+                let neg = -1i64 - i64::try_from(v).map_err(|_| err("integer overflow"))?;
+                Ok(CborValue::Int(neg))
+            }
+            3 => {
+                let len = self.argument(info)? as usize;
+                let bytes = self.take(len)?;
+                String::from_utf8(bytes.to_vec())
+                    .map(CborValue::Text)
+                    .map_err(|_| err("invalid utf-8 text"))
+            }
+            4 => {
+                let len = self.argument(info)? as usize;
+                if len > self.data.len() {
+                    return Err(err("array length exceeds input"));
+                }
+                let mut items = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(CborValue::Array(items))
+            }
+            5 => {
+                let len = self.argument(info)? as usize;
+                if len > self.data.len() {
+                    return Err(err("map length exceeds input"));
+                }
+                let mut entries = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    let key = match self.value(depth + 1)? {
+                        CborValue::Text(t) => t,
+                        other => return Err(err(format!("non-text map key {other:?}"))),
+                    };
+                    entries.push((key, self.value(depth + 1)?));
+                }
+                Ok(CborValue::Map(entries))
+            }
+            7 => match info {
+                20 => Ok(CborValue::Bool(false)),
+                21 => Ok(CborValue::Bool(true)),
+                22 => Ok(CborValue::Null),
+                25 => {
+                    let b = self.take(2)?;
+                    Ok(CborValue::Float(half_to_f64(u16::from_be_bytes([b[0], b[1]]))))
+                }
+                26 => {
+                    let b = self.take(4)?;
+                    Ok(CborValue::Float(
+                        f32::from_be_bytes([b[0], b[1], b[2], b[3]]) as f64
+                    ))
+                }
+                27 => {
+                    let b = self.take(8)?;
+                    Ok(CborValue::Float(f64::from_be_bytes(b.try_into().expect("8 bytes"))))
+                }
+                other => Err(err(format!("unsupported simple value {other}"))),
+            },
+            other => Err(err(format!("unsupported major type {other}"))),
+        }
+    }
+}
+
+/// Decodes an IEEE half-precision float.
+fn half_to_f64(h: u16) -> f64 {
+    let sign = if h & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = ((h >> 10) & 0x1f) as i32;
+    let mant = (h & 0x3ff) as f64;
+    sign * match exp {
+        0 => mant * 2f64.powi(-24),
+        31 => {
+            if mant == 0.0 {
+                f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        _ => (1.0 + mant / 1024.0) * 2f64.powi(exp - 15),
+    }
+}
+
+/// Decodes one CBOR value from `data`.
+///
+/// # Errors
+///
+/// Returns [`DataError::ParseError`] for malformed or unsupported input,
+/// or trailing bytes after the value.
+pub fn decode(data: &[u8]) -> Result<CborValue> {
+    let mut reader = Reader { data, pos: 0 };
+    let value = reader.value(0)?;
+    if reader.pos != data.len() {
+        return Err(err(format!("{} trailing bytes", data.len() - reader.pos)));
+    }
+    Ok(value)
+}
+
+/// Encodes the supported CBOR subset (the encoder device firmware uses).
+pub fn encode(value: &CborValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+fn encode_head(major: u8, arg: u64, out: &mut Vec<u8>) {
+    match arg {
+        0..=23 => out.push((major << 5) | arg as u8),
+        24..=0xff => {
+            out.push((major << 5) | 24);
+            out.push(arg as u8);
+        }
+        0x100..=0xffff => {
+            out.push((major << 5) | 25);
+            out.extend_from_slice(&(arg as u16).to_be_bytes());
+        }
+        0x1_0000..=0xffff_ffff => {
+            out.push((major << 5) | 26);
+            out.extend_from_slice(&(arg as u32).to_be_bytes());
+        }
+        _ => {
+            out.push((major << 5) | 27);
+            out.extend_from_slice(&arg.to_be_bytes());
+        }
+    }
+}
+
+fn encode_into(value: &CborValue, out: &mut Vec<u8>) {
+    match value {
+        CborValue::Int(i) => {
+            if *i >= 0 {
+                encode_head(0, *i as u64, out);
+            } else {
+                encode_head(1, (-1 - i) as u64, out);
+            }
+        }
+        CborValue::Float(f) => {
+            out.push(0xfb);
+            out.extend_from_slice(&f.to_be_bytes());
+        }
+        CborValue::Text(t) => {
+            encode_head(3, t.len() as u64, out);
+            out.extend_from_slice(t.as_bytes());
+        }
+        CborValue::Array(items) => {
+            encode_head(4, items.len() as u64, out);
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+        CborValue::Map(entries) => {
+            encode_head(5, entries.len() as u64, out);
+            for (k, v) in entries {
+                encode_into(&CborValue::Text(k.clone()), out);
+                encode_into(v, out);
+            }
+        }
+        CborValue::Bool(false) => out.push(0xf4),
+        CborValue::Bool(true) => out.push(0xf5),
+        CborValue::Null => out.push(0xf6),
+    }
+}
+
+/// Parses a CBOR acquisition payload (same schema as the JSON variant:
+/// `{values: [...], interval_ms, sensor, label?}`) into a [`Sample`].
+///
+/// # Errors
+///
+/// Returns [`DataError::ParseError`] for malformed CBOR or a payload
+/// missing the required fields.
+pub fn parse_cbor(data: &[u8], id: u64) -> Result<Sample> {
+    let value = decode(data)?;
+    let values = value
+        .get("values")
+        .ok_or_else(|| err("missing 'values'"))?;
+    let values: Vec<f32> = match values {
+        CborValue::Array(items) => items
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as f32).ok_or_else(|| err("non-numeric value")))
+            .collect::<Result<_>>()?,
+        _ => return Err(err("'values' must be an array")),
+    };
+    if values.is_empty() {
+        return Err(err("values array is empty"));
+    }
+    let interval_ms = value
+        .get("interval_ms")
+        .and_then(CborValue::as_f64)
+        .ok_or_else(|| err("missing 'interval_ms'"))?;
+    if interval_ms <= 0.0 {
+        return Err(err(format!("interval_ms {interval_ms} must be positive")));
+    }
+    let sensor = match value.get("sensor") {
+        Some(CborValue::Text(t)) => match t.as_str() {
+            "audio" | "microphone" => SensorKind::Audio,
+            "camera" | "image" => SensorKind::Image,
+            "accelerometer" | "imu" | "inertial" => SensorKind::Inertial,
+            _ => SensorKind::Other,
+        },
+        _ => SensorKind::Other,
+    };
+    let rate = (1000.0 / interval_ms).round() as u32;
+    let mut sample = Sample::new(id, values, sensor).with_sample_rate(rate);
+    if let Some(CborValue::Text(label)) = value.get("label") {
+        sample = sample.with_label(label);
+    }
+    Ok(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn payload(values: Vec<f64>, label: Option<&str>) -> CborValue {
+        let mut entries = vec![
+            (
+                "values".to_string(),
+                CborValue::Array(values.into_iter().map(CborValue::Float).collect()),
+            ),
+            ("interval_ms".to_string(), CborValue::Float(10.0)),
+            ("sensor".to_string(), CborValue::Text("accelerometer".into())),
+        ];
+        if let Some(l) = label {
+            entries.push(("label".to_string(), CborValue::Text(l.to_string())));
+        }
+        CborValue::Map(entries)
+    }
+
+    #[test]
+    fn decode_rfc_examples() {
+        assert_eq!(decode(&[0x00]).unwrap(), CborValue::Int(0));
+        assert_eq!(decode(&[0x17]).unwrap(), CborValue::Int(23));
+        assert_eq!(decode(&[0x18, 0x64]).unwrap(), CborValue::Int(100));
+        assert_eq!(decode(&[0x19, 0x03, 0xe8]).unwrap(), CborValue::Int(1000));
+        assert_eq!(decode(&[0x20]).unwrap(), CborValue::Int(-1));
+        assert_eq!(decode(&[0x38, 0x63]).unwrap(), CborValue::Int(-100));
+        assert_eq!(decode(&[0x63, b'a', b'b', b'c']).unwrap(), CborValue::Text("abc".into()));
+        assert_eq!(decode(&[0xf5]).unwrap(), CborValue::Bool(true));
+        assert_eq!(decode(&[0xf6]).unwrap(), CborValue::Null);
+        // 1.5 as half-float (RFC 8949 appendix A)
+        assert_eq!(decode(&[0xf9, 0x3e, 0x00]).unwrap(), CborValue::Float(1.5));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0x18]).is_err()); // truncated argument
+        assert!(decode(&[0x00, 0x00]).is_err()); // trailing bytes
+        assert!(decode(&[0x40]).is_err()); // byte strings unsupported
+        assert!(decode(&[0xa1, 0x00, 0x00]).is_err()); // non-text map key
+        // huge declared array with no content
+        assert!(decode(&[0x9b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn acquisition_payload_round_trip() {
+        let bytes = encode(&payload(vec![0.5, -0.25, 1.0], Some("idle")));
+        let sample = parse_cbor(&bytes, 7).unwrap();
+        assert_eq!(sample.values(), &[0.5, -0.25, 1.0]);
+        assert_eq!(sample.label(), Some("idle"));
+        assert_eq!(sample.sensor(), SensorKind::Inertial);
+        assert_eq!(sample.sample_rate_hz(), Some(100));
+    }
+
+    #[test]
+    fn payload_validation() {
+        let empty = encode(&payload(vec![], None));
+        assert!(parse_cbor(&empty, 0).is_err());
+        let mut no_interval = payload(vec![1.0], None);
+        if let CborValue::Map(entries) = &mut no_interval {
+            entries.retain(|(k, _)| k != "interval_ms");
+        }
+        assert!(parse_cbor(&encode(&no_interval), 0).is_err());
+        assert!(parse_cbor(b"junk", 0).is_err());
+    }
+
+    #[test]
+    fn integer_values_accepted() {
+        // devices often send raw ADC integers
+        let value = CborValue::Map(vec![
+            ("values".into(), CborValue::Array(vec![CborValue::Int(-5), CborValue::Int(300)])),
+            ("interval_ms".into(), CborValue::Int(4)),
+            ("sensor".into(), CborValue::Text("audio".into())),
+        ]);
+        let sample = parse_cbor(&encode(&value), 0).unwrap();
+        assert_eq!(sample.values(), &[-5.0, 300.0]);
+        assert_eq!(sample.sample_rate_hz(), Some(250));
+        assert_eq!(sample.sensor(), SensorKind::Audio);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_round_trip(
+            ints in proptest::collection::vec(-1_000_000i64..1_000_000, 0..8),
+            floats in proptest::collection::vec(-1e6f64..1e6, 0..8),
+            text in "[a-z]{0,12}",
+        ) {
+            let value = CborValue::Map(vec![
+                ("ints".into(), CborValue::Array(ints.iter().map(|&i| CborValue::Int(i)).collect())),
+                ("floats".into(), CborValue::Array(floats.iter().map(|&f| CborValue::Float(f)).collect())),
+                ("text".into(), CborValue::Text(text)),
+                ("flag".into(), CborValue::Bool(true)),
+            ]);
+            prop_assert_eq!(decode(&encode(&value)).unwrap(), value);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode(&bytes); // must return Err, not panic
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The labeled-sample store: splits, statistics, versioned mutations.
+
+use crate::sample::Sample;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which partition a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Used for training (and validation inside the trainer).
+    Training,
+    /// Held out for final evaluation.
+    Testing,
+}
+
+/// Per-class and per-split counts — what the Studio's data view shows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetStats {
+    /// Total samples.
+    pub total: usize,
+    /// Training-split samples.
+    pub training: usize,
+    /// Testing-split samples.
+    pub testing: usize,
+    /// Labeled sample count per class.
+    pub per_class: BTreeMap<String, usize>,
+    /// Samples with no label yet.
+    pub unlabeled: usize,
+}
+
+/// A versioned, labeled dataset.
+///
+/// Splitting is deterministic: each sample's partition is a pure function
+/// of its id and the dataset's split ratio, so adding or removing other
+/// samples never reshuffles existing ones — the property that makes
+/// collaborative dataset edits reproducible (paper §2.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    samples: BTreeMap<u64, Sample>,
+    test_percent: u8,
+    version: u64,
+    audit_log: Vec<String>,
+    next_id: u64,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the default 80/20 split.
+    pub fn new(name: &str) -> Dataset {
+        Dataset {
+            name: name.to_string(),
+            samples: BTreeMap::new(),
+            test_percent: 20,
+            version: 0,
+            audit_log: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Sets the test-split percentage (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    #[must_use]
+    pub fn with_test_percent(mut self, percent: u8) -> Dataset {
+        assert!(percent <= 100, "test percent must be 0..=100");
+        self.test_percent = percent;
+        self
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonic version, bumped by every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Human-readable audit trail of mutations.
+    pub fn audit_log(&self) -> &[String] {
+        &self.audit_log
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn bump(&mut self, what: String) {
+        self.version += 1;
+        self.audit_log.push(format!("v{}: {what}", self.version));
+    }
+
+    /// Adds a sample, assigning it a fresh id. Returns the id.
+    pub fn add(&mut self, sample: Sample) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let label = sample.label().unwrap_or("<unlabeled>").to_string();
+        // re-key the sample under the dataset-assigned id
+        let rekeyed = {
+            let mut s = Sample::new(id, sample.values().to_vec(), sample.sensor());
+            if let Some(l) = sample.label() {
+                s = s.with_label(l);
+            }
+            if let Some(hz) = sample.sample_rate_hz() {
+                s = s.with_sample_rate(hz);
+            }
+            for (k, v) in sample.metadata() {
+                s = s.with_metadata(k, v);
+            }
+            s
+        };
+        self.samples.insert(id, rekeyed);
+        self.bump(format!("add sample {id} ({label})"));
+        id
+    }
+
+    /// Removes a sample by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownSample`] when the id does not exist.
+    pub fn remove(&mut self, id: u64) -> Result<Sample> {
+        let sample = self.samples.remove(&id).ok_or(DataError::UnknownSample(id))?;
+        self.bump(format!("remove sample {id}"));
+        Ok(sample)
+    }
+
+    /// Relabels a sample in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownSample`] when the id does not exist.
+    pub fn relabel(&mut self, id: u64, label: Option<&str>) -> Result<()> {
+        let sample = self.samples.get_mut(&id).ok_or(DataError::UnknownSample(id))?;
+        sample.set_label(label.map(String::from));
+        self.bump(format!("relabel sample {id} -> {}", label.unwrap_or("<none>")));
+        Ok(())
+    }
+
+    /// Fetches a sample by id.
+    pub fn get(&self, id: u64) -> Option<&Sample> {
+        self.samples.get(&id)
+    }
+
+    /// Iterates over all samples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.values()
+    }
+
+    /// The deterministic split of a sample id.
+    pub fn split_of(&self, id: u64) -> Split {
+        // splitmix64 finalizer: uniform, stable, independent of insertion order
+        let mut h = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        if (h % 100) < self.test_percent as u64 {
+            Split::Testing
+        } else {
+            Split::Training
+        }
+    }
+
+    /// Iterates over the samples of one split.
+    pub fn split(&self, split: Split) -> impl Iterator<Item = &Sample> + '_ {
+        self.samples.values().filter(move |s| self.split_of(s.id()) == split)
+    }
+
+    /// Sorted list of distinct labels.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> =
+            self.samples.values().filter_map(|s| s.label().map(String::from)).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Returns `(features, label indices)` for one split, mapping labels to
+    /// their index in [`Dataset::labels`] — the format the trainer consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidDataset`] when the split has no labeled
+    /// samples.
+    pub fn xy(&self, split: Split) -> Result<(Vec<Vec<f32>>, Vec<usize>)> {
+        let labels = self.labels();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in self.split(split) {
+            if let Some(l) = s.label() {
+                let idx = labels
+                    .iter()
+                    .position(|x| x == l)
+                    .expect("label came from labels()");
+                xs.push(s.values().to_vec());
+                ys.push(idx);
+            }
+        }
+        if xs.is_empty() {
+            return Err(DataError::InvalidDataset(format!("no labeled samples in {split:?} split")));
+        }
+        Ok((xs, ys))
+    }
+
+    /// Split / class statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut stats = DatasetStats { total: self.samples.len(), ..DatasetStats::default() };
+        for s in self.samples.values() {
+            match self.split_of(s.id()) {
+                Split::Training => stats.training += 1,
+                Split::Testing => stats.testing += 1,
+            }
+            match s.label() {
+                Some(l) => *stats.per_class.entry(l.to_string()).or_insert(0) += 1,
+                None => stats.unlabeled += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SensorKind;
+    use proptest::prelude::*;
+
+    fn sample(label: &str) -> Sample {
+        Sample::new(0, vec![0.1, 0.2], SensorKind::Other).with_label(label)
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut ds = Dataset::new("d");
+        let a = ds.add(sample("x"));
+        let b = ds.add(sample("y"));
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.version(), 2);
+    }
+
+    #[test]
+    fn remove_and_relabel() {
+        let mut ds = Dataset::new("d");
+        let id = ds.add(sample("x"));
+        ds.relabel(id, Some("z")).unwrap();
+        assert_eq!(ds.get(id).unwrap().label(), Some("z"));
+        ds.remove(id).unwrap();
+        assert!(ds.remove(id).is_err());
+        assert!(ds.relabel(id, None).is_err());
+        assert_eq!(ds.audit_log().len(), 3);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_stable() {
+        let mut ds = Dataset::new("d").with_test_percent(30);
+        let ids: Vec<u64> = (0..50).map(|_| ds.add(sample("a"))).collect();
+        let before: Vec<Split> = ids.iter().map(|&i| ds.split_of(i)).collect();
+        // adding more samples must not move existing ones
+        for _ in 0..50 {
+            ds.add(sample("b"));
+        }
+        let after: Vec<Split> = ids.iter().map(|&i| ds.split_of(i)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn split_ratio_approximate() {
+        let mut ds = Dataset::new("d").with_test_percent(20);
+        for _ in 0..1000 {
+            ds.add(sample("a"));
+        }
+        let stats = ds.stats();
+        let ratio = stats.testing as f64 / stats.total as f64;
+        assert!((0.15..0.25).contains(&ratio), "test ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_test_percent() {
+        let mut ds = Dataset::new("d").with_test_percent(0);
+        for _ in 0..20 {
+            ds.add(sample("a"));
+        }
+        assert_eq!(ds.stats().testing, 0);
+    }
+
+    #[test]
+    fn labels_sorted_and_unique() {
+        let mut ds = Dataset::new("d");
+        ds.add(sample("zebra"));
+        ds.add(sample("apple"));
+        ds.add(sample("apple"));
+        ds.add(Sample::new(0, vec![1.0], SensorKind::Other)); // unlabeled
+        assert_eq!(ds.labels(), vec!["apple".to_string(), "zebra".to_string()]);
+        let stats = ds.stats();
+        assert_eq!(stats.unlabeled, 1);
+        assert_eq!(stats.per_class["apple"], 2);
+    }
+
+    #[test]
+    fn xy_maps_labels_to_indices() {
+        let mut ds = Dataset::new("d").with_test_percent(0);
+        ds.add(sample("b"));
+        ds.add(sample("a"));
+        let (xs, ys) = ds.xy(Split::Training).unwrap();
+        assert_eq!(xs.len(), 2);
+        // "a" -> 0, "b" -> 1 (sorted)
+        assert_eq!(ys, vec![1, 0]);
+        assert!(ds.xy(Split::Testing).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_version() {
+        let mut ds = Dataset::new("d");
+        ds.add(sample("k"));
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.version(), ds.version());
+        assert_eq!(back.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_partitions_everything(n in 1usize..200, pct in 0u8..=100) {
+            let mut ds = Dataset::new("p").with_test_percent(pct);
+            for _ in 0..n {
+                ds.add(sample("c"));
+            }
+            let train = ds.split(Split::Training).count();
+            let test = ds.split(Split::Testing).count();
+            prop_assert_eq!(train + test, n);
+        }
+    }
+}

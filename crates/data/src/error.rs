@@ -1,0 +1,47 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors produced by dataset management and ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A parser rejected its input.
+    ParseError {
+        /// Format being parsed (`"csv"`, `"json"`, `"wav"`).
+        format: &'static str,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A sample id was not found in the dataset.
+    UnknownSample(u64),
+    /// An operation needed labeled data but none (or inconsistent data) was
+    /// available.
+    InvalidDataset(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ParseError { format, reason } => {
+                write!(f, "failed to parse {format}: {reason}")
+            }
+            DataError::UnknownSample(id) => write!(f, "unknown sample id {id}"),
+            DataError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DataError::ParseError { format: "wav", reason: "truncated header".into() };
+        assert!(e.to_string().contains("wav"));
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<DataError>();
+    }
+}

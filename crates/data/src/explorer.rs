@@ -1,0 +1,286 @@
+//! The data explorer: dataset health checks and outlier surfacing.
+//!
+//! The paper's Oura case study (§8.1) credits "integrated analysis tools
+//! that enable domain experts to make design decisions" and flags
+//! "incomplete, noisy, and inconsistent data" as the real-world bottleneck.
+//! This module is that analysis layer: per-class signal statistics,
+//! length-consistency checks, class-balance warnings, and z-score outlier
+//! candidates for the cleaning loop (§4.8).
+
+use crate::dataset::Dataset;
+use crate::sample::Sample;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of one sample's values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleStats {
+    /// Mean value.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// Root mean square.
+    pub rms: f32,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+}
+
+impl SampleStats {
+    /// Computes statistics for a value buffer (zeros for an empty buffer).
+    pub fn of(values: &[f32]) -> SampleStats {
+        if values.is_empty() {
+            return SampleStats::default();
+        }
+        let n = values.len() as f32;
+        let mean = values.iter().sum::<f32>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let rms = (values.iter().map(|v| v * v).sum::<f32>() / n).sqrt();
+        let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        SampleStats { mean, std: var.sqrt(), rms, min, max }
+    }
+}
+
+/// Per-class aggregate over sample-level RMS values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassProfile {
+    /// Class label.
+    pub label: String,
+    /// Sample count.
+    pub count: usize,
+    /// Mean of per-sample RMS.
+    pub rms_mean: f32,
+    /// Standard deviation of per-sample RMS.
+    pub rms_std: f32,
+    /// Distinct sample lengths observed (should usually be one).
+    pub lengths: Vec<usize>,
+}
+
+/// A sample flagged for review.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierCandidate {
+    /// Sample id.
+    pub id: u64,
+    /// Class label.
+    pub label: String,
+    /// Robust z-score: deviation of the sample's RMS from the class median
+    /// in units of `1.4826 * MAD` (median absolute deviation). Robust
+    /// scoring avoids the masking effect where one huge outlier inflates
+    /// the standard deviation and hides the others.
+    pub z_score: f32,
+}
+
+/// Median of a non-empty slice (helper).
+fn median(values: &mut [f32]) -> f32 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Dataset health issues the explorer surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataWarning {
+    /// One class has far fewer samples than the largest class.
+    ClassImbalance {
+        /// Underrepresented label.
+        label: String,
+        /// Its sample count.
+        count: usize,
+        /// The largest class's count.
+        largest: usize,
+    },
+    /// Samples of one class have inconsistent lengths.
+    InconsistentLengths {
+        /// Affected label.
+        label: String,
+        /// The lengths observed.
+        lengths: Vec<usize>,
+    },
+    /// Unlabeled samples present (blockers for supervised training).
+    UnlabeledSamples {
+        /// How many.
+        count: usize,
+    },
+}
+
+/// The explorer's full report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerReport {
+    /// Per-class profiles, sorted by label.
+    pub classes: Vec<ClassProfile>,
+    /// Samples whose RMS deviates beyond the z-score threshold.
+    pub outliers: Vec<OutlierCandidate>,
+    /// Health warnings.
+    pub warnings: Vec<DataWarning>,
+}
+
+/// Analyzes a dataset: class profiles, outlier candidates (robust |z| >
+/// `z_threshold` on per-sample RMS within each class) and health warnings.
+pub fn explore(dataset: &Dataset, z_threshold: f32) -> ExplorerReport {
+    // group labeled samples by class
+    let mut groups: BTreeMap<String, Vec<&Sample>> = BTreeMap::new();
+    let mut unlabeled = 0usize;
+    for sample in dataset.iter() {
+        match sample.label() {
+            Some(l) => groups.entry(l.to_string()).or_default().push(sample),
+            None => unlabeled += 1,
+        }
+    }
+
+    let mut classes = Vec::with_capacity(groups.len());
+    let mut outliers = Vec::new();
+    for (label, samples) in &groups {
+        let rms: Vec<f32> = samples.iter().map(|s| SampleStats::of(s.values()).rms).collect();
+        let n = rms.len() as f32;
+        let rms_mean = rms.iter().sum::<f32>() / n;
+        let rms_std =
+            (rms.iter().map(|r| (r - rms_mean).powi(2)).sum::<f32>() / n).sqrt();
+        let mut lengths: Vec<usize> = samples.iter().map(|s| s.len()).collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+        // robust z-scores: median/MAD resists the masking effect
+        let med = median(&mut rms.clone());
+        let mut deviations: Vec<f32> = rms.iter().map(|r| (r - med).abs()).collect();
+        let mad = median(&mut deviations);
+        let scale = 1.4826 * mad;
+        if scale > 1e-9 {
+            for (sample, &r) in samples.iter().zip(&rms) {
+                let z = (r - med) / scale;
+                if z.abs() > z_threshold {
+                    outliers.push(OutlierCandidate {
+                        id: sample.id(),
+                        label: label.clone(),
+                        z_score: z,
+                    });
+                }
+            }
+        }
+        classes.push(ClassProfile {
+            label: label.clone(),
+            count: samples.len(),
+            rms_mean,
+            rms_std,
+            lengths,
+        });
+    }
+    outliers.sort_by(|a, b| {
+        b.z_score.abs().partial_cmp(&a.z_score.abs()).expect("finite z-scores")
+    });
+
+    let mut warnings = Vec::new();
+    if unlabeled > 0 {
+        warnings.push(DataWarning::UnlabeledSamples { count: unlabeled });
+    }
+    let largest = classes.iter().map(|c| c.count).max().unwrap_or(0);
+    for c in &classes {
+        if largest >= 4 && c.count * 3 < largest {
+            warnings.push(DataWarning::ClassImbalance {
+                label: c.label.clone(),
+                count: c.count,
+                largest,
+            });
+        }
+        if c.lengths.len() > 1 {
+            warnings.push(DataWarning::InconsistentLengths {
+                label: c.label.clone(),
+                lengths: c.lengths.clone(),
+            });
+        }
+    }
+    ExplorerReport { classes, outliers, warnings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SensorKind;
+
+    fn sample(values: Vec<f32>, label: &str) -> Sample {
+        Sample::new(0, values, SensorKind::Other).with_label(label)
+    }
+
+    #[test]
+    fn sample_stats_known_values() {
+        let s = SampleStats::of(&[3.0, -3.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 3.0);
+        assert_eq!(s.rms, 3.0);
+        assert_eq!((s.min, s.max), (-3.0, 3.0));
+        assert_eq!(SampleStats::of(&[]), SampleStats::default());
+    }
+
+    #[test]
+    fn healthy_dataset_has_no_warnings() {
+        let mut ds = Dataset::new("healthy");
+        for i in 0..10 {
+            let v = 0.5 + (i % 3) as f32 * 0.01;
+            ds.add(sample(vec![v; 20], "a"));
+            ds.add(sample(vec![-v; 20], "b"));
+        }
+        let report = explore(&ds, 3.0);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        assert_eq!(report.classes.len(), 2);
+        assert!(report.outliers.is_empty());
+        assert_eq!(report.classes[0].lengths, vec![20]);
+    }
+
+    #[test]
+    fn detects_rms_outlier() {
+        let mut ds = Dataset::new("outlier");
+        for i in 0..20 {
+            let v = 0.5 + (i % 5) as f32 * 0.02;
+            ds.add(sample(vec![v; 10], "a"));
+        }
+        let bad_id = ds.add(sample(vec![50.0; 10], "a")); // wildly loud sample
+        let report = explore(&ds, 3.0);
+        assert_eq!(report.outliers.len(), 1);
+        assert_eq!(report.outliers[0].id, bad_id);
+        assert!(report.outliers[0].z_score > 3.0);
+    }
+
+    #[test]
+    fn warns_on_imbalance_and_lengths_and_unlabeled() {
+        let mut ds = Dataset::new("messy");
+        for _ in 0..12 {
+            ds.add(sample(vec![1.0; 10], "big"));
+        }
+        ds.add(sample(vec![1.0; 10], "small"));
+        ds.add(sample(vec![1.0; 7], "big")); // wrong length
+        ds.add(Sample::new(0, vec![0.0; 10], SensorKind::Other)); // unlabeled
+        let report = explore(&ds, 3.0);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, DataWarning::ClassImbalance { label, .. } if label == "small")));
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, DataWarning::InconsistentLengths { label, .. } if label == "big")));
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, DataWarning::UnlabeledSamples { count: 1 })));
+    }
+
+    #[test]
+    fn outliers_sorted_by_severity() {
+        let mut ds = Dataset::new("sorted");
+        for i in 0..30 {
+            let v = 1.0 + (i % 4) as f32 * 0.01;
+            ds.add(sample(vec![v; 10], "a"));
+        }
+        ds.add(sample(vec![5.0; 10], "a"));
+        ds.add(sample(vec![20.0; 10], "a"));
+        let report = explore(&ds, 5.0);
+        assert_eq!(report.outliers.len(), 2, "{:?}", report.outliers);
+        assert!(report.outliers[0].z_score.abs() >= report.outliers[1].z_score.abs());
+    }
+}

@@ -1,0 +1,325 @@
+//! File-format ingestion: CSV, JSON acquisition payloads, PCM16 WAV.
+//!
+//! The platform "can accept data stored in several file formats: CSV,
+//! CBOR, JSON, WAV, JPG, or PNG" (paper §4.1). These parsers cover the
+//! text and audio paths; image ingestion arrives as raw pixel buffers via
+//! the synthetic generators or the API layer.
+
+use crate::sample::{Sample, SensorKind};
+use crate::{DataError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Parses CSV with a header row into one sample per numeric column set.
+///
+/// Layout: one row per time step; all columns numeric. Returns the values
+/// interleaved row-major (matching the inertial `axes` convention).
+///
+/// # Errors
+///
+/// Returns [`DataError::ParseError`] for an empty file, ragged rows, or
+/// non-numeric cells.
+///
+/// # Example
+///
+/// ```
+/// use ei_data::ingest::parse_csv;
+///
+/// # fn main() -> Result<(), ei_data::DataError> {
+/// let (names, values) = parse_csv("ax,ay,az\n0.1,0.2,0.3\n0.4,0.5,0.6\n")?;
+/// assert_eq!(names, vec!["ax", "ay", "az"]);
+/// assert_eq!(values, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<f32>)> {
+    let err = |reason: String| DataError::ParseError { format: "csv", reason };
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| err("empty file".into()))?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.is_empty() || names.iter().any(String::is_empty) {
+        return Err(err("invalid header".into()));
+    }
+    let mut values = Vec::new();
+    for (row_idx, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != names.len() {
+            return Err(err(format!(
+                "row {} has {} cells, header has {}",
+                row_idx + 1,
+                cells.len(),
+                names.len()
+            )));
+        }
+        for cell in cells {
+            values.push(
+                cell.parse::<f32>()
+                    .map_err(|_| err(format!("non-numeric cell {cell:?} in row {}", row_idx + 1)))?,
+            );
+        }
+    }
+    if values.is_empty() {
+        return Err(err("no data rows".into()));
+    }
+    Ok((names, values))
+}
+
+/// The JSON acquisition payload the ingestion API accepts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcquisitionPayload {
+    /// Flattened sensor values.
+    pub values: Vec<f32>,
+    /// Sampling interval in milliseconds.
+    pub interval_ms: f32,
+    /// Sensor description, e.g. `"audio"` or `"accelerometer"`.
+    pub sensor: String,
+    /// Optional label.
+    #[serde(default)]
+    pub label: Option<String>,
+}
+
+/// Parses a JSON acquisition payload into a [`Sample`].
+///
+/// # Errors
+///
+/// Returns [`DataError::ParseError`] for malformed JSON, an empty value
+/// array, or a non-positive interval.
+pub fn parse_json(text: &str, id: u64) -> Result<Sample> {
+    let err = |reason: String| DataError::ParseError { format: "json", reason };
+    let payload: AcquisitionPayload =
+        serde_json::from_str(text).map_err(|e| err(e.to_string()))?;
+    if payload.values.is_empty() {
+        return Err(err("values array is empty".into()));
+    }
+    if payload.interval_ms <= 0.0 {
+        return Err(err(format!("interval_ms {} must be positive", payload.interval_ms)));
+    }
+    let sensor = match payload.sensor.as_str() {
+        "audio" | "microphone" => SensorKind::Audio,
+        "camera" | "image" => SensorKind::Image,
+        "accelerometer" | "imu" | "inertial" => SensorKind::Inertial,
+        _ => SensorKind::Other,
+    };
+    let rate = (1000.0 / payload.interval_ms).round() as u32;
+    let mut sample = Sample::new(id, payload.values, sensor).with_sample_rate(rate);
+    if let Some(label) = payload.label {
+        sample = sample.with_label(&label);
+    }
+    Ok(sample)
+}
+
+/// Parses a mono 16-bit PCM WAV file into `(sample_rate_hz, samples)` with
+/// samples normalized to `[-1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DataError::ParseError`] for truncated files, non-PCM
+/// encodings, or unsupported channel/bit configurations.
+pub fn parse_wav(data: &[u8]) -> Result<(u32, Vec<f32>)> {
+    let err = |reason: String| DataError::ParseError { format: "wav", reason };
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 12 {
+        return Err(err("file shorter than riff header".into()));
+    }
+    let riff = buf.copy_to_bytes(4);
+    if &riff[..] != b"RIFF" {
+        return Err(err("missing RIFF magic".into()));
+    }
+    let _file_len = buf.get_u32_le();
+    let wave = buf.copy_to_bytes(4);
+    if &wave[..] != b"WAVE" {
+        return Err(err("missing WAVE magic".into()));
+    }
+    let mut sample_rate = 0u32;
+    let mut bits = 0u16;
+    let mut channels = 0u16;
+    let mut pcm_data: Option<Bytes> = None;
+    while buf.remaining() >= 8 {
+        let chunk_id = buf.copy_to_bytes(4);
+        let chunk_len = buf.get_u32_le() as usize;
+        if buf.remaining() < chunk_len {
+            return Err(err(format!("chunk {chunk_id:?} truncated")));
+        }
+        let chunk = buf.copy_to_bytes(chunk_len);
+        match &chunk_id[..] {
+            b"fmt " => {
+                if chunk.len() < 16 {
+                    return Err(err("fmt chunk too short".into()));
+                }
+                let mut fmt = chunk;
+                let audio_format = fmt.get_u16_le();
+                if audio_format != 1 {
+                    return Err(err(format!("unsupported audio format {audio_format} (want PCM)")));
+                }
+                channels = fmt.get_u16_le();
+                sample_rate = fmt.get_u32_le();
+                let _byte_rate = fmt.get_u32_le();
+                let _block_align = fmt.get_u16_le();
+                bits = fmt.get_u16_le();
+            }
+            b"data" => pcm_data = Some(chunk),
+            _ => {} // skip LIST/INFO etc.
+        }
+        // chunks are word-aligned
+        if chunk_len % 2 == 1 && buf.remaining() > 0 {
+            buf.advance(1);
+        }
+    }
+    let pcm = pcm_data.ok_or_else(|| err("no data chunk".into()))?;
+    if channels != 1 {
+        return Err(err(format!("{channels} channels unsupported (want mono)")));
+    }
+    if bits != 16 {
+        return Err(err(format!("{bits}-bit samples unsupported (want 16)")));
+    }
+    if sample_rate == 0 {
+        return Err(err("fmt chunk missing or zero sample rate".into()));
+    }
+    let mut samples = Vec::with_capacity(pcm.len() / 2);
+    let mut pcm = pcm;
+    while pcm.remaining() >= 2 {
+        samples.push(pcm.get_i16_le() as f32 / 32768.0);
+    }
+    Ok((sample_rate, samples))
+}
+
+/// Serializes samples in `[-1, 1]` as a mono 16-bit PCM WAV file.
+///
+/// The inverse of [`parse_wav`] (modulo int16 rounding).
+pub fn to_wav_bytes(sample_rate_hz: u32, samples: &[f32]) -> Vec<u8> {
+    let data_len = samples.len() * 2;
+    let mut out = BytesMut::with_capacity(44 + data_len);
+    out.put_slice(b"RIFF");
+    out.put_u32_le(36 + data_len as u32);
+    out.put_slice(b"WAVE");
+    out.put_slice(b"fmt ");
+    out.put_u32_le(16);
+    out.put_u16_le(1); // PCM
+    out.put_u16_le(1); // mono
+    out.put_u32_le(sample_rate_hz);
+    out.put_u32_le(sample_rate_hz * 2);
+    out.put_u16_le(2);
+    out.put_u16_le(16);
+    out.put_slice(b"data");
+    out.put_u32_le(data_len as u32);
+    for &s in samples {
+        out.put_i16_le((s.clamp(-1.0, 1.0) * 32767.0).round() as i16);
+    }
+    out.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn csv_happy_path() {
+        let (names, values) = parse_csv("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(values, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_rejects_bad_input() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("a,b\n1\n").is_err());
+        assert!(parse_csv("a,b\n1,x\n").is_err());
+        assert!(parse_csv("a,b\n").is_err());
+    }
+
+    #[test]
+    fn json_happy_path() {
+        let text = r#"{"values": [1.0, 2.0], "interval_ms": 10.0, "sensor": "accelerometer", "label": "idle"}"#;
+        let s = parse_json(text, 5).unwrap();
+        assert_eq!(s.sensor(), SensorKind::Inertial);
+        assert_eq!(s.label(), Some("idle"));
+        assert_eq!(s.sample_rate_hz(), Some(100));
+    }
+
+    #[test]
+    fn json_rejects_bad_payloads() {
+        assert!(parse_json("not json", 0).is_err());
+        assert!(
+            parse_json(r#"{"values": [], "interval_ms": 1.0, "sensor": "audio"}"#, 0).is_err()
+        );
+        assert!(
+            parse_json(r#"{"values": [1.0], "interval_ms": 0.0, "sensor": "audio"}"#, 0).is_err()
+        );
+    }
+
+    #[test]
+    fn json_sensor_mapping() {
+        for (name, kind) in [
+            ("audio", SensorKind::Audio),
+            ("camera", SensorKind::Image),
+            ("imu", SensorKind::Inertial),
+            ("magnetometer", SensorKind::Other),
+        ] {
+            let text = format!(r#"{{"values": [1.0], "interval_ms": 1.0, "sensor": "{name}"}}"#);
+            assert_eq!(parse_json(&text, 0).unwrap().sensor(), kind, "{name}");
+        }
+    }
+
+    #[test]
+    fn wav_round_trip() {
+        let samples: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.05).sin() * 0.8).collect();
+        let bytes = to_wav_bytes(16_000, &samples);
+        let (rate, decoded) = parse_wav(&bytes).unwrap();
+        assert_eq!(rate, 16_000);
+        assert_eq!(decoded.len(), samples.len());
+        for (a, b) in samples.iter().zip(&decoded) {
+            assert!((a - b).abs() < 2.5 / 32768.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wav_rejects_garbage() {
+        assert!(parse_wav(b"").is_err());
+        assert!(parse_wav(b"RIFFxxxxWAVE").is_err()); // no chunks
+        assert!(parse_wav(b"JUNKxxxxWAVE1234").is_err());
+        // stereo rejected
+        let mut bytes = to_wav_bytes(8000, &[0.0; 4]);
+        bytes[22] = 2; // channels
+        assert!(parse_wav(&bytes).is_err());
+    }
+
+    #[test]
+    fn wav_rejects_non_pcm() {
+        let mut bytes = to_wav_bytes(8000, &[0.0; 4]);
+        bytes[20] = 3; // IEEE float format tag
+        assert!(parse_wav(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wav_round_trip(
+            rate in 8000u32..48_000,
+            samples in proptest::collection::vec(-1.0f32..1.0, 1..300)
+        ) {
+            let bytes = to_wav_bytes(rate, &samples);
+            let (r, decoded) = parse_wav(&bytes).unwrap();
+            prop_assert_eq!(r, rate);
+            prop_assert_eq!(decoded.len(), samples.len());
+            for (a, b) in samples.iter().zip(&decoded) {
+                prop_assert!((a - b).abs() <= 2.5 / 32768.0);
+            }
+        }
+
+        #[test]
+        fn prop_csv_round_trip(rows in 1usize..20, cols in 1usize..6) {
+            let header: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+            let mut text = header.join(",");
+            text.push('\n');
+            for r in 0..rows {
+                let row: Vec<String> =
+                    (0..cols).map(|c| format!("{}", (r * cols + c) as f32 * 0.5)).collect();
+                text.push_str(&row.join(","));
+                text.push('\n');
+            }
+            let (names, values) = parse_csv(&text).unwrap();
+            prop_assert_eq!(names.len(), cols);
+            prop_assert_eq!(values.len(), rows * cols);
+        }
+    }
+}

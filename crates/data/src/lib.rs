@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Data collection, dataset management and synthetic workloads for
+//! `edgelab`.
+//!
+//! Edge Impulse is deliberately *data-centric* (paper §3, objective 3):
+//! "every ML project begins with data that is often hard to gather easily"
+//! (§4.1). This crate is the platform's data layer:
+//!
+//! * [`dataset::Dataset`] — a labeled sample store with deterministic
+//!   hash-based train/test splitting, per-class statistics, metadata, and
+//!   an audit trail that versions every mutation (§2.4's reproducibility
+//!   concern);
+//! * [`ingest`] — file-format parsers for the formats the platform accepts
+//!   (CSV, JSON acquisition payloads, 16-bit PCM WAV), with the compact
+//!   binary CBOR variant in [`cbor`];
+//! * [`synth`] — synthetic workload generators standing in for the paper's
+//!   datasets (Google Speech Commands → formant-like keyword audio, Visual
+//!   Wake Words → procedural person/background images, CIFAR-10 →
+//!   procedural texture classes, plus a vibration generator for anomaly
+//!   detection). Generators keep the exact tensor shapes of the originals
+//!   so every downstream latency/memory result is preserved.
+
+pub mod augment;
+pub mod cbor;
+pub mod dataset;
+pub mod explorer;
+pub mod error;
+pub mod ingest;
+pub mod netpbm;
+pub mod sample;
+pub mod synth;
+
+pub use dataset::{Dataset, DatasetStats, Split};
+pub use error::DataError;
+pub use sample::{Sample, SensorKind};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,205 @@
+//! Netpbm (PGM/PPM) image ingestion.
+//!
+//! The platform accepts JPG/PNG uploads (paper §4.1); those codecs are out
+//! of scope for a dependency-free reproduction, so image ingestion uses
+//! the uncompressed netpbm family instead (documented substitution in
+//! DESIGN.md): binary `P5` (grayscale) and `P6` (RGB), the formats every
+//! image tool can write. Pixels arrive as `f32` in 0–255, channels-last —
+//! exactly what the image DSP block consumes.
+
+use crate::sample::{Sample, SensorKind};
+use crate::{DataError, Result};
+
+/// A decoded image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Channels (1 for PGM, 3 for PPM).
+    pub channels: usize,
+    /// Pixel values 0–255, row-major channels-last.
+    pub pixels: Vec<f32>,
+}
+
+fn err(reason: impl Into<String>) -> DataError {
+    DataError::ParseError { format: "netpbm", reason: reason.into() }
+}
+
+/// Reads one whitespace-delimited ASCII token, skipping `#` comments.
+fn token<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    // skip whitespace and comments
+    loop {
+        while *pos < data.len() && data[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if *pos < data.len() && data[*pos] == b'#' {
+            while *pos < data.len() && data[*pos] != b'\n' {
+                *pos += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    if *pos >= data.len() {
+        return Err(err("unexpected end of header"));
+    }
+    let start = *pos;
+    while *pos < data.len() && !data[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    Ok(&data[start..*pos])
+}
+
+fn number(data: &[u8], pos: &mut usize) -> Result<usize> {
+    let tok = token(data, pos)?;
+    std::str::from_utf8(tok)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(format!("invalid number {:?}", String::from_utf8_lossy(tok))))
+}
+
+/// Decodes a binary PGM (`P5`) or PPM (`P6`) image.
+///
+/// # Errors
+///
+/// Returns [`DataError::ParseError`] for other magics, malformed headers,
+/// unsupported maxval (> 255), or truncated pixel data.
+pub fn parse_netpbm(data: &[u8]) -> Result<Image> {
+    let mut pos = 0usize;
+    let magic = token(data, &mut pos)?;
+    let channels = match magic {
+        b"P5" => 1usize,
+        b"P6" => 3usize,
+        other => {
+            return Err(err(format!(
+                "unsupported magic {:?} (want P5 or P6)",
+                String::from_utf8_lossy(other)
+            )))
+        }
+    };
+    let width = number(data, &mut pos)?;
+    let height = number(data, &mut pos)?;
+    let maxval = number(data, &mut pos)?;
+    if width == 0 || height == 0 {
+        return Err(err("zero image dimension"));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(err(format!("unsupported maxval {maxval} (want 1..=255)")));
+    }
+    // exactly one whitespace byte separates the header from pixel data
+    if pos >= data.len() || !data[pos].is_ascii_whitespace() {
+        return Err(err("missing header terminator"));
+    }
+    pos += 1;
+    let expected = width * height * channels;
+    let raster = &data[pos..];
+    if raster.len() < expected {
+        return Err(err(format!(
+            "raster has {} bytes, image needs {expected}",
+            raster.len()
+        )));
+    }
+    let scale = 255.0 / maxval as f32;
+    let pixels = raster[..expected].iter().map(|&b| b as f32 * scale).collect();
+    Ok(Image { width, height, channels, pixels })
+}
+
+/// Encodes an [`Image`] as binary PGM/PPM (the inverse of [`parse_netpbm`]).
+pub fn to_netpbm_bytes(image: &Image) -> Vec<u8> {
+    let magic = if image.channels == 1 { "P5" } else { "P6" };
+    let mut out = format!("{magic}\n{} {}\n255\n", image.width, image.height).into_bytes();
+    out.extend(image.pixels.iter().map(|&p| p.clamp(0.0, 255.0).round() as u8));
+    out
+}
+
+/// Parses a netpbm payload into a labeled-ready [`Sample`] (pixels 0–255,
+/// channels-last — the image block's expected input).
+///
+/// # Errors
+///
+/// Propagates [`parse_netpbm`] failures.
+pub fn parse_netpbm_sample(data: &[u8], id: u64) -> Result<Sample> {
+    let image = parse_netpbm(data)?;
+    Ok(Sample::new(id, image.pixels.clone(), SensorKind::Image)
+        .with_metadata("width", &image.width.to_string())
+        .with_metadata("height", &image.height.to_string())
+        .with_metadata("channels", &image.channels.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert_eq, proptest};
+
+    fn gray_2x2() -> Vec<u8> {
+        b"P5\n2 2\n255\n\x00\x40\x80\xff".to_vec()
+    }
+
+    #[test]
+    fn parses_pgm() {
+        let img = parse_netpbm(&gray_2x2()).unwrap();
+        assert_eq!((img.width, img.height, img.channels), (2, 2, 1));
+        assert_eq!(img.pixels, vec![0.0, 64.0, 128.0, 255.0]);
+    }
+
+    #[test]
+    fn parses_ppm_with_comments() {
+        let mut data = b"P6 # rgb image\n# comment line\n1 2\n255\n".to_vec();
+        data.extend_from_slice(&[255, 0, 0, 0, 255, 0]);
+        let img = parse_netpbm(&data).unwrap();
+        assert_eq!((img.width, img.height, img.channels), (1, 2, 3));
+        assert_eq!(img.pixels[..3], [255.0, 0.0, 0.0]);
+        assert_eq!(img.pixels[3..], [0.0, 255.0, 0.0]);
+    }
+
+    #[test]
+    fn maxval_rescaled() {
+        let data = b"P5\n1 1\n15\n\x0f".to_vec();
+        let img = parse_netpbm(&data).unwrap();
+        assert_eq!(img.pixels, vec![255.0]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_netpbm(b"").is_err());
+        assert!(parse_netpbm(b"P3\n1 1\n255\n0 0 0").is_err(), "ascii variants unsupported");
+        assert!(parse_netpbm(b"P5\n0 2\n255\n").is_err(), "zero dimension");
+        assert!(parse_netpbm(b"P5\n2 2\n65535\n").is_err(), "16-bit unsupported");
+        assert!(parse_netpbm(b"P5\n2 2\n255\n\x00\x01").is_err(), "truncated raster");
+        assert!(parse_netpbm(b"P5\n2 x\n255\n....").is_err(), "non-numeric header");
+    }
+
+    #[test]
+    fn sample_carries_geometry_metadata() {
+        let sample = parse_netpbm_sample(&gray_2x2(), 3).unwrap();
+        assert_eq!(sample.sensor(), SensorKind::Image);
+        assert_eq!(sample.metadata()["width"], "2");
+        assert_eq!(sample.metadata()["channels"], "1");
+        assert_eq!(sample.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            w in 1usize..12,
+            h in 1usize..12,
+            rgb in proptest::bool::ANY,
+            seed in 0u64..1000,
+        ) {
+            let channels = if rgb { 3 } else { 1 };
+            let pixels: Vec<f32> = (0..w * h * channels)
+                .map(|i| ((i as u64).wrapping_mul(seed + 7) % 256) as f32)
+                .collect();
+            let image = Image { width: w, height: h, channels, pixels };
+            let decoded = parse_netpbm(&to_netpbm_bytes(&image)).unwrap();
+            prop_assert_eq!(decoded, image);
+        }
+
+        #[test]
+        fn prop_parser_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..128)) {
+            let _ = parse_netpbm(&bytes);
+        }
+    }
+}

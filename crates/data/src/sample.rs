@@ -1,0 +1,149 @@
+//! Individual labeled samples.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of sensor produced a sample (drives default DSP choices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Microphone audio (1-D, typically 16 kHz).
+    Audio,
+    /// Camera image (h×w×c pixel values 0–255).
+    Image,
+    /// Inertial/vibration data (interleaved axes).
+    Inertial,
+    /// Anything else (raw time series).
+    Other,
+}
+
+/// One captured sample: raw values plus label and capture metadata.
+///
+/// # Example
+///
+/// ```
+/// use ei_data::{Sample, SensorKind};
+///
+/// let s = Sample::new(1, vec![0.0; 16_000], SensorKind::Audio)
+///     .with_label("yes")
+///     .with_metadata("device", "nano33");
+/// assert_eq!(s.label(), Some("yes"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    id: u64,
+    values: Vec<f32>,
+    sensor: SensorKind,
+    label: Option<String>,
+    sample_rate_hz: Option<u32>,
+    metadata: BTreeMap<String, String>,
+}
+
+impl Sample {
+    /// Creates an unlabeled sample.
+    pub fn new(id: u64, values: Vec<f32>, sensor: SensorKind) -> Sample {
+        Sample { id, values, sensor, label: None, sample_rate_hz: None, metadata: BTreeMap::new() }
+    }
+
+    /// Sets the label (builder style).
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Sample {
+        self.label = Some(label.to_string());
+        self
+    }
+
+    /// Sets the capture sample rate (builder style).
+    #[must_use]
+    pub fn with_sample_rate(mut self, hz: u32) -> Sample {
+        self.sample_rate_hz = Some(hz);
+        self
+    }
+
+    /// Attaches one metadata key/value pair (builder style).
+    #[must_use]
+    pub fn with_metadata(mut self, key: &str, value: &str) -> Sample {
+        self.metadata.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Unique sample id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Sensor kind.
+    pub fn sensor(&self) -> SensorKind {
+        self.sensor
+    }
+
+    /// Label, if assigned.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Assigns or clears the label in place (used by active labeling).
+    pub fn set_label(&mut self, label: Option<String>) {
+        self.label = label;
+    }
+
+    /// Capture sample rate, if known.
+    pub fn sample_rate_hz(&self) -> Option<u32> {
+        self.sample_rate_hz
+    }
+
+    /// Metadata map.
+    pub fn metadata(&self) -> &BTreeMap<String, String> {
+        &self.metadata
+    }
+
+    /// Number of raw values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the sample has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let s = Sample::new(7, vec![1.0, 2.0], SensorKind::Inertial)
+            .with_label("idle")
+            .with_sample_rate(100)
+            .with_metadata("site", "factory-3");
+        assert_eq!(s.id(), 7);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(), Some("idle"));
+        assert_eq!(s.sample_rate_hz(), Some(100));
+        assert_eq!(s.metadata()["site"], "factory-3");
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn relabel() {
+        let mut s = Sample::new(1, vec![0.0], SensorKind::Other);
+        assert_eq!(s.label(), None);
+        s.set_label(Some("anomaly".into()));
+        assert_eq!(s.label(), Some("anomaly"));
+        s.set_label(None);
+        assert_eq!(s.label(), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Sample::new(3, vec![0.5; 4], SensorKind::Audio).with_label("no");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,193 @@
+//! Board profiles and the hardware-heterogeneity axis (paper §2.2).
+
+use crate::{DeviceError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Processor micro-architecture class, which selects the cycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuArch {
+    /// Arm Cortex-M4F: single-precision FPU, DSP extensions (SMLAD dual
+    /// 16-bit MAC — what CMSIS-NN exploits for int8).
+    CortexM4F,
+    /// Arm Cortex-M7: like M4F but dual-issue with better memory paths.
+    CortexM7,
+    /// Arm Cortex-M0+: no FPU, no DSP extensions — everything in software.
+    CortexM0Plus,
+    /// Tensilica LX6 (ESP32): hardware FPU, no int8 SIMD.
+    TensilicaLx6,
+}
+
+/// A deployment target: identity, clock and memory capacities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Board {
+    /// Marketing name, e.g. `"Arduino Nano 33 BLE Sense"`.
+    pub name: String,
+    /// Processor description, e.g. `"Arm Cortex-M4"`.
+    pub processor: String,
+    /// Core clock in hertz.
+    pub clock_hz: u64,
+    /// On-board flash in bytes.
+    pub flash_bytes: usize,
+    /// Working RAM in bytes.
+    pub ram_bytes: usize,
+    /// Micro-architecture class (selects the cycle model).
+    pub arch: CpuArch,
+}
+
+impl Board {
+    /// Arduino Nano 33 BLE Sense (paper Table 1, row 1).
+    pub fn nano33_ble_sense() -> Board {
+        Board {
+            name: "Nano 33 BLE Sense".into(),
+            processor: "Arm Cortex-M4".into(),
+            clock_hz: 64_000_000,
+            flash_bytes: 1024 * 1024,
+            ram_bytes: 256 * 1024,
+            arch: CpuArch::CortexM4F,
+        }
+    }
+
+    /// ESP-EYE / ESP32 (paper Table 1, row 2).
+    pub fn esp_eye() -> Board {
+        Board {
+            name: "ESP-EYE (ESP32)".into(),
+            processor: "Tensilica LX6".into(),
+            clock_hz: 160_000_000,
+            flash_bytes: 4 * 1024 * 1024,
+            ram_bytes: 8 * 1024 * 1024,
+            arch: CpuArch::TensilicaLx6,
+        }
+    }
+
+    /// Raspberry Pi Pico / RP2040 (paper Table 1, row 3).
+    pub fn raspberry_pi_pico() -> Board {
+        Board {
+            name: "Ras. Pi Pico (RP2040)".into(),
+            processor: "Arm Cortex-M0+".into(),
+            clock_hz: 133_000_000,
+            flash_bytes: 16 * 1024 * 1024,
+            ram_bytes: 264 * 1024,
+            arch: CpuArch::CortexM0Plus,
+        }
+    }
+
+    /// A Cortex-M7 target (e.g. Portenta H7 class), included to exercise
+    /// the heterogeneity axis beyond the paper's three boards.
+    pub fn cortex_m7_480() -> Board {
+        Board {
+            name: "Generic Cortex-M7".into(),
+            processor: "Arm Cortex-M7".into(),
+            clock_hz: 480_000_000,
+            flash_bytes: 2 * 1024 * 1024,
+            ram_bytes: 1024 * 1024,
+            arch: CpuArch::CortexM7,
+        }
+    }
+
+    /// ST B-L475E-IOT01A Discovery kit: a Cortex-M4 with only 128 kB of
+    /// working SRAM — the tightest RAM gate in the registry.
+    pub fn st_iot_discovery() -> Board {
+        Board {
+            name: "ST IoT Discovery (B-L475E)".into(),
+            processor: "Arm Cortex-M4".into(),
+            clock_hz: 80_000_000,
+            flash_bytes: 1024 * 1024,
+            ram_bytes: 128 * 1024,
+            arch: CpuArch::CortexM4F,
+        }
+    }
+
+    /// Every board in the registry (paper boards first).
+    pub fn all() -> Vec<Board> {
+        vec![
+            Board::nano33_ble_sense(),
+            Board::esp_eye(),
+            Board::raspberry_pi_pico(),
+            Board::cortex_m7_480(),
+            Board::st_iot_discovery(),
+        ]
+    }
+
+    /// The three boards evaluated in the paper, in Table 1 order.
+    pub fn paper_boards() -> Vec<Board> {
+        vec![Board::nano33_ble_sense(), Board::esp_eye(), Board::raspberry_pi_pico()]
+    }
+
+    /// Looks a board up by (case-insensitive substring) name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownBoard`] when nothing matches.
+    pub fn by_name(name: &str) -> Result<Board> {
+        let needle = name.to_lowercase();
+        Board::all()
+            .into_iter()
+            .find(|b| b.name.to_lowercase().contains(&needle))
+        .ok_or_else(|| DeviceError::UnknownBoard(name.to_string()))
+    }
+}
+
+/// An attached neural accelerator (e.g. a Syntiant NDP-class part, paper
+/// §4.3): multiplies the MAC rate for int8 models it supports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Accelerator name.
+    pub name: String,
+    /// Factor by which supported MACs run faster than the host CPU.
+    pub mac_speedup: f32,
+    /// `true` when only int8 artifacts are supported (the common case).
+    pub int8_only: bool,
+}
+
+impl Accelerator {
+    /// A representative always-on audio NN accelerator.
+    pub fn syntiant_like() -> Accelerator {
+        Accelerator { name: "NDP-class audio accelerator".into(), mac_speedup: 20.0, int8_only: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_boards_match_table1() {
+        let boards = Board::paper_boards();
+        assert_eq!(boards.len(), 3);
+        assert_eq!(boards[0].clock_hz, 64_000_000);
+        assert_eq!(boards[0].ram_bytes, 256 * 1024);
+        assert_eq!(boards[1].clock_hz, 160_000_000);
+        assert_eq!(boards[1].flash_bytes, 4 * 1024 * 1024);
+        assert_eq!(boards[2].clock_hz, 133_000_000);
+        assert_eq!(boards[2].ram_bytes, 264 * 1024);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Board::by_name("nano 33").unwrap().arch, CpuArch::CortexM4F);
+        assert_eq!(Board::by_name("pico").unwrap().arch, CpuArch::CortexM0Plus);
+        assert!(Board::by_name("nonexistent").is_err());
+    }
+
+    #[test]
+    fn registry_contains_every_board() {
+        assert_eq!(Board::all().len(), 5);
+        assert_eq!(Board::by_name("discovery").unwrap().ram_bytes, 128 * 1024);
+        assert_eq!(Board::by_name("m7").unwrap().arch, CpuArch::CortexM7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = Board::esp_eye();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Board = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn accelerator_defaults() {
+        let a = Accelerator::syntiant_like();
+        assert!(a.int8_only);
+        assert!(a.mac_speedup > 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-architecture cycle-cost constants.
+//!
+//! Calibrated against the paper's Table 2 measurements so the model
+//! reproduces its qualitative structure:
+//!
+//! * Cortex-M4F: float convolutions through TFLM are slow (~35 cycles per
+//!   MAC), CMSIS-NN int8 uses the dual 16-bit MAC (~5 cycles/MAC) — hence
+//!   the large int8 speedups the paper reports on the Nano 33;
+//! * Tensilica LX6: a hardware FPU makes float decent (~20 cycles/MAC) but
+//!   there is no int8 SIMD (~11 cycles/MAC) — hence the paper's much
+//!   smaller quantization gain on the ESP-EYE;
+//! * Cortex-M0+: everything is software (~145 cycles per float MAC,
+//!   ~26 for int8) — the Pico's large absolute latencies.
+
+use crate::boards::CpuArch;
+
+/// Cycles per multiply–accumulate for float32 models.
+pub fn cycles_per_float_mac(arch: CpuArch) -> f64 {
+    match arch {
+        CpuArch::CortexM4F => 35.0,
+        CpuArch::CortexM7 => 18.0,
+        CpuArch::CortexM0Plus => 145.0,
+        CpuArch::TensilicaLx6 => 20.0,
+    }
+}
+
+/// Cycles per multiply–accumulate for fully int8 models.
+pub fn cycles_per_int8_mac(arch: CpuArch) -> f64 {
+    match arch {
+        CpuArch::CortexM4F => 5.0,
+        CpuArch::CortexM7 => 3.0,
+        CpuArch::CortexM0Plus => 26.0,
+        CpuArch::TensilicaLx6 => 11.0,
+    }
+}
+
+/// Cycles per floating-point DSP operation (FFT butterflies, filterbank
+/// MACs, window multiplies).
+pub fn cycles_per_dsp_flop(arch: CpuArch) -> f64 {
+    match arch {
+        CpuArch::CortexM4F => 3.5,
+        CpuArch::CortexM7 => 2.0,
+        CpuArch::CortexM0Plus => 30.0,
+        CpuArch::TensilicaLx6 => 18.0,
+    }
+}
+
+/// Per-op dispatch overhead cycles of the TFLM interpreter (registry
+/// lookup, tensor preparation). The EON path replaces this with
+/// [`EON_DISPATCH_CYCLES`].
+pub const TFLM_DISPATCH_CYCLES: f64 = 4_000.0;
+
+/// Per-op dispatch overhead of a compiled (EON) step — effectively a
+/// function call.
+pub const EON_DISPATCH_CYCLES: f64 = 150.0;
+
+/// Fixed per-invocation overhead outside preprocessing and inference
+/// (buffer handoff, timestamping) — the "some overhead not measured in
+/// either" the paper notes under Table 2.
+pub const INVOKE_OVERHEAD_CYCLES: f64 = 20_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_always_at_least_as_fast_as_float() {
+        for arch in [
+            CpuArch::CortexM4F,
+            CpuArch::CortexM7,
+            CpuArch::CortexM0Plus,
+            CpuArch::TensilicaLx6,
+        ] {
+            assert!(cycles_per_int8_mac(arch) < cycles_per_float_mac(arch));
+        }
+    }
+
+    #[test]
+    fn quantization_gain_small_on_lx6_large_on_m4() {
+        let m4_gain = cycles_per_float_mac(CpuArch::CortexM4F) / cycles_per_int8_mac(CpuArch::CortexM4F);
+        let lx6_gain =
+            cycles_per_float_mac(CpuArch::TensilicaLx6) / cycles_per_int8_mac(CpuArch::TensilicaLx6);
+        assert!(m4_gain > 4.0, "m4 gain {m4_gain}");
+        assert!(lx6_gain < 2.5, "lx6 gain {lx6_gain}");
+    }
+
+    #[test]
+    fn m0_is_slowest_everywhere() {
+        for f in [cycles_per_float_mac, cycles_per_int8_mac, cycles_per_dsp_flop] {
+            for arch in [CpuArch::CortexM4F, CpuArch::CortexM7, CpuArch::TensilicaLx6] {
+                assert!(f(CpuArch::CortexM0Plus) > f(arch));
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_overheads_ordered() {
+        assert!(TFLM_DISPATCH_CYCLES > 10.0 * EON_DISPATCH_CYCLES);
+    }
+}

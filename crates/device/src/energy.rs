@@ -1,0 +1,195 @@
+//! Energy and battery-life estimation (paper §2.1).
+//!
+//! "Many TinyML applications operate on battery power … Due to the limited
+//! energy budget, any wireless transmission can quickly deplete the
+//! battery. Since data is often only transmitted once a specific
+//! prediction is made, false positives contribute to battery drain with no
+//! benefit. Therefore, the accuracy of a model can directly impact the
+//! energy consumption of the system." This module quantifies exactly that:
+//! compute energy from the cycle model's latencies, sleep floor, and radio
+//! cost per (possibly false) detection event.
+
+use crate::boards::{Board, CpuArch};
+
+/// Electrical profile of a board class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    /// Power while the core runs inference/DSP, in milliwatts.
+    pub active_mw: f64,
+    /// Sleep/idle floor, in milliwatts.
+    pub sleep_mw: f64,
+    /// Energy per wireless transmission event (e.g. one BLE notification
+    /// burst), in millijoules.
+    pub radio_mj_per_tx: f64,
+}
+
+/// Representative power profile per micro-architecture (datasheet-class
+/// numbers for the paper's boards).
+pub fn power_profile(arch: CpuArch) -> PowerProfile {
+    match arch {
+        // nRF52840 class
+        CpuArch::CortexM4F => PowerProfile { active_mw: 16.0, sleep_mw: 0.01, radio_mj_per_tx: 6.0 },
+        CpuArch::CortexM7 => PowerProfile { active_mw: 110.0, sleep_mw: 0.5, radio_mj_per_tx: 6.0 },
+        // RP2040 class
+        CpuArch::CortexM0Plus => {
+            PowerProfile { active_mw: 30.0, sleep_mw: 0.18, radio_mj_per_tx: 6.0 }
+        }
+        // ESP32 with WiFi radio
+        CpuArch::TensilicaLx6 => {
+            PowerProfile { active_mw: 160.0, sleep_mw: 0.8, radio_mj_per_tx: 40.0 }
+        }
+    }
+}
+
+/// A battery, described by its usable energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Usable energy in milliwatt-hours.
+    pub capacity_mwh: f64,
+}
+
+impl Battery {
+    /// A CR2032 coin cell (~225 mAh at 3 V) — the paper's "coin cell".
+    pub fn coin_cell() -> Battery {
+        Battery { capacity_mwh: 225.0 * 3.0 }
+    }
+
+    /// A small 500 mAh LiPo at 3.7 V.
+    pub fn lipo_500() -> Battery {
+        Battery { capacity_mwh: 500.0 * 3.7 }
+    }
+}
+
+/// The workload seen by the energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyWorkload {
+    /// End-to-end latency of one classification (DSP + inference), ms.
+    pub total_ms: f64,
+    /// Classifications per hour (continuous duty = 3600 000 / stride_ms).
+    pub inferences_per_hour: f64,
+    /// Radio transmissions per hour — true detections *plus false
+    /// accepts*, which is how model accuracy enters the energy budget.
+    pub transmissions_per_hour: f64,
+}
+
+/// The energy estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Average power draw in milliwatts.
+    pub avg_power_mw: f64,
+    /// Share of average power spent computing (0–1).
+    pub compute_share: f64,
+    /// Share spent on the radio (0–1).
+    pub radio_share: f64,
+    /// Battery life in hours for the given battery.
+    pub battery_life_hours: f64,
+}
+
+/// Estimates average power and battery life for a board + workload.
+///
+/// The duty cycle is capped at 100%: if the requested inference rate
+/// exceeds what the latency allows, the device simply computes constantly.
+pub fn estimate_energy(board: &Board, workload: EnergyWorkload, battery: Battery) -> EnergyEstimate {
+    let profile = power_profile(board.arch);
+    let active_s_per_hour =
+        (workload.total_ms / 1000.0 * workload.inferences_per_hour).min(3600.0);
+    let duty = active_s_per_hour / 3600.0;
+    let compute_mw = profile.active_mw * duty;
+    let sleep_mw = profile.sleep_mw * (1.0 - duty);
+    // mJ/hour -> mW: divide by 3600
+    let radio_mw = workload.transmissions_per_hour * profile.radio_mj_per_tx / 3600.0;
+    let avg = compute_mw + sleep_mw + radio_mw;
+    EnergyEstimate {
+        avg_power_mw: avg,
+        compute_share: if avg > 0.0 { compute_mw / avg } else { 0.0 },
+        radio_share: if avg > 0.0 { radio_mw / avg } else { 0.0 },
+        battery_life_hours: if avg > 0.0 { battery.capacity_mwh / avg } else { f64::INFINITY },
+    }
+}
+
+/// Energy of a single classification in millijoules — the "race to sleep"
+/// comparison unit across boards.
+pub fn energy_per_inference_mj(board: &Board, total_ms: f64) -> f64 {
+    power_profile(board.arch).active_mw * total_ms / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boards::Board;
+
+    fn kws_workload(tx_per_hour: f64) -> EnergyWorkload {
+        EnergyWorkload {
+            total_ms: 500.0,
+            inferences_per_hour: 3_600.0, // one per second
+            transmissions_per_hour: tx_per_hour,
+        }
+    }
+
+    #[test]
+    fn false_accepts_shorten_battery_life() {
+        // the paper's §2.1 claim: FAR drains the battery with no benefit
+        let board = Board::nano33_ble_sense();
+        let clean = estimate_energy(&board, kws_workload(2.0), Battery::coin_cell());
+        let noisy = estimate_energy(&board, kws_workload(120.0), Battery::coin_cell());
+        assert!(
+            noisy.battery_life_hours < clean.battery_life_hours * 0.98,
+            "120 false tx/h must cost battery: {} vs {}",
+            noisy.battery_life_hours,
+            clean.battery_life_hours
+        );
+        assert!(noisy.radio_share > clean.radio_share);
+    }
+
+    #[test]
+    fn duty_cycle_capped_at_continuous() {
+        let board = Board::nano33_ble_sense();
+        let absurd = EnergyWorkload {
+            total_ms: 5_000.0,
+            inferences_per_hour: 1e9,
+            transmissions_per_hour: 0.0,
+        };
+        let estimate = estimate_energy(&board, absurd, Battery::coin_cell());
+        let active = power_profile(board.arch).active_mw;
+        assert!(estimate.avg_power_mw <= active + 1e-9);
+        assert!((estimate.compute_share - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sleeping_device_lasts_much_longer() {
+        let board = Board::nano33_ble_sense();
+        let rare = EnergyWorkload {
+            total_ms: 500.0,
+            inferences_per_hour: 60.0, // once a minute
+            transmissions_per_hour: 0.5,
+        };
+        let continuous = estimate_energy(&board, kws_workload(2.0), Battery::coin_cell());
+        let duty_cycled = estimate_energy(&board, rare, Battery::coin_cell());
+        assert!(duty_cycled.battery_life_hours > 10.0 * continuous.battery_life_hours);
+    }
+
+    #[test]
+    fn esp_radio_is_expensive() {
+        let esp = Board::esp_eye();
+        let nano = Board::nano33_ble_sense();
+        let w = kws_workload(60.0);
+        let esp_est = estimate_energy(&esp, w, Battery::lipo_500());
+        let nano_est = estimate_energy(&nano, w, Battery::lipo_500());
+        assert!(esp_est.avg_power_mw > nano_est.avg_power_mw);
+    }
+
+    #[test]
+    fn race_to_sleep_energy_per_inference() {
+        // the M0+ draws less power but runs ~4x longer on float KWS, so it
+        // costs MORE energy per inference than the M4 — the race-to-sleep
+        // effect that makes quantization an energy optimization
+        let nano = Board::nano33_ble_sense();
+        let pico = Board::raspberry_pi_pico();
+        let nano_mj = energy_per_inference_mj(&nano, 2_785.0);
+        let pico_mj = energy_per_inference_mj(&pico, 5_856.0);
+        assert!(pico_mj > nano_mj, "pico {pico_mj} mJ vs nano {nano_mj} mJ");
+        // and int8's 5x latency cut is a 5x energy cut
+        let int8_mj = energy_per_inference_mj(&nano, 520.0);
+        assert!(nano_mj / int8_mj > 4.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for device estimation.
+
+use std::fmt;
+
+/// Errors produced by the device estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The requested board name is not in the registry.
+    UnknownBoard(String),
+    /// An accelerator was paired with an artifact it cannot execute.
+    IncompatibleAccelerator(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnknownBoard(name) => write!(f, "unknown board: {name}"),
+            DeviceError::IncompatibleAccelerator(msg) => {
+                write!(f, "incompatible accelerator: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DeviceError::UnknownBoard("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Embedded device models and resource estimation for `edgelab`.
+//!
+//! Edge Impulse "uses Renode and device-specific benchmarking to produce
+//! estimates of preprocessing and model inference times" plus RAM/flash
+//! estimates before anything is flashed (paper §4.4). This crate is that
+//! estimator: per-board cycle-cost models driven by the deterministic
+//! op/flop counts the DSP blocks and model artifacts expose.
+//!
+//! The three boards of paper Table 1 are built in:
+//!
+//! | Board | Processor | Clock | Flash | RAM |
+//! |---|---|---|---|---|
+//! | Arduino Nano 33 BLE Sense | Arm Cortex-M4F | 64 MHz | 1 MB | 256 kB |
+//! | ESP-EYE (ESP32) | Tensilica LX6 | 160 MHz | 4 MB | 8 MB* |
+//! | Raspberry Pi Pico (RP2040) | Arm Cortex-M0+ | 133 MHz | 16 MB | 264 kB |
+//!
+//! *The ESP-EYE's 8 MB is external PSRAM; the paper's Table 1 lists it as
+//! the working RAM, which is what the fit check uses.
+//!
+//! The cycle constants are calibrated so the *relative* behaviour of paper
+//! Table 2 holds: int8 quantization speeds conv nets up ~5–9× on the two
+//! Cortex-M parts (CMSIS-NN dual-MAC vs slow float) but <2.5× on the LX6
+//! (hardware FPU, no int8 SIMD), and DSP preprocessing is a large share of
+//! end-to-end latency on keyword spotting.
+
+pub mod boards;
+pub mod cycles;
+pub mod energy;
+pub mod error;
+pub mod profile;
+
+pub use boards::{Accelerator, Board, CpuArch};
+pub use energy::{estimate_energy, Battery, EnergyEstimate, EnergyWorkload};
+pub use error::DeviceError;
+pub use profile::{FitCheck, ProfileReport, Profiler};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DeviceError>;

@@ -1,0 +1,166 @@
+//! DSP autotune: suggest sensible block parameters from the data itself.
+//!
+//! The platform "offers sensible defaults … users can automatically select
+//! these hyperparameters via the DSP autotune feature" (paper §4.2). This
+//! module inspects a handful of representative samples and picks framing /
+//! filter-count parameters that keep the feature tensor small while
+//! retaining the signal's bandwidth.
+
+use crate::blocks::{MfccConfig, MfeConfig};
+use crate::fft::power_spectrum;
+use crate::{DspConfig, DspError, Result};
+
+/// What the autotuner should optimize for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutotuneGoal {
+    /// Smallest feature tensor that keeps 95% of spectral energy.
+    LowMemory,
+    /// Denser features for maximum downstream accuracy.
+    HighResolution,
+}
+
+/// Suggests an audio DSP configuration from representative samples.
+///
+/// Estimates the occupied bandwidth by finding the frequency below which
+/// 95% of the average power lies, then picks frame length / stride /
+/// filter counts accordingly.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidConfig`] when `samples` is empty or shorter
+/// than one analysis window.
+///
+/// # Example
+///
+/// ```
+/// use ei_dsp::{autotune_audio, AutotuneGoal};
+///
+/// # fn main() -> Result<(), ei_dsp::DspError> {
+/// let audio: Vec<f32> = (0..16_000)
+///     .map(|t| (2.0 * std::f32::consts::PI * 500.0 * t as f32 / 16_000.0).sin())
+///     .collect();
+/// let cfg = autotune_audio(&[&audio], 16_000, AutotuneGoal::LowMemory)?;
+/// assert_eq!(cfg.name(), "MFCC");
+/// # Ok(())
+/// # }
+/// ```
+pub fn autotune_audio(
+    samples: &[&[f32]],
+    sample_rate_hz: u32,
+    goal: AutotuneGoal,
+) -> Result<DspConfig> {
+    const ANALYSIS_FFT: usize = 1024;
+    if samples.is_empty() {
+        return Err(DspError::InvalidConfig("autotune needs at least one sample".into()));
+    }
+    let mut avg_power = vec![0.0f64; ANALYSIS_FFT / 2 + 1];
+    let mut used = 0usize;
+    for s in samples {
+        if s.len() < ANALYSIS_FFT {
+            continue;
+        }
+        // average power over a few windows spread through the sample
+        let step = ((s.len() - ANALYSIS_FFT) / 4).max(1);
+        for start in (0..=s.len() - ANALYSIS_FFT).step_by(step).take(5) {
+            let p = power_spectrum(&s[start..start + ANALYSIS_FFT], ANALYSIS_FFT)?;
+            for (acc, v) in avg_power.iter_mut().zip(&p) {
+                *acc += *v as f64;
+            }
+            used += 1;
+        }
+    }
+    if used == 0 {
+        return Err(DspError::InvalidConfig(format!(
+            "autotune needs samples of at least {ANALYSIS_FFT} points"
+        )));
+    }
+    let total: f64 = avg_power.iter().sum();
+    let mut running = 0.0f64;
+    let mut cutoff_bin = avg_power.len() - 1;
+    for (i, &p) in avg_power.iter().enumerate() {
+        running += p;
+        if running >= 0.95 * total {
+            cutoff_bin = i;
+            break;
+        }
+    }
+    let hz_per_bin = sample_rate_hz as f64 / ANALYSIS_FFT as f64;
+    let bandwidth_hz = (cutoff_bin as f64 * hz_per_bin).max(200.0) as f32;
+
+    // narrowband signals can afford longer frames; wideband needs shorter
+    let (frame_s, stride_s) = if bandwidth_hz < 1000.0 { (0.05, 0.025) } else { (0.02, 0.01) };
+    match goal {
+        AutotuneGoal::LowMemory => Ok(DspConfig::Mfcc(MfccConfig {
+            frame_s,
+            stride_s,
+            n_coefficients: 13,
+            n_filters: 32,
+            sample_rate_hz,
+        })),
+        AutotuneGoal::HighResolution => Ok(DspConfig::Mfe(MfeConfig {
+            frame_s,
+            stride_s,
+            n_filters: 40,
+            sample_rate_hz,
+            low_hz: 0.0,
+            high_hz: bandwidth_hz.min(sample_rate_hz as f32 / 2.0),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f32, n: usize, rate: u32) -> Vec<f32> {
+        (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / rate as f32).sin())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_and_short() {
+        assert!(autotune_audio(&[], 16_000, AutotuneGoal::LowMemory).is_err());
+        let short = vec![0.0f32; 100];
+        assert!(autotune_audio(&[&short], 16_000, AutotuneGoal::LowMemory).is_err());
+    }
+
+    #[test]
+    fn narrowband_gets_longer_frames() {
+        let audio = tone(300.0, 16_000, 16_000);
+        let cfg = autotune_audio(&[&audio], 16_000, AutotuneGoal::LowMemory).unwrap();
+        match cfg {
+            DspConfig::Mfcc(c) => assert!(c.frame_s > 0.03),
+            other => panic!("expected mfcc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wideband_gets_shorter_frames() {
+        // white-ish noise via mixed tones across the band
+        let mut audio = vec![0.0f32; 16_000];
+        for f in (500..7500).step_by(500) {
+            for (i, v) in audio.iter_mut().enumerate() {
+                *v += (2.0 * std::f32::consts::PI * f as f32 * i as f32 / 16_000.0).sin();
+            }
+        }
+        let cfg = autotune_audio(&[&audio], 16_000, AutotuneGoal::HighResolution).unwrap();
+        match cfg {
+            DspConfig::Mfe(c) => {
+                assert!(c.frame_s < 0.03);
+                assert!(c.high_hz > 1000.0);
+            }
+            other => panic!("expected mfe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suggested_config_builds() {
+        let audio = tone(1000.0, 16_000, 16_000);
+        for goal in [AutotuneGoal::LowMemory, AutotuneGoal::HighResolution] {
+            let cfg = autotune_audio(&[&audio], 16_000, goal).unwrap();
+            let block = cfg.build().unwrap();
+            assert!(block.output_len(16_000).unwrap() > 0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for DSP block configuration and processing.
+
+use std::fmt;
+
+/// Errors produced by DSP block construction and signal processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// The input signal was too short for the configured framing.
+    InputTooShort {
+        /// Samples required for at least one frame.
+        required: usize,
+        /// Samples provided.
+        actual: usize,
+    },
+    /// The input length did not match what the block expects (images).
+    InputLengthMismatch {
+        /// Expected sample count.
+        expected: usize,
+        /// Provided sample count.
+        actual: usize,
+    },
+    /// An FFT was requested with a non-power-of-two length.
+    FftLengthNotPowerOfTwo(usize),
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidConfig(msg) => write!(f, "invalid dsp config: {msg}"),
+            DspError::InputTooShort { required, actual } => {
+                write!(f, "input too short: need at least {required} samples, got {actual}")
+            }
+            DspError::InputLengthMismatch { expected, actual } => {
+                write!(f, "input length mismatch: expected {expected} samples, got {actual}")
+            }
+            DspError::FftLengthNotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DspError::InvalidConfig("x".into()).to_string().contains("invalid dsp config"));
+        assert!(DspError::FftLengthNotPowerOfTwo(100).to_string().contains("100"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<DspError>();
+    }
+}

@@ -1,0 +1,267 @@
+//! Radix-2 iterative FFT and spectra.
+//!
+//! A from-scratch, allocation-light implementation sized for TinyML frame
+//! lengths (`n <= 4096`). Only what the feature blocks need is exposed:
+//! forward complex FFT, real-input convenience wrapper, and power /
+//! magnitude spectra.
+
+use crate::{DspError, Result};
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f32, im: f32) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `sqrt(re^2 + im^2)`.
+    pub fn abs(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::FftLengthNotPowerOfTwo`] unless `buf.len()` is a
+/// power of two (length 1 is accepted as a no-op).
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<()> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(DspError::FftLengthNotPowerOfTwo(n));
+    }
+    if n == 1 {
+        return Ok(());
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // butterflies
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos() as f32, ang.sin() as f32);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, zero-padded to `fft_len`.
+///
+/// Returns the first `fft_len / 2 + 1` bins (the rest are conjugate
+/// mirrors for real input).
+///
+/// # Errors
+///
+/// Returns [`DspError::FftLengthNotPowerOfTwo`] for invalid `fft_len`, or
+/// [`DspError::InputLengthMismatch`] when the signal is longer than
+/// `fft_len`.
+pub fn rfft(signal: &[f32], fft_len: usize) -> Result<Vec<Complex>> {
+    if !fft_len.is_power_of_two() || fft_len == 0 {
+        return Err(DspError::FftLengthNotPowerOfTwo(fft_len));
+    }
+    if signal.len() > fft_len {
+        return Err(DspError::InputLengthMismatch { expected: fft_len, actual: signal.len() });
+    }
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    buf.resize(fft_len, Complex::default());
+    fft_in_place(&mut buf)?;
+    buf.truncate(fft_len / 2 + 1);
+    Ok(buf)
+}
+
+/// Power spectrum `|X_k|^2 / n` of a real signal.
+///
+/// # Errors
+///
+/// Propagates the errors of [`rfft`].
+pub fn power_spectrum(signal: &[f32], fft_len: usize) -> Result<Vec<f32>> {
+    let spec = rfft(signal, fft_len)?;
+    let scale = 1.0 / fft_len as f32;
+    Ok(spec.iter().map(|c| c.norm_sq() * scale).collect())
+}
+
+/// Magnitude spectrum `|X_k|` of a real signal.
+///
+/// # Errors
+///
+/// Propagates the errors of [`rfft`].
+pub fn magnitude_spectrum(signal: &[f32], fft_len: usize) -> Result<Vec<f32>> {
+    let spec = rfft(signal, fft_len)?;
+    Ok(spec.iter().map(|c| c.abs()).collect())
+}
+
+/// Smallest power of two `>= n`.
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Approximate floating-point operation count of one radix-2 FFT of length
+/// `n` (used by the device cost model): `5 n log2 n` real ops.
+pub fn fft_flops(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * n as u64 * (n as f64).log2().round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dft_reference(signal: &[f32]) -> Vec<Complex> {
+        let n = signal.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (t, &x) in signal.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    acc = acc + Complex::new(x * ang.cos() as f32, x * ang.sin() as f32);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 12];
+        assert!(fft_in_place(&mut buf).is_err());
+        assert!(rfft(&[0.0; 4], 12).is_err());
+        assert!(rfft(&[0.0; 20], 16).is_err());
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0f32; 64];
+        signal[0] = 1.0;
+        let spec = rfft(&signal, 64).unwrap();
+        for c in &spec {
+            assert!((c.re - 1.0).abs() < 1e-4);
+            assert!(c.im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_right_bin() {
+        let n = 256;
+        let bin = 10;
+        let signal: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * bin as f32 * t as f32 / n as f32).sin())
+            .collect();
+        let power = power_spectrum(&signal, n).unwrap();
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, bin);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<f32> = (0..32).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect();
+        let fast = rfft(&signal, 32).unwrap();
+        let slow = dft_reference(&signal);
+        for (f, s) in fast.iter().zip(&slow[..17]) {
+            assert!((f.re - s.re).abs() < 1e-3, "re {} vs {}", f.re, s.re);
+            assert!((f.im - s.im).abs() < 1e-3, "im {} vs {}", f.im, s.im);
+        }
+    }
+
+    #[test]
+    fn zero_padding_allowed() {
+        let spec = rfft(&[1.0, 2.0, 3.0], 8).unwrap();
+        assert_eq!(spec.len(), 5);
+    }
+
+    #[test]
+    fn fft_flops_monotone() {
+        assert_eq!(fft_flops(1), 0);
+        assert!(fft_flops(512) > fft_flops(256));
+        assert_eq!(fft_flops(256), 5 * 256 * 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parseval(signal in proptest::collection::vec(-1.0f32..1.0, 64)) {
+            // sum(x^2) == (1/n) * sum(|X|^2) over the full symmetric spectrum
+            let n = 64usize;
+            let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            fft_in_place(&mut buf).unwrap();
+            let time_energy: f32 = signal.iter().map(|x| x * x).sum();
+            let freq_energy: f32 = buf.iter().map(|c| c.norm_sq()).sum::<f32>() / n as f32;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
+        }
+
+        #[test]
+        fn prop_linearity(
+            a in proptest::collection::vec(-1.0f32..1.0, 32),
+            b in proptest::collection::vec(-1.0f32..1.0, 32),
+        ) {
+            let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let fa = rfft(&a, 32).unwrap();
+            let fb = rfft(&b, 32).unwrap();
+            let fs = rfft(&sum, 32).unwrap();
+            for i in 0..fs.len() {
+                prop_assert!((fs[i].re - (fa[i].re + fb[i].re)).abs() < 1e-3);
+                prop_assert!((fs[i].im - (fa[i].im + fb[i].im)).abs() < 1e-3);
+            }
+        }
+    }
+}

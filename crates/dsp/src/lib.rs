@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Digital signal processing blocks for the `edgelab` TinyML pipeline.
+//!
+//! Preprocessing is a first-class pipeline stage in Edge Impulse (paper
+//! §4.2): an FFT extracts frequency content in `O(n log n)` where a learned
+//! 1-D convolution stack would spend `O(n^2)`, so a good DSP front-end
+//! shrinks the downstream model. This crate implements the platform's
+//! "processing blocks":
+//!
+//! * [`blocks::MfeBlock`] — Mel-filterbank energies (audio),
+//! * [`blocks::MfccBlock`] — Mel-frequency cepstral coefficients (audio),
+//! * [`blocks::SpectralBlock`] — spectral analysis (accelerometer/vibration),
+//! * [`blocks::ImageBlock`] — image resize/normalize,
+//! * [`blocks::RawBlock`] — pass-through with optional scaling,
+//!
+//! all behind the [`DspBlock`] trait, which also reports a deterministic
+//! operation count and peak scratch RAM so `ei-device` can estimate on-target
+//! latency and memory (paper §4.4, Tables 2–3).
+//!
+//! # Example
+//!
+//! ```
+//! use ei_dsp::{DspBlock, blocks::MfccBlock, MfccConfig};
+//!
+//! # fn main() -> Result<(), ei_dsp::DspError> {
+//! let block = MfccBlock::new(MfccConfig::default())?;
+//! let audio = vec![0.0f32; 16_000]; // one second at 16 kHz
+//! let features = block.process(&audio)?;
+//! assert_eq!(features.len(), block.output_len(audio.len())?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod autotune;
+pub mod block;
+pub mod custom;
+pub mod blocks;
+pub mod error;
+pub mod fft;
+pub mod mel;
+pub mod window;
+
+pub use autotune::{autotune_audio, AutotuneGoal};
+pub use block::{DspBlock, DspConfig, DspCost};
+pub use custom::{register_custom_block, BlockFactory, CustomParams};
+pub use blocks::{ImageConfig, MfccConfig, MfeConfig, RawConfig, SpectralConfig, SpectrogramConfig};
+pub use error::DspError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DspError>;

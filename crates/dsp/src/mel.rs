@@ -1,0 +1,248 @@
+//! Mel scale, triangular filterbanks and the DCT-II used by MFCC.
+
+use crate::{DspError, Result};
+
+/// Converts frequency in hertz to mels (HTK convention).
+pub fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mels back to hertz (HTK convention).
+pub fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// A bank of triangular Mel filters over FFT power-spectrum bins.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    /// `filters[f][bin]` — weight of power bin `bin` in filter `f`.
+    filters: Vec<Vec<f32>>,
+    n_bins: usize,
+}
+
+impl MelFilterbank {
+    /// Builds `n_filters` triangular filters spanning `[low_hz, high_hz]`
+    /// over a power spectrum of `n_bins = fft_len / 2 + 1` bins at
+    /// `sample_rate_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidConfig`] when the frequency range is
+    /// inverted, exceeds Nyquist, or there are too many filters for the
+    /// number of bins.
+    pub fn new(
+        n_filters: usize,
+        fft_len: usize,
+        sample_rate_hz: u32,
+        low_hz: f32,
+        high_hz: f32,
+    ) -> Result<MelFilterbank> {
+        let nyquist = sample_rate_hz as f32 / 2.0;
+        if n_filters == 0 {
+            return Err(DspError::InvalidConfig("need at least one mel filter".into()));
+        }
+        if low_hz < 0.0 || high_hz <= low_hz || high_hz > nyquist + 1.0 {
+            return Err(DspError::InvalidConfig(format!(
+                "mel range [{low_hz}, {high_hz}] invalid for nyquist {nyquist}"
+            )));
+        }
+        let n_bins = fft_len / 2 + 1;
+        if n_filters + 2 > n_bins {
+            return Err(DspError::InvalidConfig(format!(
+                "{n_filters} filters need more than {n_bins} spectrum bins"
+            )));
+        }
+        // n_filters + 2 equally spaced points on the mel scale
+        let mel_lo = hz_to_mel(low_hz);
+        let mel_hi = hz_to_mel(high_hz);
+        let points: Vec<f32> = (0..n_filters + 2)
+            .map(|i| {
+                let mel = mel_lo + (mel_hi - mel_lo) * i as f32 / (n_filters + 1) as f32;
+                mel_to_hz(mel)
+            })
+            .collect();
+        let hz_per_bin = sample_rate_hz as f32 / fft_len as f32;
+        let mut filters = Vec::with_capacity(n_filters);
+        for f in 0..n_filters {
+            let (lo, center, hi) = (points[f], points[f + 1], points[f + 2]);
+            let mut weights = vec![0.0f32; n_bins];
+            for (bin, w) in weights.iter_mut().enumerate() {
+                let hz = bin as f32 * hz_per_bin;
+                if hz > lo && hz < hi {
+                    *w = if hz <= center {
+                        (hz - lo) / (center - lo).max(f32::EPSILON)
+                    } else {
+                        (hi - hz) / (hi - center).max(f32::EPSILON)
+                    };
+                }
+            }
+            filters.push(weights);
+        }
+        Ok(MelFilterbank { filters, n_bins })
+    }
+
+    /// Number of filters in the bank.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// `true` when the bank holds no filters (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Applies the bank to a power spectrum, producing one energy per filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InputLengthMismatch`] if `power.len()` differs
+    /// from the bin count the bank was built for.
+    pub fn apply(&self, power: &[f32]) -> Result<Vec<f32>> {
+        if power.len() != self.n_bins {
+            return Err(DspError::InputLengthMismatch {
+                expected: self.n_bins,
+                actual: power.len(),
+            });
+        }
+        Ok(self
+            .filters
+            .iter()
+            .map(|w| w.iter().zip(power).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Approximate multiply–accumulate count of one [`MelFilterbank::apply`].
+    pub fn macs(&self) -> u64 {
+        // triangular filters touch ~2 * n_bins / n_filters bins each
+        (self.filters.len() as u64) * (2 * self.n_bins as u64 / self.filters.len().max(1) as u64 + 1)
+    }
+}
+
+/// Type-II discrete cosine transform with orthonormal scaling, returning
+/// the first `n_out` coefficients.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `n_out > input.len()`.
+pub fn dct2(input: &[f32], n_out: usize) -> Vec<f32> {
+    debug_assert!(n_out <= input.len());
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let norm0 = (1.0 / n as f32).sqrt();
+    let norm = (2.0 / n as f32).sqrt();
+    (0..n_out)
+        .map(|k| {
+            let sum: f32 = input
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    x * (std::f32::consts::PI * (i as f32 + 0.5) * k as f32 / n as f32).cos()
+                })
+                .sum();
+            sum * if k == 0 { norm0 } else { norm }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mel_round_trip() {
+        for hz in [0.0f32, 100.0, 1000.0, 4000.0, 8000.0] {
+            let back = mel_to_hz(hz_to_mel(hz));
+            assert!((back - hz).abs() < 0.5, "{hz} -> {back}");
+        }
+    }
+
+    #[test]
+    fn mel_is_monotone() {
+        let mut prev = -1.0;
+        for hz in (0..8000).step_by(250) {
+            let m = hz_to_mel(hz as f32);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn filterbank_shape_and_coverage() {
+        let fb = MelFilterbank::new(40, 512, 16_000, 0.0, 8000.0).unwrap();
+        assert_eq!(fb.len(), 40);
+        // middle filters have non-zero weight somewhere
+        let power = vec![1.0f32; 257];
+        let energies = fb.apply(&power).unwrap();
+        assert!(energies.iter().skip(1).all(|&e| e > 0.0), "every filter should capture energy");
+    }
+
+    #[test]
+    fn filterbank_rejects_bad_config() {
+        assert!(MelFilterbank::new(0, 512, 16_000, 0.0, 8000.0).is_err());
+        assert!(MelFilterbank::new(40, 512, 16_000, 4000.0, 1000.0).is_err());
+        assert!(MelFilterbank::new(40, 512, 16_000, 0.0, 20_000.0).is_err());
+        assert!(MelFilterbank::new(300, 512, 16_000, 0.0, 8000.0).is_err());
+    }
+
+    #[test]
+    fn filterbank_apply_validates_len() {
+        let fb = MelFilterbank::new(10, 256, 16_000, 0.0, 8000.0).unwrap();
+        assert!(fb.apply(&vec![0.0; 100]).is_err());
+    }
+
+    #[test]
+    fn tone_lands_in_matching_filter() {
+        let fb = MelFilterbank::new(20, 512, 16_000, 0.0, 8000.0).unwrap();
+        // concentrate power near 1 kHz -> bin 32 at 31.25 Hz/bin
+        let mut power = vec![0.0f32; 257];
+        power[32] = 10.0;
+        let energies = fb.apply(&power).unwrap();
+        let peak = energies
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // 1 kHz = mel 999.9; filters span 0..2840 mel, so peak should sit in
+        // the lower-middle third of the bank
+        assert!((3..10).contains(&peak), "peak filter {peak}");
+    }
+
+    #[test]
+    fn dct2_of_constant_concentrates_in_dc() {
+        let coeffs = dct2(&[1.0; 16], 16);
+        assert!((coeffs[0] - 4.0).abs() < 1e-4); // sqrt(16) * 1
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dct2_empty_input() {
+        assert!(dct2(&[], 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dct2_linear(a in proptest::collection::vec(-2.0f32..2.0, 16)) {
+            let doubled: Vec<f32> = a.iter().map(|x| 2.0 * x).collect();
+            let ca = dct2(&a, 8);
+            let cd = dct2(&doubled, 8);
+            for (x, y) in ca.iter().zip(&cd) {
+                prop_assert!((2.0 * x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_filterbank_energy_nonnegative(
+            power in proptest::collection::vec(0.0f32..10.0, 129)
+        ) {
+            let fb = MelFilterbank::new(13, 256, 16_000, 20.0, 8000.0).unwrap();
+            let e = fb.apply(&power).unwrap();
+            prop_assert!(e.iter().all(|&x| x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for model construction, training and inference.
+
+use std::fmt;
+
+/// Errors produced by the neural-network stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer configuration was invalid for its input shape.
+    InvalidLayer {
+        /// Index of the offending layer in the model spec.
+        index: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The input passed to `forward` had the wrong length.
+    InputLengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// Training was requested with an empty or degenerate dataset.
+    InvalidTrainingData(String),
+    /// A label index was outside the model's output range.
+    LabelOutOfRange {
+        /// Offending label.
+        label: usize,
+        /// Number of classes the model produces.
+        classes: usize,
+    },
+    /// An internal tensor operation failed (bug or corrupted state).
+    Tensor(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidLayer { index, reason } => {
+                write!(f, "invalid layer at index {index}: {reason}")
+            }
+            NnError::InputLengthMismatch { expected, actual } => {
+                write!(f, "input length mismatch: expected {expected}, got {actual}")
+            }
+            NnError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::Tensor(msg) => write!(f, "tensor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+impl From<ei_tensor::TensorError> for NnError {
+    fn from(e: ei_tensor::TensorError) -> Self {
+        NnError::Tensor(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = NnError::InvalidLayer { index: 2, reason: "kernel too large".into() };
+        assert!(e.to_string().contains("index 2"));
+    }
+
+    #[test]
+    fn from_tensor_error() {
+        let te = ei_tensor::TensorError::InvalidShape("x".into());
+        let ne: NnError = te.into();
+        assert!(matches!(ne, NnError::Tensor(_)));
+    }
+}

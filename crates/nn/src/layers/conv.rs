@@ -1,0 +1,574 @@
+//! Convolution kernels: 2-D, depthwise 2-D and 1-D, with backward passes.
+//!
+//! Layouts (channels last):
+//! * activations: `(h, w, c)` row-major;
+//! * `Conv2d` weights: `(kh, kw, c_in, c_out)`;
+//! * `DepthwiseConv2d` weights: `(kh, kw, c)`;
+//! * `Conv1d` weights: `(k, c_in, c_out)`.
+
+use crate::spec::Padding;
+
+use super::conv_out_len;
+
+/// Geometry of a 2-D convolution (kernels may be rectangular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride in both axes.
+    pub stride: usize,
+    /// Padding strategy.
+    pub padding: Padding,
+}
+
+impl Conv2dGeom {
+    /// Output `(h, w)` plus leading pads `(pad_y, pad_x)`.
+    pub fn output(&self) -> (usize, usize, usize, usize) {
+        let (oh, py) = conv_out_len(self.in_h, self.kernel_h, self.stride, self.padding);
+        let (ow, px) = conv_out_len(self.in_w, self.kernel_w, self.stride, self.padding);
+        (oh, ow, py, px)
+    }
+
+    /// Multiply–accumulate count of one forward pass.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow, _, _) = self.output();
+        (oh * ow) as u64 * self.kernel_h as u64 * self.kernel_w as u64 * self.in_c as u64
+            * self.out_c as u64
+    }
+}
+
+/// Standard 2-D convolution forward pass.
+pub fn conv2d_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv2dGeom) -> Vec<f32> {
+    let (oh, ow, py, px) = g.output();
+    let mut out = vec![0.0f32; oh * ow * g.out_c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * g.out_c;
+            out[base..base + g.out_c].copy_from_slice(bias);
+            for ky in 0..g.kernel_h {
+                let iy = (oy * g.stride + ky) as isize - py as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    continue;
+                }
+                for kx in 0..g.kernel_w {
+                    let ix = (ox * g.stride + kx) as isize - px as isize;
+                    if ix < 0 || ix as usize >= g.in_w {
+                        continue;
+                    }
+                    let in_base = ((iy as usize) * g.in_w + ix as usize) * g.in_c;
+                    let w_base = (ky * g.kernel_w + kx) * g.in_c * g.out_c;
+                    for ci in 0..g.in_c {
+                        let x = input[in_base + ci];
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let wrow = &weights[w_base + ci * g.out_c..w_base + (ci + 1) * g.out_c];
+                        let orow = &mut out[base..base + g.out_c];
+                        for co in 0..g.out_c {
+                            orow[co] += x * wrow[co];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Standard 2-D convolution backward pass.
+///
+/// Returns `(grad_in, grad_weights, grad_bias)`.
+pub fn conv2d_backward(
+    input: &[f32],
+    weights: &[f32],
+    g: Conv2dGeom,
+    grad_out: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let (oh, ow, py, px) = g.output();
+    let mut grad_in = vec![0.0f32; input.len()];
+    let mut grad_w = vec![0.0f32; weights.len()];
+    let mut grad_b = vec![0.0f32; g.out_c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * g.out_c;
+            let go = &grad_out[base..base + g.out_c];
+            for (co, &gv) in go.iter().enumerate() {
+                grad_b[co] += gv;
+            }
+            for ky in 0..g.kernel_h {
+                let iy = (oy * g.stride + ky) as isize - py as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    continue;
+                }
+                for kx in 0..g.kernel_w {
+                    let ix = (ox * g.stride + kx) as isize - px as isize;
+                    if ix < 0 || ix as usize >= g.in_w {
+                        continue;
+                    }
+                    let in_base = ((iy as usize) * g.in_w + ix as usize) * g.in_c;
+                    let w_base = (ky * g.kernel_w + kx) * g.in_c * g.out_c;
+                    for ci in 0..g.in_c {
+                        let x = input[in_base + ci];
+                        let wrow = &weights[w_base + ci * g.out_c..w_base + (ci + 1) * g.out_c];
+                        let gwrow = &mut grad_w[w_base + ci * g.out_c..w_base + (ci + 1) * g.out_c];
+                        let mut acc = 0.0f32;
+                        for co in 0..g.out_c {
+                            acc += wrow[co] * go[co];
+                            gwrow[co] += x * go[co];
+                        }
+                        grad_in[in_base + ci] += acc;
+                    }
+                }
+            }
+        }
+    }
+    (grad_in, grad_w, grad_b)
+}
+
+/// Depthwise 2-D convolution forward pass (channel multiplier 1).
+pub fn depthwise_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv2dGeom) -> Vec<f32> {
+    debug_assert_eq!(g.in_c, g.out_c, "depthwise keeps the channel count");
+    let (oh, ow, py, px) = g.output();
+    let c = g.in_c;
+    let mut out = vec![0.0f32; oh * ow * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * c;
+            out[base..base + c].copy_from_slice(bias);
+            for ky in 0..g.kernel_h {
+                let iy = (oy * g.stride + ky) as isize - py as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    continue;
+                }
+                for kx in 0..g.kernel_w {
+                    let ix = (ox * g.stride + kx) as isize - px as isize;
+                    if ix < 0 || ix as usize >= g.in_w {
+                        continue;
+                    }
+                    let in_base = ((iy as usize) * g.in_w + ix as usize) * c;
+                    let w_base = (ky * g.kernel_w + kx) * c;
+                    for ch in 0..c {
+                        out[base + ch] += input[in_base + ch] * weights[w_base + ch];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise 2-D convolution backward pass.
+///
+/// Returns `(grad_in, grad_weights, grad_bias)`.
+pub fn depthwise_backward(
+    input: &[f32],
+    weights: &[f32],
+    g: Conv2dGeom,
+    grad_out: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let (oh, ow, py, px) = g.output();
+    let c = g.in_c;
+    let mut grad_in = vec![0.0f32; input.len()];
+    let mut grad_w = vec![0.0f32; weights.len()];
+    let mut grad_b = vec![0.0f32; c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * c;
+            for ch in 0..c {
+                grad_b[ch] += grad_out[base + ch];
+            }
+            for ky in 0..g.kernel_h {
+                let iy = (oy * g.stride + ky) as isize - py as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    continue;
+                }
+                for kx in 0..g.kernel_w {
+                    let ix = (ox * g.stride + kx) as isize - px as isize;
+                    if ix < 0 || ix as usize >= g.in_w {
+                        continue;
+                    }
+                    let in_base = ((iy as usize) * g.in_w + ix as usize) * c;
+                    let w_base = (ky * g.kernel_w + kx) * c;
+                    for ch in 0..c {
+                        let gv = grad_out[base + ch];
+                        grad_in[in_base + ch] += weights[w_base + ch] * gv;
+                        grad_w[w_base + ch] += input[in_base + ch] * gv;
+                    }
+                }
+            }
+        }
+    }
+    (grad_in, grad_w, grad_b)
+}
+
+/// Depthwise MAC count.
+pub fn depthwise_macs(g: Conv2dGeom) -> u64 {
+    let (oh, ow, _, _) = g.output();
+    (oh * ow) as u64 * g.kernel_h as u64 * g.kernel_w as u64 * g.in_c as u64
+}
+
+/// Geometry of a 1-D convolution over `(steps, channels)` data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv1dGeom {
+    /// Input time steps.
+    pub in_w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel width.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding strategy.
+    pub padding: Padding,
+}
+
+impl Conv1dGeom {
+    /// Output steps plus leading pad.
+    pub fn output(&self) -> (usize, usize) {
+        conv_out_len(self.in_w, self.kernel, self.stride, self.padding)
+    }
+
+    /// Multiply–accumulate count of one forward pass.
+    pub fn macs(&self) -> u64 {
+        let (ow, _) = self.output();
+        ow as u64 * self.kernel as u64 * self.in_c as u64 * self.out_c as u64
+    }
+}
+
+/// 1-D convolution forward pass.
+pub fn conv1d_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv1dGeom) -> Vec<f32> {
+    let (ow, pad) = g.output();
+    let mut out = vec![0.0f32; ow * g.out_c];
+    for ox in 0..ow {
+        let base = ox * g.out_c;
+        out[base..base + g.out_c].copy_from_slice(bias);
+        for k in 0..g.kernel {
+            let ix = (ox * g.stride + k) as isize - pad as isize;
+            if ix < 0 || ix as usize >= g.in_w {
+                continue;
+            }
+            let in_base = (ix as usize) * g.in_c;
+            let w_base = k * g.in_c * g.out_c;
+            for ci in 0..g.in_c {
+                let x = input[in_base + ci];
+                if x == 0.0 {
+                    continue;
+                }
+                let wrow = &weights[w_base + ci * g.out_c..w_base + (ci + 1) * g.out_c];
+                let orow = &mut out[base..base + g.out_c];
+                for co in 0..g.out_c {
+                    orow[co] += x * wrow[co];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 1-D convolution backward pass.
+///
+/// Returns `(grad_in, grad_weights, grad_bias)`.
+pub fn conv1d_backward(
+    input: &[f32],
+    weights: &[f32],
+    g: Conv1dGeom,
+    grad_out: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let (ow, pad) = g.output();
+    let mut grad_in = vec![0.0f32; input.len()];
+    let mut grad_w = vec![0.0f32; weights.len()];
+    let mut grad_b = vec![0.0f32; g.out_c];
+    for ox in 0..ow {
+        let base = ox * g.out_c;
+        let go = &grad_out[base..base + g.out_c];
+        for (co, &gv) in go.iter().enumerate() {
+            grad_b[co] += gv;
+        }
+        for k in 0..g.kernel {
+            let ix = (ox * g.stride + k) as isize - pad as isize;
+            if ix < 0 || ix as usize >= g.in_w {
+                continue;
+            }
+            let in_base = (ix as usize) * g.in_c;
+            let w_base = k * g.in_c * g.out_c;
+            for ci in 0..g.in_c {
+                let x = input[in_base + ci];
+                let wrow = &weights[w_base + ci * g.out_c..w_base + (ci + 1) * g.out_c];
+                let gwrow = &mut grad_w[w_base + ci * g.out_c..w_base + (ci + 1) * g.out_c];
+                let mut acc = 0.0f32;
+                for co in 0..g.out_c {
+                    acc += wrow[co] * go[co];
+                    gwrow[co] += x * go[co];
+                }
+                grad_in[in_base + ci] += acc;
+            }
+        }
+    }
+    (grad_in, grad_w, grad_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input
+        let g = Conv2dGeom {
+            in_h: 3,
+            in_w: 3,
+            in_c: 1,
+            out_c: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: Padding::Valid,
+        };
+        let input: Vec<f32> = (0..9).map(|x| x as f32).collect();
+        let out = conv2d_forward(&input, &[1.0], &[0.0], g);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_known_sum() {
+        // 2x2 all-ones kernel on 3x3 ramp, valid padding
+        let g = Conv2dGeom {
+            in_h: 3,
+            in_w: 3,
+            in_c: 1,
+            out_c: 1,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+            padding: Padding::Valid,
+        };
+        let input: Vec<f32> = (0..9).map(|x| x as f32).collect();
+        let out = conv2d_forward(&input, &[1.0; 4], &[0.0], g);
+        // windows: [0,1,3,4]=8, [1,2,4,5]=12, [3,4,6,7]=20, [4,5,7,8]=24
+        assert_eq!(out, vec![8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_same_padding_keeps_size() {
+        let g = Conv2dGeom {
+            in_h: 5,
+            in_w: 5,
+            in_c: 2,
+            out_c: 3,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        let (oh, ow, _, _) = g.output();
+        assert_eq!((oh, ow), (5, 5));
+        let input = vec![1.0f32; 5 * 5 * 2];
+        let weights = vec![0.1f32; 3 * 3 * 2 * 3];
+        let out = conv2d_forward(&input, &weights, &[0.0; 3], g);
+        assert_eq!(out.len(), 5 * 5 * 3);
+        // center output: full 3x3x2 window * 0.1 = 1.8
+        let center = (2 * 5 + 2) * 3;
+        assert!((out[center] - 1.8).abs() < 1e-5);
+        // corner output: only 2x2x2 window inside = 0.8
+        assert!((out[0] - 0.8).abs() < 1e-5);
+    }
+
+    fn finite_diff_check_conv2d(g: Conv2dGeom) {
+        let n_in = g.in_h * g.in_w * g.in_c;
+        let n_w = g.kernel_h * g.kernel_w * g.in_c * g.out_c;
+        let input: Vec<f32> = (0..n_in).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.1).collect();
+        let weights: Vec<f32> = (0..n_w).map(|i| ((i * 5 % 13) as f32 - 6.0) * 0.05).collect();
+        let bias = vec![0.1f32; g.out_c];
+        let (oh, ow, _, _) = g.output();
+        let grad_out = vec![1.0f32; oh * ow * g.out_c];
+        let (grad_in, grad_w, grad_b) = conv2d_backward(&input, &weights, g, &grad_out);
+        let loss =
+            |inp: &[f32], w: &[f32]| -> f32 { conv2d_forward(inp, w, &bias, g).iter().sum() };
+        let eps = 1e-2f32;
+        for i in (0..n_in).step_by(3) {
+            let mut p = input.clone();
+            p[i] += eps;
+            let mut m = input.clone();
+            m[i] -= eps;
+            let num = (loss(&p, &weights) - loss(&m, &weights)) / (2.0 * eps);
+            assert!((num - grad_in[i]).abs() < 0.05, "grad_in[{i}]: {num} vs {}", grad_in[i]);
+        }
+        for k in (0..n_w).step_by(5) {
+            let mut p = weights.clone();
+            p[k] += eps;
+            let mut m = weights.clone();
+            m[k] -= eps;
+            let num = (loss(&input, &p) - loss(&input, &m)) / (2.0 * eps);
+            assert!((num - grad_w[k]).abs() < 0.05, "grad_w[{k}]: {num} vs {}", grad_w[k]);
+        }
+        let expected_b: f32 = (oh * ow) as f32;
+        assert!(grad_b.iter().all(|&b| (b - expected_b).abs() < 1e-3));
+    }
+
+    #[test]
+    fn conv2d_backward_finite_difference_valid() {
+        finite_diff_check_conv2d(Conv2dGeom {
+            in_h: 4,
+            in_w: 4,
+            in_c: 2,
+            out_c: 2,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Valid,
+        });
+    }
+
+    #[test]
+    fn conv2d_backward_finite_difference_same_strided() {
+        finite_diff_check_conv2d(Conv2dGeom {
+            in_h: 5,
+            in_w: 5,
+            in_c: 1,
+            out_c: 3,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            padding: Padding::Same,
+        });
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_separate() {
+        let g = Conv2dGeom {
+            in_h: 2,
+            in_w: 2,
+            in_c: 2,
+            out_c: 2,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: Padding::Valid,
+        };
+        // channel 0 weight 2, channel 1 weight 3
+        let input = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0];
+        let out = depthwise_forward(&input, &[2.0, 3.0], &[0.0, 0.0], g);
+        assert_eq!(out, vec![2.0, 30.0, 4.0, 60.0, 6.0, 90.0, 8.0, 120.0]);
+    }
+
+    #[test]
+    fn depthwise_backward_finite_difference() {
+        let g = Conv2dGeom {
+            in_h: 4,
+            in_w: 4,
+            in_c: 3,
+            out_c: 3,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        let n_in = 4 * 4 * 3;
+        let n_w = 3 * 3 * 3;
+        let input: Vec<f32> = (0..n_in).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect();
+        let weights: Vec<f32> = (0..n_w).map(|i| ((i % 5) as f32 - 2.0) * 0.1).collect();
+        let bias = vec![0.0f32; 3];
+        let (oh, ow, _, _) = g.output();
+        let grad_out = vec![1.0f32; oh * ow * 3];
+        let (grad_in, grad_w, _) = depthwise_backward(&input, &weights, g, &grad_out);
+        let loss =
+            |inp: &[f32], w: &[f32]| -> f32 { depthwise_forward(inp, w, &bias, g).iter().sum() };
+        let eps = 1e-2f32;
+        for i in (0..n_in).step_by(4) {
+            let mut p = input.clone();
+            p[i] += eps;
+            let mut m = input.clone();
+            m[i] -= eps;
+            let num = (loss(&p, &weights) - loss(&m, &weights)) / (2.0 * eps);
+            assert!((num - grad_in[i]).abs() < 0.05);
+        }
+        for k in 0..n_w {
+            let mut p = weights.clone();
+            p[k] += eps;
+            let mut m = weights.clone();
+            m[k] -= eps;
+            let num = (loss(&input, &p) - loss(&input, &m)) / (2.0 * eps);
+            assert!((num - grad_w[k]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn conv1d_shapes_and_values() {
+        let g = Conv1dGeom {
+            in_w: 5,
+            in_c: 1,
+            out_c: 1,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Valid,
+        };
+        let out = conv1d_forward(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 1.0, 1.0], &[0.0], g);
+        assert_eq!(out, vec![6.0, 9.0, 12.0]);
+        assert_eq!(g.macs(), 3 * 3);
+    }
+
+    #[test]
+    fn conv1d_backward_finite_difference() {
+        let g = Conv1dGeom {
+            in_w: 8,
+            in_c: 2,
+            out_c: 3,
+            kernel: 3,
+            stride: 2,
+            padding: Padding::Same,
+        };
+        let input: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.1).collect();
+        let weights: Vec<f32> = (0..3 * 2 * 3).map(|i| ((i % 4) as f32 - 1.5) * 0.2).collect();
+        let bias = vec![0.0f32; 3];
+        let (ow, _) = g.output();
+        let grad_out = vec![1.0f32; ow * 3];
+        let (grad_in, grad_w, _) = conv1d_backward(&input, &weights, g, &grad_out);
+        let loss =
+            |inp: &[f32], w: &[f32]| -> f32 { conv1d_forward(inp, w, &bias, g).iter().sum() };
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut p = input.clone();
+            p[i] += eps;
+            let mut m = input.clone();
+            m[i] -= eps;
+            let num = (loss(&p, &weights) - loss(&m, &weights)) / (2.0 * eps);
+            assert!((num - grad_in[i]).abs() < 0.05);
+        }
+        for k in 0..weights.len() {
+            let mut p = weights.clone();
+            p[k] += eps;
+            let mut m = weights.clone();
+            m[k] -= eps;
+            let num = (loss(&input, &p) - loss(&input, &m)) / (2.0 * eps);
+            assert!((num - grad_w[k]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn mac_counts() {
+        let g = Conv2dGeom {
+            in_h: 10,
+            in_w: 10,
+            in_c: 3,
+            out_c: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        assert_eq!(g.macs(), 100 * 9 * 3 * 8);
+        assert_eq!(depthwise_macs(g), 100 * 9 * 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Reference (scalar, `f32`) kernels with hand-written backward passes.
+//!
+//! These kernels are the training substrate; the quantized int8 inference
+//! kernels live in `ei-quant`, and the runtime in `ei-runtime` decides
+//! which to dispatch.
+
+pub mod conv;
+pub mod dense;
+pub mod pool;
+
+use crate::spec::Padding;
+
+/// Output length and leading pad of a strided window operation.
+///
+/// Returns `(out_len, pad_begin)`.
+pub fn conv_out_len(input: usize, kernel: usize, stride: usize, padding: Padding) -> (usize, usize) {
+    match padding {
+        Padding::Valid => {
+            if input < kernel {
+                (0, 0)
+            } else {
+                ((input - kernel) / stride + 1, 0)
+            }
+        }
+        Padding::Same => {
+            let out = input.div_ceil(stride);
+            let pad_total = ((out - 1) * stride + kernel).saturating_sub(input);
+            (out, pad_total / 2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_padding_geometry() {
+        assert_eq!(conv_out_len(10, 3, 1, Padding::Valid), (8, 0));
+        assert_eq!(conv_out_len(10, 3, 2, Padding::Valid), (4, 0));
+        assert_eq!(conv_out_len(2, 3, 1, Padding::Valid), (0, 0));
+    }
+
+    #[test]
+    fn same_padding_geometry() {
+        assert_eq!(conv_out_len(10, 3, 1, Padding::Same), (10, 1));
+        assert_eq!(conv_out_len(10, 3, 2, Padding::Same), (5, 0));
+        assert_eq!(conv_out_len(9, 3, 2, Padding::Same), (5, 1));
+        assert_eq!(conv_out_len(1, 1, 1, Padding::Same), (1, 0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Pooling kernels with backward passes.
+//!
+//! Pooling windows are `size`×`size` with stride `size` (non-overlapping),
+//! truncating partial windows — the convention the platform's preset
+//! architectures use.
+
+/// Output spatial size of non-overlapping pooling.
+pub fn pool_out(input: usize, size: usize) -> usize {
+    input / size
+}
+
+/// 2-D max pooling over `(h, w, c)` activations.
+pub fn maxpool2d_forward(input: &[f32], h: usize, w: usize, c: usize, size: usize) -> Vec<f32> {
+    let (oh, ow) = (pool_out(h, size), pool_out(w, size));
+    let mut out = vec![f32::NEG_INFINITY; oh * ow * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * c;
+            for ky in 0..size {
+                for kx in 0..size {
+                    let in_base = ((oy * size + ky) * w + ox * size + kx) * c;
+                    for ch in 0..c {
+                        let v = input[in_base + ch];
+                        if v > out[base + ch] {
+                            out[base + ch] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of 2-D max pooling: gradient routes to the (first) argmax
+/// element of each window.
+pub fn maxpool2d_backward(
+    input: &[f32],
+    h: usize,
+    w: usize,
+    c: usize,
+    size: usize,
+    grad_out: &[f32],
+) -> Vec<f32> {
+    let (oh, ow) = (pool_out(h, size), pool_out(w, size));
+    let mut grad_in = vec![0.0f32; input.len()];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * c;
+            for ch in 0..c {
+                let mut best_idx = 0usize;
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let idx = ((oy * size + ky) * w + ox * size + kx) * c + ch;
+                        if input[idx] > best {
+                            best = input[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                grad_in[best_idx] += grad_out[base + ch];
+            }
+        }
+    }
+    grad_in
+}
+
+/// 2-D average pooling.
+pub fn avgpool2d_forward(input: &[f32], h: usize, w: usize, c: usize, size: usize) -> Vec<f32> {
+    let (oh, ow) = (pool_out(h, size), pool_out(w, size));
+    let norm = 1.0 / (size * size) as f32;
+    let mut out = vec![0.0f32; oh * ow * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * c;
+            for ky in 0..size {
+                for kx in 0..size {
+                    let in_base = ((oy * size + ky) * w + ox * size + kx) * c;
+                    for ch in 0..c {
+                        out[base + ch] += input[in_base + ch] * norm;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of 2-D average pooling: gradient spreads uniformly.
+pub fn avgpool2d_backward(
+    h: usize,
+    w: usize,
+    c: usize,
+    size: usize,
+    grad_out: &[f32],
+) -> Vec<f32> {
+    let (oh, ow) = (pool_out(h, size), pool_out(w, size));
+    let norm = 1.0 / (size * size) as f32;
+    let mut grad_in = vec![0.0f32; h * w * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * c;
+            for ky in 0..size {
+                for kx in 0..size {
+                    let in_base = ((oy * size + ky) * w + ox * size + kx) * c;
+                    for ch in 0..c {
+                        grad_in[in_base + ch] += grad_out[base + ch] * norm;
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Global average pooling: `(h, w, c)` → `(1, 1, c)`.
+pub fn global_avg_forward(input: &[f32], h: usize, w: usize, c: usize) -> Vec<f32> {
+    let norm = 1.0 / (h * w) as f32;
+    let mut out = vec![0.0f32; c];
+    for pix in input.chunks(c) {
+        for (o, &v) in out.iter_mut().zip(pix) {
+            *o += v * norm;
+        }
+    }
+    out
+}
+
+/// Backward pass of global average pooling.
+pub fn global_avg_backward(h: usize, w: usize, c: usize, grad_out: &[f32]) -> Vec<f32> {
+    let norm = 1.0 / (h * w) as f32;
+    let mut grad_in = vec![0.0f32; h * w * c];
+    for pix in grad_in.chunks_mut(c) {
+        for (g, &go) in pix.iter_mut().zip(grad_out) {
+            *g = go * norm;
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        // 4x4x1, 2x2 pooling
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 5.0, 2.0, 0.0,
+            3.0, 2.0, 8.0, 1.0,
+            0.0, 0.0, 1.0, 1.0,
+            9.0, 0.0, 1.0, 2.0,
+        ];
+        let out = maxpool2d_forward(&input, 4, 4, 1, 2);
+        assert_eq!(out, vec![5.0, 8.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_truncates_partial_windows() {
+        let input = vec![1.0; 5 * 5];
+        let out = maxpool2d_forward(&input, 5, 5, 1, 2);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 5.0,
+            3.0, 2.0,
+        ];
+        let grad = maxpool2d_backward(&input, 2, 2, 1, 2, &[7.0]);
+        assert_eq!(grad, vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let out = avgpool2d_forward(&input, 2, 2, 1, 2);
+        assert_eq!(out, vec![2.5]);
+        let grad = avgpool2d_backward(2, 2, 1, 2, &[4.0]);
+        assert_eq!(grad, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn pooling_respects_channels() {
+        // 2x2x2: channel 0 = [1,2,3,4], channel 1 = [10,20,30,40]
+        let input = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0];
+        let mx = maxpool2d_forward(&input, 2, 2, 2, 2);
+        assert_eq!(mx, vec![4.0, 40.0]);
+        let avg = avgpool2d_forward(&input, 2, 2, 2, 2);
+        assert_eq!(avg, vec![2.5, 25.0]);
+    }
+
+    #[test]
+    fn global_avg_and_backward() {
+        let input = vec![1.0, 10.0, 3.0, 30.0];
+        let out = global_avg_forward(&input, 2, 1, 2);
+        assert_eq!(out, vec![2.0, 20.0]);
+        let grad = global_avg_backward(2, 1, 2, &[4.0, 8.0]);
+        assert_eq!(grad, vec![2.0, 4.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_conserves_mass() {
+        let grad_out = vec![1.0f32; 4];
+        let grad_in = avgpool2d_backward(4, 4, 1, 2, &grad_out);
+        let total_out: f32 = grad_out.iter().sum();
+        let total_in: f32 = grad_in.iter().sum();
+        assert!((total_out - total_in).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Loss functions with analytic gradients.
+
+use crate::{NnError, Result};
+
+/// Loss function used by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Categorical cross-entropy over a softmax output.
+    ///
+    /// When the model's last layer is `Softmax`, the trainer uses the fused
+    /// gradient `p - y` at the logits, which is both faster and numerically
+    /// stabler than backpropagating through the softmax Jacobian.
+    CrossEntropy,
+    /// Mean squared error (regression / autoencoder workloads).
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Loss value for a predicted distribution/vector and a one-hot label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelOutOfRange`] when `label >= prediction.len()`.
+    pub fn value(self, prediction: &[f32], label: usize) -> Result<f32> {
+        if label >= prediction.len() {
+            return Err(NnError::LabelOutOfRange { label, classes: prediction.len() });
+        }
+        Ok(match self {
+            Loss::CrossEntropy => -(prediction[label].max(1e-12)).ln(),
+            Loss::MeanSquaredError => {
+                prediction
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let t = if i == label { 1.0 } else { 0.0 };
+                        (p - t).powi(2)
+                    })
+                    .sum::<f32>()
+                    / prediction.len() as f32
+            }
+        })
+    }
+
+    /// Gradient of the loss w.r.t. the *model output*.
+    ///
+    /// For [`Loss::CrossEntropy`] over a softmax output this is the fused
+    /// `p - y` gradient (to be injected *before* the softmax layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelOutOfRange`] when `label >= prediction.len()`.
+    pub fn gradient(self, prediction: &[f32], label: usize) -> Result<Vec<f32>> {
+        if label >= prediction.len() {
+            return Err(NnError::LabelOutOfRange { label, classes: prediction.len() });
+        }
+        Ok(match self {
+            Loss::CrossEntropy => prediction
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+                .collect(),
+            Loss::MeanSquaredError => {
+                let n = prediction.len() as f32;
+                prediction
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let t = if i == label { 1.0 } else { 0.0 };
+                        2.0 * (p - t) / n
+                    })
+                    .collect()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_value() {
+        let p = [0.7f32, 0.2, 0.1];
+        assert!((Loss::CrossEntropy.value(&p, 0).unwrap() - (-0.7f32.ln())).abs() < 1e-6);
+        assert!(Loss::CrossEntropy.value(&p, 3).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let p = [1.0f32, 0.0];
+        assert!(Loss::CrossEntropy.value(&p, 0).unwrap() < 1e-6);
+        // zero-probability true class stays finite
+        assert!(Loss::CrossEntropy.value(&p, 1).unwrap().is_finite());
+    }
+
+    #[test]
+    fn fused_gradient_sums_to_zero() {
+        let p = [0.5f32, 0.3, 0.2];
+        let g = Loss::CrossEntropy.gradient(&p, 1).unwrap();
+        assert!((g.iter().sum::<f32>()).abs() < 1e-6);
+        assert!(g[1] < 0.0, "true class gradient is negative");
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = [0.0f32, 1.0];
+        assert!(Loss::MeanSquaredError.value(&p, 1).unwrap() < 1e-9);
+        let g = Loss::MeanSquaredError.gradient(&[0.5, 0.5], 0).unwrap();
+        assert!(g[0] < 0.0 && g[1] > 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = [0.3f32, 0.6, 0.1];
+        let label = 2;
+        let g = Loss::MeanSquaredError.gradient(&p, label).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = p;
+            plus[i] += eps;
+            let mut minus = p;
+            minus[i] -= eps;
+            let num = (Loss::MeanSquaredError.value(&plus, label).unwrap()
+                - Loss::MeanSquaredError.value(&minus, label).unwrap())
+                / (2.0 * eps);
+            assert!((num - g[i]).abs() < 1e-3);
+        }
+    }
+}

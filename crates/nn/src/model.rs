@@ -1,0 +1,1293 @@
+//! Compiled sequential models: shape inference, forward, backward.
+
+use crate::layers::conv::{
+    conv1d_backward, conv1d_forward, conv2d_backward, conv2d_forward, depthwise_backward,
+    depthwise_forward, depthwise_macs, Conv1dGeom, Conv2dGeom,
+};
+use crate::layers::dense::{dense_backward, dense_forward, dense_macs};
+use crate::layers::pool::{
+    avgpool2d_backward, avgpool2d_forward, global_avg_backward, global_avg_forward,
+    maxpool2d_backward, maxpool2d_forward, pool_out,
+};
+use crate::spec::{Activation, Dims, LayerSpec, ModelSpec};
+#[cfg(test)]
+use crate::spec::Padding;
+use crate::{NnError, Result};
+use ei_tensor::init::{init_tensor, Init};
+use ei_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Epsilon used by batch normalization.
+const BN_EPS: f32 = 1e-3;
+
+/// A compiled layer: spec, resolved shapes and (optional) parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Layer {
+    /// The architecture description this layer was built from.
+    pub spec: LayerSpec,
+    /// Input activation dimensions.
+    pub input: Dims,
+    /// Output activation dimensions.
+    pub output: Dims,
+    /// Weight tensor, if the layer has one.
+    pub weights: Option<Tensor>,
+    /// Bias tensor, if the layer has one.
+    pub bias: Option<Tensor>,
+    /// Frozen layers are skipped by the optimizer (transfer learning).
+    pub frozen: bool,
+}
+
+impl Layer {
+    /// Trainable parameter count (frozen layers still report theirs).
+    pub fn param_count(&self) -> usize {
+        self.weights.as_ref().map_or(0, Tensor::len) + self.bias.as_ref().map_or(0, Tensor::len)
+    }
+
+    /// Multiply–accumulate count of one forward pass.
+    pub fn macs(&self) -> u64 {
+        match &self.spec {
+            LayerSpec::Dense { units, .. } => dense_macs(self.input.len(), *units),
+            LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => Conv1dGeom {
+                in_w: self.input.w,
+                in_c: self.input.c,
+                out_c: *filters,
+                kernel: *kernel,
+                stride: *stride,
+                padding: *padding,
+            }
+            .macs(),
+            LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => Conv2dGeom {
+                in_h: self.input.h,
+                in_w: self.input.w,
+                in_c: self.input.c,
+                out_c: *filters,
+                kernel_h: *kernel,
+                        kernel_w: *kernel,
+                stride: *stride,
+                padding: *padding,
+            }
+            .macs(),
+            LayerSpec::Conv2dRect { filters, kernel_h, kernel_w, stride, padding, .. } => {
+                Conv2dGeom {
+                    in_h: self.input.h,
+                    in_w: self.input.w,
+                    in_c: self.input.c,
+                    out_c: *filters,
+                    kernel_h: *kernel_h,
+                    kernel_w: *kernel_w,
+                    stride: *stride,
+                    padding: *padding,
+                }
+                .macs()
+            }
+            LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => {
+                depthwise_macs(Conv2dGeom {
+                    in_h: self.input.h,
+                    in_w: self.input.w,
+                    in_c: self.input.c,
+                    out_c: self.input.c,
+                    kernel_h: *kernel,
+                        kernel_w: *kernel,
+                    stride: *stride,
+                    padding: *padding,
+                })
+            }
+            LayerSpec::MaxPool { .. } | LayerSpec::AvgPool { .. } => self.input.len() as u64,
+            LayerSpec::GlobalAvgPool => self.input.len() as u64,
+            LayerSpec::BatchNorm => self.input.len() as u64 * 2,
+            LayerSpec::Softmax => self.input.len() as u64 * 4,
+            LayerSpec::Reshape { .. } | LayerSpec::Flatten | LayerSpec::Dropout { .. } => 0,
+        }
+    }
+
+    /// The activation function this layer applies, if any.
+    pub fn activation(&self) -> Activation {
+        match &self.spec {
+            LayerSpec::Dense { activation, .. }
+            | LayerSpec::Conv1d { activation, .. }
+            | LayerSpec::Conv2d { activation, .. }
+            | LayerSpec::Conv2dRect { activation, .. }
+            | LayerSpec::DepthwiseConv2d { activation, .. } => *activation,
+            _ => Activation::None,
+        }
+    }
+}
+
+/// Per-layer parameter gradients produced by one backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct LayerGrads {
+    /// Gradient w.r.t. the weight tensor, if the layer has weights.
+    pub weights: Option<Vec<f32>>,
+    /// Gradient w.r.t. the bias tensor, if the layer has a bias.
+    pub bias: Option<Vec<f32>>,
+}
+
+/// Intermediate activations recorded during a cached forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i + 1]` is layer `i`'s output.
+    pub activations: Vec<Vec<f32>>,
+    /// Dropout masks (1.0 = kept, 0.0 = dropped), recorded per layer.
+    pub masks: Vec<Option<Vec<f32>>>,
+}
+
+impl ForwardCache {
+    /// The model output (last activation).
+    pub fn output(&self) -> &[f32] {
+        self.activations.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A compiled sequential model.
+///
+/// Built from a [`ModelSpec`] with [`Sequential::build`]; supports
+/// inference ([`Sequential::forward`]), cached training passes and
+/// backpropagation, plus the resource accounting (`macs`, `param_count`)
+/// that the device cost model consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequential {
+    spec: ModelSpec,
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Compiles a spec: infers every shape and initializes parameters
+    /// deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] when a layer is incompatible with
+    /// its input shape (e.g. a kernel larger than the activation, a 1-D
+    /// convolution on 2-D data, or a reshape that changes the element count).
+    pub fn build(spec: &ModelSpec, seed: u64) -> Result<Sequential> {
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        let mut dims = spec.input;
+        for (index, layer_spec) in spec.layers.iter().enumerate() {
+            let invalid = |reason: String| NnError::InvalidLayer { index, reason };
+            let layer_seed = seed.wrapping_add(index as u64 * 0x9e37_79b9);
+            let layer = match layer_spec {
+                LayerSpec::Dense { units, .. } => {
+                    if *units == 0 {
+                        return Err(invalid("dense units must be non-zero".into()));
+                    }
+                    let fan_in = dims.len();
+                    let weights = init_tensor(
+                        Shape::d2(fan_in, *units),
+                        Init::XavierUniform,
+                        fan_in,
+                        *units,
+                        layer_seed,
+                    );
+                    let bias = Tensor::zeros_f32(Shape::d1(*units));
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: Dims::new(1, 1, *units),
+                        weights: Some(weights),
+                        bias: Some(bias),
+                        frozen: false,
+                    }
+                }
+                LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => {
+                    if dims.h != 1 {
+                        return Err(invalid(format!(
+                            "conv1d requires h == 1, got input {dims}"
+                        )));
+                    }
+                    if *filters == 0 || *kernel == 0 || *stride == 0 {
+                        return Err(invalid("conv1d parameters must be non-zero".into()));
+                    }
+                    let geom = Conv1dGeom {
+                        in_w: dims.w,
+                        in_c: dims.c,
+                        out_c: *filters,
+                        kernel: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let (ow, _) = geom.output();
+                    if ow == 0 {
+                        return Err(invalid(format!(
+                            "kernel {kernel} larger than input width {}",
+                            dims.w
+                        )));
+                    }
+                    let fan_in = kernel * dims.c;
+                    let weights = init_tensor(
+                        Shape::d3(*kernel, dims.c, *filters),
+                        Init::HeNormal,
+                        fan_in,
+                        kernel * filters,
+                        layer_seed,
+                    );
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: Dims::new(1, ow, *filters),
+                        weights: Some(weights),
+                        bias: Some(Tensor::zeros_f32(Shape::d1(*filters))),
+                        frozen: false,
+                    }
+                }
+                LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => {
+                    if *filters == 0 || *kernel == 0 || *stride == 0 {
+                        return Err(invalid("conv2d parameters must be non-zero".into()));
+                    }
+                    let geom = Conv2dGeom {
+                        in_h: dims.h,
+                        in_w: dims.w,
+                        in_c: dims.c,
+                        out_c: *filters,
+                        kernel_h: *kernel,
+                        kernel_w: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let (oh, ow, _, _) = geom.output();
+                    if oh == 0 || ow == 0 {
+                        return Err(invalid(format!(
+                            "kernel {kernel} larger than input {dims}"
+                        )));
+                    }
+                    let fan_in = kernel * kernel * dims.c;
+                    let weights = init_tensor(
+                        Shape::d4(*kernel, *kernel, dims.c, *filters),
+                        Init::HeNormal,
+                        fan_in,
+                        kernel * kernel * filters,
+                        layer_seed,
+                    );
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: Dims::new(oh, ow, *filters),
+                        weights: Some(weights),
+                        bias: Some(Tensor::zeros_f32(Shape::d1(*filters))),
+                        frozen: false,
+                    }
+                }
+                LayerSpec::Conv2dRect { filters, kernel_h, kernel_w, stride, padding, .. } => {
+                    if *filters == 0 || *kernel_h == 0 || *kernel_w == 0 || *stride == 0 {
+                        return Err(invalid("conv2d parameters must be non-zero".into()));
+                    }
+                    let geom = Conv2dGeom {
+                        in_h: dims.h,
+                        in_w: dims.w,
+                        in_c: dims.c,
+                        out_c: *filters,
+                        kernel_h: *kernel_h,
+                        kernel_w: *kernel_w,
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let (oh, ow, _, _) = geom.output();
+                    if oh == 0 || ow == 0 {
+                        return Err(invalid(format!(
+                            "kernel {kernel_h}x{kernel_w} larger than input {dims}"
+                        )));
+                    }
+                    let fan_in = kernel_h * kernel_w * dims.c;
+                    let weights = init_tensor(
+                        Shape::d4(*kernel_h, *kernel_w, dims.c, *filters),
+                        Init::HeNormal,
+                        fan_in,
+                        kernel_h * kernel_w * filters,
+                        layer_seed,
+                    );
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: Dims::new(oh, ow, *filters),
+                        weights: Some(weights),
+                        bias: Some(Tensor::zeros_f32(Shape::d1(*filters))),
+                        frozen: false,
+                    }
+                }
+                LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => {
+                    if *kernel == 0 || *stride == 0 {
+                        return Err(invalid("depthwise parameters must be non-zero".into()));
+                    }
+                    let geom = Conv2dGeom {
+                        in_h: dims.h,
+                        in_w: dims.w,
+                        in_c: dims.c,
+                        out_c: dims.c,
+                        kernel_h: *kernel,
+                        kernel_w: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let (oh, ow, _, _) = geom.output();
+                    if oh == 0 || ow == 0 {
+                        return Err(invalid(format!(
+                            "kernel {kernel} larger than input {dims}"
+                        )));
+                    }
+                    let fan_in = kernel * kernel;
+                    let weights = init_tensor(
+                        Shape::d3(*kernel, *kernel, dims.c),
+                        Init::HeNormal,
+                        fan_in,
+                        fan_in,
+                        layer_seed,
+                    );
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: Dims::new(oh, ow, dims.c),
+                        weights: Some(weights),
+                        bias: Some(Tensor::zeros_f32(Shape::d1(dims.c))),
+                        frozen: false,
+                    }
+                }
+                LayerSpec::MaxPool { size } | LayerSpec::AvgPool { size } => {
+                    if *size == 0 {
+                        return Err(invalid("pool size must be non-zero".into()));
+                    }
+                    let output = if dims.h == 1 {
+                        let ow = pool_out(dims.w, *size);
+                        if ow == 0 {
+                            return Err(invalid(format!(
+                                "pool size {size} larger than width {}",
+                                dims.w
+                            )));
+                        }
+                        Dims::new(1, ow, dims.c)
+                    } else {
+                        let (oh, ow) = (pool_out(dims.h, *size), pool_out(dims.w, *size));
+                        if oh == 0 || ow == 0 {
+                            return Err(invalid(format!(
+                                "pool size {size} larger than input {dims}"
+                            )));
+                        }
+                        Dims::new(oh, ow, dims.c)
+                    };
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output,
+                        weights: None,
+                        bias: None,
+                        frozen: false,
+                    }
+                }
+                LayerSpec::GlobalAvgPool => Layer {
+                    spec: layer_spec.clone(),
+                    input: dims,
+                    output: Dims::new(1, 1, dims.c),
+                    weights: None,
+                    bias: None,
+                    frozen: false,
+                },
+                LayerSpec::Reshape { h, w, c } => {
+                    let target = Dims::new(*h, *w, *c);
+                    if target.len() != dims.len() {
+                        return Err(invalid(format!(
+                            "reshape {target} has {} elements, input {dims} has {}",
+                            target.len(),
+                            dims.len()
+                        )));
+                    }
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: target,
+                        weights: None,
+                        bias: None,
+                        frozen: false,
+                    }
+                }
+                LayerSpec::Flatten => Layer {
+                    spec: layer_spec.clone(),
+                    input: dims,
+                    output: Dims::new(1, 1, dims.len()),
+                    weights: None,
+                    bias: None,
+                    frozen: false,
+                },
+                LayerSpec::Dropout { rate } => {
+                    if !(0.0..1.0).contains(rate) {
+                        return Err(invalid(format!("dropout rate {rate} must be in [0, 1)")));
+                    }
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: dims,
+                        weights: None,
+                        bias: None,
+                        frozen: false,
+                    }
+                }
+                LayerSpec::BatchNorm => {
+                    // rows: gamma, beta, running mean, running variance
+                    let c = dims.c;
+                    let mut data = vec![0.0f32; 4 * c];
+                    for g in data.iter_mut().take(c) {
+                        *g = 1.0; // gamma
+                    }
+                    for v in data.iter_mut().skip(3 * c) {
+                        *v = 1.0; // variance
+                    }
+                    Layer {
+                        spec: layer_spec.clone(),
+                        input: dims,
+                        output: dims,
+                        weights: Some(Tensor::from_f32(Shape::d2(4, c), data)?),
+                        bias: None,
+                        frozen: true,
+                    }
+                }
+                LayerSpec::Softmax => Layer {
+                    spec: layer_spec.clone(),
+                    input: dims,
+                    output: dims,
+                    weights: None,
+                    bias: None,
+                    frozen: false,
+                },
+            };
+            dims = layer.output;
+            layers.push(layer);
+        }
+        Ok(Sequential { spec: spec.clone(), layers })
+    }
+
+    /// Reassembles a model from a spec and pre-built layers.
+    ///
+    /// Used by graph transforms (operator fusion, quantization) that edit
+    /// the layer list while preserving trained parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] when the layer chain's shapes do
+    /// not connect or do not match the spec.
+    pub fn from_parts(spec: ModelSpec, layers: Vec<Layer>) -> Result<Sequential> {
+        if spec.layers.len() != layers.len() {
+            return Err(NnError::InvalidLayer {
+                index: 0,
+                reason: format!(
+                    "spec has {} layers but {} were provided",
+                    spec.layers.len(),
+                    layers.len()
+                ),
+            });
+        }
+        let mut dims = spec.input;
+        for (index, layer) in layers.iter().enumerate() {
+            if layer.input != dims {
+                return Err(NnError::InvalidLayer {
+                    index,
+                    reason: format!("expected input {dims}, layer declares {}", layer.input),
+                });
+            }
+            if layer.spec != spec.layers[index] {
+                return Err(NnError::InvalidLayer {
+                    index,
+                    reason: "layer spec does not match model spec".into(),
+                });
+            }
+            dims = layer.output;
+        }
+        Ok(Sequential { spec, layers })
+    }
+
+    /// The spec this model was compiled from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Input dimensions.
+    pub fn input_dims(&self) -> Dims {
+        self.spec.input
+    }
+
+    /// Output dimensions.
+    pub fn output_dims(&self) -> Dims {
+        self.layers.last().map_or(self.spec.input, |l| l.output)
+    }
+
+    /// Compiled layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the compiled layers (used by the optimizer and by
+    /// quantization/fusion passes).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Total multiply–accumulate count of one forward pass.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Size of the largest single activation (elements) — the dominant term
+    /// of inference RAM.
+    pub fn peak_activation_elems(&self) -> usize {
+        let mut peak = self.spec.input.len();
+        for l in &self.layers {
+            peak = peak.max(l.output.len());
+        }
+        peak
+    }
+
+    /// Freezes the first `n` layers (transfer learning, paper §4.3).
+    pub fn freeze_first(&mut self, n: usize) {
+        for layer in self.layers.iter_mut().take(n) {
+            layer.frozen = true;
+        }
+    }
+
+    /// Sets the bias of the final parameterized layer — classifier bias
+    /// initialization from class priors (paper §4.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no parameterized layer exists or the length differs.
+    pub fn set_output_bias(&mut self, values: &[f32]) -> Result<()> {
+        let layer = self
+            .layers
+            .iter_mut()
+            .rev()
+            .find(|l| l.bias.is_some())
+            .ok_or_else(|| NnError::InvalidTrainingData("model has no biased layer".into()))?;
+        let bias = layer.bias.as_mut().expect("filtered for Some above");
+        if bias.len() != values.len() {
+            return Err(NnError::InputLengthMismatch { expected: bias.len(), actual: values.len() });
+        }
+        bias.as_f32_mut()?.copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Inference forward pass (dropout disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputLengthMismatch`] for wrongly sized inputs.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>> {
+        let cache = self.forward_cached(input, false, None)?;
+        Ok(cache.activations.into_iter().next_back().unwrap_or_default())
+    }
+
+    /// Forward pass that records every intermediate activation.
+    ///
+    /// With `training == true`, dropout layers sample masks from `rng`
+    /// (required in that case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputLengthMismatch`] for wrongly sized inputs, or
+    /// [`NnError::InvalidTrainingData`] when training mode lacks an RNG.
+    pub fn forward_cached(
+        &self,
+        input: &[f32],
+        training: bool,
+        mut rng: Option<&mut StdRng>,
+    ) -> Result<ForwardCache> {
+        if input.len() != self.spec.input.len() {
+            return Err(NnError::InputLengthMismatch {
+                expected: self.spec.input.len(),
+                actual: input.len(),
+            });
+        }
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut masks = Vec::with_capacity(self.layers.len());
+        activations.push(input.to_vec());
+        for layer in &self.layers {
+            let x = activations.last().expect("seeded with input");
+            let mut mask = None;
+            let mut out = match &layer.spec {
+                LayerSpec::Dense { units, .. } => dense_forward(
+                    x,
+                    layer.weights.as_ref().expect("dense has weights").as_f32()?,
+                    layer.bias.as_ref().expect("dense has bias").as_f32()?,
+                    *units,
+                ),
+                LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => conv1d_forward(
+                    x,
+                    layer.weights.as_ref().expect("conv1d has weights").as_f32()?,
+                    layer.bias.as_ref().expect("conv1d has bias").as_f32()?,
+                    Conv1dGeom {
+                        in_w: layer.input.w,
+                        in_c: layer.input.c,
+                        out_c: *filters,
+                        kernel: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    },
+                ),
+                LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => conv2d_forward(
+                    x,
+                    layer.weights.as_ref().expect("conv2d has weights").as_f32()?,
+                    layer.bias.as_ref().expect("conv2d has bias").as_f32()?,
+                    Conv2dGeom {
+                        in_h: layer.input.h,
+                        in_w: layer.input.w,
+                        in_c: layer.input.c,
+                        out_c: *filters,
+                        kernel_h: *kernel,
+                        kernel_w: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    },
+                ),
+                LayerSpec::Conv2dRect { filters, kernel_h, kernel_w, stride, padding, .. } => {
+                    conv2d_forward(
+                        x,
+                        layer.weights.as_ref().expect("conv2d has weights").as_f32()?,
+                        layer.bias.as_ref().expect("conv2d has bias").as_f32()?,
+                        Conv2dGeom {
+                            in_h: layer.input.h,
+                            in_w: layer.input.w,
+                            in_c: layer.input.c,
+                            out_c: *filters,
+                            kernel_h: *kernel_h,
+                            kernel_w: *kernel_w,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                    )
+                }
+                LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => depthwise_forward(
+                    x,
+                    layer.weights.as_ref().expect("depthwise has weights").as_f32()?,
+                    layer.bias.as_ref().expect("depthwise has bias").as_f32()?,
+                    Conv2dGeom {
+                        in_h: layer.input.h,
+                        in_w: layer.input.w,
+                        in_c: layer.input.c,
+                        out_c: layer.input.c,
+                        kernel_h: *kernel,
+                        kernel_w: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    },
+                ),
+                LayerSpec::MaxPool { size } => {
+                    if layer.input.h == 1 {
+                        pool1d(x, layer.input.w, layer.input.c, *size, true)
+                    } else {
+                        maxpool2d_forward(x, layer.input.h, layer.input.w, layer.input.c, *size)
+                    }
+                }
+                LayerSpec::AvgPool { size } => {
+                    if layer.input.h == 1 {
+                        pool1d(x, layer.input.w, layer.input.c, *size, false)
+                    } else {
+                        avgpool2d_forward(x, layer.input.h, layer.input.w, layer.input.c, *size)
+                    }
+                }
+                LayerSpec::GlobalAvgPool => {
+                    global_avg_forward(x, layer.input.h, layer.input.w, layer.input.c)
+                }
+                LayerSpec::Reshape { .. } | LayerSpec::Flatten => x.clone(),
+                LayerSpec::Dropout { rate } => {
+                    if training {
+                        let rng = rng.as_deref_mut().ok_or_else(|| {
+                            NnError::InvalidTrainingData(
+                                "training forward pass requires an rng for dropout".into(),
+                            )
+                        })?;
+                        let keep = 1.0 - rate;
+                        let m: Vec<f32> = (0..x.len())
+                            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                            .collect();
+                        let out = x.iter().zip(&m).map(|(v, k)| v * k).collect();
+                        mask = Some(m);
+                        out
+                    } else {
+                        x.clone()
+                    }
+                }
+                LayerSpec::BatchNorm => {
+                    let params = layer.weights.as_ref().expect("bn has params").as_f32()?;
+                    let c = layer.input.c;
+                    let (gamma, rest) = params.split_at(c);
+                    let (beta, rest) = rest.split_at(c);
+                    let (mean, var) = rest.split_at(c);
+                    x.chunks(c)
+                        .flat_map(|pix| {
+                            pix.iter().enumerate().map(|(ch, &v)| {
+                                (v - mean[ch]) / (var[ch] + BN_EPS).sqrt() * gamma[ch] + beta[ch]
+                            })
+                        })
+                        .collect()
+                }
+                LayerSpec::Softmax => ei_tensor::ops::softmax(x),
+            };
+            // fused activation
+            let act = layer.activation();
+            if act != Activation::None {
+                for v in &mut out {
+                    *v = act.apply(*v);
+                }
+            }
+            masks.push(mask);
+            activations.push(out);
+        }
+        Ok(ForwardCache { activations, masks })
+    }
+
+    /// Backpropagates `grad_output` (w.r.t. the model output) through the
+    /// network, returning per-layer parameter gradients and consuming the
+    /// forward cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputLengthMismatch`] when `grad_output` does not
+    /// match the output size.
+    pub fn backward(&self, cache: &ForwardCache, grad_output: &[f32]) -> Result<Vec<LayerGrads>> {
+        self.backward_from(cache, grad_output, self.layers.len())
+    }
+
+    /// Backpropagates starting from the *output of layer `start - 1`*,
+    /// skipping layers `start..`.
+    ///
+    /// The trainer uses this for the fused softmax + cross-entropy gradient:
+    /// with a trailing `Softmax` layer it injects `p − y` directly at the
+    /// logits (`start = len − 1`), which is faster and numerically stabler
+    /// than backpropagating through the softmax Jacobian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputLengthMismatch`] when `grad_output` does not
+    /// match the activation size at `start`.
+    pub fn backward_from(
+        &self,
+        cache: &ForwardCache,
+        grad_output: &[f32],
+        start: usize,
+    ) -> Result<Vec<LayerGrads>> {
+        let expected = if start == 0 { self.spec.input.len() } else { self.layers[start - 1].output.len() };
+        if grad_output.len() != expected {
+            return Err(NnError::InputLengthMismatch {
+                expected,
+                actual: grad_output.len(),
+            });
+        }
+        let mut grads = vec![LayerGrads::default(); self.layers.len()];
+        let mut grad = grad_output.to_vec();
+        for (i, layer) in self.layers.iter().enumerate().take(start).rev() {
+            let input = &cache.activations[i];
+            let output = &cache.activations[i + 1];
+            // undo fused activation
+            let act = layer.activation();
+            if act != Activation::None {
+                for (g, &y) in grad.iter_mut().zip(output) {
+                    *g *= act.derivative_from_output(y);
+                }
+            }
+            grad = match &layer.spec {
+                LayerSpec::Dense { units, .. } => {
+                    let (gin, gw, gb) = dense_backward(
+                        input,
+                        layer.weights.as_ref().expect("dense has weights").as_f32()?,
+                        *units,
+                        &grad,
+                    );
+                    grads[i] = LayerGrads { weights: Some(gw), bias: Some(gb) };
+                    gin
+                }
+                LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => {
+                    let (gin, gw, gb) = conv1d_backward(
+                        input,
+                        layer.weights.as_ref().expect("conv1d has weights").as_f32()?,
+                        Conv1dGeom {
+                            in_w: layer.input.w,
+                            in_c: layer.input.c,
+                            out_c: *filters,
+                            kernel: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                        &grad,
+                    );
+                    grads[i] = LayerGrads { weights: Some(gw), bias: Some(gb) };
+                    gin
+                }
+                LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => {
+                    let (gin, gw, gb) = conv2d_backward(
+                        input,
+                        layer.weights.as_ref().expect("conv2d has weights").as_f32()?,
+                        Conv2dGeom {
+                            in_h: layer.input.h,
+                            in_w: layer.input.w,
+                            in_c: layer.input.c,
+                            out_c: *filters,
+                            kernel_h: *kernel,
+                        kernel_w: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                        &grad,
+                    );
+                    grads[i] = LayerGrads { weights: Some(gw), bias: Some(gb) };
+                    gin
+                }
+                LayerSpec::Conv2dRect { filters, kernel_h, kernel_w, stride, padding, .. } => {
+                    let (gin, gw, gb) = conv2d_backward(
+                        input,
+                        layer.weights.as_ref().expect("conv2d has weights").as_f32()?,
+                        Conv2dGeom {
+                            in_h: layer.input.h,
+                            in_w: layer.input.w,
+                            in_c: layer.input.c,
+                            out_c: *filters,
+                            kernel_h: *kernel_h,
+                            kernel_w: *kernel_w,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                        &grad,
+                    );
+                    grads[i] = LayerGrads { weights: Some(gw), bias: Some(gb) };
+                    gin
+                }
+                LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => {
+                    let (gin, gw, gb) = depthwise_backward(
+                        input,
+                        layer.weights.as_ref().expect("depthwise has weights").as_f32()?,
+                        Conv2dGeom {
+                            in_h: layer.input.h,
+                            in_w: layer.input.w,
+                            in_c: layer.input.c,
+                            out_c: layer.input.c,
+                            kernel_h: *kernel,
+                        kernel_w: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                        &grad,
+                    );
+                    grads[i] = LayerGrads { weights: Some(gw), bias: Some(gb) };
+                    gin
+                }
+                LayerSpec::MaxPool { size } => {
+                    if layer.input.h == 1 {
+                        pool1d_backward(input, layer.input.w, layer.input.c, *size, &grad, true)
+                    } else {
+                        maxpool2d_backward(
+                            input,
+                            layer.input.h,
+                            layer.input.w,
+                            layer.input.c,
+                            *size,
+                            &grad,
+                        )
+                    }
+                }
+                LayerSpec::AvgPool { size } => {
+                    if layer.input.h == 1 {
+                        pool1d_backward(input, layer.input.w, layer.input.c, *size, &grad, false)
+                    } else {
+                        avgpool2d_backward(
+                            layer.input.h,
+                            layer.input.w,
+                            layer.input.c,
+                            *size,
+                            &grad,
+                        )
+                    }
+                }
+                LayerSpec::GlobalAvgPool => {
+                    global_avg_backward(layer.input.h, layer.input.w, layer.input.c, &grad)
+                }
+                LayerSpec::Reshape { .. } | LayerSpec::Flatten => grad,
+                LayerSpec::Dropout { .. } => match &cache.masks[i] {
+                    Some(mask) => grad.iter().zip(mask).map(|(g, m)| g * m).collect(),
+                    None => grad,
+                },
+                LayerSpec::BatchNorm => {
+                    let params = layer.weights.as_ref().expect("bn has params").as_f32()?;
+                    let c = layer.input.c;
+                    let gamma = &params[..c];
+                    let var = &params[3 * c..4 * c];
+                    grad.iter()
+                        .enumerate()
+                        .map(|(idx, g)| {
+                            let ch = idx % c;
+                            g * gamma[ch] / (var[ch] + BN_EPS).sqrt()
+                        })
+                        .collect()
+                }
+                LayerSpec::Softmax => {
+                    // dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+                    let dot: f32 = grad.iter().zip(output).map(|(g, y)| g * y).sum();
+                    grad.iter().zip(output).map(|(g, y)| y * (g - dot)).collect()
+                }
+            };
+        }
+        Ok(grads)
+    }
+}
+
+/// 1-D pooling over `(w, c)` steps with non-overlapping windows.
+fn pool1d(input: &[f32], w: usize, c: usize, size: usize, is_max: bool) -> Vec<f32> {
+    let ow = pool_out(w, size);
+    let mut out = vec![if is_max { f32::NEG_INFINITY } else { 0.0 }; ow * c];
+    let norm = 1.0 / size as f32;
+    for ox in 0..ow {
+        for k in 0..size {
+            let in_base = (ox * size + k) * c;
+            for ch in 0..c {
+                let v = input[in_base + ch];
+                let slot = &mut out[ox * c + ch];
+                if is_max {
+                    if v > *slot {
+                        *slot = v;
+                    }
+                } else {
+                    *slot += v * norm;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`pool1d`].
+fn pool1d_backward(
+    input: &[f32],
+    w: usize,
+    c: usize,
+    size: usize,
+    grad_out: &[f32],
+    is_max: bool,
+) -> Vec<f32> {
+    let ow = pool_out(w, size);
+    let mut grad_in = vec![0.0f32; input.len()];
+    let norm = 1.0 / size as f32;
+    for ox in 0..ow {
+        for ch in 0..c {
+            if is_max {
+                let mut best_idx = ox * size * c + ch;
+                let mut best = f32::NEG_INFINITY;
+                for k in 0..size {
+                    let idx = (ox * size + k) * c + ch;
+                    if input[idx] > best {
+                        best = input[idx];
+                        best_idx = idx;
+                    }
+                }
+                grad_in[best_idx] += grad_out[ox * c + ch];
+            } else {
+                for k in 0..size {
+                    grad_in[(ox * size + k) * c + ch] += grad_out[ox * c + ch] * norm;
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_spec() -> ModelSpec {
+        ModelSpec::new(Dims::new(1, 4, 1))
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 5, activation: Activation::Relu })
+            .layer(LayerSpec::Dense { units: 3, activation: Activation::None })
+            .layer(LayerSpec::Softmax)
+    }
+
+    #[test]
+    fn build_resolves_shapes() {
+        let model = Sequential::build(&tiny_spec(), 1).unwrap();
+        assert_eq!(model.output_dims().len(), 3);
+        assert_eq!(model.param_count(), 4 * 5 + 5 + 5 * 3 + 3);
+        assert!(model.macs() >= (4 * 5 + 5 * 3) as u64);
+    }
+
+    #[test]
+    fn forward_produces_distribution_after_softmax() {
+        let model = Sequential::build(&tiny_spec(), 1).unwrap();
+        let out = model.forward(&[0.5, -0.2, 0.1, 0.9]).unwrap();
+        assert_eq!(out.len(), 3);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_len() {
+        let model = Sequential::build(&tiny_spec(), 1).unwrap();
+        assert!(model.forward(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_bad_layers() {
+        let bad = ModelSpec::new(Dims::new(4, 4, 1)).layer(LayerSpec::Conv1d {
+            filters: 2,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Valid,
+            activation: Activation::None,
+        });
+        assert!(matches!(
+            Sequential::build(&bad, 0).unwrap_err(),
+            NnError::InvalidLayer { index: 0, .. }
+        ));
+        let too_big = ModelSpec::new(Dims::new(2, 2, 1)).layer(LayerSpec::Conv2d {
+            filters: 2,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Valid,
+            activation: Activation::None,
+        });
+        assert!(Sequential::build(&too_big, 0).is_err());
+        let bad_reshape =
+            ModelSpec::new(Dims::new(2, 2, 1)).layer(LayerSpec::Reshape { h: 3, w: 1, c: 1 });
+        assert!(Sequential::build(&bad_reshape, 0).is_err());
+        let bad_dropout =
+            ModelSpec::new(Dims::new(2, 2, 1)).layer(LayerSpec::Dropout { rate: 1.5 });
+        assert!(Sequential::build(&bad_dropout, 0).is_err());
+    }
+
+    #[test]
+    fn conv_model_shapes() {
+        let spec = ModelSpec::new(Dims::new(8, 8, 1))
+            .layer(LayerSpec::Conv2d {
+                filters: 4,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::MaxPool { size: 2 })
+            .layer(LayerSpec::DepthwiseConv2d {
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::GlobalAvgPool)
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::None });
+        let model = Sequential::build(&spec, 3).unwrap();
+        let dims: Vec<Dims> = model.layers().iter().map(|l| l.output).collect();
+        assert_eq!(dims[0], Dims::new(8, 8, 4));
+        assert_eq!(dims[1], Dims::new(4, 4, 4));
+        assert_eq!(dims[2], Dims::new(4, 4, 4));
+        assert_eq!(dims[3], Dims::new(1, 1, 4));
+        assert_eq!(dims[4], Dims::new(1, 1, 2));
+        let out = model.forward(&vec![0.1; 64]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn rect_conv_shapes_and_gradients() {
+        let spec = ModelSpec::new(Dims::new(10, 4, 1))
+            .layer(LayerSpec::Conv2dRect {
+                filters: 3,
+                kernel_h: 5,
+                kernel_w: 2,
+                stride: 2,
+                padding: Padding::Same,
+                activation: Activation::Tanh,
+            })
+            .layer(LayerSpec::GlobalAvgPool)
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::None });
+        let mut model = Sequential::build(&spec, 4).unwrap();
+        assert_eq!(model.layers()[0].output, Dims::new(5, 2, 3));
+        assert_eq!(
+            model.layers()[0].weights.as_ref().unwrap().shape().dims(),
+            &[5, 2, 1, 3]
+        );
+        // rectangular macs: 5*2*1*3 per output position * 10 positions
+        assert_eq!(model.layers()[0].macs(), 5 * 2 * 3 * 10);
+        // finite-difference check on the rect-conv weights
+        let input: Vec<f32> = (0..40).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect();
+        let cache = model.forward_cached(&input, false, None).unwrap();
+        let grads = model.backward(&cache, &[1.0, 1.0]).unwrap();
+        let eps = 1e-3f32;
+        for k in (0..30).step_by(3) {
+            let orig = model.layers()[0].weights.as_ref().unwrap().as_f32().unwrap()[k];
+            model.layers_mut()[0].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig + eps;
+            let plus: f32 = model.forward(&input).unwrap().iter().sum();
+            model.layers_mut()[0].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig - eps;
+            let minus: f32 = model.forward(&input).unwrap().iter().sum();
+            model.layers_mut()[0].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads[0].weights.as_ref().unwrap()[k];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "rect weight {k}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // rect conv that degenerates to square behaves like Conv2d
+        let square = ModelSpec::new(Dims::new(6, 6, 1))
+            .layer(LayerSpec::Conv2d {
+                filters: 2,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Valid,
+                activation: Activation::None,
+            });
+        let rect = ModelSpec::new(Dims::new(6, 6, 1))
+            .layer(LayerSpec::Conv2dRect {
+                filters: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: Padding::Valid,
+                activation: Activation::None,
+            });
+        let ms = Sequential::build(&square, 99).unwrap();
+        let mr = Sequential::build(&rect, 99).unwrap();
+        let probe = vec![0.3f32; 36];
+        assert_eq!(ms.forward(&probe).unwrap(), mr.forward(&probe).unwrap());
+    }
+
+    #[test]
+    fn whole_model_gradient_matches_finite_difference() {
+        let spec = ModelSpec::new(Dims::new(1, 6, 1))
+            .layer(LayerSpec::Reshape { h: 1, w: 3, c: 2 })
+            .layer(LayerSpec::Conv1d {
+                filters: 3,
+                kernel: 2,
+                stride: 1,
+                padding: Padding::Valid,
+                activation: Activation::Tanh,
+            })
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::None });
+        let mut model = Sequential::build(&spec, 11).unwrap();
+        let input = [0.3f32, -0.1, 0.7, 0.2, -0.5, 0.9];
+        // loss = sum of outputs
+        let cache = model.forward_cached(&input, false, None).unwrap();
+        let grads = model.backward(&cache, &[1.0, 1.0]).unwrap();
+        let eps = 1e-3f32;
+        // check dense weights (layer 3) and conv weights (layer 1)
+        for li in [1usize, 3] {
+            let n = model.layers()[li].weights.as_ref().unwrap().len();
+            for k in (0..n).step_by(2) {
+                let orig = model.layers()[li].weights.as_ref().unwrap().as_f32().unwrap()[k];
+                model.layers_mut()[li].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] =
+                    orig + eps;
+                let plus: f32 = model.forward(&input).unwrap().iter().sum();
+                model.layers_mut()[li].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] =
+                    orig - eps;
+                let minus: f32 = model.forward(&input).unwrap().iter().sum();
+                model.layers_mut()[li].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig;
+                let numeric = (plus - minus) / (2.0 * eps);
+                let analytic = grads[li].weights.as_ref().unwrap()[k];
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "layer {li} weight {k}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let spec = ModelSpec::new(Dims::new(1, 3, 1))
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 3, activation: Activation::None })
+            .layer(LayerSpec::Softmax);
+        let mut model = Sequential::build(&spec, 5).unwrap();
+        let input = [0.2f32, -0.4, 0.6];
+        // loss = out[0]
+        let cache = model.forward_cached(&input, false, None).unwrap();
+        let grads = model.backward(&cache, &[1.0, 0.0, 0.0]).unwrap();
+        let eps = 1e-3f32;
+        let w_len = model.layers()[1].weights.as_ref().unwrap().len();
+        for k in 0..w_len {
+            let orig = model.layers()[1].weights.as_ref().unwrap().as_f32().unwrap()[k];
+            model.layers_mut()[1].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig + eps;
+            let plus = model.forward(&input).unwrap()[0];
+            model.layers_mut()[1].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig - eps;
+            let minus = model.forward(&input).unwrap()[0];
+            model.layers_mut()[1].weights.as_mut().unwrap().as_f32_mut().unwrap()[k] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads[1].weights.as_ref().unwrap()[k];
+            assert!((numeric - analytic).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dropout_training_vs_inference() {
+        let spec = ModelSpec::new(Dims::new(1, 100, 1)).layer(LayerSpec::Dropout { rate: 0.5 });
+        let model = Sequential::build(&spec, 0).unwrap();
+        let input = vec![1.0f32; 100];
+        // inference: identity
+        assert_eq!(model.forward(&input).unwrap(), input);
+        // training: roughly half dropped, survivors scaled by 2
+        let mut rng = StdRng::seed_from_u64(7);
+        let cache = model.forward_cached(&input, true, Some(&mut rng)).unwrap();
+        let out = cache.output();
+        let dropped = out.iter().filter(|&&v| v == 0.0).count();
+        assert!((20..80).contains(&dropped), "dropped {dropped}");
+        assert!(out.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // training without rng errors
+        assert!(model.forward_cached(&input, true, None).is_err());
+    }
+
+    #[test]
+    fn batchnorm_identity_by_default() {
+        let spec = ModelSpec::new(Dims::new(2, 2, 3)).layer(LayerSpec::BatchNorm);
+        let model = Sequential::build(&spec, 0).unwrap();
+        let input: Vec<f32> = (0..12).map(|x| x as f32 * 0.1).collect();
+        let out = model.forward(&input).unwrap();
+        for (o, i) in out.iter().zip(&input) {
+            assert!((o - i).abs() < 1e-3, "bn with identity params ~ identity");
+        }
+        assert!(model.layers()[0].frozen, "bn params are frozen");
+    }
+
+    #[test]
+    fn freeze_and_bias_init() {
+        let mut model = Sequential::build(&tiny_spec(), 1).unwrap();
+        model.freeze_first(2);
+        assert!(model.layers()[1].frozen);
+        assert!(!model.layers()[2].frozen);
+        model.set_output_bias(&[0.1, 0.2, 0.3]).unwrap();
+        let bias = model.layers()[2].bias.as_ref().unwrap().as_f32().unwrap().to_vec();
+        assert_eq!(bias, vec![0.1, 0.2, 0.3]);
+        assert!(model.set_output_bias(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = Sequential::build(&tiny_spec(), 9).unwrap();
+        let b = Sequential::build(&tiny_spec(), 9).unwrap();
+        let input = [0.1f32, 0.2, 0.3, 0.4];
+        assert_eq!(a.forward(&input).unwrap(), b.forward(&input).unwrap());
+    }
+
+    #[test]
+    fn pool1d_max_and_avg() {
+        let spec_max = ModelSpec::new(Dims::new(1, 6, 1)).layer(LayerSpec::MaxPool { size: 2 });
+        let model = Sequential::build(&spec_max, 0).unwrap();
+        let out = model.forward(&[1.0, 3.0, 2.0, 2.0, 5.0, 0.0]).unwrap();
+        assert_eq!(out, vec![3.0, 2.0, 5.0]);
+        let spec_avg = ModelSpec::new(Dims::new(1, 6, 1)).layer(LayerSpec::AvgPool { size: 3 });
+        let model = Sequential::build(&spec_avg, 0).unwrap();
+        let out = model.forward(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(out, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn peak_activation_tracks_largest_layer() {
+        let spec = ModelSpec::new(Dims::new(8, 8, 1))
+            .layer(LayerSpec::Conv2d {
+                filters: 16,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::GlobalAvgPool);
+        let model = Sequential::build(&spec, 0).unwrap();
+        assert_eq!(model.peak_activation_elems(), 8 * 8 * 16);
+    }
+}

@@ -1,0 +1,164 @@
+//! Gradient-descent optimizers: SGD with momentum and Adam.
+
+use std::collections::HashMap;
+
+/// Identifies one parameter tensor within a model.
+///
+/// `(layer index, 0 = weights / 1 = bias)`.
+pub type ParamKey = (usize, u8);
+
+/// Optimizer algorithm and hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+}
+
+impl Default for OptimizerKind {
+    /// Adam with the canonical defaults — what the platform's learn blocks
+    /// use out of the box.
+    fn default() -> Self {
+        OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-7 }
+    }
+}
+
+/// A stateful optimizer: per-parameter moment buffers keyed by [`ParamKey`].
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    /// SGD velocity or Adam first moment.
+    m: HashMap<ParamKey, Vec<f32>>,
+    /// Adam second moment.
+    v: HashMap<ParamKey, Vec<f32>>,
+    /// Adam step counter (for bias correction).
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer of the given kind.
+    pub fn new(kind: OptimizerKind) -> Optimizer {
+        Optimizer { kind, m: HashMap::new(), v: HashMap::new(), t: 0 }
+    }
+
+    /// Advances the shared step counter — call once per minibatch, before
+    /// the per-parameter [`Optimizer::step`] calls of that batch.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one update to `params` in place given `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `params` and `grads` have equal lengths and that
+    /// [`Optimizer::begin_step`] was called at least once.
+    pub fn step(&mut self, key: ParamKey, params: &mut [f32], grads: &[f32], lr: f32) {
+        debug_assert_eq!(params.len(), grads.len());
+        debug_assert!(self.t > 0, "call begin_step before step");
+        match self.kind {
+            OptimizerKind::Sgd { momentum } => {
+                let vel = self.m.entry(key).or_insert_with(|| vec![0.0; params.len()]);
+                for ((p, &g), v) in params.iter_mut().zip(grads).zip(vel.iter_mut()) {
+                    *v = momentum * *v - lr * g;
+                    *p += *v;
+                }
+            }
+            OptimizerKind::Adam { beta1, beta2, eps } => {
+                let m = self.m.entry(key).or_insert_with(|| vec![0.0; params.len()]);
+                let v = self.v.entry(key).or_insert_with(|| vec![0.0; params.len()]);
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for i in 0..params.len() {
+                    let g = grads[i];
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+                    let m_hat = m[i] / bc1;
+                    let v_hat = v[i] / bc2;
+                    params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    /// Clears all moment buffers (used when restarting training).
+    pub fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 and returns the final x.
+    fn minimize(kind: OptimizerKind, lr: f32, steps: usize) -> f32 {
+        let mut opt = Optimizer::new(kind);
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.begin_step();
+            opt.step((0, 0), &mut x, &grad, lr);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(OptimizerKind::Sgd { momentum: 0.0 }, 0.1, 100);
+        assert!((x - 3.0).abs() < 1e-3, "sgd converged to {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = minimize(OptimizerKind::Sgd { momentum: 0.0 }, 0.01, 50);
+        let fast = minimize(OptimizerKind::Sgd { momentum: 0.9 }, 0.01, 50);
+        assert!((fast - 3.0).abs() < (plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(OptimizerKind::default(), 0.1, 500);
+        assert!((x - 3.0).abs() < 1e-2, "adam converged to {x}");
+    }
+
+    #[test]
+    fn separate_keys_have_separate_state() {
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.9 });
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        opt.begin_step();
+        opt.step((0, 0), &mut a, &[1.0], 0.1);
+        opt.step((1, 0), &mut b, &[1.0], 0.1);
+        // both get the same first update despite sharing the optimizer
+        assert_eq!(a[0], b[0]);
+        // second step with zero grad for b: momentum should still move it
+        opt.begin_step();
+        opt.step((1, 0), &mut b, &[0.0], 0.1);
+        assert!(b[0] < a[0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Optimizer::new(OptimizerKind::default());
+        let mut x = [1.0f32];
+        opt.begin_step();
+        opt.step((0, 0), &mut x, &[1.0], 0.01);
+        opt.reset();
+        assert_eq!(opt.t, 0);
+        assert!(opt.m.is_empty() && opt.v.is_empty());
+    }
+}

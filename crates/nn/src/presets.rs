@@ -1,0 +1,342 @@
+//! Preset architectures matching the paper's evaluation models (§5.1).
+//!
+//! * [`ds_cnn`] — depthwise-separable CNN for keyword spotting
+//!   (Sørensen et al. 2020, the MLPerf Tiny KWS model);
+//! * [`mobilenet_v1`] — MobileNetV1 with a width multiplier, the Visual
+//!   Wake Words model (α = 0.25 in the paper);
+//! * [`mobilenet_v2_like`] — sequential approximation of MobileNetV2
+//!   (expansion + depthwise + projection, no residual connections) used by
+//!   the EON Tuner exploration in paper Table 3;
+//! * [`conv1d_stack`] — the `Nx conv1d (a to b)` family from Table 3;
+//! * [`cifar_cnn`] — the "simple convolutional neural network" trained on
+//!   CIFAR-10 for the image-classification task;
+//! * [`dense_mlp`] — small fully-connected baseline.
+
+use crate::spec::{Activation, Dims, LayerSpec, ModelSpec, Padding};
+
+/// Scales a channel count by a width multiplier, keeping at least 4 and
+/// rounding to a multiple of 4 (hardware-friendly).
+fn scale_channels(base: usize, alpha: f32) -> usize {
+    let scaled = (base as f32 * alpha).round() as usize;
+    scaled.max(4).div_ceil(4) * 4
+}
+
+/// Depthwise-separable CNN for keyword spotting.
+///
+/// `input` is the DSP output layout `(frames, coefficients, 1)`; `width`
+/// is the channel count of every separable block (64 in the reference
+/// model).
+pub fn ds_cnn(input: Dims, classes: usize, width: usize) -> ModelSpec {
+    // the reference model's stem is a rectangular 10x4 convolution over
+    // (time, coefficients) at stride 2
+    let mut spec = ModelSpec::new(input).named("DS-CNN").layer(LayerSpec::Conv2dRect {
+        filters: width,
+        kernel_h: 10.min(input.h),
+        kernel_w: 4.min(input.w),
+        stride: 2,
+        padding: Padding::Same,
+        activation: Activation::Relu,
+    });
+    for _ in 0..4 {
+        spec = spec
+            .layer(LayerSpec::DepthwiseConv2d {
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::Conv2d {
+                filters: width,
+                kernel: 1,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            });
+    }
+    spec.layer(LayerSpec::Dropout { rate: 0.2 })
+        .layer(LayerSpec::GlobalAvgPool)
+        .layer(LayerSpec::Dense { units: classes, activation: Activation::None })
+        .layer(LayerSpec::Softmax)
+}
+
+/// MobileNetV1 with width multiplier `alpha`.
+///
+/// `input` is the image layout `(h, w, c)` from the image block.
+pub fn mobilenet_v1(input: Dims, classes: usize, alpha: f32) -> ModelSpec {
+    // (channels, stride) sequence of the 13 separable blocks
+    const BLOCKS: &[(usize, usize)] = &[
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    let mut spec =
+        ModelSpec::new(input).named(&format!("MobileNetV1 {alpha}")).layer(LayerSpec::Conv2d {
+            filters: scale_channels(32, alpha),
+            kernel: 3,
+            stride: 2,
+            padding: Padding::Same,
+            activation: Activation::Relu6,
+        });
+    for &(ch, stride) in BLOCKS {
+        spec = spec
+            .layer(LayerSpec::DepthwiseConv2d {
+                kernel: 3,
+                stride,
+                padding: Padding::Same,
+                activation: Activation::Relu6,
+            })
+            .layer(LayerSpec::Conv2d {
+                filters: scale_channels(ch, alpha),
+                kernel: 1,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu6,
+            });
+    }
+    spec.layer(LayerSpec::GlobalAvgPool)
+        .layer(LayerSpec::Dropout { rate: 0.1 })
+        .layer(LayerSpec::Dense { units: classes, activation: Activation::None })
+        .layer(LayerSpec::Softmax)
+}
+
+/// Sequential MobileNetV2-style model: expansion → depthwise → projection
+/// blocks without residual connections.
+pub fn mobilenet_v2_like(input: Dims, classes: usize, alpha: f32) -> ModelSpec {
+    // (projected channels, stride, expansion factor)
+    const BLOCKS: &[(usize, usize, usize)] = &[
+        (16, 1, 1),
+        (24, 2, 6),
+        (32, 2, 6),
+        (64, 2, 6),
+        (96, 1, 6),
+        (160, 2, 6),
+    ];
+    let mut spec = ModelSpec::new(input)
+        .named(&format!("MobileNetV2 {alpha}"))
+        .layer(LayerSpec::Conv2d {
+            filters: scale_channels(32, alpha),
+            kernel: 3,
+            stride: 2,
+            padding: Padding::Same,
+            activation: Activation::Relu6,
+        });
+    let mut in_ch = scale_channels(32, alpha);
+    for &(ch, stride, expand) in BLOCKS {
+        let expanded = (in_ch * expand).max(4);
+        if expand != 1 {
+            spec = spec.layer(LayerSpec::Conv2d {
+                filters: expanded,
+                kernel: 1,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu6,
+            });
+        }
+        spec = spec
+            .layer(LayerSpec::DepthwiseConv2d {
+                kernel: 3,
+                stride,
+                padding: Padding::Same,
+                activation: Activation::Relu6,
+            })
+            .layer(LayerSpec::Conv2d {
+                filters: scale_channels(ch, alpha),
+                kernel: 1,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::None,
+            });
+        in_ch = scale_channels(ch, alpha);
+    }
+    spec.layer(LayerSpec::GlobalAvgPool)
+        .layer(LayerSpec::Dense { units: classes, activation: Activation::None })
+        .layer(LayerSpec::Softmax)
+}
+
+/// `depth`-layer 1-D convolution stack with channel counts doubling from
+/// `base_filters` — the `Nx conv1d (a to b)` family of paper Table 3.
+///
+/// `input` is the audio-DSP layout `(frames, coefficients, 1)`; the spec
+/// starts with a reshape to `(1, frames, coefficients)` so the convolution
+/// runs over time with one channel per coefficient.
+pub fn conv1d_stack(input: Dims, classes: usize, depth: usize, base_filters: usize) -> ModelSpec {
+    let top = base_filters << (depth.saturating_sub(1));
+    let mut spec = ModelSpec::new(input)
+        .named(&format!("{depth}x conv1d ({base_filters} to {top})"))
+        .layer(LayerSpec::Reshape { h: 1, w: input.h, c: input.w * input.c });
+    let mut steps = input.h;
+    for d in 0..depth {
+        spec = spec.layer(LayerSpec::Conv1d {
+            filters: base_filters << d,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu,
+        });
+        if steps >= 4 {
+            spec = spec.layer(LayerSpec::MaxPool { size: 2 });
+            steps /= 2;
+        }
+    }
+    spec.layer(LayerSpec::GlobalAvgPool)
+        .layer(LayerSpec::Dropout { rate: 0.25 })
+        .layer(LayerSpec::Dense { units: classes, activation: Activation::None })
+        .layer(LayerSpec::Softmax)
+}
+
+/// Small convolutional network for 32×32 image classification (the paper's
+/// CIFAR-10 task).
+pub fn cifar_cnn(input: Dims, classes: usize) -> ModelSpec {
+    ModelSpec::new(input)
+        .named("CIFAR CNN")
+        .layer(LayerSpec::Conv2d {
+            filters: 16,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu,
+        })
+        .layer(LayerSpec::MaxPool { size: 2 })
+        .layer(LayerSpec::Conv2d {
+            filters: 32,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu,
+        })
+        .layer(LayerSpec::MaxPool { size: 2 })
+        .layer(LayerSpec::Conv2d {
+            filters: 64,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu,
+        })
+        .layer(LayerSpec::GlobalAvgPool)
+        .layer(LayerSpec::Dropout { rate: 0.2 })
+        .layer(LayerSpec::Dense { units: classes, activation: Activation::None })
+        .layer(LayerSpec::Softmax)
+}
+
+/// Two-hidden-layer perceptron baseline for flat features.
+pub fn dense_mlp(input: Dims, classes: usize, hidden: usize) -> ModelSpec {
+    ModelSpec::new(input)
+        .named(&format!("MLP {hidden}"))
+        .layer(LayerSpec::Flatten)
+        .layer(LayerSpec::Dense { units: hidden, activation: Activation::Relu })
+        .layer(LayerSpec::Dense { units: hidden / 2, activation: Activation::Relu })
+        .layer(LayerSpec::Dense { units: classes, activation: Activation::None })
+        .layer(LayerSpec::Softmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sequential;
+
+    #[test]
+    fn ds_cnn_builds_and_runs() {
+        let spec = ds_cnn(Dims::new(49, 13, 1), 12, 64);
+        let model = Sequential::build(&spec, 1).unwrap();
+        let out = model.forward(&vec![0.1; 49 * 13]).unwrap();
+        assert_eq!(out.len(), 12);
+        // reference DS-CNN has ~20-40k parameters
+        let params = model.param_count();
+        assert!((15_000..60_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn mobilenet_v1_quarter_scale() {
+        let spec = mobilenet_v1(Dims::new(96, 96, 1), 2, 0.25);
+        let model = Sequential::build(&spec, 1).unwrap();
+        let params = model.param_count();
+        // MobileNetV1-0.25 for VWW is ~200-250k parameters
+        assert!((150_000..320_000).contains(&params), "params {params}");
+        let out = model.forward(&vec![0.5; 96 * 96]).unwrap();
+        assert_eq!(out.len(), 2);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mobilenet_v2_like_scales_with_alpha() {
+        let small = Sequential::build(&mobilenet_v2_like(Dims::new(49, 40, 1), 12, 0.35), 1)
+            .unwrap()
+            .param_count();
+        let large = Sequential::build(&mobilenet_v2_like(Dims::new(49, 40, 1), 12, 1.0), 1)
+            .unwrap()
+            .param_count();
+        assert!(large > small * 2, "alpha must scale parameters: {small} vs {large}");
+    }
+
+    #[test]
+    fn conv1d_stack_naming_and_shapes() {
+        let spec = conv1d_stack(Dims::new(99, 13, 1), 12, 4, 32);
+        assert_eq!(spec.name, "4x conv1d (32 to 256)");
+        let model = Sequential::build(&spec, 1).unwrap();
+        let out = model.forward(&vec![0.0; 99 * 13]).unwrap();
+        assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn conv1d_stack_depth_grows_params() {
+        let d2 = Sequential::build(&conv1d_stack(Dims::new(99, 13, 1), 12, 2, 32), 1)
+            .unwrap()
+            .param_count();
+        let d4 = Sequential::build(&conv1d_stack(Dims::new(99, 13, 1), 12, 4, 32), 1)
+            .unwrap()
+            .param_count();
+        assert!(d4 > d2 * 3);
+    }
+
+    #[test]
+    fn cifar_cnn_parameter_budget() {
+        let spec = cifar_cnn(Dims::new(32, 32, 3), 10);
+        let model = Sequential::build(&spec, 1).unwrap();
+        let params = model.param_count();
+        // the paper's "simple CNN" fits in ~107 kB of flash as float32
+        assert!((15_000..40_000).contains(&params), "params {params}");
+        let out = model.forward(&vec![0.3; 32 * 32 * 3]).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn dense_mlp_runs() {
+        let spec = dense_mlp(Dims::new(1, 57, 1), 3, 32);
+        let model = Sequential::build(&spec, 1).unwrap();
+        assert_eq!(model.forward(&vec![0.0; 57]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn channel_scaling_rounds_to_multiple_of_four() {
+        assert_eq!(scale_channels(32, 0.25), 8);
+        assert_eq!(scale_channels(1024, 0.25), 256);
+        assert_eq!(scale_channels(10, 0.1), 4);
+        assert_eq!(scale_channels(30, 0.33), 12);
+    }
+
+    #[test]
+    fn all_presets_report_macs() {
+        let specs = vec![
+            ds_cnn(Dims::new(49, 13, 1), 12, 64),
+            mobilenet_v1(Dims::new(96, 96, 1), 2, 0.25),
+            mobilenet_v2_like(Dims::new(49, 40, 1), 12, 0.35),
+            conv1d_stack(Dims::new(99, 13, 1), 12, 3, 16),
+            cifar_cnn(Dims::new(32, 32, 3), 10),
+        ];
+        for spec in specs {
+            let model = Sequential::build(&spec, 1).unwrap();
+            assert!(model.macs() > 1000, "{} has implausible macs", spec.name);
+        }
+    }
+}

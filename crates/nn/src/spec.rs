@@ -1,0 +1,317 @@
+//! Serializable model architecture descriptions.
+//!
+//! A [`ModelSpec`] is the unit the platform stores in a project, the EON
+//! Tuner mutates during search, and [`crate::model::Sequential::build`]
+//! compiles into a runnable model.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied by a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Identity.
+    #[default]
+    None,
+    /// `max(0, x)`.
+    Relu,
+    /// `min(max(0, x), 6)` — MobileNet's bounded variant, quantization friendly.
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Relu6 => x.clamp(0.0, 6.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed in terms of
+    /// the *post*-activation value `y` (cheaper for sigmoid/tanh).
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::None => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Relu6 => {
+                if y > 0.0 && y < 6.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// 3-D activation dimensions in channels-last layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims {
+    /// Height (or 1 for flat data).
+    pub h: usize,
+    /// Width (or time steps).
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl Dims {
+    /// Creates dimensions.
+    pub fn new(h: usize, w: usize, c: usize) -> Dims {
+        Dims { h, w, c }
+    }
+
+    /// Flat element count.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+}
+
+impl std::fmt::Display for Dims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// Zero-padding strategy for convolutions and pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Padding {
+    /// No padding; output shrinks by `kernel - 1`.
+    #[default]
+    Valid,
+    /// Pad so that `out = ceil(in / stride)`.
+    Same,
+}
+
+/// One layer of a sequential model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Fully connected layer.
+    Dense {
+        /// Output width.
+        units: usize,
+        /// Activation applied to the output.
+        activation: Activation,
+    },
+    /// 1-D convolution over the width axis (input must have `h == 1`).
+    Conv1d {
+        /// Number of output channels.
+        filters: usize,
+        /// Kernel width.
+        kernel: usize,
+        /// Stride along the width axis.
+        stride: usize,
+        /// Padding strategy.
+        padding: Padding,
+        /// Activation applied to the output.
+        activation: Activation,
+    },
+    /// 2-D convolution (NHWC).
+    Conv2d {
+        /// Number of output channels.
+        filters: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride in both spatial axes.
+        stride: usize,
+        /// Padding strategy.
+        padding: Padding,
+        /// Activation applied to the output.
+        activation: Activation,
+    },
+    /// 2-D convolution with a rectangular kernel (NHWC) — e.g. the
+    /// reference DS-CNN's 10×4 stem. Reported as the same `conv2d` op kind
+    /// at deployment.
+    Conv2dRect {
+        /// Number of output channels.
+        filters: usize,
+        /// Kernel height.
+        kernel_h: usize,
+        /// Kernel width.
+        kernel_w: usize,
+        /// Stride in both spatial axes.
+        stride: usize,
+        /// Padding strategy.
+        padding: Padding,
+        /// Activation applied to the output.
+        activation: Activation,
+    },
+    /// Depthwise 2-D convolution: one filter per input channel.
+    DepthwiseConv2d {
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride in both spatial axes.
+        stride: usize,
+        /// Padding strategy.
+        padding: Padding,
+        /// Activation applied to the output.
+        activation: Activation,
+    },
+    /// Max pooling over `size`×`size` windows with stride `size` (2-D) or
+    /// over `size` steps (1-D input with `h == 1`).
+    MaxPool {
+        /// Window side / length.
+        size: usize,
+    },
+    /// Average pooling with the same geometry rules as [`LayerSpec::MaxPool`].
+    AvgPool {
+        /// Window side / length.
+        size: usize,
+    },
+    /// Global average pooling: collapses `h`×`w` to 1×1 per channel.
+    GlobalAvgPool,
+    /// Reinterprets the activation volume as new dimensions (same length).
+    Reshape {
+        /// New height.
+        h: usize,
+        /// New width.
+        w: usize,
+        /// New channel count.
+        c: usize,
+    },
+    /// Flattens to `1×1×len`.
+    Flatten,
+    /// Training-time dropout (identity at inference).
+    Dropout {
+        /// Fraction of activations zeroed during training.
+        rate: f32,
+    },
+    /// Batch normalization with frozen statistics (inference-style); folded
+    /// into the preceding convolution by operator fusion (paper §4.5).
+    BatchNorm,
+    /// Softmax over the flattened activation.
+    Softmax,
+}
+
+impl LayerSpec {
+    /// Short kernel-style name (used by deployment code generation).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            LayerSpec::Dense { .. } => "dense",
+            LayerSpec::Conv1d { .. } => "conv1d",
+            LayerSpec::Conv2d { .. } | LayerSpec::Conv2dRect { .. } => "conv2d",
+            LayerSpec::DepthwiseConv2d { .. } => "depthwise_conv2d",
+            LayerSpec::MaxPool { .. } => "max_pool",
+            LayerSpec::AvgPool { .. } => "avg_pool",
+            LayerSpec::GlobalAvgPool => "global_avg_pool",
+            LayerSpec::Reshape { .. } => "reshape",
+            LayerSpec::Flatten => "flatten",
+            LayerSpec::Dropout { .. } => "dropout",
+            LayerSpec::BatchNorm => "batch_norm",
+            LayerSpec::Softmax => "softmax",
+        }
+    }
+}
+
+/// A sequential model architecture: input dimensions plus ordered layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Input activation dimensions (channels-last).
+    pub input: Dims,
+    /// Ordered layers.
+    pub layers: Vec<LayerSpec>,
+    /// Human-readable architecture name (e.g. `"DS-CNN"`).
+    pub name: String,
+}
+
+impl ModelSpec {
+    /// Starts a spec with the given input dimensions.
+    pub fn new(input: Dims) -> ModelSpec {
+        ModelSpec { input, layers: Vec::new(), name: String::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn layer(mut self, layer: LayerSpec) -> ModelSpec {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Sets the architecture name (builder style).
+    #[must_use]
+    pub fn named(mut self, name: &str) -> ModelSpec {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_values() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu6.apply(10.0), 6.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert_eq!(Activation::None.apply(-3.0), -3.0);
+        assert!((Activation::Tanh.apply(100.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_derivatives() {
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.5), 1.0);
+        assert_eq!(Activation::Relu6.derivative_from_output(6.0), 0.0);
+        let y = Activation::Sigmoid.apply(0.3);
+        assert!((Activation::Sigmoid.derivative_from_output(y) - y * (1.0 - y)).abs() < 1e-6);
+        assert_eq!(Activation::None.derivative_from_output(9.0), 1.0);
+    }
+
+    #[test]
+    fn dims_len_and_display() {
+        let d = Dims::new(49, 13, 1);
+        assert_eq!(d.len(), 637);
+        assert_eq!(d.to_string(), "49x13x1");
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = ModelSpec::new(Dims::new(1, 8, 1))
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 4, activation: Activation::Relu })
+            .named("tiny");
+        assert_eq!(spec.depth(), 2);
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.layers[1].op_name(), "dense");
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = ModelSpec::new(Dims::new(32, 32, 3))
+            .layer(LayerSpec::Conv2d {
+                filters: 8,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::GlobalAvgPool)
+            .layer(LayerSpec::Dense { units: 10, activation: Activation::None });
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

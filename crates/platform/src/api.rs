@@ -1,0 +1,534 @@
+//! The typed API facade: every platform mutation flows through here, the
+//! in-process equivalent of the public REST API (paper §4.9).
+
+use crate::entities::{Organization, Project, User};
+use crate::jobs::JobScheduler;
+use crate::{PlatformError, Result};
+use ei_core::impulse::ImpulseDesign;
+use ei_nn::spec::ModelSpec;
+use ei_nn::train::TrainConfig;
+use ei_data::cbor::parse_cbor;
+use ei_data::netpbm::parse_netpbm_sample;
+use ei_data::ingest::{parse_csv, parse_json, parse_wav};
+use ei_data::{Sample, SensorKind};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Mutable platform state behind the API.
+#[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
+struct State {
+    users: BTreeMap<u64, User>,
+    orgs: BTreeMap<u64, Organization>,
+    projects: BTreeMap<u64, Project>,
+    next_id: u64,
+}
+
+impl State {
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+/// The platform API. Cheap to clone; clones share state (like concurrent
+/// API clients hitting one backend).
+#[derive(Debug, Clone, Default)]
+pub struct Api {
+    state: Arc<RwLock<State>>,
+}
+
+impl Api {
+    /// Creates an empty platform.
+    pub fn new() -> Api {
+        Api::default()
+    }
+
+    /// Registers a user, returning the id.
+    pub fn create_user(&self, name: &str) -> u64 {
+        let mut s = self.state.write();
+        let id = s.fresh_id();
+        s.users.insert(id, User { id, name: name.to_string() });
+        id
+    }
+
+    /// Creates an organization owned by `founder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for an unknown founder.
+    pub fn create_organization(&self, name: &str, founder: u64) -> Result<u64> {
+        let mut s = self.state.write();
+        if !s.users.contains_key(&founder) {
+            return Err(PlatformError::NotFound { kind: "user", id: founder });
+        }
+        let id = s.fresh_id();
+        s.orgs.insert(id, Organization { id, name: name.to_string(), members: vec![founder] });
+        Ok(id)
+    }
+
+    /// Creates a project owned by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for an unknown owner.
+    pub fn create_project(&self, name: &str, owner: u64) -> Result<u64> {
+        let mut s = self.state.write();
+        if !s.users.contains_key(&owner) {
+            return Err(PlatformError::NotFound { kind: "user", id: owner });
+        }
+        let id = s.fresh_id();
+        s.projects.insert(id, Project::new(id, name, owner));
+        Ok(id)
+    }
+
+    /// Adds a collaborator to a project (owner only).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown entities or when `acting` is not the owner.
+    pub fn add_collaborator(&self, project: u64, acting: u64, collaborator: u64) -> Result<()> {
+        let mut s = self.state.write();
+        if !s.users.contains_key(&collaborator) {
+            return Err(PlatformError::NotFound { kind: "user", id: collaborator });
+        }
+        let p = s
+            .projects
+            .get_mut(&project)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+        if p.owner != acting {
+            return Err(PlatformError::AccessDenied("only the owner adds collaborators".into()));
+        }
+        if !p.collaborators.contains(&collaborator) {
+            p.collaborators.push(collaborator);
+        }
+        Ok(())
+    }
+
+    /// Runs `f` with read access to a project, enforcing access control.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn with_project<T>(
+        &self,
+        project: u64,
+        acting: u64,
+        f: impl FnOnce(&Project) -> T,
+    ) -> Result<T> {
+        let s = self.state.read();
+        let p = s
+            .projects
+            .get(&project)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+        if !p.can_access(acting) && !p.public {
+            return Err(PlatformError::AccessDenied(format!("user {acting} on project {project}")));
+        }
+        Ok(f(p))
+    }
+
+    /// Runs `f` with write access to a project, enforcing access control.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn with_project_mut<T>(
+        &self,
+        project: u64,
+        acting: u64,
+        f: impl FnOnce(&mut Project) -> T,
+    ) -> Result<T> {
+        let mut s = self.state.write();
+        let p = s
+            .projects
+            .get_mut(&project)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+        if !p.can_access(acting) {
+            return Err(PlatformError::AccessDenied(format!("user {acting} on project {project}")));
+        }
+        Ok(f(p))
+    }
+
+    /// Ingests one sample from a supported payload (the ingestion API).
+    ///
+    /// `format` is `"json"`, `"cbor"`, `"csv"`, `"wav"`, `"pgm"` or
+    /// `"ppm"`; binary formats pass raw bytes, text formats pass UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse errors, unknown formats, or denied access.
+    pub fn ingest(
+        &self,
+        project: u64,
+        acting: u64,
+        format: &str,
+        payload: &[u8],
+        label: Option<&str>,
+    ) -> Result<u64> {
+        let sample = match format {
+            "json" => {
+                let text = std::str::from_utf8(payload)
+                    .map_err(|e| PlatformError::BadRequest(e.to_string()))?;
+                parse_json(text, 0).map_err(|e| PlatformError::BadRequest(e.to_string()))?
+            }
+            "csv" => {
+                let text = std::str::from_utf8(payload)
+                    .map_err(|e| PlatformError::BadRequest(e.to_string()))?;
+                let (_, values) =
+                    parse_csv(text).map_err(|e| PlatformError::BadRequest(e.to_string()))?;
+                Sample::new(0, values, SensorKind::Other)
+            }
+            "wav" => {
+                let (rate, samples) =
+                    parse_wav(payload).map_err(|e| PlatformError::BadRequest(e.to_string()))?;
+                Sample::new(0, samples, SensorKind::Audio).with_sample_rate(rate)
+            }
+            "cbor" => {
+                parse_cbor(payload, 0).map_err(|e| PlatformError::BadRequest(e.to_string()))?
+            }
+            "pgm" | "ppm" => parse_netpbm_sample(payload, 0)
+                .map_err(|e| PlatformError::BadRequest(e.to_string()))?,
+            other => {
+                return Err(PlatformError::BadRequest(format!("unsupported format {other:?}")))
+            }
+        };
+        let sample = match label {
+            Some(l) => sample.with_label(l),
+            None => sample,
+        };
+        self.with_project_mut(project, acting, |p| p.dataset.add(sample))
+    }
+
+    /// Stores a trained-impulse artifact in the project's model registry.
+    ///
+    /// `json` is the payload produced by
+    /// `ei_core::impulse::TrainedImpulse::to_json` — stored opaquely so
+    /// registry history survives library changes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn upload_model(&self, project: u64, acting: u64, name: &str, json: String) -> Result<()> {
+        self.with_project_mut(project, acting, |p| {
+            p.models.insert(name.to_string(), json);
+        })
+    }
+
+    /// Fetches a trained-impulse artifact from the registry.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects/models or denied access.
+    pub fn download_model(&self, project: u64, acting: u64, name: &str) -> Result<String> {
+        self.with_project(project, acting, |p| p.models.get(name).cloned())?
+            .ok_or(PlatformError::NotFound { kind: "model", id: 0 })
+    }
+
+    /// Lists registry model names.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn list_models(&self, project: u64, acting: u64) -> Result<Vec<String>> {
+        self.with_project(project, acting, |p| p.models.keys().cloned().collect())
+    }
+
+    /// Sets a project's impulse design.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn set_impulse(&self, project: u64, acting: u64, impulse: ImpulseDesign) -> Result<()> {
+        self.with_project_mut(project, acting, |p| p.impulse = Some(impulse))
+    }
+
+    /// Saves a version snapshot of a project.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn snapshot(&self, project: u64, acting: u64, description: &str) -> Result<u32> {
+        self.with_project_mut(project, acting, |p| p.snapshot(description))
+    }
+
+    /// Makes a project public (owner only).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or when `acting` is not the owner.
+    pub fn make_public(&self, project: u64, acting: u64, tags: &[&str]) -> Result<()> {
+        let mut s = self.state.write();
+        let p = s
+            .projects
+            .get_mut(&project)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+        if p.owner != acting {
+            return Err(PlatformError::AccessDenied("only the owner publishes".into()));
+        }
+        p.public = true;
+        p.tags = tags.iter().map(|t| t.to_string()).collect();
+        Ok(())
+    }
+
+    /// Submits a full training job to a scheduler: extracts the project's
+    /// dataset and impulse, trains `spec` on a worker, and on success
+    /// stores the trained artifact in the model registry under
+    /// `model_name`. Returns the job id (poll/wait via the scheduler; the
+    /// job output is the best validation accuracy).
+    ///
+    /// This is the "programmatically … train models" automation path of
+    /// paper §4.9 in one call.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the project is missing an impulse, access is denied, or
+    /// the scheduler is stopped.
+    pub fn submit_training(
+        &self,
+        scheduler: &JobScheduler,
+        project: u64,
+        acting: u64,
+        model_name: &str,
+        spec: ModelSpec,
+        config: TrainConfig,
+    ) -> Result<u64> {
+        let dataset = self.with_project(project, acting, |p| p.dataset.clone())?;
+        let design = self
+            .with_project(project, acting, |p| p.impulse.clone())?
+            .ok_or_else(|| PlatformError::BadRequest("project has no impulse".into()))?;
+        let api = self.clone();
+        let name = model_name.to_string();
+        scheduler.submit(1, move || {
+            let trained =
+                design.train(&spec, &dataset, &config).map_err(|e| e.to_string())?;
+            let json = trained.to_json().map_err(|e| e.to_string())?;
+            api.upload_model(project, acting, &name, json).map_err(|e| e.to_string())?;
+            Ok(format!("{:.4}", trained.report().best_val_accuracy))
+        })
+    }
+
+    /// Lists `(id, name, public)` of all projects a user can see.
+    pub fn list_projects(&self, acting: u64) -> Vec<(u64, String, bool)> {
+        let s = self.state.read();
+        s.projects
+            .values()
+            .filter(|p| p.can_access(acting) || p.public)
+            .map(|p| (p.id, p.name.clone(), p.public))
+            .collect()
+    }
+
+    /// Snapshot of all public projects (for the registry).
+    pub fn public_projects(&self) -> Vec<Project> {
+        let s = self.state.read();
+        s.projects.values().filter(|p| p.public).cloned().collect()
+    }
+
+    /// Serializes the entire platform state (users, organizations,
+    /// projects with their datasets, versions and model registries) —
+    /// the backup/migration path behind §4.10's "migrate the
+    /// infrastructure … with a reasonable amount of effort".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadRequest`] on serialization failure.
+    pub fn export_json(&self) -> Result<String> {
+        serde_json::to_string(&*self.state.read())
+            .map_err(|e| PlatformError::BadRequest(e.to_string()))
+    }
+
+    /// Restores a platform from [`Api::export_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadRequest`] for malformed payloads.
+    pub fn import_json(json: &str) -> Result<Api> {
+        let state: State =
+            serde_json::from_str(json).map_err(|e| PlatformError::BadRequest(e.to_string()))?;
+        Ok(Api { state: Arc::new(RwLock::new(state)) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_data::ingest::to_wav_bytes;
+
+    #[test]
+    fn user_project_lifecycle() {
+        let api = Api::new();
+        let alice = api.create_user("alice");
+        let project = api.create_project("kws", alice).unwrap();
+        assert_eq!(api.list_projects(alice), vec![(project, "kws".to_string(), false)]);
+        assert!(api.create_project("x", 999).is_err());
+    }
+
+    #[test]
+    fn access_control_enforced() {
+        let api = Api::new();
+        let alice = api.create_user("alice");
+        let bob = api.create_user("bob");
+        let project = api.create_project("private", alice).unwrap();
+        assert!(api.with_project(project, bob, |_| ()).is_err());
+        // bob cannot add himself
+        assert!(api.add_collaborator(project, bob, bob).is_err());
+        api.add_collaborator(project, alice, bob).unwrap();
+        assert!(api.with_project(project, bob, |_| ()).is_ok());
+    }
+
+    #[test]
+    fn ingestion_formats() {
+        let api = Api::new();
+        let u = api.create_user("u");
+        let p = api.create_project("ingest", u).unwrap();
+        let json = br#"{"values": [1.0, 2.0], "interval_ms": 10.0, "sensor": "accelerometer"}"#;
+        api.ingest(p, u, "json", json, Some("idle")).unwrap();
+        api.ingest(p, u, "csv", b"x,y\n1,2\n3,4\n", Some("move")).unwrap();
+        let wav = to_wav_bytes(16_000, &[0.1, -0.1, 0.2]);
+        api.ingest(p, u, "wav", &wav, None).unwrap();
+        let cbor = ei_data::cbor::encode(&ei_data::cbor::CborValue::Map(vec![
+            (
+                "values".into(),
+                ei_data::cbor::CborValue::Array(vec![ei_data::cbor::CborValue::Float(0.5)]),
+            ),
+            ("interval_ms".into(), ei_data::cbor::CborValue::Float(10.0)),
+            ("sensor".into(), ei_data::cbor::CborValue::Text("imu".into())),
+        ]));
+        api.ingest(p, u, "cbor", &cbor, Some("idle")).unwrap();
+        api.ingest(p, u, "pgm", b"P5\n2 2\n255\nabcd", Some("img")).unwrap();
+        let (total, labels) =
+            api.with_project(p, u, |p| (p.dataset.len(), p.dataset.labels())).unwrap();
+        assert_eq!(total, 5);
+        assert_eq!(labels, vec!["idle".to_string(), "img".to_string(), "move".to_string()]);
+        assert!(api.ingest(p, u, "png", b"...", None).is_err());
+        assert!(api.ingest(p, u, "csv", b"broken", None).is_err());
+    }
+
+    #[test]
+    fn publishing_and_visibility() {
+        let api = Api::new();
+        let alice = api.create_user("alice");
+        let bob = api.create_user("bob");
+        let p = api.create_project("open-kws", alice).unwrap();
+        assert!(api.make_public(p, bob, &[]).is_err(), "non-owner cannot publish");
+        api.make_public(p, alice, &["audio", "kws"]).unwrap();
+        // public projects become readable (not writable) to everyone
+        assert!(api.with_project(p, bob, |_| ()).is_ok());
+        assert!(api.with_project_mut(p, bob, |_| ()).is_err());
+        assert_eq!(api.public_projects().len(), 1);
+        assert!(api.list_projects(bob).iter().any(|(id, _, public)| *id == p && *public));
+    }
+
+    #[test]
+    fn snapshots_via_api() {
+        let api = Api::new();
+        let u = api.create_user("u");
+        let p = api.create_project("versioned", u).unwrap();
+        let v1 = api.snapshot(p, u, "first").unwrap();
+        let v2 = api.snapshot(p, u, "second").unwrap();
+        assert_eq!((v1, v2), (1, 2));
+    }
+
+    #[test]
+    fn submit_training_trains_and_registers() {
+        use ei_data::ingest::to_wav_bytes;
+        let api = Api::new();
+        let u = api.create_user("trainer");
+        let p = api.create_project("auto-train", u).unwrap();
+        // small two-class audio dataset over the ingestion API
+        let gen = ei_data::synth::KwsGenerator {
+            classes: vec!["a".into(), "b".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        };
+        for ci in 0..2 {
+            for k in 0..10 {
+                let wav = to_wav_bytes(4_000, &gen.generate(ci, k));
+                api.ingest(p, u, "wav", &wav, Some(&gen.classes[ci])).unwrap();
+            }
+        }
+        let design = ei_core::impulse::ImpulseDesign::new(
+            "auto",
+            1_000,
+            ei_dsp::DspConfig::Mfcc(ei_dsp::MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 16,
+                sample_rate_hz: 4_000,
+            }),
+        )
+        .unwrap();
+        // no impulse yet -> rejected
+        let scheduler = JobScheduler::new(1);
+        let spec = ei_nn::presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+        assert!(api
+            .submit_training(&scheduler, p, u, "m1", spec.clone(), TrainConfig::default())
+            .is_err());
+        api.set_impulse(p, u, design).unwrap();
+        let job = api
+            .submit_training(
+                &scheduler,
+                p,
+                u,
+                "m1",
+                spec,
+                TrainConfig { epochs: 6, learning_rate: 0.01, ..TrainConfig::default() },
+            )
+            .unwrap();
+        let accuracy: f32 = scheduler.wait(job).unwrap().parse().unwrap();
+        assert!(accuracy > 0.5, "job accuracy {accuracy}");
+        // the trained model landed in the registry and reloads
+        let json = api.download_model(p, u, "m1").unwrap();
+        let reloaded = ei_core::impulse::TrainedImpulse::from_json(&json).unwrap();
+        assert_eq!(reloaded.labels(), ["a", "b"]);
+    }
+
+    #[test]
+    fn model_registry_round_trip() {
+        let api = Api::new();
+        let u = api.create_user("u");
+        let outsider = api.create_user("o");
+        let p = api.create_project("registry", u).unwrap();
+        api.upload_model(p, u, "kws-v1", "{\"fake\": true}".to_string()).unwrap();
+        assert_eq!(api.list_models(p, u).unwrap(), vec!["kws-v1".to_string()]);
+        assert_eq!(api.download_model(p, u, "kws-v1").unwrap(), "{\"fake\": true}");
+        assert!(api.download_model(p, u, "missing").is_err());
+        assert!(api.upload_model(p, outsider, "x", String::new()).is_err());
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let api = Api::new();
+        let u = api.create_user("u");
+        let p = api.create_project("persisted", u).unwrap();
+        api.ingest(p, u, "csv", b"x\n1\n2\n", Some("k")).unwrap();
+        api.snapshot(p, u, "v1").unwrap();
+        api.upload_model(p, u, "m", "{}".into()).unwrap();
+        api.make_public(p, u, &["tag"]).unwrap();
+
+        let backup = api.export_json().unwrap();
+        let restored = Api::import_json(&backup).unwrap();
+        // everything survives: data, versions, registry, visibility
+        restored
+            .with_project(p, u, |proj| {
+                assert_eq!(proj.dataset.len(), 1);
+                assert_eq!(proj.versions.len(), 1);
+                assert_eq!(proj.models.len(), 1);
+                assert!(proj.public);
+            })
+            .unwrap();
+        // and ids keep advancing without collision
+        let q = restored.create_project("after-restore", u).unwrap();
+        assert!(q > p);
+        assert!(Api::import_json("garbage").is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let api = Api::new();
+        let clone = api.clone();
+        let u = api.create_user("shared");
+        assert!(clone.create_project("via-clone", u).is_ok());
+    }
+}

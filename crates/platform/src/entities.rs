@@ -1,0 +1,144 @@
+//! Platform entities: users, organizations, projects and versions.
+
+use ei_core::impulse::ImpulseDesign;
+use ei_data::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A platform user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Unique id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+}
+
+/// An organization: a group of users collaborating on projects (paper
+/// §6.3 "Organizations").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Organization {
+    /// Unique id.
+    pub id: u64,
+    /// Organization name.
+    pub name: String,
+    /// Member user ids.
+    pub members: Vec<u64>,
+}
+
+impl Organization {
+    /// `true` when the user belongs to the organization.
+    pub fn has_member(&self, user_id: u64) -> bool {
+        self.members.contains(&user_id)
+    }
+}
+
+/// An immutable snapshot of a project's reproducible state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectVersion {
+    /// Version number (1-based, monotonically increasing).
+    pub version: u32,
+    /// Free-form description.
+    pub description: String,
+    /// Dataset version the snapshot captured.
+    pub dataset_version: u64,
+    /// Impulse design at snapshot time.
+    pub impulse: Option<ImpulseDesign>,
+}
+
+/// A project: dataset + impulse design + collaboration state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Project {
+    /// Unique id.
+    pub id: u64,
+    /// Project name.
+    pub name: String,
+    /// Owning user.
+    pub owner: u64,
+    /// Collaborator user ids (beyond the owner).
+    pub collaborators: Vec<u64>,
+    /// The project's dataset.
+    pub dataset: Dataset,
+    /// The impulse design, once configured.
+    pub impulse: Option<ImpulseDesign>,
+    /// Saved version snapshots.
+    pub versions: Vec<ProjectVersion>,
+    /// Whether the project is listed in the public registry.
+    pub public: bool,
+    /// Search tags.
+    pub tags: Vec<String>,
+    /// The model registry: trained-impulse JSON artifacts by name.
+    #[serde(default)]
+    pub models: BTreeMap<String, String>,
+}
+
+impl Project {
+    /// Creates a fresh private project.
+    pub fn new(id: u64, name: &str, owner: u64) -> Project {
+        Project {
+            id,
+            name: name.to_string(),
+            owner,
+            collaborators: Vec::new(),
+            dataset: Dataset::new(name),
+            impulse: None,
+            versions: Vec::new(),
+            public: false,
+            tags: Vec::new(),
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// `true` when the user may read/write the project.
+    pub fn can_access(&self, user_id: u64) -> bool {
+        self.owner == user_id || self.collaborators.contains(&user_id)
+    }
+
+    /// Saves an immutable snapshot of the current state and returns its
+    /// version number.
+    pub fn snapshot(&mut self, description: &str) -> u32 {
+        let version = self.versions.len() as u32 + 1;
+        self.versions.push(ProjectVersion {
+            version,
+            description: description.to_string(),
+            dataset_version: self.dataset.version(),
+            impulse: self.impulse.clone(),
+        });
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_data::{Sample, SensorKind};
+
+    #[test]
+    fn access_control() {
+        let mut p = Project::new(1, "demo", 10);
+        assert!(p.can_access(10));
+        assert!(!p.can_access(11));
+        p.collaborators.push(11);
+        assert!(p.can_access(11));
+        assert!(!p.can_access(12));
+    }
+
+    #[test]
+    fn snapshots_capture_dataset_version() {
+        let mut p = Project::new(1, "demo", 10);
+        p.dataset.add(Sample::new(0, vec![1.0], SensorKind::Other).with_label("x"));
+        let v1 = p.snapshot("initial data");
+        p.dataset.add(Sample::new(0, vec![2.0], SensorKind::Other).with_label("y"));
+        let v2 = p.snapshot("more data");
+        assert_eq!((v1, v2), (1, 2));
+        assert!(p.versions[0].dataset_version < p.versions[1].dataset_version);
+        assert_eq!(p.versions[0].description, "initial data");
+    }
+
+    #[test]
+    fn organization_membership() {
+        let org = Organization { id: 1, name: "lab".into(), members: vec![1, 2] };
+        assert!(org.has_member(1));
+        assert!(!org.has_member(3));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the MLOps layer.
+
+use std::fmt;
+
+/// Errors produced by the platform API and job scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// An entity id was not found.
+    NotFound {
+        /// Entity kind (`"user"`, `"project"`, …).
+        kind: &'static str,
+        /// The missing id.
+        id: u64,
+    },
+    /// The acting user lacks access to the target entity.
+    AccessDenied(String),
+    /// A request was malformed.
+    BadRequest(String),
+    /// A job failed after exhausting its retries.
+    JobFailed(String),
+    /// The scheduler is shut down.
+    SchedulerStopped,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NotFound { kind, id } => write!(f, "{kind} {id} not found"),
+            PlatformError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
+            PlatformError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            PlatformError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            PlatformError::SchedulerStopped => write!(f, "scheduler is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            PlatformError::NotFound { kind: "project", id: 7 }.to_string(),
+            "project 7 not found"
+        );
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<PlatformError>();
+    }
+}

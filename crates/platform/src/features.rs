@@ -1,0 +1,225 @@
+//! The MLOps feature-support matrix of paper Table 5.
+
+/// The platforms compared in Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MlopsPlatform {
+    /// This platform (the paper's subject).
+    EdgeImpulse,
+    /// Amazon SageMaker.
+    AmazonSageMaker,
+    /// Google Vertex AI.
+    GoogleVertexAi,
+    /// Microsoft Azure ML & IoT.
+    AzureMlIot,
+    /// Neuton AI.
+    NeutonAi,
+    /// Latent AI.
+    LatentAi,
+    /// NanoEdge AI Studio.
+    NanoEdge,
+    /// Imagimob.
+    Imagimob,
+}
+
+impl MlopsPlatform {
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MlopsPlatform::EdgeImpulse => "Edge Impulse",
+            MlopsPlatform::AmazonSageMaker => "Amazon SageMaker",
+            MlopsPlatform::GoogleVertexAi => "Google VertexAI",
+            MlopsPlatform::AzureMlIot => "Azure ML & IoT",
+            MlopsPlatform::NeutonAi => "Neuton AI",
+            MlopsPlatform::LatentAi => "Latent AI",
+            MlopsPlatform::NanoEdge => "NanoEdge",
+            MlopsPlatform::Imagimob => "Imagimob",
+        }
+    }
+
+    /// All platforms in Table 5 row order.
+    pub fn all() -> [MlopsPlatform; 8] {
+        [
+            MlopsPlatform::EdgeImpulse,
+            MlopsPlatform::AmazonSageMaker,
+            MlopsPlatform::GoogleVertexAi,
+            MlopsPlatform::AzureMlIot,
+            MlopsPlatform::NeutonAi,
+            MlopsPlatform::LatentAi,
+            MlopsPlatform::NanoEdge,
+            MlopsPlatform::Imagimob,
+        ]
+    }
+}
+
+/// The feature areas compared in Table 5 (columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureArea {
+    /// Data collection and analysis.
+    DataCollection,
+    /// DSP and model design.
+    DspModelDesign,
+    /// Embedded deployment.
+    EmbeddedDeployment,
+    /// AutoML and active learning.
+    AutoMlActiveLearning,
+    /// IoT management and monitoring.
+    IotManagementMonitoring,
+}
+
+impl FeatureArea {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureArea::DataCollection => "Data Collection & Analysis",
+            FeatureArea::DspModelDesign => "DSP & Model Design",
+            FeatureArea::EmbeddedDeployment => "Embedded Deployment",
+            FeatureArea::AutoMlActiveLearning => "AutoML & Active Learning",
+            FeatureArea::IotManagementMonitoring => "IoT Management & Monitoring",
+        }
+    }
+
+    /// All areas in Table 5 column order.
+    pub fn all() -> [FeatureArea; 5] {
+        [
+            FeatureArea::DataCollection,
+            FeatureArea::DspModelDesign,
+            FeatureArea::EmbeddedDeployment,
+            FeatureArea::AutoMlActiveLearning,
+            FeatureArea::IotManagementMonitoring,
+        ]
+    }
+}
+
+/// Support level — the ✓ / ~ / ✗ of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Support {
+    /// Fully supported (✓).
+    Full,
+    /// Partially supported (~).
+    Partial,
+    /// Not supported (✗).
+    None,
+}
+
+impl Support {
+    /// Table 5 glyph.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Support::Full => "Y",
+            Support::Partial => "~",
+            Support::None => "X",
+        }
+    }
+}
+
+/// Support level of one platform for one feature area, exactly as paper
+/// Table 5 reports it.
+pub fn support(platform: MlopsPlatform, area: FeatureArea) -> Support {
+    use FeatureArea as A;
+    use MlopsPlatform as P;
+    use Support as S;
+    match (platform, area) {
+        (P::EdgeImpulse, A::IotManagementMonitoring) => S::Partial,
+        (P::EdgeImpulse, _) => S::Full,
+
+        (P::AmazonSageMaker, A::DataCollection) => S::Full,
+        (P::AmazonSageMaker, A::AutoMlActiveLearning) => S::Full,
+        (P::AmazonSageMaker, _) => S::Partial,
+
+        (P::GoogleVertexAi, A::EmbeddedDeployment) => S::None,
+        (P::GoogleVertexAi, A::DspModelDesign) => S::Partial,
+        (P::GoogleVertexAi, _) => S::Full,
+
+        (P::AzureMlIot, A::DspModelDesign) => S::Partial,
+        (P::AzureMlIot, A::EmbeddedDeployment) => S::Partial,
+        (P::AzureMlIot, _) => S::Full,
+
+        (P::NeutonAi, A::DataCollection) => S::None,
+        (P::NeutonAi, A::IotManagementMonitoring) => S::None,
+        (P::NeutonAi, A::DspModelDesign) => S::Partial,
+        (P::NeutonAi, A::AutoMlActiveLearning) => S::Partial,
+        (P::NeutonAi, A::EmbeddedDeployment) => S::Full,
+
+        (P::LatentAi, A::DataCollection) => S::None,
+        (P::LatentAi, A::AutoMlActiveLearning) => S::None,
+        (P::LatentAi, A::IotManagementMonitoring) => S::None,
+        (P::LatentAi, _) => S::Full,
+
+        (P::NanoEdge, A::DataCollection) => S::Partial,
+        (P::NanoEdge, A::AutoMlActiveLearning) => S::Partial,
+        (P::NanoEdge, A::IotManagementMonitoring) => S::None,
+        (P::NanoEdge, _) => S::Full,
+
+        (P::Imagimob, A::AutoMlActiveLearning) => S::Partial,
+        (P::Imagimob, A::IotManagementMonitoring) => S::None,
+        (P::Imagimob, _) => S::Full,
+    }
+}
+
+/// Renders the complete Table 5 as text.
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<18}", ""));
+    for area in FeatureArea::all() {
+        out.push_str(&format!(" | {:<28}", area.name()));
+    }
+    out.push('\n');
+    for platform in MlopsPlatform::all() {
+        out.push_str(&format!("{:<18}", platform.name()));
+        for area in FeatureArea::all() {
+            out.push_str(&format!(" | {:<28}", support(platform, area).glyph()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_impulse_row_matches_paper() {
+        // full support everywhere except partial IoT management
+        for area in FeatureArea::all() {
+            let expected = if area == FeatureArea::IotManagementMonitoring {
+                Support::Partial
+            } else {
+                Support::Full
+            };
+            assert_eq!(support(MlopsPlatform::EdgeImpulse, area), expected, "{area:?}");
+        }
+    }
+
+    #[test]
+    fn vertex_lacks_embedded_deployment() {
+        assert_eq!(
+            support(MlopsPlatform::GoogleVertexAi, FeatureArea::EmbeddedDeployment),
+            Support::None
+        );
+    }
+
+    #[test]
+    fn tinyml_specialists_lack_data_collection() {
+        assert_eq!(support(MlopsPlatform::NeutonAi, FeatureArea::DataCollection), Support::None);
+        assert_eq!(support(MlopsPlatform::LatentAi, FeatureArea::DataCollection), Support::None);
+    }
+
+    #[test]
+    fn full_matrix_defined() {
+        for p in MlopsPlatform::all() {
+            for a in FeatureArea::all() {
+                let _ = support(p, a); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows() {
+        let table = render_table();
+        for p in MlopsPlatform::all() {
+            assert!(table.contains(p.name()), "{} missing", p.name());
+        }
+        assert_eq!(table.lines().count(), 9);
+    }
+}

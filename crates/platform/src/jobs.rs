@@ -1,0 +1,230 @@
+//! The job scheduler: a worker pool executing queued platform jobs.
+//!
+//! Stands in for the paper's EKS-based compute layer (§4.10): jobs (feature
+//! extraction, training, deployment builds) are queued, picked up by
+//! workers, retried on failure, and observable by id.
+
+use crate::{PlatformError, Result};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Observable job lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// Executing (with the 1-based attempt number).
+    Running(u32),
+    /// Finished successfully with an output string.
+    Finished(String),
+    /// Failed after exhausting retries.
+    Failed(String),
+}
+
+/// A queued work item.
+type JobFn = Box<dyn FnMut() -> std::result::Result<String, String> + Send>;
+
+struct QueuedJob {
+    id: u64,
+    attempts_left: u32,
+    work: JobFn,
+}
+
+/// A fixed-size worker pool with retry support.
+///
+/// Dropping the scheduler stops accepting jobs and joins the workers after
+/// the queue drains.
+pub struct JobScheduler {
+    sender: Option<Sender<QueuedJob>>,
+    statuses: Arc<Mutex<HashMap<u64, JobStatus>>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: Mutex<u64>,
+}
+
+impl std::fmt::Debug for JobScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobScheduler").field("workers", &self.workers.len()).finish_non_exhaustive()
+    }
+}
+
+impl JobScheduler {
+    /// Starts a scheduler with `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> JobScheduler {
+        assert!(workers > 0, "need at least one worker");
+        let (sender, receiver) = unbounded::<QueuedJob>();
+        let statuses: Arc<Mutex<HashMap<u64, JobStatus>>> = Arc::new(Mutex::new(HashMap::new()));
+        let handles = (0..workers)
+            .map(|_| {
+                let receiver = receiver.clone();
+                let statuses = Arc::clone(&statuses);
+                std::thread::spawn(move || {
+                    while let Ok(mut job) = receiver.recv() {
+                        let mut attempt = 0u32;
+                        loop {
+                            attempt += 1;
+                            statuses.lock().insert(job.id, JobStatus::Running(attempt));
+                            match (job.work)() {
+                                Ok(output) => {
+                                    statuses.lock().insert(job.id, JobStatus::Finished(output));
+                                    break;
+                                }
+                                Err(e) if attempt >= job.attempts_left => {
+                                    statuses.lock().insert(job.id, JobStatus::Failed(e));
+                                    break;
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        JobScheduler { sender: Some(sender), statuses, workers: handles, next_id: Mutex::new(0) }
+    }
+
+    /// Submits a job with up to `attempts` executions; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::SchedulerStopped`] after shutdown.
+    pub fn submit<F>(&self, attempts: u32, work: F) -> Result<u64>
+    where
+        F: FnMut() -> std::result::Result<String, String> + Send + 'static,
+    {
+        let sender = self.sender.as_ref().ok_or(PlatformError::SchedulerStopped)?;
+        let id = {
+            let mut next = self.next_id.lock();
+            *next += 1;
+            *next
+        };
+        self.statuses.lock().insert(id, JobStatus::Queued);
+        sender
+            .send(QueuedJob { id, attempts_left: attempts.max(1), work: Box::new(work) })
+            .map_err(|_| PlatformError::SchedulerStopped)?;
+        Ok(id)
+    }
+
+    /// Current status of a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for unknown ids.
+    pub fn status(&self, id: u64) -> Result<JobStatus> {
+        self.statuses
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(PlatformError::NotFound { kind: "job", id })
+    }
+
+    /// Blocks until the job reaches a terminal state, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for unknown ids or
+    /// [`PlatformError::JobFailed`] when the job fails.
+    pub fn wait(&self, id: u64) -> Result<String> {
+        loop {
+            match self.status(id)? {
+                JobStatus::Finished(output) => return Ok(output),
+                JobStatus::Failed(e) => return Err(PlatformError::JobFailed(e)),
+                _ => std::thread::sleep(std::time::Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Stops accepting new jobs and joins workers after the queue drains.
+    pub fn shutdown(&mut self) {
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn jobs_run_and_finish() {
+        let scheduler = JobScheduler::new(2);
+        let id = scheduler.submit(1, || Ok("trained model v1".to_string())).unwrap();
+        assert_eq!(scheduler.wait(id).unwrap(), "trained model v1");
+        assert_eq!(scheduler.status(id).unwrap(), JobStatus::Finished("trained model v1".into()));
+    }
+
+    #[test]
+    fn parallel_jobs_all_complete() {
+        let scheduler = JobScheduler::new(4);
+        let ids: Vec<u64> = (0..16)
+            .map(|i| scheduler.submit(1, move || Ok(format!("job {i}"))).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(scheduler.wait(*id).unwrap(), format!("job {i}"));
+        }
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let scheduler = JobScheduler::new(1);
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        let id = scheduler
+            .submit(3, move || {
+                if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".to_string())
+                } else {
+                    Ok("recovered".to_string())
+                }
+            })
+            .unwrap();
+        assert_eq!(scheduler.wait(id).unwrap(), "recovered");
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_fail() {
+        let scheduler = JobScheduler::new(1);
+        let id = scheduler.submit(2, || Err("persistent".to_string())).unwrap();
+        match scheduler.wait(id) {
+            Err(PlatformError::JobFailed(msg)) => assert_eq!(msg, "persistent"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_job_not_found() {
+        let scheduler = JobScheduler::new(1);
+        assert!(matches!(
+            scheduler.status(99),
+            Err(PlatformError::NotFound { kind: "job", id: 99 })
+        ));
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs() {
+        let mut scheduler = JobScheduler::new(1);
+        let id = scheduler.submit(1, || Ok("done".into())).unwrap();
+        scheduler.wait(id).unwrap();
+        scheduler.shutdown();
+        assert!(matches!(
+            scheduler.submit(1, || Ok(String::new())),
+            Err(PlatformError::SchedulerStopped)
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The MLOps layer of `edgelab`: projects, teams, versioning, a typed API
+//! facade and a job scheduler.
+//!
+//! Edge Impulse exposes "all functionality … via publicly accessible REST
+//! APIs, which allows users to automate the data collection, model
+//! training, and deployment processes" (paper §4.9), runs workloads on
+//! dynamically scaled, containerized infrastructure (§4.10), and supports
+//! team collaboration through organizations, project versioning and public
+//! projects (§3 objective 6, §6.3). This crate models that layer
+//! in-process:
+//!
+//! * [`entities`] — users, organizations, projects, version snapshots;
+//! * [`api::Api`] — the typed request/response facade standing in for the
+//!   REST API (every mutation goes through it, like the real platform);
+//! * [`jobs::JobScheduler`] — a worker pool executing queued jobs with
+//!   status tracking and retries (the EKS substitute);
+//! * [`registry`] — the searchable public-project index;
+//! * [`features`] — the MLOps feature-support matrix of paper Table 5.
+
+pub mod api;
+pub mod entities;
+pub mod error;
+pub mod features;
+pub mod jobs;
+pub mod registry;
+
+pub use api::Api;
+pub use entities::{Organization, Project, ProjectVersion, User};
+pub use error::PlatformError;
+pub use jobs::{JobScheduler, JobStatus};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PlatformError>;

@@ -1,0 +1,112 @@
+//! The searchable public-project index (paper §6.3: "a searchable index
+//! allows developers to sort, filter, and search for relevant examples and
+//! public work").
+
+use crate::entities::Project;
+
+/// A search hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Project id.
+    pub id: u64,
+    /// Project name.
+    pub name: String,
+    /// Tags.
+    pub tags: Vec<String>,
+    /// Dataset size (samples).
+    pub samples: usize,
+}
+
+/// Searches public projects by free-text query over names and tags.
+///
+/// Empty queries list everything, sorted by dataset size (descending) then
+/// name — "sort, filter, and search".
+pub fn search(projects: &[Project], query: &str) -> Vec<RegistryEntry> {
+    let needle = query.trim().to_lowercase();
+    let mut hits: Vec<RegistryEntry> = projects
+        .iter()
+        .filter(|p| p.public)
+        .filter(|p| {
+            needle.is_empty()
+                || p.name.to_lowercase().contains(&needle)
+                || p.tags.iter().any(|t| t.to_lowercase().contains(&needle))
+        })
+        .map(|p| RegistryEntry {
+            id: p.id,
+            name: p.name.clone(),
+            tags: p.tags.clone(),
+            samples: p.dataset.len(),
+        })
+        .collect();
+    hits.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.name.cmp(&b.name)));
+    hits
+}
+
+/// Clones a public project into a new private copy for `new_owner` — the
+/// "review and clone" sharing flow.
+pub fn clone_project(source: &Project, new_id: u64, new_owner: u64) -> Option<Project> {
+    if !source.public {
+        return None;
+    }
+    let mut cloned = source.clone();
+    cloned.id = new_id;
+    cloned.owner = new_owner;
+    cloned.collaborators.clear();
+    cloned.public = false;
+    cloned.versions.clear();
+    Some(cloned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_data::{Sample, SensorKind};
+
+    fn public_project(id: u64, name: &str, tags: &[&str], samples: usize) -> Project {
+        let mut p = Project::new(id, name, 1);
+        p.public = true;
+        p.tags = tags.iter().map(|t| t.to_string()).collect();
+        for _ in 0..samples {
+            p.dataset.add(Sample::new(0, vec![0.0], SensorKind::Other));
+        }
+        p
+    }
+
+    #[test]
+    fn search_matches_name_and_tags() {
+        let projects = vec![
+            public_project(1, "keyword-spotting", &["audio"], 10),
+            public_project(2, "fall-detection", &["imu", "audio"], 20),
+            public_project(3, "plant-disease", &["vision"], 5),
+        ];
+        let audio = search(&projects, "audio");
+        assert_eq!(audio.len(), 2);
+        assert_eq!(audio[0].id, 2, "sorted by dataset size descending");
+        let vision = search(&projects, "PLANT");
+        assert_eq!(vision.len(), 1);
+        assert_eq!(search(&projects, "").len(), 3);
+        assert!(search(&projects, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn private_projects_never_listed() {
+        let mut p = public_project(1, "secret", &[], 3);
+        p.public = false;
+        assert!(search(&[p], "").is_empty());
+    }
+
+    #[test]
+    fn cloning_resets_ownership() {
+        let source = public_project(1, "shared", &["demo"], 4);
+        let cloned = clone_project(&source, 99, 42).unwrap();
+        assert_eq!(cloned.id, 99);
+        assert_eq!(cloned.owner, 42);
+        assert!(!cloned.public);
+        assert!(cloned.versions.is_empty());
+        assert_eq!(cloned.dataset.len(), 4, "data comes along");
+        // private projects cannot be cloned
+        let mut private = source;
+        private.public = false;
+        assert!(clone_project(&private, 100, 42).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Activation-range calibration over representative data.
+
+use crate::qparams::QuantParams;
+use crate::{QuantError, Result};
+use ei_nn::Sequential;
+
+/// Observed activation ranges: index 0 is the model input, index `i + 1`
+/// the output of layer `i`.
+#[derive(Debug, Clone)]
+pub struct ActivationRanges {
+    ranges: Vec<(f32, f32)>,
+}
+
+impl ActivationRanges {
+    /// Number of tracked activation boundaries (layers + 1).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `true` when nothing was tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// `(min, max)` observed at boundary `i`.
+    pub fn range(&self, i: usize) -> (f32, f32) {
+        self.ranges[i]
+    }
+
+    /// Quantization parameters for boundary `i`.
+    pub fn qparams(&self, i: usize) -> QuantParams {
+        let (min, max) = self.ranges[i];
+        QuantParams::from_range(min, max)
+    }
+}
+
+/// Runs `calibration` samples through the float model, recording min/max of
+/// every activation boundary.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidCalibration`] for an empty calibration set
+/// and propagates forward-pass failures (wrong input size).
+pub fn calibrate(model: &Sequential, calibration: &[Vec<f32>]) -> Result<ActivationRanges> {
+    if calibration.is_empty() {
+        return Err(QuantError::InvalidCalibration("calibration set is empty".into()));
+    }
+    let n_bounds = model.layers().len() + 1;
+    let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); n_bounds];
+    for sample in calibration {
+        let cache = model.forward_cached(sample, false, None)?;
+        for (r, act) in ranges.iter_mut().zip(&cache.activations) {
+            for &v in act {
+                r.0 = r.0.min(v);
+                r.1 = r.1.max(v);
+            }
+        }
+    }
+    // guard against NaN-producing degenerate boundaries
+    for r in &mut ranges {
+        if !r.0.is_finite() || !r.1.is_finite() {
+            *r = (-1.0, 1.0);
+        }
+    }
+    Ok(ActivationRanges { ranges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_nn::spec::{Activation, Dims, LayerSpec, ModelSpec};
+
+    fn model() -> Sequential {
+        let spec = ModelSpec::new(Dims::new(1, 3, 1))
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 4, activation: Activation::Relu })
+            .layer(LayerSpec::Softmax);
+        Sequential::build(&spec, 1).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_calibration() {
+        assert!(calibrate(&model(), &[]).is_err());
+    }
+
+    #[test]
+    fn tracks_input_range() {
+        let m = model();
+        let ranges =
+            calibrate(&m, &[vec![-2.0, 0.0, 3.0], vec![1.0, -5.0, 0.5]]).unwrap();
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges.range(0), (-5.0, 3.0));
+    }
+
+    #[test]
+    fn relu_output_nonnegative() {
+        let m = model();
+        let ranges = calibrate(&m, &[vec![1.0, -1.0, 2.0]]).unwrap();
+        let (lo, _) = ranges.range(2);
+        assert!(lo >= 0.0, "relu output min must be >= 0, got {lo}");
+    }
+
+    #[test]
+    fn softmax_output_within_unit_interval() {
+        let m = model();
+        let ranges = calibrate(&m, &[vec![1.0, -1.0, 2.0]]).unwrap();
+        let (lo, hi) = ranges.range(3);
+        assert!(lo >= 0.0 && hi <= 1.0);
+        let q = ranges.qparams(3);
+        assert!(q.scale <= 1.0 / 255.0 + 1e-6);
+    }
+
+    #[test]
+    fn wrong_input_size_propagates() {
+        assert!(calibrate(&model(), &[vec![1.0]]).is_err());
+    }
+}

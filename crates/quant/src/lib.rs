@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Post-training quantization and operator fusion for `edgelab`.
+//!
+//! Edge Impulse compresses models with "fully int-8 weight and activation
+//! quantization and operator fusion" (paper §4.5). This crate implements
+//! both from scratch:
+//!
+//! * [`qparams`] — affine quantization parameters (scale + zero point),
+//!   per-tensor and per-channel, plus the fixed-point requantization
+//!   multiplier embedded targets use instead of floating-point math;
+//! * [`calibrate`] — activation-range calibration over representative data;
+//! * [`fusion`] — graph transforms: fold `BatchNorm` into the preceding
+//!   convolution (the classic conv+BN fusion);
+//! * [`qmodel`] — a fully int8 model: symmetric per-channel int8 weights,
+//!   int32 biases, int8 activations with fixed-point requantization, and
+//!   integer kernels for every layer type.
+//!
+//! # Example
+//!
+//! ```
+//! use ei_nn::spec::{Activation, Dims, LayerSpec, ModelSpec};
+//! use ei_nn::Sequential;
+//! use ei_quant::quantize_model;
+//!
+//! # fn main() -> Result<(), ei_quant::QuantError> {
+//! let spec = ModelSpec::new(Dims::new(1, 4, 1))
+//!     .layer(LayerSpec::Flatten)
+//!     .layer(LayerSpec::Dense { units: 2, activation: Activation::None })
+//!     .layer(LayerSpec::Softmax);
+//! let model = Sequential::build(&spec, 1).map_err(ei_quant::QuantError::from)?;
+//! let calib = vec![vec![0.1, -0.5, 0.8, 0.3]];
+//! let qmodel = quantize_model(&model, &calib)?;
+//! let out = qmodel.forward(&[0.1, -0.5, 0.8, 0.3])?;
+//! assert_eq!(out.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod calibrate;
+pub mod error;
+pub mod fusion;
+pub mod qmodel;
+pub mod qparams;
+
+pub use error::QuantError;
+pub use qmodel::{quantize_model, QuantizedModel};
+pub use qparams::{ChannelQuant, QuantParams};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QuantError>;

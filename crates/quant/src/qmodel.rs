@@ -1,0 +1,742 @@
+//! Fully int8 quantized models with integer inference kernels.
+//!
+//! Weights are symmetric per-channel int8, biases int32 at scale
+//! `s_in * s_w`, activations asymmetric per-tensor int8, and every
+//! requantization uses the fixed-point multiplier from
+//! [`crate::qparams::FixedMultiplier`] — the same scheme TFLite Micro
+//! executes on Cortex-M targets (paper §4.5).
+
+use crate::calibrate::calibrate;
+use crate::fusion::fold_batch_norm;
+use crate::qparams::{ChannelQuant, FixedMultiplier, QuantParams};
+use crate::{QuantError, Result};
+use ei_nn::layers::conv::{Conv1dGeom, Conv2dGeom};
+use ei_nn::spec::{Activation, Dims, LayerSpec};
+use ei_nn::Sequential;
+
+/// One quantized layer.
+#[derive(Debug, Clone)]
+pub struct QLayer {
+    /// The architecture op this layer executes.
+    pub spec: LayerSpec,
+    /// Input activation dimensions.
+    pub input: Dims,
+    /// Output activation dimensions.
+    pub output: Dims,
+    /// int8 weights (output-channel-fastest layout), if parameterized.
+    pub weights: Option<Vec<i8>>,
+    /// Per-channel weight quantization, if parameterized.
+    pub w_quant: Option<ChannelQuant>,
+    /// int32 biases at scale `s_in * s_w[ch]`.
+    pub bias: Option<Vec<i32>>,
+    /// Input activation quantization.
+    pub in_q: QuantParams,
+    /// Output activation quantization.
+    pub out_q: QuantParams,
+    /// Per-output-channel requantization multipliers (`s_in*s_w/s_out`).
+    pub multipliers: Option<Vec<FixedMultiplier>>,
+}
+
+impl QLayer {
+    /// Bytes of flash this layer's parameters occupy when deployed.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.as_ref().map_or(0, Vec::len) + self.bias.as_ref().map_or(0, |b| b.len() * 4)
+    }
+}
+
+/// A fully int8 model produced by [`quantize_model`].
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    layers: Vec<QLayer>,
+    input_q: QuantParams,
+    output_q: QuantParams,
+    input_dims: Dims,
+    output_dims: Dims,
+    name: String,
+}
+
+impl QuantizedModel {
+    /// Quantized layers.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Input quantization parameters.
+    pub fn input_qparams(&self) -> QuantParams {
+        self.input_q
+    }
+
+    /// Output quantization parameters.
+    pub fn output_qparams(&self) -> QuantParams {
+        self.output_q
+    }
+
+    /// Input dimensions.
+    pub fn input_dims(&self) -> Dims {
+        self.input_dims
+    }
+
+    /// Output dimensions.
+    pub fn output_dims(&self) -> Dims {
+        self.output_dims
+    }
+
+    /// Architecture name carried over from the float model.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total parameter bytes (int8 weights + int32 biases).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(QLayer::weight_bytes).sum()
+    }
+
+    /// Largest single activation in elements (1 byte each when quantized).
+    pub fn peak_activation_elems(&self) -> usize {
+        let mut peak = self.input_dims.len();
+        for l in &self.layers {
+            peak = peak.max(l.output.len());
+        }
+        peak
+    }
+
+    /// Runs inference on real-valued input, returning real-valued output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InputLengthMismatch`] for wrongly sized input.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>> {
+        let q_in = self.input_q.quantize_slice(input);
+        let q_out = self.forward_quantized(&q_in)?;
+        Ok(self.output_q.dequantize_slice(&q_out))
+    }
+
+    /// Runs the integer path, returning every intermediate activation as
+    /// raw int8 codes — one vector per layer boundary, starting with the
+    /// quantized input. This is the byte-level view an arena-backed
+    /// executor stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InputLengthMismatch`] for wrongly sized input.
+    pub fn trace_raw(&self, input: &[f32]) -> Result<Vec<Vec<i8>>> {
+        let mut act = self.input_q.quantize_slice(input);
+        let mut out = vec![act.clone()];
+        for layer in &self.layers {
+            act = run_qlayer(layer, &act)?;
+            out.push(act.clone());
+        }
+        Ok(out)
+    }
+
+    /// Runs the integer path, returning every intermediate activation as
+    /// dequantized reals — one vector per layer boundary, starting with the
+    /// (requantized) input. Useful for debugging where quantization error
+    /// accumulates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InputLengthMismatch`] for wrongly sized input.
+    pub fn trace(&self, input: &[f32]) -> Result<Vec<Vec<f32>>> {
+        let mut act = self.input_q.quantize_slice(input);
+        let mut out = vec![self.input_q.dequantize_slice(&act)];
+        for layer in &self.layers {
+            act = run_qlayer(layer, &act)?;
+            out.push(layer.out_q.dequantize_slice(&act));
+        }
+        Ok(out)
+    }
+
+    /// Runs the pure-integer inference path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InputLengthMismatch`] for wrongly sized input.
+    pub fn forward_quantized(&self, input: &[i8]) -> Result<Vec<i8>> {
+        if input.len() != self.input_dims.len() {
+            return Err(QuantError::InputLengthMismatch {
+                expected: self.input_dims.len(),
+                actual: input.len(),
+            });
+        }
+        let mut act = input.to_vec();
+        for layer in &self.layers {
+            act = run_qlayer(layer, &act)?;
+        }
+        Ok(act)
+    }
+}
+
+/// Quantizes a trained float model to fully int8.
+///
+/// `BatchNorm` layers are folded into their predecessors first; activation
+/// ranges come from running `calibration` through the float model.
+///
+/// # Errors
+///
+/// Fails on an empty calibration set, wrongly sized calibration samples, or
+/// a `BatchNorm` with no fusable predecessor.
+pub fn quantize_model(model: &Sequential, calibration: &[Vec<f32>]) -> Result<QuantizedModel> {
+    let (fused, _) = fold_batch_norm(model)?;
+    let ranges = calibrate(&fused, calibration)?;
+    let mut layers = Vec::with_capacity(fused.layers().len());
+    // pooling and shape ops operate directly on int8 codes, so (as in
+    // TFLM) their output must share the input's quantization parameters;
+    // track the propagated parameters along the chain
+    let mut cur_q = ranges.qparams(0);
+    for (i, layer) in fused.layers().iter().enumerate() {
+        let in_q = cur_q;
+        let passthrough = matches!(
+            layer.spec,
+            LayerSpec::MaxPool { .. }
+                | LayerSpec::AvgPool { .. }
+                | LayerSpec::GlobalAvgPool
+                | LayerSpec::Reshape { .. }
+                | LayerSpec::Flatten
+                | LayerSpec::Dropout { .. }
+        );
+        let out_q = if passthrough { in_q } else { ranges.qparams(i + 1) };
+        cur_q = out_q;
+        let (weights, w_quant, bias, multipliers) = match (&layer.weights, &layer.bias) {
+            (Some(w), bias) => {
+                let out_c = out_channels(&layer.spec, layer.output);
+                let wf = w.as_f32()?;
+                let cq = ChannelQuant::from_weights(wf, out_c);
+                let qw = cq.quantize(wf);
+                let qb = bias.as_ref().map(|b| {
+                    b.as_f32()
+                        .expect("bias is f32")
+                        .iter()
+                        .enumerate()
+                        .map(|(ch, &v)| {
+                            (v / (in_q.scale * cq.scales[ch % out_c])).round() as i32
+                        })
+                        .collect::<Vec<i32>>()
+                });
+                let mults = cq
+                    .scales
+                    .iter()
+                    .map(|&sw| FixedMultiplier::from_real(in_q.scale * sw / out_q.scale))
+                    .collect();
+                (Some(qw), Some(cq), qb, Some(mults))
+            }
+            _ => (None, None, None, None),
+        };
+        layers.push(QLayer {
+            spec: layer.spec.clone(),
+            input: layer.input,
+            output: layer.output,
+            weights,
+            w_quant,
+            bias,
+            in_q,
+            out_q,
+            multipliers,
+        });
+    }
+    Ok(QuantizedModel {
+        input_q: ranges.qparams(0),
+        output_q: cur_q,
+        input_dims: fused.input_dims(),
+        output_dims: fused.output_dims(),
+        name: fused.spec().name.clone(),
+        layers,
+    })
+}
+
+/// Output-channel count used for per-channel weight quantization.
+fn out_channels(spec: &LayerSpec, output: Dims) -> usize {
+    match spec {
+        LayerSpec::Dense { units, .. } => *units,
+        _ => output.c,
+    }
+}
+
+/// Requantizes an int32 accumulator to the output int8 domain, applying the
+/// layer's activation via integer clamping where possible.
+fn requantize(acc: i32, mult: FixedMultiplier, out_q: QuantParams, act: Activation) -> i8 {
+    let v = mult.apply(acc) + out_q.zero_point;
+    let (lo, hi) = activation_bounds(act, out_q);
+    v.clamp(lo, hi) as i8
+}
+
+/// int8 clamping bounds implementing ReLU-family activations.
+fn activation_bounds(act: Activation, out_q: QuantParams) -> (i32, i32) {
+    match act {
+        Activation::Relu => (out_q.zero_point.max(-128), 127),
+        Activation::Relu6 => {
+            let six = (6.0 / out_q.scale).round() as i32 + out_q.zero_point;
+            (out_q.zero_point.max(-128), six.min(127))
+        }
+        _ => (-128, 127),
+    }
+}
+
+/// Executes one quantized layer.
+fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
+    let act = match &layer.spec {
+        LayerSpec::Dense { activation, .. }
+        | LayerSpec::Conv1d { activation, .. }
+        | LayerSpec::Conv2d { activation, .. }
+        | LayerSpec::Conv2dRect { activation, .. }
+        | LayerSpec::DepthwiseConv2d { activation, .. } => *activation,
+        _ => Activation::None,
+    };
+    // sigmoid/tanh have no integer fast path: fall back to float for them
+    let float_act = matches!(act, Activation::Sigmoid | Activation::Tanh);
+    match &layer.spec {
+        LayerSpec::Dense { units, .. } => {
+            let w = layer.weights.as_ref().expect("dense has weights");
+            let b = layer.bias.as_ref().expect("dense has bias");
+            let mults = layer.multipliers.as_ref().expect("dense has multipliers");
+            let in_zp = layer.in_q.zero_point;
+            let mut out = Vec::with_capacity(*units);
+            for j in 0..*units {
+                let mut acc = b[j];
+                for (i, &x) in input.iter().enumerate() {
+                    acc += (x as i32 - in_zp) * w[i * units + j] as i32;
+                }
+                out.push(finish(acc, j, mults, layer, act, float_act));
+            }
+            Ok(out)
+        }
+        LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => {
+            let g = Conv1dGeom {
+                in_w: layer.input.w,
+                in_c: layer.input.c,
+                out_c: *filters,
+                kernel: *kernel,
+                stride: *stride,
+                padding: *padding,
+            };
+            let (ow, pad) = g.output();
+            let w = layer.weights.as_ref().expect("conv1d has weights");
+            let b = layer.bias.as_ref().expect("conv1d has bias");
+            let mults = layer.multipliers.as_ref().expect("conv1d has multipliers");
+            let in_zp = layer.in_q.zero_point;
+            let mut out = Vec::with_capacity(ow * g.out_c);
+            for ox in 0..ow {
+                for co in 0..g.out_c {
+                    let mut acc = b[co];
+                    for k in 0..*kernel {
+                        let ix = (ox * stride + k) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= g.in_w {
+                            continue;
+                        }
+                        let in_base = (ix as usize) * g.in_c;
+                        let w_base = k * g.in_c * g.out_c;
+                        for ci in 0..g.in_c {
+                            acc += (input[in_base + ci] as i32 - in_zp)
+                                * w[w_base + ci * g.out_c + co] as i32;
+                        }
+                    }
+                    out.push(finish(acc, co, mults, layer, act, float_act));
+                }
+            }
+            Ok(out)
+        }
+        LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => {
+            let g = Conv2dGeom {
+                in_h: layer.input.h,
+                in_w: layer.input.w,
+                in_c: layer.input.c,
+                out_c: *filters,
+                kernel_h: *kernel,
+                        kernel_w: *kernel,
+                stride: *stride,
+                padding: *padding,
+            };
+            run_conv2d_like(layer, input, g, act, float_act, false)
+        }
+        LayerSpec::Conv2dRect { filters, kernel_h, kernel_w, stride, padding, .. } => {
+            let g = Conv2dGeom {
+                in_h: layer.input.h,
+                in_w: layer.input.w,
+                in_c: layer.input.c,
+                out_c: *filters,
+                kernel_h: *kernel_h,
+                kernel_w: *kernel_w,
+                stride: *stride,
+                padding: *padding,
+            };
+            run_conv2d_like(layer, input, g, act, float_act, false)
+        }
+        LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => {
+            let g = Conv2dGeom {
+                in_h: layer.input.h,
+                in_w: layer.input.w,
+                in_c: layer.input.c,
+                out_c: layer.input.c,
+                kernel_h: *kernel,
+                        kernel_w: *kernel,
+                stride: *stride,
+                padding: *padding,
+            };
+            run_conv2d_like(layer, input, g, act, float_act, true)
+        }
+        LayerSpec::MaxPool { size } => Ok(maxpool_q(input, layer.input, *size)),
+        LayerSpec::AvgPool { size } => Ok(avgpool_q(input, layer.input, *size)),
+        LayerSpec::GlobalAvgPool => {
+            let n = (layer.input.h * layer.input.w) as i32;
+            let c = layer.input.c;
+            let mut sums = vec![0i32; c];
+            for pix in input.chunks(c) {
+                for (s, &v) in sums.iter_mut().zip(pix) {
+                    *s += v as i32;
+                }
+            }
+            Ok(sums
+                .iter()
+                .map(|&s| {
+                    let rounded =
+                        if s >= 0 { (s + n / 2) / n } else { (s - n / 2) / n };
+                    rounded.clamp(-128, 127) as i8
+                })
+                .collect())
+        }
+        LayerSpec::Reshape { .. } | LayerSpec::Flatten | LayerSpec::Dropout { .. } => {
+            Ok(input.to_vec())
+        }
+        LayerSpec::BatchNorm => Err(QuantError::UnsupportedLayer(
+            "batch_norm must be folded before quantized execution".into(),
+        )),
+        LayerSpec::Softmax => {
+            // no integer softmax: dequantize, soft-max in float, requantize
+            let reals = layer.in_q.dequantize_slice(input);
+            let probs = ei_tensor::ops::softmax(&reals);
+            Ok(layer.out_q.quantize_slice(&probs))
+        }
+    }
+}
+
+/// Shared conv2d / depthwise integer kernel.
+fn run_conv2d_like(
+    layer: &QLayer,
+    input: &[i8],
+    g: Conv2dGeom,
+    act: Activation,
+    float_act: bool,
+    depthwise: bool,
+) -> Result<Vec<i8>> {
+    let (oh, ow, py, px) = g.output();
+    let w = layer.weights.as_ref().expect("conv has weights");
+    let b = layer.bias.as_ref().expect("conv has bias");
+    let mults = layer.multipliers.as_ref().expect("conv has multipliers");
+    let in_zp = layer.in_q.zero_point;
+    let mut out = Vec::with_capacity(oh * ow * g.out_c);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for co in 0..g.out_c {
+                let mut acc = b[co];
+                for ky in 0..g.kernel_h {
+                    let iy = (oy * g.stride + ky) as isize - py as isize;
+                    if iy < 0 || iy as usize >= g.in_h {
+                        continue;
+                    }
+                    for kx in 0..g.kernel_w {
+                        let ix = (ox * g.stride + kx) as isize - px as isize;
+                        if ix < 0 || ix as usize >= g.in_w {
+                            continue;
+                        }
+                        let in_base = ((iy as usize) * g.in_w + ix as usize) * g.in_c;
+                        if depthwise {
+                            let w_idx = (ky * g.kernel_w + kx) * g.in_c + co;
+                            acc += (input[in_base + co] as i32 - in_zp) * w[w_idx] as i32;
+                        } else {
+                            let w_base = (ky * g.kernel_w + kx) * g.in_c * g.out_c;
+                            for ci in 0..g.in_c {
+                                acc += (input[in_base + ci] as i32 - in_zp)
+                                    * w[w_base + ci * g.out_c + co] as i32;
+                            }
+                        }
+                    }
+                }
+                out.push(finish(acc, co, mults, layer, act, float_act));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Requantizes an accumulator; for sigmoid/tanh falls back to float.
+fn finish(
+    acc: i32,
+    ch: usize,
+    mults: &[FixedMultiplier],
+    layer: &QLayer,
+    act: Activation,
+    float_act: bool,
+) -> i8 {
+    if float_act {
+        let cq = layer.w_quant.as_ref().expect("parameterized layer");
+        let real = acc as f32 * layer.in_q.scale * cq.scales[ch % cq.len()];
+        layer.out_q.quantize(act.apply(real))
+    } else {
+        requantize(acc, mults[ch % mults.len()], layer.out_q, act)
+    }
+}
+
+/// int8 max pooling (shares geometry rules with the float path).
+fn maxpool_q(input: &[i8], dims: Dims, size: usize) -> Vec<i8> {
+    let (h, w, c) = if dims.h == 1 { (dims.w, 1, dims.c) } else { (dims.h, dims.w, dims.c) };
+    if dims.h == 1 {
+        // 1-D: pool over steps
+        let ow = h / size;
+        let mut out = vec![i8::MIN; ow * c];
+        for ox in 0..ow {
+            for k in 0..size {
+                let base = (ox * size + k) * c;
+                for ch in 0..c {
+                    out[ox * c + ch] = out[ox * c + ch].max(input[base + ch]);
+                }
+            }
+        }
+        return out;
+    }
+    let (oh, ow) = (h / size, w / size);
+    let mut out = vec![i8::MIN; oh * ow * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let obase = (oy * ow + ox) * c;
+            for ky in 0..size {
+                for kx in 0..size {
+                    let ibase = ((oy * size + ky) * w + ox * size + kx) * c;
+                    for ch in 0..c {
+                        out[obase + ch] = out[obase + ch].max(input[ibase + ch]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// int8 average pooling with rounded integer division.
+fn avgpool_q(input: &[i8], dims: Dims, size: usize) -> Vec<i8> {
+    let div = |s: i32, n: i32| -> i8 {
+        let r = if s >= 0 { (s + n / 2) / n } else { (s - n / 2) / n };
+        r.clamp(-128, 127) as i8
+    };
+    if dims.h == 1 {
+        let ow = dims.w / size;
+        let c = dims.c;
+        let mut out = vec![0i8; ow * c];
+        for ox in 0..ow {
+            for ch in 0..c {
+                let mut s = 0i32;
+                for k in 0..size {
+                    s += input[(ox * size + k) * c + ch] as i32;
+                }
+                out[ox * c + ch] = div(s, size as i32);
+            }
+        }
+        return out;
+    }
+    let (oh, ow) = (dims.h / size, dims.w / size);
+    let c = dims.c;
+    let n = (size * size) as i32;
+    let mut out = vec![0i8; oh * ow * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for ch in 0..c {
+                let mut s = 0i32;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        s += input[((oy * size + ky) * dims.w + ox * size + kx) * c + ch] as i32;
+                    }
+                }
+                out[(oy * ow + ox) * c + ch] = div(s, n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_nn::spec::{Activation, Dims, LayerSpec, ModelSpec, Padding};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_inputs(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    fn dense_model() -> Sequential {
+        let spec = ModelSpec::new(Dims::new(1, 8, 1))
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 16, activation: Activation::Relu })
+            .layer(LayerSpec::Dense { units: 4, activation: Activation::None })
+            .layer(LayerSpec::Softmax);
+        Sequential::build(&spec, 3).unwrap()
+    }
+
+    #[test]
+    fn quantized_dense_tracks_float() {
+        let model = dense_model();
+        let calib = random_inputs(32, 8, 1);
+        let qmodel = quantize_model(&model, &calib).unwrap();
+        let mut max_err = 0.0f32;
+        for x in random_inputs(16, 8, 2) {
+            let f = model.forward(&x).unwrap();
+            let q = qmodel.forward(&x).unwrap();
+            for (a, b) in f.iter().zip(&q) {
+                max_err = max_err.max((a - b).abs());
+            }
+        }
+        assert!(max_err < 0.1, "softmax outputs diverged by {max_err}");
+    }
+
+    #[test]
+    fn quantized_argmax_agrees_with_float() {
+        let model = dense_model();
+        let calib = random_inputs(32, 8, 1);
+        let qmodel = quantize_model(&model, &calib).unwrap();
+        let mut agree = 0;
+        let probes = random_inputs(50, 8, 7);
+        for x in &probes {
+            let f = model.forward(x).unwrap();
+            let q = qmodel.forward(x).unwrap();
+            if ei_tensor::ops::argmax(&f) == ei_tensor::ops::argmax(&q) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 45, "only {agree}/50 argmax agreements");
+    }
+
+    #[test]
+    fn quantized_conv_model_tracks_float() {
+        let spec = ModelSpec::new(Dims::new(8, 8, 1))
+            .layer(LayerSpec::Conv2d {
+                filters: 4,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::MaxPool { size: 2 })
+            .layer(LayerSpec::DepthwiseConv2d {
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu6,
+            })
+            .layer(LayerSpec::GlobalAvgPool)
+            .layer(LayerSpec::Dense { units: 3, activation: Activation::None })
+            .layer(LayerSpec::Softmax);
+        let model = Sequential::build(&spec, 9).unwrap();
+        let calib = random_inputs(16, 64, 4);
+        let qmodel = quantize_model(&model, &calib).unwrap();
+        for x in random_inputs(8, 64, 5) {
+            let f = model.forward(&x).unwrap();
+            let q = qmodel.forward(&x).unwrap();
+            for (a, b) in f.iter().zip(&q) {
+                assert!((a - b).abs() < 0.15, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_and_pools_quantize() {
+        let spec = ModelSpec::new(Dims::new(1, 16, 2))
+            .layer(LayerSpec::Conv1d {
+                filters: 4,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::AvgPool { size: 2 })
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::None })
+            .layer(LayerSpec::Softmax);
+        let model = Sequential::build(&spec, 2).unwrap();
+        let calib = random_inputs(16, 32, 6);
+        let qmodel = quantize_model(&model, &calib).unwrap();
+        for x in random_inputs(4, 32, 8) {
+            let f = model.forward(&x).unwrap();
+            let q = qmodel.forward(&x).unwrap();
+            assert_eq!(
+                ei_tensor::ops::argmax(&f),
+                ei_tensor::ops::argmax(&q),
+                "f {f:?} q {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_bytes_quarter_of_float() {
+        let model = dense_model();
+        let calib = random_inputs(8, 8, 1);
+        let qmodel = quantize_model(&model, &calib).unwrap();
+        let float_bytes = model.param_count() * 4;
+        let q_bytes = qmodel.weight_bytes();
+        // int8 weights + int32 biases: a bit over 1/4 of float
+        assert!(q_bytes < float_bytes / 3, "{q_bytes} vs {float_bytes}");
+    }
+
+    #[test]
+    fn batchnorm_folded_automatically() {
+        let spec = ModelSpec::new(Dims::new(4, 4, 1))
+            .layer(LayerSpec::Conv2d {
+                filters: 2,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::None,
+            })
+            .layer(LayerSpec::BatchNorm)
+            .layer(LayerSpec::GlobalAvgPool)
+            .layer(LayerSpec::Softmax);
+        let model = Sequential::build(&spec, 1).unwrap();
+        let qmodel = quantize_model(&model, &random_inputs(8, 16, 3)).unwrap();
+        assert!(
+            qmodel.layers().iter().all(|l| l.spec != LayerSpec::BatchNorm),
+            "batchnorm must be folded away"
+        );
+    }
+
+    #[test]
+    fn forward_validates_input_len() {
+        let model = dense_model();
+        let qmodel = quantize_model(&model, &random_inputs(4, 8, 1)).unwrap();
+        assert!(qmodel.forward(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn relu_bounds_clamp_in_integer_domain() {
+        let q = QuantParams::from_range(-2.0, 2.0);
+        let (lo, hi) = activation_bounds(Activation::Relu, q);
+        assert_eq!(lo, q.zero_point);
+        assert_eq!(hi, 127);
+        let (lo6, hi6) = activation_bounds(Activation::Relu6, q);
+        assert_eq!(lo6, q.zero_point);
+        assert!(hi6 <= 127);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_quantized_close_to_float(seed in 0u64..500) {
+            let spec = ModelSpec::new(Dims::new(1, 6, 1))
+                .layer(LayerSpec::Flatten)
+                .layer(LayerSpec::Dense { units: 8, activation: Activation::Relu })
+                .layer(LayerSpec::Dense { units: 3, activation: Activation::None });
+            let model = Sequential::build(&spec, seed).unwrap();
+            let calib = random_inputs(24, 6, seed);
+            let qmodel = quantize_model(&model, &calib).unwrap();
+            // probe with calibration samples: inside the calibrated range the
+            // int8 grid bounds the error; out-of-range inputs may clip
+            for x in calib.iter().take(6) {
+                let f = model.forward(x).unwrap();
+                let q = qmodel.forward(x).unwrap();
+                for (a, b) in f.iter().zip(&q) {
+                    prop_assert!((a - b).abs() < 0.25, "float {a} vs quant {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Deployment cost constants for the two engines.
+//!
+//! These constants model where the bytes go when a converted model lands on
+//! a microcontroller. They are calibrated so that the *relative* movements
+//! match paper Table 4 (EON saves roughly 10–35% RAM and 15–45% flash
+//! versus the TFLM interpreter across the three tasks); absolute values are
+//! representative of a Cortex-M4 `-Os` build.
+
+/// Flash bytes of the TFLM interpreter core (graph walker, allocator,
+/// flatbuffer parsing) — removed entirely by EON.
+pub const TFLM_INTERPRETER_CODE_BYTES: usize = 26_000;
+
+/// Flash bytes of EON's generated glue (static call sequence, tensor
+/// tables baked as constants).
+pub const EON_GLUE_CODE_BYTES: usize = 3_500;
+
+/// Serialized-schema overhead the interpreter keeps in flash alongside the
+/// raw weights (flatbuffer framing, operator metadata), as a fraction of
+/// weight bytes.
+pub const TFLM_SCHEMA_OVERHEAD_RATIO: f64 = 0.08;
+
+/// Fixed flatbuffer metadata bytes (model header, subgraph tables).
+pub const TFLM_SCHEMA_FIXED_BYTES: usize = 2_048;
+
+/// RAM bytes of the interpreter object itself (MicroInterpreter, allocator
+/// state, error reporter).
+pub const TFLM_INTERPRETER_RAM_BYTES: usize = 1_024;
+
+/// RAM bytes per tensor for the interpreter's `TfLiteTensor` bookkeeping.
+pub const TFLM_TENSOR_STRUCT_BYTES: usize = 64;
+
+/// RAM bytes per graph node (`TfLiteNode` + registration pointers).
+pub const TFLM_NODE_STRUCT_BYTES: usize = 48;
+
+/// Persistent scratch the interpreter reserves for kernel workspaces.
+pub const TFLM_SCRATCH_RAM_BYTES: usize = 2_048;
+
+/// RAM bytes of EON's static state (a few pointers and counters).
+pub const EON_STATIC_RAM_BYTES: usize = 256;
+
+/// Safety margin applied on top of the planned arena when reporting RAM.
+///
+/// Real arenas carry kernel temporaries (im2col/column buffers,
+/// requantization tables) and alignment slack beyond the planner's
+/// optimal packing; Edge Impulse's own guidance is to size the static
+/// arena ~20–25% above the estimate. Both engines apply the same margin,
+/// so engine-to-engine comparisons are unaffected.
+pub const ARENA_SAFETY_MARGIN_RATIO: f64 = 0.25;
+
+/// Applies [`ARENA_SAFETY_MARGIN_RATIO`] to a planned arena size.
+pub fn padded_arena_bytes(planned: usize) -> usize {
+    planned + (planned as f64 * ARENA_SAFETY_MARGIN_RATIO) as usize
+}
+
+/// Kernel code-size multiplier for the interpreter: TFLM kernels are
+/// generic over dtypes/shapes, EON links specialized variants.
+pub const TFLM_KERNEL_CODE_FACTOR: f64 = 1.5;
+
+/// Flash bytes of one specialized kernel per op kind (EON baseline; the
+/// interpreter multiplies by [`TFLM_KERNEL_CODE_FACTOR`]).
+pub fn kernel_code_bytes(op_name: &str) -> usize {
+    match op_name {
+        "conv2d" => 7_168,
+        "depthwise_conv2d" => 5_120,
+        "conv1d" => 4_096,
+        "dense" => 2_048,
+        "max_pool" | "avg_pool" => 1_536,
+        "global_avg_pool" => 1_024,
+        "softmax" => 1_024,
+        "batch_norm" => 1_536,
+        "reshape" | "flatten" | "dropout" => 256,
+        _ => 1_024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_code_dwarfs_eon_glue() {
+        assert!(TFLM_INTERPRETER_CODE_BYTES > 5 * EON_GLUE_CODE_BYTES);
+    }
+
+    #[test]
+    fn conv_kernels_cost_more_than_reshape() {
+        assert!(kernel_code_bytes("conv2d") > kernel_code_bytes("dense"));
+        assert!(kernel_code_bytes("dense") > kernel_code_bytes("reshape"));
+        assert_eq!(kernel_code_bytes("unknown_op"), 1_024);
+    }
+}

@@ -1,0 +1,99 @@
+//! The engine abstraction shared by the interpreter and EON executor.
+
+use crate::ir::ModelArtifact;
+use crate::Result;
+
+/// Which execution engine produced a result or report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// TFLite-Micro-style interpreter (dynamic dispatch, schema in flash).
+    TflmInterpreter,
+    /// EON-style ahead-of-time compiled program (static dispatch).
+    EonCompiled,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::TflmInterpreter => f.write_str("TFLM"),
+            EngineKind::EonCompiled => f.write_str("EON"),
+        }
+    }
+}
+
+/// Byte-accurate deployment footprint of an engine + model pair.
+///
+/// `RAM = arena + runtime state`; `flash = weights + model format + code`.
+/// These are the numbers paper Table 4 compares across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryReport {
+    /// Activation tensor arena (planned, aligned).
+    pub arena_bytes: usize,
+    /// Engine bookkeeping RAM (interpreter structs, scratch, statics).
+    pub runtime_ram_bytes: usize,
+    /// Raw parameter bytes in flash.
+    pub weight_bytes: usize,
+    /// Serialized model-format overhead in flash (flatbuffer schema for the
+    /// interpreter; zero for EON, whose graph is baked into code).
+    pub model_format_bytes: usize,
+    /// Engine + kernel code bytes in flash.
+    pub code_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Total RAM requirement in bytes.
+    pub fn ram_total(&self) -> usize {
+        self.arena_bytes + self.runtime_ram_bytes
+    }
+
+    /// Total flash requirement in bytes.
+    pub fn flash_total(&self) -> usize {
+        self.weight_bytes + self.model_format_bytes + self.code_bytes
+    }
+}
+
+/// A model execution engine.
+///
+/// Implementations must return bit-identical outputs for the same
+/// [`ModelArtifact`] — engines differ in dispatch and footprint only.
+pub trait InferenceEngine {
+    /// The engine variant.
+    fn kind(&self) -> EngineKind;
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Fails for wrongly sized input or (interpreter only) missing kernels.
+    fn run(&self, input: &[f32]) -> Result<Vec<f32>>;
+
+    /// Deployment memory footprint.
+    fn memory(&self) -> MemoryReport;
+
+    /// The artifact this engine executes.
+    fn artifact(&self) -> &ModelArtifact;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = MemoryReport {
+            arena_bytes: 100,
+            runtime_ram_bytes: 20,
+            weight_bytes: 1000,
+            model_format_bytes: 80,
+            code_bytes: 500,
+        };
+        assert_eq!(r.ram_total(), 120);
+        assert_eq!(r.flash_total(), 1580);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(EngineKind::TflmInterpreter.to_string(), "TFLM");
+        assert_eq!(EngineKind::EonCompiled.to_string(), "EON");
+    }
+}

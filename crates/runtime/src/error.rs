@@ -1,0 +1,62 @@
+//! Error type for runtime construction and execution.
+
+use std::fmt;
+
+/// Errors produced by the inference runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The input buffer did not match the model's input size.
+    InputLengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// An op required by the model is missing from the interpreter registry.
+    MissingKernel(String),
+    /// The memory planner was given inconsistent buffer lifetimes.
+    InvalidPlan(String),
+    /// An upstream model error.
+    Model(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InputLengthMismatch { expected, actual } => {
+                write!(f, "input length mismatch: expected {expected}, got {actual}")
+            }
+            RuntimeError::MissingKernel(op) => write!(f, "no kernel registered for op {op}"),
+            RuntimeError::InvalidPlan(msg) => write!(f, "invalid memory plan: {msg}"),
+            RuntimeError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ei_nn::NnError> for RuntimeError {
+    fn from(e: ei_nn::NnError) -> Self {
+        RuntimeError::Model(e.to_string())
+    }
+}
+
+impl From<ei_quant::QuantError> for RuntimeError {
+    fn from(e: ei_quant::QuantError) -> Self {
+        RuntimeError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = ei_nn::NnError::InvalidTrainingData("x".into()).into();
+        assert!(matches!(e, RuntimeError::Model(_)));
+        assert!(RuntimeError::MissingKernel("conv2d".into()).to_string().contains("conv2d"));
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<RuntimeError>();
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Inference runtimes for `edgelab`: a TFLM-style interpreter and the
+//! EON-style compiled executor, with byte-accurate memory accounting.
+//!
+//! Edge Impulse ships two ways to execute a converted model (paper §4.5):
+//!
+//! * the **TFLite-Micro interpreter** — a generic graph walker that keeps
+//!   per-tensor/per-node bookkeeping structures in RAM and carries the
+//!   interpreter code plus a serialized model schema in flash;
+//! * the **EON Compiler** — ahead-of-time code generation that "eliminates
+//!   the need for the TFLM interpreter by generating code that directly
+//!   calls the underlying kernels and enables the linker to eliminate
+//!   unused instructions", cutting RAM and flash (paper Table 4).
+//!
+//! This crate rebuilds both:
+//!
+//! * [`ir::ModelArtifact`] — a deployable model (float or fully int8) with
+//!   per-op resource metadata;
+//! * [`planner`] — the greedy-by-size arena memory planner that assigns
+//!   static offsets to activation buffers (what both engines use to size
+//!   the tensor arena);
+//! * [`interpreter::Interpreter`] — dynamic dispatch through an op
+//!   registry, with the interpreter's RAM/flash overheads modeled from
+//!   [`costs`];
+//! * [`eon::EonProgram`] — a precompiled execution plan with static
+//!   dispatch and dead-kernel elimination, plus
+//!   [`codegen::emit_c_source`], which renders the plan as a standalone
+//!   C translation unit (what the platform actually ships to firmware).
+//!
+//! Both engines produce bit-identical outputs to the underlying model;
+//! they differ only in dispatch style and memory footprint — exactly the
+//! comparison paper §5.3 makes.
+
+pub mod codegen;
+pub mod costs;
+pub mod engine;
+pub mod eon;
+pub mod error;
+pub mod interpreter;
+pub mod ir;
+pub mod planner;
+
+pub use engine::{EngineKind, InferenceEngine, MemoryReport};
+pub use eon::EonProgram;
+pub use error::RuntimeError;
+pub use interpreter::Interpreter;
+pub use ir::{ModelArtifact, OpInfo};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

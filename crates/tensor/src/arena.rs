@@ -1,0 +1,196 @@
+//! TFLM-style tensor arena: one contiguous pool, bump allocation,
+//! high-water-mark accounting.
+//!
+//! Embedded inference engines avoid `malloc` by pre-reserving one block of
+//! SRAM (the "tensor arena") and carving activations out of it. Porting the
+//! Edge Impulse SDK to a new target only requires such an allocator (paper
+//! §4.6). [`Arena`] reproduces that discipline and records the peak number
+//! of bytes ever in use, which is exactly the RAM figure the platform
+//! reports to users (paper §4.4, Table 4).
+
+use crate::{Result, TensorError};
+
+/// Alignment for all arena allocations, in bytes.
+///
+/// 16 matches TFLM's default buffer alignment (good for SIMD loads).
+pub const ARENA_ALIGN: usize = 16;
+
+/// A handle to a region allocated from an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaHandle {
+    /// Byte offset of the region within the pool.
+    pub offset: usize,
+    /// Usable size of the region in bytes (pre-alignment request).
+    pub size: usize,
+}
+
+/// A fixed-capacity bump allocator.
+///
+/// # Example
+///
+/// ```
+/// use ei_tensor::Arena;
+///
+/// # fn main() -> Result<(), ei_tensor::TensorError> {
+/// let mut arena = Arena::with_capacity(1024);
+/// let a = arena.alloc(100)?;
+/// let b = arena.alloc(100)?;
+/// assert_ne!(a.offset, b.offset);
+/// assert!(arena.high_water_mark() >= 200);
+/// arena.reset();
+/// assert_eq!(arena.bytes_in_use(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arena {
+    capacity: usize,
+    cursor: usize,
+    high_water: usize,
+    allocations: usize,
+}
+
+impl Arena {
+    /// Creates an arena with `capacity` bytes of pool space.
+    pub fn with_capacity(capacity: usize) -> Arena {
+        Arena { capacity, cursor: 0, high_water: 0, allocations: 0 }
+    }
+
+    /// Allocates `size` bytes, aligned to [`ARENA_ALIGN`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ArenaExhausted`] if the aligned request does
+    /// not fit in the remaining pool.
+    pub fn alloc(&mut self, size: usize) -> Result<ArenaHandle> {
+        let aligned = align_up(size, ARENA_ALIGN);
+        let remaining = self.capacity - self.cursor;
+        if aligned > remaining {
+            return Err(TensorError::ArenaExhausted { requested: aligned, remaining });
+        }
+        let handle = ArenaHandle { offset: self.cursor, size };
+        self.cursor += aligned;
+        self.high_water = self.high_water.max(self.cursor);
+        self.allocations += 1;
+        Ok(handle)
+    }
+
+    /// Releases every allocation, keeping the high-water mark.
+    ///
+    /// Mirrors how an inference engine reuses its arena between invocations.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently in use (aligned).
+    pub fn bytes_in_use(&self) -> usize {
+        self.cursor
+    }
+
+    /// The largest number of bytes that were ever simultaneously in use.
+    ///
+    /// This is the figure an integrator would size their static arena with.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of successful allocations over the arena's lifetime.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations
+    }
+}
+
+impl Default for Arena {
+    /// A 256 kB arena — the SRAM capacity of the Arduino Nano 33 BLE Sense
+    /// (paper Table 1).
+    fn default() -> Self {
+        Arena::with_capacity(256 * 1024)
+    }
+}
+
+/// Rounds `n` up to the next multiple of `align`.
+///
+/// # Panics
+///
+/// Debug-asserts that `align` is a power of two.
+pub fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 16), 16);
+        assert_eq!(align_up(16, 16), 16);
+        assert_eq!(align_up(17, 16), 32);
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let mut a = Arena::with_capacity(64);
+        assert!(a.alloc(48).is_ok());
+        let err = a.alloc(32).unwrap_err();
+        assert_eq!(err, TensorError::ArenaExhausted { requested: 32, remaining: 16 });
+    }
+
+    #[test]
+    fn handles_do_not_overlap() {
+        let mut a = Arena::with_capacity(1024);
+        let h1 = a.alloc(10).unwrap();
+        let h2 = a.alloc(10).unwrap();
+        assert!(h1.offset + align_up(h1.size, ARENA_ALIGN) <= h2.offset);
+    }
+
+    #[test]
+    fn reset_keeps_high_water() {
+        let mut a = Arena::with_capacity(1024);
+        a.alloc(500).unwrap();
+        let hw = a.high_water_mark();
+        a.reset();
+        assert_eq!(a.bytes_in_use(), 0);
+        assert_eq!(a.high_water_mark(), hw);
+        a.alloc(100).unwrap();
+        assert_eq!(a.high_water_mark(), hw, "smaller second pass must not lower the mark");
+    }
+
+    #[test]
+    fn default_is_nano33_sram() {
+        assert_eq!(Arena::default().capacity(), 256 * 1024);
+    }
+
+    #[test]
+    fn allocation_count_accumulates() {
+        let mut a = Arena::with_capacity(256);
+        a.alloc(8).unwrap();
+        a.alloc(8).unwrap();
+        a.reset();
+        a.alloc(8).unwrap();
+        assert_eq!(a.allocation_count(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_allocations_aligned_and_disjoint(sizes in proptest::collection::vec(1usize..128, 1..20)) {
+            let mut arena = Arena::with_capacity(64 * 1024);
+            let mut prev_end = 0usize;
+            for s in sizes {
+                let h = arena.alloc(s).unwrap();
+                prop_assert_eq!(h.offset % ARENA_ALIGN, 0);
+                prop_assert!(h.offset >= prev_end);
+                prev_end = h.offset + align_up(s, ARENA_ALIGN);
+            }
+            prop_assert_eq!(arena.high_water_mark(), prev_end);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The EON Tuner: AutoML over the joint DSP × NN design space under
+//! device constraints (paper §4.7, Fig. 3, Table 3).
+//!
+//! The tuner "combines a random search algorithm with a heuristic to
+//! quickly estimate the performance of the configurations" while "taking
+//! into account available RAM, ROM, and CPU clock speed of the target
+//! device". This crate implements that loop end to end:
+//!
+//! 1. build the candidate cross product of DSP configurations and model
+//!    families ([`space::SearchSpace`]);
+//! 2. *heuristic pre-filter*: estimate latency/RAM/flash with the device
+//!    cost model **before** training and drop configurations that cannot
+//!    meet the constraints ([`tuner::EonTuner::estimate_candidate`]);
+//! 3. train the survivors briefly and measure accuracy on the held-out
+//!    split ([`tuner::EonTuner::run`] — random search);
+//! 4. report every trial with the Fig. 3 columns (accuracy + stacked
+//!    DSP/NN latency, RAM, flash) and the accuracy/resource Pareto front.
+//!
+//! The paper lists Hyperband as future work; [`tuner::EonTuner::run_hyperband`]
+//! implements successive halving as that extension. Custom strategies can
+//! drive [`tuner::EonTuner::evaluate_candidate`] directly (the "users can
+//! override the default search algorithm" hook).
+
+pub mod space;
+pub mod tuner;
+
+pub use space::{Candidate, ModelChoice, SearchSpace};
+pub use tuner::{EonTuner, TrialResult, TunerConfig, TunerReport};

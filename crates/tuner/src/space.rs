@@ -1,0 +1,204 @@
+//! The tuner's search space: serializable DSP and model families.
+
+use ei_dsp::{DspConfig, MfccConfig, MfeConfig, SpectralConfig};
+use ei_nn::presets;
+use ei_nn::spec::{Dims, ModelSpec};
+
+/// A model family the tuner can instantiate once the DSP output shape and
+/// class count are known.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelChoice {
+    /// `depth`-layer conv1d stack with doubling channel counts.
+    Conv1dStack {
+        /// Number of convolution layers.
+        depth: usize,
+        /// Channels of the first layer.
+        base_filters: usize,
+    },
+    /// Depthwise-separable CNN (keyword-spotting reference model).
+    DsCnn {
+        /// Channel width of every separable block.
+        width: usize,
+    },
+    /// MobileNetV2-style separable stack.
+    MobileNetV2Like {
+        /// Width multiplier.
+        alpha: f32,
+    },
+    /// Fully-connected baseline.
+    DenseMlp {
+        /// First hidden width.
+        hidden: usize,
+    },
+}
+
+impl ModelChoice {
+    /// Builds the concrete model spec for the given feature dimensions.
+    pub fn spec(&self, dims: Dims, classes: usize) -> ModelSpec {
+        match self {
+            ModelChoice::Conv1dStack { depth, base_filters } => {
+                presets::conv1d_stack(dims, classes, *depth, *base_filters)
+            }
+            ModelChoice::DsCnn { width } => presets::ds_cnn(dims, classes, *width),
+            ModelChoice::MobileNetV2Like { alpha } => {
+                presets::mobilenet_v2_like(dims, classes, *alpha)
+            }
+            ModelChoice::DenseMlp { hidden } => presets::dense_mlp(dims, classes, *hidden),
+        }
+    }
+
+    /// Human-readable name matching the preset naming (paper Table 3).
+    pub fn name(&self) -> String {
+        match self {
+            ModelChoice::Conv1dStack { depth, base_filters } => {
+                format!("{depth}x conv1d ({base_filters} to {})", base_filters << (depth - 1))
+            }
+            ModelChoice::DsCnn { width } => format!("DS-CNN {width}"),
+            ModelChoice::MobileNetV2Like { alpha } => format!("MobileNetV2 {alpha}"),
+            ModelChoice::DenseMlp { hidden } => format!("MLP {hidden}"),
+        }
+    }
+}
+
+/// One point in the joint design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// DSP configuration.
+    pub dsp: DspConfig,
+    /// Model family.
+    pub model: ModelChoice,
+}
+
+/// The cross product the tuner searches.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// DSP candidates.
+    pub dsp: Vec<DspConfig>,
+    /// Model candidates.
+    pub models: Vec<ModelChoice>,
+}
+
+impl SearchSpace {
+    /// The keyword-spotting space of paper Table 3: MFE/MFCC blocks with
+    /// frame/stride/coefficient sweeps × conv1d stacks and a
+    /// MobileNetV2-style model.
+    pub fn kws_table3(sample_rate_hz: u32) -> SearchSpace {
+        let mfe = |frame_s: f32, stride_s: f32, n_filters: usize| {
+            DspConfig::Mfe(MfeConfig { frame_s, stride_s, n_filters, sample_rate_hz, low_hz: 0.0, high_hz: 0.0 })
+        };
+        let mfcc = |frame_s: f32, stride_s: f32, n_coefficients: usize| {
+            DspConfig::Mfcc(MfccConfig {
+                frame_s,
+                stride_s,
+                n_coefficients,
+                n_filters: n_coefficients.max(32),
+                sample_rate_hz,
+            })
+        };
+        SearchSpace {
+            dsp: vec![
+                mfe(0.02, 0.01, 40),
+                mfe(0.02, 0.01, 32),
+                mfe(0.02, 0.02, 32),
+                mfe(0.05, 0.025, 32),
+                mfe(0.032, 0.016, 32),
+                mfcc(0.02, 0.01, 40),
+                mfcc(0.02, 0.01, 32),
+                mfcc(0.05, 0.025, 40),
+            ],
+            models: vec![
+                ModelChoice::MobileNetV2Like { alpha: 0.35 },
+                ModelChoice::Conv1dStack { depth: 4, base_filters: 32 },
+                ModelChoice::Conv1dStack { depth: 4, base_filters: 16 },
+                ModelChoice::Conv1dStack { depth: 3, base_filters: 32 },
+                ModelChoice::Conv1dStack { depth: 3, base_filters: 16 },
+                ModelChoice::Conv1dStack { depth: 2, base_filters: 32 },
+                ModelChoice::Conv1dStack { depth: 2, base_filters: 16 },
+            ],
+        }
+    }
+
+    /// A motion/vibration space: spectral-analysis configurations crossed
+    /// with small dense networks — the design space for accelerometer
+    /// workloads like the SlateSafety case study (paper §8.2).
+    pub fn vibration(sample_rate_hz: u32, axes: usize) -> SearchSpace {
+        let spectral = |fft_len: usize, n_buckets: usize| {
+            DspConfig::Spectral(SpectralConfig { axes, fft_len, n_buckets, sample_rate_hz })
+        };
+        SearchSpace {
+            dsp: vec![spectral(64, 8), spectral(128, 16), spectral(256, 32)],
+            models: vec![
+                ModelChoice::DenseMlp { hidden: 16 },
+                ModelChoice::DenseMlp { hidden: 32 },
+                ModelChoice::DenseMlp { hidden: 64 },
+            ],
+        }
+    }
+
+    /// Every `(dsp, model)` combination.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(self.dsp.len() * self.models.len());
+        for dsp in &self.dsp {
+            for model in &self.models {
+                out.push(Candidate { dsp: dsp.clone(), model: model.clone() });
+            }
+        }
+        out
+    }
+
+    /// Size of the cross product.
+    pub fn len(&self) -> usize {
+        self.dsp.len() * self.models.len()
+    }
+
+    /// `true` when either axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dsp.is_empty() || self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_space_shape() {
+        let space = SearchSpace::kws_table3(16_000);
+        assert_eq!(space.dsp.len(), 8);
+        assert_eq!(space.models.len(), 7);
+        assert_eq!(space.candidates().len(), 56);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn vibration_space_builds() {
+        let space = SearchSpace::vibration(100, 3);
+        assert_eq!(space.len(), 9);
+        for c in space.candidates() {
+            assert!(c.dsp.build().is_ok());
+        }
+    }
+
+    #[test]
+    fn model_choice_names_match_paper() {
+        assert_eq!(
+            ModelChoice::Conv1dStack { depth: 4, base_filters: 32 }.name(),
+            "4x conv1d (32 to 256)"
+        );
+        assert_eq!(ModelChoice::MobileNetV2Like { alpha: 0.35 }.name(), "MobileNetV2 0.35");
+    }
+
+    #[test]
+    fn choices_build_specs() {
+        let dims = Dims::new(49, 13, 1);
+        for choice in [
+            ModelChoice::Conv1dStack { depth: 2, base_filters: 16 },
+            ModelChoice::DsCnn { width: 32 },
+            ModelChoice::MobileNetV2Like { alpha: 0.35 },
+            ModelChoice::DenseMlp { hidden: 32 },
+        ] {
+            let spec = choice.spec(dims, 4);
+            assert!(spec.depth() > 2, "{}", choice.name());
+        }
+    }
+}

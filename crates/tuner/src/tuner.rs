@@ -1,0 +1,483 @@
+//! The tuner engine: heuristic pre-filtering, random search, successive
+//! halving, and Pareto reporting.
+
+use crate::space::{Candidate, SearchSpace};
+use ei_core::impulse::ImpulseDesign;
+use ei_core::{CoreError, Result};
+use ei_data::{Dataset, Split};
+use ei_device::Profiler;
+use ei_nn::train::TrainConfig;
+use ei_nn::Sequential;
+use ei_runtime::{EngineKind, EonProgram, Interpreter, ModelArtifact};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tuner configuration.
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// How many candidates the random search actually trains.
+    pub trials: usize,
+    /// Training configuration used per trial (keep epochs short).
+    pub train: TrainConfig,
+    /// Execute/report trials as int8 (quantized) or float32.
+    pub quantize: bool,
+    /// Engine whose memory/dispatch model is used for estimates.
+    pub engine: EngineKind,
+    /// Optional latency budget in milliseconds (end-to-end).
+    pub max_latency_ms: Option<f64>,
+    /// Search RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            trials: 8,
+            train: TrainConfig { epochs: 8, ..TrainConfig::default() },
+            quantize: false,
+            engine: EngineKind::TflmInterpreter,
+            max_latency_ms: None,
+            seed: 7,
+        }
+    }
+}
+
+/// One evaluated configuration — a row of paper Table 3 / a card in Fig. 3.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The candidate that was evaluated.
+    pub candidate: Candidate,
+    /// Display name of the preprocessing block (Table 3 notation).
+    pub dsp_name: String,
+    /// Display name of the model.
+    pub model_name: String,
+    /// Held-out accuracy (0–1).
+    pub accuracy: f32,
+    /// Estimated preprocessing latency (ms).
+    pub dsp_ms: f64,
+    /// Estimated inference latency (ms).
+    pub nn_ms: f64,
+    /// Estimated DSP scratch RAM (bytes).
+    pub dsp_ram: usize,
+    /// Estimated model RAM (bytes).
+    pub nn_ram: usize,
+    /// Estimated model flash (bytes).
+    pub flash: usize,
+    /// Whether the configuration fits the target device.
+    pub fits: bool,
+}
+
+impl TrialResult {
+    /// Total estimated latency.
+    pub fn total_ms(&self) -> f64 {
+        self.dsp_ms + self.nn_ms
+    }
+
+    /// Total estimated RAM.
+    pub fn total_ram(&self) -> usize {
+        self.dsp_ram + self.nn_ram
+    }
+}
+
+/// The outcome of a tuner run.
+#[derive(Debug, Clone, Default)]
+pub struct TunerReport {
+    /// Every trained trial, sorted by accuracy (descending).
+    pub trials: Vec<TrialResult>,
+    /// Candidates dropped by the heuristic pre-filter (with reasons).
+    pub filtered: Vec<(Candidate, String)>,
+}
+
+impl TunerReport {
+    /// The accuracy-vs-latency Pareto front (no trial both slower and less
+    /// accurate than another), sorted by latency.
+    pub fn pareto_front(&self) -> Vec<&TrialResult> {
+        let mut front: Vec<&TrialResult> = Vec::new();
+        for t in &self.trials {
+            let dominated = self.trials.iter().any(|o| {
+                (o.accuracy > t.accuracy && o.total_ms() <= t.total_ms())
+                    || (o.accuracy >= t.accuracy && o.total_ms() < t.total_ms())
+            });
+            if !dominated {
+                front.push(t);
+            }
+        }
+        front.sort_by(|a, b| a.total_ms().partial_cmp(&b.total_ms()).expect("finite"));
+        front
+    }
+
+    /// The most accurate trial that fits the device, if any.
+    pub fn best_fitting(&self) -> Option<&TrialResult> {
+        self.trials.iter().filter(|t| t.fits).max_by(|a, b| {
+            a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy")
+        })
+    }
+}
+
+/// The EON Tuner bound to a dataset-independent problem definition.
+#[derive(Debug, Clone)]
+pub struct EonTuner {
+    space: SearchSpace,
+    profiler: Profiler,
+    config: TunerConfig,
+    window_samples: usize,
+}
+
+impl EonTuner {
+    /// Creates a tuner for a search space, target device and window size.
+    pub fn new(
+        space: SearchSpace,
+        profiler: Profiler,
+        window_samples: usize,
+        config: TunerConfig,
+    ) -> EonTuner {
+        EonTuner { space, profiler, config, window_samples }
+    }
+
+    /// Heuristic pre-estimate of one candidate **without training**: builds
+    /// the (untrained) model, compiles it, and runs the device cost model.
+    ///
+    /// Returns a [`TrialResult`] with `accuracy = NaN`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the candidate's DSP or model cannot be built for the
+    /// window size.
+    pub fn estimate_candidate(&self, candidate: &Candidate, classes: usize) -> Result<TrialResult> {
+        let design =
+            ImpulseDesign::new("tuner-probe", self.window_samples, candidate.dsp.clone())?;
+        let dims = design.feature_dims()?;
+        let spec = candidate.model.spec(dims, classes);
+        let model = Sequential::build(&spec, self.config.seed)?;
+        let artifact = if self.config.quantize {
+            // weights are untrained; ranges from a zero probe are fine for
+            // *size* estimation
+            let probe = vec![vec![0.0f32; dims.len()]];
+            ModelArtifact::Int8(ei_quant::quantize_model(&model, &probe)?)
+        } else {
+            ModelArtifact::Float(model)
+        };
+        let dsp_block = design.dsp_block()?;
+        let dsp_cost = dsp_block.cost(self.window_samples)?;
+        let report = match self.config.engine {
+            EngineKind::TflmInterpreter => {
+                let engine = Interpreter::new(artifact)?;
+                self.profiler.profile(Some(dsp_cost), &engine)
+            }
+            EngineKind::EonCompiled => {
+                let engine = EonProgram::compile(artifact)?;
+                self.profiler.profile(Some(dsp_cost), &engine)
+            }
+        };
+        Ok(TrialResult {
+            dsp_name: candidate.dsp.summary(),
+            model_name: candidate.model.name(),
+            candidate: candidate.clone(),
+            accuracy: f32::NAN,
+            dsp_ms: report.dsp_ms,
+            nn_ms: report.inference_ms,
+            dsp_ram: report.dsp_ram_bytes,
+            nn_ram: report.model_ram_bytes,
+            flash: report.model_flash_bytes,
+            fits: report.fit.fits,
+        })
+    }
+
+    /// Fully evaluates one candidate: train on the dataset's training
+    /// split, measure accuracy on the testing split, and attach estimates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and estimation failures.
+    pub fn evaluate_candidate(
+        &self,
+        candidate: &Candidate,
+        dataset: &Dataset,
+        train: &TrainConfig,
+    ) -> Result<TrialResult> {
+        let classes = dataset.labels().len();
+        let mut result = self.estimate_candidate(candidate, classes)?;
+        let design = ImpulseDesign::new("tuner-trial", self.window_samples, candidate.dsp.clone())?;
+        let dims = design.feature_dims()?;
+        let spec = candidate.model.spec(dims, classes);
+        let trained = design.train(&spec, dataset, train)?;
+        let artifact = if self.config.quantize {
+            trained.int8_artifact()?
+        } else {
+            trained.float_artifact()
+        };
+        let eval = trained.evaluate(&artifact, dataset, Split::Testing)?;
+        result.accuracy = eval.accuracy;
+        Ok(result)
+    }
+
+    /// Random search (the paper's default algorithm): shuffle the cross
+    /// product, heuristically drop configurations that cannot fit the
+    /// device or latency budget, then train up to `trials` survivors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the search space is empty or the dataset is unusable.
+    pub fn run(&self, dataset: &Dataset) -> Result<TunerReport> {
+        if self.space.is_empty() {
+            return Err(CoreError::InvalidImpulse("empty search space".into()));
+        }
+        let classes = dataset.labels().len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut candidates = self.space.candidates();
+        candidates.shuffle(&mut rng);
+
+        let mut report = TunerReport::default();
+        for candidate in candidates {
+            if report.trials.len() >= self.config.trials {
+                break;
+            }
+            // heuristic pre-filter: skip what cannot work before training
+            let estimate = match self.estimate_candidate(&candidate, classes) {
+                Ok(e) => e,
+                Err(e) => {
+                    report.filtered.push((candidate, format!("build failed: {e}")));
+                    continue;
+                }
+            };
+            if !estimate.fits {
+                report.filtered.push((candidate, "exceeds device memory".into()));
+                continue;
+            }
+            if let Some(budget) = self.config.max_latency_ms {
+                if estimate.total_ms() > budget {
+                    report
+                        .filtered
+                        .push((candidate, format!("estimated {:.0} ms > budget", estimate.total_ms())));
+                    continue;
+                }
+            }
+            let trial = self.evaluate_candidate(&candidate, dataset, &self.config.train)?;
+            report.trials.push(trial);
+        }
+        report
+            .trials
+            .sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
+        Ok(report)
+    }
+
+    /// Successive halving (Hyperband's inner loop — the paper's "future
+    /// work" search): start `width` random candidates at `base_epochs`,
+    /// keep the best half each round, double the budget, until one remains
+    /// or `rounds` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the search space is empty or training fails.
+    pub fn run_hyperband(
+        &self,
+        dataset: &Dataset,
+        width: usize,
+        base_epochs: usize,
+        rounds: usize,
+    ) -> Result<TunerReport> {
+        if self.space.is_empty() {
+            return Err(CoreError::InvalidImpulse("empty search space".into()));
+        }
+        let classes = dataset.labels().len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut candidates = self.space.candidates();
+        candidates.shuffle(&mut rng);
+
+        let mut report = TunerReport::default();
+        let mut pool: Vec<Candidate> = Vec::new();
+        for candidate in candidates {
+            if pool.len() >= width {
+                break;
+            }
+            match self.estimate_candidate(&candidate, classes) {
+                Ok(e) if e.fits => pool.push(candidate),
+                Ok(_) => report.filtered.push((candidate, "exceeds device memory".into())),
+                Err(err) => report.filtered.push((candidate, format!("build failed: {err}"))),
+            }
+        }
+        let mut epochs = base_epochs.max(1);
+        let mut survivors = pool;
+        for round in 0..rounds {
+            if survivors.len() <= 1 {
+                break;
+            }
+            let train = TrainConfig { epochs, ..self.config.train.clone() };
+            let mut scored: Vec<TrialResult> = Vec::with_capacity(survivors.len());
+            for candidate in &survivors {
+                scored.push(self.evaluate_candidate(candidate, dataset, &train)?);
+            }
+            scored.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
+            let keep = (scored.len() / 2).max(1);
+            survivors = scored.iter().take(keep).map(|t| t.candidate.clone()).collect();
+            if round + 1 == rounds || survivors.len() == 1 {
+                report.trials = scored;
+            }
+            epochs *= 2;
+        }
+        report
+            .trials
+            .sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ModelChoice;
+    use ei_data::synth::KwsGenerator;
+    use ei_device::Board;
+    use ei_dsp::{DspConfig, MfccConfig, MfeConfig};
+
+    fn small_space() -> SearchSpace {
+        SearchSpace {
+            dsp: vec![
+                DspConfig::Mfcc(MfccConfig {
+                    frame_s: 0.032,
+                    stride_s: 0.016,
+                    n_coefficients: 8,
+                    n_filters: 16,
+                    sample_rate_hz: 4_000,
+                }),
+                DspConfig::Mfe(MfeConfig {
+                    frame_s: 0.032,
+                    stride_s: 0.016,
+                    n_filters: 12,
+                    sample_rate_hz: 4_000,
+                    low_hz: 0.0,
+                    high_hz: 0.0,
+                }),
+            ],
+            models: vec![
+                ModelChoice::DenseMlp { hidden: 16 },
+                ModelChoice::Conv1dStack { depth: 2, base_filters: 8 },
+            ],
+        }
+    }
+
+    fn small_dataset() -> Dataset {
+        KwsGenerator {
+            classes: vec!["on".into(), "off".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        }
+        .dataset(12, 3)
+    }
+
+    fn quick_tuner(trials: usize) -> EonTuner {
+        EonTuner::new(
+            small_space(),
+            Profiler::new(Board::nano33_ble_sense()),
+            1_000,
+            TunerConfig {
+                trials,
+                train: TrainConfig { epochs: 6, learning_rate: 0.01, ..TrainConfig::default() },
+                ..TunerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn estimate_without_training() {
+        let tuner = quick_tuner(4);
+        let candidate = &tuner.space.candidates()[0];
+        let est = tuner.estimate_candidate(candidate, 2).unwrap();
+        assert!(est.accuracy.is_nan());
+        assert!(est.dsp_ms > 0.0);
+        assert!(est.nn_ms > 0.0);
+        assert!(est.flash > 0);
+    }
+
+    #[test]
+    fn random_search_produces_sorted_trials() {
+        let tuner = quick_tuner(3);
+        let report = tuner.run(&small_dataset()).unwrap();
+        assert_eq!(report.trials.len(), 3);
+        for pair in report.trials.windows(2) {
+            assert!(pair[0].accuracy >= pair[1].accuracy);
+        }
+        // synthetic keywords are separable: the best trial should be good
+        assert!(report.trials[0].accuracy > 0.7, "best accuracy {}", report.trials[0].accuracy);
+    }
+
+    #[test]
+    fn latency_budget_filters_candidates() {
+        let mut tuner = quick_tuner(10);
+        tuner.config.max_latency_ms = Some(0.001); // impossible budget
+        let report = tuner.run(&small_dataset()).unwrap();
+        assert!(report.trials.is_empty());
+        assert_eq!(report.filtered.len(), 4, "every candidate filtered");
+        assert!(report.filtered.iter().all(|(_, why)| why.contains("budget")));
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let tuner = quick_tuner(4);
+        let report = tuner.run(&small_dataset()).unwrap();
+        let front = report.pareto_front();
+        assert!(!front.is_empty());
+        for f in &front {
+            for t in &report.trials {
+                let dominates = t.accuracy > f.accuracy && t.total_ms() <= f.total_ms();
+                assert!(!dominates, "front member dominated");
+            }
+        }
+        // front sorted by latency
+        for pair in front.windows(2) {
+            assert!(pair[0].total_ms() <= pair[1].total_ms());
+        }
+    }
+
+    #[test]
+    fn eon_engine_estimates_leaner_than_tflm() {
+        let tflm = quick_tuner(1);
+        let mut eon_cfg = TunerConfig::default();
+        eon_cfg.engine = EngineKind::EonCompiled;
+        let eon = EonTuner::new(
+            small_space(),
+            Profiler::new(Board::nano33_ble_sense()),
+            1_000,
+            eon_cfg,
+        );
+        let candidate = &small_space().candidates()[0];
+        let t = tflm.estimate_candidate(candidate, 2).unwrap();
+        let e = eon.estimate_candidate(candidate, 2).unwrap();
+        assert!(e.flash < t.flash, "eon flash {} vs tflm {}", e.flash, t.flash);
+        assert!(e.nn_ram < t.nn_ram);
+        assert!(e.nn_ms <= t.nn_ms);
+    }
+
+    #[test]
+    fn best_fitting_respects_fits_flag() {
+        let tuner = quick_tuner(2);
+        let report = tuner.run(&small_dataset()).unwrap();
+        let best = report.best_fitting().expect("small models fit the nano");
+        assert!(best.fits);
+    }
+
+    #[test]
+    fn hyperband_narrows_to_survivors() {
+        let tuner = quick_tuner(4);
+        let report = tuner.run_hyperband(&small_dataset(), 4, 2, 2).unwrap();
+        // final round scored at least one trial, sorted
+        assert!(!report.trials.is_empty());
+        for pair in report.trials.windows(2) {
+            assert!(pair[0].accuracy >= pair[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        let tuner = EonTuner::new(
+            SearchSpace { dsp: vec![], models: vec![] },
+            Profiler::new(Board::nano33_ble_sense()),
+            1_000,
+            TunerConfig::default(),
+        );
+        assert!(tuner.run(&small_dataset()).is_err());
+        assert!(tuner.run_hyperband(&small_dataset(), 2, 1, 1).is_err());
+    }
+}

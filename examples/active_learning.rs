@@ -1,0 +1,102 @@
+//! The active-learning loop of paper §4.8: train on a small labeled
+//! subset, embed everything with an intermediate layer, project to 2-D,
+//! and auto-label the unlabeled pool by cluster proximity.
+//!
+//! ```bash
+//! cargo run --release --example active_learning
+//! ```
+
+use edgelab::active::{embed, refine_layout, AutoLabeler, Pca};
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::Split;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = KwsGenerator {
+        classes: vec!["left".into(), "right".into(), "noise".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.5,
+        noise: 0.03,
+    };
+
+    // 1. a small labeled seed set plus a large unlabeled pool
+    let labeled = generator.dataset(8, 1);
+    let unlabeled_clips: Vec<(usize, Vec<f32>)> = (0..30)
+        .map(|k| {
+            let class = k % 3;
+            (class, generator.generate(class, 500 + k as u64))
+        })
+        .collect();
+    println!("seed set: {} labeled clips; pool: {} unlabeled clips", labeled.len(), unlabeled_clips.len());
+
+    // 2. train on the seed set only
+    let design = ImpulseDesign::new(
+        "al-demo",
+        4_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 10,
+            n_filters: 24,
+            sample_rate_hz: 8_000,
+        }),
+    )?;
+    let spec = presets::dense_mlp(design.feature_dims()?, 3, 32);
+    let trained = design.train(
+        &spec,
+        &labeled,
+        &TrainConfig { epochs: 12, learning_rate: 0.01, ..TrainConfig::default() },
+    )?;
+    println!("seed model val accuracy: {:.1}%", trained.report().best_val_accuracy * 100.0);
+
+    // 3. embed labeled + unlabeled samples with an intermediate layer
+    let block = design.dsp_block()?;
+    let (labeled_raw, labeled_ys) = labeled.xy(Split::Training)?;
+    let labels = labeled.labels();
+    let labeled_features: Vec<Vec<f32>> =
+        labeled_raw.iter().map(|r| block.process(r)).collect::<Result<_, _>>()?;
+    let pool_features: Vec<Vec<f32>> =
+        unlabeled_clips.iter().map(|(_, r)| block.process(r)).collect::<Result<_, _>>()?;
+    let labeled_emb = embed(trained.model(), &labeled_features, None)?;
+    let pool_emb = embed(trained.model(), &pool_features, None)?;
+    println!("embeddings: {} dimensions", labeled_emb[0].len());
+
+    // 4. 2-D visualization: PCA then a t-SNE-style refinement
+    let mut all_emb = labeled_emb.clone();
+    all_emb.extend(pool_emb.iter().cloned());
+    let pca = Pca::fit(&all_emb);
+    let layout = pca.transform_all(&all_emb);
+    let refined = refine_layout(&layout, &all_emb, 6, 25);
+    println!("2-D layout computed for {} points; first labeled point at ({:.2}, {:.2})",
+        refined.len(), refined[0][0], refined[0][1]);
+
+    // 5. cluster-proximity auto-labeling of the pool
+    let label_strings: Vec<String> =
+        labeled_ys.iter().map(|&y| labels[y].clone()).collect();
+    let labeler = AutoLabeler::fit(&labeled_emb, &label_strings, 2.5);
+    let suggestions = labeler.suggest(&pool_emb);
+    let mut accepted = 0;
+    let mut correct = 0;
+    let mut flagged = 0;
+    for (s, (true_class, _)) in suggestions.iter().zip(&unlabeled_clips) {
+        match &s.label {
+            Some(label) => {
+                accepted += 1;
+                // true_class indexes the generator's class list, not the
+                // dataset's sorted label list
+                if label == &generator.classes[*true_class] {
+                    correct += 1;
+                }
+            }
+            None => flagged += 1,
+        }
+    }
+    println!();
+    println!("auto-labeling: {accepted} accepted ({correct} correct), {flagged} flagged for review");
+    if accepted > 0 {
+        println!("suggestion precision: {:.0}%", 100.0 * correct as f64 / accepted as f64);
+    }
+    Ok(())
+}

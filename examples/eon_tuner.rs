@@ -1,0 +1,91 @@
+//! Design-space exploration with the EON Tuner (paper §4.7, §5.4).
+//!
+//! Searches MFE/MFCC preprocessing configurations crossed with conv1d
+//! stacks and a MobileNetV2-style model for a keyword-spotting task under
+//! the Arduino Nano 33 BLE Sense's constraints, then prints the trials,
+//! the heuristic filtering decisions and the accuracy/latency Pareto
+//! front. Finishes with the Hyperband-style successive-halving search the
+//! paper lists as future work.
+//!
+//! ```bash
+//! cargo run --release --example eon_tuner
+//! ```
+
+use edgelab::data::synth::KwsGenerator;
+use edgelab::device::{Board, Profiler};
+use edgelab::nn::train::TrainConfig;
+use edgelab::runtime::EngineKind;
+use edgelab::tuner::{EonTuner, SearchSpace, TunerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = KwsGenerator::default().dataset(16, 11);
+    let board = Board::nano33_ble_sense();
+    println!(
+        "target: {} ({} MHz, {} kB RAM, {} MB flash)",
+        board.name,
+        board.clock_hz / 1_000_000,
+        board.ram_bytes / 1024,
+        board.flash_bytes / (1024 * 1024)
+    );
+
+    let tuner = EonTuner::new(
+        SearchSpace::kws_table3(16_000),
+        Profiler::new(board),
+        16_000,
+        TunerConfig {
+            trials: 6,
+            train: TrainConfig { epochs: 3, batch_size: 16, ..TrainConfig::default() },
+            quantize: false,
+            engine: EngineKind::TflmInterpreter,
+            // enforce a real-time budget: one second of audio must be
+            // classified in well under a second
+            max_latency_ms: Some(900.0),
+            seed: 5,
+        },
+    );
+
+    println!("random search (6 trained trials, 900 ms latency budget)...");
+    let report = tuner.run(&dataset)?;
+    println!();
+    println!("{:<24} {:<24} {:>6} {:>9} {:>9} {:>10}", "DSP", "model", "acc", "total ms", "RAM kB", "flash kB");
+    for t in &report.trials {
+        println!(
+            "{:<24} {:<24} {:>5.0}% {:>9.0} {:>9.1} {:>10.1}",
+            t.dsp_name,
+            t.model_name,
+            t.accuracy * 100.0,
+            t.total_ms(),
+            t.total_ram() as f64 / 1024.0,
+            t.flash as f64 / 1024.0
+        );
+    }
+    println!();
+    println!("{} candidates filtered before training:", report.filtered.len());
+    for (c, why) in report.filtered.iter().take(5) {
+        println!("  {} + {}: {}", c.dsp.summary(), c.model.name(), why);
+    }
+    println!();
+    println!("accuracy / latency Pareto front:");
+    for t in report.pareto_front() {
+        println!("  {:>4.0}% @ {:>5.0} ms — {} + {}", t.accuracy * 100.0, t.total_ms(), t.dsp_name, t.model_name);
+    }
+    if let Some(best) = report.best_fitting() {
+        println!();
+        println!(
+            "recommended: {} + {} ({:.0}%, {:.0} ms, fits: {})",
+            best.dsp_name,
+            best.model_name,
+            best.accuracy * 100.0,
+            best.total_ms(),
+            best.fits
+        );
+    }
+
+    println!();
+    println!("successive halving (hyperband-style), 4 candidates, 2 rounds...");
+    let hb = tuner.run_hyperband(&dataset, 4, 2, 2)?;
+    for t in &hb.trials {
+        println!("  {:>4.0}% — {} + {}", t.accuracy * 100.0, t.dsp_name, t.model_name);
+    }
+    Ok(())
+}

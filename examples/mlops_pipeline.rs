@@ -1,0 +1,117 @@
+//! The MLOps loop end to end, driven entirely through the platform API —
+//! the programmatic automation path of paper §4.9.
+//!
+//! Creates users and an organization, ingests data over the API (WAV and
+//! JSON payloads), configures an impulse, runs training as a scheduled job
+//! on the worker pool, versions the project, publishes it to the public
+//! registry, and finally talks to a simulated device over its AT-command
+//! serial protocol.
+//!
+//! ```bash
+//! cargo run --release --example mlops_pipeline
+//! ```
+
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::core::sdk::FirmwareDevice;
+use edgelab::data::ingest::to_wav_bytes;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::platform::registry::search;
+use edgelab::platform::{Api, JobScheduler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- team setup -------------------------------------------------------
+    let api = Api::new();
+    let alice = api.create_user("alice");
+    let bob = api.create_user("bob");
+    let org = api.create_organization("acme-sensing", alice)?;
+    let project = api.create_project("wakeword-v2", alice)?;
+    api.add_collaborator(project, alice, bob)?;
+    println!("org {org}: project {project} shared between alice and bob");
+
+    // --- data ingestion over the API ---------------------------------------
+    let generator = KwsGenerator {
+        classes: vec!["go".into(), "stop".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.5,
+        noise: 0.03,
+    };
+    for (ci, label) in generator.classes.clone().iter().enumerate() {
+        for k in 0..16 {
+            let clip = generator.generate(ci, k);
+            let wav = to_wav_bytes(8_000, &clip);
+            api.ingest(project, if k % 2 == 0 { alice } else { bob }, "wav", &wav, Some(label))?;
+        }
+    }
+    // one JSON acquisition payload, as a device's HTTP uploader would send
+    let json = format!(
+        r#"{{"values": {:?}, "interval_ms": 0.125, "sensor": "audio", "label": "go"}}"#,
+        generator.generate(0, 99)
+    );
+    api.ingest(project, alice, "json", json.as_bytes(), None)?;
+    let stats = api.with_project(project, bob, |p| p.dataset.stats())?;
+    println!(
+        "ingested {} samples ({} train / {} test) across {} classes",
+        stats.total,
+        stats.training,
+        stats.testing,
+        stats.per_class.len()
+    );
+
+    // --- impulse configuration ---------------------------------------------
+    let design = ImpulseDesign::new(
+        "wakeword",
+        4_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 10,
+            n_filters: 24,
+            sample_rate_hz: 8_000,
+        }),
+    )?;
+    api.set_impulse(project, alice, design.clone())?;
+    let v1 = api.snapshot(project, alice, "data + impulse configured")?;
+    println!("saved project version {v1}");
+
+    // --- training as a scheduled job ----------------------------------------
+    let scheduler = JobScheduler::new(2);
+    let dataset = api.with_project(project, alice, |p| p.dataset.clone())?;
+    let spec = presets::dense_mlp(design.feature_dims()?, 2, 32);
+    let job_design = design.clone();
+    let job = scheduler.submit(2, move || {
+        let config = TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() };
+        let trained = job_design
+            .train(&spec, &dataset, &config)
+            .map_err(|e| e.to_string())?;
+        Ok(format!("val accuracy {:.1}%", trained.report().best_val_accuracy * 100.0))
+    })?;
+    println!("training job {job} finished: {}", scheduler.wait(job)?);
+
+    // --- publish to the community registry ----------------------------------
+    api.make_public(project, alice, &["audio", "keyword-spotting", "demo"])?;
+    let hits = search(&api.public_projects(), "keyword");
+    println!("public registry search 'keyword': {} hit(s): {}", hits.len(), hits[0].name);
+
+    // --- talk to the deployed device over serial -----------------------------
+    let dataset = api.with_project(project, alice, |p| p.dataset.clone())?;
+    let trained = design.train(
+        &presets::dense_mlp(design.feature_dims()?, 2, 32),
+        &dataset,
+        &TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() },
+    )?;
+    let artifact = trained.int8_artifact()?;
+    let mut device = FirmwareDevice::new("field-unit-07", trained, artifact);
+    println!();
+    println!("> AT+CONFIG?");
+    println!("{}", device.handle_command("AT+CONFIG?")?);
+    let clip = generator.generate(1, 555); // a "stop" utterance
+    for chunk in clip.chunks(500) {
+        let csv: Vec<String> = chunk.iter().map(f32::to_string).collect();
+        device.handle_command(&format!("AT+SAMPLE={}", csv.join(",")))?;
+    }
+    println!("> AT+RUNIMPULSE");
+    println!("{}", device.handle_command("AT+RUNIMPULSE")?);
+    Ok(())
+}

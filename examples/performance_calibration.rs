@@ -1,0 +1,126 @@
+//! Performance calibration (paper §4.4): tune streaming post-processing
+//! for a deployed keyword spotter with a genetic algorithm, trading off
+//! false accepts against false rejections.
+//!
+//! Builds probability traces by sliding a *real* trained classifier over
+//! composed audio streams with known keyword positions, then lets the GA
+//! suggest Pareto-optimal post-processing configurations.
+//!
+//! ```bash
+//! cargo run --release --example performance_calibration
+//! ```
+
+use edgelab::calibration::{calibrate, EventDetector, GaConfig, ProbabilityTrace};
+use edgelab::calibration::postprocess::score_detections;
+use edgelab::calibration::stream::trace_from_classifier;
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // train a small two-class spotter: "go" vs background noise
+    let generator = KwsGenerator {
+        classes: vec!["go".into(), "noise".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.5,
+        noise: 0.04,
+    };
+    let dataset = generator.dataset(16, 2);
+    let design = ImpulseDesign::new(
+        "spotter",
+        4_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 10,
+            n_filters: 24,
+            sample_rate_hz: 8_000,
+        }),
+    )?;
+    let spec = presets::dense_mlp(design.feature_dims()?, 2, 32);
+    let trained = design.train(
+        &spec,
+        &dataset,
+        &TrainConfig { epochs: 12, learning_rate: 0.01, ..TrainConfig::default() },
+    )?;
+    println!("spotter val accuracy: {:.1}%", trained.report().best_val_accuracy * 100.0);
+
+    // compose long streams: background noise with keywords at known spots
+    let mut traces: Vec<ProbabilityTrace> = Vec::new();
+    let window = 4_000usize;
+    let stride = 1_000usize;
+    for stream_seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(stream_seed);
+        let mut stream: Vec<f32> = (0..80_000).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
+        let mut truth = Vec::new();
+        for k in 0..6 {
+            let pos = 6_000 + k * 12_000;
+            let clip = generator.generate(0, 100 + stream_seed * 10 + k as u64);
+            for (i, &v) in clip.iter().enumerate() {
+                stream[pos + i] += v;
+            }
+            truth.push(pos);
+        }
+        let trace = trace_from_classifier(&stream, &truth, window, stride, |w| {
+            trained.classify(w).map(|c| c.probabilities[0]).unwrap_or(0.0)
+        });
+        traces.push(trace);
+    }
+    let total_events: usize = traces.iter().map(|t| t.truth.len()).sum();
+    println!("built {} streams with {total_events} true keyword events", traces.len());
+
+    // run the genetic algorithm over post-processing configurations
+    let suggestions = calibrate(
+        &traces,
+        &GaConfig { population: 20, generations: 12, ..GaConfig::default() },
+    );
+    println!();
+    println!("Pareto-optimal post-processing configurations (FAR vs FRR):");
+    println!(
+        "{:>12} {:>10} {:>12} | {:>12} {:>8} | {:>6} {:>8} {:>8}",
+        "mean filter", "threshold", "suppression", "FAR/1k win", "FRR", "hits", "misses", "false+"
+    );
+    for s in &suggestions {
+        println!(
+            "{:>12} {:>10.2} {:>12} | {:>12.2} {:>7.0}% | {:>6} {:>8} {:>8}",
+            s.config.mean_filter,
+            s.config.threshold,
+            s.config.suppression,
+            s.metrics.far_per_1k,
+            s.metrics.frr * 100.0,
+            s.metrics.hits,
+            s.metrics.misses,
+            s.metrics.false_accepts
+        );
+    }
+
+    // deploy the balanced configuration and sanity-check it on a new stream
+    let best = suggestions
+        .iter()
+        .min_by(|a, b| {
+            let ca = a.metrics.far_per_1k + a.metrics.frr * 100.0;
+            let cb = b.metrics.far_per_1k + b.metrics.frr * 100.0;
+            ca.partial_cmp(&cb).expect("finite")
+        })
+        .expect("at least one suggestion");
+    println!();
+    println!(
+        "selected: mean_filter={} threshold={:.2} suppression={}",
+        best.config.mean_filter, best.config.threshold, best.config.suppression
+    );
+    let detector = EventDetector::new(best.config);
+    let fresh = &traces[0];
+    let detections = detector.detect(&fresh.probs);
+    let metrics = score_detections(&detections, &fresh.truth, 4, fresh.len());
+    println!(
+        "replay on stream 0: {} detections, {} hits / {} events, {} false accepts",
+        detections.len(),
+        metrics.hits,
+        fresh.truth.len(),
+        metrics.false_accepts
+    );
+    Ok(())
+}

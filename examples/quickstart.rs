@@ -1,0 +1,109 @@
+//! Quickstart: the full Edge-Impulse-style workflow in ~80 lines.
+//!
+//! Collect data → design an impulse (window + MFCC block) → train a DS-CNN
+//! → evaluate on the holdout split → quantize to int8 → estimate on-device
+//! latency/memory for the Arduino Nano 33 BLE Sense → export a deployment
+//! bundle.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use edgelab::core::deploy::{build_bundle, DeploymentTarget};
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::Split;
+use edgelab::device::{Board, Profiler};
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::runtime::{EngineKind, EonProgram};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. data collection: synthetic stand-in for Google Speech Commands
+    let generator = KwsGenerator::default();
+    let dataset = generator.dataset(24, 42);
+    let stats = dataset.stats();
+    println!("dataset: {} clips, {} train / {} test", stats.total, stats.training, stats.testing);
+
+    // 2. impulse design: 1 s @ 16 kHz window -> MFCC -> DS-CNN
+    let design = ImpulseDesign::new(
+        "kws-quickstart",
+        16_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.02,
+            stride_s: 0.01,
+            n_coefficients: 10,
+            n_filters: 40,
+            sample_rate_hz: 16_000,
+        }),
+    )?;
+    let dims = design.feature_dims()?;
+    println!("impulse: window 16000 samples -> {} -> DSP {} features", design.dsp.summary(), dims);
+    let spec = presets::ds_cnn(dims, dataset.labels().len(), 64);
+
+    // 3. training (LR finder, class-bias init and best-checkpoint restore
+    //    all happen inside the trainer)
+    let trained = design.train(
+        &spec,
+        &dataset,
+        &TrainConfig { epochs: 10, batch_size: 16, learning_rate: 0.005, ..TrainConfig::default() },
+    )?;
+    println!(
+        "trained {} ({} parameters), best val accuracy {:.1}%",
+        spec.name,
+        trained.model().param_count(),
+        trained.report().best_val_accuracy * 100.0
+    );
+
+    // 4. evaluation on the holdout split
+    let float_eval = trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing)?;
+    println!("float32 holdout accuracy: {:.1}%", float_eval.accuracy * 100.0);
+    println!("{}", float_eval.matrix);
+
+    // 5. compression: fully int8 post-training quantization
+    let int8 = trained.int8_artifact()?;
+    let int8_eval = trained.evaluate(&int8, &dataset, Split::Testing)?;
+    println!("int8 holdout accuracy:    {:.1}%", int8_eval.accuracy * 100.0);
+
+    // 6. estimation: latency/RAM/flash on a real target before flashing
+    let engine = EonProgram::compile(int8)?;
+    let dsp_cost = design.dsp_block()?.cost(16_000)?;
+    let profile = Profiler::new(Board::nano33_ble_sense()).profile(Some(dsp_cost), &engine);
+    println!(
+        "on {}: DSP {:.0} ms + inference {:.0} ms = {:.0} ms end-to-end",
+        profile.board, profile.dsp_ms, profile.inference_ms, profile.total_ms
+    );
+    println!(
+        "model RAM {:.1} kB, flash {:.1} kB, fits: {}",
+        profile.model_ram_bytes as f64 / 1024.0,
+        profile.model_flash_bytes as f64 / 1024.0,
+        profile.fit.fits
+    );
+
+    // 6b. per-layer latency breakdown (the Studio's per-block view)
+    let profiler = Profiler::new(Board::nano33_ble_sense());
+    println!("per-layer estimate on the Nano 33:");
+    for (op, op_ms) in profiler.per_op_profile(&engine) {
+        if op_ms > 0.5 {
+            println!("  {op:<18} {op_ms:>8.1} ms");
+        }
+    }
+
+    // 7. live classification of a fresh clip
+    let clip = generator.generate(2, 777);
+    let result = trained.classify(&clip)?;
+    println!("heard: {} ({:.1}% confident)", result.label, result.confidence * 100.0);
+
+    // 8. deployment: generate the C++ library bundle (EON compiled)
+    let bundle = build_bundle(
+        &trained,
+        trained.int8_artifact()?,
+        DeploymentTarget::CppLibrary,
+        EngineKind::EonCompiled,
+    )?;
+    println!("deployment bundle: {} files, {} bytes", bundle.files.len(), bundle.size_bytes());
+    for f in &bundle.files {
+        println!("  {}", f.path);
+    }
+    Ok(())
+}

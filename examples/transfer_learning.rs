@@ -1,0 +1,107 @@
+//! Transfer learning across keyword vocabularies (paper §4.3): pretrain a
+//! spotter on a base vocabulary, publish it to a project's model registry,
+//! then a second team downloads it and fine-tunes a new vocabulary on top
+//! of the frozen feature extractor — with far less data than training from
+//! scratch would need.
+//!
+//! ```bash
+//! cargo run --release --example transfer_learning
+//! ```
+
+use edgelab::core::impulse::{ImpulseDesign, TrainedImpulse};
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::Split;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::platform::Api;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = ImpulseDesign::new(
+        "kws-base",
+        4_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 10,
+            n_filters: 24,
+            sample_rate_hz: 8_000,
+        }),
+    )?;
+
+    // --- team A: pretrain on a large base vocabulary ------------------------
+    let base_gen = KwsGenerator {
+        classes: vec!["yes".into(), "no".into(), "up".into(), "down".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.5,
+        noise: 0.03,
+    };
+    let base_dataset = base_gen.dataset(25, 3);
+    let spec = presets::dense_mlp(design.feature_dims()?, 4, 48);
+    let base = design.train(
+        &spec,
+        &base_dataset,
+        &TrainConfig { epochs: 15, learning_rate: 0.01, ..TrainConfig::default() },
+    )?;
+    let base_eval = base.evaluate(&base.float_artifact(), &base_dataset, Split::Testing)?;
+    println!(
+        "base model: {} classes, {} parameters, holdout accuracy {:.1}%",
+        base.labels().len(),
+        base.model().param_count(),
+        base_eval.accuracy * 100.0
+    );
+
+    // publish to the model registry
+    let api = Api::new();
+    let team_a = api.create_user("team-a");
+    let team_b = api.create_user("team-b");
+    let project = api.create_project("shared-kws", team_a)?;
+    api.add_collaborator(project, team_a, team_b)?;
+    api.upload_model(project, team_a, "kws-base-v1", base.to_json()?)?;
+    println!("published 'kws-base-v1' to the registry ({} models listed)",
+        api.list_models(project, team_a)?.len());
+
+    // --- team B: download and fine-tune on a tiny new vocabulary -------------
+    let downloaded = api.download_model(project, team_b, "kws-base-v1")?;
+    let base_for_b = TrainedImpulse::from_json(&downloaded)?;
+    println!("team B reloaded the base model ({} labels)", base_for_b.labels().len());
+
+    let new_gen = KwsGenerator {
+        classes: vec!["left".into(), "right".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.5,
+        noise: 0.03,
+    };
+    // deliberately tiny and noisy: 4 clips per class
+    let new_gen = KwsGenerator { noise: 0.12, ..new_gen };
+    let new_dataset = new_gen.dataset(4, 11);
+    let quick = TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() };
+
+    let transferred = base_for_b.transfer_to(&new_dataset, 2, &quick)?;
+
+    // baseline: train the same architecture from scratch on the tiny set
+    let scratch_spec = presets::dense_mlp(design.feature_dims()?, 2, 48);
+    let scratch = design.train(&scratch_spec, &new_dataset, &quick)?;
+
+    // evaluate both on a large fresh holdout (the tiny dataset's own test
+    // split is only a handful of clips)
+    let fresh = new_gen.dataset(25, 400).with_test_percent(100);
+    let transfer_eval =
+        transferred.evaluate(&transferred.float_artifact(), &fresh, Split::Testing)?;
+    let scratch_eval = scratch.evaluate(&scratch.float_artifact(), &fresh, Split::Testing)?;
+
+    println!();
+    println!("fine-tuning on 4 noisy clips/class of a new vocabulary:");
+    println!("  transfer (frozen body):  {:.1}% holdout accuracy", transfer_eval.accuracy * 100.0);
+    println!("  from scratch:            {:.1}% holdout accuracy", scratch_eval.accuracy * 100.0);
+    println!(
+        "  trainable params: transfer fine-tunes the head, scratch trains all {}",
+        scratch.model().param_count()
+    );
+
+    // live check
+    let clip = new_gen.generate(1, 999); // "right"
+    let result = transferred.classify(&clip)?;
+    println!();
+    println!("transferred model hears: {} ({:.1}%)", result.label, result.confidence * 100.0);
+    Ok(())
+}

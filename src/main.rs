@@ -1,0 +1,283 @@
+//! `edgelab` — the command-line tool over the platform library.
+//!
+//! The paper's workflow is driven by "command line interface (CLI) tools
+//! that interface with device firmware to ingest data" plus a web API
+//! (§4.1, §4.9). This binary is that CLI: generate or ingest data, train,
+//! classify, profile against boards, export deployment bundles, and serve
+//! a trained model over the EIM JSON protocol on stdio.
+//!
+//! ```text
+//! edgelab demo-data <dir>                          generate demo WAV clips
+//! edgelab train --data <dir> --out <model.json>    train a keyword spotter
+//! edgelab classify --model <m.json> --wav <f.wav>  classify one clip
+//! edgelab profile --model <m.json> [--board name]  latency/memory estimate
+//! edgelab deploy --model <m.json> --out <dir>      write the C bundle
+//! edgelab eim --model <m.json>                     serve EIM JSON on stdio
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::path::{Path, PathBuf};
+
+use edgelab::core::deploy::{build_bundle, DeploymentTarget};
+use edgelab::core::eim::EimRunner;
+use edgelab::core::impulse::{ImpulseDesign, TrainedImpulse};
+use edgelab::data::ingest::{parse_wav, to_wav_bytes};
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::{Dataset, Sample, SensorKind, Split};
+use edgelab::device::{Board, Profiler};
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::runtime::{EngineKind, EonProgram};
+
+type CliResult<T> = Result<T, Box<dyn std::error::Error>>;
+
+const SAMPLE_RATE: u32 = 8_000;
+const WINDOW: usize = 4_000; // 0.5 s
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo-data") => cmd_demo_data(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("deploy") => cmd_deploy(&args[1..]),
+        Some("eim") => cmd_eim(&args[1..]),
+        _ => {
+            eprint!("{}", USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+edgelab — TinyML MLOps from the command line
+
+USAGE:
+  edgelab demo-data <dir>                          generate demo WAV clips
+  edgelab train --data <dir> --out <model.json>    train a keyword spotter
+  edgelab classify --model <m.json> --wav <f.wav>  classify one clip
+  edgelab profile --model <m.json> [--board name]  latency/memory estimate
+  edgelab deploy --model <m.json> --out <dir>      write the C bundle
+  edgelab eim --model <m.json>                     serve EIM JSON on stdio
+
+Training data layout: <dir>/<label>/<clip>.wav (0.5 s mono PCM16 @ 8 kHz).
+";
+
+/// Reads the value following a `--flag`.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn required(args: &[String], name: &str) -> CliResult<String> {
+    flag(args, name).ok_or_else(|| format!("missing {name} <value>").into())
+}
+
+fn default_design() -> CliResult<ImpulseDesign> {
+    Ok(ImpulseDesign::new(
+        "cli-kws",
+        WINDOW,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 10,
+            n_filters: 24,
+            sample_rate_hz: SAMPLE_RATE,
+        }),
+    )?)
+}
+
+/// `edgelab demo-data <dir>` — writes labeled demo WAV clips.
+fn cmd_demo_data(args: &[String]) -> CliResult<()> {
+    let dir = args.first().ok_or("usage: edgelab demo-data <dir>")?;
+    let generator = KwsGenerator {
+        classes: vec!["go".into(), "stop".into(), "noise".into()],
+        sample_rate_hz: SAMPLE_RATE,
+        duration_s: 0.5,
+        noise: 0.04,
+    };
+    let mut written = 0usize;
+    for (ci, class) in generator.classes.iter().enumerate() {
+        let class_dir = Path::new(dir).join(class);
+        std::fs::create_dir_all(&class_dir)?;
+        for k in 0..16u64 {
+            let clip = generator.generate(ci, 100 * ci as u64 + k);
+            let path = class_dir.join(format!("{class}_{k:02}.wav"));
+            std::fs::write(&path, to_wav_bytes(SAMPLE_RATE, &clip))?;
+            written += 1;
+        }
+    }
+    println!("wrote {written} clips under {dir}/<label>/*.wav");
+    Ok(())
+}
+
+/// Loads a `<dir>/<label>/*.wav` tree into a dataset.
+fn load_wav_tree(dir: &str) -> CliResult<Dataset> {
+    let mut dataset = Dataset::new(dir);
+    let mut clips = 0usize;
+    for label_entry in std::fs::read_dir(dir)? {
+        let label_entry = label_entry?;
+        if !label_entry.file_type()?.is_dir() {
+            continue;
+        }
+        let label = label_entry.file_name().to_string_lossy().to_string();
+        for file in std::fs::read_dir(label_entry.path())? {
+            let path: PathBuf = file?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wav") {
+                continue;
+            }
+            let bytes = std::fs::read(&path)?;
+            let (rate, mut samples) = parse_wav(&bytes)?;
+            samples.resize(WINDOW, 0.0); // pad/trim to the impulse window
+            dataset.add(
+                Sample::new(0, samples, SensorKind::Audio)
+                    .with_label(&label)
+                    .with_sample_rate(rate),
+            );
+            clips += 1;
+        }
+    }
+    if clips == 0 {
+        return Err(format!("no .wav files found under {dir}/<label>/").into());
+    }
+    Ok(dataset)
+}
+
+/// `edgelab train --data <dir> --out <model.json>`.
+fn cmd_train(args: &[String]) -> CliResult<()> {
+    let data_dir = required(args, "--data")?;
+    let out = required(args, "--out")?;
+    let epochs: usize = flag(args, "--epochs").map(|v| v.parse()).transpose()?.unwrap_or(12);
+    let dataset = load_wav_tree(&data_dir)?;
+    let stats = dataset.stats();
+    println!(
+        "loaded {} clips / {} classes ({} train, {} test)",
+        stats.total,
+        stats.per_class.len(),
+        stats.training,
+        stats.testing
+    );
+    let design = default_design()?;
+    let spec = presets::dense_mlp(design.feature_dims()?, dataset.labels().len(), 32);
+    let trained = design.train(
+        &spec,
+        &dataset,
+        &TrainConfig { epochs, learning_rate: 0.01, ..TrainConfig::default() },
+    )?;
+    let eval = trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing)?;
+    println!("holdout accuracy: {:.1}%  (macro F1 {:.2})", eval.accuracy * 100.0, eval.macro_f1);
+    println!("{}", eval.matrix);
+    std::fs::write(&out, trained.to_json()?)?;
+    println!("saved model to {out}");
+    Ok(())
+}
+
+fn load_model(args: &[String]) -> CliResult<TrainedImpulse> {
+    let path = required(args, "--model")?;
+    let json = std::fs::read_to_string(&path)?;
+    Ok(TrainedImpulse::from_json(&json)?)
+}
+
+/// `edgelab classify --model <m.json> --wav <f.wav>`.
+fn cmd_classify(args: &[String]) -> CliResult<()> {
+    let trained = load_model(args)?;
+    let wav = required(args, "--wav")?;
+    let (_, mut samples) = parse_wav(&std::fs::read(&wav)?)?;
+    samples.resize(trained.design().window_samples, 0.0);
+    let result = trained.classify(&samples)?;
+    for (label, p) in trained.labels().iter().zip(&result.probabilities) {
+        println!("{label:<12} {:.4}", p);
+    }
+    println!("=> {} ({:.1}%)", result.label, result.confidence * 100.0);
+    Ok(())
+}
+
+/// `edgelab profile --model <m.json> [--board <name>] [--int8]`.
+fn cmd_profile(args: &[String]) -> CliResult<()> {
+    let trained = load_model(args)?;
+    let board = match flag(args, "--board") {
+        Some(name) => Board::by_name(&name)?,
+        None => Board::nano33_ble_sense(),
+    };
+    let artifact = if args.iter().any(|a| a == "--int8") {
+        trained.int8_artifact()?
+    } else {
+        trained.float_artifact()
+    };
+    let engine = EonProgram::compile(artifact)?;
+    let cost = trained.design().dsp_block()?.cost(trained.design().window_samples)?;
+    let profiler = Profiler::new(board);
+    let report = profiler.profile(Some(cost), &engine);
+    println!("board: {}", report.board);
+    println!("dsp:        {:>9.2} ms", report.dsp_ms);
+    println!("inference:  {:>9.2} ms", report.inference_ms);
+    println!("total:      {:>9.2} ms", report.total_ms);
+    println!("model RAM:  {:>9.1} kB", report.model_ram_bytes as f64 / 1024.0);
+    println!("model flash:{:>9.1} kB", report.model_flash_bytes as f64 / 1024.0);
+    println!("fits: {}{}", report.fit.fits, if report.fit.fits { String::new() } else { format!(" ({})", report.fit.reasons.join("; ")) });
+    println!();
+    println!("per-layer:");
+    for (op, ms) in profiler.per_op_profile(&engine) {
+        println!("  {op:<18} {ms:>9.2} ms");
+    }
+    Ok(())
+}
+
+/// `edgelab deploy --model <m.json> --out <dir> [--int8] [--target cpp|arduino|eim|wasm]`.
+fn cmd_deploy(args: &[String]) -> CliResult<()> {
+    let trained = load_model(args)?;
+    let out_dir = required(args, "--out")?;
+    let target = match flag(args, "--target").as_deref() {
+        None | Some("cpp") => DeploymentTarget::CppLibrary,
+        Some("arduino") => DeploymentTarget::ArduinoLibrary,
+        Some("eim") => DeploymentTarget::LinuxEim,
+        Some("wasm") => DeploymentTarget::Wasm,
+        Some(other) => return Err(format!("unknown target {other:?}").into()),
+    };
+    let artifact = if args.iter().any(|a| a == "--int8") {
+        trained.int8_artifact()?
+    } else {
+        trained.float_artifact()
+    };
+    let bundle = build_bundle(&trained, artifact, target, EngineKind::EonCompiled)?;
+    for file in &bundle.files {
+        let path = Path::new(&out_dir).join(&file.path);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, &file.contents)?;
+        println!("wrote {}", path.display());
+    }
+    println!("{} files, {} bytes total", bundle.files.len(), bundle.size_bytes());
+    Ok(())
+}
+
+/// `edgelab eim --model <m.json>` — newline-delimited JSON on stdio.
+fn cmd_eim(args: &[String]) -> CliResult<()> {
+    let trained = load_model(args)?;
+    let artifact = if args.iter().any(|a| a == "--int8") {
+        trained.int8_artifact()?
+    } else {
+        trained.float_artifact()
+    };
+    let runner = EimRunner::new(trained, artifact);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match runner.handle_line(&line) {
+            Ok(r) => r,
+            Err(e) => format!("{{\"success\": false, \"error\": \"{e}\"}}"),
+        };
+        writeln!(stdout, "{response}")?;
+        stdout.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! End-to-end test of the `edgelab` CLI binary: demo data → train →
+//! classify → profile → deploy → EIM serving, all through the real
+//! executable (the §4.1 CLI workflow).
+
+use std::io::Write as _;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_edgelab")
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let output = Command::new(bin()).args(args).output().expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.success(), text)
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = std::env::temp_dir().join(format!("edgelab-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+    let bundle = dir.join("bundle");
+
+    // demo data
+    let (ok, out) = run(&["demo-data", data.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("48 clips"));
+    assert!(data.join("go").join("go_00.wav").exists());
+
+    // train
+    let (ok, out) = run(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--epochs",
+        "10",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("holdout accuracy"));
+    assert!(model.exists());
+
+    // classify a known clip
+    let clip = data.join("stop").join("stop_05.wav");
+    let (ok, out) =
+        run(&["classify", "--model", model.to_str().unwrap(), "--wav", clip.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("=> stop"), "classified: {out}");
+
+    // profile against a named board
+    let (ok, out) =
+        run(&["profile", "--model", model.to_str().unwrap(), "--board", "pico", "--int8"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Ras. Pi Pico"));
+    assert!(out.contains("fits: true"));
+    assert!(out.contains("per-layer:"));
+
+    // deploy the C bundle
+    let (ok, out) = run(&[
+        "deploy",
+        "--model",
+        model.to_str().unwrap(),
+        "--out",
+        bundle.to_str().unwrap(),
+        "--int8",
+    ]);
+    assert!(ok, "{out}");
+    assert!(bundle.join("model").join("model_compiled.c").exists());
+    assert!(bundle.join("model").join("edgelab_kernels.h").exists());
+
+    // eim protocol over stdio
+    let mut child = Command::new(bin())
+        .args(["eim", "--model", model.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"{\"hello\": 1}\n")
+        .unwrap();
+    drop(child.stdin.take());
+    let output = child.wait_with_output().unwrap();
+    let response = String::from_utf8_lossy(&output.stdout);
+    assert!(response.contains("\"label_count\":3"), "eim said: {response}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_reports_usage_and_errors() {
+    let (ok, out) = run(&[]);
+    assert!(!ok);
+    assert!(out.contains("USAGE"));
+    let (ok, out) = run(&["train", "--out", "x.json"]);
+    assert!(!ok);
+    assert!(out.contains("--data"));
+    let (ok, out) = run(&["classify", "--model", "/nonexistent.json", "--wav", "x.wav"]);
+    assert!(!ok);
+    assert!(out.contains("error"));
+    let (ok, out) = run(&["profile", "--model", "/nonexistent.json"]);
+    assert!(!ok);
+    assert!(out.contains("error"));
+
+    // unknown board is a clean error, not a panic
+    let dir = std::env::temp_dir().join(format!("edgelab-cli-err-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data");
+    let model = dir.join("m.json");
+    run(&["demo-data", data.to_str().unwrap()]);
+    run(&[
+        "train",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--epochs",
+        "2",
+    ]);
+    let (ok, out) =
+        run(&["profile", "--model", model.to_str().unwrap(), "--board", "nonexistent-board"]);
+    assert!(!ok);
+    assert!(out.contains("unknown board"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = Path::new("");
+}

@@ -1,0 +1,100 @@
+//! Data-centric workflow integration (paper §3 objective 3, §8.1): the
+//! explorer finds the bad sample, augmentation stretches a tiny dataset,
+//! and the cleaned/augmented data trains a better model.
+
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::augment::{augment_dataset, AugmentConfig};
+use edgelab::data::explorer::{explore, DataWarning};
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::{Dataset, Sample, SensorKind, Split};
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["left".into(), "right".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.25,
+        noise: 0.08,
+    }
+}
+
+fn design() -> ImpulseDesign {
+    ImpulseDesign::new(
+        "data-centric",
+        2_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 20,
+            sample_rate_hz: 8_000,
+        }),
+    )
+    .expect("valid design")
+}
+
+#[test]
+fn explorer_flags_the_corrupted_capture() {
+    let gen = generator();
+    let mut dataset = gen.dataset(12, 3);
+    // a clipped/saturated capture sneaks in (a real field failure mode)
+    let bad = dataset.add(
+        Sample::new(0, vec![1.0; 2_000], SensorKind::Audio).with_label("left"),
+    );
+    // and one sample with the wrong length
+    dataset.add(Sample::new(0, vec![0.1; 500], SensorKind::Audio).with_label("right"));
+
+    let report = explore(&dataset, 4.0);
+    assert!(
+        report.outliers.iter().any(|o| o.id == bad),
+        "saturated capture must be flagged: {:?}",
+        report.outliers
+    );
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| matches!(w, DataWarning::InconsistentLengths { label, .. } if label == "right")));
+
+    // the cleaning loop: remove what the explorer flagged
+    for outlier in &report.outliers {
+        dataset.remove(outlier.id).unwrap();
+    }
+    let after = explore(&dataset, 4.0);
+    assert!(after.outliers.is_empty(), "cleaned dataset has no outliers");
+}
+
+#[test]
+fn augmentation_helps_in_the_low_data_regime() {
+    let gen = generator();
+    let design = design();
+    let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 24);
+    let config = TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() };
+
+    // a *harder* variant: very noisy, very few clips
+    let gen = KwsGenerator { noise: 0.25, ..gen };
+    let tiny: Dataset = gen.dataset(3, 5).with_test_percent(0);
+    let eval_set = gen.dataset(25, 900).with_test_percent(100);
+
+    let baseline = design.train(&spec, &tiny, &config).unwrap();
+    let baseline_acc = baseline
+        .evaluate(&baseline.float_artifact(), &eval_set, Split::Testing)
+        .unwrap()
+        .accuracy;
+
+    let mut augmented = tiny.clone();
+    let added = augment_dataset(&mut augmented, AugmentConfig::default(), 5, 7);
+    assert_eq!(added, 6 * 5);
+    let boosted = design.train(&spec, &augmented, &config).unwrap();
+    let boosted_acc = boosted
+        .evaluate(&boosted.float_artifact(), &eval_set, Split::Testing)
+        .unwrap()
+        .accuracy;
+
+    // augmentation must not hurt in the low-data regime
+    assert!(
+        boosted_acc + 0.1 >= baseline_acc,
+        "augmented {boosted_acc} vs baseline {baseline_acc}"
+    );
+    assert!(boosted_acc > 0.7, "augmented model still learns: {boosted_acc}");
+}

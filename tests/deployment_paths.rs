@@ -1,0 +1,112 @@
+//! Integration of the deployment-side runtimes: the EIM JSON protocol,
+//! the continuous streaming classifier, and the saved-model round trip —
+//! together they are the "ship it" half of the platform.
+
+use edgelab::calibration::{ContinuousClassifier, PostProcessConfig};
+use edgelab::core::eim::EimRunner;
+use edgelab::core::impulse::{ImpulseDesign, TrainedImpulse};
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::{Dataset, Sample, SensorKind};
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["go".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.25,
+        noise: 0.03,
+    }
+}
+
+/// Keyword-vs-noise dataset matching what a streaming deployment sees.
+fn dataset() -> Dataset {
+    let gen = generator();
+    let mut ds = Dataset::new("deploy");
+    let mut rng = StdRng::seed_from_u64(42);
+    for k in 0..18 {
+        ds.add(Sample::new(0, gen.generate(0, k), SensorKind::Audio).with_label("go"));
+        let noise: Vec<f32> = (0..2_000).map(|_| rng.gen_range(-0.06f32..0.06)).collect();
+        ds.add(Sample::new(0, noise, SensorKind::Audio).with_label("background"));
+    }
+    ds
+}
+
+fn spotter() -> TrainedImpulse {
+    let design = ImpulseDesign::new(
+        "deploy-kws",
+        2_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 20,
+            sample_rate_hz: 8_000,
+        }),
+    )
+    .unwrap();
+    let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 24);
+    design
+        .train(
+            &spec,
+            &dataset(),
+            &TrainConfig { epochs: 14, learning_rate: 0.01, ..TrainConfig::default() },
+        )
+        .unwrap()
+}
+
+#[test]
+fn saved_model_behaves_identically_through_eim() {
+    let trained = spotter();
+    let clip = generator().generate(0, 500);
+    let direct = trained.classify(&clip).unwrap();
+
+    // round-trip through the registry format, then serve over EIM
+    let reloaded = TrainedImpulse::from_json(&trained.to_json().unwrap()).unwrap();
+    let artifact = reloaded.float_artifact();
+    let runner = EimRunner::new(reloaded, artifact);
+    let response = runner.handle(&json!({"classify": clip, "id": 9}));
+    assert_eq!(response["success"], true);
+    assert_eq!(response["winner"], direct.label);
+    let go_index =
+        trained.labels().iter().position(|l| l == "go").expect("'go' exists");
+    let served = response["result"]["classification"]["go"].as_f64().unwrap() as f32;
+    assert!(
+        (served - direct.probabilities[go_index]).abs() < 1e-6,
+        "EIM after save/load must match the original exactly"
+    );
+}
+
+#[test]
+fn streaming_deployment_detects_and_stays_quiet() {
+    let trained = spotter();
+    let go = trained.labels().iter().position(|l| l == "go").unwrap();
+    let artifact = trained.int8_artifact().unwrap(); // deploy quantized
+    let mut cc = ContinuousClassifier::new(
+        trained,
+        artifact,
+        go,
+        500,
+        PostProcessConfig { mean_filter: 1, threshold: 0.6, suppression: 6 },
+    );
+
+    // a stream with two keywords
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut stream: Vec<f32> = (0..20_000).map(|_| rng.gen_range(-0.04f32..0.04)).collect();
+    for (k, pos) in [5_000usize, 13_000].iter().enumerate() {
+        let clip = generator().generate(0, 900 + k as u64);
+        for (i, &v) in clip.iter().enumerate() {
+            stream[pos + i] += v;
+        }
+    }
+    let mut events = Vec::new();
+    for chunk in stream.chunks(640) {
+        events.extend(cc.push(chunk).unwrap());
+    }
+    assert_eq!(events.len(), 2, "events: {events:?}");
+    assert!(events[0].sample_offset.abs_diff(5_000) <= 2_500);
+    assert!(events[1].sample_offset.abs_diff(13_000) <= 2_500);
+}

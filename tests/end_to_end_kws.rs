@@ -1,0 +1,122 @@
+//! End-to-end integration: data generation → impulse training →
+//! quantization → both engines → deployment bundle → AT-command firmware.
+//!
+//! Exercises the full platform surface a real keyword-spotting project
+//! touches, on a downscaled (8 kHz) workload so it runs quickly in debug.
+
+use edgelab::core::deploy::{build_bundle, DeploymentTarget};
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::core::sdk::FirmwareDevice;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::data::Split;
+use edgelab::device::{Board, Profiler};
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::runtime::{EngineKind, EonProgram, InferenceEngine, Interpreter};
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["go".into(), "stop".into(), "noise".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.5,
+        noise: 0.03,
+    }
+}
+
+fn design() -> ImpulseDesign {
+    ImpulseDesign::new(
+        "e2e-kws",
+        4_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 10,
+            n_filters: 24,
+            sample_rate_hz: 8_000,
+        }),
+    )
+    .expect("valid design")
+}
+
+#[test]
+fn full_pipeline_from_audio_to_firmware() {
+    let gen = generator();
+    let dataset = gen.dataset(15, 7);
+    let design = design();
+    let spec = presets::dense_mlp(design.feature_dims().unwrap(), 3, 32);
+    let trained = design
+        .train(
+            &spec,
+            &dataset,
+            &TrainConfig { epochs: 12, learning_rate: 0.01, ..TrainConfig::default() },
+        )
+        .expect("training succeeds");
+
+    // float accuracy on holdout must be strong on separable synthetic data
+    let float_eval =
+        trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing).unwrap();
+    assert!(float_eval.accuracy > 0.8, "float accuracy {}", float_eval.accuracy);
+
+    // int8 must stay close
+    let int8 = trained.int8_artifact().unwrap();
+    let int8_eval = trained.evaluate(&int8, &dataset, Split::Testing).unwrap();
+    assert!(
+        float_eval.accuracy - int8_eval.accuracy <= 0.2,
+        "float {} vs int8 {}",
+        float_eval.accuracy,
+        int8_eval.accuracy
+    );
+
+    // both engines execute the same artifact identically
+    let eon = EonProgram::compile(int8.clone()).unwrap();
+    let interp = Interpreter::new(int8.clone()).unwrap();
+    let features = design
+        .dsp_block()
+        .unwrap()
+        .process(&gen.generate(0, 1234))
+        .unwrap();
+    assert_eq!(eon.run(&features).unwrap(), interp.run(&features).unwrap());
+
+    // profiling on the paper's boards yields usable estimates and fits
+    let cost = design.dsp_block().unwrap().cost(4_000).unwrap();
+    for board in Board::paper_boards() {
+        let profile = Profiler::new(board).profile(Some(cost), &eon);
+        assert!(profile.total_ms > 0.0);
+        assert!(profile.fit.fits, "small int8 model fits everywhere: {:?}", profile.fit.reasons);
+    }
+
+    // deployment bundle is complete and internally consistent
+    let bundle =
+        build_bundle(&trained, int8.clone(), DeploymentTarget::CppLibrary, EngineKind::EonCompiled)
+            .unwrap();
+    let source = &bundle.file("model/model_compiled.c").unwrap().contents;
+    assert!(source.contains("kernel_dense_s8"));
+    assert!(source.contains(&format!("#define MODEL_OUTPUT_LEN {}", trained.labels().len())));
+
+    // the firmware facade classifies a streamed clip correctly
+    let mut device = FirmwareDevice::new("test-rig", trained, int8);
+    let clip = gen.generate(1, 999); // "stop"
+    for chunk in clip.chunks(800) {
+        let csv: Vec<String> = chunk.iter().map(f32::to_string).collect();
+        device.handle_command(&format!("AT+SAMPLE={}", csv.join(","))).unwrap();
+    }
+    let response = device.handle_command("AT+RUNIMPULSE").unwrap();
+    assert!(response.contains("winner=stop"), "device said: {response}");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let gen = generator();
+    let dataset = gen.dataset(6, 3);
+    let design = design();
+    let spec = presets::dense_mlp(design.feature_dims().unwrap(), 3, 16);
+    let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+    let a = design.train(&spec, &dataset, &cfg).unwrap();
+    let b = design.train(&spec, &dataset, &cfg).unwrap();
+    let clip = gen.generate(2, 42);
+    assert_eq!(
+        a.classify(&clip).unwrap().probabilities,
+        b.classify(&clip).unwrap().probabilities,
+        "identical config + data must give identical models"
+    );
+}

@@ -1,0 +1,154 @@
+//! MLOps integration: the collaborative project lifecycle through the API,
+//! training as scheduled jobs, versioning, and the public registry.
+
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::ingest::to_wav_bytes;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::platform::registry::{clone_project, search};
+use edgelab::platform::{Api, JobScheduler};
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["on".into(), "off".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.25,
+        noise: 0.03,
+    }
+}
+
+fn impulse() -> ImpulseDesign {
+    ImpulseDesign::new(
+        "switch",
+        2_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 20,
+            sample_rate_hz: 8_000,
+        }),
+    )
+    .expect("valid design")
+}
+
+#[test]
+fn collaborative_project_lifecycle() {
+    let api = Api::new();
+    let alice = api.create_user("alice");
+    let bob = api.create_user("bob");
+    let _org = api.create_organization("iot-lab", alice).unwrap();
+    let project = api.create_project("light-switch", alice).unwrap();
+    api.add_collaborator(project, alice, bob).unwrap();
+
+    // both collaborators ingest WAV clips through the API
+    let gen = generator();
+    for (ci, label) in gen.classes.clone().iter().enumerate() {
+        for k in 0..12 {
+            let wav = to_wav_bytes(8_000, &gen.generate(ci, k));
+            let actor = if k % 2 == 0 { alice } else { bob };
+            api.ingest(project, actor, "wav", &wav, Some(label)).unwrap();
+        }
+    }
+    let stats = api.with_project(project, bob, |p| p.dataset.stats()).unwrap();
+    assert_eq!(stats.total, 24);
+    assert_eq!(stats.per_class.len(), 2);
+    assert!(stats.training > 0 && stats.testing > 0);
+
+    // configure the impulse and snapshot
+    api.set_impulse(project, bob, impulse()).unwrap();
+    let v = api.snapshot(project, alice, "ready to train").unwrap();
+    assert_eq!(v, 1);
+
+    // training runs as a job on the worker pool
+    let scheduler = JobScheduler::new(2);
+    let dataset = api.with_project(project, alice, |p| p.dataset.clone()).unwrap();
+    let design = api
+        .with_project(project, alice, |p| p.impulse.clone())
+        .unwrap()
+        .expect("impulse configured");
+    let job = scheduler
+        .submit(1, move || {
+            let spec = presets::dense_mlp(
+                design.feature_dims().map_err(|e| e.to_string())?,
+                2,
+                16,
+            );
+            let trained = design
+                .train(
+                    &spec,
+                    &dataset,
+                    &TrainConfig { epochs: 8, learning_rate: 0.01, ..TrainConfig::default() },
+                )
+                .map_err(|e| e.to_string())?;
+            Ok(format!("{:.3}", trained.report().best_val_accuracy))
+        })
+        .unwrap();
+    let accuracy: f32 = scheduler.wait(job).unwrap().parse().unwrap();
+    assert!(accuracy > 0.7, "job-trained accuracy {accuracy}");
+
+    // publish, search, clone
+    api.make_public(project, alice, &["audio", "switch"]).unwrap();
+    let hits = search(&api.public_projects(), "switch");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].samples, 24);
+    let source = &api.public_projects()[0];
+    let cloned = clone_project(source, 999, bob).expect("public projects clone");
+    assert_eq!(cloned.owner, bob);
+    assert_eq!(cloned.dataset.len(), 24);
+}
+
+#[test]
+fn access_control_covers_the_whole_surface() {
+    let api = Api::new();
+    let owner = api.create_user("owner");
+    let outsider = api.create_user("outsider");
+    let project = api.create_project("private", owner).unwrap();
+    let wav = to_wav_bytes(8_000, &[0.0; 100]);
+    assert!(api.ingest(project, outsider, "wav", &wav, None).is_err());
+    assert!(api.set_impulse(project, outsider, impulse()).is_err());
+    assert!(api.snapshot(project, outsider, "x").is_err());
+    assert!(api.make_public(project, outsider, &[]).is_err());
+    assert!(api.with_project(project, outsider, |_| ()).is_err());
+    // owner can do all of it
+    assert!(api.ingest(project, owner, "wav", &wav, None).is_ok());
+    assert!(api.set_impulse(project, owner, impulse()).is_ok());
+    assert!(api.snapshot(project, owner, "ok").is_ok());
+}
+
+#[test]
+fn parallel_training_jobs() {
+    // several projects train concurrently on the pool, like the paper's
+    // kubernetes workers
+    let scheduler = JobScheduler::new(3);
+    let gen = generator();
+    let mut jobs = Vec::new();
+    for seed in 0..4u64 {
+        let dataset = gen.dataset(6, seed);
+        let design = impulse();
+        jobs.push(
+            scheduler
+                .submit(1, move || {
+                    let spec = presets::dense_mlp(
+                        design.feature_dims().map_err(|e| e.to_string())?,
+                        2,
+                        8,
+                    );
+                    design
+                        .train(
+                            &spec,
+                            &dataset,
+                            &TrainConfig { epochs: 2, ..TrainConfig::default() },
+                        )
+                        .map(|t| format!("{}", t.model().param_count()))
+                        .map_err(|e| e.to_string())
+                })
+                .unwrap(),
+        );
+    }
+    for job in jobs {
+        let params: usize = scheduler.wait(job).unwrap().parse().unwrap();
+        assert!(params > 100);
+    }
+}

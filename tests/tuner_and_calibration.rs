@@ -1,0 +1,152 @@
+//! Integration of the AutoML layers: the EON Tuner against a real dataset
+//! and device constraints, and performance calibration against traces from
+//! a real trained classifier.
+
+use edgelab::calibration::stream::trace_from_classifier;
+use edgelab::calibration::{calibrate, GaConfig};
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::device::{Board, Profiler};
+use edgelab::dsp::{DspConfig, MfccConfig, MfeConfig};
+use edgelab::nn::train::TrainConfig;
+use edgelab::runtime::EngineKind;
+use edgelab::tuner::{EonTuner, ModelChoice, SearchSpace, TunerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_space() -> SearchSpace {
+    SearchSpace {
+        dsp: vec![
+            DspConfig::Mfcc(MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 20,
+                sample_rate_hz: 8_000,
+            }),
+            DspConfig::Mfe(MfeConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_filters: 16,
+                sample_rate_hz: 8_000,
+                low_hz: 0.0,
+                high_hz: 0.0,
+            }),
+        ],
+        models: vec![
+            ModelChoice::DenseMlp { hidden: 16 },
+            ModelChoice::Conv1dStack { depth: 2, base_filters: 8 },
+        ],
+    }
+}
+
+#[test]
+fn tuner_trials_respect_device_constraints() {
+    let gen = KwsGenerator {
+        classes: vec!["a".into(), "b".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.25,
+        noise: 0.03,
+    };
+    let dataset = gen.dataset(10, 5);
+    let tuner = EonTuner::new(
+        small_space(),
+        Profiler::new(Board::nano33_ble_sense()),
+        2_000,
+        TunerConfig {
+            trials: 4,
+            train: TrainConfig { epochs: 5, learning_rate: 0.01, ..TrainConfig::default() },
+            quantize: false,
+            engine: EngineKind::TflmInterpreter,
+            max_latency_ms: None,
+            seed: 1,
+        },
+    );
+    let report = tuner.run(&dataset).unwrap();
+    assert_eq!(report.trials.len(), 4);
+    for t in &report.trials {
+        assert!(t.fits, "every trained trial fits the target");
+        assert!(t.accuracy.is_finite());
+        assert!(t.flash > 0 && t.total_ram() > 0 && t.total_ms() > 0.0);
+    }
+    // the separable synthetic task must be learnable by the best trial
+    assert!(report.trials[0].accuracy > 0.8, "best accuracy {}", report.trials[0].accuracy);
+    // quantized estimates are smaller than float for the same space
+    let q_tuner = EonTuner::new(
+        small_space(),
+        Profiler::new(Board::nano33_ble_sense()),
+        2_000,
+        TunerConfig { quantize: true, ..TunerConfig::default() },
+    );
+    let candidate = &small_space().candidates()[0];
+    let float_est = tuner.estimate_candidate(candidate, 2).unwrap();
+    let int8_est = q_tuner.estimate_candidate(candidate, 2).unwrap();
+    assert!(int8_est.flash < float_est.flash);
+    assert!(int8_est.nn_ms < float_est.nn_ms);
+}
+
+#[test]
+fn calibration_on_a_real_classifier_reaches_good_operating_point() {
+    // train a quick two-class spotter
+    let gen = KwsGenerator {
+        classes: vec!["go".into(), "noise".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.25,
+        noise: 0.03,
+    };
+    let dataset = gen.dataset(12, 9);
+    let design = ImpulseDesign::new(
+        "cal",
+        2_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 20,
+            sample_rate_hz: 8_000,
+        }),
+    )
+    .unwrap();
+    let spec = edgelab::nn::presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+    let trained = design
+        .train(
+            &spec,
+            &dataset,
+            &TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() },
+        )
+        .unwrap();
+
+    // compose a stream: noise background + keywords at known offsets
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut stream: Vec<f32> = (0..30_000).map(|_| rng.gen_range(-0.04f32..0.04)).collect();
+    let mut truth = Vec::new();
+    for k in 0..5 {
+        let pos = 3_000 + k * 5_000;
+        let clip = gen.generate(0, 400 + k as u64);
+        for (i, &v) in clip.iter().enumerate() {
+            stream[pos + i] += v;
+        }
+        truth.push(pos);
+    }
+    let trace = trace_from_classifier(&stream, &truth, 2_000, 500, |w| {
+        trained.classify(w).map(|c| c.probabilities[0]).unwrap_or(0.0)
+    });
+    assert_eq!(trace.truth.len(), 5);
+
+    // the GA must find a configuration detecting most events cleanly
+    let suggestions = calibrate(
+        &[trace],
+        &GaConfig { population: 16, generations: 10, ..GaConfig::default() },
+    );
+    assert!(!suggestions.is_empty());
+    let best = suggestions
+        .iter()
+        .min_by(|a, b| {
+            let ca = a.metrics.far_per_1k + a.metrics.frr * 100.0;
+            let cb = b.metrics.far_per_1k + b.metrics.frr * 100.0;
+            ca.partial_cmp(&cb).unwrap()
+        })
+        .unwrap();
+    assert!(best.metrics.frr <= 0.4, "frr {}", best.metrics.frr);
+    assert!(best.metrics.far_per_1k <= 60.0, "far {}", best.metrics.far_per_1k);
+}
