@@ -19,6 +19,15 @@ pub enum CoreError {
     InvalidImpulse(String),
     /// An AT command was malformed or unsupported.
     BadCommand(String),
+    /// A required workflow stage failed after exhausting its retries.
+    StageFailed {
+        /// The stage that failed.
+        stage: String,
+        /// Description of the final failure.
+        error: String,
+    },
+    /// The simulated serial link to a device dropped a command.
+    DeviceLink(String),
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +40,10 @@ impl fmt::Display for CoreError {
             CoreError::Data(m) => write!(f, "data error: {m}"),
             CoreError::InvalidImpulse(m) => write!(f, "invalid impulse: {m}"),
             CoreError::BadCommand(m) => write!(f, "bad command: {m}"),
+            CoreError::StageFailed { stage, error } => {
+                write!(f, "workflow stage {stage:?} failed: {error}")
+            }
+            CoreError::DeviceLink(m) => write!(f, "device link error: {m}"),
         }
     }
 }

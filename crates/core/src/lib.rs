@@ -17,7 +17,10 @@
 //! * [`sdk`] — the firmware SDK facade: a simulated device that exposes
 //!   the AT-command serial protocol the platform's precompiled binaries
 //!   speak (paper §4.6);
-//! * [`workflow`] — the workflow-stage ↔ challenge map of paper Fig. 1.
+//! * [`workflow`] — the workflow-stage ↔ challenge map of paper Fig. 1,
+//!   plus [`workflow::FlowRunner`]: fault-tolerant execution of a concrete
+//!   impulse flow with retries, panic isolation and degraded-stage
+//!   semantics for optional stages (built on `ei-faults`).
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@ pub mod workflow;
 pub use error::CoreError;
 pub use eval::{ConfusionMatrix, EvalReport};
 pub use impulse::{Classification, ImpulseDesign, TrainedImpulse};
+pub use workflow::{FlowReport, FlowRunner, FlowStage, StageOutcome, StageReport};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -9,7 +9,22 @@
 
 use crate::impulse::TrainedImpulse;
 use crate::{CoreError, Result};
+use ei_faults::{Clock, FaultPlan};
 use ei_runtime::ModelArtifact;
+use std::sync::Arc;
+
+/// A scripted fault injector on the simulated serial link.
+#[derive(Clone)]
+struct LinkFaults {
+    plan: FaultPlan,
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for LinkFaults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkFaults").field("plan", &self.plan).finish_non_exhaustive()
+    }
+}
 
 /// A simulated device running the inference firmware.
 #[derive(Debug, Clone)]
@@ -18,12 +33,27 @@ pub struct FirmwareDevice {
     impulse: TrainedImpulse,
     artifact: ModelArtifact,
     buffer: Vec<f32>,
+    link: Option<LinkFaults>,
 }
 
 impl FirmwareDevice {
     /// Boots the firmware with a trained impulse and a deployment artifact.
     pub fn new(device_name: &str, impulse: TrainedImpulse, artifact: ModelArtifact) -> FirmwareDevice {
-        FirmwareDevice { device_name: device_name.to_string(), impulse, artifact, buffer: Vec::new() }
+        FirmwareDevice {
+            device_name: device_name.to_string(),
+            impulse,
+            artifact,
+            buffer: Vec::new(),
+            link: None,
+        }
+    }
+
+    /// Scripts faults on the serial link: each subsequent
+    /// [`FirmwareDevice::handle_command`] first consults `plan`, and
+    /// scripted faults surface as [`CoreError::DeviceLink`] — the flaky
+    /// cable the CLI daemon has to retry through.
+    pub fn inject_link_faults(&mut self, plan: FaultPlan, clock: Arc<dyn Clock>) {
+        self.link = Some(LinkFaults { plan, clock });
     }
 
     /// Raw samples currently buffered.
@@ -44,9 +74,13 @@ impl FirmwareDevice {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::BadCommand`] for unknown or malformed commands
-    /// and propagates classification failures.
+    /// Returns [`CoreError::BadCommand`] for unknown or malformed commands,
+    /// [`CoreError::DeviceLink`] when an injected link fault drops the
+    /// command, and propagates classification failures.
     pub fn handle_command(&mut self, line: &str) -> Result<String> {
+        if let Some(link) = &self.link {
+            link.plan.fire(link.clock.as_ref()).map_err(CoreError::DeviceLink)?;
+        }
         let line = line.trim();
         if line == "AT" {
             return Ok("OK".into());
@@ -208,5 +242,25 @@ mod tests {
         let data = dev.take_buffer();
         assert_eq!(data, vec![1.0, 2.0, 3.0]);
         assert_eq!(dev.buffered(), 0);
+    }
+
+    #[test]
+    fn flaky_link_recovers_under_retry() {
+        use ei_faults::retry::RetryOutcome;
+        use ei_faults::{CancelToken, FaultPlan, RetryPolicy, VirtualClock};
+
+        let mut dev = device();
+        let clock = VirtualClock::shared();
+        let plan = FaultPlan::flaky_until(2);
+        dev.inject_link_faults(plan.clone(), clock.clone());
+        // the first command dies on the link
+        assert!(matches!(dev.handle_command("AT"), Err(CoreError::DeviceLink(_))));
+        // the shared retry loop drives the same command to success
+        let policy = RetryPolicy::default().with_seed(3).with_max_attempts(5);
+        let r = ei_faults::execute(&policy, clock.as_ref(), 0, &CancelToken::new(), |_| {}, |_| {
+            dev.handle_command("AT").map_err(|e| e.to_string())
+        });
+        assert_eq!(r.outcome, RetryOutcome::Success { output: "OK".into(), attempts: 2 });
+        assert_eq!(plan.calls(), 3);
     }
 }

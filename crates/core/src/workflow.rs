@@ -1,4 +1,21 @@
-//! The ML-workflow stage ↔ challenge map of paper Figure 1.
+//! The ML-workflow stage ↔ challenge map of paper Figure 1, and a
+//! fault-tolerant [`FlowRunner`] that executes an end-to-end impulse flow
+//! with retry and degraded-stage semantics.
+//!
+//! The runner shares the platform scheduler's failure model (both are
+//! built on [`ei_faults::retry::execute`]): every stage runs under a
+//! [`RetryPolicy`] with seeded jittered backoff, per-attempt timeouts and
+//! panic isolation. A *required* stage that exhausts its retries aborts
+//! the flow with [`CoreError::StageFailed`]; an *optional* stage (say,
+//! anomaly-detection enrichment) is recorded as
+//! [`StageOutcome::Degraded`] with its full attempt history and the flow
+//! carries on — the MLOps loop degrades gracefully instead of losing the
+//! whole pipeline run.
+
+use crate::{CoreError, Result};
+use ei_faults::retry::{self, RetryOutcome};
+use ei_faults::{AttemptContext, AttemptRecord, CancelToken, Clock, RetryPolicy, SystemClock};
+use std::sync::Arc;
 
 /// One stage of the end-to-end embedded-ML workflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,9 +114,196 @@ pub fn workflow_map() -> Vec<WorkflowEntry> {
     ]
 }
 
+/// One executable stage of a concrete impulse flow.
+///
+/// The closure receives an [`AttemptContext`] (attempt number plus the
+/// flow's cancellation token) and returns an output string or an error
+/// message, mirroring the platform job contract.
+pub struct FlowStage<'a> {
+    name: String,
+    optional: bool,
+    #[allow(clippy::type_complexity)]
+    work: Box<dyn FnMut(&AttemptContext<'_>) -> std::result::Result<String, String> + 'a>,
+}
+
+impl std::fmt::Debug for FlowStage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowStage")
+            .field("name", &self.name)
+            .field("optional", &self.optional)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> FlowStage<'a> {
+    /// A stage the flow cannot complete without.
+    pub fn required<F>(name: &str, work: F) -> FlowStage<'a>
+    where
+        F: FnMut(&AttemptContext<'_>) -> std::result::Result<String, String> + 'a,
+    {
+        FlowStage { name: name.to_string(), optional: false, work: Box::new(work) }
+    }
+
+    /// A stage whose failure degrades the flow instead of aborting it.
+    pub fn optional<F>(name: &str, work: F) -> FlowStage<'a>
+    where
+        F: FnMut(&AttemptContext<'_>) -> std::result::Result<String, String> + 'a,
+    {
+        FlowStage { name: name.to_string(), optional: true, work: Box::new(work) }
+    }
+
+    /// The stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the flow survives this stage failing.
+    pub fn is_optional(&self) -> bool {
+        self.optional
+    }
+}
+
+/// How one stage ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// The stage succeeded with an output.
+    Completed(String),
+    /// An optional stage exhausted its retries; the flow continued
+    /// without it. Carries the final failure description.
+    Degraded(String),
+}
+
+/// The record of one executed stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage name.
+    pub name: String,
+    /// Whether the stage was optional.
+    pub optional: bool,
+    /// How the stage ended.
+    pub outcome: StageOutcome,
+    /// Every failed attempt, in order (cause, duration, backoff chosen).
+    pub attempts: Vec<AttemptRecord>,
+}
+
+/// The result of a completed (possibly degraded) flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowReport {
+    /// Per-stage records in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl FlowReport {
+    /// Whether any optional stage was lost along the way.
+    pub fn degraded(&self) -> bool {
+        self.stages.iter().any(|s| matches!(s.outcome, StageOutcome::Degraded(_)))
+    }
+
+    /// Names of the degraded stages, in order.
+    pub fn degraded_stages(&self) -> Vec<&str> {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s.outcome, StageOutcome::Degraded(_)))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Looks up a stage record by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// A completed stage's output, if it completed.
+    pub fn output(&self, name: &str) -> Option<&str> {
+        match &self.stage(name)?.outcome {
+            StageOutcome::Completed(out) => Some(out),
+            StageOutcome::Degraded(_) => None,
+        }
+    }
+}
+
+/// Executes a sequence of [`FlowStage`]s under one retry policy.
+pub struct FlowRunner {
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    cancel: CancelToken,
+}
+
+impl std::fmt::Debug for FlowRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowRunner").field("policy", &self.policy).finish_non_exhaustive()
+    }
+}
+
+impl FlowRunner {
+    /// A runner on the system clock.
+    pub fn new(policy: RetryPolicy) -> FlowRunner {
+        FlowRunner::with_clock(policy, Arc::new(SystemClock::new()))
+    }
+
+    /// A runner on an explicit clock (pass an [`ei_faults::VirtualClock`]
+    /// for deterministic tests).
+    pub fn with_clock(policy: RetryPolicy, clock: Arc<dyn Clock>) -> FlowRunner {
+        FlowRunner { policy, clock, cancel: CancelToken::new() }
+    }
+
+    /// The token that cancels a run in progress (from another thread or a
+    /// stage closure).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs the stages in order, retrying each per the policy. Stage
+    /// index is the jitter stream, so each stage gets a decorrelated but
+    /// reproducible backoff schedule
+    /// ([`RetryPolicy::backoff_preview`]`(index, …)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::StageFailed`] when a required stage exhausts
+    /// its retries or the run is cancelled; optional-stage failures are
+    /// reported as [`StageOutcome::Degraded`] instead.
+    pub fn run(&self, stages: Vec<FlowStage<'_>>) -> Result<FlowReport> {
+        let mut report = FlowReport { stages: Vec::new() };
+        for (index, mut stage) in stages.into_iter().enumerate() {
+            let result = retry::execute(
+                &self.policy,
+                self.clock.as_ref(),
+                index as u64,
+                &self.cancel,
+                |_| {},
+                |ctx| (stage.work)(ctx),
+            );
+            let outcome = match result.outcome {
+                RetryOutcome::Success { output, .. } => StageOutcome::Completed(output),
+                RetryOutcome::Exhausted { error } if stage.optional => {
+                    StageOutcome::Degraded(error)
+                }
+                RetryOutcome::Exhausted { error } => {
+                    return Err(CoreError::StageFailed { stage: stage.name, error });
+                }
+                RetryOutcome::Cancelled => {
+                    return Err(CoreError::StageFailed {
+                        stage: stage.name,
+                        error: "flow cancelled".to_string(),
+                    });
+                }
+            };
+            report.stages.push(StageReport {
+                name: stage.name,
+                optional: stage.optional,
+                outcome,
+                attempts: result.attempts,
+            });
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ei_faults::{FailureCause, FaultPlan, VirtualClock};
 
     #[test]
     fn map_covers_all_stages_in_order() {
@@ -122,5 +326,101 @@ mod tests {
     #[test]
     fn entries_name_modules() {
         assert!(workflow_map().iter().all(|e| !e.module.is_empty() && !e.feature.is_empty()));
+    }
+
+    #[test]
+    fn flow_completes_and_exposes_outputs() {
+        let runner = FlowRunner::with_clock(RetryPolicy::immediate(1), VirtualClock::shared());
+        let report = runner
+            .run(vec![
+                FlowStage::required("ingest", |_| Ok("40 samples".into())),
+                FlowStage::required("train", |_| Ok("acc=0.97".into())),
+            ])
+            .unwrap();
+        assert!(!report.degraded());
+        assert_eq!(report.output("ingest"), Some("40 samples"));
+        assert_eq!(report.output("train"), Some("acc=0.97"));
+        assert!(report.stage("train").unwrap().attempts.is_empty());
+    }
+
+    #[test]
+    fn optional_stage_degrades_with_history_and_flow_continues() {
+        let clock = VirtualClock::shared();
+        let policy = RetryPolicy::default().with_seed(11).with_max_attempts(2);
+        let runner = FlowRunner::with_clock(policy, clock.clone());
+        let plan = FaultPlan::new().panic_on(1, "ewma blew up").error_on(2, "still down");
+        let mut flaky = plan.arm(clock, || Ok::<_, String>("unreachable".to_string()));
+        let report = runner
+            .run(vec![
+                FlowStage::required("train", |_| Ok("acc=0.95".into())),
+                FlowStage::optional("anomaly", move |_| flaky()),
+                FlowStage::required("deploy", |_| Ok("bundle built".into())),
+            ])
+            .unwrap();
+        assert!(report.degraded());
+        assert_eq!(report.degraded_stages(), vec!["anomaly"]);
+        // the later required stage still ran
+        assert_eq!(report.output("deploy"), Some("bundle built"));
+        // the degraded stage carries its full attempt history
+        let anomaly = report.stage("anomaly").unwrap();
+        assert_eq!(anomaly.outcome, StageOutcome::Degraded("still down".into()));
+        assert_eq!(anomaly.attempts.len(), 2);
+        assert_eq!(anomaly.attempts[0].cause, FailureCause::Panic("ewma blew up".into()));
+        assert_eq!(anomaly.attempts[1].cause, FailureCause::Error("still down".into()));
+    }
+
+    #[test]
+    fn required_stage_failure_aborts_the_flow() {
+        let runner = FlowRunner::with_clock(
+            RetryPolicy::default().with_max_attempts(2),
+            VirtualClock::shared(),
+        );
+        let err = runner
+            .run(vec![
+                FlowStage::required("ingest", |_| Ok("ok".into())),
+                FlowStage::required("train", |_| Err("diverged".into())),
+                FlowStage::required("deploy", |_| panic!("must not run")),
+            ])
+            .unwrap_err();
+        assert_eq!(err, CoreError::StageFailed { stage: "train".into(), error: "diverged".into() });
+    }
+
+    #[test]
+    fn stage_backoffs_follow_the_seeded_schedule_per_stream() {
+        let clock = VirtualClock::shared();
+        let policy = RetryPolicy::default().with_seed(5).with_max_attempts(3);
+        let runner = FlowRunner::with_clock(policy.clone(), clock);
+        let report = runner
+            .run(vec![
+                FlowStage::required("ok", |_| Ok("fine".into())),
+                FlowStage::optional("flaky", |_| Err("nope".into())),
+            ])
+            .unwrap();
+        let backoffs: Vec<u64> = report
+            .stage("flaky")
+            .unwrap()
+            .attempts
+            .iter()
+            .filter_map(|a| a.backoff_ms)
+            .collect();
+        // stage index 1 is the jitter stream, so the schedule is exactly
+        // the policy preview for stream 1
+        assert_eq!(backoffs, policy.backoff_preview(1, 2));
+    }
+
+    #[test]
+    fn cancellation_aborts_the_flow() {
+        let runner = FlowRunner::with_clock(
+            RetryPolicy::default().with_max_attempts(10),
+            VirtualClock::shared(),
+        );
+        let token = runner.cancel_token();
+        let err = runner
+            .run(vec![FlowStage::required("spin", move |_| {
+                token.cancel();
+                Err("interrupted".into())
+            })])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::StageFailed { stage, .. } if stage == "spin"));
     }
 }

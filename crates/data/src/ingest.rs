@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// # Errors
 ///
 /// Returns [`DataError::ParseError`] for an empty file, ragged rows, or
-/// non-numeric cells.
+/// non-numeric / non-finite cells (`NaN` and `inf` would silently poison
+/// every downstream DSP and training stage, so they are rejected at the
+/// door). CRLF line endings are accepted.
 ///
 /// # Example
 ///
@@ -52,10 +54,13 @@ pub fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<f32>)> {
             )));
         }
         for cell in cells {
-            values.push(
-                cell.parse::<f32>()
-                    .map_err(|_| err(format!("non-numeric cell {cell:?} in row {}", row_idx + 1)))?,
-            );
+            let v = cell
+                .parse::<f32>()
+                .map_err(|_| err(format!("non-numeric cell {cell:?} in row {}", row_idx + 1)))?;
+            if !v.is_finite() {
+                return Err(err(format!("non-finite cell {cell:?} in row {}", row_idx + 1)));
+            }
+            values.push(v);
         }
     }
     if values.is_empty() {
@@ -83,7 +88,7 @@ pub struct AcquisitionPayload {
 /// # Errors
 ///
 /// Returns [`DataError::ParseError`] for malformed JSON, an empty value
-/// array, or a non-positive interval.
+/// array, non-finite values, or a non-positive interval.
 pub fn parse_json(text: &str, id: u64) -> Result<Sample> {
     let err = |reason: String| DataError::ParseError { format: "json", reason };
     let payload: AcquisitionPayload =
@@ -91,7 +96,10 @@ pub fn parse_json(text: &str, id: u64) -> Result<Sample> {
     if payload.values.is_empty() {
         return Err(err("values array is empty".into()));
     }
-    if payload.interval_ms <= 0.0 {
+    if let Some(v) = payload.values.iter().find(|v| !v.is_finite()) {
+        return Err(err(format!("non-finite value {v} in values array")));
+    }
+    if payload.interval_ms.is_nan() || payload.interval_ms <= 0.0 {
         return Err(err(format!("interval_ms {} must be positive", payload.interval_ms)));
     }
     let sensor = match payload.sensor.as_str() {
@@ -229,6 +237,34 @@ mod tests {
     }
 
     #[test]
+    fn csv_rejects_ragged_rows_with_a_parse_error() {
+        for text in ["a,b\n1,2\n3\n", "a,b\n1,2,3\n", "a,b,c\n1,2\n"] {
+            assert!(
+                matches!(parse_csv(text), Err(DataError::ParseError { format: "csv", .. })),
+                "ragged input {text:?} must be a csv parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_rejects_non_finite_cells() {
+        for cell in ["NaN", "nan", "inf", "-inf", "infinity"] {
+            let text = format!("a,b\n1,{cell}\n");
+            assert!(
+                matches!(parse_csv(&text), Err(DataError::ParseError { format: "csv", .. })),
+                "{cell} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_accepts_crlf_line_endings() {
+        let (names, values) = parse_csv("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(values, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
     fn json_happy_path() {
         let text = r#"{"values": [1.0, 2.0], "interval_ms": 10.0, "sensor": "accelerometer", "label": "idle"}"#;
         let s = parse_json(text, 5).unwrap();
@@ -246,6 +282,19 @@ mod tests {
         assert!(
             parse_json(r#"{"values": [1.0], "interval_ms": 0.0, "sensor": "audio"}"#, 0).is_err()
         );
+    }
+
+    #[test]
+    fn json_rejects_non_finite_values() {
+        // serde_json itself refuses bare NaN/Infinity tokens, but huge
+        // literals overflow f32 to +inf and must still be rejected
+        let overflow = r#"{"values": [1e39], "interval_ms": 1.0, "sensor": "audio"}"#;
+        assert!(matches!(
+            parse_json(overflow, 0),
+            Err(DataError::ParseError { format: "json", .. })
+        ));
+        let bare_nan = r#"{"values": [NaN], "interval_ms": 1.0, "sensor": "audio"}"#;
+        assert!(parse_json(bare_nan, 0).is_err());
     }
 
     #[test]
@@ -282,6 +331,26 @@ mod tests {
         let mut bytes = to_wav_bytes(8000, &[0.0; 4]);
         bytes[22] = 2; // channels
         assert!(parse_wav(&bytes).is_err());
+    }
+
+    #[test]
+    fn wav_truncations_return_parse_errors_not_panics() {
+        let full = to_wav_bytes(16_000, &[0.1, -0.2, 0.3, -0.4]);
+        // every prefix of a valid file must fail cleanly or parse fully
+        for len in 0..full.len() {
+            match parse_wav(&full[..len]) {
+                Err(DataError::ParseError { format: "wav", .. }) => {}
+                Err(other) => panic!("prefix {len}: wrong error {other:?}"),
+                // a prefix that still contains fmt + a shorter data chunk
+                // cannot occur: the data chunk length would overrun
+                Ok(_) => panic!("prefix {len}: truncated file must not parse"),
+            }
+        }
+        // header cut mid-magic
+        assert!(matches!(
+            parse_wav(b"RIFF\x24\x00\x00\x00WA"),
+            Err(DataError::ParseError { format: "wav", .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Logical time: a clock abstraction with a deterministic mock.
+//!
+//! All fault-tolerance machinery (backoff sleeps, per-attempt deadlines,
+//! elapsed-time caps) reads time through [`Clock`], so tests can script
+//! exact timing with a [`VirtualClock`] and never sleep for real.
+
+use crate::cancel::CancelToken;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of monotonic logical milliseconds.
+pub trait Clock: Send + Sync {
+    /// Monotonic milliseconds since some fixed epoch.
+    fn now_ms(&self) -> u64;
+
+    /// Sleeps for `ms` logical milliseconds.
+    ///
+    /// If `cancel` is provided the sleep resolves promptly on
+    /// cancellation; returns `true` when the sleep was interrupted (or the
+    /// token was already cancelled).
+    fn sleep_ms(&self, ms: u64, cancel: Option<&CancelToken>) -> bool;
+}
+
+/// The real wall clock.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// Creates a wall clock with its epoch at construction time.
+    pub fn new() -> SystemClock {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64, cancel: Option<&CancelToken>) -> bool {
+        match cancel {
+            Some(token) => token.wait_timeout_ms(ms),
+            None => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                false
+            }
+        }
+    }
+}
+
+/// A deterministic mocked clock.
+///
+/// `sleep_ms` advances logical time instantly (jump-to-deadline
+/// semantics) and never blocks, so a scripted fault that "sleeps past a
+/// deadline" runs in microseconds of wall time while the fault-tolerance
+/// layer observes a genuine deadline overrun. Tests may also move time
+/// explicitly with [`VirtualClock::advance_ms`].
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at logical time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Creates a shared handle, the form the schedulers consume.
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    /// Moves logical time forward by `ms`.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64, cancel: Option<&CancelToken>) -> bool {
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        self.advance_ms(ms);
+        cancel.is_some_and(CancelToken::is_cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_without_blocking() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        let start = Instant::now();
+        assert!(!clock.sleep_ms(3_600_000, None));
+        assert_eq!(clock.now_ms(), 3_600_000);
+        assert!(start.elapsed().as_millis() < 1_000, "virtual sleep must not block");
+        clock.advance_ms(5);
+        assert_eq!(clock.now_ms(), 3_600_005);
+    }
+
+    #[test]
+    fn virtual_sleep_reports_pre_cancelled_token() {
+        let clock = VirtualClock::new();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(clock.sleep_ms(10, Some(&token)));
+        // a pre-cancelled sleep does not consume logical time
+        assert_eq!(clock.now_ms(), 0);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let a = clock.now_ms();
+        clock.sleep_ms(2, None);
+        assert!(clock.now_ms() >= a);
+    }
+}

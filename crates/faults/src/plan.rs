@@ -1,0 +1,174 @@
+//! Scripted fault injection for pipeline stages.
+//!
+//! A [`FaultPlan`] wraps any stage closure and injects an exact,
+//! attempt-indexed failure sequence: return an error on attempt N, panic
+//! on attempt N, or sleep past a deadline (through the [`Clock`], so a
+//! [`crate::VirtualClock`] makes the overrun instantaneous). Combined with
+//! [`crate::retry::execute`] this lets tests script scenarios like
+//! *"panics on attempt 1, errors on attempt 2, succeeds on attempt 3"*
+//! deterministically.
+
+use crate::clock::Clock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// One scripted fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Replace the call with an error return.
+    Error(String),
+    /// Replace the call with a panic (exercises panic isolation).
+    Panic(String),
+    /// Delay the call by `ms` logical milliseconds before running the
+    /// real work (exercises per-attempt timeouts).
+    SleepMs(u64),
+}
+
+/// An attempt-indexed fault script for one stage.
+///
+/// The plan counts the wrapped closure's invocations itself (1-based), so
+/// it composes with any retry loop. The counter is shared: keep the plan
+/// around after [`FaultPlan::arm`] to assert how many calls happened.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u32, Fault>,
+    calls: Arc<AtomicU32>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan that errors on every attempt up to and including `k`
+    /// (succeeds from attempt `k + 1` on) — the classic flaky stage.
+    pub fn flaky_until(k: u32) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for attempt in 1..=k {
+            plan = plan.error_on(attempt, &format!("flaky failure {attempt}/{k}"));
+        }
+        plan
+    }
+
+    /// Scripts an error return on the given 1-based attempt.
+    pub fn error_on(mut self, attempt: u32, msg: &str) -> FaultPlan {
+        self.faults.insert(attempt, Fault::Error(msg.to_string()));
+        self
+    }
+
+    /// Scripts a panic on the given 1-based attempt.
+    pub fn panic_on(mut self, attempt: u32, msg: &str) -> FaultPlan {
+        self.faults.insert(attempt, Fault::Panic(msg.to_string()));
+        self
+    }
+
+    /// Scripts a pre-work delay of `ms` logical milliseconds on the given
+    /// 1-based attempt.
+    pub fn sleep_on(mut self, attempt: u32, ms: u64) -> FaultPlan {
+        self.faults.insert(attempt, Fault::SleepMs(ms));
+        self
+    }
+
+    /// How many times the armed closure has been invoked.
+    pub fn calls(&self) -> u32 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Advances the invocation counter and applies any fault scripted for
+    /// this call: a sleep advances `clock` and returns `Ok` (the real work
+    /// may still proceed, now past its deadline), an error returns `Err`,
+    /// a panic panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scripted error message on an error-scripted call.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the scripted message on a panic-scripted call.
+    pub fn fire(&self, clock: &dyn Clock) -> Result<(), String> {
+        let attempt = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.faults.get(&attempt) {
+            Some(Fault::Error(msg)) => Err(msg.clone()),
+            Some(Fault::Panic(msg)) => panic!("{}", msg.clone()),
+            Some(Fault::SleepMs(ms)) => {
+                clock.sleep_ms(*ms, None);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Wraps `inner`, injecting this plan's faults by invocation count.
+    ///
+    /// Sleep faults advance `clock` before delegating to `inner`; error
+    /// and panic faults replace the call entirely.
+    pub fn arm<F, T>(
+        &self,
+        clock: Arc<dyn Clock>,
+        mut inner: F,
+    ) -> impl FnMut() -> Result<T, String> + Send
+    where
+        F: FnMut() -> Result<T, String> + Send,
+    {
+        let plan = self.clone();
+        move || {
+            plan.fire(clock.as_ref())?;
+            inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::CancelToken;
+    use crate::clock::VirtualClock;
+    use crate::retry::{execute, FailureCause, RetryOutcome, RetryPolicy};
+
+    #[test]
+    fn scripts_error_panic_then_success() {
+        let clock = VirtualClock::shared();
+        let plan = FaultPlan::new().panic_on(1, "boom").error_on(2, "transient");
+        let mut work = plan.arm(clock.clone(), || Ok::<_, String>("payload".to_string()));
+        let policy = RetryPolicy::default().with_seed(9).with_max_attempts(5);
+        let r = execute(
+            &policy,
+            clock.as_ref(),
+            0,
+            &CancelToken::new(),
+            |_| {},
+            |_| work(),
+        );
+        assert_eq!(r.outcome, RetryOutcome::Success { output: "payload".into(), attempts: 3 });
+        assert_eq!(plan.calls(), 3);
+        assert_eq!(r.attempts[0].cause, FailureCause::Panic("boom".into()));
+        assert_eq!(r.attempts[1].cause, FailureCause::Error("transient".into()));
+    }
+
+    #[test]
+    fn sleep_fault_trips_the_deadline() {
+        let clock = VirtualClock::shared();
+        let plan = FaultPlan::new().sleep_on(1, 500);
+        let mut work = plan.arm(clock.clone(), || Ok::<_, String>("fine".to_string()));
+        let policy = RetryPolicy::default().with_timeout(100).with_max_attempts(2);
+        let r = execute(&policy, clock.as_ref(), 0, &CancelToken::new(), |_| {}, |_| work());
+        assert_eq!(r.outcome, RetryOutcome::Success { output: "fine".into(), attempts: 2 });
+        assert_eq!(r.attempts[0].cause, FailureCause::TimedOut { limit_ms: 100 });
+        assert!(r.attempts[0].duration_ms >= 500);
+    }
+
+    #[test]
+    fn flaky_until_recovers_after_k() {
+        let clock = VirtualClock::shared();
+        let plan = FaultPlan::flaky_until(3);
+        let mut work = plan.arm(clock.clone(), || Ok::<_, String>("up".to_string()));
+        assert!(work().is_err());
+        assert!(work().is_err());
+        assert!(work().is_err());
+        assert_eq!(work().unwrap(), "up");
+        assert_eq!(plan.calls(), 4);
+    }
+}

@@ -18,6 +18,8 @@ pub enum PlatformError {
     BadRequest(String),
     /// A job failed after exhausting its retries.
     JobFailed(String),
+    /// A job was cancelled before completing.
+    JobCancelled(u64),
     /// The scheduler is shut down.
     SchedulerStopped,
 }
@@ -29,6 +31,7 @@ impl fmt::Display for PlatformError {
             PlatformError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
             PlatformError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             PlatformError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            PlatformError::JobCancelled(id) => write!(f, "job {id} cancelled"),
             PlatformError::SchedulerStopped => write!(f, "scheduler is stopped"),
         }
     }

@@ -1,15 +1,39 @@
-//! The job scheduler: a worker pool executing queued platform jobs.
+//! The job scheduler: a fault-tolerant worker pool executing queued
+//! platform jobs.
 //!
-//! Stands in for the paper's EKS-based compute layer (§4.10): jobs (feature
-//! extraction, training, deployment builds) are queued, picked up by
-//! workers, retried on failure, and observable by id.
+//! Stands in for the paper's EKS-based compute layer (§4.10): jobs
+//! (feature extraction, training, deployment builds) are queued, picked up
+//! by workers, and observable by id. The fault-tolerance layer is built on
+//! [`ei_faults`]:
+//!
+//! * per-job [`RetryPolicy`] — exponential backoff with decorrelated
+//!   jitter from a seeded RNG, max-attempt and max-elapsed caps;
+//! * per-attempt timeouts — a watchdog thread marks an overrunning job
+//!   [`JobStatus::TimedOut`] while it runs, and the attempt is discarded
+//!   and rescheduled when its closure returns (closures cannot be
+//!   preempted, so a stuck attempt's eventual result is treated as stale);
+//! * panic isolation — a panicking job becomes a retryable failure via
+//!   `catch_unwind` instead of killing its worker thread;
+//! * cooperative cancellation — [`JobScheduler::cancel`] sets a
+//!   [`CancelToken`] the job closure can poll, and resolves backoff sleeps
+//!   promptly;
+//! * a dead-letter queue — terminally failed jobs are parked with their
+//!   full [`AttemptRecord`] history (cause, duration, backoff chosen).
+//!
+//! All timing flows through an [`ei_faults::Clock`], so the entire layer
+//! is testable with a [`ei_faults::VirtualClock`] and zero wall-clock
+//! sleeps.
 
 use crate::{PlatformError, Result};
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use ei_faults::retry::{self, RetryEvent, RetryOutcome};
+use ei_faults::{AttemptRecord, CancelToken, Clock, FailureCause, RetryPolicy, SystemClock};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+pub use ei_faults::retry::AttemptContext as JobContext;
 
 /// Observable job lifecycle state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,29 +42,92 @@ pub enum JobStatus {
     Queued,
     /// Executing (with the 1-based attempt number).
     Running(u32),
+    /// Sleeping between attempts.
+    Backoff {
+        /// The attempt that will run after the sleep.
+        next_attempt: u32,
+        /// The jittered delay chosen, in logical milliseconds.
+        delay_ms: u64,
+    },
+    /// The watchdog observed the attempt past its deadline; the attempt
+    /// will be discarded and retried when its closure returns.
+    TimedOut {
+        /// The overrunning 1-based attempt number.
+        attempt: u32,
+    },
     /// Finished successfully with an output string.
     Finished(String),
-    /// Failed after exhausting retries.
+    /// Failed after exhausting retries (now in the dead-letter queue).
     Failed(String),
+    /// Cancelled before completing.
+    Cancelled,
+}
+
+/// A terminally failed job parked with its history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// The job id.
+    pub id: u64,
+    /// Description of the final failure.
+    pub error: String,
+    /// Every failed attempt, in order (cause, duration, backoff chosen).
+    pub attempts: Vec<AttemptRecord>,
 }
 
 /// A queued work item.
-type JobFn = Box<dyn FnMut() -> std::result::Result<String, String> + Send>;
+type JobFn = Box<dyn FnMut(&JobContext<'_>) -> std::result::Result<String, String> + Send>;
 
 struct QueuedJob {
     id: u64,
-    attempts_left: u32,
+    policy: RetryPolicy,
     work: JobFn,
 }
 
-/// A fixed-size worker pool with retry support.
+struct JobState {
+    status: JobStatus,
+    cancel: CancelToken,
+    attempts: Vec<AttemptRecord>,
+}
+
+/// A watchdog entry: the attempt being timed and its absolute deadline.
+struct WatchEntry {
+    attempt: u32,
+    deadline_ms: u64,
+}
+
+#[derive(Default)]
+struct Shared {
+    jobs: Mutex<HashMap<u64, JobState>>,
+    dead: Mutex<Vec<DeadLetter>>,
+    watch: Mutex<HashMap<u64, WatchEntry>>,
+    shutdown: AtomicBool,
+}
+
+/// Locks a mutex, recovering from poisoning (a panicking holder must not
+/// take the scheduler down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// How often the watchdog scans for expired attempt deadlines (real
+/// milliseconds — the watchdog reads *logical* deadlines but must not
+/// advance a virtual clock itself).
+const WATCHDOG_TICK_MS: u64 = 1;
+
+/// Message shutdown stamps on jobs it refuses to run.
+const SHUTDOWN_ERROR: &str = "scheduler shut down";
+
+/// A fixed-size worker pool with retry, timeout, panic-isolation,
+/// cancellation and dead-letter support.
 ///
-/// Dropping the scheduler stops accepting jobs and joins the workers after
-/// the queue drains.
+/// Dropping the scheduler stops accepting jobs, lets running attempts
+/// finish, and marks still-queued jobs [`JobStatus::Failed`].
 pub struct JobScheduler {
     sender: Option<Sender<QueuedJob>>,
-    statuses: Arc<Mutex<HashMap<u64, JobStatus>>>,
+    shared: Arc<Shared>,
+    clock: Arc<dyn Clock>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     next_id: Mutex<u64>,
 }
 
@@ -51,62 +138,89 @@ impl std::fmt::Debug for JobScheduler {
 }
 
 impl JobScheduler {
-    /// Starts a scheduler with `workers` threads.
+    /// Starts a scheduler with `workers` threads on the system clock.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> JobScheduler {
-        assert!(workers > 0, "need at least one worker");
-        let (sender, receiver) = unbounded::<QueuedJob>();
-        let statuses: Arc<Mutex<HashMap<u64, JobStatus>>> = Arc::new(Mutex::new(HashMap::new()));
-        let handles = (0..workers)
-            .map(|_| {
-                let receiver = receiver.clone();
-                let statuses = Arc::clone(&statuses);
-                std::thread::spawn(move || {
-                    while let Ok(mut job) = receiver.recv() {
-                        let mut attempt = 0u32;
-                        loop {
-                            attempt += 1;
-                            statuses.lock().insert(job.id, JobStatus::Running(attempt));
-                            match (job.work)() {
-                                Ok(output) => {
-                                    statuses.lock().insert(job.id, JobStatus::Finished(output));
-                                    break;
-                                }
-                                Err(e) if attempt >= job.attempts_left => {
-                                    statuses.lock().insert(job.id, JobStatus::Failed(e));
-                                    break;
-                                }
-                                Err(_) => continue,
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        JobScheduler { sender: Some(sender), statuses, workers: handles, next_id: Mutex::new(0) }
+        JobScheduler::with_clock(workers, Arc::new(SystemClock::new()))
     }
 
-    /// Submits a job with up to `attempts` executions; returns the job id.
+    /// Starts a scheduler with `workers` threads on an explicit clock
+    /// (pass an [`ei_faults::VirtualClock`] for deterministic tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> JobScheduler {
+        assert!(workers > 0, "need at least one worker");
+        let (sender, receiver) = channel::<QueuedJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let shared = Arc::new(Shared::default());
+        let handles = (0..workers)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || worker_loop(&receiver, &shared, &clock))
+            })
+            .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || watchdog_loop(&shared, &clock))
+        };
+        JobScheduler {
+            sender: Some(sender),
+            shared,
+            clock,
+            workers: handles,
+            watchdog: Some(watchdog),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// The clock the scheduler runs on.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Submits a job with up to `attempts` immediate executions (no
+    /// backoff) — the legacy entry point; returns the job id.
     ///
     /// # Errors
     ///
     /// Returns [`PlatformError::SchedulerStopped`] after shutdown.
-    pub fn submit<F>(&self, attempts: u32, work: F) -> Result<u64>
+    pub fn submit<F>(&self, attempts: u32, mut work: F) -> Result<u64>
     where
         F: FnMut() -> std::result::Result<String, String> + Send + 'static,
     {
+        self.submit_with(RetryPolicy::immediate(attempts), move |_| work())
+    }
+
+    /// Submits a job governed by `policy`; the closure receives a
+    /// [`JobContext`] with the attempt number and the job's cancel token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::SchedulerStopped`] after shutdown.
+    pub fn submit_with<F>(&self, policy: RetryPolicy, work: F) -> Result<u64>
+    where
+        F: FnMut(&JobContext<'_>) -> std::result::Result<String, String> + Send + 'static,
+    {
         let sender = self.sender.as_ref().ok_or(PlatformError::SchedulerStopped)?;
         let id = {
-            let mut next = self.next_id.lock();
+            let mut next = lock(&self.next_id);
             *next += 1;
             *next
         };
-        self.statuses.lock().insert(id, JobStatus::Queued);
+        lock(&self.shared.jobs).insert(
+            id,
+            JobState { status: JobStatus::Queued, cancel: CancelToken::new(), attempts: Vec::new() },
+        );
         sender
-            .send(QueuedJob { id, attempts_left: attempts.max(1), work: Box::new(work) })
+            .send(QueuedJob { id, policy, work: Box::new(work) })
             .map_err(|_| PlatformError::SchedulerStopped)?;
         Ok(id)
     }
@@ -117,34 +231,103 @@ impl JobScheduler {
     ///
     /// Returns [`PlatformError::NotFound`] for unknown ids.
     pub fn status(&self, id: u64) -> Result<JobStatus> {
-        self.statuses
-            .lock()
+        lock(&self.shared.jobs)
             .get(&id)
-            .cloned()
+            .map(|s| s.status.clone())
             .ok_or(PlatformError::NotFound { kind: "job", id })
+    }
+
+    /// The failed-attempt history recorded for a job so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for unknown ids.
+    pub fn attempt_history(&self, id: u64) -> Result<Vec<AttemptRecord>> {
+        lock(&self.shared.jobs)
+            .get(&id)
+            .map(|s| s.attempts.clone())
+            .ok_or(PlatformError::NotFound { kind: "job", id })
+    }
+
+    /// Requests cooperative cancellation of a job.
+    ///
+    /// A still-queued job is cancelled immediately; a running job's
+    /// closure observes the token at its next checkpoint; a job sleeping
+    /// in backoff wakes promptly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for unknown ids.
+    pub fn cancel(&self, id: u64) -> Result<()> {
+        let mut jobs = lock(&self.shared.jobs);
+        let state = jobs.get_mut(&id).ok_or(PlatformError::NotFound { kind: "job", id })?;
+        state.cancel.cancel();
+        if state.status == JobStatus::Queued {
+            state.status = JobStatus::Cancelled;
+        }
+        Ok(())
+    }
+
+    /// The job's cancellation token (for passing into cooperative work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for unknown ids.
+    pub fn cancel_token(&self, id: u64) -> Result<CancelToken> {
+        lock(&self.shared.jobs)
+            .get(&id)
+            .map(|s| s.cancel.clone())
+            .ok_or(PlatformError::NotFound { kind: "job", id })
+    }
+
+    /// Terminally failed jobs with their full attempt history.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        lock(&self.shared.dead).clone()
     }
 
     /// Blocks until the job reaches a terminal state, returning it.
     ///
     /// # Errors
     ///
-    /// Returns [`PlatformError::NotFound`] for unknown ids or
-    /// [`PlatformError::JobFailed`] when the job fails.
+    /// Returns [`PlatformError::NotFound`] for unknown ids,
+    /// [`PlatformError::JobFailed`] when the job fails, or
+    /// [`PlatformError::JobCancelled`] when it was cancelled.
     pub fn wait(&self, id: u64) -> Result<String> {
         loop {
             match self.status(id)? {
                 JobStatus::Finished(output) => return Ok(output),
                 JobStatus::Failed(e) => return Err(PlatformError::JobFailed(e)),
+                JobStatus::Cancelled => return Err(PlatformError::JobCancelled(id)),
                 _ => std::thread::sleep(std::time::Duration::from_millis(2)),
             }
         }
     }
 
-    /// Stops accepting new jobs and joins workers after the queue drains.
+    /// Stops accepting new jobs, joins workers after running attempts
+    /// finish, and marks every still-queued job
+    /// `Failed("scheduler shut down")` (dead-lettered) so no observer
+    /// waits on a `Queued` status forever.
     pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         self.sender.take();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
+        // belt-and-braces: workers normally stamp drained jobs themselves
+        let mut jobs = lock(&self.shared.jobs);
+        let mut dead = lock(&self.shared.dead);
+        for (id, state) in jobs.iter_mut() {
+            if state.status == JobStatus::Queued {
+                state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
+                dead.push(DeadLetter {
+                    id: *id,
+                    error: SHUTDOWN_ERROR.to_string(),
+                    attempts: Vec::new(),
+                });
+            }
         }
     }
 }
@@ -155,9 +338,105 @@ impl Drop for JobScheduler {
     }
 }
 
+fn worker_loop(receiver: &Mutex<Receiver<QueuedJob>>, shared: &Shared, clock: &Arc<dyn Clock>) {
+    loop {
+        // holding the lock only while receiving serializes pickup, not
+        // execution
+        let job = match lock(receiver).recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed and drained
+        };
+        let token = {
+            let mut jobs = lock(&shared.jobs);
+            let Some(state) = jobs.get_mut(&job.id) else { continue };
+            if state.cancel.is_cancelled() {
+                state.status = JobStatus::Cancelled;
+                continue;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
+                lock(&shared.dead).push(DeadLetter {
+                    id: job.id,
+                    error: SHUTDOWN_ERROR.to_string(),
+                    attempts: Vec::new(),
+                });
+                continue;
+            }
+            state.cancel.clone()
+        };
+        run_job(job, shared, clock, &token);
+    }
+}
+
+fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &CancelToken) {
+    let id = job.id;
+    let set_status = |status: JobStatus| {
+        if let Some(state) = lock(&shared.jobs).get_mut(&id) {
+            state.status = status;
+        }
+    };
+    let observer = |event: RetryEvent<'_>| match event {
+        RetryEvent::AttemptStarted { attempt, deadline_ms } => {
+            set_status(JobStatus::Running(attempt));
+            if let Some(deadline_ms) = deadline_ms {
+                lock(&shared.watch).insert(id, WatchEntry { attempt, deadline_ms });
+            }
+        }
+        RetryEvent::AttemptFinished { .. } => {
+            lock(&shared.watch).remove(&id);
+        }
+        RetryEvent::AttemptFailed { record } => {
+            if matches!(record.cause, FailureCause::TimedOut { .. }) {
+                set_status(JobStatus::TimedOut { attempt: record.attempt });
+            }
+            if let Some(state) = lock(&shared.jobs).get_mut(&id) {
+                state.attempts.push(record.clone());
+            }
+        }
+        RetryEvent::BackingOff { next_attempt, delay_ms } => {
+            set_status(JobStatus::Backoff { next_attempt, delay_ms });
+        }
+    };
+    let result =
+        retry::execute(&job.policy, clock.as_ref(), id, token, observer, |ctx| (job.work)(ctx));
+    match result.outcome {
+        RetryOutcome::Success { output, .. } => set_status(JobStatus::Finished(output)),
+        RetryOutcome::Exhausted { error } => {
+            set_status(JobStatus::Failed(error.clone()));
+            lock(&shared.dead).push(DeadLetter { id, error, attempts: result.attempts });
+        }
+        RetryOutcome::Cancelled => set_status(JobStatus::Cancelled),
+    }
+}
+
+/// Scans registered attempt deadlines and flips overrunning jobs to
+/// [`JobStatus::TimedOut`] so observers see the overrun while the stuck
+/// closure is still executing. The retry loop performs the actual
+/// discard-and-reschedule when the closure returns.
+fn watchdog_loop(shared: &Shared, clock: &Arc<dyn Clock>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let now = clock.now_ms();
+        let expired: Vec<(u64, u32)> = lock(&shared.watch)
+            .iter()
+            .filter(|(_, e)| now > e.deadline_ms)
+            .map(|(id, e)| (*id, e.attempt))
+            .collect();
+        for (id, attempt) in expired {
+            let mut jobs = lock(&shared.jobs);
+            if let Some(state) = jobs.get_mut(&id) {
+                if state.status == JobStatus::Running(attempt) {
+                    state.status = JobStatus::TimedOut { attempt };
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(WATCHDOG_TICK_MS));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ei_faults::VirtualClock;
     use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
@@ -226,5 +505,174 @@ mod tests {
             scheduler.submit(1, || Ok(String::new())),
             Err(PlatformError::SchedulerStopped)
         ));
+    }
+
+    #[test]
+    fn panicking_job_fails_without_killing_the_worker() {
+        let scheduler = JobScheduler::new(1);
+        let bad = scheduler.submit(1, || panic!("job exploded")).unwrap();
+        match scheduler.wait(bad) {
+            Err(PlatformError::JobFailed(msg)) => assert!(msg.contains("job exploded"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // the single worker survived and still runs jobs
+        let ok = scheduler.submit(1, || Ok("alive".into())).unwrap();
+        assert_eq!(scheduler.wait(ok).unwrap(), "alive");
+        // and the panic is dead-lettered with its cause
+        let dead = scheduler.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, bad);
+        assert!(matches!(dead[0].attempts[0].cause, FailureCause::Panic(_)));
+    }
+
+    #[test]
+    fn attempt_counting_is_observable_and_backoff_is_deterministic() {
+        let clock = Arc::new(VirtualClock::new());
+        let scheduler = JobScheduler::with_clock(1, clock.clone());
+        let policy = RetryPolicy::default().with_seed(77).with_max_attempts(4);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_in_job = Arc::clone(&seen);
+        let id = scheduler
+            .submit_with(policy.clone(), move |ctx| {
+                lock(&seen_in_job).push(ctx.attempt);
+                if ctx.attempt < 3 {
+                    Err("flaky".into())
+                } else {
+                    Ok("done".into())
+                }
+            })
+            .unwrap();
+        assert_eq!(scheduler.wait(id).unwrap(), "done");
+        // JobStatus::Running(n) was observable in order via the context
+        assert_eq!(*lock(&seen), vec![1, 2, 3]);
+        // the recorded backoffs are exactly the policy's seeded schedule
+        let history = scheduler.attempt_history(id).unwrap();
+        let backoffs: Vec<u64> = history.iter().map(|a| a.backoff_ms.unwrap()).collect();
+        assert_eq!(backoffs, policy.backoff_preview(id, 2));
+        // and the virtual clock slept exactly that long in total
+        assert_eq!(clock.now_ms(), backoffs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn cancellation_during_backoff_resolves_promptly() {
+        // real clock + a 60 s backoff: only prompt cancellation lets this
+        // test finish quickly
+        let scheduler = JobScheduler::new(1);
+        let policy = RetryPolicy::default().with_max_attempts(3).with_backoff(60_000, 60_000);
+        let id = scheduler.submit_with(policy, |_| Err("always".into())).unwrap();
+        let started = std::time::Instant::now();
+        loop {
+            match scheduler.status(id).unwrap() {
+                JobStatus::Backoff { .. } => break,
+                _ if started.elapsed().as_secs() > 30 => panic!("job never reached backoff"),
+                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        scheduler.cancel(id).unwrap();
+        assert!(matches!(scheduler.wait(id), Err(PlatformError::JobCancelled(i)) if i == id));
+        assert!(started.elapsed().as_secs() < 30, "cancel must not wait out the backoff");
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_skips_execution() {
+        let scheduler = JobScheduler::new(1);
+        // occupy the only worker so the next job stays queued
+        let gate = Arc::new(AtomicU32::new(0));
+        let g = Arc::clone(&gate);
+        let blocker = scheduler
+            .submit(1, move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Ok("unblocked".into())
+            })
+            .unwrap();
+        let ran = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&ran);
+        let queued = scheduler
+            .submit(1, move || {
+                r.fetch_add(1, Ordering::SeqCst);
+                Ok("should not run".into())
+            })
+            .unwrap();
+        scheduler.cancel(queued).unwrap();
+        gate.store(1, Ordering::SeqCst);
+        scheduler.wait(blocker).unwrap();
+        assert!(matches!(scheduler.wait(queued), Err(PlatformError::JobCancelled(_))));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "cancelled queued job must not execute");
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_instead_of_stranding_them() {
+        let mut scheduler = JobScheduler::new(1);
+        // the only worker is busy until we release it
+        let gate = Arc::new(AtomicU32::new(0));
+        let g = Arc::clone(&gate);
+        let running = scheduler
+            .submit(1, move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Ok("finished".into())
+            })
+            .unwrap();
+        // make sure the worker actually holds the blocker before queueing
+        // more, or shutdown could beat the pickup and fail it too
+        while scheduler.status(running).unwrap() != JobStatus::Running(1) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stranded: Vec<u64> =
+            (0..3).map(|_| scheduler.submit(1, || Ok("never".into())).unwrap()).collect();
+        // release the worker from another thread shortly after shutdown
+        // starts joining, then shut down
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            gate.store(1, Ordering::SeqCst);
+        });
+        scheduler.shutdown();
+        release.join().unwrap();
+        // the running job completed; every queued job is Failed, not Queued
+        assert_eq!(scheduler.status(running).unwrap(), JobStatus::Finished("finished".into()));
+        for id in stranded {
+            assert_eq!(
+                scheduler.status(id).unwrap(),
+                JobStatus::Failed(SHUTDOWN_ERROR.to_string()),
+                "queued job {id} must be failed at shutdown"
+            );
+        }
+        assert!(scheduler.dead_letters().len() >= 3);
+    }
+
+    #[test]
+    fn watchdog_flags_overrunning_attempt_while_it_runs() {
+        let scheduler = JobScheduler::new(1);
+        let policy = RetryPolicy::default().with_max_attempts(2).with_timeout(5);
+        let id = scheduler
+            .submit_with(policy, |ctx| {
+                if ctx.attempt == 1 {
+                    // overrun the 5 ms deadline on the real clock
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                }
+                Ok("eventually".into())
+            })
+            .unwrap();
+        // while attempt 1 is stuck, the watchdog must flip the status
+        let started = std::time::Instant::now();
+        let mut saw_timeout = false;
+        while started.elapsed().as_secs() < 30 {
+            match scheduler.status(id).unwrap() {
+                JobStatus::TimedOut { attempt: 1 } => {
+                    saw_timeout = true;
+                    break;
+                }
+                JobStatus::Finished(_) | JobStatus::Failed(_) => break,
+                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(saw_timeout, "watchdog never flagged the overrunning attempt");
+        // the stale result is discarded and the retry succeeds
+        assert_eq!(scheduler.wait(id).unwrap(), "eventually");
+        let history = scheduler.attempt_history(id).unwrap();
+        assert!(matches!(history[0].cause, FailureCause::TimedOut { .. }));
     }
 }

@@ -14,8 +14,11 @@
 //! * [`entities`] — users, organizations, projects, version snapshots;
 //! * [`api::Api`] — the typed request/response facade standing in for the
 //!   REST API (every mutation goes through it, like the real platform);
-//! * [`jobs::JobScheduler`] — a worker pool executing queued jobs with
-//!   status tracking and retries (the EKS substitute);
+//! * [`jobs::JobScheduler`] — a fault-tolerant worker pool executing
+//!   queued jobs with status tracking, retry policies with seeded jittered
+//!   backoff, per-attempt watchdog timeouts, panic isolation, cooperative
+//!   cancellation and a dead-letter queue (the EKS substitute, built on
+//!   `ei-faults`);
 //! * [`registry`] — the searchable public-project index;
 //! * [`features`] — the MLOps feature-support matrix of paper Table 5.
 
@@ -29,7 +32,9 @@ pub mod registry;
 pub use api::Api;
 pub use entities::{Organization, Project, ProjectVersion, User};
 pub use error::PlatformError;
-pub use jobs::{JobScheduler, JobStatus};
+pub use jobs::{DeadLetter, JobContext, JobScheduler, JobStatus};
+
+pub use ei_faults::{AttemptRecord, CancelToken, FailureCause, RetryPolicy};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, PlatformError>;

@@ -93,7 +93,11 @@ pub fn plan_memory(requests: &[BufferReq]) -> Result<MemoryPlan> {
                         )
                 })
             })
-            .expect("offset 0 plus every gap end is always a candidate");
+            .ok_or_else(|| {
+                RuntimeError::InvalidPlan(format!(
+                    "no feasible offset for buffer {i} (size {size})"
+                ))
+            })?;
         placed[i] = PlannedBuffer { req, offset };
         done.push(i);
     }

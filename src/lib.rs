@@ -24,6 +24,7 @@
 //! | [`anomaly`] | `ei-anomaly` | K-means / GMM anomaly detection |
 //! | [`active`] | `ei-active` | embeddings, 2-D projection, auto-labeling |
 //! | [`platform`] | `ei-platform` | projects, API facade, job scheduler |
+//! | [`faults`] | `ei-faults` | retry policies, mock clock, fault injection |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use ei_core as core;
 pub use ei_data as data;
 pub use ei_device as device;
 pub use ei_dsp as dsp;
+pub use ei_faults as faults;
 pub use ei_nn as nn;
 pub use ei_platform as platform;
 pub use ei_quant as quant;
@@ -70,5 +72,6 @@ mod tests {
         let _ = crate::data::Dataset::new("t");
         let _ = crate::platform::Api::new();
         let _ = crate::calibration::PostProcessConfig::default();
+        let _ = crate::faults::RetryPolicy::default();
     }
 }

@@ -1,0 +1,72 @@
+//! Fault-tolerance integration: the scripted fault-injection harness
+//! driving the job scheduler end to end on a mocked clock — panics,
+//! transient errors, deadline overruns and dead-lettering, with zero
+//! wall-clock sleeps.
+
+use edgelab::faults::{Clock, FailureCause, FaultPlan, RetryPolicy, VirtualClock};
+use edgelab::platform::JobScheduler;
+
+#[test]
+fn scripted_faults_recover_with_the_exact_seeded_backoff_schedule() {
+    let clock = VirtualClock::shared();
+    let scheduler = JobScheduler::with_clock(1, clock.clone());
+    let policy = RetryPolicy::default().with_seed(2024).with_max_attempts(5);
+    // the script: panic on attempt 1, error on attempt 2, succeed on 3
+    let plan = FaultPlan::new()
+        .panic_on(1, "feature extractor crashed")
+        .error_on(2, "blob storage flake");
+    let mut work = plan.arm(scheduler.clock(), || Ok::<_, String>("features extracted".into()));
+    let id = scheduler.submit_with(policy.clone(), move |_| work()).unwrap();
+
+    assert_eq!(scheduler.wait(id).unwrap(), "features extracted");
+    assert_eq!(plan.calls(), 3);
+
+    let history = scheduler.attempt_history(id).unwrap();
+    assert_eq!(history.len(), 2);
+    assert_eq!(history[0].cause, FailureCause::Panic("feature extractor crashed".into()));
+    assert_eq!(history[1].cause, FailureCause::Error("blob storage flake".into()));
+
+    // the backoffs taken are exactly the policy's seeded jittered schedule
+    // for this job's stream…
+    let backoffs: Vec<u64> = history.iter().map(|a| a.backoff_ms.unwrap()).collect();
+    assert_eq!(backoffs, policy.backoff_preview(id, 2));
+    // …and the only time that passed is the backoff itself: the whole
+    // scenario ran on logical time, no wall-clock sleeps
+    assert_eq!(clock.now_ms(), backoffs.iter().sum::<u64>());
+}
+
+#[test]
+fn deadline_overrun_is_recorded_timed_out_then_retried() {
+    let clock = VirtualClock::shared();
+    let scheduler = JobScheduler::with_clock(1, clock);
+    let policy = RetryPolicy::default().with_seed(7).with_max_attempts(3).with_timeout(100);
+    // attempt 1 sleeps 500 logical ms — far past the 100 ms deadline —
+    // and still returns Ok; the stale result must be discarded
+    let plan = FaultPlan::new().sleep_on(1, 500);
+    let mut work = plan.arm(scheduler.clock(), || Ok::<_, String>("dsp features".into()));
+    let id = scheduler.submit_with(policy, move |_| work()).unwrap();
+
+    assert_eq!(scheduler.wait(id).unwrap(), "dsp features");
+    assert_eq!(plan.calls(), 2, "the timed-out attempt must be retried");
+    let history = scheduler.attempt_history(id).unwrap();
+    assert_eq!(history[0].cause, FailureCause::TimedOut { limit_ms: 100 });
+    assert!(history[0].duration_ms >= 500, "overrun duration is recorded");
+}
+
+#[test]
+fn exhausted_job_lands_in_the_dead_letter_queue_with_full_history() {
+    let scheduler = JobScheduler::with_clock(2, VirtualClock::shared());
+    let policy = RetryPolicy::default().with_max_attempts(3);
+    let id = scheduler
+        .submit_with(policy, |ctx| Err(format!("attempt {} failed", ctx.attempt)))
+        .unwrap();
+    assert!(scheduler.wait(id).is_err());
+
+    let dead = scheduler.dead_letters();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].id, id);
+    assert_eq!(dead[0].error, "attempt 3 failed");
+    let attempts: Vec<u32> = dead[0].attempts.iter().map(|a| a.attempt).collect();
+    assert_eq!(attempts, vec![1, 2, 3]);
+    assert!(dead[0].attempts[2].backoff_ms.is_none(), "terminal attempt has no backoff");
+}

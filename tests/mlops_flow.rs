@@ -118,6 +118,82 @@ fn access_control_covers_the_whole_surface() {
 }
 
 #[test]
+fn workflow_degrades_when_an_optional_stage_fails() {
+    use edgelab::core::{FlowRunner, FlowStage, StageOutcome};
+    use edgelab::faults::{FailureCause, FaultPlan, RetryPolicy, VirtualClock};
+    use std::cell::RefCell;
+
+    let clock = VirtualClock::shared();
+    let policy = RetryPolicy::default().with_seed(21).with_max_attempts(2);
+    let runner = FlowRunner::with_clock(policy.clone(), clock.clone());
+
+    let gen = generator();
+    let dataset = RefCell::new(None);
+    let trained = RefCell::new(None);
+    // the optional anomaly stage crashes, then stays down — the flow must
+    // ship a model anyway and report the stage as degraded
+    let plan =
+        FaultPlan::new().panic_on(1, "anomaly scorer crashed").error_on(2, "scorer offline");
+    let mut anomaly_work = plan.arm(clock.clone(), || Ok::<_, String>("unreachable".into()));
+
+    let report = runner
+        .run(vec![
+            FlowStage::required("ingest", |_| {
+                let d = gen.dataset(10, 3);
+                let n = d.len();
+                *dataset.borrow_mut() = Some(d);
+                Ok(format!("{n} samples"))
+            }),
+            FlowStage::required("train", |_| {
+                let design = impulse();
+                let spec = presets::dense_mlp(
+                    design.feature_dims().map_err(|e| e.to_string())?,
+                    2,
+                    8,
+                );
+                let t = design
+                    .train(
+                        &spec,
+                        dataset.borrow().as_ref().expect("ingest ran first"),
+                        &TrainConfig { epochs: 2, ..TrainConfig::default() },
+                    )
+                    .map_err(|e| e.to_string())?;
+                let acc = t.report().best_val_accuracy;
+                *trained.borrow_mut() = Some(t);
+                Ok(format!("{acc:.3}"))
+            }),
+            FlowStage::optional("anomaly", move |_| anomaly_work()),
+            FlowStage::required("deploy", |_| {
+                let clip = gen.generate(0, 11);
+                let t = trained.borrow();
+                let result = t
+                    .as_ref()
+                    .expect("train ran first")
+                    .classify(&clip)
+                    .map_err(|e| e.to_string())?;
+                Ok(result.label)
+            }),
+        ])
+        .expect("flow must complete despite the optional-stage fault");
+
+    assert!(report.degraded());
+    assert_eq!(report.degraded_stages(), vec!["anomaly"]);
+    // every other stage completed and produced output
+    assert!(report.output("ingest").is_some());
+    assert!(report.output("train").is_some());
+    assert!(report.output("deploy").is_some());
+    // the degraded stage carries its full attempt history: a panic, a
+    // retry after the seeded backoff (stage index 2 is the jitter
+    // stream), then the terminal error
+    let anomaly = report.stage("anomaly").unwrap();
+    assert_eq!(anomaly.outcome, StageOutcome::Degraded("scorer offline".into()));
+    assert_eq!(anomaly.attempts.len(), 2);
+    assert!(matches!(anomaly.attempts[0].cause, FailureCause::Panic(_)));
+    assert_eq!(anomaly.attempts[0].backoff_ms, Some(policy.backoff_preview(2, 1)[0]));
+    assert_eq!(plan.calls(), 2);
+}
+
+#[test]
 fn parallel_training_jobs() {
     // several projects train concurrently on the pool, like the paper's
     // kubernetes workers
