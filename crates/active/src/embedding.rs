@@ -95,8 +95,7 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_embeddings() {
         let m = model();
-        let embs =
-            embed(&m, &[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0, 1.0]], None).unwrap();
+        let embs = embed(&m, &[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0, 1.0]], None).unwrap();
         assert_ne!(embs[0], embs[1]);
     }
 }

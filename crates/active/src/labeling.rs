@@ -55,10 +55,7 @@ impl AutoLabeler {
             for cv in c.iter_mut() {
                 *cv /= members.len() as f32;
             }
-            let spread = (members
-                .iter()
-                .map(|m| squared_distance(m, &c).sqrt())
-                .sum::<f32>()
+            let spread = (members.iter().map(|m| squared_distance(m, &c).sqrt()).sum::<f32>()
                 / members.len() as f32)
                 .max(1e-3);
             centroids.push((label.clone(), c));

@@ -22,10 +22,8 @@ impl Pca {
         let n = data.len() as f32;
         let mean: Vec<f32> =
             (0..dims).map(|d| data.iter().map(|r| r[d]).sum::<f32>() / n).collect();
-        let centered: Vec<Vec<f32>> = data
-            .iter()
-            .map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect())
-            .collect();
+        let centered: Vec<Vec<f32>> =
+            data.iter().map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect()).collect();
         let first = power_iteration(&centered, None);
         let second = power_iteration(&centered, Some(&first));
         Pca { mean, components: [first, second] }
@@ -39,10 +37,7 @@ impl Pca {
     pub fn transform(&self, point: &[f32]) -> [f32; 2] {
         debug_assert_eq!(point.len(), self.mean.len());
         let centered: Vec<f32> = point.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
-        [
-            dot(&centered, &self.components[0]),
-            dot(&centered, &self.components[1]),
-        ]
+        [dot(&centered, &self.components[0]), dot(&centered, &self.components[1])]
     }
 
     /// Projects many points.
@@ -235,10 +230,7 @@ mod tests {
     fn centroid<'a>(points: impl Iterator<Item = &'a [f32; 2]>) -> [f32; 2] {
         let pts: Vec<&[f32; 2]> = points.collect();
         let n = pts.len() as f32;
-        [
-            pts.iter().map(|p| p[0]).sum::<f32>() / n,
-            pts.iter().map(|p| p[1]).sum::<f32>() / n,
-        ]
+        [pts.iter().map(|p| p[0]).sum::<f32>() / n, pts.iter().map(|p| p[1]).sum::<f32>() / n]
     }
 
     #[test]

@@ -53,13 +53,11 @@ impl Gmm {
         // initial variances: global per-dimension variance
         let global_var: Vec<f32> = {
             let n = data.len() as f32;
-            let mean: Vec<f32> = (0..dims)
-                .map(|d| data.iter().map(|r| r[d]).sum::<f32>() / n)
-                .collect();
+            let mean: Vec<f32> =
+                (0..dims).map(|d| data.iter().map(|r| r[d]).sum::<f32>() / n).collect();
             (0..dims)
                 .map(|d| {
-                    (data.iter().map(|r| (r[d] - mean[d]).powi(2)).sum::<f32>() / n)
-                        .max(VAR_FLOOR)
+                    (data.iter().map(|r| (r[d] - mean[d]).powi(2)).sum::<f32>() / n).max(VAR_FLOOR)
                 })
                 .collect()
         };

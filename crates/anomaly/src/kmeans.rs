@@ -64,10 +64,7 @@ impl KMeans {
             let weights: Vec<f32> = data
                 .iter()
                 .map(|row| {
-                    centroids
-                        .iter()
-                        .map(|c| squared_distance(row, c))
-                        .fold(f32::INFINITY, f32::min)
+                    centroids.iter().map(|c| squared_distance(row, c)).fold(f32::INFINITY, f32::min)
                 })
                 .collect();
             let total: f32 = weights.iter().sum();
@@ -127,8 +124,7 @@ impl KMeans {
             dist_sums[a] += squared_distance(row, &centroids[a]).sqrt();
             counts[a] += 1;
         }
-        let global =
-            dist_sums.iter().sum::<f32>() / counts.iter().sum::<usize>().max(1) as f32;
+        let global = dist_sums.iter().sum::<f32>() / counts.iter().sum::<usize>().max(1) as f32;
         let radii: Vec<f32> = dist_sums
             .iter()
             .zip(&counts)

@@ -39,9 +39,7 @@ fn bench_engines(c: &mut Criterion) {
     c.bench_function("ic_interpreter_run", |b| {
         b.iter(|| interp.run(black_box(&features)).expect("runs"))
     });
-    c.bench_function("ic_eon_run", |b| {
-        b.iter(|| eon.run(black_box(&features)).expect("runs"))
-    });
+    c.bench_function("ic_eon_run", |b| b.iter(|| eon.run(black_box(&features)).expect("runs")));
 }
 
 fn bench_planner(c: &mut Criterion) {
@@ -58,7 +56,9 @@ fn bench_quantization(c: &mut Criterion) {
     let dims = task.design().feature_dims().expect("valid");
     let calib = vec![vec![0.05f32; dims.len()], vec![-0.05f32; dims.len()]];
     c.bench_function("ic_quantize_model", |b| {
-        b.iter(|| ei_quant::quantize_model(black_box(&model), black_box(&calib)).expect("quantizes"))
+        b.iter(|| {
+            ei_quant::quantize_model(black_box(&model), black_box(&calib)).expect("quantizes")
+        })
     });
 }
 

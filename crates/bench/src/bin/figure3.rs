@@ -34,7 +34,8 @@ fn main() {
     eprintln!("running EON Tuner for the Fig. 3 view...");
     let report = tuner.run(&dataset).expect("tuner runs");
 
-    println!("Figure 3. EON Tuner result view — target: {} ({} MHz, {} kB RAM, {} MB flash)",
+    println!(
+        "Figure 3. EON Tuner result view — target: {} ({} MHz, {} kB RAM, {} MB flash)",
         board.name,
         board.clock_hz / 1_000_000,
         board.ram_bytes / 1024,

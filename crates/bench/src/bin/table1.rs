@@ -5,10 +5,7 @@ use ei_device::Board;
 fn main() {
     println!("Table 1. Embedded platforms used for evaluation.");
     println!();
-    println!(
-        "{:<24} {:<16} {:>9} {:>8} {:>8}",
-        "Platform", "Processor", "Clock", "Flash", "RAM"
-    );
+    println!("{:<24} {:<16} {:>9} {:>8} {:>8}", "Platform", "Processor", "Clock", "Flash", "RAM");
     for board in Board::paper_boards() {
         let ram = if board.ram_bytes >= 1024 * 1024 {
             format!("{} MB", board.ram_bytes / (1024 * 1024))

@@ -5,9 +5,10 @@
 //! Also prints the §5.2 ratio analysis: preprocessing share of the
 //! end-to-end budget before and after quantization.
 
-use ei_bench::{ms, Task};
+use ei_bench::{ms, ResultsWriter, Task};
 use ei_device::{Board, Profiler};
 use ei_runtime::{EonProgram, ModelArtifact};
+use ei_trace::json::Json;
 
 struct Cell {
     dsp_ms: f64,
@@ -37,6 +38,7 @@ fn cell_str(value: f64, fits: bool) -> String {
 }
 
 fn main() {
+    let mut results = ResultsWriter::new("table2");
     let boards = Board::paper_boards();
     println!("Table 2. Preprocessing and inference times (in milliseconds).");
     println!("'-' indicates the model did not fit due to flash or RAM constraints.");
@@ -51,14 +53,25 @@ fn main() {
     for task in Task::all() {
         println!("{} inference times", task.name());
         let (float_a, int8_a) = task.untrained_artifacts();
-        let mut rows = vec![
-            ("Preprocessing", Vec::new()),
-            ("Inference", Vec::new()),
-            ("Total", Vec::new()),
-        ];
+        let mut rows =
+            vec![("Preprocessing", Vec::new()), ("Inference", Vec::new()), ("Total", Vec::new())];
         for board in &boards {
             for artifact in [&float_a, &int8_a] {
                 let cell = profile(task, artifact, board);
+                results.push(
+                    results
+                        .stamp()
+                        .field("task", Json::Str(task.name().to_string()))
+                        .field("board", Json::Str(board.name.clone()))
+                        .field(
+                            "dtype",
+                            Json::Str(if artifact.is_quantized() { "int8" } else { "f32" }.into()),
+                        )
+                        .field("fits", Json::Bool(cell.fits))
+                        .field("dsp_ms", Json::Float(cell.dsp_ms))
+                        .field("inference_ms", Json::Float(cell.inference_ms))
+                        .field("total_ms", Json::Float(cell.total_ms)),
+                );
                 rows[0].1.push(cell_str(cell.dsp_ms, cell.fits));
                 rows[1].1.push(cell_str(cell.inference_ms, cell.fits));
                 rows[2].1.push(cell_str(cell.total_ms, cell.fits));
@@ -94,6 +107,11 @@ fn main() {
         if f.fits && q.fits {
             println!("  {:<24} {:.1}x", board.name, f.total_ms / q.total_ms);
         }
+    }
+
+    match results.write() {
+        Ok(path) => eprintln!("wrote {} json rows to {}", results.len(), path.display()),
+        Err(e) => eprintln!("could not write results json: {e}"),
     }
 }
 

@@ -62,7 +62,16 @@ fn main() {
     println!();
     println!(
         "{:<24} {:<24} {:>6} | {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8} | {:>9}",
-        "Preprocessing", "Model", "Acc.", "DSP ms", "NN ms", "Total", "DSP kB", "NN kB", "RAM kB", "Flash kB"
+        "Preprocessing",
+        "Model",
+        "Acc.",
+        "DSP ms",
+        "NN ms",
+        "Total",
+        "DSP kB",
+        "NN kB",
+        "RAM kB",
+        "Flash kB"
     );
     for t in &report.trials {
         println!(

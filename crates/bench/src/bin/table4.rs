@@ -4,9 +4,10 @@
 //! Models are trained briefly on the synthetic datasets so the accuracy
 //! column is real; memory numbers come from the engine reports.
 
-use ei_bench::{kb, quick_mode, Task};
+use ei_bench::{kb, quick_mode, ResultsWriter, Task};
 use ei_data::Split;
 use ei_runtime::{EonProgram, InferenceEngine, Interpreter, ModelArtifact};
+use ei_trace::json::Json;
 
 fn engine_memory(artifact: &ModelArtifact, eon: bool) -> (usize, usize) {
     if eon {
@@ -81,12 +82,23 @@ fn main() {
         ("Int8 (TFLM)", true, false),
         ("Int8 (EON)", true, true),
     ];
+    let mut json_rows = ResultsWriter::new("table4");
     for (label, int8, eon) in rows {
         print!("{label:<16}");
-        for r in &results {
+        for (task, r) in Task::all().iter().zip(&results) {
             let artifact = if int8 { &r.int8_artifact } else { &r.float_artifact };
             let acc = if int8 { r.int8_acc } else { r.float_acc };
             let (ram, flash) = engine_memory(artifact, eon);
+            json_rows.push(
+                json_rows
+                    .stamp()
+                    .field("task", Json::Str(task.name().to_string()))
+                    .field("engine", Json::Str(if eon { "EON" } else { "TFLM" }.into()))
+                    .field("dtype", Json::Str(if int8 { "int8" } else { "f32" }.into()))
+                    .field("ram_bytes", Json::Uint(ram as u64))
+                    .field("flash_bytes", Json::Uint(flash as u64))
+                    .field("accuracy", Json::Float(f64::from(acc))),
+            );
             print!(" | {:>8} {:>9} {:>5.1}%", kb(ram), kb(flash), acc * 100.0);
         }
         println!();
@@ -105,5 +117,10 @@ fn main() {
                 100.0 * (tf - ef) as f64 / tf as f64,
             );
         }
+    }
+
+    match json_rows.write() {
+        Ok(path) => eprintln!("wrote {} json rows to {}", json_rows.len(), path.display()),
+        Err(e) => eprintln!("could not write results json: {e}"),
     }
 }

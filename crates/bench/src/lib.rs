@@ -14,6 +14,12 @@
 //!
 //! Set `EDGELAB_QUICK=1` to shrink workloads (fewer samples/epochs) for
 //! smoke-testing the harness.
+//!
+//! Besides the prose `results/*.txt` the binaries print, each can emit
+//! machine-readable rows through [`ResultsWriter`] into `results/*.json`
+//! (JSON Lines, one object per row, every row stamped with
+//! [`RESULTS_SCHEMA_VERSION`]) so the perf trajectory can be tracked
+//! across PRs.
 
 use ei_core::impulse::{ImpulseDesign, TrainedImpulse};
 use ei_data::synth::{CifarGenerator, KwsGenerator, VwwGenerator};
@@ -25,6 +31,7 @@ use ei_nn::spec::ModelSpec;
 use ei_nn::train::TrainConfig;
 use ei_nn::Sequential;
 use ei_runtime::ModelArtifact;
+use ei_trace::json::{Json, JsonObject};
 
 /// `true` when `EDGELAB_QUICK=1` (smaller datasets and fewer epochs).
 pub fn quick_mode() -> bool {
@@ -192,6 +199,78 @@ impl Task {
     }
 }
 
+/// Schema version stamped into every machine-readable results row.
+///
+/// Bump it whenever a bench changes the meaning or set of its row fields,
+/// so downstream trajectory tooling can tell comparable rows apart.
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// Collects machine-readable benchmark rows and writes them as JSON Lines
+/// to `results/<bench>.json`, alongside the prose table the binary prints.
+///
+/// Rows are built on the deterministic [`ei_trace::json`] writer: start
+/// each one with [`ResultsWriter::stamp`] (which prefixes the
+/// `schema_version` and `bench` fields), extend it with
+/// [`JsonObject::field`], and [`ResultsWriter::push`] it.
+#[derive(Debug, Clone)]
+pub struct ResultsWriter {
+    bench: String,
+    rows: Vec<JsonObject>,
+}
+
+impl ResultsWriter {
+    /// A writer for one bench binary (e.g. `"table2"`).
+    pub fn new(bench: &str) -> ResultsWriter {
+        ResultsWriter { bench: bench.to_string(), rows: Vec::new() }
+    }
+
+    /// Starts a row pre-stamped with `schema_version` and `bench`.
+    pub fn stamp(&self) -> JsonObject {
+        JsonObject::new()
+            .field("schema_version", Json::Uint(RESULTS_SCHEMA_VERSION))
+            .field("bench", Json::Str(self.bench.clone()))
+    }
+
+    /// Appends a finished row.
+    pub fn push(&mut self, row: JsonObject) {
+        self.rows.push(row);
+    }
+
+    /// Number of rows collected so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were collected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows as JSON Lines (one compact object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the rows to `results/<bench>.json` (creating `results/` if
+    /// needed) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.bench));
+        std::fs::write(&path, self.to_jsonl())?;
+        Ok(path)
+    }
+}
+
 /// Formats a byte count as `xx.x` kB (Table 4 unit).
 pub fn kb(bytes: usize) -> String {
     format!("{:.1}", bytes as f64 / 1024.0)
@@ -204,11 +283,7 @@ pub fn ms(v: f64) -> String {
 
 /// Renders a proportional ASCII bar of `value` against `max` (Fig. 3).
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let filled = if max <= 0.0 {
-        0
-    } else {
-        ((value / max) * width as f64).round() as usize
-    };
+    let filled = if max <= 0.0 { 0 } else { ((value / max) * width as f64).round() as usize };
     let filled = filled.min(width);
     format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
 }
@@ -242,6 +317,18 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "#####.....");
         assert_eq!(bar(0.0, 0.0, 4), "....");
         assert_eq!(bar(20.0, 10.0, 4), "####");
+    }
+
+    #[test]
+    fn results_rows_are_stamped_and_deterministic() {
+        let mut w = ResultsWriter::new("demo");
+        assert!(w.is_empty());
+        w.push(w.stamp().field("task", Json::Str("kws".into())).field("ms", Json::Float(1.5)));
+        assert_eq!(w.len(), 1);
+        assert_eq!(
+            w.to_jsonl(),
+            "{\"schema_version\":1,\"bench\":\"demo\",\"task\":\"kws\",\"ms\":1.5}\n"
+        );
     }
 
     #[test]

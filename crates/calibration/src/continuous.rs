@@ -149,9 +149,7 @@ mod tests {
         let mut ds = ei_data::Dataset::new("stream");
         let mut rng = StdRng::seed_from_u64(77);
         for k in 0..20 {
-            ds.add(
-                Sample::new(0, gen.generate(0, k), SensorKind::Audio).with_label("go"),
-            );
+            ds.add(Sample::new(0, gen.generate(0, k), SensorKind::Audio).with_label("go"));
             let noise: Vec<f32> = (0..2_000).map(|_| rng.gen_range(-0.06f32..0.06)).collect();
             ds.add(Sample::new(0, noise, SensorKind::Audio).with_label("background"));
         }

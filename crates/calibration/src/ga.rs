@@ -132,8 +132,7 @@ fn evolve(
     };
     let mut best = score(population[0], archive);
     for _gen in 0..config.generations {
-        let scored: Vec<ScoredConfig> =
-            population.iter().map(|&c| score(c, archive)).collect();
+        let scored: Vec<ScoredConfig> = population.iter().map(|&c| score(c, archive)).collect();
         for s in &scored {
             if s.fitness > best.fitness {
                 best = s.clone();
@@ -218,11 +217,8 @@ mod tests {
     fn degenerate_thresholds_behave() {
         let ts = traces();
         // threshold ~0: everything fires -> no misses, many false accepts
-        let lax = evaluate(
-            PostProcessConfig { mean_filter: 1, threshold: 0.05, suppression: 0 },
-            &ts,
-            4,
-        );
+        let lax =
+            evaluate(PostProcessConfig { mean_filter: 1, threshold: 0.05, suppression: 0 }, &ts, 4);
         assert_eq!(lax.frr, 0.0);
         assert!(lax.far_per_1k > 50.0);
         // threshold ~1: nothing fires -> FRR = 1, FAR = 0
@@ -244,8 +240,8 @@ mod tests {
         // no member dominates another
         for a in &suggestions {
             for b in &suggestions {
-                let dominates = a.metrics.far_per_1k < b.metrics.far_per_1k
-                    && a.metrics.frr < b.metrics.frr;
+                let dominates =
+                    a.metrics.far_per_1k < b.metrics.far_per_1k && a.metrics.frr < b.metrics.frr;
                 assert!(!dominates, "pareto front contains dominated member");
             }
         }
@@ -271,7 +267,11 @@ mod tests {
             })
             .unwrap();
         assert!(best_balanced.metrics.frr < 0.35, "frr {}", best_balanced.metrics.frr);
-        assert!(best_balanced.metrics.far_per_1k < 20.0, "far {}", best_balanced.metrics.far_per_1k);
+        assert!(
+            best_balanced.metrics.far_per_1k < 20.0,
+            "far {}",
+            best_balanced.metrics.far_per_1k
+        );
     }
 
     #[test]

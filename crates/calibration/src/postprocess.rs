@@ -97,9 +97,10 @@ pub fn score_detections(
     let mut matched_truth = vec![false; truth.len()];
     let mut false_accepts = 0usize;
     for &d in detections {
-        let hit = truth.iter().enumerate().find(|(ti, &t)| {
-            !matched_truth[*ti] && d.abs_diff(t) <= tolerance
-        });
+        let hit = truth
+            .iter()
+            .enumerate()
+            .find(|(ti, &t)| !matched_truth[*ti] && d.abs_diff(t) <= tolerance);
         match hit {
             Some((ti, _)) => matched_truth[ti] = true,
             None => false_accepts += 1,
@@ -170,8 +171,7 @@ mod tests {
 
     #[test]
     fn clamping_repairs_degenerate_configs() {
-        let cfg =
-            PostProcessConfig { mean_filter: 0, threshold: 7.0, suppression: 1000 }.clamped();
+        let cfg = PostProcessConfig { mean_filter: 0, threshold: 7.0, suppression: 1000 }.clamped();
         assert_eq!(cfg.mean_filter, 1);
         assert!(cfg.threshold <= 0.999);
         assert_eq!(cfg.suppression, 64);

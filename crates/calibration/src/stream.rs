@@ -89,8 +89,8 @@ impl TraceConfig {
                 } else {
                     0
                 };
-                let center = ((e * stride) as isize + jitter)
-                    .clamp(0, self.windows as isize - 1) as usize;
+                let center =
+                    ((e * stride) as isize + jitter).clamp(0, self.windows as isize - 1) as usize;
                 truth.push(center);
                 let half = (self.event_width / 2).max(1) as isize;
                 for off in -half..=half {

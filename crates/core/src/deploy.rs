@@ -87,8 +87,7 @@ pub fn build_bundle(
     let design = trained.design();
 
     // model_metadata.h — shared by every target
-    let labels_c: Vec<String> =
-        trained.labels().iter().map(|l| format!("\"{l}\"")).collect();
+    let labels_c: Vec<String> = trained.labels().iter().map(|l| format!("\"{l}\"")).collect();
     files.push(BundleFile {
         path: "model/model_metadata.h".into(),
         contents: format!(
@@ -238,9 +237,7 @@ mod tests {
         )
         .unwrap();
         let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 8);
-        design
-            .train(&spec, &dataset, &TrainConfig { epochs: 2, ..TrainConfig::default() })
-            .unwrap()
+        design.train(&spec, &dataset, &TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap()
     }
 
     #[test]
@@ -306,13 +303,9 @@ mod tests {
     #[test]
     fn dsp_config_round_trips_from_bundle() {
         let t = trained();
-        let bundle = build_bundle(
-            &t,
-            t.float_artifact(),
-            DeploymentTarget::Wasm,
-            EngineKind::EonCompiled,
-        )
-        .unwrap();
+        let bundle =
+            build_bundle(&t, t.float_artifact(), DeploymentTarget::Wasm, EngineKind::EonCompiled)
+                .unwrap();
         let cfg_file = bundle.file("model/dsp_config.json").unwrap();
         let cfg: DspConfig = serde_json::from_str(&cfg_file.contents).unwrap();
         assert_eq!(cfg, t.design().dsp);

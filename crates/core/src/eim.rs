@@ -179,10 +179,12 @@ mod tests {
         assert_eq!(response["id"], 42);
         let yes = response["result"]["classification"]["yes"].as_f64().unwrap();
         let no = response["result"]["classification"]["no"].as_f64().unwrap();
-        assert!((yes + no - 1.0).abs() < 0.02, "int8 probabilities sum within the quantization grid");
+        assert!(
+            (yes + no - 1.0).abs() < 0.02,
+            "int8 probabilities sum within the quantization grid"
+        );
         assert_eq!(response["winner"], expected.label);
-        let no_index =
-            r.impulse.labels().iter().position(|l| l == "no").expect("'no' is a class");
+        let no_index = r.impulse.labels().iter().position(|l| l == "no").expect("'no' is a class");
         assert!((no - expected.probabilities[no_index] as f64).abs() < 1e-6);
     }
 

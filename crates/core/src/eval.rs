@@ -135,12 +135,7 @@ impl EvalReport {
         let per_class = (0..matrix.labels().len())
             .map(|c| (matrix.precision(c), matrix.recall(c), matrix.f1(c)))
             .collect();
-        EvalReport {
-            accuracy: matrix.accuracy(),
-            macro_f1: matrix.macro_f1(),
-            per_class,
-            matrix,
-        }
+        EvalReport { accuracy: matrix.accuracy(), macro_f1: matrix.macro_f1(), per_class, matrix }
     }
 }
 

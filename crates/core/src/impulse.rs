@@ -74,11 +74,7 @@ impl ImpulseDesign {
     /// # Errors
     ///
     /// Fails when the split is empty or samples have the wrong length.
-    pub fn extract_features(
-        &self,
-        dataset: &Dataset,
-        split: Split,
-    ) -> Result<ExtractedFeatures> {
+    pub fn extract_features(&self, dataset: &Dataset, split: Split) -> Result<ExtractedFeatures> {
         let block = self.dsp_block()?;
         let (raw, ys) = dataset.xy(split)?;
         let mut features = Vec::with_capacity(raw.len());
@@ -109,6 +105,23 @@ impl ImpulseDesign {
         dataset: &Dataset,
         config: &TrainConfig,
     ) -> Result<TrainedImpulse> {
+        self.train_traced(model_spec, dataset, config, ei_trace::Tracer::disabled())
+    }
+
+    /// Like [`ImpulseDesign::train`], but the internal [`Trainer`] emits
+    /// its `train` span and per-epoch `train.epoch` events through
+    /// `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ImpulseDesign::train`].
+    pub fn train_traced(
+        &self,
+        model_spec: &ModelSpec,
+        dataset: &Dataset,
+        config: &TrainConfig,
+        tracer: ei_trace::Tracer,
+    ) -> Result<TrainedImpulse> {
         let dims = self.feature_dims()?;
         if model_spec.input != dims {
             return Err(CoreError::InvalidImpulse(format!(
@@ -126,16 +139,10 @@ impl ImpulseDesign {
                 n_classes
             )));
         }
-        let trainer = Trainer::new(config.clone());
+        let trainer = Trainer::new(config.clone()).with_tracer(tracer);
         trainer.init_class_bias(&mut model, &ys, n_classes)?;
         let report = trainer.train(&mut model, &features, &ys)?;
-        Ok(TrainedImpulse {
-            design: self.clone(),
-            labels,
-            model,
-            report,
-            feature_cache: features,
-        })
+        Ok(TrainedImpulse { design: self.clone(), labels, model, report, feature_cache: features })
     }
 
     /// Trains a single-output regression model on numeric labels (the
@@ -151,6 +158,22 @@ impl ImpulseDesign {
         dataset: &Dataset,
         config: &TrainConfig,
     ) -> Result<RegressionImpulse> {
+        self.train_regression_traced(model_spec, dataset, config, ei_trace::Tracer::disabled())
+    }
+
+    /// Like [`ImpulseDesign::train_regression`], but the internal
+    /// [`Trainer`] reports per-epoch metrics through `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ImpulseDesign::train_regression`].
+    pub fn train_regression_traced(
+        &self,
+        model_spec: &ModelSpec,
+        dataset: &Dataset,
+        config: &TrainConfig,
+        tracer: ei_trace::Tracer,
+    ) -> Result<RegressionImpulse> {
         let dims = self.feature_dims()?;
         if model_spec.input != dims {
             return Err(CoreError::InvalidImpulse(format!(
@@ -165,7 +188,7 @@ impl ImpulseDesign {
             features.push(block.process(sample)?);
         }
         let mut model = Sequential::build(model_spec, config.seed)?;
-        let trainer = Trainer::new(config.clone());
+        let trainer = Trainer::new(config.clone()).with_tracer(tracer);
         let report = trainer.train_regression(&mut model, &features, &targets)?;
         Ok(RegressionImpulse { design: self.clone(), model, report })
     }
@@ -599,9 +622,7 @@ mod tests {
         let spec = presets::dense_mlp(dims, 2, 24);
         let trained = design.train(&spec, &dataset, &quick_config()).unwrap();
         // evaluate on the held-out split
-        let report = trained
-            .evaluate(&trained.float_artifact(), &dataset, Split::Testing)
-            .unwrap();
+        let report = trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing).unwrap();
         assert!(report.accuracy > 0.8, "test accuracy {}", report.accuracy);
         // classify a fresh clip
         let clip = gen.generate(1, 999);
@@ -619,9 +640,8 @@ mod tests {
         let trained = design.train(&spec, &dataset, &quick_config()).unwrap();
         let float_eval =
             trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing).unwrap();
-        let int8_eval = trained
-            .evaluate(&trained.int8_artifact().unwrap(), &dataset, Split::Testing)
-            .unwrap();
+        let int8_eval =
+            trained.evaluate(&trained.int8_artifact().unwrap(), &dataset, Split::Testing).unwrap();
         assert!(
             (float_eval.accuracy - int8_eval.accuracy).abs() <= 0.25,
             "float {} vs int8 {}",
@@ -663,8 +683,7 @@ mod tests {
     fn extract_features_shapes() {
         let dataset = small_generator().dataset(5, 2);
         let design = small_design();
-        let (features, ys, labels) =
-            design.extract_features(&dataset, Split::Training).unwrap();
+        let (features, ys, labels) = design.extract_features(&dataset, Split::Training).unwrap();
         assert_eq!(features.len(), ys.len());
         assert_eq!(labels, vec!["alpha".to_string(), "beta".to_string()]);
         let expected = design.feature_dims().unwrap().len();
@@ -701,7 +720,8 @@ mod tests {
         let design = small_design();
         let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 8);
         let trained = design.train(&spec, &dataset, &quick_config()).unwrap();
-        let json = trained.to_json().unwrap().replace("\"format_version\":1", "\"format_version\":99");
+        let json =
+            trained.to_json().unwrap().replace("\"format_version\":1", "\"format_version\":99");
         assert!(TrainedImpulse::from_json(&json).is_err());
     }
 

@@ -38,7 +38,11 @@ pub struct FirmwareDevice {
 
 impl FirmwareDevice {
     /// Boots the firmware with a trained impulse and a deployment artifact.
-    pub fn new(device_name: &str, impulse: TrainedImpulse, artifact: ModelArtifact) -> FirmwareDevice {
+    pub fn new(
+        device_name: &str,
+        impulse: TrainedImpulse,
+        artifact: ModelArtifact,
+    ) -> FirmwareDevice {
         FirmwareDevice {
             device_name: device_name.to_string(),
             impulse,
@@ -132,7 +136,11 @@ impl FirmwareDevice {
             for (label, p) in self.impulse.labels().iter().zip(&result.probabilities) {
                 out.push_str(&format!("{label}: {p:.5}\n"));
             }
-            out.push_str(&format!("winner={} ({:.2}%)\nOK", result.label, result.confidence * 100.0));
+            out.push_str(&format!(
+                "winner={} ({:.2}%)\nOK",
+                result.label,
+                result.confidence * 100.0
+            ));
             return Ok(out);
         }
         Err(CoreError::BadCommand(format!("unknown command {line:?}")))
@@ -229,10 +237,7 @@ mod tests {
     #[test]
     fn unknown_command_rejected() {
         let mut dev = device();
-        assert!(matches!(
-            dev.handle_command("AT+NONSENSE"),
-            Err(CoreError::BadCommand(_))
-        ));
+        assert!(matches!(dev.handle_command("AT+NONSENSE"), Err(CoreError::BadCommand(_))));
     }
 
     #[test]
@@ -257,9 +262,14 @@ mod tests {
         assert!(matches!(dev.handle_command("AT"), Err(CoreError::DeviceLink(_))));
         // the shared retry loop drives the same command to success
         let policy = RetryPolicy::default().with_seed(3).with_max_attempts(5);
-        let r = ei_faults::execute(&policy, clock.as_ref(), 0, &CancelToken::new(), |_| {}, |_| {
-            dev.handle_command("AT").map_err(|e| e.to_string())
-        });
+        let r = ei_faults::execute(
+            &policy,
+            clock.as_ref(),
+            0,
+            &CancelToken::new(),
+            |_| {},
+            |_| dev.handle_command("AT").map_err(|e| e.to_string()),
+        );
         assert_eq!(r.outcome, RetryOutcome::Success { output: "OK".into(), attempts: 2 });
         assert_eq!(plan.calls(), 3);
     }

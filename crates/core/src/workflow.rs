@@ -13,8 +13,9 @@
 //! whole pipeline run.
 
 use crate::{CoreError, Result};
-use ei_faults::retry::{self, RetryOutcome};
+use ei_faults::retry::{self, RetryEvent, RetryOutcome};
 use ei_faults::{AttemptContext, AttemptRecord, CancelToken, Clock, RetryPolicy, SystemClock};
+use ei_trace::Tracer;
 use std::sync::Arc;
 
 /// One stage of the end-to-end embedded-ML workflow.
@@ -223,10 +224,17 @@ impl FlowReport {
 }
 
 /// Executes a sequence of [`FlowStage`]s under one retry policy.
+///
+/// With a tracer attached ([`FlowRunner::with_tracer`]) every run opens a
+/// `flow` span with one `flow.stage` child span per stage, and retries,
+/// backoffs, timeouts and degradations inside a stage surface as events
+/// on that stage's span — so a degraded optional stage is visible in the
+/// trace, not just in the returned [`FlowReport`].
 pub struct FlowRunner {
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
     cancel: CancelToken,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for FlowRunner {
@@ -244,7 +252,15 @@ impl FlowRunner {
     /// A runner on an explicit clock (pass an [`ei_faults::VirtualClock`]
     /// for deterministic tests).
     pub fn with_clock(policy: RetryPolicy, clock: Arc<dyn Clock>) -> FlowRunner {
-        FlowRunner { policy, clock, cancel: CancelToken::new() }
+        FlowRunner { policy, clock, cancel: CancelToken::new(), tracer: Tracer::disabled() }
+    }
+
+    /// Attaches a tracer; subsequent runs emit `flow` / `flow.stage`
+    /// spans and per-stage retry events through it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> FlowRunner {
+        self.tracer = tracer;
+        self
     }
 
     /// The token that cancels a run in progress (from another thread or a
@@ -264,25 +280,57 @@ impl FlowRunner {
     /// its retries or the run is cancelled; optional-stage failures are
     /// reported as [`StageOutcome::Degraded`] instead.
     pub fn run(&self, stages: Vec<FlowStage<'_>>) -> Result<FlowReport> {
+        let flow_span =
+            self.tracer.span_with("flow", vec![("stages", (stages.len() as u64).into())]);
         let mut report = FlowReport { stages: Vec::new() };
         for (index, mut stage) in stages.into_iter().enumerate() {
+            let stage_span = flow_span.child_with(
+                "flow.stage",
+                vec![("stage", stage.name.as_str().into()), ("optional", stage.optional.into())],
+            );
+            let observer = |event: RetryEvent<'_>| match event {
+                RetryEvent::AttemptStarted { attempt, .. } => {
+                    stage_span.event("stage.attempt", vec![("attempt", attempt.into())]);
+                }
+                RetryEvent::AttemptFailed { record } => {
+                    if matches!(record.cause, ei_faults::FailureCause::TimedOut { .. }) {
+                        stage_span
+                            .event("stage.timed_out", vec![("attempt", record.attempt.into())]);
+                    }
+                }
+                RetryEvent::BackingOff { next_attempt, delay_ms } => {
+                    stage_span.event(
+                        "stage.backoff",
+                        vec![("next_attempt", next_attempt.into()), ("delay_ms", delay_ms.into())],
+                    );
+                }
+                RetryEvent::AttemptFinished { .. } => {}
+            };
             let result = retry::execute(
                 &self.policy,
                 self.clock.as_ref(),
                 index as u64,
                 &self.cancel,
-                |_| {},
+                observer,
                 |ctx| (stage.work)(ctx),
             );
             let outcome = match result.outcome {
-                RetryOutcome::Success { output, .. } => StageOutcome::Completed(output),
+                RetryOutcome::Success { output, .. } => {
+                    self.tracer.counter("flow.stages_completed").inc();
+                    StageOutcome::Completed(output)
+                }
                 RetryOutcome::Exhausted { error } if stage.optional => {
+                    stage_span.event("stage.degraded", vec![("error", error.as_str().into())]);
+                    self.tracer.counter("flow.stages_degraded").inc();
                     StageOutcome::Degraded(error)
                 }
                 RetryOutcome::Exhausted { error } => {
+                    stage_span.event("stage.failed", vec![("error", error.as_str().into())]);
+                    self.tracer.counter("flow.stages_failed").inc();
                     return Err(CoreError::StageFailed { stage: stage.name, error });
                 }
                 RetryOutcome::Cancelled => {
+                    stage_span.event("stage.cancelled", vec![]);
                     return Err(CoreError::StageFailed {
                         stage: stage.name,
                         error: "flow cancelled".to_string(),
@@ -396,13 +444,8 @@ mod tests {
                 FlowStage::optional("flaky", |_| Err("nope".into())),
             ])
             .unwrap();
-        let backoffs: Vec<u64> = report
-            .stage("flaky")
-            .unwrap()
-            .attempts
-            .iter()
-            .filter_map(|a| a.backoff_ms)
-            .collect();
+        let backoffs: Vec<u64> =
+            report.stage("flaky").unwrap().attempts.iter().filter_map(|a| a.backoff_ms).collect();
         // stage index 1 is the jitter stream, so the schedule is exactly
         // the policy preview for stream 1
         assert_eq!(backoffs, policy.backoff_preview(1, 2));
@@ -422,5 +465,58 @@ mod tests {
             })])
             .unwrap_err();
         assert!(matches!(err, CoreError::StageFailed { stage, .. } if stage == "spin"));
+    }
+
+    #[test]
+    fn traced_flow_emits_stage_spans_and_degradation_events() {
+        use ei_trace::RecordKind;
+        let clock = VirtualClock::shared();
+        let (tracer, collector) = Tracer::collecting(clock.clone());
+        let policy = RetryPolicy::default().with_seed(3).with_max_attempts(2);
+        let runner = FlowRunner::with_clock(policy, clock).with_tracer(tracer.clone());
+        let report = runner
+            .run(vec![
+                FlowStage::required("train", |_| Ok("acc=0.96".into())),
+                FlowStage::optional("anomaly", |_| Err("ewma down".into())),
+            ])
+            .unwrap();
+        assert!(report.degraded());
+        let records = collector.records();
+        // span taxonomy: flow → flow.stage ×2, all closed
+        let starts: Vec<&str> = records
+            .iter()
+            .filter(|r| matches!(r.kind, RecordKind::SpanStart { .. }))
+            .map(|r| r.name())
+            .collect();
+        assert_eq!(starts, vec!["flow", "flow.stage", "flow.stage"]);
+        let ends = records.iter().filter(|r| matches!(r.kind, RecordKind::SpanEnd { .. })).count();
+        assert_eq!(ends, 3, "every span must close");
+        // the degraded optional stage is visible in the trace itself
+        let degraded: Vec<&ei_trace::TraceRecord> =
+            records.iter().filter(|r| r.name() == "stage.degraded").collect();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].fields(), &[("error", ei_trace::Value::Str("ewma down".into()))]);
+        // retries inside the stage surface as attempt/backoff events
+        assert!(records.iter().any(|r| r.name() == "stage.backoff"));
+        let snapshot = tracer.metrics_snapshot();
+        assert_eq!(snapshot.get("flow.stages_completed"), Some(&ei_trace::MetricValue::Counter(1)));
+        assert_eq!(snapshot.get("flow.stages_degraded"), Some(&ei_trace::MetricValue::Counter(1)));
+    }
+
+    #[test]
+    fn untraced_flow_behaves_identically() {
+        // the disabled tracer must not change retry or report semantics
+        let clock = VirtualClock::shared();
+        let policy = RetryPolicy::default().with_seed(5).with_max_attempts(3);
+        let runner = FlowRunner::with_clock(policy.clone(), clock);
+        let report = runner
+            .run(vec![
+                FlowStage::required("ok", |_| Ok("fine".into())),
+                FlowStage::optional("flaky", |_| Err("nope".into())),
+            ])
+            .unwrap();
+        let backoffs: Vec<u64> =
+            report.stage("flaky").unwrap().attempts.iter().filter_map(|a| a.backoff_ms).collect();
+        assert_eq!(backoffs, policy.backoff_preview(1, 2));
     }
 }

@@ -62,15 +62,18 @@ pub fn augment(values: &[f32], config: AugmentConfig, seed: u64) -> Vec<f32> {
 /// Expands a dataset: for every labeled sample, adds `copies` augmented
 /// variants (same label, same sensor/rate metadata plus an
 /// `augmented=true` marker). Returns the number of samples added.
-pub fn augment_dataset(dataset: &mut Dataset, config: AugmentConfig, copies: usize, seed: u64) -> usize {
+pub fn augment_dataset(
+    dataset: &mut Dataset,
+    config: AugmentConfig,
+    copies: usize,
+    seed: u64,
+) -> usize {
     let originals: Vec<Sample> = dataset.iter().filter(|s| s.label().is_some()).cloned().collect();
     let mut added = 0usize;
     for (i, original) in originals.iter().enumerate() {
         for c in 0..copies {
-            let variant_seed = seed
-                .wrapping_add(i as u64)
-                .wrapping_mul(0x9e37_79b9)
-                .wrapping_add(c as u64);
+            let variant_seed =
+                seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9).wrapping_add(c as u64);
             let values = augment(original.values(), config, variant_seed);
             let mut sample = Sample::new(0, values, original.sensor())
                 .with_label(original.label().expect("filtered for labeled"))

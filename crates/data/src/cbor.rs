@@ -154,9 +154,7 @@ impl<'a> Reader<'a> {
                 }
                 26 => {
                     let b = self.take(4)?;
-                    Ok(CborValue::Float(
-                        f32::from_be_bytes([b[0], b[1], b[2], b[3]]) as f64
-                    ))
+                    Ok(CborValue::Float(f32::from_be_bytes([b[0], b[1], b[2], b[3]]) as f64))
                 }
                 27 => {
                     let b = self.take(8)?;
@@ -276,9 +274,7 @@ fn encode_into(value: &CborValue, out: &mut Vec<u8>) {
 /// missing the required fields.
 pub fn parse_cbor(data: &[u8], id: u64) -> Result<Sample> {
     let value = decode(data)?;
-    let values = value
-        .get("values")
-        .ok_or_else(|| err("missing 'values'"))?;
+    let values = value.get("values").ok_or_else(|| err("missing 'values'"))?;
     let values: Vec<f32> = match values {
         CborValue::Array(items) => items
             .iter()
@@ -355,7 +351,7 @@ mod tests {
         assert!(decode(&[0x00, 0x00]).is_err()); // trailing bytes
         assert!(decode(&[0x40]).is_err()); // byte strings unsupported
         assert!(decode(&[0xa1, 0x00, 0x00]).is_err()); // non-text map key
-        // huge declared array with no content
+                                                       // huge declared array with no content
         assert!(decode(&[0x9b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]).is_err());
     }
 

@@ -200,16 +200,15 @@ impl Dataset {
         let mut ys = Vec::new();
         for s in self.split(split) {
             if let Some(l) = s.label() {
-                let idx = labels
-                    .iter()
-                    .position(|x| x == l)
-                    .expect("label came from labels()");
+                let idx = labels.iter().position(|x| x == l).expect("label came from labels()");
                 xs.push(s.values().to_vec());
                 ys.push(idx);
             }
         }
         if xs.is_empty() {
-            return Err(DataError::InvalidDataset(format!("no labeled samples in {split:?} split")));
+            return Err(DataError::InvalidDataset(format!(
+                "no labeled samples in {split:?} split"
+            )));
         }
         Ok((xs, ys))
     }

@@ -141,8 +141,7 @@ pub fn explore(dataset: &Dataset, z_threshold: f32) -> ExplorerReport {
         let rms: Vec<f32> = samples.iter().map(|s| SampleStats::of(s.values()).rms).collect();
         let n = rms.len() as f32;
         let rms_mean = rms.iter().sum::<f32>() / n;
-        let rms_std =
-            (rms.iter().map(|r| (r - rms_mean).powi(2)).sum::<f32>() / n).sqrt();
+        let rms_std = (rms.iter().map(|r| (r - rms_mean).powi(2)).sum::<f32>() / n).sqrt();
         let mut lengths: Vec<usize> = samples.iter().map(|s| s.len()).collect();
         lengths.sort_unstable();
         lengths.dedup();
@@ -171,9 +170,8 @@ pub fn explore(dataset: &Dataset, z_threshold: f32) -> ExplorerReport {
             lengths,
         });
     }
-    outliers.sort_by(|a, b| {
-        b.z_score.abs().partial_cmp(&a.z_score.abs()).expect("finite z-scores")
-    });
+    outliers
+        .sort_by(|a, b| b.z_score.abs().partial_cmp(&a.z_score.abs()).expect("finite z-scores"));
 
     let mut warnings = Vec::new();
     if unlabeled > 0 {
@@ -260,10 +258,9 @@ mod tests {
             .warnings
             .iter()
             .any(|w| matches!(w, DataWarning::ClassImbalance { label, .. } if label == "small")));
-        assert!(report
-            .warnings
-            .iter()
-            .any(|w| matches!(w, DataWarning::InconsistentLengths { label, .. } if label == "big")));
+        assert!(report.warnings.iter().any(
+            |w| matches!(w, DataWarning::InconsistentLengths { label, .. } if label == "big")
+        ));
         assert!(report
             .warnings
             .iter()

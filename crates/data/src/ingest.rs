@@ -91,8 +91,7 @@ pub struct AcquisitionPayload {
 /// array, non-finite values, or a non-positive interval.
 pub fn parse_json(text: &str, id: u64) -> Result<Sample> {
     let err = |reason: String| DataError::ParseError { format: "json", reason };
-    let payload: AcquisitionPayload =
-        serde_json::from_str(text).map_err(|e| err(e.to_string()))?;
+    let payload: AcquisitionPayload = serde_json::from_str(text).map_err(|e| err(e.to_string()))?;
     if payload.values.is_empty() {
         return Err(err("values array is empty".into()));
     }
@@ -276,9 +275,7 @@ mod tests {
     #[test]
     fn json_rejects_bad_payloads() {
         assert!(parse_json("not json", 0).is_err());
-        assert!(
-            parse_json(r#"{"values": [], "interval_ms": 1.0, "sensor": "audio"}"#, 0).is_err()
-        );
+        assert!(parse_json(r#"{"values": [], "interval_ms": 1.0, "sensor": "audio"}"#, 0).is_err());
         assert!(
             parse_json(r#"{"values": [1.0], "interval_ms": 0.0, "sensor": "audio"}"#, 0).is_err()
         );

@@ -24,8 +24,8 @@
 pub mod augment;
 pub mod cbor;
 pub mod dataset;
-pub mod explorer;
 pub mod error;
+pub mod explorer;
 pub mod ingest;
 pub mod netpbm;
 pub mod sample;

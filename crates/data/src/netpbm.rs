@@ -96,10 +96,7 @@ pub fn parse_netpbm(data: &[u8]) -> Result<Image> {
     let expected = width * height * channels;
     let raster = &data[pos..];
     if raster.len() < expected {
-        return Err(err(format!(
-            "raster has {} bytes, image needs {expected}",
-            raster.len()
-        )));
+        return Err(err(format!("raster has {} bytes, image needs {expected}", raster.len())));
     }
     let scale = 255.0 / maxval as f32;
     let pixels = raster[..expected].iter().map(|&b| b as f32 * scale).collect();

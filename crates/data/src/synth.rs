@@ -73,7 +73,8 @@ impl KwsGenerator {
                     0.0
                 } else {
                     let u = (t - onset) / self.duration_s.max(0.1);
-                    (1.0 - u).max(0.0) * (1.0 + 0.5 * (2.0 * std::f32::consts::PI * am_hz * t).sin())
+                    (1.0 - u).max(0.0)
+                        * (1.0 + 0.5 * (2.0 * std::f32::consts::PI * am_hz * t).sin())
                 };
                 let w = 2.0 * std::f32::consts::PI * f0 * detune * t;
                 let tone = w.sin() + h2 * (2.0 * w).sin() + h3 * (3.0 * w).sin();
@@ -144,8 +145,7 @@ impl VwwGenerator {
             for y in 0..self.side {
                 for x in 0..self.side {
                     let (fx, fy) = (x as f32, y as f32);
-                    let in_head =
-                        (fx - cx).powi(2) + (fy - head_cy).powi(2) <= head_r * head_r;
+                    let in_head = (fx - cx).powi(2) + (fy - head_cy).powi(2) <= head_r * head_r;
                     let in_torso = ((fx - cx) / torso_rx).powi(2)
                         + ((fy - torso_cy) / torso_ry).powi(2)
                         <= 1.0;
@@ -307,7 +307,8 @@ impl VibrationGenerator {
         let mut rng = StdRng::seed_from_u64(seed);
         let steps = (self.duration_s * self.sample_rate_hz as f32) as usize;
         let rate = self.sample_rate_hz as f32;
-        let phase: Vec<f32> = (0..self.axes).map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU)).collect();
+        let phase: Vec<f32> =
+            (0..self.axes).map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU)).collect();
         let mut out = Vec::with_capacity(steps * self.axes);
         for i in 0..steps {
             let t = i as f32 / rate;
@@ -341,10 +342,10 @@ impl VibrationGenerator {
                     .with_sample_rate(self.sample_rate_hz),
             );
         }
-        let kinds =
-            [AnomalyKind::HighFrequency, AnomalyKind::Amplitude, AnomalyKind::Drift];
+        let kinds = [AnomalyKind::HighFrequency, AnomalyKind::Amplitude, AnomalyKind::Drift];
         for k in 0..abnormal {
-            let w = self.generate(Some(kinds[k % kinds.len()]), seed.wrapping_add(10_000 + k as u64));
+            let w =
+                self.generate(Some(kinds[k % kinds.len()]), seed.wrapping_add(10_000 + k as u64));
             ds.add(
                 Sample::new(0, w, SensorKind::Inertial)
                     .with_label("anomaly")

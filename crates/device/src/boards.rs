@@ -123,7 +123,7 @@ impl Board {
         Board::all()
             .into_iter()
             .find(|b| b.name.to_lowercase().contains(&needle))
-        .ok_or_else(|| DeviceError::UnknownBoard(name.to_string()))
+            .ok_or_else(|| DeviceError::UnknownBoard(name.to_string()))
     }
 }
 
@@ -142,7 +142,11 @@ pub struct Accelerator {
 impl Accelerator {
     /// A representative always-on audio NN accelerator.
     pub fn syntiant_like() -> Accelerator {
-        Accelerator { name: "NDP-class audio accelerator".into(), mac_speedup: 20.0, int8_only: true }
+        Accelerator {
+            name: "NDP-class audio accelerator".into(),
+            mac_speedup: 20.0,
+            int8_only: true,
+        }
     }
 }
 

@@ -65,21 +65,19 @@ mod tests {
 
     #[test]
     fn int8_always_at_least_as_fast_as_float() {
-        for arch in [
-            CpuArch::CortexM4F,
-            CpuArch::CortexM7,
-            CpuArch::CortexM0Plus,
-            CpuArch::TensilicaLx6,
-        ] {
+        for arch in
+            [CpuArch::CortexM4F, CpuArch::CortexM7, CpuArch::CortexM0Plus, CpuArch::TensilicaLx6]
+        {
             assert!(cycles_per_int8_mac(arch) < cycles_per_float_mac(arch));
         }
     }
 
     #[test]
     fn quantization_gain_small_on_lx6_large_on_m4() {
-        let m4_gain = cycles_per_float_mac(CpuArch::CortexM4F) / cycles_per_int8_mac(CpuArch::CortexM4F);
-        let lx6_gain =
-            cycles_per_float_mac(CpuArch::TensilicaLx6) / cycles_per_int8_mac(CpuArch::TensilicaLx6);
+        let m4_gain =
+            cycles_per_float_mac(CpuArch::CortexM4F) / cycles_per_int8_mac(CpuArch::CortexM4F);
+        let lx6_gain = cycles_per_float_mac(CpuArch::TensilicaLx6)
+            / cycles_per_int8_mac(CpuArch::TensilicaLx6);
         assert!(m4_gain > 4.0, "m4 gain {m4_gain}");
         assert!(lx6_gain < 2.5, "lx6 gain {lx6_gain}");
     }

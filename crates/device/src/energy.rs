@@ -28,7 +28,9 @@ pub struct PowerProfile {
 pub fn power_profile(arch: CpuArch) -> PowerProfile {
     match arch {
         // nRF52840 class
-        CpuArch::CortexM4F => PowerProfile { active_mw: 16.0, sleep_mw: 0.01, radio_mj_per_tx: 6.0 },
+        CpuArch::CortexM4F => {
+            PowerProfile { active_mw: 16.0, sleep_mw: 0.01, radio_mj_per_tx: 6.0 }
+        }
         CpuArch::CortexM7 => PowerProfile { active_mw: 110.0, sleep_mw: 0.5, radio_mj_per_tx: 6.0 },
         // RP2040 class
         CpuArch::CortexM0Plus => {
@@ -89,10 +91,13 @@ pub struct EnergyEstimate {
 ///
 /// The duty cycle is capped at 100%: if the requested inference rate
 /// exceeds what the latency allows, the device simply computes constantly.
-pub fn estimate_energy(board: &Board, workload: EnergyWorkload, battery: Battery) -> EnergyEstimate {
+pub fn estimate_energy(
+    board: &Board,
+    workload: EnergyWorkload,
+    battery: Battery,
+) -> EnergyEstimate {
     let profile = power_profile(board.arch);
-    let active_s_per_hour =
-        (workload.total_ms / 1000.0 * workload.inferences_per_hour).min(3600.0);
+    let active_s_per_hour = (workload.total_ms / 1000.0 * workload.inferences_per_hour).min(3600.0);
     let duty = active_s_per_hour / 3600.0;
     let compute_mw = profile.active_mw * duty;
     let sleep_mw = profile.sleep_mw * (1.0 - duty);

@@ -34,7 +34,7 @@ pub mod profile;
 pub use boards::{Accelerator, Board, CpuArch};
 pub use energy::{estimate_energy, Battery, EnergyEstimate, EnergyWorkload};
 pub use error::DeviceError;
-pub use profile::{FitCheck, ProfileReport, Profiler};
+pub use profile::{FitCheck, LayerProfile, ProfileReport, Profiler};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DeviceError>;

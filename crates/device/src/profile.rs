@@ -12,7 +12,8 @@ use crate::cycles::{
     INVOKE_OVERHEAD_CYCLES, TFLM_DISPATCH_CYCLES,
 };
 use ei_dsp::DspCost;
-use ei_runtime::{EngineKind, InferenceEngine, MemoryReport};
+use ei_runtime::{EngineKind, InferenceEngine, MemoryReport, ModelArtifact};
+use ei_trace::Tracer;
 
 /// RAM the application firmware needs outside the model (stack, sensor
 /// driver buffers, SDK state).
@@ -64,6 +65,29 @@ impl ProfileReport {
     }
 }
 
+/// One row of the per-layer latency breakdown on a specific board.
+///
+/// Rows come from [`InferenceEngine::op_profile`] (MACs, weight and
+/// planned arena bytes) costed with the board's cycle model plus the
+/// engine's per-op dispatch overhead. [`Profiler::inference_ms`] is
+/// *defined* as the sum of `ms` over these rows, so the breakdown always
+/// adds up exactly to the end-to-end estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProfile {
+    /// Kernel-style op name.
+    pub name: &'static str,
+    /// Multiply–accumulate count of the op.
+    pub macs: u64,
+    /// Modeled cycles on this board, including per-op dispatch.
+    pub cycles: f64,
+    /// Modeled milliseconds on this board.
+    pub ms: f64,
+    /// Planned output activation buffer size in bytes.
+    pub arena_bytes: usize,
+    /// Parameter bytes the op reads from flash.
+    pub weight_bytes: usize,
+}
+
 /// Latency/memory estimator for one board (optionally with an accelerator).
 #[derive(Debug, Clone)]
 pub struct Profiler {
@@ -95,28 +119,36 @@ impl Profiler {
         cycles / self.board.clock_hz as f64 * 1_000.0
     }
 
-    /// Estimates inference latency for an engine-bound model.
-    pub fn inference_ms(&self, engine: &dyn InferenceEngine) -> f64 {
-        let artifact = engine.artifact();
+    /// Effective cycles per MAC for an artifact on this board, after any
+    /// attached accelerator.
+    fn effective_cycles_per_mac(&self, artifact: &ModelArtifact) -> f64 {
         let per_mac = if artifact.is_quantized() {
             cycles_per_int8_mac(self.board.arch)
         } else {
             cycles_per_float_mac(self.board.arch)
         };
-        let per_mac = match &self.accelerator {
+        match &self.accelerator {
             Some(acc) if artifact.is_quantized() || !acc.int8_only => {
                 per_mac / acc.mac_speedup as f64
             }
             _ => per_mac,
-        };
-        let dispatch = match engine.kind() {
+        }
+    }
+
+    /// Per-op dispatch overhead of an engine, in cycles.
+    fn dispatch_cycles(kind: EngineKind) -> f64 {
+        match kind {
             EngineKind::TflmInterpreter => TFLM_DISPATCH_CYCLES,
             EngineKind::EonCompiled => EON_DISPATCH_CYCLES,
-        };
-        let ops = artifact.ops();
-        let mac_cycles: f64 = ops.iter().map(|o| o.macs as f64 * per_mac).sum();
-        let dispatch_cycles = ops.len() as f64 * dispatch;
-        (mac_cycles + dispatch_cycles) / self.board.clock_hz as f64 * 1_000.0
+        }
+    }
+
+    /// Estimates inference latency for an engine-bound model.
+    ///
+    /// Defined as the sum of [`Profiler::per_layer_profile`] row latencies,
+    /// so the per-layer breakdown always sums exactly to this estimate.
+    pub fn inference_ms(&self, engine: &dyn InferenceEngine) -> f64 {
+        self.per_layer_profile(engine).iter().map(|l| l.ms).sum()
     }
 
     /// Checks a memory report (plus DSP scratch) against the board.
@@ -141,42 +173,82 @@ impl Profiler {
         FitCheck { fits: reasons.is_empty(), reasons }
     }
 
-    /// Per-op latency breakdown of a model on this board — the per-layer
+    /// Full per-layer breakdown of a model on this board — the per-layer
     /// timing view the Studio shows next to the overall estimate.
     ///
-    /// Returns `(op name, estimated milliseconds)` in execution order,
-    /// including the per-op dispatch overhead of the engine.
-    pub fn per_op_profile(&self, engine: &dyn InferenceEngine) -> Vec<(&'static str, f64)> {
-        let artifact = engine.artifact();
-        let per_mac = if artifact.is_quantized() {
-            cycles_per_int8_mac(self.board.arch)
-        } else {
-            cycles_per_float_mac(self.board.arch)
-        };
-        let per_mac = match &self.accelerator {
-            Some(acc) if artifact.is_quantized() || !acc.int8_only => {
-                per_mac / acc.mac_speedup as f64
-            }
-            _ => per_mac,
-        };
-        let dispatch = match engine.kind() {
-            EngineKind::TflmInterpreter => TFLM_DISPATCH_CYCLES,
-            EngineKind::EonCompiled => EON_DISPATCH_CYCLES,
-        };
-        artifact
-            .ops()
-            .iter()
+    /// Rows are in execution order; each carries the op's MACs, modeled
+    /// cycles and milliseconds (including the engine's per-op dispatch
+    /// overhead), its planned arena bytes and its weight bytes.
+    /// [`Profiler::inference_ms`] is the exact sum of the `ms` column.
+    pub fn per_layer_profile(&self, engine: &dyn InferenceEngine) -> Vec<LayerProfile> {
+        let per_mac = self.effective_cycles_per_mac(engine.artifact());
+        let dispatch = Self::dispatch_cycles(engine.kind());
+        engine
+            .op_profile()
+            .into_iter()
             .map(|op| {
                 let cycles = op.macs as f64 * per_mac + dispatch;
-                (op.name, cycles / self.board.clock_hz as f64 * 1_000.0)
+                LayerProfile {
+                    name: op.name,
+                    macs: op.macs,
+                    cycles,
+                    ms: cycles / self.board.clock_hz as f64 * 1_000.0,
+                    arena_bytes: op.arena_bytes,
+                    weight_bytes: op.weight_bytes,
+                }
             })
             .collect()
+    }
+
+    /// Per-op latency breakdown as `(op name, estimated milliseconds)` in
+    /// execution order — a thin view over [`Profiler::per_layer_profile`].
+    pub fn per_op_profile(&self, engine: &dyn InferenceEngine) -> Vec<(&'static str, f64)> {
+        self.per_layer_profile(engine).into_iter().map(|l| (l.name, l.ms)).collect()
+    }
+
+    /// Emits the per-layer breakdown through a tracer and returns it.
+    ///
+    /// Opens a `profile` span carrying the board and engine, emits one
+    /// `profile.layer` event per row plus a closing `profile.total` event,
+    /// and sets the `profile.inference_ms` gauge. The total equals the sum
+    /// of the emitted rows exactly.
+    pub fn emit_profile(&self, tracer: &Tracer, engine: &dyn InferenceEngine) -> Vec<LayerProfile> {
+        let layers = self.per_layer_profile(engine);
+        let total_ms: f64 = layers.iter().map(|l| l.ms).sum();
+        let span = tracer.span_with(
+            "profile",
+            vec![
+                ("board", self.board.name.as_str().into()),
+                ("engine", engine.kind().to_string().into()),
+                ("ops", layers.len().into()),
+            ],
+        );
+        for layer in &layers {
+            span.event(
+                "profile.layer",
+                vec![
+                    ("op", layer.name.into()),
+                    ("macs", layer.macs.into()),
+                    ("cycles", layer.cycles.into()),
+                    ("ms", layer.ms.into()),
+                    ("arena_bytes", layer.arena_bytes.into()),
+                    ("weight_bytes", layer.weight_bytes.into()),
+                ],
+            );
+        }
+        span.event("profile.total", vec![("inference_ms", total_ms.into())]);
+        tracer.gauge("profile.inference_ms").set(total_ms);
+        layers
     }
 
     /// Produces the full pre-deployment estimate for a DSP block + engine
     /// pair — what the Studio shows per target and what the EON Tuner
     /// filters on.
-    pub fn profile(&self, dsp_cost: Option<DspCost>, engine: &dyn InferenceEngine) -> ProfileReport {
+    pub fn profile(
+        &self,
+        dsp_cost: Option<DspCost>,
+        engine: &dyn InferenceEngine,
+    ) -> ProfileReport {
         let dsp_ms = dsp_cost.map_or(0.0, |c| self.dsp_ms(c));
         let inference_ms = self.inference_ms(engine);
         let overhead_ms = INVOKE_OVERHEAD_CYCLES / self.board.clock_hz as f64 * 1_000.0;
@@ -210,9 +282,8 @@ mod tests {
         let spec = presets::ds_cnn(Dims::new(49, 13, 1), 12, 64);
         let model = Sequential::build(&spec, 5).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        let calib: Vec<Vec<f32>> = (0..4)
-            .map(|_| (0..49 * 13).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .collect();
+        let calib: Vec<Vec<f32>> =
+            (0..4).map(|_| (0..49 * 13).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
         let qmodel = ei_quant::quantize_model(&model, &calib).unwrap();
         (ModelArtifact::Float(model), ModelArtifact::Int8(qmodel))
     }
@@ -299,8 +370,8 @@ mod tests {
         let feon = EonProgram::compile(float_a).unwrap();
         let qeon = EonProgram::compile(int8_a).unwrap();
         let plain = Profiler::new(Board::nano33_ble_sense());
-        let boosted = Profiler::new(Board::nano33_ble_sense())
-            .with_accelerator(Accelerator::syntiant_like());
+        let boosted =
+            Profiler::new(Board::nano33_ble_sense()).with_accelerator(Accelerator::syntiant_like());
         assert!(boosted.inference_ms(&qeon) < plain.inference_ms(&qeon) / 5.0);
         // int8-only accelerator leaves float untouched
         assert!((boosted.inference_ms(&feon) - plain.inference_ms(&feon)).abs() < 1e-9);
@@ -315,13 +386,50 @@ mod tests {
         assert!(!breakdown.is_empty());
         let sum: f64 = breakdown.iter().map(|(_, ms)| ms).sum();
         let total = profiler.inference_ms(&eon);
-        assert!((sum - total).abs() < 1e-6, "breakdown {sum} vs total {total}");
+        // bitwise equal: inference_ms is defined as this very sum
+        assert_eq!(sum, total, "breakdown {sum} vs total {total}");
         // the conv ops dominate a DS-CNN
-        let heaviest = breakdown
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let heaviest = breakdown.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         assert!(heaviest.0.contains("conv"), "heaviest op {heaviest:?}");
+    }
+
+    #[test]
+    fn per_layer_profile_carries_memory_columns() {
+        let (_, int8_a) = kws_artifacts();
+        let eon = EonProgram::compile(int8_a).unwrap();
+        let profiler = Profiler::new(Board::nano33_ble_sense());
+        let layers = profiler.per_layer_profile(&eon);
+        assert_eq!(layers.len(), eon.artifact().ops().len());
+        assert!(layers.iter().all(|l| l.arena_bytes > 0));
+        // parameterized layers report their flash weights
+        assert!(layers.iter().any(|l| l.weight_bytes > 0));
+        // cycles and ms agree with the board clock
+        let clock_hz = profiler.board().clock_hz as f64;
+        for l in &layers {
+            assert_eq!(l.ms, l.cycles / clock_hz * 1_000.0);
+        }
+    }
+
+    #[test]
+    fn emit_profile_streams_one_event_per_layer() {
+        let (float_a, _) = kws_artifacts();
+        let eon = EonProgram::compile(float_a).unwrap();
+        let profiler = Profiler::new(Board::esp_eye());
+        let clock = ei_faults::VirtualClock::shared();
+        let (tracer, collector) = ei_trace::Tracer::collecting(clock);
+        let layers = profiler.emit_profile(&tracer, &eon);
+        let records = collector.records();
+        let layer_events = records.iter().filter(|r| r.name() == "profile.layer").count();
+        assert_eq!(layer_events, layers.len());
+        // the profile span opens and closes
+        assert_eq!(records.iter().filter(|r| r.name() == "profile").count(), 2);
+        let snapshot = tracer.metrics_snapshot();
+        match snapshot.get("profile.inference_ms") {
+            Some(ei_trace::MetricValue::Gauge(v)) => {
+                assert_eq!(*v, profiler.inference_ms(&eon));
+            }
+            other => panic!("expected inference gauge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -113,9 +113,7 @@ mod tests {
     use super::*;
 
     fn tone(freq: f32, n: usize, rate: u32) -> Vec<f32> {
-        (0..n)
-            .map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / rate as f32).sin())
-            .collect()
+        (0..n).map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / rate as f32).sin()).collect()
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl DspConfig {
             DspConfig::Spectral(c) => Box::new(SpectralBlock::new(c.clone())?),
             DspConfig::Image(c) => Box::new(ImageBlock::new(c.clone())?),
             DspConfig::Raw(c) => Box::new(RawBlock::new(c.clone())),
-            DspConfig::Custom { name, params } => {
-                crate::custom::build_custom_block(name, params)?
-            }
+            DspConfig::Custom { name, params } => crate::custom::build_custom_block(name, params)?,
         })
     }
 
@@ -141,7 +139,9 @@ impl DspConfig {
                 format!("Spectrogram ({}, {}, {})", c.frame_s, c.stride_s, c.fft_len)
             }
             DspConfig::Spectral(c) => format!("Spectral ({} axes)", c.axes),
-            DspConfig::Image(c) => format!("Image ({}x{}x{})", c.out_width, c.out_height, c.out_channels),
+            DspConfig::Image(c) => {
+                format!("Image ({}x{}x{})", c.out_width, c.out_height, c.out_channels)
+            }
             DspConfig::Raw(_) => "Raw".to_string(),
             DspConfig::Custom { name, params } => {
                 format!("Custom ({name}, {} params)", params.len())

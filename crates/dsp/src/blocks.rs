@@ -64,15 +64,18 @@ impl MfeBlock {
     /// Returns [`DspError::InvalidConfig`] for zero-length frames, inverted
     /// frequency ranges, or filter counts that exceed the spectrum size.
     pub fn new(config: MfeConfig) -> Result<MfeBlock> {
-        let framing = Framing::from_seconds(config.frame_s, config.stride_s, config.sample_rate_hz)?;
+        let framing =
+            Framing::from_seconds(config.frame_s, config.stride_s, config.sample_rate_hz)?;
         let fft_len = next_power_of_two(framing.frame_len);
-        let high = if config.high_hz <= 0.0 {
-            config.sample_rate_hz as f32 / 2.0
-        } else {
-            config.high_hz
-        };
-        let filterbank =
-            MelFilterbank::new(config.n_filters, fft_len, config.sample_rate_hz, config.low_hz, high)?;
+        let high =
+            if config.high_hz <= 0.0 { config.sample_rate_hz as f32 / 2.0 } else { config.high_hz };
+        let filterbank = MelFilterbank::new(
+            config.n_filters,
+            fft_len,
+            config.sample_rate_hz,
+            config.low_hz,
+            high,
+        )?;
         Ok(MfeBlock { config, framing, fft_len, filterbank })
     }
 
@@ -126,7 +129,7 @@ impl DspBlock for MfeBlock {
             + fft_flops(self.fft_len)                      // fft
             + (self.fft_len as u64 / 2 + 1) * 3            // power spectrum
             + self.filterbank.macs() * 2                   // filterbank
-            + self.config.n_filters as u64 * 8;            // log
+            + self.config.n_filters as u64 * 8; // log
         let scratch = self.fft_len * 8          // complex fft buffer
             + (self.fft_len / 2 + 1) * 4        // power spectrum
             + self.framing.frame_len * 4; // windowed frame
@@ -358,8 +361,8 @@ impl DspBlock for MfccBlock {
     fn cost(&self, input_len: usize) -> Result<DspCost> {
         let base = self.mfe.cost(input_len)?;
         let frames = self.mfe.frames(input_len) as u64;
-        let dct_flops = frames
-            * (self.config.n_coefficients as u64 * self.config.n_filters as u64 * 2);
+        let dct_flops =
+            frames * (self.config.n_coefficients as u64 * self.config.n_filters as u64 * 2);
         Ok(DspCost {
             flops: base.flops + dct_flops,
             scratch_bytes: base.scratch_bytes + self.config.n_filters * 4,
@@ -474,7 +477,11 @@ impl DspBlock for SpectralBlock {
             let per_bucket = (bins / self.config.n_buckets).max(1);
             for b in 0..self.config.n_buckets {
                 let lo = 1 + b * per_bucket;
-                let hi = if b + 1 == self.config.n_buckets { power.len() } else { 1 + (b + 1) * per_bucket };
+                let hi = if b + 1 == self.config.n_buckets {
+                    power.len()
+                } else {
+                    1 + (b + 1) * per_bucket
+                };
                 let sum: f32 = power[lo.min(power.len())..hi.min(power.len())].iter().sum();
                 out.push((sum.max(LOG_FLOOR)).ln());
             }
@@ -656,11 +663,7 @@ impl DspBlock for ImageBlock {
     fn cost(&self, input_len: usize) -> Result<DspCost> {
         let out = self.output_len(input_len)?;
         // bilinear: ~8 ops per output channel value + normalization
-        Ok(DspCost {
-            flops: out as u64 * 9,
-            scratch_bytes: 64,
-            output_features: out,
-        })
+        Ok(DspCost { flops: out as u64 * 9, scratch_bytes: 64, output_features: out })
     }
 
     fn config(&self) -> DspConfig {
@@ -733,9 +736,7 @@ mod tests {
 
     fn tone(freq: f32, seconds: f32, rate: u32) -> Vec<f32> {
         let n = (seconds * rate as f32) as usize;
-        (0..n)
-            .map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / rate as f32).sin())
-            .collect()
+        (0..n).map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / rate as f32).sin()).collect()
     }
 
     // --- MFE ---
@@ -765,9 +766,7 @@ mod tests {
         // per-frame argmax filter should be consistent across frames
         let per_frame: Vec<usize> = features
             .chunks(40)
-            .map(|f| {
-                f.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
-            })
+            .map(|f| f.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0)
             .collect();
         let first = per_frame[0];
         assert!(per_frame.iter().all(|&p| p.abs_diff(first) <= 1));
@@ -816,8 +815,11 @@ mod tests {
     fn spectrogram_validation() {
         assert!(SpectrogramBlock::new(SpectrogramConfig { fft_len: 100, ..Default::default() })
             .is_err());
-        assert!(SpectrogramBlock::new(SpectrogramConfig { fft_len: 128, ..Default::default() })
-            .is_err(), "fft shorter than frame");
+        assert!(
+            SpectrogramBlock::new(SpectrogramConfig { fft_len: 128, ..Default::default() })
+                .is_err(),
+            "fft shorter than frame"
+        );
         let block = SpectrogramBlock::new(SpectrogramConfig::default()).unwrap();
         assert!(block.process(&[0.0; 10]).is_err());
         assert!(block.cost(10).is_err());
@@ -903,17 +905,18 @@ mod tests {
             sample_rate_hz: 100,
         })
         .unwrap();
-        let slow: Vec<f32> = (0..128)
-            .map(|t| (2.0 * std::f32::consts::PI * 2.0 * t as f32 / 100.0).sin())
-            .collect();
+        let slow: Vec<f32> =
+            (0..128).map(|t| (2.0 * std::f32::consts::PI * 2.0 * t as f32 / 100.0).sin()).collect();
         let fast: Vec<f32> = (0..128)
             .map(|t| (2.0 * std::f32::consts::PI * 40.0 * t as f32 / 100.0).sin())
             .collect();
         let fs = block.process(&slow).unwrap();
         let ff = block.process(&fast).unwrap();
         // bucket features start at index 3; slow tone peaks earlier than fast tone
-        let peak_slow = fs[3..].iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
-        let peak_fast = ff[3..].iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak_slow =
+            fs[3..].iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak_fast =
+            ff[3..].iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(peak_slow < peak_fast);
     }
 

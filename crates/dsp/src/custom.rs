@@ -17,8 +17,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub type CustomParams = Vec<(String, f32)>;
 
 /// A factory building a block instance from its parameters.
-pub type BlockFactory =
-    Arc<dyn Fn(&CustomParams) -> Result<Box<dyn DspBlock>> + Send + Sync>;
+pub type BlockFactory = Arc<dyn Fn(&CustomParams) -> Result<Box<dyn DspBlock>> + Send + Sync>;
 
 fn registry() -> &'static Mutex<HashMap<String, BlockFactory>> {
     static REGISTRY: OnceLock<Mutex<HashMap<String, BlockFactory>>> = OnceLock::new();
@@ -30,10 +29,7 @@ fn registry() -> &'static Mutex<HashMap<String, BlockFactory>> {
 /// Registration is process-wide, mirroring how the platform resolves
 /// custom blocks by name at build time.
 pub fn register_custom_block(name: &str, factory: BlockFactory) {
-    registry()
-        .lock()
-        .expect("custom block registry poisoned")
-        .insert(name.to_string(), factory);
+    registry().lock().expect("custom block registry poisoned").insert(name.to_string(), factory);
 }
 
 /// Builds a registered custom block.
@@ -43,25 +39,17 @@ pub fn register_custom_block(name: &str, factory: BlockFactory) {
 /// Returns [`DspError::InvalidConfig`] when no factory is registered under
 /// `name`, or whatever error the factory reports for bad parameters.
 pub fn build_custom_block(name: &str, params: &CustomParams) -> Result<Box<dyn DspBlock>> {
-    let factory = registry()
-        .lock()
-        .expect("custom block registry poisoned")
-        .get(name)
-        .cloned()
-        .ok_or_else(|| {
-            DspError::InvalidConfig(format!("no custom block registered under {name:?}"))
-        })?;
+    let factory =
+        registry().lock().expect("custom block registry poisoned").get(name).cloned().ok_or_else(
+            || DspError::InvalidConfig(format!("no custom block registered under {name:?}")),
+        )?;
     factory(params)
 }
 
 /// Lists registered custom block names (sorted).
 pub fn custom_block_names() -> Vec<String> {
-    let mut names: Vec<String> = registry()
-        .lock()
-        .expect("custom block registry poisoned")
-        .keys()
-        .cloned()
-        .collect();
+    let mut names: Vec<String> =
+        registry().lock().expect("custom block registry poisoned").keys().cloned().collect();
     names.sort();
     names
 }
@@ -129,10 +117,8 @@ mod tests {
     fn register_build_and_run() {
         register_energy();
         assert!(custom_block_names().contains(&"energy".to_string()));
-        let config = DspConfig::Custom {
-            name: "energy".into(),
-            params: vec![("chunk".into(), 4.0)],
-        };
+        let config =
+            DspConfig::Custom { name: "energy".into(), params: vec![("chunk".into(), 4.0)] };
         let block = config.build().unwrap();
         let features = block.process(&[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]).unwrap();
         assert_eq!(features, vec![1.0, 4.0]);

@@ -50,10 +50,7 @@ impl std::ops::Sub for Complex {
 impl std::ops::Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -204,12 +201,7 @@ mod tests {
             .map(|t| (2.0 * std::f32::consts::PI * bin as f32 * t as f32 / n as f32).sin())
             .collect();
         let power = power_spectrum(&signal, n).unwrap();
-        let peak = power
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = power.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, bin);
     }
 

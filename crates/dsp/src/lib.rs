@@ -34,8 +34,8 @@
 
 pub mod autotune;
 pub mod block;
-pub mod custom;
 pub mod blocks;
+pub mod custom;
 pub mod error;
 pub mod fft;
 pub mod mel;
@@ -43,8 +43,10 @@ pub mod window;
 
 pub use autotune::{autotune_audio, AutotuneGoal};
 pub use block::{DspBlock, DspConfig, DspCost};
+pub use blocks::{
+    ImageConfig, MfccConfig, MfeConfig, RawConfig, SpectralConfig, SpectrogramConfig,
+};
 pub use custom::{register_custom_block, BlockFactory, CustomParams};
-pub use blocks::{ImageConfig, MfccConfig, MfeConfig, RawConfig, SpectralConfig, SpectrogramConfig};
 pub use error::DspError;
 
 /// Crate-wide result alias.

@@ -104,17 +104,14 @@ impl MelFilterbank {
                 actual: power.len(),
             });
         }
-        Ok(self
-            .filters
-            .iter()
-            .map(|w| w.iter().zip(power).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok(self.filters.iter().map(|w| w.iter().zip(power).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Approximate multiply–accumulate count of one [`MelFilterbank::apply`].
     pub fn macs(&self) -> u64 {
         // triangular filters touch ~2 * n_bins / n_filters bins each
-        (self.filters.len() as u64) * (2 * self.n_bins as u64 / self.filters.len().max(1) as u64 + 1)
+        (self.filters.len() as u64)
+            * (2 * self.n_bins as u64 / self.filters.len().max(1) as u64 + 1)
     }
 }
 
@@ -200,12 +197,8 @@ mod tests {
         let mut power = vec![0.0f32; 257];
         power[32] = 10.0;
         let energies = fb.apply(&power).unwrap();
-        let peak = energies
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak =
+            energies.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         // 1 kHz = mel 999.9; filters span 0..2840 mel, so peak should sit in
         // the lower-middle third of the bank
         assert!((3..10).contains(&peak), "peak filter {peak}");

@@ -198,8 +198,8 @@ mod tests {
 
     #[test]
     fn windowed_frames_too_short() {
-        let err = windowed_frames(&[0.0; 5], Framing::new(10, 5).unwrap(), WindowKind::Hann)
-            .unwrap_err();
+        let err =
+            windowed_frames(&[0.0; 5], Framing::new(10, 5).unwrap(), WindowKind::Hann).unwrap_err();
         assert_eq!(err, DspError::InputTooShort { required: 10, actual: 5 });
     }
 

@@ -134,14 +134,7 @@ mod tests {
         let plan = FaultPlan::new().panic_on(1, "boom").error_on(2, "transient");
         let mut work = plan.arm(clock.clone(), || Ok::<_, String>("payload".to_string()));
         let policy = RetryPolicy::default().with_seed(9).with_max_attempts(5);
-        let r = execute(
-            &policy,
-            clock.as_ref(),
-            0,
-            &CancelToken::new(),
-            |_| {},
-            |_| work(),
-        );
+        let r = execute(&policy, clock.as_ref(), 0, &CancelToken::new(), |_| {}, |_| work());
         assert_eq!(r.outcome, RetryOutcome::Success { output: "payload".into(), attempts: 3 });
         assert_eq!(plan.calls(), 3);
         assert_eq!(r.attempts[0].cause, FailureCause::Panic("boom".into()));

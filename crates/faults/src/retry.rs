@@ -305,9 +305,9 @@ where
             }
             // the deadline passed while the attempt ran: whatever it
             // returned is stale — the watchdog already gave up on it
-            _ if overran => FailureCause::TimedOut {
-                limit_ms: policy.timeout_ms.unwrap_or_default(),
-            },
+            _ if overran => {
+                FailureCause::TimedOut { limit_ms: policy.timeout_ms.unwrap_or_default() }
+            }
             Ok(Err(msg)) => FailureCause::Error(msg),
             Ok(Ok(_)) => unreachable!("success without overrun returns above"),
             Err(payload) => FailureCause::Panic(panic_message(payload)),
@@ -317,7 +317,8 @@ where
         let out_of_time = policy.max_elapsed_ms.is_some_and(|cap| elapsed >= cap);
         let cancelled = cancel.is_cancelled();
         let retryable = !out_of_attempts && !out_of_time && !cancelled;
-        let backoff_ms = if retryable { Some(policy.next_backoff(&mut rng, &mut prev)) } else { None };
+        let backoff_ms =
+            if retryable { Some(policy.next_backoff(&mut rng, &mut prev)) } else { None };
         records.push(AttemptRecord { attempt, cause: failure, duration_ms, backoff_ms });
         let record = records.last().expect("just pushed");
         observer(RetryEvent::AttemptFailed { record });
@@ -386,10 +387,7 @@ mod tests {
         assert_eq!(policy.backoff_preview(3, 4), policy.backoff_preview(3, 4));
         assert_ne!(policy.backoff_preview(3, 4), policy.backoff_preview(4, 4));
         // a different seed changes the schedule
-        assert_ne!(
-            policy.backoff_preview(3, 4),
-            policy.with_seed(8).backoff_preview(3, 4)
-        );
+        assert_ne!(policy.backoff_preview(3, 4), policy.with_seed(8).backoff_preview(3, 4));
     }
 
     #[test]
@@ -421,13 +419,20 @@ mod tests {
         let clock = VirtualClock::new();
         let policy = RetryPolicy::default().with_timeout(10).with_max_attempts(2);
         let mut calls = 0;
-        let r = execute(&policy, &clock, 0, &CancelToken::new(), |_| {}, |_| {
-            calls += 1;
-            if calls == 1 {
-                clock.advance_ms(25); // overruns the 10 ms deadline
-            }
-            Ok("late".into())
-        });
+        let r = execute(
+            &policy,
+            &clock,
+            0,
+            &CancelToken::new(),
+            |_| {},
+            |_| {
+                calls += 1;
+                if calls == 1 {
+                    clock.advance_ms(25); // overruns the 10 ms deadline
+                }
+                Ok("late".into())
+            },
+        );
         assert_eq!(r.outcome, RetryOutcome::Success { output: "late".into(), attempts: 2 });
         assert_eq!(r.attempts[0].cause, FailureCause::TimedOut { limit_ms: 10 });
     }
@@ -435,10 +440,8 @@ mod tests {
     #[test]
     fn max_elapsed_stops_retrying_early() {
         let clock = VirtualClock::new();
-        let policy = RetryPolicy::default()
-            .with_max_attempts(100)
-            .with_backoff(10, 10)
-            .with_max_elapsed(25);
+        let policy =
+            RetryPolicy::default().with_max_attempts(100).with_backoff(10, 10).with_max_elapsed(25);
         let r = run(&policy, &clock, |_| Err("always".into()));
         let RetryOutcome::Exhausted { error } = &r.outcome else {
             panic!("expected exhaustion, got {:?}", r.outcome);
@@ -453,10 +456,17 @@ mod tests {
         let token = CancelToken::new();
         let policy = RetryPolicy::default().with_max_attempts(10);
         let t = token.clone();
-        let r = execute(&policy, &clock, 0, &token, |_| {}, move |_| {
-            t.cancel(); // cancelled mid-attempt; backoff sleep must notice
-            Err("fail".into())
-        });
+        let r = execute(
+            &policy,
+            &clock,
+            0,
+            &token,
+            |_| {},
+            move |_| {
+                t.cancel(); // cancelled mid-attempt; backoff sleep must notice
+                Err("fail".into())
+            },
+        );
         assert_eq!(r.outcome, RetryOutcome::Cancelled);
         assert_eq!(r.attempts.len(), 1);
     }

@@ -42,7 +42,10 @@ impl Conv2dGeom {
     /// Multiply–accumulate count of one forward pass.
     pub fn macs(&self) -> u64 {
         let (oh, ow, _, _) = self.output();
-        (oh * ow) as u64 * self.kernel_h as u64 * self.kernel_w as u64 * self.in_c as u64
+        (oh * ow) as u64
+            * self.kernel_h as u64
+            * self.kernel_w as u64
+            * self.in_c as u64
             * self.out_c as u64
     }
 }
@@ -521,14 +524,8 @@ mod tests {
 
     #[test]
     fn conv1d_backward_finite_difference() {
-        let g = Conv1dGeom {
-            in_w: 8,
-            in_c: 2,
-            out_c: 3,
-            kernel: 3,
-            stride: 2,
-            padding: Padding::Same,
-        };
+        let g =
+            Conv1dGeom { in_w: 8, in_c: 2, out_c: 3, kernel: 3, stride: 2, padding: Padding::Same };
         let input: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.1).collect();
         let weights: Vec<f32> = (0..3 * 2 * 3).map(|i| ((i % 4) as f32 - 1.5) * 0.2).collect();
         let bias = vec![0.0f32; 3];

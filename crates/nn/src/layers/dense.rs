@@ -77,9 +77,8 @@ mod tests {
         let grad_out = [1.0f32, 1.0];
         let (grad_in, grad_w, grad_b) = dense_backward(&input, &weights, units, &grad_out);
         let eps = 1e-3f32;
-        let loss = |inp: &[f32], w: &[f32]| -> f32 {
-            dense_forward(inp, w, &bias, units).iter().sum()
-        };
+        let loss =
+            |inp: &[f32], w: &[f32]| -> f32 { dense_forward(inp, w, &bias, units).iter().sum() };
         for i in 0..input.len() {
             let mut plus = input;
             plus[i] += eps;

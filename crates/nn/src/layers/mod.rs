@@ -13,7 +13,12 @@ use crate::spec::Padding;
 /// Output length and leading pad of a strided window operation.
 ///
 /// Returns `(out_len, pad_begin)`.
-pub fn conv_out_len(input: usize, kernel: usize, stride: usize, padding: Padding) -> (usize, usize) {
+pub fn conv_out_len(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+) -> (usize, usize) {
     match padding {
         Padding::Valid => {
             if input < kernel {

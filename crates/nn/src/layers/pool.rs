@@ -88,13 +88,7 @@ pub fn avgpool2d_forward(input: &[f32], h: usize, w: usize, c: usize, size: usiz
 }
 
 /// Backward pass of 2-D average pooling: gradient spreads uniformly.
-pub fn avgpool2d_backward(
-    h: usize,
-    w: usize,
-    c: usize,
-    size: usize,
-    grad_out: &[f32],
-) -> Vec<f32> {
+pub fn avgpool2d_backward(h: usize, w: usize, c: usize, size: usize, grad_out: &[f32]) -> Vec<f32> {
     let (oh, ow) = (pool_out(h, size), pool_out(w, size));
     let norm = 1.0 / (size * size) as f32;
     let mut grad_in = vec![0.0f32; h * w * c];

@@ -9,9 +9,9 @@ use crate::layers::pool::{
     avgpool2d_backward, avgpool2d_forward, global_avg_backward, global_avg_forward,
     maxpool2d_backward, maxpool2d_forward, pool_out,
 };
-use crate::spec::{Activation, Dims, LayerSpec, ModelSpec};
 #[cfg(test)]
 use crate::spec::Padding;
+use crate::spec::{Activation, Dims, LayerSpec, ModelSpec};
 use crate::{NnError, Result};
 use ei_tensor::init::{init_tensor, Init};
 use ei_tensor::{Shape, Tensor};
@@ -64,7 +64,7 @@ impl Layer {
                 in_c: self.input.c,
                 out_c: *filters,
                 kernel_h: *kernel,
-                        kernel_w: *kernel,
+                kernel_w: *kernel,
                 stride: *stride,
                 padding: *padding,
             }
@@ -89,7 +89,7 @@ impl Layer {
                     in_c: self.input.c,
                     out_c: self.input.c,
                     kernel_h: *kernel,
-                        kernel_w: *kernel,
+                    kernel_w: *kernel,
                     stride: *stride,
                     padding: *padding,
                 })
@@ -192,9 +192,7 @@ impl Sequential {
                 }
                 LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => {
                     if dims.h != 1 {
-                        return Err(invalid(format!(
-                            "conv1d requires h == 1, got input {dims}"
-                        )));
+                        return Err(invalid(format!("conv1d requires h == 1, got input {dims}")));
                     }
                     if *filters == 0 || *kernel == 0 || *stride == 0 {
                         return Err(invalid("conv1d parameters must be non-zero".into()));
@@ -247,9 +245,7 @@ impl Sequential {
                     };
                     let (oh, ow, _, _) = geom.output();
                     if oh == 0 || ow == 0 {
-                        return Err(invalid(format!(
-                            "kernel {kernel} larger than input {dims}"
-                        )));
+                        return Err(invalid(format!("kernel {kernel} larger than input {dims}")));
                     }
                     let fan_in = kernel * kernel * dims.c;
                     let weights = init_tensor(
@@ -321,9 +317,7 @@ impl Sequential {
                     };
                     let (oh, ow, _, _) = geom.output();
                     if oh == 0 || ow == 0 {
-                        return Err(invalid(format!(
-                            "kernel {kernel} larger than input {dims}"
-                        )));
+                        return Err(invalid(format!("kernel {kernel} larger than input {dims}")));
                     }
                     let fan_in = kernel * kernel;
                     let weights = init_tensor(
@@ -561,7 +555,10 @@ impl Sequential {
             .ok_or_else(|| NnError::InvalidTrainingData("model has no biased layer".into()))?;
         let bias = layer.bias.as_mut().expect("filtered for Some above");
         if bias.len() != values.len() {
-            return Err(NnError::InputLengthMismatch { expected: bias.len(), actual: values.len() });
+            return Err(NnError::InputLengthMismatch {
+                expected: bias.len(),
+                actual: values.len(),
+            });
         }
         bias.as_f32_mut()?.copy_from_slice(values);
         Ok(())
@@ -766,12 +763,10 @@ impl Sequential {
         grad_output: &[f32],
         start: usize,
     ) -> Result<Vec<LayerGrads>> {
-        let expected = if start == 0 { self.spec.input.len() } else { self.layers[start - 1].output.len() };
+        let expected =
+            if start == 0 { self.spec.input.len() } else { self.layers[start - 1].output.len() };
         if grad_output.len() != expected {
-            return Err(NnError::InputLengthMismatch {
-                expected,
-                actual: grad_output.len(),
-            });
+            return Err(NnError::InputLengthMismatch { expected, actual: grad_output.len() });
         }
         let mut grads = vec![LayerGrads::default(); self.layers.len()];
         let mut grad = grad_output.to_vec();
@@ -823,7 +818,7 @@ impl Sequential {
                             in_c: layer.input.c,
                             out_c: *filters,
                             kernel_h: *kernel,
-                        kernel_w: *kernel,
+                            kernel_w: *kernel,
                             stride: *stride,
                             padding: *padding,
                         },
@@ -861,7 +856,7 @@ impl Sequential {
                             in_c: layer.input.c,
                             out_c: layer.input.c,
                             kernel_h: *kernel,
-                        kernel_w: *kernel,
+                            kernel_w: *kernel,
                             stride: *stride,
                             padding: *padding,
                         },
@@ -1098,10 +1093,7 @@ mod tests {
             .layer(LayerSpec::Dense { units: 2, activation: Activation::None });
         let mut model = Sequential::build(&spec, 4).unwrap();
         assert_eq!(model.layers()[0].output, Dims::new(5, 2, 3));
-        assert_eq!(
-            model.layers()[0].weights.as_ref().unwrap().shape().dims(),
-            &[5, 2, 1, 3]
-        );
+        assert_eq!(model.layers()[0].weights.as_ref().unwrap().shape().dims(), &[5, 2, 1, 3]);
         // rectangular macs: 5*2*1*3 per output position * 10 positions
         assert_eq!(model.layers()[0].macs(), 5 * 2 * 3 * 10);
         // finite-difference check on the rect-conv weights
@@ -1124,23 +1116,21 @@ mod tests {
             );
         }
         // rect conv that degenerates to square behaves like Conv2d
-        let square = ModelSpec::new(Dims::new(6, 6, 1))
-            .layer(LayerSpec::Conv2d {
-                filters: 2,
-                kernel: 3,
-                stride: 1,
-                padding: Padding::Valid,
-                activation: Activation::None,
-            });
-        let rect = ModelSpec::new(Dims::new(6, 6, 1))
-            .layer(LayerSpec::Conv2dRect {
-                filters: 2,
-                kernel_h: 3,
-                kernel_w: 3,
-                stride: 1,
-                padding: Padding::Valid,
-                activation: Activation::None,
-            });
+        let square = ModelSpec::new(Dims::new(6, 6, 1)).layer(LayerSpec::Conv2d {
+            filters: 2,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Valid,
+            activation: Activation::None,
+        });
+        let rect = ModelSpec::new(Dims::new(6, 6, 1)).layer(LayerSpec::Conv2dRect {
+            filters: 2,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Valid,
+            activation: Activation::None,
+        });
         let ms = Sequential::build(&square, 99).unwrap();
         let mr = Sequential::build(&rect, 99).unwrap();
         let probe = vec![0.3f32; 36];

@@ -113,17 +113,10 @@ pub fn mobilenet_v1(input: Dims, classes: usize, alpha: f32) -> ModelSpec {
 /// blocks without residual connections.
 pub fn mobilenet_v2_like(input: Dims, classes: usize, alpha: f32) -> ModelSpec {
     // (projected channels, stride, expansion factor)
-    const BLOCKS: &[(usize, usize, usize)] = &[
-        (16, 1, 1),
-        (24, 2, 6),
-        (32, 2, 6),
-        (64, 2, 6),
-        (96, 1, 6),
-        (160, 2, 6),
-    ];
-    let mut spec = ModelSpec::new(input)
-        .named(&format!("MobileNetV2 {alpha}"))
-        .layer(LayerSpec::Conv2d {
+    const BLOCKS: &[(usize, usize, usize)] =
+        &[(16, 1, 1), (24, 2, 6), (32, 2, 6), (64, 2, 6), (96, 1, 6), (160, 2, 6)];
+    let mut spec =
+        ModelSpec::new(input).named(&format!("MobileNetV2 {alpha}")).layer(LayerSpec::Conv2d {
             filters: scale_channels(32, alpha),
             kernel: 3,
             stride: 2,

@@ -4,6 +4,13 @@
 //! optimisation pieces to ensure stable training including, but not limited
 //! to, learning rate finding, classifier bias initialisation, best model
 //! checkpoint restoration." All three live here.
+//!
+//! Training is observable through [`ei_trace`]: attach a tracer with
+//! [`Trainer::with_tracer`] and every epoch emits a `train.epoch` event
+//! (loss, validation metrics, learning rate) plus `train.*` gauges,
+//! wrapped in one `train` span per run. The default disabled tracer adds
+//! nothing to the hot path and never changes the numerics — shuffling and
+//! dropout consume the same seeded RNG stream either way.
 
 use crate::loss::Loss;
 use crate::model::{LayerGrads, Sequential};
@@ -12,6 +19,7 @@ use crate::spec::LayerSpec;
 use crate::{NnError, Result};
 use ei_tensor::ops::argmax;
 use ei_tensor::Tensor;
+use ei_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -89,12 +97,21 @@ fn restore(model: &mut Sequential, ckpt: &Checkpoint) {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    tracer: Tracer,
 }
 
 impl Trainer {
     /// Creates a trainer with the given configuration.
     pub fn new(config: TrainConfig) -> Trainer {
-        Trainer { config }
+        Trainer { config, tracer: Tracer::disabled() }
+    }
+
+    /// Attaches a tracer; subsequent runs emit a `train` span with
+    /// per-epoch `train.epoch` events and `train.*` gauges.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Trainer {
+        self.tracer = tracer;
+        self
     }
 
     /// The trainer's configuration.
@@ -125,8 +142,7 @@ impl Trainer {
             counts[l] += 1;
         }
         let total = labels.len() as f32;
-        let bias: Vec<f32> =
-            counts.iter().map(|&c| ((c as f32 / total).max(1e-6)).ln()).collect();
+        let bias: Vec<f32> = counts.iter().map(|&c| ((c as f32 / total).max(1e-6)).ln()).collect();
         model.set_output_bias(&bias)
     }
 
@@ -237,7 +253,14 @@ impl Trainer {
         let mut best_loss = f32::INFINITY;
         let mut best_ckpt: Option<Checkpoint> = None;
 
-        for _epoch in 0..self.config.epochs {
+        let train_span = self.tracer.span_with(
+            "train",
+            vec![
+                ("epochs", (self.config.epochs as u64).into()),
+                ("samples", (inputs.len() as u64).into()),
+            ],
+        );
+        for epoch in 0..self.config.epochs {
             train_idx.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             for batch in train_idx.chunks(self.config.batch_size.max(1)) {
@@ -278,6 +301,22 @@ impl Trainer {
             if !val_loss.is_nan() {
                 report.val_loss.push(val_loss);
                 report.val_accuracy.push(val_acc);
+            }
+            let train_loss = *report.train_loss.last().expect("pushed above");
+            train_span.event(
+                "train.epoch",
+                vec![
+                    ("epoch", (epoch as u64).into()),
+                    ("train_loss", train_loss.into()),
+                    ("val_loss", val_loss.into()),
+                    ("val_accuracy", val_acc.into()),
+                    ("lr", self.config.learning_rate.into()),
+                ],
+            );
+            self.tracer.gauge("train.loss").set(f64::from(train_loss));
+            if !val_loss.is_nan() {
+                self.tracer.gauge("train.val_loss").set(f64::from(val_loss));
+                self.tracer.gauge("train.val_accuracy").set(f64::from(val_acc));
             }
             let improved =
                 metric > best_metric || (metric == best_metric && comparison_loss < best_loss);
@@ -353,7 +392,14 @@ impl Trainer {
             }
             Ok((total / idx.len().max(1) as f64) as f32)
         };
-        for _epoch in 0..self.config.epochs {
+        let train_span = self.tracer.span_with(
+            "train.regression",
+            vec![
+                ("epochs", (self.config.epochs as u64).into()),
+                ("samples", (inputs.len() as u64).into()),
+            ],
+        );
+        for epoch in 0..self.config.epochs {
             train_idx.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             for batch in train_idx.chunks(self.config.batch_size.max(1)) {
@@ -392,6 +438,17 @@ impl Trainer {
                 report.val_loss.push(v);
                 v
             };
+            let train_loss = *report.train_loss.last().expect("pushed above");
+            train_span.event(
+                "train.epoch",
+                vec![
+                    ("epoch", (epoch as u64).into()),
+                    ("train_loss", train_loss.into()),
+                    ("val_loss", if val_idx.is_empty() { f32::NAN } else { comparison }.into()),
+                    ("lr", self.config.learning_rate.into()),
+                ],
+            );
+            self.tracer.gauge("train.loss").set(f64::from(train_loss));
             if comparison < best_loss {
                 best_loss = comparison;
                 report.best_epoch = report.train_loss.len() - 1;
@@ -467,11 +524,8 @@ fn apply_grads(
         }
         if let (Some(w), Some(gw)) = (layer.weights.as_mut(), grads[i].weights.as_ref()) {
             let params = w.as_f32_mut().expect("weights are f32");
-            let scaled: Vec<f32> = gw
-                .iter()
-                .zip(params.iter())
-                .map(|(g, p)| g * inv + weight_decay * p)
-                .collect();
+            let scaled: Vec<f32> =
+                gw.iter().zip(params.iter()).map(|(g, p)| g * inv + weight_decay * p).collect();
             optimizer.step((i, 0), params, &scaled, lr);
         }
         if let (Some(b), Some(gb)) = (layer.bias.as_mut(), grads[i].bias.as_ref()) {
@@ -568,8 +622,7 @@ mod tests {
         // 3:1 class imbalance
         let labels = vec![0, 0, 0, 1];
         trainer.init_class_bias(&mut model, &labels, 2).unwrap();
-        let bias =
-            model.layers()[2].bias.as_ref().unwrap().as_f32().unwrap().to_vec();
+        let bias = model.layers()[2].bias.as_ref().unwrap().as_f32().unwrap().to_vec();
         assert!((bias[0] - 0.75f32.ln()).abs() < 1e-5);
         assert!((bias[1] - 0.25f32.ln()).abs() < 1e-5);
         assert!(trainer.init_class_bias(&mut model, &[], 2).is_err());
@@ -618,18 +671,14 @@ mod tests {
         // instead of freezing at the first saturated epoch
         let (inputs, labels) = blobs(10);
         let mut model = Sequential::build(&classifier_spec(), 3).unwrap();
-        let trainer = Trainer::new(TrainConfig {
-            epochs: 15,
-            learning_rate: 0.02,
-            ..TrainConfig::default()
-        });
+        let trainer =
+            Trainer::new(TrainConfig { epochs: 15, learning_rate: 0.02, ..TrainConfig::default() });
         let report = trainer.train(&mut model, &inputs, &labels).unwrap();
         // on this separable task validation accuracy saturates quickly...
         assert_eq!(report.best_val_accuracy, 1.0);
         // ...and the restored epoch is a *later* one with lower loss than
         // the first perfect epoch
-        let first_perfect =
-            report.val_accuracy.iter().position(|&a| a == 1.0).expect("saturates");
+        let first_perfect = report.val_accuracy.iter().position(|&a| a == 1.0).expect("saturates");
         assert!(
             report.best_epoch > first_perfect,
             "best epoch {} should improve past first perfect epoch {first_perfect}",
@@ -736,6 +785,49 @@ mod tests {
         let mut ok_model = Sequential::build(&ok, 0).unwrap();
         assert!(trainer.train_regression(&mut ok_model, &[vec![0.0, 0.0]], &[1.0, 2.0]).is_err());
         assert!(trainer.train_regression(&mut ok_model, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn traced_training_emits_one_epoch_event_per_epoch() {
+        let (inputs, labels) = blobs(10);
+        let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+        // traced and untraced runs must produce identical numerics
+        let mut plain_model = Sequential::build(&classifier_spec(), 7).unwrap();
+        let plain = Trainer::new(cfg.clone()).train(&mut plain_model, &inputs, &labels).unwrap();
+        let clock = ei_faults::VirtualClock::shared();
+        let (tracer, collector) = Tracer::collecting(clock);
+        let mut traced_model = Sequential::build(&classifier_spec(), 7).unwrap();
+        let traced = Trainer::new(cfg)
+            .with_tracer(tracer.clone())
+            .train(&mut traced_model, &inputs, &labels)
+            .unwrap();
+        assert_eq!(plain.train_loss, traced.train_loss, "tracer must not perturb training");
+        let records = collector.records();
+        let epoch_events: Vec<&ei_trace::TraceRecord> =
+            records.iter().filter(|r| r.name() == "train.epoch").collect();
+        assert_eq!(epoch_events.len(), 4);
+        // each event carries the loss the report records
+        for (i, event) in epoch_events.iter().enumerate() {
+            let loss = event
+                .fields()
+                .iter()
+                .find(|(k, _)| *k == "train_loss")
+                .map(|(_, v)| match v {
+                    ei_trace::Value::Float(f) => *f as f32,
+                    other => panic!("train_loss should be a float, got {other:?}"),
+                })
+                .unwrap();
+            assert_eq!(loss, traced.train_loss[i]);
+        }
+        // the gauges hold the final epoch's values
+        let snapshot = tracer.metrics_snapshot();
+        match snapshot.get("train.loss") {
+            Some(ei_trace::MetricValue::Gauge(v)) => {
+                assert_eq!(*v as f32, *traced.train_loss.last().unwrap());
+            }
+            other => panic!("expected train.loss gauge, got {other:?}"),
+        }
+        assert!(snapshot.contains_key("train.val_accuracy"));
     }
 
     #[test]

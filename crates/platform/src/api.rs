@@ -5,12 +5,12 @@ use crate::entities::{Organization, Project, User};
 use crate::jobs::JobScheduler;
 use crate::{PlatformError, Result};
 use ei_core::impulse::ImpulseDesign;
+use ei_data::cbor::parse_cbor;
+use ei_data::ingest::{parse_csv, parse_json, parse_wav};
+use ei_data::netpbm::parse_netpbm_sample;
+use ei_data::{Sample, SensorKind};
 use ei_nn::spec::ModelSpec;
 use ei_nn::train::TrainConfig;
-use ei_data::cbor::parse_cbor;
-use ei_data::netpbm::parse_netpbm_sample;
-use ei_data::ingest::{parse_csv, parse_json, parse_wav};
-use ei_data::{Sample, SensorKind};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -299,8 +299,7 @@ impl Api {
         let api = self.clone();
         let name = model_name.to_string();
         scheduler.submit(1, move || {
-            let trained =
-                design.train(&spec, &dataset, &config).map_err(|e| e.to_string())?;
+            let trained = design.train(&spec, &dataset, &config).map_err(|e| e.to_string())?;
             let json = trained.to_json().map_err(|e| e.to_string())?;
             api.upload_model(project, acting, &name, json).map_err(|e| e.to_string())?;
             Ok(format!("{:.4}", trained.report().best_val_accuracy))

@@ -22,6 +22,13 @@ pub enum PlatformError {
     JobCancelled(u64),
     /// The scheduler is shut down.
     SchedulerStopped,
+    /// A status wait elapsed before the predicate matched.
+    WaitTimeout {
+        /// The job being watched.
+        id: u64,
+        /// The timeout that elapsed, in logical milliseconds.
+        timeout_ms: u64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -33,6 +40,9 @@ impl fmt::Display for PlatformError {
             PlatformError::JobFailed(msg) => write!(f, "job failed: {msg}"),
             PlatformError::JobCancelled(id) => write!(f, "job {id} cancelled"),
             PlatformError::SchedulerStopped => write!(f, "scheduler is stopped"),
+            PlatformError::WaitTimeout { id, timeout_ms } => {
+                write!(f, "job {id} status wait timed out after {timeout_ms} ms")
+            }
         }
     }
 }

@@ -23,10 +23,19 @@
 //! All timing flows through an [`ei_faults::Clock`], so the entire layer
 //! is testable with a [`ei_faults::VirtualClock`] and zero wall-clock
 //! sleeps.
+//!
+//! The scheduler is also observable through [`ei_trace`]: construct it
+//! with [`JobScheduler::with_clock_and_tracer`] and every lifecycle
+//! transition (`job.queued` → `job.running` → `job.backoff` /
+//! `job.timed_out` → `job.finished` / `job.dead_letter` /
+//! `job.cancelled`) is emitted as a typed event, with `jobs.*` counters
+//! aggregated in the tracer's metrics registry. With the default
+//! disabled tracer none of this costs more than an `Option` check.
 
 use crate::{PlatformError, Result};
 use ei_faults::retry::{self, RetryEvent, RetryOutcome};
 use ei_faults::{AttemptRecord, CancelToken, Clock, FailureCause, RetryPolicy, SystemClock};
+use ei_trace::Tracer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -101,6 +110,20 @@ struct Shared {
     dead: Mutex<Vec<DeadLetter>>,
     watch: Mutex<HashMap<u64, WatchEntry>>,
     shutdown: AtomicBool,
+    tracer: Tracer,
+}
+
+impl Shared {
+    /// Records a terminal dead-letter (status already stamped by the
+    /// caller) and mirrors it into the trace stream.
+    fn dead_letter(&self, letter: DeadLetter) {
+        self.tracer.event(
+            "job.dead_letter",
+            vec![("job", letter.id.into()), ("error", letter.error.as_str().into())],
+        );
+        self.tracer.counter("jobs.dead_lettered").inc();
+        lock(&self.dead).push(letter);
+    }
 }
 
 /// Locks a mutex, recovering from poisoning (a panicking holder must not
@@ -154,10 +177,25 @@ impl JobScheduler {
     ///
     /// Panics if `workers == 0`.
     pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> JobScheduler {
+        JobScheduler::with_clock_and_tracer(workers, clock, Tracer::disabled())
+    }
+
+    /// Starts a scheduler with `workers` threads on an explicit clock,
+    /// emitting job lifecycle events and `jobs.*` counters through
+    /// `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_clock_and_tracer(
+        workers: usize,
+        clock: Arc<dyn Clock>,
+        tracer: Tracer,
+    ) -> JobScheduler {
         assert!(workers > 0, "need at least one worker");
         let (sender, receiver) = channel::<QueuedJob>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let shared = Arc::new(Shared::default());
+        let shared = Arc::new(Shared { tracer, ..Shared::default() });
         let handles = (0..workers)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
@@ -217,8 +255,14 @@ impl JobScheduler {
         };
         lock(&self.shared.jobs).insert(
             id,
-            JobState { status: JobStatus::Queued, cancel: CancelToken::new(), attempts: Vec::new() },
+            JobState {
+                status: JobStatus::Queued,
+                cancel: CancelToken::new(),
+                attempts: Vec::new(),
+            },
         );
+        self.shared.tracer.event("job.queued", vec![("job", id.into())]);
+        self.shared.tracer.counter("jobs.submitted").inc();
         sender
             .send(QueuedJob { id, policy, work: Box::new(work) })
             .map_err(|_| PlatformError::SchedulerStopped)?;
@@ -264,6 +308,8 @@ impl JobScheduler {
         state.cancel.cancel();
         if state.status == JobStatus::Queued {
             state.status = JobStatus::Cancelled;
+            self.shared.tracer.event("job.cancelled", vec![("job", id.into())]);
+            self.shared.tracer.counter("jobs.cancelled").inc();
         }
         Ok(())
     }
@@ -303,6 +349,45 @@ impl JobScheduler {
         }
     }
 
+    /// Blocks until the job's status satisfies `pred`, returning the
+    /// first matching status.
+    ///
+    /// The deadline is measured on the **scheduler's clock**, so the
+    /// helper is exact under a [`ei_faults::VirtualClock`]: the timeout
+    /// only elapses when logical time advances, never because the host is
+    /// slow. (Corollary: with a virtual clock that nothing advances, a
+    /// never-matching predicate waits forever — the intended reading of
+    /// "this transition happens without time passing".)
+    ///
+    /// This replaces ad-hoc sleep-poll loops when tests or callers need
+    /// to observe a *transient* state ([`JobStatus::Backoff`],
+    /// [`JobStatus::TimedOut`], …) that [`JobScheduler::wait`] would skip
+    /// past.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] for unknown ids and
+    /// [`PlatformError::WaitTimeout`] when `timeout_ms` logical
+    /// milliseconds elapse before the predicate matches.
+    pub fn wait_for_status<P>(&self, id: u64, timeout_ms: u64, pred: P) -> Result<JobStatus>
+    where
+        P: Fn(&JobStatus) -> bool,
+    {
+        let deadline_ms = self.clock.now_ms().saturating_add(timeout_ms);
+        loop {
+            let status = self.status(id)?;
+            if pred(&status) {
+                return Ok(status);
+            }
+            if self.clock.now_ms() >= deadline_ms {
+                return Err(PlatformError::WaitTimeout { id, timeout_ms });
+            }
+            // the poll interval is real time (the clock may be virtual and
+            // only advance from another thread)
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
     /// Stops accepting new jobs, joins workers after running attempts
     /// finish, and marks every still-queued job
     /// `Failed("scheduler shut down")` (dead-lettered) so no observer
@@ -317,17 +402,22 @@ impl JobScheduler {
             let _ = handle.join();
         }
         // belt-and-braces: workers normally stamp drained jobs themselves
-        let mut jobs = lock(&self.shared.jobs);
-        let mut dead = lock(&self.shared.dead);
-        for (id, state) in jobs.iter_mut() {
-            if state.status == JobStatus::Queued {
-                state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
-                dead.push(DeadLetter {
-                    id: *id,
-                    error: SHUTDOWN_ERROR.to_string(),
-                    attempts: Vec::new(),
-                });
-            }
+        let stranded: Vec<u64> = {
+            let mut jobs = lock(&self.shared.jobs);
+            jobs.iter_mut()
+                .filter(|(_, state)| state.status == JobStatus::Queued)
+                .map(|(id, state)| {
+                    state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
+                    *id
+                })
+                .collect()
+        };
+        for id in stranded {
+            self.shared.dead_letter(DeadLetter {
+                id,
+                error: SHUTDOWN_ERROR.to_string(),
+                attempts: Vec::new(),
+            });
         }
     }
 }
@@ -355,7 +445,8 @@ fn worker_loop(receiver: &Mutex<Receiver<QueuedJob>>, shared: &Shared, clock: &A
             }
             if shared.shutdown.load(Ordering::SeqCst) {
                 state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
-                lock(&shared.dead).push(DeadLetter {
+                drop(jobs);
+                shared.dead_letter(DeadLetter {
                     id: job.id,
                     error: SHUTDOWN_ERROR.to_string(),
                     attempts: Vec::new(),
@@ -378,6 +469,9 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
     let observer = |event: RetryEvent<'_>| match event {
         RetryEvent::AttemptStarted { attempt, deadline_ms } => {
             set_status(JobStatus::Running(attempt));
+            shared
+                .tracer
+                .event("job.running", vec![("job", id.into()), ("attempt", attempt.into())]);
             if let Some(deadline_ms) = deadline_ms {
                 lock(&shared.watch).insert(id, WatchEntry { attempt, deadline_ms });
             }
@@ -388,6 +482,11 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
         RetryEvent::AttemptFailed { record } => {
             if matches!(record.cause, FailureCause::TimedOut { .. }) {
                 set_status(JobStatus::TimedOut { attempt: record.attempt });
+                shared.tracer.event(
+                    "job.timed_out",
+                    vec![("job", id.into()), ("attempt", record.attempt.into())],
+                );
+                shared.tracer.counter("jobs.timed_out").inc();
             }
             if let Some(state) = lock(&shared.jobs).get_mut(&id) {
                 state.attempts.push(record.clone());
@@ -395,17 +494,36 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
         }
         RetryEvent::BackingOff { next_attempt, delay_ms } => {
             set_status(JobStatus::Backoff { next_attempt, delay_ms });
+            shared.tracer.event(
+                "job.backoff",
+                vec![
+                    ("job", id.into()),
+                    ("next_attempt", next_attempt.into()),
+                    ("delay_ms", delay_ms.into()),
+                ],
+            );
         }
     };
     let result =
         retry::execute(&job.policy, clock.as_ref(), id, token, observer, |ctx| (job.work)(ctx));
     match result.outcome {
-        RetryOutcome::Success { output, .. } => set_status(JobStatus::Finished(output)),
+        RetryOutcome::Success { output, .. } => {
+            set_status(JobStatus::Finished(output));
+            let attempts = result.attempts.len() as u64 + 1;
+            shared
+                .tracer
+                .event("job.finished", vec![("job", id.into()), ("attempts", attempts.into())]);
+            shared.tracer.counter("jobs.finished").inc();
+        }
         RetryOutcome::Exhausted { error } => {
             set_status(JobStatus::Failed(error.clone()));
-            lock(&shared.dead).push(DeadLetter { id, error, attempts: result.attempts });
+            shared.dead_letter(DeadLetter { id, error, attempts: result.attempts });
         }
-        RetryOutcome::Cancelled => set_status(JobStatus::Cancelled),
+        RetryOutcome::Cancelled => {
+            set_status(JobStatus::Cancelled);
+            shared.tracer.event("job.cancelled", vec![("job", id.into())]);
+            shared.tracer.counter("jobs.cancelled").inc();
+        }
     }
 }
 
@@ -450,9 +568,8 @@ mod tests {
     #[test]
     fn parallel_jobs_all_complete() {
         let scheduler = JobScheduler::new(4);
-        let ids: Vec<u64> = (0..16)
-            .map(|i| scheduler.submit(1, move || Ok(format!("job {i}"))).unwrap())
-            .collect();
+        let ids: Vec<u64> =
+            (0..16).map(|i| scheduler.submit(1, move || Ok(format!("job {i}"))).unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(scheduler.wait(*id).unwrap(), format!("job {i}"));
         }
@@ -561,13 +678,9 @@ mod tests {
         let policy = RetryPolicy::default().with_max_attempts(3).with_backoff(60_000, 60_000);
         let id = scheduler.submit_with(policy, |_| Err("always".into())).unwrap();
         let started = std::time::Instant::now();
-        loop {
-            match scheduler.status(id).unwrap() {
-                JobStatus::Backoff { .. } => break,
-                _ if started.elapsed().as_secs() > 30 => panic!("job never reached backoff"),
-                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
-            }
-        }
+        scheduler
+            .wait_for_status(id, 30_000, |s| matches!(s, JobStatus::Backoff { .. }))
+            .expect("job never reached backoff");
         scheduler.cancel(id).unwrap();
         assert!(matches!(scheduler.wait(id), Err(PlatformError::JobCancelled(i)) if i == id));
         assert!(started.elapsed().as_secs() < 30, "cancel must not wait out the backoff");
@@ -618,9 +731,7 @@ mod tests {
             .unwrap();
         // make sure the worker actually holds the blocker before queueing
         // more, or shutdown could beat the pickup and fail it too
-        while scheduler.status(running).unwrap() != JobStatus::Running(1) {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+        scheduler.wait_for_status(running, 30_000, |s| *s == JobStatus::Running(1)).unwrap();
         let stranded: Vec<u64> =
             (0..3).map(|_| scheduler.submit(1, || Ok("never".into())).unwrap()).collect();
         // release the worker from another thread shortly after shutdown
@@ -657,22 +768,105 @@ mod tests {
             })
             .unwrap();
         // while attempt 1 is stuck, the watchdog must flip the status
-        let started = std::time::Instant::now();
-        let mut saw_timeout = false;
-        while started.elapsed().as_secs() < 30 {
-            match scheduler.status(id).unwrap() {
-                JobStatus::TimedOut { attempt: 1 } => {
-                    saw_timeout = true;
-                    break;
-                }
-                JobStatus::Finished(_) | JobStatus::Failed(_) => break,
-                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
-            }
-        }
-        assert!(saw_timeout, "watchdog never flagged the overrunning attempt");
+        let seen = scheduler
+            .wait_for_status(id, 30_000, |s| {
+                matches!(
+                    s,
+                    JobStatus::TimedOut { .. } | JobStatus::Finished(_) | JobStatus::Failed(_)
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            seen,
+            JobStatus::TimedOut { attempt: 1 },
+            "watchdog never flagged the overrunning attempt"
+        );
         // the stale result is discarded and the retry succeeds
         assert_eq!(scheduler.wait(id).unwrap(), "eventually");
         let history = scheduler.attempt_history(id).unwrap();
         assert!(matches!(history[0].cause, FailureCause::TimedOut { .. }));
+    }
+
+    #[test]
+    fn wait_for_status_times_out_on_the_scheduler_clock() {
+        let scheduler = JobScheduler::new(1);
+        // the job finishes immediately, so a wait for Backoff can never match
+        let id = scheduler.submit(1, || Ok("instant".into())).unwrap();
+        scheduler.wait(id).unwrap();
+        match scheduler.wait_for_status(id, 50, |s| matches!(s, JobStatus::Backoff { .. })) {
+            Err(PlatformError::WaitTimeout { id: i, timeout_ms: 50 }) => assert_eq!(i, id),
+            other => panic!("expected WaitTimeout, got {other:?}"),
+        }
+        // unknown ids surface NotFound, not a timeout
+        assert!(matches!(
+            scheduler.wait_for_status(999, 50, |_| true),
+            Err(PlatformError::NotFound { kind: "job", id: 999 })
+        ));
+    }
+
+    #[test]
+    fn lifecycle_events_flow_through_the_tracer() {
+        let clock = Arc::new(VirtualClock::new());
+        let (tracer, collector) = Tracer::collecting(clock.clone());
+        let scheduler = JobScheduler::with_clock_and_tracer(1, clock, tracer.clone());
+        let policy = RetryPolicy::default().with_seed(7).with_max_attempts(3);
+        let id = scheduler
+            .submit_with(policy, |ctx| {
+                if ctx.attempt < 2 {
+                    Err("flaky".into())
+                } else {
+                    Ok("done".into())
+                }
+            })
+            .unwrap();
+        scheduler.wait(id).unwrap();
+        // one job, one failure, one retry: the event stream tells the story
+        let names: Vec<String> = collector
+            .records()
+            .iter()
+            .filter(|r| r.name().starts_with("job."))
+            .map(|r| r.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["job.queued", "job.running", "job.backoff", "job.running", "job.finished"]
+        );
+        assert_eq!(tracer.metrics_snapshot().len(), 2, "submitted + finished counters");
+        let jsonl = collector.jsonl();
+        assert!(jsonl.contains(r#""name":"job.backoff""#), "{jsonl}");
+        assert!(jsonl.contains(r#""delay_ms""#), "{jsonl}");
+    }
+
+    #[test]
+    fn dead_letter_and_cancel_events_are_counted() {
+        let clock = Arc::new(VirtualClock::new());
+        let (tracer, collector) = Tracer::collecting(clock.clone());
+        let scheduler = JobScheduler::with_clock_and_tracer(2, clock, tracer.clone());
+        let doomed = scheduler.submit(1, || Err("bad".into())).unwrap();
+        let _ = scheduler.wait(doomed);
+        // cancel a job that is still queued (both workers may be free, so
+        // submit a pair of blockers first)
+        let gate = Arc::new(AtomicU32::new(0));
+        for _ in 0..2 {
+            let g = Arc::clone(&gate);
+            scheduler
+                .submit(1, move || {
+                    while g.load(Ordering::SeqCst) == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Ok("unblocked".into())
+                })
+                .unwrap();
+        }
+        let queued = scheduler.submit(1, || Ok("never".into())).unwrap();
+        scheduler.cancel(queued).unwrap();
+        gate.store(1, Ordering::SeqCst);
+        assert!(matches!(scheduler.wait(queued), Err(PlatformError::JobCancelled(_))));
+        let records = collector.records();
+        assert!(records.iter().any(|r| r.name() == "job.dead_letter"));
+        assert!(records.iter().any(|r| r.name() == "job.cancelled"));
+        let snapshot = tracer.metrics_snapshot();
+        assert_eq!(snapshot.get("jobs.dead_lettered"), Some(&ei_trace::MetricValue::Counter(1)));
+        assert_eq!(snapshot.get("jobs.cancelled"), Some(&ei_trace::MetricValue::Counter(1)));
     }
 }

@@ -86,8 +86,7 @@ mod tests {
     #[test]
     fn tracks_input_range() {
         let m = model();
-        let ranges =
-            calibrate(&m, &[vec![-2.0, 0.0, 3.0], vec![1.0, -5.0, 0.5]]).unwrap();
+        let ranges = calibrate(&m, &[vec![-2.0, 0.0, 3.0], vec![1.0, -5.0, 0.5]]).unwrap();
         assert_eq!(ranges.len(), 4);
         assert_eq!(ranges.range(0), (-5.0, 3.0));
     }

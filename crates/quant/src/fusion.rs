@@ -39,14 +39,9 @@ pub fn fold_batch_norm(model: &Sequential) -> Result<(Sequential, usize)> {
     let mut fused = 0usize;
     for layer in model.layers() {
         if layer.spec == LayerSpec::BatchNorm {
-            let prev = new_layers
-                .last_mut()
-                .filter(|p| is_fusable(&p.spec))
-                .ok_or_else(|| {
-                    QuantError::UnsupportedLayer(
-                        "batch_norm without a fusable predecessor".into(),
-                    )
-                })?;
+            let prev = new_layers.last_mut().filter(|p| is_fusable(&p.spec)).ok_or_else(|| {
+                QuantError::UnsupportedLayer("batch_norm without a fusable predecessor".into())
+            })?;
             let params = layer
                 .weights
                 .as_ref()
@@ -56,8 +51,7 @@ pub fn fold_batch_norm(model: &Sequential) -> Result<(Sequential, usize)> {
             let (gamma, rest) = params.split_at(c);
             let (beta, rest) = rest.split_at(c);
             let (mean, var) = rest.split_at(c);
-            let k: Vec<f32> =
-                gamma.iter().zip(var).map(|(g, v)| g / (v + BN_EPS).sqrt()).collect();
+            let k: Vec<f32> = gamma.iter().zip(var).map(|(g, v)| g / (v + BN_EPS).sqrt()).collect();
             // output channel is the fastest axis of every fusable weight layout
             if let Some(w) = prev.weights.as_mut() {
                 let data = w.as_f32_mut()?;

@@ -208,9 +208,7 @@ pub fn quantize_model(model: &Sequential, calibration: &[Vec<f32>]) -> Result<Qu
                         .expect("bias is f32")
                         .iter()
                         .enumerate()
-                        .map(|(ch, &v)| {
-                            (v / (in_q.scale * cq.scales[ch % out_c])).round() as i32
-                        })
+                        .map(|(ch, &v)| (v / (in_q.scale * cq.scales[ch % out_c])).round() as i32)
                         .collect::<Vec<i32>>()
                 });
                 let mults = cq
@@ -342,7 +340,7 @@ fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
                 in_c: layer.input.c,
                 out_c: *filters,
                 kernel_h: *kernel,
-                        kernel_w: *kernel,
+                kernel_w: *kernel,
                 stride: *stride,
                 padding: *padding,
             };
@@ -368,7 +366,7 @@ fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
                 in_c: layer.input.c,
                 out_c: layer.input.c,
                 kernel_h: *kernel,
-                        kernel_w: *kernel,
+                kernel_w: *kernel,
                 stride: *stride,
                 padding: *padding,
             };
@@ -388,8 +386,7 @@ fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
             Ok(sums
                 .iter()
                 .map(|&s| {
-                    let rounded =
-                        if s >= 0 { (s + n / 2) / n } else { (s - n / 2) / n };
+                    let rounded = if s >= 0 { (s + n / 2) / n } else { (s - n / 2) / n };
                     rounded.clamp(-128, 127) as i8
                 })
                 .collect())
@@ -659,11 +656,7 @@ mod tests {
         for x in random_inputs(4, 32, 8) {
             let f = model.forward(&x).unwrap();
             let q = qmodel.forward(&x).unwrap();
-            assert_eq!(
-                ei_tensor::ops::argmax(&f),
-                ei_tensor::ops::argmax(&q),
-                "f {f:?} q {q:?}"
-            );
+            assert_eq!(ei_tensor::ops::argmax(&f), ei_tensor::ops::argmax(&q), "f {f:?} q {q:?}");
         }
     }
 

@@ -226,10 +226,7 @@ mod tests {
             for acc in [-100_000i32, -123, 0, 777, 250_000] {
                 let want = (acc as f64 * real as f64).round() as i64;
                 let got = fm.apply(acc) as i64;
-                assert!(
-                    (want - got).abs() <= 1,
-                    "real {real} acc {acc}: want {want} got {got}"
-                );
+                assert!((want - got).abs() <= 1, "real {real} acc {acc}: want {want} got {got}");
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The engine abstraction shared by the interpreter and EON executor.
 
 use crate::ir::ModelArtifact;
+use crate::planner::MemoryPlan;
 use crate::Result;
 
 /// Which execution engine produced a result or report.
@@ -52,6 +53,49 @@ impl MemoryReport {
     }
 }
 
+/// Static per-op execution profile: the op's compute cost plus the planned
+/// activation buffer it writes into.
+///
+/// This is the engine-side half of the per-layer breakdown the profiler
+/// (and the Studio's per-layer timing view) renders: MACs and weight bytes
+/// come from the op metadata, arena bytes from the memory plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Kernel-style op name (e.g. `"conv2d"`).
+    pub name: &'static str,
+    /// Multiply–accumulate count of one execution.
+    pub macs: u64,
+    /// Parameter bytes this op reads from flash.
+    pub weight_bytes: usize,
+    /// Size in bytes of the planned output activation buffer.
+    pub arena_bytes: usize,
+    /// `true` for ops that alias their input buffer.
+    pub in_place: bool,
+}
+
+/// Builds the per-op profile rows from an artifact and its memory plan,
+/// walking planned buffers the same way compilation does: the buffer index
+/// advances only on non-in-place ops.
+pub(crate) fn op_profiles(artifact: &ModelArtifact, plan: &MemoryPlan) -> Vec<OpProfile> {
+    let mut buf_idx = 0usize;
+    artifact
+        .ops()
+        .into_iter()
+        .map(|op| {
+            if !op.in_place {
+                buf_idx += 1;
+            }
+            OpProfile {
+                name: op.name,
+                macs: op.macs,
+                weight_bytes: op.weight_bytes,
+                arena_bytes: plan.buffers[buf_idx].req.size,
+                in_place: op.in_place,
+            }
+        })
+        .collect()
+}
+
 /// A model execution engine.
 ///
 /// Implementations must return bit-identical outputs for the same
@@ -72,6 +116,12 @@ pub trait InferenceEngine {
 
     /// The artifact this engine executes.
     fn artifact(&self) -> &ModelArtifact;
+
+    /// Per-op execution profile in graph order: compute cost plus the
+    /// planned arena buffer each op writes. Both engines report the same
+    /// rows — they share the memory planner — so downstream latency
+    /// breakdowns differ only in the per-op dispatch cost.
+    fn op_profile(&self) -> Vec<OpProfile>;
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! serialized schema, dead-kernel elimination.
 
 use crate::costs;
-use crate::engine::{EngineKind, InferenceEngine, MemoryReport};
+use crate::engine::{op_profiles, EngineKind, InferenceEngine, MemoryReport, OpProfile};
 use crate::ir::{ModelArtifact, OpInfo};
 use crate::planner::{plan_model, MemoryPlan};
 use crate::{Result, RuntimeError};
@@ -105,8 +105,7 @@ impl EonProgram {
                 let out = model
                     .output_qparams()
                     .dequantize_slice(trace.last().map(Vec::as_slice).unwrap_or(&[]));
-                let bytes =
-                    trace.iter().map(|a| a.iter().map(|&v| v as u8).collect()).collect();
+                let bytes = trace.iter().map(|a| a.iter().map(|&v| v as u8).collect()).collect();
                 (bytes, out)
             }
         };
@@ -160,6 +159,10 @@ impl InferenceEngine for EonProgram {
 
     fn artifact(&self) -> &ModelArtifact {
         &self.artifact
+    }
+
+    fn op_profile(&self) -> Vec<OpProfile> {
+        op_profiles(&self.artifact, &self.plan)
     }
 }
 
@@ -260,6 +263,27 @@ mod tests {
         let direct = eon.run(&input).unwrap();
         let arena = eon.run_in_arena(&input).unwrap();
         assert_eq!(direct, arena);
+    }
+
+    #[test]
+    fn op_profile_rows_follow_the_planned_buffers() {
+        let artifact = conv_artifact();
+        let eon = EonProgram::compile(artifact.clone()).unwrap();
+        let interp = Interpreter::new(artifact).unwrap();
+        // both engines share the planner, so the rows are identical
+        let rows = eon.op_profile();
+        assert_eq!(rows, interp.op_profile());
+        assert_eq!(rows.len(), eon.steps().len());
+        for (row, step) in rows.iter().zip(eon.steps()) {
+            assert_eq!(row.name, step.op.name);
+            assert_eq!(row.macs, step.op.macs);
+            assert_eq!(row.in_place, step.op.in_place);
+        }
+        // conv output: 8×8×4 float activations
+        assert_eq!(rows[0].arena_bytes, 8 * 8 * 4 * 4);
+        // in-place flatten aliases the pool's output buffer
+        assert_eq!(rows[2].name, "flatten");
+        assert_eq!(rows[2].arena_bytes, rows[1].arena_bytes);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 
 use crate::costs;
-use crate::engine::{EngineKind, InferenceEngine, MemoryReport};
+use crate::engine::{op_profiles, EngineKind, InferenceEngine, MemoryReport, OpProfile};
 use crate::ir::ModelArtifact;
 use crate::planner::{plan_model, MemoryPlan};
 use crate::{Result, RuntimeError};
@@ -129,6 +129,10 @@ impl InferenceEngine for Interpreter {
 
     fn artifact(&self) -> &ModelArtifact {
         &self.artifact
+    }
+
+    fn op_profile(&self) -> Vec<OpProfile> {
+        op_profiles(&self.artifact, &self.plan)
     }
 }
 

@@ -43,7 +43,7 @@ pub fn op_macs(spec: &LayerSpec, input: Dims) -> u64 {
             in_c: input.c,
             out_c: *filters,
             kernel_h: *kernel,
-                        kernel_w: *kernel,
+            kernel_w: *kernel,
             stride: *stride,
             padding: *padding,
         }
@@ -66,7 +66,7 @@ pub fn op_macs(spec: &LayerSpec, input: Dims) -> u64 {
                 in_c: input.c,
                 out_c: input.c,
                 kernel_h: *kernel,
-                        kernel_w: *kernel,
+                kernel_w: *kernel,
                 stride: *stride,
                 padding: *padding,
             })

@@ -41,7 +41,7 @@ pub mod interpreter;
 pub mod ir;
 pub mod planner;
 
-pub use engine::{EngineKind, InferenceEngine, MemoryReport};
+pub use engine::{EngineKind, InferenceEngine, MemoryReport, OpProfile};
 pub use eon::EonProgram;
 pub use error::RuntimeError;
 pub use interpreter::Interpreter;

@@ -65,7 +65,10 @@ pub fn plan_memory(requests: &[BufferReq]) -> Result<MemoryPlan> {
     order.sort_by(|&a, &b| requests[b].size.cmp(&requests[a].size).then(a.cmp(&b)));
 
     let mut placed: Vec<PlannedBuffer> =
-        vec![PlannedBuffer { req: BufferReq { size: 0, first_use: 0, last_use: 0 }, offset: 0 }; requests.len()];
+        vec![
+            PlannedBuffer { req: BufferReq { size: 0, first_use: 0, last_use: 0 }, offset: 0 };
+            requests.len()
+        ];
     let mut done: Vec<usize> = Vec::new();
     for &i in &order {
         let req = requests[i];

@@ -110,7 +110,10 @@ mod tests {
         let var: f32 = data.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / data.len() as f32;
         let expected_var = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        assert!((var / expected_var) > 0.5 && (var / expected_var) < 2.0, "var {var} vs {expected_var}");
+        assert!(
+            (var / expected_var) > 0.5 && (var / expected_var) < 2.0,
+            "var {var} vs {expected_var}"
+        );
     }
 
     #[test]

@@ -31,10 +31,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
     let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
     if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            expected: vec![m, k],
-            actual: vec![k2, n],
-        });
+        return Err(TensorError::ShapeMismatch { expected: vec![m, k], actual: vec![k2, n] });
     }
     let av = a.as_f32()?;
     let bv = b.as_f32()?;

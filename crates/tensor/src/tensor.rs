@@ -191,7 +191,9 @@ impl Tensor {
     pub fn as_f32(&self) -> Result<&[f32]> {
         match &self.storage {
             Storage::F32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "f32", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "f32", actual: other.dtype().name() })
+            }
         }
     }
 
@@ -203,7 +205,9 @@ impl Tensor {
     pub fn as_f32_mut(&mut self) -> Result<&mut [f32]> {
         match &mut self.storage {
             Storage::F32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "f32", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "f32", actual: other.dtype().name() })
+            }
         }
     }
 
@@ -215,7 +219,9 @@ impl Tensor {
     pub fn as_i8(&self) -> Result<&[i8]> {
         match &self.storage {
             Storage::I8(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "i8", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "i8", actual: other.dtype().name() })
+            }
         }
     }
 
@@ -227,7 +233,9 @@ impl Tensor {
     pub fn as_i8_mut(&mut self) -> Result<&mut [i8]> {
         match &mut self.storage {
             Storage::I8(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "i8", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "i8", actual: other.dtype().name() })
+            }
         }
     }
 
@@ -239,7 +247,9 @@ impl Tensor {
     pub fn as_i32(&self) -> Result<&[i32]> {
         match &self.storage {
             Storage::I32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "i32", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "i32", actual: other.dtype().name() })
+            }
         }
     }
 
@@ -251,7 +261,9 @@ impl Tensor {
     pub fn as_i32_mut(&mut self) -> Result<&mut [i32]> {
         match &mut self.storage {
             Storage::I32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "i32", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "i32", actual: other.dtype().name() })
+            }
         }
     }
 
@@ -296,7 +308,9 @@ impl Tensor {
     pub fn into_f32(self) -> Result<Vec<f32>> {
         match self.storage {
             Storage::F32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: "f32", actual: other.dtype().name() }),
+            other => {
+                Err(TensorError::DTypeMismatch { expected: "f32", actual: other.dtype().name() })
+            }
         }
     }
 

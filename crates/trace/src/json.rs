@@ -1,0 +1,184 @@
+//! A tiny deterministic JSON writer (std-only, no serde).
+//!
+//! Field order is insertion order, float formatting is Rust's shortest
+//! round-trip form, and non-finite floats serialize as `null` — so the
+//! same data always produces byte-identical output. The exporters and the
+//! bench harness's machine-readable `results/*.json` files are built on
+//! this module.
+
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    Uint(u64),
+    /// A float (`null` when not finite — JSON has no NaN/Inf).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(JsonObject),
+}
+
+impl From<&Value> for Json {
+    fn from(v: &Value) -> Json {
+        match v {
+            Value::Bool(b) => Json::Bool(*b),
+            Value::Int(i) => Json::Int(*i),
+            Value::Uint(u) => Json::Uint(*u),
+            Value::Float(f) => Json::Float(*f),
+            Value::Str(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+/// An insertion-ordered JSON object builder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject {
+    entries: Vec<(String, Json)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Appends a key/value pair (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: Json) -> JsonObject {
+        self.entries.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a key/value pair in place.
+    pub fn push(&mut self, key: &str, value: Json) {
+        self.entries.push((key.to_string(), value));
+    }
+
+    /// Serializes the object.
+    pub fn to_json(&self) -> String {
+        Json::Object(self.clone()).to_json()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Json {
+    /// Serializes the value to compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) if f.is_finite() => {
+                let _ = write!(out, "{f}");
+            }
+            Json::Float(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(obj) => {
+                out.push('{');
+                for (i, (key, value)) in obj.entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let obj = JsonObject::new()
+            .field("z", Json::Uint(1))
+            .field("a", Json::Str("x".into()))
+            .field("flag", Json::Bool(false));
+        assert_eq!(obj.to_json(), r#"{"z":1,"a":"x","flag":false}"#);
+    }
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_json(), "null");
+        assert_eq!(Json::Float(2.5).to_json(), "2.5");
+        assert_eq!(Json::Float(5.0).to_json(), "5");
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let j = Json::Array(vec![
+            Json::Null,
+            Json::Int(-3),
+            Json::Object(JsonObject::new().field("k", Json::Float(0.25))),
+        ]);
+        assert_eq!(j.to_json(), r#"[null,-3,{"k":0.25}]"#);
+    }
+}

@@ -1,0 +1,152 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry aggregates [`MetricUpdate`]s into current values, keyed by
+//! metric name in a `BTreeMap` so snapshots (and the Prometheus
+//! exposition built from them) have a deterministic order.
+
+use crate::record::MetricUpdate;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Aggregated state of one metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Last value set.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram {
+        /// Upper bounds of the finite buckets, ascending. An implicit
+        /// `+Inf` bucket catches everything above the last bound.
+        bounds: Vec<f64>,
+        /// Observation counts per bucket (`bounds.len() + 1` entries,
+        /// the last being the `+Inf` bucket). Buckets are not cumulative.
+        counts: Vec<u64>,
+        /// Sum of all observations.
+        sum: f64,
+        /// Total observation count.
+        count: u64,
+    },
+}
+
+/// A thread-safe metric aggregation table.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+fn lock(m: &Mutex<BTreeMap<String, MetricValue>>) -> MutexGuard<'_, BTreeMap<String, MetricValue>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Applies one update, creating the series on first touch. A
+    /// histogram's bucket bounds are fixed by the first observation's
+    /// `bounds`; later calls reuse them.
+    pub fn apply(&self, name: &str, update: &MetricUpdate, bounds: &[f64]) {
+        let mut series = lock(&self.series);
+        match update {
+            MetricUpdate::CounterAdd(n) => {
+                let entry = series.entry(name.to_string()).or_insert(MetricValue::Counter(0));
+                if let MetricValue::Counter(total) = entry {
+                    *total += n;
+                }
+            }
+            MetricUpdate::GaugeSet(v) => {
+                series.insert(name.to_string(), MetricValue::Gauge(*v));
+            }
+            MetricUpdate::HistogramObserve(v) => {
+                let entry =
+                    series.entry(name.to_string()).or_insert_with(|| MetricValue::Histogram {
+                        bounds: bounds.to_vec(),
+                        counts: vec![0; bounds.len() + 1],
+                        sum: 0.0,
+                        count: 0,
+                    });
+                if let MetricValue::Histogram { bounds, counts, sum, count } = entry {
+                    let idx = bounds.iter().position(|b| v <= b).unwrap_or(bounds.len());
+                    counts[idx] += 1;
+                    *sum += v;
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    /// A point-in-time copy of every series, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        lock(&self.series).clone()
+    }
+
+    /// `true` when no metric has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.series).is_empty()
+    }
+
+    /// The current counter total, or `None` for unknown/non-counter names.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match lock(&self.series).get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The current gauge value, or `None` for unknown/non-gauge names.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match lock(&self.series).get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.apply("jobs", &MetricUpdate::CounterAdd(2), &[]);
+        reg.apply("jobs", &MetricUpdate::CounterAdd(3), &[]);
+        assert_eq!(reg.counter("jobs"), Some(5));
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let reg = MetricsRegistry::new();
+        reg.apply("loss", &MetricUpdate::GaugeSet(0.9), &[]);
+        reg.apply("loss", &MetricUpdate::GaugeSet(0.4), &[]);
+        assert_eq!(reg.gauge("loss"), Some(0.4));
+    }
+
+    #[test]
+    fn histogram_buckets_fill_in_order() {
+        let reg = MetricsRegistry::new();
+        let bounds = [1.0, 10.0, 100.0];
+        for v in [0.5, 5.0, 5.0, 50.0, 5_000.0] {
+            reg.apply("ms", &MetricUpdate::HistogramObserve(v), &bounds);
+        }
+        match reg.snapshot().get("ms") {
+            Some(MetricValue::Histogram { counts, sum, count, .. }) => {
+                assert_eq!(counts, &vec![1, 2, 1, 1]);
+                assert_eq!(*count, 5);
+                assert!((sum - 5_060.5).abs() < 1e-9);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        assert!(MetricsRegistry::new().is_empty());
+        assert!(MetricsRegistry::new().snapshot().is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! The [`Tracer`] handle, RAII span guards and metric handles.
+
+use crate::metrics::MetricsRegistry;
+use crate::record::{MetricUpdate, RecordKind, TraceRecord};
+use crate::subscriber::{CollectingSubscriber, Subscriber};
+use crate::value::Field;
+use ei_faults::Clock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    subscriber: Arc<dyn Subscriber>,
+    clock: Arc<dyn Clock>,
+    next_span: AtomicU64,
+    seq: AtomicU64,
+    metrics: MetricsRegistry,
+}
+
+/// A cloneable handle the pipeline layers record through.
+///
+/// Two states:
+///
+/// * **enabled** ([`Tracer::new`]) — spans, events and metrics flow to
+///   the subscriber, timestamped from the given [`Clock`] (deterministic
+///   under an [`ei_faults::VirtualClock`]);
+/// * **disabled** ([`Tracer::disabled`]) — every operation is a no-op
+///   behind a single `Option` check: span guards do nothing, no metric
+///   is registered, nothing allocates.
+///
+/// All instrumented layers take a `Tracer` by value (it is a couple of
+/// pointers) and default to the disabled state, so observability is
+/// strictly opt-in and free when off.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.inner.is_some()).finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (also [`Tracer::default`]).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer feeding `subscriber`, timestamped from `clock`.
+    pub fn new(subscriber: Arc<dyn Subscriber>, clock: Arc<dyn Clock>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                subscriber,
+                clock,
+                next_span: AtomicU64::new(1),
+                seq: AtomicU64::new(0),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Convenience: a tracer wired to a fresh [`CollectingSubscriber`].
+    pub fn collecting(clock: Arc<dyn Clock>) -> (Tracer, Arc<CollectingSubscriber>) {
+        let collector = Arc::new(CollectingSubscriber::new());
+        (Tracer::new(Arc::<CollectingSubscriber>::clone(&collector), clock), collector)
+    }
+
+    /// `true` when records actually flow anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn emit(inner: &Inner, kind: RecordKind) {
+        let record = TraceRecord {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            ts_ms: inner.clock.now_ms(),
+            kind,
+        };
+        inner.subscriber.record(&record);
+    }
+
+    fn open_span(&self, name: &str, parent: Option<u64>, fields: Vec<Field>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                tracer: Tracer::disabled(),
+                id: 0,
+                name: String::new(),
+                start_ms: 0,
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let start_ms = inner.clock.now_ms();
+        Self::emit(inner, RecordKind::SpanStart { id, parent, name: name.to_string(), fields });
+        SpanGuard { tracer: self.clone(), id, name: name.to_string(), start_ms }
+    }
+
+    /// Opens a root span; the returned guard closes it on drop.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.open_span(name, None, Vec::new())
+    }
+
+    /// Opens a root span with structured context.
+    pub fn span_with(&self, name: &str, fields: Vec<Field>) -> SpanGuard {
+        self.open_span(name, None, fields)
+    }
+
+    /// Emits a point-in-time event outside any span.
+    pub fn event(&self, name: &str, fields: Vec<Field>) {
+        if let Some(inner) = &self.inner {
+            Self::emit(inner, RecordKind::Event { span: None, name: name.to_string(), fields });
+        }
+    }
+
+    /// A counter handle (monotonic total).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter { tracer: self.clone(), name: name.to_string() }
+    }
+
+    /// A gauge handle (last value wins).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge { tracer: self.clone(), name: name.to_string() }
+    }
+
+    /// A fixed-bucket histogram handle. `bounds` are ascending upper
+    /// bounds; an implicit `+Inf` bucket catches the rest. The bounds are
+    /// fixed by the series' first observation.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        Histogram { tracer: self.clone(), name: name.to_string(), bounds: bounds.to_vec() }
+    }
+
+    fn metric(&self, name: &str, update: MetricUpdate, bounds: &[f64]) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.apply(name, &update, bounds);
+            Self::emit(inner, RecordKind::Metric { name: name.to_string(), update });
+        }
+    }
+
+    /// A snapshot of the metrics registry (empty when disabled).
+    pub fn metrics_snapshot(&self) -> BTreeMap<String, crate::metrics::MetricValue> {
+        match &self.inner {
+            Some(inner) => inner.metrics.snapshot(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// The registry rendered as a Prometheus-style text exposition
+    /// (empty string when disabled or nothing was recorded).
+    pub fn prometheus(&self) -> String {
+        crate::export::to_prometheus(&self.metrics_snapshot())
+    }
+}
+
+/// An RAII guard for an open span; dropping it records the span end.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: u64,
+    name: String,
+    start_ms: u64,
+}
+
+impl SpanGuard {
+    /// The span id, or `None` on a disabled tracer.
+    pub fn id(&self) -> Option<u64> {
+        self.tracer.inner.as_ref().map(|_| self.id)
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: &str) -> SpanGuard {
+        self.tracer.open_span(name, self.id(), Vec::new())
+    }
+
+    /// Opens a child span with structured context.
+    pub fn child_with(&self, name: &str, fields: Vec<Field>) -> SpanGuard {
+        self.tracer.open_span(name, self.id(), fields)
+    }
+
+    /// Emits an event inside this span.
+    pub fn event(&self, name: &str, fields: Vec<Field>) {
+        if let Some(inner) = &self.tracer.inner {
+            Tracer::emit(
+                inner,
+                RecordKind::Event { span: Some(self.id), name: name.to_string(), fields },
+            );
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.tracer.inner {
+            let duration_ms = inner.clock.now_ms().saturating_sub(self.start_ms);
+            Tracer::emit(
+                inner,
+                RecordKind::SpanEnd {
+                    id: self.id,
+                    name: std::mem::take(&mut self.name),
+                    duration_ms,
+                },
+            );
+        }
+    }
+}
+
+/// A monotonic counter bound to one tracer and series name.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    tracer: Tracer,
+    name: String,
+}
+
+impl Counter {
+    /// Adds `n` to the total.
+    pub fn add(&self, n: u64) {
+        self.tracer.metric(&self.name, MetricUpdate::CounterAdd(n), &[]);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// A gauge bound to one tracer and series name.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    tracer: Tracer,
+    name: String,
+}
+
+impl Gauge {
+    /// Sets the instantaneous value.
+    pub fn set(&self, v: f64) {
+        self.tracer.metric(&self.name, MetricUpdate::GaugeSet(v), &[]);
+    }
+}
+
+/// A fixed-bucket histogram bound to one tracer and series name.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    tracer: Tracer,
+    name: String,
+    bounds: Vec<f64>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.tracer.metric(&self.name, MetricUpdate::HistogramObserve(v), &self.bounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValue;
+    use ei_faults::VirtualClock;
+
+    fn traced() -> (Tracer, Arc<CollectingSubscriber>, Arc<VirtualClock>) {
+        let clock = VirtualClock::shared();
+        let (tracer, collector) = Tracer::collecting(clock.clone());
+        (tracer, collector, clock)
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let (tracer, collector, clock) = traced();
+        {
+            let root = tracer.span("flow");
+            clock.advance_ms(5);
+            {
+                let stage = root.child_with("stage", vec![("name", "train".into())]);
+                clock.advance_ms(7);
+                stage.event("epoch", vec![("loss", 0.5.into())]);
+            }
+        }
+        let records = collector.records();
+        assert_eq!(records.len(), 5);
+        match &records[1].kind {
+            RecordKind::SpanStart { parent, .. } => assert_eq!(*parent, Some(1)),
+            other => panic!("expected child span start, got {other:?}"),
+        }
+        match &records[3].kind {
+            RecordKind::SpanEnd { name, duration_ms, .. } => {
+                assert_eq!(name, "stage");
+                assert_eq!(*duration_ms, 7);
+            }
+            other => panic!("expected stage end, got {other:?}"),
+        }
+        match &records[4].kind {
+            RecordKind::SpanEnd { name, duration_ms, .. } => {
+                assert_eq!(name, "flow");
+                assert_eq!(*duration_ms, 12);
+            }
+            other => panic!("expected flow end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_reach_registry_and_stream() {
+        let (tracer, collector, _) = traced();
+        tracer.counter("jobs").add(2);
+        tracer.gauge("loss").set(0.25);
+        tracer.histogram("ms", &[10.0]).observe(3.0);
+        let snapshot = tracer.metrics_snapshot();
+        assert_eq!(snapshot.get("jobs"), Some(&MetricValue::Counter(2)));
+        assert_eq!(snapshot.get("loss"), Some(&MetricValue::Gauge(0.25)));
+        assert_eq!(collector.len(), 3);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let span = tracer.span("nothing");
+        assert_eq!(span.id(), None);
+        span.event("ev", vec![]);
+        let child = span.child("inner");
+        drop(child);
+        tracer.counter("c").inc();
+        tracer.gauge("g").set(1.0);
+        tracer.histogram("h", &[1.0]).observe(2.0);
+        assert!(tracer.metrics_snapshot().is_empty());
+        assert_eq!(tracer.prometheus(), "");
+    }
+
+    #[test]
+    fn sequence_numbers_total_order_even_with_frozen_clock() {
+        let (tracer, collector, _) = traced();
+        tracer.event("a", vec![]);
+        tracer.event("b", vec![]);
+        let records = collector.records();
+        assert_eq!((records[0].seq, records[1].seq), (0, 1));
+        assert_eq!((records[0].ts_ms, records[1].ts_ms), (0, 0));
+    }
+}

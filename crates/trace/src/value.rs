@@ -1,0 +1,98 @@
+//! Typed field values attached to spans, events and metrics.
+
+/// A key paired with a [`Value`] — the unit of structured context.
+pub type Field = (&'static str, Value);
+
+/// A typed field value.
+///
+/// Deliberately small: everything the pipeline reports is a number, a
+/// string or a flag. `From` conversions cover the common Rust types so
+/// call sites can write `("epoch", epoch.into())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean flag.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (ids, counts, byte sizes).
+    Uint(u64),
+    /// A floating-point measurement.
+    Float(f64),
+    /// A string label.
+    Str(String),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Uint(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Uint(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Uint(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_cover_common_types() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3u32), Value::Uint(3));
+        assert_eq!(Value::from(7usize), Value::Uint(7));
+        assert_eq!(Value::from(-2i32), Value::Int(-2));
+        assert_eq!(Value::from(1.5f32), Value::Float(1.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+}

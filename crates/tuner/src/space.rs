@@ -84,7 +84,14 @@ impl SearchSpace {
     /// MobileNetV2-style model.
     pub fn kws_table3(sample_rate_hz: u32) -> SearchSpace {
         let mfe = |frame_s: f32, stride_s: f32, n_filters: usize| {
-            DspConfig::Mfe(MfeConfig { frame_s, stride_s, n_filters, sample_rate_hz, low_hz: 0.0, high_hz: 0.0 })
+            DspConfig::Mfe(MfeConfig {
+                frame_s,
+                stride_s,
+                n_filters,
+                sample_rate_hz,
+                low_hz: 0.0,
+                high_hz: 0.0,
+            })
         };
         let mfcc = |frame_s: f32, stride_s: f32, n_coefficients: usize| {
             DspConfig::Mfcc(MfccConfig {

@@ -109,9 +109,10 @@ impl TunerReport {
 
     /// The most accurate trial that fits the device, if any.
     pub fn best_fitting(&self) -> Option<&TrialResult> {
-        self.trials.iter().filter(|t| t.fits).max_by(|a, b| {
-            a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy")
-        })
+        self.trials
+            .iter()
+            .filter(|t| t.fits)
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy"))
     }
 }
 
@@ -145,8 +146,7 @@ impl EonTuner {
     /// Fails when the candidate's DSP or model cannot be built for the
     /// window size.
     pub fn estimate_candidate(&self, candidate: &Candidate, classes: usize) -> Result<TrialResult> {
-        let design =
-            ImpulseDesign::new("tuner-probe", self.window_samples, candidate.dsp.clone())?;
+        let design = ImpulseDesign::new("tuner-probe", self.window_samples, candidate.dsp.clone())?;
         let dims = design.feature_dims()?;
         let spec = candidate.model.spec(dims, classes);
         let model = Sequential::build(&spec, self.config.seed)?;
@@ -202,11 +202,8 @@ impl EonTuner {
         let dims = design.feature_dims()?;
         let spec = candidate.model.spec(dims, classes);
         let trained = design.train(&spec, dataset, train)?;
-        let artifact = if self.config.quantize {
-            trained.int8_artifact()?
-        } else {
-            trained.float_artifact()
-        };
+        let artifact =
+            if self.config.quantize { trained.int8_artifact()? } else { trained.float_artifact() };
         let eval = trained.evaluate(&artifact, dataset, Split::Testing)?;
         result.accuracy = eval.accuracy;
         Ok(result)
@@ -247,18 +244,17 @@ impl EonTuner {
             }
             if let Some(budget) = self.config.max_latency_ms {
                 if estimate.total_ms() > budget {
-                    report
-                        .filtered
-                        .push((candidate, format!("estimated {:.0} ms > budget", estimate.total_ms())));
+                    report.filtered.push((
+                        candidate,
+                        format!("estimated {:.0} ms > budget", estimate.total_ms()),
+                    ));
                     continue;
                 }
             }
             let trial = self.evaluate_candidate(&candidate, dataset, &self.config.train)?;
             report.trials.push(trial);
         }
-        report
-            .trials
-            .sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
+        report.trials.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
         Ok(report)
     }
 
@@ -316,9 +312,7 @@ impl EonTuner {
             }
             epochs *= 2;
         }
-        report
-            .trials
-            .sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
+        report.trials.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
         Ok(report)
     }
 }
@@ -436,12 +430,8 @@ mod tests {
         let tflm = quick_tuner(1);
         let mut eon_cfg = TunerConfig::default();
         eon_cfg.engine = EngineKind::EonCompiled;
-        let eon = EonTuner::new(
-            small_space(),
-            Profiler::new(Board::nano33_ble_sense()),
-            1_000,
-            eon_cfg,
-        );
+        let eon =
+            EonTuner::new(small_space(), Profiler::new(Board::nano33_ble_sense()), 1_000, eon_cfg);
         let candidate = &small_space().candidates()[0];
         let t = tflm.estimate_candidate(candidate, 2).unwrap();
         let e = eon.estimate_candidate(candidate, 2).unwrap();

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (class, generator.generate(class, 500 + k as u64))
         })
         .collect();
-    println!("seed set: {} labeled clips; pool: {} unlabeled clips", labeled.len(), unlabeled_clips.len());
+    println!(
+        "seed set: {} labeled clips; pool: {} unlabeled clips",
+        labeled.len(),
+        unlabeled_clips.len()
+    );
 
     // 2. train on the seed set only
     let design = ImpulseDesign::new(
@@ -69,12 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pca = Pca::fit(&all_emb);
     let layout = pca.transform_all(&all_emb);
     let refined = refine_layout(&layout, &all_emb, 6, 25);
-    println!("2-D layout computed for {} points; first labeled point at ({:.2}, {:.2})",
-        refined.len(), refined[0][0], refined[0][1]);
+    println!(
+        "2-D layout computed for {} points; first labeled point at ({:.2}, {:.2})",
+        refined.len(),
+        refined[0][0],
+        refined[0][1]
+    );
 
     // 5. cluster-proximity auto-labeling of the pool
-    let label_strings: Vec<String> =
-        labeled_ys.iter().map(|&y| labels[y].clone()).collect();
+    let label_strings: Vec<String> = labeled_ys.iter().map(|&y| labels[y].clone()).collect();
     let labeler = AutoLabeler::fit(&labeled_emb, &label_strings, 2.5);
     let suggestions = labeler.suggest(&pool_emb);
     let mut accepted = 0;
@@ -94,7 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!();
-    println!("auto-labeling: {accepted} accepted ({correct} correct), {flagged} flagged for review");
+    println!(
+        "auto-labeling: {accepted} accepted ({correct} correct), {flagged} flagged for review"
+    );
     if accepted > 0 {
         println!("suggestion precision: {:.0}%", 100.0 * correct as f64 / accepted as f64);
     }

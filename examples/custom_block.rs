@@ -48,10 +48,7 @@ impl DspBlock for ZcrEnergyBlock {
         self.output_len(input.len())?;
         let mut out = Vec::with_capacity(input.len() / self.frame * 2);
         for frame in input.chunks_exact(self.frame) {
-            let crossings = frame
-                .windows(2)
-                .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
-                .count();
+            let crossings = frame.windows(2).filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0)).count();
             let energy = frame.iter().map(|x| x * x).sum::<f32>() / self.frame as f32;
             out.push(crossings as f32 / self.frame as f32);
             out.push((energy.max(1e-10)).ln());

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("random search (6 trained trials, 900 ms latency budget)...");
     let report = tuner.run(&dataset)?;
     println!();
-    println!("{:<24} {:<24} {:>6} {:>9} {:>9} {:>10}", "DSP", "model", "acc", "total ms", "RAM kB", "flash kB");
+    println!(
+        "{:<24} {:<24} {:>6} {:>9} {:>9} {:>10}",
+        "DSP", "model", "acc", "total ms", "RAM kB", "flash kB"
+    );
     for t in &report.trials {
         println!(
             "{:<24} {:<24} {:>5.0}% {:>9.0} {:>9.1} {:>10.1}",
@@ -67,7 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("accuracy / latency Pareto front:");
     for t in report.pareto_front() {
-        println!("  {:>4.0}% @ {:>5.0} ms — {} + {}", t.accuracy * 100.0, t.total_ms(), t.dsp_name, t.model_name);
+        println!(
+            "  {:>4.0}% @ {:>5.0} ms — {} + {}",
+            t.accuracy * 100.0,
+            t.total_ms(),
+            t.dsp_name,
+            t.model_name
+        );
     }
     if let Some(best) = report.best_fitting() {
         println!();

@@ -1,11 +1,17 @@
 //! The MLOps loop end to end, driven entirely through the platform API —
-//! the programmatic automation path of paper §4.9.
+//! the programmatic automation path of paper §4.9 — with the whole run
+//! observed through an `ei-trace` collecting subscriber.
 //!
 //! Creates users and an organization, ingests data over the API (WAV and
-//! JSON payloads), configures an impulse, runs training as a scheduled job
-//! on the worker pool, versions the project, publishes it to the public
-//! registry, and finally talks to a simulated device over its AT-command
-//! serial protocol.
+//! JSON payloads), audits the dataset through a fault-tolerant flow,
+//! configures an impulse, runs training as a scheduled job on the worker
+//! pool, versions the project, publishes it to the public registry,
+//! profiles the deployed model per layer on the three paper boards, and
+//! finally talks to a simulated device over its AT-command serial
+//! protocol. The trace — job lifecycle events, per-stage flow spans,
+//! per-epoch training metrics and the per-layer inference profile — is
+//! printed as JSONL at the end, followed by the Prometheus-style metrics
+//! exposition.
 //!
 //! ```bash
 //! cargo run --release --example mlops_pipeline
@@ -13,15 +19,26 @@
 
 use edgelab::core::impulse::ImpulseDesign;
 use edgelab::core::sdk::FirmwareDevice;
+use edgelab::core::workflow::{FlowRunner, FlowStage};
 use edgelab::data::ingest::to_wav_bytes;
 use edgelab::data::synth::KwsGenerator;
+use edgelab::device::{Board, Profiler};
 use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::faults::{RetryPolicy, VirtualClock};
 use edgelab::nn::{presets, train::TrainConfig};
 use edgelab::platform::registry::search;
 use edgelab::platform::{Api, JobScheduler};
+use edgelab::runtime::EonProgram;
+use edgelab::trace::Tracer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- team setup -------------------------------------------------------
+    // --- observability ------------------------------------------------------
+    // one tracer for the whole run, on a virtual clock so the emitted
+    // trace is deterministic from run to run
+    let clock = VirtualClock::shared();
+    let (tracer, collector) = Tracer::collecting(clock.clone());
+
+    // --- team setup ---------------------------------------------------------
     let api = Api::new();
     let alice = api.create_user("alice");
     let bob = api.create_user("bob");
@@ -30,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     api.add_collaborator(project, alice, bob)?;
     println!("org {org}: project {project} shared between alice and bob");
 
-    // --- data ingestion over the API ---------------------------------------
+    // --- data ingestion over the API ----------------------------------------
     let generator = KwsGenerator {
         classes: vec!["go".into(), "stop".into()],
         sample_rate_hz: 8_000,
@@ -50,16 +67,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         generator.generate(0, 99)
     );
     api.ingest(project, alice, "json", json.as_bytes(), None)?;
-    let stats = api.with_project(project, bob, |p| p.dataset.stats())?;
-    println!(
-        "ingested {} samples ({} train / {} test) across {} classes",
-        stats.total,
-        stats.training,
-        stats.testing,
-        stats.per_class.len()
-    );
 
-    // --- impulse configuration ---------------------------------------------
+    // --- dataset audit as a fault-tolerant flow -----------------------------
+    // a required audit stage plus an optional enrichment stage that is
+    // down today: the flow degrades instead of failing, and both stages
+    // (and the retries inside them) are visible as spans in the trace
+    let runner =
+        FlowRunner::with_clock(RetryPolicy::default().with_seed(7).with_max_attempts(2), clock)
+            .with_tracer(tracer.clone());
+    let flow = runner.run(vec![
+        FlowStage::required("dataset-audit", |_| {
+            let stats =
+                api.with_project(project, bob, |p| p.dataset.stats()).map_err(|e| e.to_string())?;
+            if stats.total == 0 {
+                return Err("empty dataset".into());
+            }
+            Ok(format!(
+                "{} samples ({} train / {} test) across {} classes",
+                stats.total,
+                stats.training,
+                stats.testing,
+                stats.per_class.len()
+            ))
+        }),
+        FlowStage::optional("anomaly-enrichment", |_| {
+            Err("anomaly service unreachable".to_string())
+        }),
+    ])?;
+    println!("ingested {}", flow.output("dataset-audit").unwrap_or("?"));
+    println!("flow degraded stages: {:?}", flow.degraded_stages());
+
+    // --- impulse configuration ----------------------------------------------
     let design = ImpulseDesign::new(
         "wakeword",
         4_000,
@@ -75,15 +113,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v1 = api.snapshot(project, alice, "data + impulse configured")?;
     println!("saved project version {v1}");
 
-    // --- training as a scheduled job ----------------------------------------
-    let scheduler = JobScheduler::new(2);
+    // --- training as a scheduled, traced job --------------------------------
+    let scheduler = JobScheduler::with_clock_and_tracer(2, VirtualClock::shared(), tracer.clone());
     let dataset = api.with_project(project, alice, |p| p.dataset.clone())?;
     let spec = presets::dense_mlp(design.feature_dims()?, 2, 32);
     let job_design = design.clone();
+    let job_tracer = tracer.clone();
     let job = scheduler.submit(2, move || {
         let config = TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() };
         let trained = job_design
-            .train(&spec, &dataset, &config)
+            .train_traced(&spec, &dataset, &config, job_tracer.clone())
             .map_err(|e| e.to_string())?;
         Ok(format!("val accuracy {:.1}%", trained.report().best_val_accuracy * 100.0))
     })?;
@@ -94,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hits = search(&api.public_projects(), "keyword");
     println!("public registry search 'keyword': {} hit(s): {}", hits.len(), hits[0].name);
 
-    // --- talk to the deployed device over serial -----------------------------
+    // --- per-layer profile on the three paper boards ------------------------
     let dataset = api.with_project(project, alice, |p| p.dataset.clone())?;
     let trained = design.train(
         &presets::dense_mlp(design.feature_dims()?, 2, 32),
@@ -102,6 +141,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &TrainConfig { epochs: 10, learning_rate: 0.01, ..TrainConfig::default() },
     )?;
     let artifact = trained.int8_artifact()?;
+    let eon = EonProgram::compile(artifact.clone())?;
+    println!();
+    for board in Board::paper_boards() {
+        let profiler = Profiler::new(board);
+        let layers = profiler.emit_profile(&tracer, &eon);
+        let sum_ms: f64 = layers.iter().map(|l| l.ms).sum();
+        // the per-layer rows sum exactly to the end-to-end estimate
+        assert_eq!(sum_ms, profiler.inference_ms(&eon));
+        println!(
+            "{:<28} {:>2} layers, inference {:>8.3} ms",
+            profiler.board().name,
+            layers.len(),
+            sum_ms
+        );
+    }
+
+    // --- talk to the deployed device over serial ----------------------------
     let mut device = FirmwareDevice::new("field-unit-07", trained, artifact);
     println!();
     println!("> AT+CONFIG?");
@@ -113,5 +169,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("> AT+RUNIMPULSE");
     println!("{}", device.handle_command("AT+RUNIMPULSE")?);
+
+    // --- the trace ----------------------------------------------------------
+    drop(scheduler); // flush: dead-letter anything still queued
+    println!();
+    println!("--- trace (JSONL, {} records) ---", collector.len());
+    print!("{}", collector.jsonl());
+    println!("--- metrics (Prometheus exposition) ---");
+    print!("{}", tracer.prometheus());
     Ok(())
 }

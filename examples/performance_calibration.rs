@@ -10,9 +10,9 @@
 //! cargo run --release --example performance_calibration
 //! ```
 
-use edgelab::calibration::{calibrate, EventDetector, GaConfig, ProbabilityTrace};
 use edgelab::calibration::postprocess::score_detections;
 use edgelab::calibration::stream::trace_from_classifier;
+use edgelab::calibration::{calibrate, EventDetector, GaConfig, ProbabilityTrace};
 use edgelab::core::impulse::ImpulseDesign;
 use edgelab::data::synth::KwsGenerator;
 use edgelab::dsp::{DspConfig, MfccConfig};
@@ -73,10 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("built {} streams with {total_events} true keyword events", traces.len());
 
     // run the genetic algorithm over post-processing configurations
-    let suggestions = calibrate(
-        &traces,
-        &GaConfig { population: 20, generations: 12, ..GaConfig::default() },
-    );
+    let suggestions =
+        calibrate(&traces, &GaConfig { population: 20, generations: 12, ..GaConfig::default() });
     println!();
     println!("Pareto-optimal post-processing configurations (FAR vs FRR):");
     println!(

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let normal_features = scaler.transform_all(&normal_features)?;
     let kmeans = KMeans::fit(&normal_features, KMeansConfig { k: 4, ..Default::default() })?;
     let gmm = Gmm::fit(&normal_features, GmmConfig { components: 3, ..Default::default() })?;
-    println!("k-means: {} clusters fitted on {} windows", kmeans.centroids().len(), normal_features.len());
+    println!(
+        "k-means: {} clusters fitted on {} windows",
+        kmeans.centroids().len(),
+        normal_features.len()
+    );
 
     // 3. score unseen windows: fresh normal plus each fault type
     let cases: Vec<(&str, Option<AnomalyKind>)> = vec![
@@ -72,7 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kind in [AnomalyKind::HighFrequency, AnomalyKind::Amplitude, AnomalyKind::Drift] {
         let mut alerts = 0;
         for seed in 2000..2020 {
-            let features = scaler.transform(&block.process(&generator.generate(Some(kind), seed))?)?;
+            let features =
+                scaler.transform(&block.process(&generator.generate(Some(kind), seed))?)?;
             if kmeans.anomaly_score(&features)? > threshold {
                 alerts += 1;
             }

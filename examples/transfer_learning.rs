@@ -57,8 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let project = api.create_project("shared-kws", team_a)?;
     api.add_collaborator(project, team_a, team_b)?;
     api.upload_model(project, team_a, "kws-base-v1", base.to_json()?)?;
-    println!("published 'kws-base-v1' to the registry ({} models listed)",
-        api.list_models(project, team_a)?.len());
+    println!(
+        "published 'kws-base-v1' to the registry ({} models listed)",
+        api.list_models(project, team_a)?.len()
+    );
 
     // --- team B: download and fine-tune on a tiny new vocabulary -------------
     let downloaded = api.download_model(project, team_b, "kws-base-v1")?;

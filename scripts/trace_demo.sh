@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the traced MLOps pipeline example and sanity-checks that the
+# collected JSONL trace contains records from every instrumented layer:
+# job lifecycle, flow stages, per-epoch training, and per-layer profiling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release --example mlops_pipeline"
+out="$(cargo run --release --example mlops_pipeline)"
+
+echo "==> checking the trace for records from every layer"
+for marker in \
+  '"type":"span_start"' \
+  '"type":"span_end"' \
+  'job.queued' \
+  'job.finished' \
+  'flow.stage' \
+  'train.epoch' \
+  'profile.layer' \
+  'profile.inference_ms'; do
+  if ! grep -qF -- "$marker" <<<"$out"; then
+    echo "MISSING from trace output: $marker" >&2
+    exit 1
+  fi
+  echo "  found $marker"
+done
+
+echo "==> trace demo passed"

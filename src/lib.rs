@@ -25,6 +25,7 @@
 //! | [`active`] | `ei-active` | embeddings, 2-D projection, auto-labeling |
 //! | [`platform`] | `ei-platform` | projects, API facade, job scheduler |
 //! | [`faults`] | `ei-faults` | retry policies, mock clock, fault injection |
+//! | [`trace`] | `ei-trace` | structured spans, metrics, trace exporters |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use ei_platform as platform;
 pub use ei_quant as quant;
 pub use ei_runtime as runtime;
 pub use ei_tensor as tensor;
+pub use ei_trace as trace;
 pub use ei_tuner as tuner;
 
 #[cfg(test)]
@@ -73,5 +75,6 @@ mod tests {
         let _ = crate::platform::Api::new();
         let _ = crate::calibration::PostProcessConfig::default();
         let _ = crate::faults::RetryPolicy::default();
+        let _ = crate::trace::Tracer::disabled();
     }
 }

@@ -218,7 +218,15 @@ fn cmd_profile(args: &[String]) -> CliResult<()> {
     println!("total:      {:>9.2} ms", report.total_ms);
     println!("model RAM:  {:>9.1} kB", report.model_ram_bytes as f64 / 1024.0);
     println!("model flash:{:>9.1} kB", report.model_flash_bytes as f64 / 1024.0);
-    println!("fits: {}{}", report.fit.fits, if report.fit.fits { String::new() } else { format!(" ({})", report.fit.reasons.join("; ")) });
+    println!(
+        "fits: {}{}",
+        report.fit.fits,
+        if report.fit.fits {
+            String::new()
+        } else {
+            format!(" ({})", report.fit.reasons.join("; "))
+        }
+    );
     println!();
     println!("per-layer:");
     for (op, ms) in profiler.per_op_profile(&engine) {

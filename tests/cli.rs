@@ -84,12 +84,7 @@ fn full_cli_workflow() {
         .stdout(Stdio::piped())
         .spawn()
         .unwrap();
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"{\"hello\": 1}\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"{\"hello\": 1}\n").unwrap();
     drop(child.stdin.take());
     let output = child.wait_with_output().unwrap();
     let response = String::from_utf8_lossy(&output.stdout);

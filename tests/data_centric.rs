@@ -39,9 +39,7 @@ fn explorer_flags_the_corrupted_capture() {
     let gen = generator();
     let mut dataset = gen.dataset(12, 3);
     // a clipped/saturated capture sneaks in (a real field failure mode)
-    let bad = dataset.add(
-        Sample::new(0, vec![1.0; 2_000], SensorKind::Audio).with_label("left"),
-    );
+    let bad = dataset.add(Sample::new(0, vec![1.0; 2_000], SensorKind::Audio).with_label("left"));
     // and one sample with the wrong length
     dataset.add(Sample::new(0, vec![0.1; 500], SensorKind::Audio).with_label("right"));
 
@@ -77,19 +75,15 @@ fn augmentation_helps_in_the_low_data_regime() {
     let eval_set = gen.dataset(25, 900).with_test_percent(100);
 
     let baseline = design.train(&spec, &tiny, &config).unwrap();
-    let baseline_acc = baseline
-        .evaluate(&baseline.float_artifact(), &eval_set, Split::Testing)
-        .unwrap()
-        .accuracy;
+    let baseline_acc =
+        baseline.evaluate(&baseline.float_artifact(), &eval_set, Split::Testing).unwrap().accuracy;
 
     let mut augmented = tiny.clone();
     let added = augment_dataset(&mut augmented, AugmentConfig::default(), 5, 7);
     assert_eq!(added, 6 * 5);
     let boosted = design.train(&spec, &augmented, &config).unwrap();
-    let boosted_acc = boosted
-        .evaluate(&boosted.float_artifact(), &eval_set, Split::Testing)
-        .unwrap()
-        .accuracy;
+    let boosted_acc =
+        boosted.evaluate(&boosted.float_artifact(), &eval_set, Split::Testing).unwrap().accuracy;
 
     // augmentation must not hurt in the low-data regime
     assert!(

@@ -71,8 +71,7 @@ fn saved_model_behaves_identically_through_eim() {
     let response = runner.handle(&json!({"classify": clip, "id": 9}));
     assert_eq!(response["success"], true);
     assert_eq!(response["winner"], direct.label);
-    let go_index =
-        trained.labels().iter().position(|l| l == "go").expect("'go' exists");
+    let go_index = trained.labels().iter().position(|l| l == "go").expect("'go' exists");
     let served = response["result"]["classification"]["go"].as_f64().unwrap() as f32;
     assert!(
         (served - direct.probabilities[go_index]).abs() < 1e-6,

@@ -53,8 +53,7 @@ fn full_pipeline_from_audio_to_firmware() {
         .expect("training succeeds");
 
     // float accuracy on holdout must be strong on separable synthetic data
-    let float_eval =
-        trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing).unwrap();
+    let float_eval = trained.evaluate(&trained.float_artifact(), &dataset, Split::Testing).unwrap();
     assert!(float_eval.accuracy > 0.8, "float accuracy {}", float_eval.accuracy);
 
     // int8 must stay close
@@ -70,11 +69,7 @@ fn full_pipeline_from_audio_to_firmware() {
     // both engines execute the same artifact identically
     let eon = EonProgram::compile(int8.clone()).unwrap();
     let interp = Interpreter::new(int8.clone()).unwrap();
-    let features = design
-        .dsp_block()
-        .unwrap()
-        .process(&gen.generate(0, 1234))
-        .unwrap();
+    let features = design.dsp_block().unwrap().process(&gen.generate(0, 1234)).unwrap();
     assert_eq!(eon.run(&features).unwrap(), interp.run(&features).unwrap());
 
     // profiling on the paper's boards yields usable estimates and fits

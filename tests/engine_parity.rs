@@ -127,8 +127,5 @@ fn quantized_argmax_agreement_rate() {
             total += 1;
         }
     }
-    assert!(
-        agree as f64 / total as f64 > 0.9,
-        "argmax agreement {agree}/{total} below 90%"
-    );
+    assert!(agree as f64 / total as f64 > 0.9, "argmax agreement {agree}/{total} below 90%");
 }

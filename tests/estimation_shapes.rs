@@ -4,9 +4,9 @@
 //! change breaks one of these, the reproduction claims in EXPERIMENTS.md
 //! no longer hold.
 
-use ei_bench::Task;
 use edgelab::device::{Board, Profiler};
 use edgelab::runtime::{EonProgram, InferenceEngine, Interpreter};
+use ei_bench::Task;
 
 fn latencies(task: Task, board: Board) -> Option<(f64, f64, f64)> {
     // (dsp_ms, float_total, int8_total); None when float doesn't fit
@@ -92,14 +92,8 @@ fn table4_eon_always_saves_ram_and_flash() {
             let ram_saving = 1.0 - eon.ram_total() as f64 / tflm.ram_total() as f64;
             let flash_saving = 1.0 - eon.flash_total() as f64 / tflm.flash_total() as f64;
             // paper Table 4: EON saves roughly 2-35% RAM and 5-45% flash
-            assert!(
-                (0.005..0.40).contains(&ram_saving),
-                "{task:?} ram saving {ram_saving}"
-            );
-            assert!(
-                (0.03..0.50).contains(&flash_saving),
-                "{task:?} flash saving {flash_saving}"
-            );
+            assert!((0.005..0.40).contains(&ram_saving), "{task:?} ram saving {ram_saving}");
+            assert!((0.03..0.50).contains(&flash_saving), "{task:?} flash saving {flash_saving}");
         }
     }
 }
@@ -110,14 +104,8 @@ fn table4_int8_shrinks_ram_and_flash_severalfold() {
         let (float_a, int8_a) = task.untrained_artifacts();
         let f = EonProgram::compile(float_a).unwrap().memory();
         let q = EonProgram::compile(int8_a).unwrap().memory();
-        assert!(
-            f.arena_bytes as f64 / q.arena_bytes as f64 > 3.0,
-            "{task:?} arena ratio"
-        );
-        assert!(
-            f.weight_bytes as f64 / q.weight_bytes as f64 > 3.0,
-            "{task:?} weight ratio"
-        );
+        assert!(f.arena_bytes as f64 / q.arena_bytes as f64 > 3.0, "{task:?} arena ratio");
+        assert!(f.weight_bytes as f64 / q.weight_bytes as f64 > 3.0, "{task:?} weight ratio");
     }
 }
 

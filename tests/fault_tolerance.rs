@@ -12,9 +12,8 @@ fn scripted_faults_recover_with_the_exact_seeded_backoff_schedule() {
     let scheduler = JobScheduler::with_clock(1, clock.clone());
     let policy = RetryPolicy::default().with_seed(2024).with_max_attempts(5);
     // the script: panic on attempt 1, error on attempt 2, succeed on 3
-    let plan = FaultPlan::new()
-        .panic_on(1, "feature extractor crashed")
-        .error_on(2, "blob storage flake");
+    let plan =
+        FaultPlan::new().panic_on(1, "feature extractor crashed").error_on(2, "blob storage flake");
     let mut work = plan.arm(scheduler.clock(), || Ok::<_, String>("features extracted".into()));
     let id = scheduler.submit_with(policy.clone(), move |_| work()).unwrap();
 

@@ -70,11 +70,7 @@ fn collaborative_project_lifecycle() {
         .expect("impulse configured");
     let job = scheduler
         .submit(1, move || {
-            let spec = presets::dense_mlp(
-                design.feature_dims().map_err(|e| e.to_string())?,
-                2,
-                16,
-            );
+            let spec = presets::dense_mlp(design.feature_dims().map_err(|e| e.to_string())?, 2, 16);
             let trained = design
                 .train(
                     &spec,
@@ -132,8 +128,7 @@ fn workflow_degrades_when_an_optional_stage_fails() {
     let trained = RefCell::new(None);
     // the optional anomaly stage crashes, then stays down — the flow must
     // ship a model anyway and report the stage as degraded
-    let plan =
-        FaultPlan::new().panic_on(1, "anomaly scorer crashed").error_on(2, "scorer offline");
+    let plan = FaultPlan::new().panic_on(1, "anomaly scorer crashed").error_on(2, "scorer offline");
     let mut anomaly_work = plan.arm(clock.clone(), || Ok::<_, String>("unreachable".into()));
 
     let report = runner
@@ -146,11 +141,8 @@ fn workflow_degrades_when_an_optional_stage_fails() {
             }),
             FlowStage::required("train", |_| {
                 let design = impulse();
-                let spec = presets::dense_mlp(
-                    design.feature_dims().map_err(|e| e.to_string())?,
-                    2,
-                    8,
-                );
+                let spec =
+                    presets::dense_mlp(design.feature_dims().map_err(|e| e.to_string())?, 2, 8);
                 let t = design
                     .train(
                         &spec,
@@ -206,11 +198,8 @@ fn parallel_training_jobs() {
         jobs.push(
             scheduler
                 .submit(1, move || {
-                    let spec = presets::dense_mlp(
-                        design.feature_dims().map_err(|e| e.to_string())?,
-                        2,
-                        8,
-                    );
+                    let spec =
+                        presets::dense_mlp(design.feature_dims().map_err(|e| e.to_string())?, 2, 8);
                     design
                         .train(
                             &spec,

@@ -1,0 +1,132 @@
+//! Cross-crate observability guarantees: the per-layer profile sums
+//! exactly to the end-to-end estimate on every paper board and engine, a
+//! disabled subscriber changes nothing, and traces under a
+//! [`VirtualClock`] are byte-for-byte deterministic across runs.
+
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::core::workflow::{FlowRunner, FlowStage};
+use edgelab::data::synth::KwsGenerator;
+use edgelab::device::{Board, Profiler};
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::faults::{RetryPolicy, VirtualClock};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::runtime::{EonProgram, InferenceEngine, Interpreter};
+use edgelab::trace::Tracer;
+use ei_bench::Task;
+
+#[test]
+fn per_layer_rows_sum_exactly_to_the_estimate_on_every_board_and_engine() {
+    let (float_a, int8_a) = Task::KeywordSpotting.untrained_artifacts();
+    let engines: Vec<Box<dyn InferenceEngine>> = vec![
+        Box::new(Interpreter::new(float_a.clone()).unwrap()),
+        Box::new(EonProgram::compile(float_a).unwrap()),
+        Box::new(Interpreter::new(int8_a.clone()).unwrap()),
+        Box::new(EonProgram::compile(int8_a).unwrap()),
+    ];
+    for board in Board::paper_boards() {
+        let profiler = Profiler::new(board.clone());
+        for engine in &engines {
+            let layers = profiler.per_layer_profile(engine.as_ref());
+            assert!(!layers.is_empty());
+            // bitwise equality: the estimate is defined as this sum
+            let ms_sum: f64 = layers.iter().map(|l| l.ms).sum();
+            let estimate = profiler.inference_ms(engine.as_ref());
+            assert_eq!(
+                ms_sum,
+                estimate,
+                "{} {}: breakdown {ms_sum} vs estimate {estimate}",
+                board.name,
+                engine.kind()
+            );
+            // the MAC column is the artifact's op MACs, untouched
+            let macs: u64 = layers.iter().map(|l| l.macs).sum();
+            let op_macs: u64 = engine.artifact().ops().iter().map(|o| o.macs).sum();
+            assert_eq!(macs, op_macs);
+            // every row carries a planned arena buffer
+            assert!(layers.iter().all(|l| l.arena_bytes > 0));
+        }
+    }
+}
+
+/// A small, fully seeded traced pipeline: a flow with a degraded optional
+/// stage, a short training run, and a per-layer profile on one board.
+/// Returns the JSONL trace, the Chrome-trace export and the Prometheus
+/// exposition.
+fn traced_pipeline(tracer: &Tracer) -> edgelab::core::workflow::FlowReport {
+    let runner = FlowRunner::with_clock(
+        RetryPolicy::default().with_seed(9).with_max_attempts(2),
+        VirtualClock::shared(),
+    )
+    .with_tracer(tracer.clone());
+    let flow = runner
+        .run(vec![
+            FlowStage::required("ingest", |_| Ok("32 samples".into())),
+            FlowStage::optional("enrich", |_| Err("service down".into())),
+        ])
+        .unwrap();
+
+    let generator = KwsGenerator {
+        classes: vec!["yes".into(), "no".into()],
+        sample_rate_hz: 8_000,
+        duration_s: 0.25,
+        noise: 0.02,
+    };
+    let dataset = generator.dataset(6, 3);
+    let design = ImpulseDesign::new(
+        "obs-test",
+        2_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 20,
+            sample_rate_hz: 8_000,
+        }),
+    )
+    .unwrap();
+    let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+    let config = TrainConfig { epochs: 3, learning_rate: 0.01, ..TrainConfig::default() };
+    let trained = design.train_traced(&spec, &dataset, &config, tracer.clone()).unwrap();
+
+    let engine = EonProgram::compile(trained.int8_artifact().unwrap()).unwrap();
+    Profiler::new(Board::nano33_ble_sense()).emit_profile(tracer, &engine);
+    flow
+}
+
+#[test]
+fn disabled_subscriber_changes_no_behaviour_and_records_nothing() {
+    let disabled = Tracer::disabled();
+    let clock = VirtualClock::shared();
+    let (enabled, collector) = Tracer::collecting(clock);
+
+    let silent = traced_pipeline(&disabled);
+    let observed = traced_pipeline(&enabled);
+
+    // identical flow outcomes, stage by stage (including retry histories)
+    assert_eq!(silent.stages, observed.stages);
+    // the disabled tracer recorded and registered nothing
+    assert!(disabled.metrics_snapshot().is_empty());
+    assert_eq!(disabled.prometheus(), "");
+    // while the enabled one saw the whole pipeline
+    assert!(!collector.is_empty());
+    let records = collector.records();
+    for name in ["flow", "flow.stage", "stage.degraded", "train", "train.epoch", "profile.layer"] {
+        assert!(records.iter().any(|r| r.name() == name), "missing {name}");
+    }
+    assert!(enabled.metrics_snapshot().contains_key("profile.inference_ms"));
+}
+
+#[test]
+fn traces_under_virtual_clock_are_byte_for_byte_deterministic() {
+    let run = || {
+        let (tracer, collector) = Tracer::collecting(VirtualClock::shared());
+        traced_pipeline(&tracer);
+        (collector.jsonl(), collector.chrome_trace(), tracer.prometheus())
+    };
+    let (jsonl_a, chrome_a, prom_a) = run();
+    let (jsonl_b, chrome_b, prom_b) = run();
+    assert!(!jsonl_a.is_empty());
+    assert_eq!(jsonl_a, jsonl_b, "JSONL trace must be deterministic");
+    assert_eq!(chrome_a, chrome_b, "Chrome trace must be deterministic");
+    assert_eq!(prom_a, prom_b, "Prometheus exposition must be deterministic");
+}

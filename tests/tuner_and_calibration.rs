@@ -134,10 +134,8 @@ fn calibration_on_a_real_classifier_reaches_good_operating_point() {
     assert_eq!(trace.truth.len(), 5);
 
     // the GA must find a configuration detecting most events cleanly
-    let suggestions = calibrate(
-        &[trace],
-        &GaConfig { population: 16, generations: 10, ..GaConfig::default() },
-    );
+    let suggestions =
+        calibrate(&[trace], &GaConfig { population: 16, generations: 10, ..GaConfig::default() });
     assert!(!suggestions.is_empty());
     let best = suggestions
         .iter()
