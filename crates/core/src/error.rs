@@ -28,6 +28,9 @@ pub enum CoreError {
     },
     /// The simulated serial link to a device dropped a command.
     DeviceLink(String),
+    /// The operation observed a fired [`ei_faults::CancelToken`] and
+    /// stopped cooperatively before completing.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +47,7 @@ impl fmt::Display for CoreError {
                 write!(f, "workflow stage {stage:?} failed: {error}")
             }
             CoreError::DeviceLink(m) => write!(f, "device link error: {m}"),
+            CoreError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }

@@ -77,8 +77,11 @@ impl ImpulseDesign {
     pub fn extract_features(&self, dataset: &Dataset, split: Split) -> Result<ExtractedFeatures> {
         let block = self.dsp_block()?;
         let (raw, ys) = dataset.xy(split)?;
-        let mut features = Vec::with_capacity(raw.len());
-        for sample in &raw {
+        // Windows fan out over the shared pool; each task length-checks
+        // then processes its own sample — the same per-sample sequence as
+        // the old serial loop — and the lowest-index error wins, so the
+        // result (and the error on bad data) is identical to serial.
+        let features = ei_par::ParPool::global().par_map_result(&raw, |sample| {
             if sample.len() != self.window_samples {
                 return Err(CoreError::InvalidImpulse(format!(
                     "sample has {} values, impulse window is {}",
@@ -86,8 +89,8 @@ impl ImpulseDesign {
                     self.window_samples
                 )));
             }
-            features.push(block.process(sample)?);
-        }
+            Ok(block.process(sample)?)
+        })?;
         Ok((features, ys, dataset.labels()))
     }
 

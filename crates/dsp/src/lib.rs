@@ -39,6 +39,7 @@ pub mod custom;
 pub mod error;
 pub mod fft;
 pub mod mel;
+pub mod parallel;
 pub mod window;
 
 pub use autotune::{autotune_audio, AutotuneGoal};

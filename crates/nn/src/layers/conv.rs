@@ -52,11 +52,30 @@ impl Conv2dGeom {
 
 /// Standard 2-D convolution forward pass.
 pub fn conv2d_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv2dGeom) -> Vec<f32> {
-    let (oh, ow, py, px) = g.output();
+    let (oh, ow, _, _) = g.output();
     let mut out = vec![0.0f32; oh * ow * g.out_c];
-    for oy in 0..oh {
+    conv2d_forward_rows(input, weights, bias, g, 0, &mut out);
+    out
+}
+
+/// Fills the output rows `[oy0, oy0 + out.len() / (ow * out_c))` of a 2-D
+/// convolution into `out`.
+///
+/// Every output element is produced by the same accumulation sequence as
+/// in [`conv2d_forward`], so any row partition reproduces it bit for bit.
+pub(crate) fn conv2d_forward_rows(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: Conv2dGeom,
+    oy0: usize,
+    out: &mut [f32],
+) {
+    let (_, ow, py, px) = g.output();
+    let rows = out.len() / (ow * g.out_c);
+    for (row, oy) in (oy0..oy0 + rows).enumerate() {
         for ox in 0..ow {
-            let base = (oy * ow + ox) * g.out_c;
+            let base = (row * ow + ox) * g.out_c;
             out[base..base + g.out_c].copy_from_slice(bias);
             for ky in 0..g.kernel_h {
                 let iy = (oy * g.stride + ky) as isize - py as isize;
@@ -85,7 +104,6 @@ pub fn conv2d_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv2dGeo
             }
         }
     }
-    out
 }
 
 /// Standard 2-D convolution backward pass.
@@ -141,12 +159,28 @@ pub fn conv2d_backward(
 /// Depthwise 2-D convolution forward pass (channel multiplier 1).
 pub fn depthwise_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv2dGeom) -> Vec<f32> {
     debug_assert_eq!(g.in_c, g.out_c, "depthwise keeps the channel count");
-    let (oh, ow, py, px) = g.output();
+    let (oh, ow, _, _) = g.output();
+    let mut out = vec![0.0f32; oh * ow * g.in_c];
+    depthwise_forward_rows(input, weights, bias, g, 0, &mut out);
+    out
+}
+
+/// Fills the output rows `[oy0, oy0 + out.len() / (ow * c))` of a
+/// depthwise convolution into `out`; see [`conv2d_forward_rows`].
+pub(crate) fn depthwise_forward_rows(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: Conv2dGeom,
+    oy0: usize,
+    out: &mut [f32],
+) {
+    let (_, ow, py, px) = g.output();
     let c = g.in_c;
-    let mut out = vec![0.0f32; oh * ow * c];
-    for oy in 0..oh {
+    let rows = out.len() / (ow * c);
+    for (row, oy) in (oy0..oy0 + rows).enumerate() {
         for ox in 0..ow {
-            let base = (oy * ow + ox) * c;
+            let base = (row * ow + ox) * c;
             out[base..base + c].copy_from_slice(bias);
             for ky in 0..g.kernel_h {
                 let iy = (oy * g.stride + ky) as isize - py as isize;
@@ -167,7 +201,6 @@ pub fn depthwise_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv2d
             }
         }
     }
-    out
 }
 
 /// Depthwise 2-D convolution backward pass.
@@ -252,10 +285,26 @@ impl Conv1dGeom {
 
 /// 1-D convolution forward pass.
 pub fn conv1d_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv1dGeom) -> Vec<f32> {
-    let (ow, pad) = g.output();
+    let (ow, _) = g.output();
     let mut out = vec![0.0f32; ow * g.out_c];
-    for ox in 0..ow {
-        let base = ox * g.out_c;
+    conv1d_forward_steps(input, weights, bias, g, 0, &mut out);
+    out
+}
+
+/// Fills the output steps `[ox0, ox0 + out.len() / out_c)` of a 1-D
+/// convolution into `out`; see [`conv2d_forward_rows`].
+pub(crate) fn conv1d_forward_steps(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: Conv1dGeom,
+    ox0: usize,
+    out: &mut [f32],
+) {
+    let (_, pad) = g.output();
+    let steps = out.len() / g.out_c;
+    for (step, ox) in (ox0..ox0 + steps).enumerate() {
+        let base = step * g.out_c;
         out[base..base + g.out_c].copy_from_slice(bias);
         for k in 0..g.kernel {
             let ix = (ox * g.stride + k) as isize - pad as isize;
@@ -277,7 +326,6 @@ pub fn conv1d_forward(input: &[f32], weights: &[f32], bias: &[f32], g: Conv1dGeo
             }
         }
     }
-    out
 }
 
 /// 1-D convolution backward pass.

@@ -9,16 +9,31 @@ pub fn dense_forward(input: &[f32], weights: &[f32], bias: &[f32], units: usize)
     debug_assert_eq!(weights.len(), input.len() * units);
     debug_assert_eq!(bias.len(), units);
     let mut out = bias.to_vec();
+    dense_forward_cols(input, weights, units, 0, &mut out);
+    out
+}
+
+/// Accumulates output columns `[col0, col0 + out.len())` into `out`,
+/// which must already hold the matching bias slice.
+///
+/// For each column the accumulation walks inputs in index order, so any
+/// column partition reproduces [`dense_forward`] bit for bit.
+pub(crate) fn dense_forward_cols(
+    input: &[f32],
+    weights: &[f32],
+    units: usize,
+    col0: usize,
+    out: &mut [f32],
+) {
     for (i, &x) in input.iter().enumerate() {
         if x == 0.0 {
             continue;
         }
-        let row = &weights[i * units..(i + 1) * units];
+        let row = &weights[i * units + col0..i * units + col0 + out.len()];
         for (o, &w) in out.iter_mut().zip(row) {
             *o += x * w;
         }
     }
-    out
 }
 
 /// Backward pass.

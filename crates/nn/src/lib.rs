@@ -42,6 +42,7 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optimizer;
+pub mod par;
 pub mod presets;
 pub mod spec;
 pub mod train;

@@ -1,18 +1,21 @@
 //! Compiled sequential models: shape inference, forward, backward.
 
 use crate::layers::conv::{
-    conv1d_backward, conv1d_forward, conv2d_backward, conv2d_forward, depthwise_backward,
-    depthwise_forward, depthwise_macs, Conv1dGeom, Conv2dGeom,
+    conv1d_backward, conv2d_backward, depthwise_backward, depthwise_macs, Conv1dGeom, Conv2dGeom,
 };
-use crate::layers::dense::{dense_backward, dense_forward, dense_macs};
+use crate::layers::dense::{dense_backward, dense_macs};
 use crate::layers::pool::{
     avgpool2d_backward, avgpool2d_forward, global_avg_backward, global_avg_forward,
     maxpool2d_backward, maxpool2d_forward, pool_out,
+};
+use crate::par::{
+    conv1d_forward_auto, conv2d_forward_auto, dense_forward_auto, depthwise_forward_auto,
 };
 #[cfg(test)]
 use crate::spec::Padding;
 use crate::spec::{Activation, Dims, LayerSpec, ModelSpec};
 use crate::{NnError, Result};
+use ei_par::ParPool;
 use ei_tensor::init::{init_tensor, Init};
 use ei_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
@@ -595,6 +598,7 @@ impl Sequential {
                 actual: input.len(),
             });
         }
+        let pool = ParPool::global();
         let mut activations = Vec::with_capacity(self.layers.len() + 1);
         let mut masks = Vec::with_capacity(self.layers.len());
         activations.push(input.to_vec());
@@ -602,13 +606,15 @@ impl Sequential {
             let x = activations.last().expect("seeded with input");
             let mut mask = None;
             let mut out = match &layer.spec {
-                LayerSpec::Dense { units, .. } => dense_forward(
+                LayerSpec::Dense { units, .. } => dense_forward_auto(
+                    pool,
                     x,
                     layer.weights.as_ref().expect("dense has weights").as_f32()?,
                     layer.bias.as_ref().expect("dense has bias").as_f32()?,
                     *units,
                 ),
-                LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => conv1d_forward(
+                LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => conv1d_forward_auto(
+                    pool,
                     x,
                     layer.weights.as_ref().expect("conv1d has weights").as_f32()?,
                     layer.bias.as_ref().expect("conv1d has bias").as_f32()?,
@@ -621,7 +627,8 @@ impl Sequential {
                         padding: *padding,
                     },
                 ),
-                LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => conv2d_forward(
+                LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => conv2d_forward_auto(
+                    pool,
                     x,
                     layer.weights.as_ref().expect("conv2d has weights").as_f32()?,
                     layer.bias.as_ref().expect("conv2d has bias").as_f32()?,
@@ -637,7 +644,8 @@ impl Sequential {
                     },
                 ),
                 LayerSpec::Conv2dRect { filters, kernel_h, kernel_w, stride, padding, .. } => {
-                    conv2d_forward(
+                    conv2d_forward_auto(
+                        pool,
                         x,
                         layer.weights.as_ref().expect("conv2d has weights").as_f32()?,
                         layer.bias.as_ref().expect("conv2d has bias").as_f32()?,
@@ -653,21 +661,24 @@ impl Sequential {
                         },
                     )
                 }
-                LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => depthwise_forward(
-                    x,
-                    layer.weights.as_ref().expect("depthwise has weights").as_f32()?,
-                    layer.bias.as_ref().expect("depthwise has bias").as_f32()?,
-                    Conv2dGeom {
-                        in_h: layer.input.h,
-                        in_w: layer.input.w,
-                        in_c: layer.input.c,
-                        out_c: layer.input.c,
-                        kernel_h: *kernel,
-                        kernel_w: *kernel,
-                        stride: *stride,
-                        padding: *padding,
-                    },
-                ),
+                LayerSpec::DepthwiseConv2d { kernel, stride, padding, .. } => {
+                    depthwise_forward_auto(
+                        pool,
+                        x,
+                        layer.weights.as_ref().expect("depthwise has weights").as_f32()?,
+                        layer.bias.as_ref().expect("depthwise has bias").as_f32()?,
+                        Conv2dGeom {
+                            in_h: layer.input.h,
+                            in_w: layer.input.w,
+                            in_c: layer.input.c,
+                            out_c: layer.input.c,
+                            kernel_h: *kernel,
+                            kernel_w: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                    )
+                }
                 LayerSpec::MaxPool { size } => {
                     if layer.input.h == 1 {
                         pool1d(x, layer.input.w, layer.input.c, *size, true)

@@ -1,0 +1,224 @@
+//! Pool-gated parallel forward kernels.
+//!
+//! The serial kernels in [`crate::layers`] accumulate each output element
+//! over inputs in a fixed index order. The `_auto` variants here partition
+//! the *output* (dense columns, convolution rows/steps) into disjoint
+//! chunks and run each chunk as one [`ei_par::ParPool`] task, so every
+//! element still sees exactly the serial accumulation sequence and the
+//! result is bitwise-identical at any thread count.
+//!
+//! Small layers are not worth the fan-out: anything below
+//! [`PAR_MIN_MACS`] multiply–accumulates, and any layer on a serial pool
+//! (`EI_THREADS=1`), takes the plain serial path.
+
+use crate::layers::conv::{
+    conv1d_forward, conv1d_forward_steps, conv2d_forward, conv2d_forward_rows, depthwise_forward,
+    depthwise_forward_rows, depthwise_macs, Conv1dGeom, Conv2dGeom,
+};
+use crate::layers::dense::{dense_forward, dense_forward_cols, dense_macs};
+use ei_par::ParPool;
+
+/// Layers below this many multiply–accumulates run serially: the cost of
+/// queueing and waking workers would outweigh the arithmetic.
+pub const PAR_MIN_MACS: u64 = 131_072;
+
+/// Chunk length that splits `len` units of work into one chunk per pool
+/// thread (at least 1).
+fn chunk_len(len: usize, pool: &ParPool) -> usize {
+    len.div_ceil(pool.threads()).max(1)
+}
+
+/// [`dense_forward`] fanned out over `pool` by output-column chunks.
+pub fn dense_forward_auto(
+    pool: &ParPool,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    units: usize,
+) -> Vec<f32> {
+    if pool.threads() == 1 || dense_macs(input.len(), units) < PAR_MIN_MACS {
+        return dense_forward(input, weights, bias, units);
+    }
+    let mut out = bias.to_vec();
+    let chunk = chunk_len(units, pool);
+    pool.scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || dense_forward_cols(input, weights, units, c * chunk, slice));
+        }
+    });
+    out
+}
+
+/// [`conv2d_forward`] fanned out over `pool` by output-row chunks.
+pub fn conv2d_forward_auto(
+    pool: &ParPool,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: Conv2dGeom,
+) -> Vec<f32> {
+    if pool.threads() == 1 || g.macs() < PAR_MIN_MACS {
+        return conv2d_forward(input, weights, bias, g);
+    }
+    let (oh, ow, _, _) = g.output();
+    let mut out = vec![0.0f32; oh * ow * g.out_c];
+    let rows = chunk_len(oh, pool);
+    pool.scope(|scope| {
+        for (c, slice) in out.chunks_mut(rows * ow * g.out_c).enumerate() {
+            scope.spawn(move || conv2d_forward_rows(input, weights, bias, g, c * rows, slice));
+        }
+    });
+    out
+}
+
+/// [`depthwise_forward`] fanned out over `pool` by output-row chunks.
+pub fn depthwise_forward_auto(
+    pool: &ParPool,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: Conv2dGeom,
+) -> Vec<f32> {
+    if pool.threads() == 1 || depthwise_macs(g) < PAR_MIN_MACS {
+        return depthwise_forward(input, weights, bias, g);
+    }
+    let (oh, ow, _, _) = g.output();
+    let mut out = vec![0.0f32; oh * ow * g.in_c];
+    let rows = chunk_len(oh, pool);
+    pool.scope(|scope| {
+        for (c, slice) in out.chunks_mut(rows * ow * g.in_c).enumerate() {
+            scope.spawn(move || depthwise_forward_rows(input, weights, bias, g, c * rows, slice));
+        }
+    });
+    out
+}
+
+/// [`conv1d_forward`] fanned out over `pool` by output-step chunks.
+pub fn conv1d_forward_auto(
+    pool: &ParPool,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: Conv1dGeom,
+) -> Vec<f32> {
+    if pool.threads() == 1 || g.macs() < PAR_MIN_MACS {
+        return conv1d_forward(input, weights, bias, g);
+    }
+    let (ow, _) = g.output();
+    let mut out = vec![0.0f32; ow * g.out_c];
+    let steps = chunk_len(ow, pool);
+    pool.scope(|scope| {
+        for (c, slice) in out.chunks_mut(steps * g.out_c).enumerate() {
+            scope.spawn(move || conv1d_forward_steps(input, weights, bias, g, c * steps, slice));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Padding;
+    use ei_par::Parallelism;
+
+    /// Deterministic ramp with zeros sprinkled in to exercise the
+    /// sparsity skip in the kernels.
+    fn data(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| if i % 5 == 0 { 0.0 } else { ((i * 13 % 97) as f32 - 48.0) * 0.03 })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn dense_auto_is_bitwise_identical() {
+        let (inputs, units) = (512, 300);
+        let input = data(inputs);
+        let weights = data(inputs * units);
+        let bias = data(units);
+        assert!(dense_macs(inputs, units) >= PAR_MIN_MACS);
+        let serial = dense_forward(&input, &weights, &bias, units);
+        let pool = ParPool::new(Parallelism::new(4));
+        let parallel = dense_forward_auto(&pool, &input, &weights, &bias, units);
+        assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn conv2d_auto_is_bitwise_identical() {
+        let g = Conv2dGeom {
+            in_h: 17,
+            in_w: 16,
+            in_c: 8,
+            out_c: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        assert!(g.macs() >= PAR_MIN_MACS);
+        let input = data(g.in_h * g.in_w * g.in_c);
+        let weights = data(g.kernel_h * g.kernel_w * g.in_c * g.out_c);
+        let bias = data(g.out_c);
+        let serial = conv2d_forward(&input, &weights, &bias, g);
+        let pool = ParPool::new(Parallelism::new(4));
+        let parallel = conv2d_forward_auto(&pool, &input, &weights, &bias, g);
+        assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn depthwise_auto_is_bitwise_identical() {
+        let g = Conv2dGeom {
+            in_h: 40,
+            in_w: 40,
+            in_c: 16,
+            out_c: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        assert!(depthwise_macs(g) >= PAR_MIN_MACS);
+        let input = data(g.in_h * g.in_w * g.in_c);
+        let weights = data(g.kernel_h * g.kernel_w * g.in_c);
+        let bias = data(g.in_c);
+        let serial = depthwise_forward(&input, &weights, &bias, g);
+        let pool = ParPool::new(Parallelism::new(4));
+        let parallel = depthwise_forward_auto(&pool, &input, &weights, &bias, g);
+        assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn conv1d_auto_is_bitwise_identical() {
+        let g = Conv1dGeom {
+            in_w: 250,
+            in_c: 16,
+            out_c: 24,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        assert!(g.macs() >= PAR_MIN_MACS);
+        let input = data(g.in_w * g.in_c);
+        let weights = data(g.kernel * g.in_c * g.out_c);
+        let bias = data(g.out_c);
+        let serial = conv1d_forward(&input, &weights, &bias, g);
+        let pool = ParPool::new(Parallelism::new(4));
+        let parallel = conv1d_forward_auto(&pool, &input, &weights, &bias, g);
+        assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn small_layers_take_the_serial_path() {
+        let pool = ParPool::new(Parallelism::new(4));
+        let input = data(8);
+        let weights = data(8 * 4);
+        let bias = data(4);
+        let steals_before = pool.steals();
+        let out = dense_forward_auto(&pool, &input, &weights, &bias, 4);
+        assert_eq!(out, dense_forward(&input, &weights, &bias, 4));
+        assert_eq!(pool.steals(), steals_before, "no tasks should have been queued");
+    }
+}

@@ -1,0 +1,86 @@
+//! The process-wide thread-count knob.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the thread count.
+pub const THREADS_ENV: &str = "EI_THREADS";
+
+/// How many threads parallel operations may use.
+///
+/// One `Parallelism` value governs every layer: the tuner sweep, DSP
+/// feature extraction, the nn kernels and the job scheduler all size
+/// their shared [`crate::ParPool`] from it. `1` forces the serial path
+/// through the same API — same outputs, no worker threads involved in
+/// scoped work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` threads (clamped to at least one).
+    pub fn new(threads: usize) -> Parallelism {
+        Parallelism { threads: threads.max(1) }
+    }
+
+    /// The serial configuration (`threads == 1`).
+    pub fn serial() -> Parallelism {
+        Parallelism::new(1)
+    }
+
+    /// One thread per available core.
+    pub fn available() -> Parallelism {
+        let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        Parallelism::new(cores)
+    }
+
+    /// Reads [`THREADS_ENV`] (`EI_THREADS`); unset, empty or invalid
+    /// values fall back to [`Parallelism::available`].
+    pub fn from_env() -> Parallelism {
+        match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Parallelism::new(n),
+                _ => Parallelism::available(),
+            },
+            Err(_) => Parallelism::available(),
+        }
+    }
+
+    /// The configured thread count (always at least one).
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// `true` when scoped work must run inline on the calling thread.
+    pub fn is_serial(self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert!(Parallelism::new(0).is_serial());
+    }
+
+    #[test]
+    fn serial_is_one_thread() {
+        assert!(Parallelism::serial().is_serial());
+        assert!(!Parallelism::new(4).is_serial());
+    }
+
+    #[test]
+    fn available_is_at_least_one() {
+        assert!(Parallelism::available().threads() >= 1);
+    }
+}

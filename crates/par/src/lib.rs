@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Deterministic parallel execution for the MLOps pipeline: a scoped
+//! work-stealing thread pool in the house style of `ei-faults` and
+//! `ei-trace` — std-only, dependency-free, observable, cancellable.
+//!
+//! The paper's EON Tuner evaluates large AutoML search spaces by running
+//! many candidate impulses concurrently; DSP feature extraction and the
+//! training hot loops are embarrassingly parallel in the same way. This
+//! crate is the shared compute substrate those sweeps run on.
+//!
+//! * [`config`] — the process-wide [`Parallelism`] knob (`EI_THREADS`,
+//!   default = available cores, `1` forces the serial path through the
+//!   same API).
+//! * [`pool`] — the [`ParPool`]: per-worker deques plus a global
+//!   injector, idle workers park on a condvar, waiting scopes help run
+//!   queued tasks (so nested parallelism cannot deadlock).
+//!
+//! **Determinism guarantee.** [`ParPool::par_map`],
+//! [`ParPool::par_map_result`] and [`ParPool::par_chunks_reduce`] place
+//! every result by input index, propagate the *lowest-index* failure, and
+//! fold chunk accumulators in chunk order — so their outputs (and the
+//! deterministic part of their trace stream) are bitwise-identical to the
+//! serial path regardless of thread count or steal order. Scheduling-
+//! dependent series (`par.steal`, `par.queue_depth`) go through
+//! `ei-trace`'s quiet registry-only path and never touch the record
+//! stream.
+//!
+//! Tasks observe [`ei_faults::CancelToken`]: once a token fires, queued
+//! tasks that have not started are skipped (the queue drains without
+//! doing work) and fallible maps report [`ParError::Cancelled`].
+
+pub mod config;
+pub mod pool;
+
+pub use config::Parallelism;
+pub use pool::{ParError, ParPool, Scope};

@@ -24,6 +24,12 @@
 //! is testable with a [`ei_faults::VirtualClock`] and zero wall-clock
 //! sleeps.
 //!
+//! Schedulers built with [`JobScheduler::new`] own dedicated worker
+//! threads; those built with [`JobScheduler::with_pool`] instead run
+//! every attempt as a detached task on a shared [`ei_par::ParPool`], so
+//! one process-wide pool can serve the scheduler, the EON Tuner and DSP
+//! sweeps without oversubscribing the host.
+//!
 //! The scheduler is also observable through [`ei_trace`]: construct it
 //! with [`JobScheduler::with_clock_and_tracer`] and every lifecycle
 //! transition (`job.queued` → `job.running` → `job.backoff` /
@@ -35,9 +41,10 @@
 use crate::{PlatformError, Result};
 use ei_faults::retry::{self, RetryEvent, RetryOutcome};
 use ei_faults::{AttemptRecord, CancelToken, Clock, FailureCause, RetryPolicy, SystemClock};
+use ei_par::ParPool;
 use ei_trace::Tracer;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -140,23 +147,36 @@ const WATCHDOG_TICK_MS: u64 = 1;
 /// Message shutdown stamps on jobs it refuses to run.
 const SHUTDOWN_ERROR: &str = "scheduler shut down";
 
+/// Where a scheduler executes its attempts.
+enum Backend {
+    /// Dedicated worker threads draining an mpsc channel.
+    Dedicated { sender: Option<Sender<QueuedJob>>, workers: Vec<JoinHandle<()>> },
+    /// Detached tasks on a shared [`ei_par::ParPool`]; `active` counts
+    /// submitted-but-not-terminal jobs so shutdown can wait them out.
+    Pool { pool: Arc<ParPool>, active: Arc<AtomicUsize> },
+}
+
 /// A fixed-size worker pool with retry, timeout, panic-isolation,
 /// cancellation and dead-letter support.
 ///
 /// Dropping the scheduler stops accepting jobs, lets running attempts
 /// finish, and marks still-queued jobs [`JobStatus::Failed`].
 pub struct JobScheduler {
-    sender: Option<Sender<QueuedJob>>,
+    backend: Backend,
     shared: Arc<Shared>,
     clock: Arc<dyn Clock>,
-    workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     next_id: Mutex<u64>,
 }
 
 impl std::fmt::Debug for JobScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobScheduler").field("workers", &self.workers.len()).finish_non_exhaustive()
+        let mut s = f.debug_struct("JobScheduler");
+        match &self.backend {
+            Backend::Dedicated { workers, .. } => s.field("workers", &workers.len()),
+            Backend::Pool { pool, .. } => s.field("pool_threads", &pool.threads()),
+        };
+        s.finish_non_exhaustive()
     }
 }
 
@@ -210,10 +230,45 @@ impl JobScheduler {
             std::thread::spawn(move || watchdog_loop(&shared, &clock))
         };
         JobScheduler {
-            sender: Some(sender),
+            backend: Backend::Dedicated { sender: Some(sender), workers: handles },
             shared,
             clock,
-            workers: handles,
+            watchdog: Some(watchdog),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// Starts a scheduler that runs jobs as detached tasks on `pool`
+    /// (system clock) instead of spawning dedicated worker threads.
+    ///
+    /// Concurrency is bounded by the pool's thread budget, and the pool
+    /// can be shared with other subsystems (tuner sweeps, DSP feature
+    /// extraction) so the process keeps a single thread roster.
+    pub fn with_pool(pool: Arc<ParPool>) -> JobScheduler {
+        JobScheduler::with_pool_clock_and_tracer(
+            pool,
+            Arc::new(SystemClock::new()),
+            Tracer::disabled(),
+        )
+    }
+
+    /// Starts a pool-backed scheduler on an explicit clock and tracer;
+    /// see [`JobScheduler::with_pool`].
+    pub fn with_pool_clock_and_tracer(
+        pool: Arc<ParPool>,
+        clock: Arc<dyn Clock>,
+        tracer: Tracer,
+    ) -> JobScheduler {
+        let shared = Arc::new(Shared { tracer, ..Shared::default() });
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || watchdog_loop(&shared, &clock))
+        };
+        JobScheduler {
+            backend: Backend::Pool { pool, active: Arc::new(AtomicUsize::new(0)) },
+            shared,
+            clock,
             watchdog: Some(watchdog),
             next_id: Mutex::new(0),
         }
@@ -247,7 +302,9 @@ impl JobScheduler {
     where
         F: FnMut(&JobContext<'_>) -> std::result::Result<String, String> + Send + 'static,
     {
-        let sender = self.sender.as_ref().ok_or(PlatformError::SchedulerStopped)?;
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(PlatformError::SchedulerStopped);
+        }
         let id = {
             let mut next = lock(&self.next_id);
             *next += 1;
@@ -263,9 +320,31 @@ impl JobScheduler {
         );
         self.shared.tracer.event("job.queued", vec![("job", id.into())]);
         self.shared.tracer.counter("jobs.submitted").inc();
-        sender
-            .send(QueuedJob { id, policy, work: Box::new(work) })
-            .map_err(|_| PlatformError::SchedulerStopped)?;
+        let job = QueuedJob { id, policy, work: Box::new(work) };
+        match &self.backend {
+            Backend::Dedicated { sender, .. } => {
+                let sender = sender.as_ref().ok_or(PlatformError::SchedulerStopped)?;
+                sender.send(job).map_err(|_| PlatformError::SchedulerStopped)?;
+            }
+            Backend::Pool { pool, active } => {
+                /// Decrements the in-flight count even if execution
+                /// unwinds, so shutdown never waits forever.
+                struct Active(Arc<AtomicUsize>);
+                impl Drop for Active {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = Active(Arc::clone(active));
+                let shared = Arc::clone(&self.shared);
+                let clock = Arc::clone(&self.clock);
+                pool.spawn_detached(move || {
+                    let _guard = guard;
+                    execute_queued(job, &shared, &clock);
+                });
+            }
+        }
         Ok(id)
     }
 
@@ -394,9 +473,20 @@ impl JobScheduler {
     /// waits on a `Queued` status forever.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.sender.take();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        match &mut self.backend {
+            Backend::Dedicated { sender, workers } => {
+                sender.take();
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
+            }
+            Backend::Pool { active, .. } => {
+                // queued tasks observe the shutdown flag when the pool
+                // reaches them and fail fast, so this drains promptly
+                while active.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
         }
         if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
@@ -436,27 +526,34 @@ fn worker_loop(receiver: &Mutex<Receiver<QueuedJob>>, shared: &Shared, clock: &A
             Ok(job) => job,
             Err(_) => return, // channel closed and drained
         };
-        let token = {
-            let mut jobs = lock(&shared.jobs);
-            let Some(state) = jobs.get_mut(&job.id) else { continue };
-            if state.cancel.is_cancelled() {
-                state.status = JobStatus::Cancelled;
-                continue;
-            }
-            if shared.shutdown.load(Ordering::SeqCst) {
-                state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
-                drop(jobs);
-                shared.dead_letter(DeadLetter {
-                    id: job.id,
-                    error: SHUTDOWN_ERROR.to_string(),
-                    attempts: Vec::new(),
-                });
-                continue;
-            }
-            state.cancel.clone()
-        };
-        run_job(job, shared, clock, &token);
+        execute_queued(job, shared, clock);
     }
+}
+
+/// Runs one picked-up job: the queued-state pre-checks (cancelled while
+/// waiting, scheduler shut down) followed by the retry loop. Shared by
+/// dedicated workers and pool-backed execution.
+fn execute_queued(job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>) {
+    let token = {
+        let mut jobs = lock(&shared.jobs);
+        let Some(state) = jobs.get_mut(&job.id) else { return };
+        if state.cancel.is_cancelled() {
+            state.status = JobStatus::Cancelled;
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
+            drop(jobs);
+            shared.dead_letter(DeadLetter {
+                id: job.id,
+                error: SHUTDOWN_ERROR.to_string(),
+                attempts: Vec::new(),
+            });
+            return;
+        }
+        state.cancel.clone()
+    };
+    run_job(job, shared, clock, &token);
 }
 
 fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &CancelToken) {
@@ -802,6 +899,64 @@ mod tests {
             scheduler.wait_for_status(999, 50, |_| true),
             Err(PlatformError::NotFound { kind: "job", id: 999 })
         ));
+    }
+
+    #[test]
+    fn pool_backed_scheduler_runs_retries_and_finishes() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(4)));
+        let scheduler = JobScheduler::with_pool(Arc::clone(&pool));
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        let flaky = scheduler
+            .submit(3, move || {
+                if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".to_string())
+                } else {
+                    Ok("recovered".to_string())
+                }
+            })
+            .unwrap();
+        let ids: Vec<u64> =
+            (0..8).map(|i| scheduler.submit(1, move || Ok(format!("job {i}"))).unwrap()).collect();
+        assert_eq!(scheduler.wait(flaky).unwrap(), "recovered");
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(scheduler.wait(*id).unwrap(), format!("job {i}"));
+        }
+    }
+
+    #[test]
+    fn pool_backed_scheduler_isolates_panics_and_shuts_down() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(2)));
+        let mut scheduler = JobScheduler::with_pool(Arc::clone(&pool));
+        let bad = scheduler.submit(1, || panic!("job exploded")).unwrap();
+        assert!(matches!(scheduler.wait(bad), Err(PlatformError::JobFailed(_))));
+        let ok = scheduler.submit(1, || Ok("alive".into())).unwrap();
+        assert_eq!(scheduler.wait(ok).unwrap(), "alive");
+        scheduler.shutdown();
+        assert!(matches!(
+            scheduler.submit(1, || Ok(String::new())),
+            Err(PlatformError::SchedulerStopped)
+        ));
+        // the shared pool is still usable by other subsystems
+        assert_eq!(pool.par_map(&[1, 2, 3], |x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pool_backed_cancellation_reaches_the_job() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(2)));
+        let scheduler = JobScheduler::with_pool(pool);
+        let id = scheduler
+            .submit_with(RetryPolicy::immediate(1), |ctx| {
+                while !ctx.cancel.is_cancelled() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err("observed cancel".into())
+            })
+            .unwrap();
+        scheduler.wait_for_status(id, 30_000, |s| matches!(s, JobStatus::Running(_))).unwrap();
+        scheduler.cancel(id).unwrap();
+        assert!(matches!(scheduler.wait(id), Err(PlatformError::JobCancelled(_))));
+        assert!(scheduler.dead_letters().is_empty(), "cancellation is not a dead-letter");
     }
 
     #[test]

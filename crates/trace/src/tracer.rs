@@ -115,12 +115,26 @@ impl Tracer {
 
     /// A counter handle (monotonic total).
     pub fn counter(&self, name: &str) -> Counter {
-        Counter { tracer: self.clone(), name: name.to_string() }
+        Counter { tracer: self.clone(), name: name.to_string(), quiet: false }
     }
 
     /// A gauge handle (last value wins).
     pub fn gauge(&self, name: &str) -> Gauge {
-        Gauge { tracer: self.clone(), name: name.to_string() }
+        Gauge { tracer: self.clone(), name: name.to_string(), quiet: false }
+    }
+
+    /// A *quiet* counter: updates the metrics registry but emits no record
+    /// to the subscriber stream. Meant for series whose update timing is
+    /// scheduling-dependent (e.g. work-steal counts), so that the record
+    /// stream itself stays byte-deterministic.
+    pub fn quiet_counter(&self, name: &str) -> Counter {
+        Counter { tracer: self.clone(), name: name.to_string(), quiet: true }
+    }
+
+    /// A *quiet* gauge: registry-only, no stream record. See
+    /// [`Tracer::quiet_counter`].
+    pub fn quiet_gauge(&self, name: &str) -> Gauge {
+        Gauge { tracer: self.clone(), name: name.to_string(), quiet: true }
     }
 
     /// A fixed-bucket histogram handle. `bounds` are ascending upper
@@ -130,10 +144,12 @@ impl Tracer {
         Histogram { tracer: self.clone(), name: name.to_string(), bounds: bounds.to_vec() }
     }
 
-    fn metric(&self, name: &str, update: MetricUpdate, bounds: &[f64]) {
+    fn metric(&self, name: &str, update: MetricUpdate, bounds: &[f64], quiet: bool) {
         if let Some(inner) = &self.inner {
             inner.metrics.apply(name, &update, bounds);
-            Self::emit(inner, RecordKind::Metric { name: name.to_string(), update });
+            if !quiet {
+                Self::emit(inner, RecordKind::Metric { name: name.to_string(), update });
+            }
         }
     }
 
@@ -209,12 +225,13 @@ impl Drop for SpanGuard {
 pub struct Counter {
     tracer: Tracer,
     name: String,
+    quiet: bool,
 }
 
 impl Counter {
     /// Adds `n` to the total.
     pub fn add(&self, n: u64) {
-        self.tracer.metric(&self.name, MetricUpdate::CounterAdd(n), &[]);
+        self.tracer.metric(&self.name, MetricUpdate::CounterAdd(n), &[], self.quiet);
     }
 
     /// Adds one.
@@ -228,12 +245,13 @@ impl Counter {
 pub struct Gauge {
     tracer: Tracer,
     name: String,
+    quiet: bool,
 }
 
 impl Gauge {
     /// Sets the instantaneous value.
     pub fn set(&self, v: f64) {
-        self.tracer.metric(&self.name, MetricUpdate::GaugeSet(v), &[]);
+        self.tracer.metric(&self.name, MetricUpdate::GaugeSet(v), &[], self.quiet);
     }
 }
 
@@ -248,7 +266,7 @@ pub struct Histogram {
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: f64) {
-        self.tracer.metric(&self.name, MetricUpdate::HistogramObserve(v), &self.bounds);
+        self.tracer.metric(&self.name, MetricUpdate::HistogramObserve(v), &self.bounds, false);
     }
 }
 
@@ -308,6 +326,25 @@ mod tests {
         assert_eq!(snapshot.get("jobs"), Some(&MetricValue::Counter(2)));
         assert_eq!(snapshot.get("loss"), Some(&MetricValue::Gauge(0.25)));
         assert_eq!(collector.len(), 3);
+    }
+
+    #[test]
+    fn quiet_metrics_reach_registry_but_not_the_stream() {
+        let (tracer, collector, _) = traced();
+        tracer.quiet_counter("steals").add(3);
+        tracer.quiet_gauge("queue_depth").set(2.0);
+        let snapshot = tracer.metrics_snapshot();
+        assert_eq!(snapshot.get("steals"), Some(&MetricValue::Counter(3)));
+        assert_eq!(snapshot.get("queue_depth"), Some(&MetricValue::Gauge(2.0)));
+        assert_eq!(collector.len(), 0, "quiet metrics must not emit records");
+    }
+
+    #[test]
+    fn quiet_metrics_on_disabled_tracer_are_no_ops() {
+        let tracer = Tracer::disabled();
+        tracer.quiet_counter("steals").inc();
+        tracer.quiet_gauge("queue_depth").set(1.0);
+        assert!(tracer.metrics_snapshot().is_empty());
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! The tuner engine: heuristic pre-filtering, random search, successive
 //! halving, and Pareto reporting.
+//!
+//! Candidate estimation and training run on an [`ei_par::ParPool`]
+//! (shared process-wide pool by default, injectable via
+//! [`EonTuner::with_pool`]). Results land by candidate index and the
+//! pre-filter walk is replayed in shuffle order, so a parallel run
+//! produces a [`TunerReport`] byte-identical (see
+//! [`TunerReport::to_json`]) to the serial one.
 
 use crate::space::{Candidate, SearchSpace};
 use ei_core::impulse::ImpulseDesign;
 use ei_core::{CoreError, Result};
 use ei_data::{Dataset, Split};
 use ei_device::Profiler;
+use ei_faults::CancelToken;
 use ei_nn::train::TrainConfig;
 use ei_nn::Sequential;
+use ei_par::{ParError, ParPool};
 use ei_runtime::{EngineKind, EonProgram, Interpreter, ModelArtifact};
+use ei_trace::json::{Json, JsonObject};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Tuner configuration.
 #[derive(Debug, Clone)]
@@ -114,6 +125,52 @@ impl TunerReport {
             .filter(|t| t.fits)
             .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy"))
     }
+
+    /// A deterministic compact-JSON rendering of the whole report:
+    /// every trial (in order, with all estimates), every filtered
+    /// candidate with its reason, and the derived Pareto front. Two
+    /// reports serialize to the same bytes iff they are identical —
+    /// this is what the determinism regression (serial vs. parallel
+    /// tuner run) compares.
+    pub fn to_json(&self) -> String {
+        let trial_json = |t: &TrialResult| {
+            Json::Object(
+                JsonObject::new()
+                    .field("dsp", Json::Str(t.dsp_name.clone()))
+                    .field("model", Json::Str(t.model_name.clone()))
+                    .field("accuracy", Json::Float(f64::from(t.accuracy)))
+                    .field("dsp_ms", Json::Float(t.dsp_ms))
+                    .field("nn_ms", Json::Float(t.nn_ms))
+                    .field("dsp_ram", Json::Uint(t.dsp_ram as u64))
+                    .field("nn_ram", Json::Uint(t.nn_ram as u64))
+                    .field("flash", Json::Uint(t.flash as u64))
+                    .field("fits", Json::Bool(t.fits)),
+            )
+        };
+        JsonObject::new()
+            .field("trials", Json::Array(self.trials.iter().map(trial_json).collect()))
+            .field(
+                "filtered",
+                Json::Array(
+                    self.filtered
+                        .iter()
+                        .map(|(candidate, reason)| {
+                            Json::Object(
+                                JsonObject::new()
+                                    .field("dsp", Json::Str(candidate.dsp.summary()))
+                                    .field("model", Json::Str(candidate.model.name()))
+                                    .field("reason", Json::Str(reason.clone())),
+                            )
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
+                "pareto_front",
+                Json::Array(self.pareto_front().into_iter().map(trial_json).collect()),
+            )
+            .to_json()
+    }
 }
 
 /// The EON Tuner bound to a dataset-independent problem definition.
@@ -123,17 +180,67 @@ pub struct EonTuner {
     profiler: Profiler,
     config: TunerConfig,
     window_samples: usize,
+    pool: Option<Arc<ParPool>>,
+    cancel: Option<CancelToken>,
 }
 
 impl EonTuner {
     /// Creates a tuner for a search space, target device and window size.
+    /// Candidate sweeps run on the process-wide [`ParPool::global`]
+    /// unless [`EonTuner::with_pool`] installs a dedicated one.
     pub fn new(
         space: SearchSpace,
         profiler: Profiler,
         window_samples: usize,
         config: TunerConfig,
     ) -> EonTuner {
-        EonTuner { space, profiler, config, window_samples }
+        EonTuner { space, profiler, config, window_samples, pool: None, cancel: None }
+    }
+
+    /// Runs candidate sweeps on `pool` instead of the global pool.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ParPool>) -> EonTuner {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Observes `cancel` cooperatively: once the token fires, no new
+    /// candidate starts and [`EonTuner::run`]/[`EonTuner::run_hyperband`]
+    /// return [`CoreError::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> EonTuner {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn pool(&self) -> &ParPool {
+        self.pool.as_deref().unwrap_or_else(ParPool::global)
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Runs `f` once per item on the pool; per-candidate errors are data
+    /// (`Ok(Err(_))` slots), while cancellation aborts the whole sweep.
+    fn sweep<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> Result<R> + Sync,
+    ) -> Result<Vec<Result<R>>> {
+        let outcome = self.pool().par_map_fallible(self.cancel.as_ref(), items, |item| {
+            if self.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
+            Ok(f(item))
+        });
+        match outcome {
+            Ok(results) => Ok(results),
+            Err(ParError::Cancelled) | Err(ParError::Task(CoreError::Cancelled)) => {
+                Err(CoreError::Cancelled)
+            }
+            Err(ParError::Task(other)) => Err(other),
+        }
     }
 
     /// Heuristic pre-estimate of one candidate **without training**: builds
@@ -213,9 +320,15 @@ impl EonTuner {
     /// product, heuristically drop configurations that cannot fit the
     /// device or latency budget, then train up to `trials` survivors.
     ///
+    /// Estimation and training both fan out over the pool; the
+    /// pre-filter walk is then replayed serially in shuffle order on the
+    /// precomputed estimates, so the report (trial set, filter records,
+    /// sort order) is identical at any thread count.
+    ///
     /// # Errors
     ///
-    /// Fails when the search space is empty or the dataset is unusable.
+    /// Fails when the search space is empty or the dataset is unusable;
+    /// returns [`CoreError::Cancelled`] when the cancel token fires.
     pub fn run(&self, dataset: &Dataset) -> Result<TunerReport> {
         if self.space.is_empty() {
             return Err(CoreError::InvalidImpulse("empty search space".into()));
@@ -225,13 +338,19 @@ impl EonTuner {
         let mut candidates = self.space.candidates();
         candidates.shuffle(&mut rng);
 
+        // Estimates are training-free and pure, so sweep them all up
+        // front; the surplus beyond the trial quota is discarded by the
+        // replay below exactly where the serial loop would have stopped.
+        let estimates = self.sweep(&candidates, |c| self.estimate_candidate(c, classes))?;
+
         let mut report = TunerReport::default();
-        for candidate in candidates {
-            if report.trials.len() >= self.config.trials {
+        let mut selected: Vec<Candidate> = Vec::new();
+        for (candidate, estimate) in candidates.into_iter().zip(estimates) {
+            if selected.len() >= self.config.trials {
                 break;
             }
             // heuristic pre-filter: skip what cannot work before training
-            let estimate = match self.estimate_candidate(&candidate, classes) {
+            let estimate = match estimate {
                 Ok(e) => e,
                 Err(e) => {
                     report.filtered.push((candidate, format!("build failed: {e}")));
@@ -251,8 +370,15 @@ impl EonTuner {
                     continue;
                 }
             }
-            let trial = self.evaluate_candidate(&candidate, dataset, &self.config.train)?;
-            report.trials.push(trial);
+            selected.push(candidate);
+        }
+
+        for trial in
+            self.sweep(&selected, |c| self.evaluate_candidate(c, dataset, &self.config.train))?
+        {
+            // A training failure aborts the run with the lowest-index
+            // error — the same error the serial loop would hit first.
+            report.trials.push(trial?);
         }
         report.trials.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
         Ok(report)
@@ -263,9 +389,15 @@ impl EonTuner {
     /// keep the best half each round, double the budget, until one remains
     /// or `rounds` elapse.
     ///
+    /// Each round's evaluations fan out over the pool. A candidate whose
+    /// evaluation fails is recorded under `filtered` (reason
+    /// `"evaluation failed: …"`) and drops out of the round; the round —
+    /// and the search — carry on with the rest.
+    ///
     /// # Errors
     ///
-    /// Fails when the search space is empty or training fails.
+    /// Fails when the search space is empty; returns
+    /// [`CoreError::Cancelled`] when the cancel token fires.
     pub fn run_hyperband(
         &self,
         dataset: &Dataset,
@@ -282,12 +414,13 @@ impl EonTuner {
         candidates.shuffle(&mut rng);
 
         let mut report = TunerReport::default();
+        let estimates = self.sweep(&candidates, |c| self.estimate_candidate(c, classes))?;
         let mut pool: Vec<Candidate> = Vec::new();
-        for candidate in candidates {
+        for (candidate, estimate) in candidates.into_iter().zip(estimates) {
             if pool.len() >= width {
                 break;
             }
-            match self.estimate_candidate(&candidate, classes) {
+            match estimate {
                 Ok(e) if e.fits => pool.push(candidate),
                 Ok(_) => report.filtered.push((candidate, "exceeds device memory".into())),
                 Err(err) => report.filtered.push((candidate, format!("build failed: {err}"))),
@@ -300,9 +433,21 @@ impl EonTuner {
                 break;
             }
             let train = TrainConfig { epochs, ..self.config.train.clone() };
+            let outcomes =
+                self.sweep(&survivors, |c| self.evaluate_candidate(c, dataset, &train))?;
             let mut scored: Vec<TrialResult> = Vec::with_capacity(survivors.len());
-            for candidate in &survivors {
-                scored.push(self.evaluate_candidate(candidate, dataset, &train)?);
+            for (candidate, outcome) in survivors.iter().zip(outcomes) {
+                match outcome {
+                    Ok(trial) => scored.push(trial),
+                    // A failing candidate is a skipped trial, not a
+                    // failed round: record it and keep going.
+                    Err(err) => report
+                        .filtered
+                        .push((candidate.clone(), format!("evaluation failed: {err}"))),
+                }
+            }
+            if scored.is_empty() {
+                break;
             }
             scored.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
             let keep = (scored.len() / 2).max(1);
@@ -457,6 +602,67 @@ mod tests {
         for pair in report.trials.windows(2) {
             assert!(pair[0].accuracy >= pair[1].accuracy);
         }
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        use ei_par::Parallelism;
+        let dataset = small_dataset();
+        let reports: Vec<String> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let pool = Arc::new(ParPool::new(Parallelism::new(threads)));
+                let tuner = quick_tuner(3).with_pool(pool);
+                tuner.run(&dataset).unwrap().to_json()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "TunerReport must not depend on thread count");
+    }
+
+    #[test]
+    fn hyperband_records_evaluation_failures_instead_of_aborting() {
+        // Window of 800 samples vs. 1000-sample recordings: estimation
+        // (window-only) succeeds, evaluation (feature extraction over the
+        // dataset) fails for every candidate. The old behaviour aborted
+        // the whole round with the first error.
+        let tuner = EonTuner::new(
+            small_space(),
+            Profiler::new(Board::nano33_ble_sense()),
+            800,
+            TunerConfig {
+                trials: 4,
+                train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+                ..TunerConfig::default()
+            },
+        );
+        let report = tuner.run_hyperband(&small_dataset(), 4, 1, 2).unwrap();
+        assert!(report.trials.is_empty());
+        let failures =
+            report.filtered.iter().filter(|(_, why)| why.contains("evaluation failed")).count();
+        assert_eq!(failures, 4, "every candidate recorded as a skipped trial");
+    }
+
+    #[test]
+    fn fired_cancel_token_stops_the_run() {
+        let cancel = ei_faults::CancelToken::new();
+        cancel.cancel();
+        let tuner = quick_tuner(3).with_cancel(cancel);
+        assert!(matches!(tuner.run(&small_dataset()), Err(CoreError::Cancelled)));
+        assert!(matches!(
+            tuner.run_hyperband(&small_dataset(), 4, 1, 2),
+            Err(CoreError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn report_json_is_stable_and_complete() {
+        let tuner = quick_tuner(2);
+        let report = tuner.run(&small_dataset()).unwrap();
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "serialization must be deterministic");
+        assert!(json.starts_with(r#"{"trials":["#));
+        assert!(json.contains(r#""pareto_front":["#));
+        assert_eq!(json.matches(r#""accuracy":"#).count(), 2 + report.pareto_front().len());
     }
 
     #[test]

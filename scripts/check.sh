@@ -9,8 +9,11 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (EI_THREADS=1, forced-serial pool)"
+EI_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (EI_THREADS=4, parallel pool)"
+EI_THREADS=4 cargo test -q
 
 echo "==> cargo test --doc"
 cargo test --doc

@@ -26,6 +26,7 @@
 //! | [`platform`] | `ei-platform` | projects, API facade, job scheduler |
 //! | [`faults`] | `ei-faults` | retry policies, mock clock, fault injection |
 //! | [`trace`] | `ei-trace` | structured spans, metrics, trace exporters |
+//! | [`par`] | `ei-par` | deterministic work-stealing thread pool |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use ei_device as device;
 pub use ei_dsp as dsp;
 pub use ei_faults as faults;
 pub use ei_nn as nn;
+pub use ei_par as par;
 pub use ei_platform as platform;
 pub use ei_quant as quant;
 pub use ei_runtime as runtime;
@@ -76,5 +78,6 @@ mod tests {
         let _ = crate::calibration::PostProcessConfig::default();
         let _ = crate::faults::RetryPolicy::default();
         let _ = crate::trace::Tracer::disabled();
+        let _ = crate::par::Parallelism::serial();
     }
 }
