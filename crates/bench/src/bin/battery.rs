@@ -6,12 +6,14 @@
 //! accepts trigger radio transmissions, so a worse operating point on the
 //! calibration curve directly shortens battery life.
 
-use ei_bench::Task;
+use ei_bench::{ResultsWriter, Task};
 use ei_device::energy::energy_per_inference_mj;
 use ei_device::{estimate_energy, Battery, Board, EnergyWorkload, Profiler};
 use ei_runtime::EonProgram;
+use ei_trace::json::Json;
 
 fn main() {
+    let mut results = ResultsWriter::new("battery");
     let (_, int8_a) = Task::KeywordSpotting.untrained_artifacts();
     let eon = EonProgram::compile(int8_a).expect("compiles");
     let dsp_cost = Task::KeywordSpotting.dsp_cost();
@@ -55,6 +57,15 @@ fn main() {
             continuous.battery_life_hours,
             duty_cycled.battery_life_hours,
         );
+        results.push(
+            results
+                .stamp()
+                .field("board", Json::Str(board.name.clone()))
+                .field("total_ms", Json::Float(profile.total_ms))
+                .field("mj_per_inference", Json::Float(mj))
+                .field("life_1hz_hours", Json::Float(continuous.battery_life_hours))
+                .field("life_1min_hours", Json::Float(duty_cycled.battery_life_hours)),
+        );
     }
 
     println!();
@@ -77,6 +88,14 @@ fn main() {
             estimate.battery_life_hours,
             estimate.radio_share * 100.0
         );
+        results.push(
+            results
+                .stamp()
+                .field("board", Json::Str(nano.name.clone()))
+                .field("false_accepts_per_hour", Json::Float(far_per_hour))
+                .field("life_hours", Json::Float(estimate.battery_life_hours))
+                .field("radio_share", Json::Float(estimate.radio_share)),
+        );
     }
     println!();
     println!("Quantization as an energy optimization (Nano 33, per inference):");
@@ -88,4 +107,13 @@ fn main() {
     let f_mj = energy_per_inference_mj(&nano, fp.total_ms);
     let q_mj = energy_per_inference_mj(&nano, qp.total_ms);
     println!("  float32: {f_mj:.2} mJ   int8: {q_mj:.2} mJ   saving: {:.1}x", f_mj / q_mj);
+    results.push(
+        results
+            .stamp()
+            .field("board", Json::Str(nano.name.clone()))
+            .field("float_mj", Json::Float(f_mj))
+            .field("int8_mj", Json::Float(q_mj))
+            .field("quant_energy_saving", Json::Float(f_mj / q_mj)),
+    );
+    results.write_and_report();
 }

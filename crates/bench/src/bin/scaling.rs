@@ -94,10 +94,7 @@ fn main() {
     tuner_modeled_service(&mut writer, host_threads);
     dsp_cpu(&mut writer, host_threads);
 
-    match writer.write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    writer.write_and_report();
 }
 
 /// Pushes one row; `extra` appends workload-specific fields.

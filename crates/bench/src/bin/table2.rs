@@ -109,10 +109,7 @@ fn main() {
         }
     }
 
-    match results.write() {
-        Ok(path) => eprintln!("wrote {} json rows to {}", results.len(), path.display()),
-        Err(e) => eprintln!("could not write results json: {e}"),
-    }
+    results.write_and_report();
 }
 
 fn short(name: &str) -> String {

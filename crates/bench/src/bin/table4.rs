@@ -119,8 +119,5 @@ fn main() {
         }
     }
 
-    match json_rows.write() {
-        Ok(path) => eprintln!("wrote {} json rows to {}", json_rows.len(), path.display()),
-        Err(e) => eprintln!("could not write results json: {e}"),
-    }
+    json_rows.write_and_report();
 }

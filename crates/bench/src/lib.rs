@@ -269,6 +269,15 @@ impl ResultsWriter {
         std::fs::write(&path, self.to_jsonl())?;
         Ok(path)
     }
+
+    /// [`ResultsWriter::write`] plus the standard stderr report every bench
+    /// binary prints — one shared exit path instead of a per-binary `match`.
+    pub fn write_and_report(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("wrote {} json rows to {}", self.len(), path.display()),
+            Err(e) => eprintln!("could not write results json: {e}"),
+        }
+    }
 }
 
 /// Formats a byte count as `xx.x` kB (Table 4 unit).

@@ -6,8 +6,8 @@
 
 use crate::cancel::CancelToken;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A source of monotonic logical milliseconds.
 pub trait Clock: Send + Sync {
@@ -20,6 +20,22 @@ pub trait Clock: Send + Sync {
     /// cancellation; returns `true` when the sleep was interrupted (or the
     /// token was already cancelled).
     fn sleep_ms(&self, ms: u64, cancel: Option<&CancelToken>) -> bool;
+
+    /// Parks the caller until logical time moves past `from_ms`, waiting at
+    /// most `real_cap_ms` wall milliseconds, and returns the current time.
+    ///
+    /// Unlike [`Clock::sleep_ms`] this *never advances* logical time — it
+    /// is the primitive for pollers (watchdogs, status waiters) that want
+    /// to observe time another party drives. On the real clock it is a
+    /// plain bounded sleep; a [`VirtualClock`] wakes the caller the moment
+    /// [`VirtualClock::advance_ms`] moves time, so polling loops built on
+    /// it are wall-clock independent under virtual time.
+    fn wait_for_tick_ms(&self, from_ms: u64, real_cap_ms: u64) -> u64 {
+        if self.now_ms() == from_ms {
+            std::thread::sleep(Duration::from_millis(real_cap_ms));
+        }
+        self.now_ms()
+    }
 }
 
 /// The real wall clock.
@@ -67,6 +83,8 @@ impl Clock for SystemClock {
 #[derive(Debug, Default)]
 pub struct VirtualClock {
     now: AtomicU64,
+    tick_lock: Mutex<()>,
+    tick_cond: Condvar,
 }
 
 impl VirtualClock {
@@ -80,9 +98,12 @@ impl VirtualClock {
         Arc::new(VirtualClock::new())
     }
 
-    /// Moves logical time forward by `ms`.
+    /// Moves logical time forward by `ms` and wakes any
+    /// [`Clock::wait_for_tick_ms`] waiters.
     pub fn advance_ms(&self, ms: u64) {
         self.now.fetch_add(ms, Ordering::SeqCst);
+        let _guard = self.tick_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.tick_cond.notify_all();
     }
 }
 
@@ -99,6 +120,22 @@ impl Clock for VirtualClock {
         }
         self.advance_ms(ms);
         cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    fn wait_for_tick_ms(&self, from_ms: u64, real_cap_ms: u64) -> u64 {
+        let mut guard = self.tick_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + Duration::from_millis(real_cap_ms);
+        while self.now_ms() == from_ms {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            guard = match self.tick_cond.wait_timeout(guard, left) {
+                Ok((g, _)) => g,
+                Err(e) => e.into_inner().0,
+            };
+        }
+        self.now_ms()
     }
 }
 
@@ -126,6 +163,24 @@ mod tests {
         assert!(clock.sleep_ms(10, Some(&token)));
         // a pre-cancelled sleep does not consume logical time
         assert_eq!(clock.now_ms(), 0);
+    }
+
+    #[test]
+    fn wait_for_tick_wakes_on_virtual_advance() {
+        let clock = VirtualClock::shared();
+        let waiter = {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || clock.wait_for_tick_ms(0, 30_000))
+        };
+        // give the waiter a moment to park, then advance: it must observe
+        // the tick long before the 30 s real cap
+        std::thread::sleep(Duration::from_millis(5));
+        let started = Instant::now();
+        clock.advance_ms(7);
+        assert_eq!(waiter.join().unwrap(), 7);
+        assert!(started.elapsed().as_secs() < 5, "waiter must wake on advance, not the cap");
+        // a passive wait never advances logical time itself
+        assert_eq!(clock.wait_for_tick_ms(7, 1), 7);
     }
 
     #[test]

@@ -11,9 +11,10 @@ use ei_data::netpbm::parse_netpbm_sample;
 use ei_data::{Sample, SensorKind};
 use ei_nn::spec::ModelSpec;
 use ei_nn::train::TrainConfig;
+use ei_serve::{InferenceRequest, ModelSource, Outcome, Rejected, Server, ServerConfig};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Mutable platform state behind the API.
 #[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
@@ -36,12 +37,42 @@ impl State {
 #[derive(Debug, Clone, Default)]
 pub struct Api {
     state: Arc<RwLock<State>>,
+    /// The serving front-end project inference/estimation calls execute
+    /// through. Lazily built on first use (so the many callers that never
+    /// serve inference pay nothing); clones share it like `state`.
+    serving: Arc<OnceLock<Arc<Server>>>,
 }
 
 impl Api {
     /// Creates an empty platform.
     pub fn new() -> Api {
         Api::default()
+    }
+
+    /// Attaches an explicitly configured serving front-end (e.g. one on a
+    /// [`ei_faults::VirtualClock`] for deterministic tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadRequest`] when a serving layer is
+    /// already attached (or was already lazily initialized).
+    pub fn attach_serving(&self, server: Arc<Server>) -> Result<()> {
+        self.serving
+            .set(server)
+            .map_err(|_| PlatformError::BadRequest("serving layer already attached".into()))
+    }
+
+    /// The serving front-end, lazily built with default configuration on
+    /// the system clock and an `EI_THREADS`-sized pool.
+    pub fn serving(&self) -> &Arc<Server> {
+        self.serving.get_or_init(|| {
+            Arc::new(Server::new(
+                ServerConfig::default(),
+                Arc::new(ei_faults::SystemClock::new()),
+                Arc::new(ei_par::ParPool::new(ei_par::Parallelism::from_env())),
+                ei_trace::Tracer::disabled(),
+            ))
+        })
     }
 
     /// Registers a user, returning the id.
@@ -224,6 +255,78 @@ impl Api {
             .ok_or(PlatformError::NotFound { kind: "model", id: 0 })
     }
 
+    /// Classifies one raw window with a registry model, executing through
+    /// the serving layer (admission control, artifact cache,
+    /// micro-batching) with the project as the billed tenant.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects/models or denied access;
+    /// [`PlatformError::Overloaded`] / [`PlatformError::QuotaExceeded`]
+    /// when admission refuses the request;
+    /// [`PlatformError::DeadlineExceeded`] when it misses its deadline;
+    /// [`PlatformError::JobFailed`] when the model cannot run.
+    pub fn classify(
+        &self,
+        project: u64,
+        acting: u64,
+        model_name: &str,
+        engine: ei_runtime::EngineKind,
+        quantized: bool,
+        window: Vec<f32>,
+    ) -> Result<ei_core::Classification> {
+        let json = self.download_model(project, acting, model_name)?;
+        let server = self.serving();
+        let request = InferenceRequest {
+            tenant: format!("project-{project}"),
+            model: ModelSource::new(model_name, json),
+            // pure classification is board-agnostic; only estimates key
+            // the cache per board
+            board: String::new(),
+            engine,
+            quantized,
+            window,
+            deadline_ms: 0,
+        };
+        let ticket = server.submit(request).map_err(rejection_to_error)?;
+        let completion = server
+            .resolve(ticket)
+            .ok_or_else(|| PlatformError::JobFailed("serving dropped the request".into()))?;
+        match completion.outcome {
+            Outcome::Classified(c) => Ok(c),
+            Outcome::DeadlineExceeded { waited_ms } => {
+                Err(PlatformError::DeadlineExceeded { waited_ms })
+            }
+            Outcome::Failed(msg) => Err(PlatformError::JobFailed(msg)),
+        }
+    }
+
+    /// Estimates how a registry model runs on `board` (latency, memory,
+    /// fit), served through the artifact cache like inference.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects/models/boards, denied access, or a
+    /// model that does not compile.
+    pub fn estimate(
+        &self,
+        project: u64,
+        acting: u64,
+        model_name: &str,
+        board: &str,
+        engine: ei_runtime::EngineKind,
+        quantized: bool,
+    ) -> Result<ei_serve::Estimate> {
+        let json = self.download_model(project, acting, model_name)?;
+        let source = ModelSource::new(model_name, json);
+        self.serving().estimate(&source, board, engine, quantized).map_err(|e| match e {
+            ei_serve::ServeError::UnknownBoard(b) => {
+                PlatformError::BadRequest(format!("unknown board {b:?}"))
+            }
+            ei_serve::ServeError::Model(msg) => PlatformError::JobFailed(msg),
+        })
+    }
+
     /// Lists registry model names.
     ///
     /// # Errors
@@ -343,7 +446,15 @@ impl Api {
     pub fn import_json(json: &str) -> Result<Api> {
         let state: State =
             serde_json::from_str(json).map_err(|e| PlatformError::BadRequest(e.to_string()))?;
-        Ok(Api { state: Arc::new(RwLock::new(state)) })
+        Ok(Api { state: Arc::new(RwLock::new(state)), serving: Arc::default() })
+    }
+}
+
+/// Maps a serving-layer admission rejection to the platform error space.
+fn rejection_to_error(rejected: Rejected) -> PlatformError {
+    match rejected {
+        Rejected::Overloaded { queue_depth } => PlatformError::Overloaded { queue_depth },
+        Rejected::QuotaExceeded { tenant } => PlatformError::QuotaExceeded { tenant },
     }
 }
 

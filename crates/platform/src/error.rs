@@ -29,6 +29,22 @@ pub enum PlatformError {
         /// The timeout that elapsed, in logical milliseconds.
         timeout_ms: u64,
     },
+    /// The serving layer's bounded queue is full — back off and retry.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+    },
+    /// A serving tenant is out of quota tokens.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+    },
+    /// A serving deadline elapsed before the request completed.
+    DeadlineExceeded {
+        /// Logical milliseconds the request waited before the server
+        /// gave up.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -42,6 +58,15 @@ impl fmt::Display for PlatformError {
             PlatformError::SchedulerStopped => write!(f, "scheduler is stopped"),
             PlatformError::WaitTimeout { id, timeout_ms } => {
                 write!(f, "job {id} status wait timed out after {timeout_ms} ms")
+            }
+            PlatformError::Overloaded { queue_depth } => {
+                write!(f, "serving overloaded: queue is full at depth {queue_depth}")
+            }
+            PlatformError::QuotaExceeded { tenant } => {
+                write!(f, "serving quota exceeded for tenant {tenant:?}")
+            }
+            PlatformError::DeadlineExceeded { waited_ms } => {
+                write!(f, "serving deadline exceeded after {waited_ms} ms")
             }
         }
     }

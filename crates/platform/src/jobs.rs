@@ -22,7 +22,10 @@
 //!
 //! All timing flows through an [`ei_faults::Clock`], so the entire layer
 //! is testable with a [`ei_faults::VirtualClock`] and zero wall-clock
-//! sleeps.
+//! sleeps. Observers never sleep-poll either: [`JobScheduler::wait`] and
+//! [`JobScheduler::wait_for_status`] park on a condvar notified at every
+//! status transition, and the watchdog re-scans deadlines by waiting for
+//! the injected clock to tick ([`Clock::wait_for_tick_ms`]).
 //!
 //! Schedulers built with [`JobScheduler::new`] own dedicated worker
 //! threads; those built with [`JobScheduler::with_pool`] instead run
@@ -46,8 +49,9 @@ use ei_trace::Tracer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 pub use ei_faults::retry::AttemptContext as JobContext;
 
@@ -114,6 +118,9 @@ struct WatchEntry {
 #[derive(Default)]
 struct Shared {
     jobs: Mutex<HashMap<u64, JobState>>,
+    /// Notified (paired with the `jobs` mutex) on every status
+    /// transition, so waiters park instead of sleep-polling.
+    jobs_cond: Condvar,
     dead: Mutex<Vec<DeadLetter>>,
     watch: Mutex<HashMap<u64, WatchEntry>>,
     shutdown: AtomicBool,
@@ -121,6 +128,13 @@ struct Shared {
 }
 
 impl Shared {
+    /// Wakes every thread blocked in [`JobScheduler::wait`] /
+    /// [`JobScheduler::wait_for_status`] (and the pool-backend shutdown
+    /// drain) after a status transition.
+    fn notify_status(&self) {
+        self.jobs_cond.notify_all();
+    }
+
     /// Records a terminal dead-letter (status already stamped by the
     /// caller) and mirrors it into the trace stream.
     fn dead_letter(&self, letter: DeadLetter) {
@@ -139,10 +153,28 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// How often the watchdog scans for expired attempt deadlines (real
-/// milliseconds — the watchdog reads *logical* deadlines but must not
-/// advance a virtual clock itself).
+/// Parks a status waiter on `cond` for at most [`STATUS_WAIT_CAP_MS`]
+/// real milliseconds (recovering from poisoning), returning the reacquired
+/// guard. Replaces the old raw `thread::sleep` poll loops.
+fn wait_on<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cond.wait_timeout(guard, Duration::from_millis(STATUS_WAIT_CAP_MS)) {
+        Ok((guard, _)) => guard,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+/// Upper bound (real milliseconds) between watchdog scans for expired
+/// attempt deadlines. The watchdog parks in [`Clock::wait_for_tick_ms`],
+/// so under a [`ei_faults::VirtualClock`] it wakes the instant logical
+/// time advances (never advancing the clock itself); the tick is only the
+/// fallback granularity on the real clock.
 const WATCHDOG_TICK_MS: u64 = 1;
+
+/// Real-time fallback (milliseconds) for status waiters parked on the
+/// scheduler condvar. Status transitions wake waiters immediately; the
+/// cap exists so a *logical* deadline advanced by another thread is still
+/// noticed promptly.
+const STATUS_WAIT_CAP_MS: u64 = 1;
 
 /// Message shutdown stamps on jobs it refuses to run.
 const SHUTDOWN_ERROR: &str = "scheduler shut down";
@@ -328,15 +360,17 @@ impl JobScheduler {
             }
             Backend::Pool { pool, active } => {
                 /// Decrements the in-flight count even if execution
-                /// unwinds, so shutdown never waits forever.
-                struct Active(Arc<AtomicUsize>);
+                /// unwinds — and wakes the shutdown drain — so shutdown
+                /// never waits forever.
+                struct Active(Arc<AtomicUsize>, Arc<Shared>);
                 impl Drop for Active {
                     fn drop(&mut self) {
                         self.0.fetch_sub(1, Ordering::SeqCst);
+                        self.1.notify_status();
                     }
                 }
                 active.fetch_add(1, Ordering::SeqCst);
-                let guard = Active(Arc::clone(active));
+                let guard = Active(Arc::clone(active), Arc::clone(&self.shared));
                 let shared = Arc::clone(&self.shared);
                 let clock = Arc::clone(&self.clock);
                 pool.spawn_detached(move || {
@@ -390,6 +424,8 @@ impl JobScheduler {
             self.shared.tracer.event("job.cancelled", vec![("job", id.into())]);
             self.shared.tracer.counter("jobs.cancelled").inc();
         }
+        drop(jobs);
+        self.shared.notify_status();
         Ok(())
     }
 
@@ -418,12 +454,17 @@ impl JobScheduler {
     /// [`PlatformError::JobFailed`] when the job fails, or
     /// [`PlatformError::JobCancelled`] when it was cancelled.
     pub fn wait(&self, id: u64) -> Result<String> {
+        let mut jobs = lock(&self.shared.jobs);
         loop {
-            match self.status(id)? {
+            let status = jobs
+                .get(&id)
+                .map(|s| s.status.clone())
+                .ok_or(PlatformError::NotFound { kind: "job", id })?;
+            match status {
                 JobStatus::Finished(output) => return Ok(output),
                 JobStatus::Failed(e) => return Err(PlatformError::JobFailed(e)),
                 JobStatus::Cancelled => return Err(PlatformError::JobCancelled(id)),
-                _ => std::thread::sleep(std::time::Duration::from_millis(2)),
+                _ => jobs = wait_on(&self.shared.jobs_cond, jobs),
             }
         }
     }
@@ -453,17 +494,22 @@ impl JobScheduler {
         P: Fn(&JobStatus) -> bool,
     {
         let deadline_ms = self.clock.now_ms().saturating_add(timeout_ms);
+        let mut jobs = lock(&self.shared.jobs);
         loop {
-            let status = self.status(id)?;
+            let status = jobs
+                .get(&id)
+                .map(|s| s.status.clone())
+                .ok_or(PlatformError::NotFound { kind: "job", id })?;
             if pred(&status) {
                 return Ok(status);
             }
             if self.clock.now_ms() >= deadline_ms {
                 return Err(PlatformError::WaitTimeout { id, timeout_ms });
             }
-            // the poll interval is real time (the clock may be virtual and
-            // only advance from another thread)
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            // park until a status transition notifies; the short real cap
+            // only bounds how late a logical-deadline overrun (driven by
+            // another thread advancing a virtual clock) is noticed
+            jobs = wait_on(&self.shared.jobs_cond, jobs);
         }
     }
 
@@ -482,9 +528,11 @@ impl JobScheduler {
             }
             Backend::Pool { active, .. } => {
                 // queued tasks observe the shutdown flag when the pool
-                // reaches them and fail fast, so this drains promptly
+                // reaches them and fail fast, so this drains promptly;
+                // each finishing task notifies the status condvar
+                let mut jobs = lock(&self.shared.jobs);
                 while active.load(Ordering::SeqCst) > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    jobs = wait_on(&self.shared.jobs_cond, jobs);
                 }
             }
         }
@@ -502,6 +550,7 @@ impl JobScheduler {
                 })
                 .collect()
         };
+        self.shared.notify_status();
         for id in stranded {
             self.shared.dead_letter(DeadLetter {
                 id,
@@ -539,11 +588,14 @@ fn execute_queued(job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>) {
         let Some(state) = jobs.get_mut(&job.id) else { return };
         if state.cancel.is_cancelled() {
             state.status = JobStatus::Cancelled;
+            drop(jobs);
+            shared.notify_status();
             return;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
             drop(jobs);
+            shared.notify_status();
             shared.dead_letter(DeadLetter {
                 id: job.id,
                 error: SHUTDOWN_ERROR.to_string(),
@@ -562,6 +614,7 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
         if let Some(state) = lock(&shared.jobs).get_mut(&id) {
             state.status = status;
         }
+        shared.notify_status();
     };
     let observer = |event: RetryEvent<'_>| match event {
         RetryEvent::AttemptStarted { attempt, deadline_ms } => {
@@ -628,6 +681,11 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
 /// [`JobStatus::TimedOut`] so observers see the overrun while the stuck
 /// closure is still executing. The retry loop performs the actual
 /// discard-and-reschedule when the closure returns.
+///
+/// Ticks off the injected [`Clock`]: the scan re-runs whenever logical
+/// time advances (immediately under a [`ei_faults::VirtualClock`], on a
+/// [`WATCHDOG_TICK_MS`] cadence on the real clock) and never advances
+/// time itself.
 fn watchdog_loop(shared: &Shared, clock: &Arc<dyn Clock>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         let now = clock.now_ms();
@@ -643,8 +701,10 @@ fn watchdog_loop(shared: &Shared, clock: &Arc<dyn Clock>) {
                     state.status = JobStatus::TimedOut { attempt };
                 }
             }
+            drop(jobs);
+            shared.notify_status();
         }
-        std::thread::sleep(std::time::Duration::from_millis(WATCHDOG_TICK_MS));
+        clock.wait_for_tick_ms(now, WATCHDOG_TICK_MS);
     }
 }
 

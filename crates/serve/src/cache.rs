@@ -1,0 +1,328 @@
+//! The compiled-artifact cache: memoized EON codegen / interpreter setup.
+//!
+//! Compiling a served model — decoding the registry JSON, building the
+//! deployment artifact, running EON codegen or interpreter setup and the
+//! arena memory planner — dominates end-to-end turnaround, so the serving
+//! layer memoizes the whole bundle in an LRU keyed by
+//! [`ArtifactKey`]: `(model content hash, board, engine, dtype)`. Keying
+//! on the *content* hash (not the model name) means re-uploading a changed
+//! model under the same name can never serve stale results: the new bytes
+//! hash to a new key and the old entry ages out.
+//!
+//! A cache hit must be indistinguishable from a cold compile except in
+//! latency — [`CompiledArtifact::classify`] is deterministic, so hit and
+//! miss paths return byte-identical classifications and memory plans.
+
+use crate::error::ServeError;
+use ei_core::TrainedImpulse;
+use ei_dsp::DspCost;
+use ei_runtime::planner::MemoryPlan;
+use ei_runtime::{
+    EngineKind, EonProgram, InferenceEngine, Interpreter, MemoryReport, ModelArtifact,
+};
+use ei_trace::Tracer;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit hash of a model's registry JSON.
+///
+/// Stable across runs and platforms (unlike `DefaultHasher`), so cache
+/// keys — and therefore hit/miss traces — are reproducible.
+pub fn content_hash(json: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Identity of one compiled artifact: what must match for a cache hit.
+///
+/// Two requests share an entry only when the model *bytes*, the target
+/// board, the execution engine and the dtype all agree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// [`content_hash`] of the model's registry JSON.
+    pub content_hash: u64,
+    /// Deployment board name (estimates are board-specific).
+    pub board: String,
+    /// Execution engine.
+    pub engine: EngineKind,
+    /// `true` for the int8 artifact, `false` for float32.
+    pub quantized: bool,
+}
+
+/// Everything the serving layer memoizes for one [`ArtifactKey`]: the
+/// decoded impulse, the ready-to-run engine and its arena memory plan,
+/// plus the modeled compile cost that a cache hit saves.
+pub struct CompiledArtifact {
+    key: ArtifactKey,
+    impulse: TrainedImpulse,
+    engine: Box<dyn InferenceEngine + Send + Sync>,
+    plan: MemoryPlan,
+    compile_cost_ms: u64,
+}
+
+impl std::fmt::Debug for CompiledArtifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledArtifact")
+            .field("key", &self.key)
+            .field("compile_cost_ms", &self.compile_cost_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledArtifact {
+    /// Decodes `json` and compiles it for `engine`/`quantized` — the cold
+    /// path a cache hit short-circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] for malformed model JSON or a model
+    /// the engine cannot compile.
+    pub fn compile(key: ArtifactKey, json: &str) -> Result<CompiledArtifact, ServeError> {
+        let impulse =
+            TrainedImpulse::from_json(json).map_err(|e| ServeError::Model(e.to_string()))?;
+        let artifact = if key.quantized {
+            impulse.int8_artifact().map_err(|e| ServeError::Model(e.to_string()))?
+        } else {
+            impulse.float_artifact()
+        };
+        let (engine, plan): (Box<dyn InferenceEngine + Send + Sync>, MemoryPlan) = match key.engine
+        {
+            EngineKind::EonCompiled => {
+                let program =
+                    EonProgram::compile(artifact).map_err(|e| ServeError::Model(e.to_string()))?;
+                let plan = program.plan().clone();
+                (Box::new(program), plan)
+            }
+            EngineKind::TflmInterpreter => {
+                let interp =
+                    Interpreter::new(artifact).map_err(|e| ServeError::Model(e.to_string()))?;
+                let plan = interp.plan().clone();
+                (Box::new(interp), plan)
+            }
+        };
+        let compile_cost_ms = modeled_compile_cost_ms(key.engine, engine.artifact());
+        Ok(CompiledArtifact { key, impulse, engine, plan, compile_cost_ms })
+    }
+
+    /// The identity this entry is cached under.
+    pub fn key(&self) -> &ArtifactKey {
+        &self.key
+    }
+
+    /// The planned activation arena — identical on hit and cold compile.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// The engine's deployment memory footprint.
+    pub fn memory(&self) -> MemoryReport {
+        self.engine.memory()
+    }
+
+    /// The ready-to-run engine.
+    pub fn engine(&self) -> &dyn InferenceEngine {
+        &*self.engine
+    }
+
+    /// Class labels in output order.
+    pub fn labels(&self) -> &[String] {
+        self.impulse.labels()
+    }
+
+    /// Modeled milliseconds a cold compile of this entry costs (charged to
+    /// the serving clock on every miss; a hit pays nothing).
+    pub fn compile_cost_ms(&self) -> u64 {
+        self.compile_cost_ms
+    }
+
+    /// The DSP footprint of one input window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DSP configuration failures as [`ServeError::Model`].
+    pub fn dsp_cost(&self) -> Result<DspCost, ServeError> {
+        let design = self.impulse.design();
+        let block = design.dsp_block().map_err(|e| ServeError::Model(e.to_string()))?;
+        block.cost(design.window_samples).map_err(|e| ServeError::Model(e.to_string()))
+    }
+
+    /// Classifies one raw window: DSP then the compiled engine.
+    ///
+    /// Deterministic — repeated calls (and hit vs cold-compile entries for
+    /// the same key) return byte-identical [`ei_core::Classification`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] for wrongly sized windows or engine
+    /// failures.
+    pub fn classify(&self, raw: &[f32]) -> Result<ei_core::Classification, ServeError> {
+        let block =
+            self.impulse.design().dsp_block().map_err(|e| ServeError::Model(e.to_string()))?;
+        let features = block.process(raw).map_err(|e| ServeError::Model(e.to_string()))?;
+        let probabilities =
+            self.engine.run(&features).map_err(|e| ServeError::Model(e.to_string()))?;
+        let label_index = ei_tensor::ops::argmax(&probabilities);
+        Ok(ei_core::Classification {
+            label: self.impulse.labels().get(label_index).cloned().unwrap_or_default(),
+            confidence: probabilities.get(label_index).copied().unwrap_or(0.0),
+            probabilities,
+            label_index,
+        })
+    }
+}
+
+/// Deterministic compile-cost model (logical milliseconds).
+///
+/// EON codegen walks the graph and emits source, so it costs more up front
+/// than interpreter setup; both scale with model size. The constants only
+/// need to be stable and large relative to per-request service time — they
+/// are what an artifact-cache hit saves.
+fn modeled_compile_cost_ms(engine: EngineKind, artifact: &ModelArtifact) -> u64 {
+    let base = match engine {
+        EngineKind::EonCompiled => 30,
+        EngineKind::TflmInterpreter => 20,
+    };
+    base + artifact.weight_bytes() as u64 / 4096 + artifact.ops().len() as u64
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU cache of [`CompiledArtifact`]s with hit/miss/eviction counters.
+///
+/// Counters are mirrored into the tracer's metrics registry as the quiet
+/// series `serve.cache.{hit,miss,eviction}` (registry-only: lookup order
+/// under concurrent tenants is scheduling-dependent, so they stay out of
+/// the deterministic record stream).
+pub struct CompiledArtifactCache {
+    capacity: usize,
+    /// LRU order: front = least recently used, back = most recently used.
+    entries: Mutex<VecDeque<Arc<CompiledArtifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for CompiledArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledArtifactCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledArtifactCache {
+    /// A cache holding at most `capacity` compiled artifacts (clamped to
+    /// at least one).
+    pub fn new(capacity: usize, tracer: Tracer) -> CompiledArtifactCache {
+        CompiledArtifactCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tracer,
+        }
+    }
+
+    /// Looks up `key`, building (and inserting) via `build` on a miss.
+    ///
+    /// Returns the entry plus `true` on a hit, `false` on a cold compile.
+    /// The build runs under the cache lock, so concurrent misses for one
+    /// key compile exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; a failed build inserts nothing.
+    pub fn get_or_insert_with(
+        &self,
+        key: &ArtifactKey,
+        build: impl FnOnce() -> Result<CompiledArtifact, ServeError>,
+    ) -> Result<(Arc<CompiledArtifact>, bool), ServeError> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = entries.iter().position(|a| a.key() == key) {
+            let entry = entries.remove(pos).expect("position is in range");
+            entries.push_back(Arc::clone(&entry));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.tracer.quiet_counter("serve.cache.hit").inc();
+            return Ok((entry, true));
+        }
+        let entry = Arc::new(build()?);
+        entries.push_back(Arc::clone(&entry));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tracer.quiet_counter("serve.cache.miss").inc();
+        while entries.len() > self.capacity {
+            entries.pop_front();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.tracer.quiet_counter("serve.cache.eviction").inc();
+        }
+        Ok((entry, false))
+    }
+
+    /// `true` when `key` is resident (does not touch LRU order or stats).
+    pub fn contains(&self, key: &ArtifactKey) -> bool {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.iter().any(|a| a.key() == key)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let a = content_hash("{\"w\":1}");
+        assert_eq!(a, content_hash("{\"w\":1}"));
+        assert_ne!(a, content_hash("{\"w\":2}"));
+        // FNV-1a of the empty string is the offset basis
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1, evictions: 0, entries: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

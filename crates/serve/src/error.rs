@@ -1,0 +1,41 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors produced while compiling or executing a served model.
+///
+/// Upstream error types (`CoreError`, `DspError`, `RuntimeError`,
+/// `DeviceError`) are flattened to their display strings at the serving
+/// boundary: a tenant sees *what* failed, while the typed detail stays in
+/// the layer that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The uploaded model could not be decoded, compiled or executed.
+    Model(String),
+    /// The requested deployment board is not in the registry.
+    UnknownBoard(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Model(msg) => write!(f, "model error: {msg}"),
+            ServeError::UnknownBoard(name) => write!(f, "unknown board: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(ServeError::Model("bad json".into()).to_string(), "model error: bad json");
+        assert_eq!(ServeError::UnknownBoard("x9".into()).to_string(), "unknown board: x9");
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<ServeError>();
+    }
+}

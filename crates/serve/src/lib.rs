@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Multi-tenant inference serving for `edgelab`: artifact cache,
+//! admission control and micro-batching.
+//!
+//! The paper's platform is a cloud service running ingestion-to-deployment
+//! pipelines for thousands of concurrent projects (paper §3); this crate
+//! is the serving layer that makes the reproduction behave like one
+//! process of that service rather than a single-user CLI:
+//!
+//! * [`CompiledArtifactCache`] — an LRU keyed by
+//!   `(model content hash, board, engine, dtype)` that memoizes the
+//!   expensive half of a request (registry JSON decode, EON codegen /
+//!   TFLM interpreter setup, arena memory planning). Hits return
+//!   byte-identical classifications and memory plans to a cold compile.
+//! * [`Server`] — per-tenant token-bucket quotas, a bounded request queue
+//!   with explicit backpressure ([`Rejected::Overloaded`]), deadline
+//!   propagation into [`ei_faults`] per-attempt timeouts, and
+//!   micro-batching that dispatches same-artifact requests through one
+//!   [`ei_par::ParPool::par_map`] call.
+//! * Full [`ei_trace`] instrumentation: queue-depth gauges, per-tenant
+//!   latency histograms (`serve.latency_ms.<tenant>`), batch-size
+//!   distribution and cache hit/miss/eviction counters.
+//!
+//! Everything runs on an injected [`ei_faults::Clock`] with *modeled*
+//! latencies, so a load test under a [`ei_faults::VirtualClock`] is
+//! byte-for-byte reproducible regardless of `EI_THREADS` or wall time.
+
+pub mod cache;
+pub mod error;
+pub mod quota;
+pub mod request;
+pub mod server;
+
+pub use cache::{content_hash, ArtifactKey, CacheStats, CompiledArtifact, CompiledArtifactCache};
+pub use error::ServeError;
+pub use quota::TokenBucket;
+pub use request::{Completion, InferenceRequest, ModelSource, Outcome, Rejected};
+pub use server::{Estimate, Server, ServerConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

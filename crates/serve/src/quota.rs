@@ -1,0 +1,87 @@
+//! Per-tenant admission quotas: a token bucket on the logical clock.
+//!
+//! Every tenant gets a bucket of `capacity` burst tokens refilled at
+//! `refill_per_sec`; a submission spends one token or is rejected with
+//! [`crate::Rejected::QuotaExceeded`]. Time comes from the serving layer's
+//! injected [`ei_faults::Clock`], so quota behaviour is scripted exactly in
+//! tests — no wall-clock flakiness.
+
+/// A token bucket over logical milliseconds.
+///
+/// Refill arithmetic is plain `f64`; for a fixed sequence of
+/// `(now_ms, take)` calls the token trajectory is bit-reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket observed at logical time `now_ms`.
+    ///
+    /// `capacity` is clamped to at least one token; a non-positive
+    /// `refill_per_sec` means the bucket never refills (burst-only).
+    pub fn new(capacity: u32, refill_per_sec: f64, now_ms: u64) -> TokenBucket {
+        let capacity = f64::from(capacity.max(1));
+        TokenBucket {
+            capacity,
+            refill_per_sec: refill_per_sec.max(0.0),
+            tokens: capacity,
+            last_ms: now_ms,
+        }
+    }
+
+    /// Attempts to spend one token at logical time `now_ms`; `false`
+    /// means the tenant is over quota right now.
+    pub fn try_take(&mut self, now_ms: u64) -> bool {
+        let elapsed_ms = now_ms.saturating_sub(self.last_ms);
+        self.last_ms = now_ms;
+        self.tokens =
+            (self.tokens + elapsed_ms as f64 * self.refill_per_sec / 1_000.0).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u32 {
+        self.tokens.floor().max(0.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        let mut bucket = TokenBucket::new(2, 1_000.0, 0);
+        assert!(bucket.try_take(0));
+        assert!(bucket.try_take(0));
+        assert!(!bucket.try_take(0), "burst capacity exhausted");
+        // 1000 tokens/s -> one token per logical millisecond
+        assert!(bucket.try_take(1));
+        assert!(!bucket.try_take(1));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut bucket = TokenBucket::new(3, 1_000.0, 0);
+        assert!(bucket.try_take(0));
+        // an hour of idle refill still leaves at most `capacity` tokens
+        assert!(bucket.try_take(3_600_000));
+        assert_eq!(bucket.available(), 2);
+    }
+
+    #[test]
+    fn zero_refill_is_burst_only() {
+        let mut bucket = TokenBucket::new(1, 0.0, 0);
+        assert!(bucket.try_take(0));
+        assert!(!bucket.try_take(10_000_000));
+    }
+}

@@ -1,0 +1,155 @@
+//! Request and response types of the serving front-end.
+
+use crate::cache::{content_hash, ArtifactKey};
+use ei_core::Classification;
+use ei_runtime::EngineKind;
+use std::sync::Arc;
+
+/// A model as the registry stores it: name plus opaque JSON bytes.
+///
+/// The content hash is computed once at construction; requests carrying
+/// the same bytes share compiled artifacts, while a re-upload of changed
+/// bytes under the same name gets a fresh [`ArtifactKey`] and can never
+/// hit a stale entry.
+#[derive(Debug, Clone)]
+pub struct ModelSource {
+    /// Registry name (display only — never part of the cache key).
+    pub name: String,
+    /// The model's registry JSON, shared without copying.
+    pub json: Arc<String>,
+    /// [`content_hash`] of `json`.
+    pub content_hash: u64,
+}
+
+impl ModelSource {
+    /// Wraps registry bytes, stamping their content hash.
+    pub fn new(name: &str, json: String) -> ModelSource {
+        let content_hash = content_hash(&json);
+        ModelSource { name: name.to_string(), json: Arc::new(json), content_hash }
+    }
+}
+
+/// One tenant inference call.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Tenant the request is attributed to (quota + latency series).
+    pub tenant: String,
+    /// The model to execute.
+    pub model: ModelSource,
+    /// Deployment board context (part of the artifact identity).
+    pub board: String,
+    /// Execution engine.
+    pub engine: EngineKind,
+    /// `true` to run the int8 artifact.
+    pub quantized: bool,
+    /// Raw input window.
+    pub window: Vec<f32>,
+    /// Completion deadline, logical milliseconds from admission; `0`
+    /// selects the server's default.
+    pub deadline_ms: u64,
+}
+
+impl InferenceRequest {
+    /// The cache identity this request resolves to.
+    pub fn artifact_key(&self) -> ArtifactKey {
+        ArtifactKey {
+            content_hash: self.model.content_hash,
+            board: self.board.clone(),
+            engine: self.engine,
+            quantized: self.quantized,
+        }
+    }
+}
+
+/// Why a submission was refused at the door.
+///
+/// Rejections are *cheap and explicit*: they happen before any queue
+/// growth or compilation, which is what keeps the server's memory bounded
+/// under overload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded request queue is full — backpressure, try later.
+    Overloaded {
+        /// Queue depth observed at rejection (== the configured bound).
+        queue_depth: usize,
+    },
+    /// The tenant's token bucket is empty.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+    },
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Overloaded { queue_depth } => {
+                write!(f, "overloaded: queue is full at depth {queue_depth}")
+            }
+            Rejected::QuotaExceeded { tenant } => {
+                write!(f, "quota exceeded for tenant {tenant:?}")
+            }
+        }
+    }
+}
+
+/// Terminal state of one admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The model ran; here is its answer.
+    Classified(Classification),
+    /// The request's deadline elapsed before (or while) it ran.
+    DeadlineExceeded {
+        /// Logical milliseconds from admission until the server gave up.
+        waited_ms: u64,
+    },
+    /// Compilation or execution failed.
+    Failed(String),
+}
+
+/// One finished request with its cost-attribution metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Ticket returned by `submit`.
+    pub ticket: u64,
+    /// Tenant the work is attributed to.
+    pub tenant: String,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Engine the request asked for.
+    pub engine: EngineKind,
+    /// Logical milliseconds spent queued before its batch started.
+    pub queued_ms: u64,
+    /// Admission-to-completion logical milliseconds.
+    pub latency_ms: u64,
+    /// `true` when the artifact came from the cache.
+    pub cache_hit: bool,
+    /// Number of requests co-dispatched in the same micro-batch.
+    pub batch_size: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_bytes_same_key_new_bytes_new_key() {
+        let a = ModelSource::new("kws", "{\"v\":1}".into());
+        let b = ModelSource::new("kws-copy", "{\"v\":1}".into());
+        let c = ModelSource::new("kws", "{\"v\":2}".into());
+        assert_eq!(a.content_hash, b.content_hash, "names never enter the hash");
+        assert_ne!(a.content_hash, c.content_hash, "content changes change the key");
+    }
+
+    #[test]
+    fn rejection_display() {
+        assert_eq!(
+            Rejected::Overloaded { queue_depth: 8 }.to_string(),
+            "overloaded: queue is full at depth 8"
+        );
+        assert_eq!(
+            Rejected::QuotaExceeded { tenant: "acme".into() }.to_string(),
+            "quota exceeded for tenant \"acme\""
+        );
+    }
+}

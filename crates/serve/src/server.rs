@@ -1,0 +1,484 @@
+//! The serving front-end: admission, micro-batching and dispatch.
+//!
+//! A [`Server`] is the single door through which tenant inference enters
+//! the pipeline:
+//!
+//! 1. **Admission** — [`Server::submit`] checks the bounded queue first
+//!    (full ⇒ [`Rejected::Overloaded`], so memory stays bounded under
+//!    overload), then the tenant's token bucket (empty ⇒
+//!    [`Rejected::QuotaExceeded`]). Admitted requests get a ticket and an
+//!    absolute logical-clock deadline.
+//! 2. **Micro-batching** — [`Server::drain`] repeatedly takes the oldest
+//!    pending request and groups up to `max_batch` queued requests that
+//!    resolve to the *same* [`ArtifactKey`] into one batch, so one
+//!    compiled artifact amortizes across tenants.
+//! 3. **Dispatch** — each batch runs as a single [`ei_faults::retry`]
+//!    attempt whose per-attempt timeout is the batch's deadline slack
+//!    (deadline propagation), executing every window through one
+//!    [`ParPool::par_map`] call.
+//!
+//! All latency in the serving layer is *modeled* and charged to the
+//! injected [`Clock`]: a cold compile costs
+//! [`CompiledArtifact::compile_cost_ms`], a batch costs
+//! `batch_overhead_ms + per_item_ms × batch len`. The model is independent
+//! of thread count and wall time, so a load test on a
+//! [`ei_faults::VirtualClock`] is byte-for-byte reproducible at any
+//! `EI_THREADS` setting — and the artifact cache's hit-path speedup shows
+//! up as honest logical-latency numbers.
+
+use crate::cache::{ArtifactKey, CacheStats, CompiledArtifact, CompiledArtifactCache};
+use crate::error::ServeError;
+use crate::quota::TokenBucket;
+use crate::request::{Completion, InferenceRequest, Outcome, Rejected};
+use crate::ModelSource;
+use ei_core::Classification;
+use ei_device::{Board, Profiler};
+use ei_faults::retry::{self, RetryOutcome};
+use ei_faults::{CancelToken, Clock, FailureCause, RetryPolicy};
+use ei_par::ParPool;
+use ei_runtime::EngineKind;
+use ei_trace::Tracer;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Latency histogram bucket bounds (logical milliseconds).
+const LATENCY_BOUNDS: [f64; 10] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0];
+
+/// Batch-size histogram bucket bounds.
+const BATCH_BOUNDS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Pending requests admitted before submissions bounce with
+    /// [`Rejected::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most same-artifact requests dispatched as one batch.
+    pub max_batch: usize,
+    /// Deadline for requests that pass `deadline_ms: 0`.
+    pub default_deadline_ms: u64,
+    /// Compiled artifacts kept resident.
+    pub cache_capacity: usize,
+    /// Per-tenant burst tokens.
+    pub quota_capacity: u32,
+    /// Per-tenant sustained request rate (tokens per second).
+    pub quota_refill_per_sec: f64,
+    /// Modeled per-batch dispatch overhead (logical ms).
+    pub batch_overhead_ms: u64,
+    /// Modeled per-request service time (logical ms).
+    pub per_item_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            default_deadline_ms: 1_000,
+            cache_capacity: 8,
+            quota_capacity: 64,
+            quota_refill_per_sec: 64.0,
+            batch_overhead_ms: 2,
+            per_item_ms: 1,
+        }
+    }
+}
+
+/// A device estimate served through the artifact cache.
+///
+/// The serving layer's view of a [`ei_device::Profiler`] report, flattened
+/// so platform callers need no `ei-device` types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Canonical board name the estimate is for.
+    pub board: String,
+    /// Engine the artifact was compiled for.
+    pub engine: EngineKind,
+    /// `true` for the int8 artifact.
+    pub quantized: bool,
+    /// Preprocessing latency (modeled device ms).
+    pub dsp_ms: f64,
+    /// Inference latency (modeled device ms).
+    pub inference_ms: f64,
+    /// End-to-end latency including invoke overhead.
+    pub total_ms: f64,
+    /// Total RAM the deployment needs.
+    pub ram_bytes: usize,
+    /// Total flash the deployment needs.
+    pub flash_bytes: usize,
+    /// `true` when the deployment fits the board.
+    pub fits: bool,
+    /// `true` when the compiled artifact came from the cache.
+    pub cache_hit: bool,
+}
+
+/// One admitted, not-yet-dispatched request.
+#[derive(Debug)]
+struct Pending {
+    ticket: u64,
+    key: ArtifactKey,
+    enqueued_ms: u64,
+    deadline_at_ms: u64,
+    req: InferenceRequest,
+}
+
+/// State behind the server's admission lock.
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<Pending>,
+    buckets: HashMap<String, TokenBucket>,
+    next_ticket: u64,
+    completed: Vec<Completion>,
+}
+
+/// The multi-tenant serving front-end.
+pub struct Server {
+    config: ServerConfig,
+    clock: Arc<dyn Clock>,
+    pool: Arc<ParPool>,
+    tracer: Tracer,
+    cache: CompiledArtifactCache,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("queue_depth", &self.queue_depth())
+            .field("cache", &self.cache_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// A server over an injected clock, pool and tracer.
+    ///
+    /// Pass a [`ei_faults::VirtualClock`] to make every latency and
+    /// timeout in a load test reproducible.
+    pub fn new(
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        pool: Arc<ParPool>,
+        tracer: Tracer,
+    ) -> Server {
+        let cache = CompiledArtifactCache::new(config.cache_capacity, tracer.clone());
+        Server {
+            config,
+            clock,
+            pool,
+            tracer,
+            cache,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                buckets: HashMap::new(),
+                next_ticket: 1,
+                completed: Vec::new(),
+            }),
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The serving clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current artifact-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.lock_inner().queue.len()
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits one request, returning its ticket.
+    ///
+    /// Admission is two cheap checks under one lock — queue bound first
+    /// (overload must not drain quota), then the tenant's token bucket —
+    /// and never compiles or copies model bytes, so a rejection costs
+    /// nothing and queue memory stays bounded at `queue_capacity`.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Overloaded`] when the queue is full,
+    /// [`Rejected::QuotaExceeded`] when the tenant is out of tokens.
+    pub fn submit(&self, req: InferenceRequest) -> Result<u64, Rejected> {
+        let now = self.clock.now_ms();
+        let mut inner = self.lock_inner();
+        if inner.queue.len() >= self.config.queue_capacity {
+            self.tracer.quiet_counter("serve.rejected.overloaded").inc();
+            return Err(Rejected::Overloaded { queue_depth: inner.queue.len() });
+        }
+        let (capacity, refill) = (self.config.quota_capacity, self.config.quota_refill_per_sec);
+        let bucket = inner
+            .buckets
+            .entry(req.tenant.clone())
+            .or_insert_with(|| TokenBucket::new(capacity, refill, now));
+        if !bucket.try_take(now) {
+            self.tracer.quiet_counter("serve.rejected.quota").inc();
+            return Err(Rejected::QuotaExceeded { tenant: req.tenant });
+        }
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        let budget_ms =
+            if req.deadline_ms == 0 { self.config.default_deadline_ms } else { req.deadline_ms };
+        let pending = Pending {
+            ticket,
+            key: req.artifact_key(),
+            enqueued_ms: now,
+            deadline_at_ms: now + budget_ms,
+            req,
+        };
+        inner.queue.push_back(pending);
+        self.tracer.quiet_counter("serve.submitted").inc();
+        self.tracer.quiet_gauge("serve.queue_depth").set(inner.queue.len() as f64);
+        Ok(ticket)
+    }
+
+    /// Dispatches every queued request and returns all new completions
+    /// (in dispatch order).
+    pub fn drain(&self) -> Vec<Completion> {
+        self.process_queue();
+        std::mem::take(&mut self.lock_inner().completed)
+    }
+
+    /// Dispatches the queue, then extracts the completion for `ticket`,
+    /// leaving other tenants' completions for their own callers.
+    pub fn resolve(&self, ticket: u64) -> Option<Completion> {
+        self.process_queue();
+        let mut inner = self.lock_inner();
+        let pos = inner.completed.iter().position(|c| c.ticket == ticket)?;
+        Some(inner.completed.remove(pos))
+    }
+
+    /// Estimates on-device cost for a model through the artifact cache
+    /// (the platform's pre-deployment "how will this run on board X"
+    /// call). A miss charges the modeled compile cost to the clock, just
+    /// like the inference path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownBoard`] for an unknown board,
+    /// [`ServeError::Model`] when the model fails to compile.
+    pub fn estimate(
+        &self,
+        model: &ModelSource,
+        board: &str,
+        engine: EngineKind,
+        quantized: bool,
+    ) -> Result<Estimate, ServeError> {
+        let board = Board::by_name(board).map_err(|_| ServeError::UnknownBoard(board.into()))?;
+        let key = ArtifactKey {
+            content_hash: model.content_hash,
+            board: board.name.clone(),
+            engine,
+            quantized,
+        };
+        let json = Arc::clone(&model.json);
+        let (artifact, hit) = self
+            .cache
+            .get_or_insert_with(&key, || CompiledArtifact::compile(key.clone(), &json))?;
+        if !hit {
+            self.clock.sleep_ms(artifact.compile_cost_ms(), None);
+        }
+        let dsp_cost = artifact.dsp_cost()?;
+        let report = Profiler::new(board).profile(Some(dsp_cost), artifact.engine());
+        Ok(Estimate {
+            ram_bytes: report.total_ram_bytes(),
+            flash_bytes: report.total_flash_bytes(),
+            fits: report.fit.fits,
+            board: report.board,
+            engine,
+            quantized,
+            dsp_ms: report.dsp_ms,
+            inference_ms: report.inference_ms,
+            total_ms: report.total_ms,
+            cache_hit: hit,
+        })
+    }
+
+    /// Dispatches queued requests batch by batch until the queue is empty.
+    fn process_queue(&self) {
+        loop {
+            let batch = {
+                let mut inner = self.lock_inner();
+                let Some(front) = inner.queue.front() else { break };
+                let key = front.key.clone();
+                let mut batch = Vec::new();
+                let mut i = 0;
+                while i < inner.queue.len() && batch.len() < self.config.max_batch {
+                    if inner.queue[i].key == key {
+                        batch.push(inner.queue.remove(i).expect("index is in range"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.tracer.quiet_gauge("serve.queue_depth").set(inner.queue.len() as f64);
+                batch
+            };
+            self.run_batch(batch);
+        }
+    }
+
+    /// Runs one same-artifact batch: expiry sweep, cached (or cold)
+    /// compile, then a single deadline-bounded retry attempt that charges
+    /// the modeled service time and fans the windows out over the pool.
+    fn run_batch(&self, batch: Vec<Pending>) {
+        let now = self.clock.now_ms();
+        let (live, expired): (Vec<Pending>, Vec<Pending>) =
+            batch.into_iter().partition(|p| now < p.deadline_at_ms);
+        for p in expired {
+            let waited_ms = now.saturating_sub(p.enqueued_ms);
+            self.complete(&p, Outcome::DeadlineExceeded { waited_ms }, now, now, false, 0);
+        }
+        if live.is_empty() {
+            return;
+        }
+        let key = live[0].key.clone();
+        let json = Arc::clone(&live[0].req.model.json);
+        let compiled =
+            self.cache.get_or_insert_with(&key, || CompiledArtifact::compile(key.clone(), &json));
+        let (artifact, hit) = match compiled {
+            Ok(pair) => pair,
+            Err(e) => {
+                let finish = self.clock.now_ms();
+                for p in &live {
+                    self.complete(
+                        p,
+                        Outcome::Failed(e.to_string()),
+                        now,
+                        finish,
+                        false,
+                        live.len(),
+                    );
+                }
+                return;
+            }
+        };
+        if !hit {
+            // cold path: charge the codegen / interpreter-setup cost the
+            // cache exists to amortize
+            self.clock.sleep_ms(artifact.compile_cost_ms(), None);
+        }
+
+        let start = self.clock.now_ms();
+        // deadline propagation: the batch attempt may run at most as long
+        // as its most patient member is willing to wait; items whose own
+        // deadline passes are marked individually after the attempt
+        let slack_ms =
+            live.iter().map(|p| p.deadline_at_ms.saturating_sub(start)).max().unwrap_or(0);
+        let service_ms =
+            self.config.batch_overhead_ms + self.config.per_item_ms * live.len() as u64;
+        let policy = RetryPolicy::immediate(1).with_timeout(slack_ms);
+        let cancel = CancelToken::new();
+        let mut outputs: Option<Vec<Result<Classification, ServeError>>> = None;
+        let result = retry::execute(
+            &policy,
+            &*self.clock,
+            key.content_hash,
+            &cancel,
+            |_| {},
+            |_| {
+                self.clock.sleep_ms(service_ms, None);
+                outputs = Some(self.pool.par_map(&live, |p| artifact.classify(&p.req.window)));
+                Ok(String::new())
+            },
+        );
+
+        let finish = self.clock.now_ms();
+        let batch_size = live.len();
+        self.tracer.histogram("serve.batch_size", &BATCH_BOUNDS).observe(batch_size as f64);
+        match result.outcome {
+            RetryOutcome::Success { .. } => {
+                let outputs = outputs.take().expect("successful attempt stored its outputs");
+                for (p, out) in live.iter().zip(outputs) {
+                    let outcome = if finish > p.deadline_at_ms {
+                        Outcome::DeadlineExceeded {
+                            waited_ms: finish.saturating_sub(p.enqueued_ms),
+                        }
+                    } else {
+                        match out {
+                            Ok(c) => Outcome::Classified(c),
+                            Err(e) => Outcome::Failed(e.to_string()),
+                        }
+                    };
+                    self.complete(p, outcome, start, finish, hit, batch_size);
+                }
+            }
+            RetryOutcome::Exhausted { error } => {
+                let timed_out = result
+                    .attempts
+                    .last()
+                    .is_some_and(|a| matches!(a.cause, FailureCause::TimedOut { .. }));
+                for p in &live {
+                    let outcome = if timed_out {
+                        Outcome::DeadlineExceeded {
+                            waited_ms: finish.saturating_sub(p.enqueued_ms),
+                        }
+                    } else {
+                        Outcome::Failed(error.clone())
+                    };
+                    self.complete(p, outcome, start, finish, hit, batch_size);
+                }
+            }
+            RetryOutcome::Cancelled => {
+                for p in &live {
+                    self.complete(
+                        p,
+                        Outcome::Failed("cancelled".into()),
+                        start,
+                        finish,
+                        hit,
+                        batch_size,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Records one finished request: completion buffer, per-tenant latency
+    /// histogram and outcome counters.
+    fn complete(
+        &self,
+        p: &Pending,
+        outcome: Outcome,
+        batch_start_ms: u64,
+        finish_ms: u64,
+        cache_hit: bool,
+        batch_size: usize,
+    ) {
+        let latency_ms = finish_ms.saturating_sub(p.enqueued_ms);
+        let queued_ms = batch_start_ms.saturating_sub(p.enqueued_ms);
+        let counter = match outcome {
+            Outcome::Classified(_) => "serve.completed",
+            Outcome::DeadlineExceeded { .. } => "serve.deadline_exceeded",
+            Outcome::Failed(_) => "serve.failed",
+        };
+        self.tracer.quiet_counter(counter).inc();
+        self.tracer
+            .histogram(&format!("serve.latency_ms.{}", p.req.tenant), &LATENCY_BOUNDS)
+            .observe(latency_ms as f64);
+        let completion = Completion {
+            ticket: p.ticket,
+            tenant: p.req.tenant.clone(),
+            outcome,
+            engine: p.req.engine,
+            queued_ms,
+            latency_ms,
+            cache_hit,
+            batch_size,
+        };
+        self.lock_inner().completed.push(completion);
+    }
+}

@@ -15,10 +15,27 @@ EI_THREADS=1 cargo test -q
 echo "==> cargo test -q (EI_THREADS=4, parallel pool)"
 EI_THREADS=4 cargo test -q
 
+echo "==> serving integration suite (EI_THREADS=1 and 4)"
+EI_THREADS=1 cargo test -q --test serving
+EI_THREADS=4 cargo test -q --test serving
+
 echo "==> cargo test --doc"
 cargo test --doc
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> results/*.json rows carry schema_version"
+if compgen -G "results/*.json" > /dev/null; then
+  for f in results/*.json; do
+    if grep -vqF '"schema_version":' "$f"; then
+      echo "row without schema_version in $f" >&2
+      exit 1
+    fi
+    echo "  ok $f"
+  done
+else
+  echo "  (no results/*.json yet — run the bench binaries to generate them)"
+fi
 
 echo "==> all checks passed"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Smoke-runs the multi-tenant serving bench with a shortened trace and
+# sanity-checks the JSONL rows it writes: every tenant/engine pair is
+# present, the summary row carries the cache and throughput fields, and
+# the trace stayed byte-for-byte reproducible (the bench replays it twice
+# and asserts equality before writing).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> EDGELAB_QUICK=1 cargo run --release --bin serving"
+EDGELAB_QUICK=1 cargo run --release --bin serving
+
+echo "==> checking results/serving.json"
+out=results/serving.json
+for tenant in alpha beta gamma; do
+  for engine in TFLM EON; do
+    marker="\"tenant\":\"$tenant\",\"engine\":\"$engine\""
+    if ! grep -qF -- "$marker" "$out"; then
+      echo "MISSING from $out: $marker" >&2
+      exit 1
+    fi
+    echo "  found $marker"
+  done
+done
+for field in '"summary":true' '"throughput_rps":' '"cache_hit_rate":' '"cold_hit_speedup":'; do
+  if ! grep -qF -- "$field" "$out"; then
+    echo "MISSING from $out: $field" >&2
+    exit 1
+  fi
+  echo "  found $field"
+done
+
+echo "==> serving demo passed"

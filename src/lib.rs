@@ -24,6 +24,7 @@
 //! | [`anomaly`] | `ei-anomaly` | K-means / GMM anomaly detection |
 //! | [`active`] | `ei-active` | embeddings, 2-D projection, auto-labeling |
 //! | [`platform`] | `ei-platform` | projects, API facade, job scheduler |
+//! | [`serve`] | `ei-serve` | multi-tenant inference serving + artifact cache |
 //! | [`faults`] | `ei-faults` | retry policies, mock clock, fault injection |
 //! | [`trace`] | `ei-trace` | structured spans, metrics, trace exporters |
 //! | [`par`] | `ei-par` | deterministic work-stealing thread pool |
@@ -60,6 +61,7 @@ pub use ei_par as par;
 pub use ei_platform as platform;
 pub use ei_quant as quant;
 pub use ei_runtime as runtime;
+pub use ei_serve as serve;
 pub use ei_tensor as tensor;
 pub use ei_trace as trace;
 pub use ei_tuner as tuner;

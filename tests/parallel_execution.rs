@@ -131,6 +131,56 @@ fn cancelling_a_job_stops_a_parallel_tuner_sweep() {
     assert!(scheduler.dead_letters().is_empty(), "cancellation must not dead-letter");
 }
 
+/// Satellite: pool edge cases — empty input, single element, and a chunk
+/// size larger than the slice — all bitwise-equal to the serial loop at
+/// `EI_THREADS=1` and `4`.
+#[test]
+fn par_map_edge_cases_are_bitwise_equal_to_serial() {
+    let items: Vec<f32> = (0..7).map(|i| i as f32 * 0.37).collect();
+    let serial_bits: Vec<u32> = items.iter().map(|x| x.sin().to_bits()).collect();
+    for threads in [1, 4] {
+        let pool = ParPool::new(Parallelism::new(threads));
+        assert!(pool.par_map(&[] as &[f32], |x| x.sin()).is_empty(), "threads={threads}");
+        assert_eq!(
+            pool.par_map(&items[..1], |x| x.sin().to_bits()),
+            serial_bits[..1],
+            "threads={threads}"
+        );
+        assert_eq!(pool.par_map(&items, |x| x.sin().to_bits()), serial_bits, "threads={threads}");
+    }
+}
+
+#[test]
+fn par_chunks_reduce_edge_cases_are_bitwise_equal_to_serial() {
+    let items: Vec<f32> = (0..7).map(|i| (i as f32 * 0.73).cos()).collect();
+    for threads in [1, 4] {
+        let pool = ParPool::new(Parallelism::new(threads));
+        assert_eq!(
+            pool.par_chunks_reduce(&[] as &[f32], 4, |c| c.iter().sum::<f32>(), |a, b| a + b),
+            None,
+            "empty input reduces to None (threads={threads})"
+        );
+        assert_eq!(
+            pool.par_chunks_reduce(&items[..1], 4, |c| c.iter().sum::<f32>(), |a, b| a + b)
+                .map(f32::to_bits),
+            Some(items[0].to_bits()),
+            "threads={threads}"
+        );
+        for chunk in [2, 16] {
+            let serial =
+                items.chunks(chunk).map(|c| c.iter().sum::<f32>()).reduce(|a, b| a + b).unwrap();
+            let parallel = pool
+                .par_chunks_reduce(&items, chunk, |c| c.iter().sum::<f32>(), |a, b| a + b)
+                .unwrap();
+            assert_eq!(
+                parallel.to_bits(),
+                serial.to_bits(),
+                "chunk={chunk} threads={threads}: reduction must match serial bitwise"
+            );
+        }
+    }
+}
+
 /// Dataset-wide DSP extraction through the facade: parallel output (and
 /// error precedence) matches the serial loop at any thread count.
 #[test]

@@ -1,0 +1,369 @@
+//! Serving integration: the multi-tenant inference front-end end to end —
+//! artifact-cache correctness, admission control under overload, deadline
+//! propagation through the fault layer, and the platform API path.
+//!
+//! `scripts/check.sh` runs this suite under both `EI_THREADS=1` and `4`:
+//! the server charges all service time to the injected clock, so results
+//! and latencies must not depend on the pool width.
+
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::faults::{Clock, VirtualClock};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::par::{ParPool, Parallelism};
+use edgelab::platform::{Api, PlatformError};
+use edgelab::runtime::EngineKind;
+use edgelab::serve::{
+    ArtifactKey, CompiledArtifact, CompiledArtifactCache, InferenceRequest, ModelSource, Outcome,
+    Rejected, Server, ServerConfig,
+};
+use edgelab::trace::Tracer;
+use std::sync::Arc;
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["go".into(), "stop".into()],
+        sample_rate_hz: 4_000,
+        duration_s: 0.25,
+        noise: 0.02,
+    }
+}
+
+fn design() -> ImpulseDesign {
+    ImpulseDesign::new(
+        "serve-kws",
+        1_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 16,
+            sample_rate_hz: 4_000,
+        }),
+    )
+    .expect("valid design")
+}
+
+/// Trains a small model and returns its registry JSON.
+fn model_json(hidden: usize, seed: u64) -> String {
+    let d = design();
+    let spec = presets::dense_mlp(d.feature_dims().expect("valid design"), 2, hidden);
+    let config = TrainConfig {
+        epochs: 6,
+        batch_size: 8,
+        learning_rate: 0.01,
+        seed,
+        ..TrainConfig::default()
+    };
+    d.train(&spec, &generator().dataset(6, seed), &config)
+        .expect("training succeeds")
+        .to_json()
+        .expect("serializes")
+}
+
+fn server(config: ServerConfig) -> (Arc<VirtualClock>, Server) {
+    let clock = VirtualClock::shared();
+    let pool = Arc::new(ParPool::new(Parallelism::from_env()));
+    let srv = Server::new(config, clock.clone() as Arc<dyn Clock>, pool, Tracer::disabled());
+    (clock, srv)
+}
+
+fn request(
+    tenant: &str,
+    model: &ModelSource,
+    engine: EngineKind,
+    window: Vec<f32>,
+) -> InferenceRequest {
+    InferenceRequest {
+        tenant: tenant.to_string(),
+        model: model.clone(),
+        board: String::new(),
+        engine,
+        quantized: false,
+        window,
+        deadline_ms: 0,
+    }
+}
+
+/// Tentpole: a cache hit is indistinguishable from a cold compile except
+/// in latency — byte-identical classification and memory plan, at least
+/// 5x faster because the compile cost is skipped.
+#[test]
+fn cache_hit_is_byte_identical_to_cold_compile_and_5x_faster() {
+    let json = model_json(16, 7);
+    let model = ModelSource::new("kws", json.clone());
+    let clip = generator().generate(0, 42);
+
+    // an independent cold compile is the ground truth
+    let key = ArtifactKey {
+        content_hash: model.content_hash,
+        board: String::new(),
+        engine: EngineKind::EonCompiled,
+        quantized: false,
+    };
+    let ground_truth = CompiledArtifact::compile(key.clone(), &json).expect("compiles");
+
+    let (_clock, srv) = server(ServerConfig::default());
+    let t = srv.submit(request("a", &model, EngineKind::EonCompiled, clip.clone())).unwrap();
+    let cold = srv.resolve(t).expect("completed");
+    let t = srv.submit(request("a", &model, EngineKind::EonCompiled, clip.clone())).unwrap();
+    let hit = srv.resolve(t).expect("completed");
+
+    assert!(!cold.cache_hit && hit.cache_hit);
+    assert_eq!(cold.outcome, hit.outcome, "hit must be byte-identical to cold compile");
+    let Outcome::Classified(served) = &hit.outcome else { panic!("classified: {hit:?}") };
+    assert_eq!(
+        served,
+        &ground_truth.classify(&clip).expect("runs"),
+        "served result must match an independent cold compile byte for byte"
+    );
+    assert!(
+        cold.latency_ms >= 5 * hit.latency_ms.max(1),
+        "cold {} ms vs hit {} ms must be >= 5x",
+        cold.latency_ms,
+        hit.latency_ms
+    );
+
+    // the memoized memory plan is the one a fresh compile produces
+    let cache = CompiledArtifactCache::new(4, Tracer::disabled());
+    let (first, was_hit) =
+        cache.get_or_insert_with(&key, || CompiledArtifact::compile(key.clone(), &json)).unwrap();
+    assert!(!was_hit);
+    let (second, was_hit) =
+        cache.get_or_insert_with(&key, || panic!("hit path must not rebuild")).unwrap();
+    assert!(was_hit);
+    assert_eq!(first.plan(), ground_truth.plan());
+    assert_eq!(second.plan(), first.plan(), "hit serves the identical plan");
+}
+
+/// Tentpole: content-hash keying — re-uploading changed bytes under the
+/// same model name never serves the stale artifact, even at capacity 1.
+#[test]
+fn one_entry_cache_never_serves_stale_model_after_reupload() {
+    let old_json = model_json(16, 7);
+    let new_json = model_json(24, 8);
+    assert_ne!(old_json, new_json);
+    let clip = generator().generate(1, 5);
+
+    let (_clock, srv) = server(ServerConfig { cache_capacity: 1, ..ServerConfig::default() });
+    let old = ModelSource::new("kws", old_json.clone());
+    let new = ModelSource::new("kws", new_json.clone());
+    let t = srv.submit(request("a", &old, EngineKind::EonCompiled, clip.clone())).unwrap();
+    let before = srv.resolve(t).expect("completed");
+    let t = srv.submit(request("a", &new, EngineKind::EonCompiled, clip.clone())).unwrap();
+    let after = srv.resolve(t).expect("completed");
+
+    let Outcome::Classified(before) = &before.outcome else { panic!("classified") };
+    let Outcome::Classified(after) = &after.outcome else { panic!("classified") };
+    assert_ne!(
+        before.probabilities, after.probabilities,
+        "the re-uploaded model must actually run, not the stale entry"
+    );
+    let key = ArtifactKey {
+        content_hash: new.content_hash,
+        board: String::new(),
+        engine: EngineKind::EonCompiled,
+        quantized: false,
+    };
+    let ground_truth = CompiledArtifact::compile(key, &new_json).unwrap();
+    assert_eq!(after, &ground_truth.classify(&clip).unwrap());
+    let stats = srv.cache_stats();
+    assert_eq!((stats.misses, stats.evictions, stats.entries), (2, 1, 1));
+}
+
+/// Tentpole: bounded memory under overload — submissions past the queue
+/// bound are rejected with `Overloaded` (no queue growth), while every
+/// admitted request still completes within its deadline.
+#[test]
+fn overload_rejects_past_queue_bound_while_inflight_complete() {
+    let json = model_json(16, 7);
+    let model = ModelSource::new("kws", json);
+    let clip = generator().generate(0, 3);
+
+    let config = ServerConfig { queue_capacity: 4, quota_capacity: 100, ..ServerConfig::default() };
+    let (_clock, srv) = server(config);
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for i in 0..12 {
+        let tenant = format!("tenant-{}", i % 3);
+        match srv.submit(request(&tenant, &model, EngineKind::EonCompiled, clip.clone())) {
+            Ok(_) => admitted += 1,
+            Err(Rejected::Overloaded { queue_depth }) => {
+                assert_eq!(queue_depth, 4, "rejection reports the configured bound");
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+        assert!(srv.queue_depth() <= 4, "queue must never grow past its bound");
+    }
+    assert_eq!((admitted, rejected), (4, 8));
+    let completions = srv.drain();
+    assert_eq!(completions.len(), 4);
+    for c in &completions {
+        assert!(
+            matches!(c.outcome, Outcome::Classified(_)),
+            "admitted request must complete within its deadline: {c:?}"
+        );
+    }
+    assert_eq!(srv.queue_depth(), 0);
+}
+
+/// Per-tenant token buckets: an exhausted tenant is rejected without
+/// affecting others, and recovers as the (virtual) clock refills it.
+#[test]
+fn quota_exhausts_per_tenant_and_refills_on_the_clock() {
+    let json = model_json(16, 7);
+    let model = ModelSource::new("kws", json);
+    let clip = generator().generate(0, 3);
+    let config = ServerConfig {
+        quota_capacity: 2,
+        quota_refill_per_sec: 1_000.0,
+        ..ServerConfig::default()
+    };
+    let (clock, srv) = server(config);
+
+    let req = |t: &str| request(t, &model, EngineKind::EonCompiled, clip.clone());
+    assert!(srv.submit(req("a")).is_ok());
+    assert!(srv.submit(req("a")).is_ok());
+    assert_eq!(srv.submit(req("a")), Err(Rejected::QuotaExceeded { tenant: "a".into() }));
+    assert!(srv.submit(req("b")).is_ok(), "quota is per tenant");
+    clock.advance_ms(2); // 1000 tokens/s -> 2 ms buys back a token
+    assert!(srv.submit(req("a")).is_ok());
+}
+
+/// Deadlines propagate into the fault layer: a request whose deadline
+/// passes while queued never runs, and one whose slack cannot cover the
+/// batch service time is cut off by the `ei_faults` timeout.
+#[test]
+fn deadlines_propagate_into_fault_layer_timeouts() {
+    let json = model_json(16, 7);
+    let model = ModelSource::new("kws", json);
+    let clip = generator().generate(0, 3);
+
+    // expired while queued: completed without compiling anything
+    let (clock, srv) = server(ServerConfig::default());
+    let mut req = request("a", &model, EngineKind::EonCompiled, clip.clone());
+    req.deadline_ms = 10;
+    let ticket = srv.submit(req).unwrap();
+    clock.advance_ms(50);
+    let completion = srv.resolve(ticket).expect("completed");
+    assert_eq!(completion.outcome, Outcome::DeadlineExceeded { waited_ms: 50 });
+    assert_eq!(srv.cache_stats().misses, 0, "expired requests must not compile");
+
+    // slack too small for the batch: the retry timeout fires
+    let (_clock, srv) =
+        server(ServerConfig { batch_overhead_ms: 1_000, ..ServerConfig::default() });
+    let mut req = request("a", &model, EngineKind::EonCompiled, clip);
+    req.deadline_ms = 200; // compile fits, the 1 s batch overhead does not
+    let ticket = srv.submit(req).unwrap();
+    let completion = srv.resolve(ticket).expect("completed");
+    assert!(
+        matches!(completion.outcome, Outcome::DeadlineExceeded { .. }),
+        "batch overrun must surface as DeadlineExceeded: {completion:?}"
+    );
+}
+
+/// Same-artifact requests coalesce into one micro-batch; results and
+/// latencies are byte-identical across pool widths and repeated runs.
+#[test]
+fn micro_batched_trace_is_deterministic_across_thread_counts() {
+    let kws = model_json(16, 7);
+    let vww = model_json(24, 8);
+    let gen = generator();
+
+    let run = |threads: Parallelism| {
+        let clock = VirtualClock::shared();
+        let pool = Arc::new(ParPool::new(threads));
+        let srv = Server::new(
+            ServerConfig::default(),
+            clock.clone() as Arc<dyn Clock>,
+            pool,
+            Tracer::disabled(),
+        );
+        let a = ModelSource::new("kws", kws.clone());
+        let b = ModelSource::new("vww", vww.clone());
+        let mut log = Vec::new();
+        for round in 0..3u64 {
+            for (tenant, model, engine) in [
+                ("alpha", &a, EngineKind::EonCompiled),
+                ("beta", &a, EngineKind::EonCompiled),
+                ("gamma", &b, EngineKind::TflmInterpreter),
+            ] {
+                let clip = gen.generate((round % 2) as usize, round * 10 + 1);
+                srv.submit(request(tenant, model, engine, clip)).unwrap();
+            }
+            for c in srv.drain() {
+                assert!(matches!(c.outcome, Outcome::Classified(_)), "{c:?}");
+                if c.tenant == "alpha" || c.tenant == "beta" {
+                    assert_eq!(c.batch_size, 2, "same-artifact requests share a batch");
+                }
+                log.push(format!("{c:?}"));
+            }
+        }
+        (log, clock.now_ms())
+    };
+
+    let (serial, t_serial) = run(Parallelism::serial());
+    let (four, t_four) = run(Parallelism::new(4));
+    let (env, t_env) = run(Parallelism::from_env());
+    assert_eq!(serial, four, "pool width must not change completions");
+    assert_eq!(serial, env, "EI_THREADS must not change completions");
+    assert_eq!(t_serial, t_four);
+    assert_eq!(t_serial, t_env);
+}
+
+/// The platform API path: registry models classify and estimate through
+/// the attached serving layer, with project-scoped tenancy and access
+/// control intact.
+#[test]
+fn api_classify_and_estimate_run_through_serving() {
+    let api = Api::new();
+    let owner = api.create_user("owner");
+    let outsider = api.create_user("outsider");
+    let project = api.create_project("serving", owner).unwrap();
+    let json = model_json(16, 7);
+    api.upload_model(project, owner, "kws-v1", json.clone()).unwrap();
+
+    let clock = VirtualClock::shared();
+    let srv = Arc::new(Server::new(
+        ServerConfig::default(),
+        clock.clone() as Arc<dyn Clock>,
+        Arc::new(ParPool::new(Parallelism::from_env())),
+        Tracer::disabled(),
+    ));
+    api.attach_serving(Arc::clone(&srv)).unwrap();
+    assert!(api.attach_serving(srv).is_err(), "the serving layer attaches once");
+
+    let clip = generator().generate(0, 9);
+    let eon = api
+        .classify(project, owner, "kws-v1", EngineKind::EonCompiled, false, clip.clone())
+        .unwrap();
+    let tflm = api
+        .classify(project, owner, "kws-v1", EngineKind::TflmInterpreter, false, clip.clone())
+        .unwrap();
+    assert_eq!(eon.probabilities, tflm.probabilities, "engines agree bit for bit");
+    assert_eq!(eon.label_index, tflm.label_index);
+
+    // estimation keys the cache per board and reports deployment fit
+    let estimate =
+        api.estimate(project, owner, "kws-v1", "nano 33", EngineKind::EonCompiled, false).unwrap();
+    assert_eq!(estimate.board, "Arduino Nano 33 BLE Sense");
+    assert!(estimate.total_ms > 0.0);
+    assert!(estimate.ram_bytes > 0 && estimate.flash_bytes > 0);
+    assert!(estimate.fits, "a tiny MLP fits the Nano 33");
+
+    // errors stay platform-shaped
+    assert!(matches!(
+        api.classify(project, owner, "missing", EngineKind::EonCompiled, false, clip.clone()),
+        Err(PlatformError::NotFound { .. })
+    ));
+    assert!(matches!(
+        api.estimate(project, owner, "kws-v1", "no-such-board", EngineKind::EonCompiled, false),
+        Err(PlatformError::BadRequest(_))
+    ));
+    assert!(
+        api.classify(project, outsider, "kws-v1", EngineKind::EonCompiled, false, clip).is_err(),
+        "access control guards serving too"
+    );
+}
