@@ -195,7 +195,11 @@ pub(crate) fn depthwise_forward_rows(
                     let in_base = ((iy as usize) * g.in_w + ix as usize) * c;
                     let w_base = (ky * g.kernel_w + kx) * c;
                     for ch in 0..c {
-                        out[base + ch] += input[in_base + ch] * weights[w_base + ch];
+                        let x = input[in_base + ch];
+                        if x == 0.0 {
+                            continue;
+                        }
+                        out[base + ch] += x * weights[w_base + ch];
                     }
                 }
             }

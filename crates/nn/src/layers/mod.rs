@@ -6,6 +6,7 @@
 
 pub mod conv;
 pub mod dense;
+pub mod im2col;
 pub mod pool;
 
 use crate::spec::Padding;

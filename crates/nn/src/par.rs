@@ -1,22 +1,29 @@
-//! Pool-gated parallel forward kernels.
+//! Pool-gated forward kernels: im2col + blocked GEMM, fanned out over
+//! the worker pool.
 //!
-//! The serial kernels in [`crate::layers`] accumulate each output element
-//! over inputs in a fixed index order. The `_auto` variants here partition
-//! the *output* (dense columns, convolution rows/steps) into disjoint
-//! chunks and run each chunk as one [`ei_par::ParPool`] task, so every
-//! element still sees exactly the serial accumulation sequence and the
-//! result is bitwise-identical at any thread count.
+//! The serial kernels in [`crate::layers`] are the reference oracles:
+//! they accumulate each output element over inputs in a fixed index
+//! order. The `_auto` variants here lower dense/conv layers onto the
+//! cache-blocked GEMM in [`ei_tensor::gemm`] (convolutions via
+//! [`crate::layers::im2col`]) and partition the *output* (GEMM rows,
+//! dense columns, depthwise row bands) into disjoint chunks, one
+//! [`ei_par::ParPool`] task each. The blocked kernel replays the exact
+//! per-element accumulation sequence of the naive loops (ascending input
+//! index, same `x == 0.0` skip), so every partition — and any
+//! `EI_THREADS` — is bitwise-identical to the serial reference.
 //!
-//! Small layers are not worth the fan-out: anything below
-//! [`PAR_MIN_MACS`] multiply–accumulates, and any layer on a serial pool
-//! (`EI_THREADS=1`), takes the plain serial path.
+//! Small layers are not worth the lowering or the fan-out: anything
+//! below [`PAR_MIN_MACS`] multiply–accumulates, and any layer on a
+//! serial pool (`EI_THREADS=1`), takes the plain serial reference path.
 
 use crate::layers::conv::{
-    conv1d_forward, conv1d_forward_steps, conv2d_forward, conv2d_forward_rows, depthwise_forward,
-    depthwise_forward_rows, depthwise_macs, Conv1dGeom, Conv2dGeom,
+    conv1d_forward, conv2d_forward, depthwise_forward, depthwise_forward_rows, depthwise_macs,
+    Conv1dGeom, Conv2dGeom,
 };
-use crate::layers::dense::{dense_forward, dense_forward_cols, dense_macs};
+use crate::layers::dense::{dense_forward, dense_macs};
+use crate::layers::im2col::{im2col_1d, im2col_2d};
 use ei_par::ParPool;
+use ei_tensor::gemm::{gemm_f32, gemm_f32_acc};
 
 /// Layers below this many multiply–accumulates run serially: the cost of
 /// queueing and waking workers would outweigh the arithmetic.
@@ -28,7 +35,53 @@ fn chunk_len(len: usize, pool: &ParPool) -> usize {
     len.div_ceil(pool.threads()).max(1)
 }
 
-/// [`dense_forward`] fanned out over `pool` by output-column chunks.
+/// Blocked GEMM fanned out over `pool`: row chunks for `m > 1`, column
+/// chunks for the matrix–vector case (`m == 1`).
+///
+/// `out` is `m × n`; rows start from `bias` (or zero). Below
+/// [`PAR_MIN_MACS`], or on a serial pool, runs the blocked kernel inline.
+/// Every partition is bitwise-identical to [`gemm_f32`] because each
+/// output element's accumulation order depends only on its own row.
+pub fn gemm_f32_auto(
+    pool: &ParPool,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let macs = (m as u64) * (k as u64) * (n as u64);
+    if pool.threads() == 1 || macs < PAR_MIN_MACS {
+        gemm_f32(m, k, n, a, b, bias, out);
+        return;
+    }
+    if m == 1 {
+        match bias {
+            Some(bv) => out.copy_from_slice(bv),
+            None => out.fill(0.0),
+        }
+        let chunk = chunk_len(n, pool);
+        pool.scope(|scope| {
+            for (c, slice) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || gemm_f32_acc(1, k, n, a, b, c * chunk, slice));
+            }
+        });
+        return;
+    }
+    let rows = chunk_len(m, pool);
+    pool.scope(|scope| {
+        for (c, slice) in out.chunks_mut(rows * n).enumerate() {
+            let r0 = c * rows;
+            let rm = slice.len() / n;
+            scope.spawn(move || gemm_f32(rm, k, n, &a[r0 * k..(r0 + rm) * k], b, bias, slice));
+        }
+    });
+}
+
+/// [`dense_forward`] lowered to a 1×`units` GEMM, column-partitioned
+/// over `pool`.
 pub fn dense_forward_auto(
     pool: &ParPool,
     input: &[f32],
@@ -39,17 +92,13 @@ pub fn dense_forward_auto(
     if pool.threads() == 1 || dense_macs(input.len(), units) < PAR_MIN_MACS {
         return dense_forward(input, weights, bias, units);
     }
-    let mut out = bias.to_vec();
-    let chunk = chunk_len(units, pool);
-    pool.scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || dense_forward_cols(input, weights, units, c * chunk, slice));
-        }
-    });
+    let mut out = vec![0.0f32; units];
+    gemm_f32_auto(pool, 1, input.len(), units, input, weights, Some(bias), &mut out);
     out
 }
 
-/// [`conv2d_forward`] fanned out over `pool` by output-row chunks.
+/// [`conv2d_forward`] lowered via im2col to an
+/// `(oh·ow) × (kh·kw·in_c) × out_c` GEMM, row-partitioned over `pool`.
 pub fn conv2d_forward_auto(
     pool: &ParPool,
     input: &[f32],
@@ -61,17 +110,21 @@ pub fn conv2d_forward_auto(
         return conv2d_forward(input, weights, bias, g);
     }
     let (oh, ow, _, _) = g.output();
-    let mut out = vec![0.0f32; oh * ow * g.out_c];
-    let rows = chunk_len(oh, pool);
-    pool.scope(|scope| {
-        for (c, slice) in out.chunks_mut(rows * ow * g.out_c).enumerate() {
-            scope.spawn(move || conv2d_forward_rows(input, weights, bias, g, c * rows, slice));
-        }
-    });
+    let m = oh * ow;
+    let window = g.kernel_h * g.kernel_w * g.in_c;
+    let patches = im2col_2d(input, g, 0.0f32);
+    let mut out = vec![0.0f32; m * g.out_c];
+    gemm_f32_auto(pool, m, window, g.out_c, &patches, weights, Some(bias), &mut out);
     out
 }
 
-/// [`depthwise_forward`] fanned out over `pool` by output-row chunks.
+/// [`depthwise_forward`] partitioned into bands of output rows, one pool
+/// task per band, each running the serial row kernel directly.
+///
+/// Depthwise windows are tiny (`kh·kw` taps per channel), so an im2col
+/// lowering would gather more bytes than the arithmetic it feeds; the
+/// direct kernel is already the fastest serial form and row bands make
+/// each output element's computation untouched — parity is structural.
 pub fn depthwise_forward_auto(
     pool: &ParPool,
     input: &[f32],
@@ -83,17 +136,19 @@ pub fn depthwise_forward_auto(
         return depthwise_forward(input, weights, bias, g);
     }
     let (oh, ow, _, _) = g.output();
-    let mut out = vec![0.0f32; oh * ow * g.in_c];
-    let rows = chunk_len(oh, pool);
+    let c = g.in_c;
+    let band = chunk_len(oh, pool);
+    let mut out = vec![0.0f32; oh * ow * c];
     pool.scope(|scope| {
-        for (c, slice) in out.chunks_mut(rows * ow * g.in_c).enumerate() {
-            scope.spawn(move || depthwise_forward_rows(input, weights, bias, g, c * rows, slice));
+        for (i, slice) in out.chunks_mut(band * ow * c).enumerate() {
+            scope.spawn(move || depthwise_forward_rows(input, weights, bias, g, i * band, slice));
         }
     });
     out
 }
 
-/// [`conv1d_forward`] fanned out over `pool` by output-step chunks.
+/// [`conv1d_forward`] lowered via im2col to an
+/// `ow × (kernel·in_c) × out_c` GEMM, row-partitioned over `pool`.
 pub fn conv1d_forward_auto(
     pool: &ParPool,
     input: &[f32],
@@ -105,13 +160,10 @@ pub fn conv1d_forward_auto(
         return conv1d_forward(input, weights, bias, g);
     }
     let (ow, _) = g.output();
+    let window = g.kernel * g.in_c;
+    let patches = im2col_1d(input, g, 0.0f32);
     let mut out = vec![0.0f32; ow * g.out_c];
-    let steps = chunk_len(ow, pool);
-    pool.scope(|scope| {
-        for (c, slice) in out.chunks_mut(steps * g.out_c).enumerate() {
-            scope.spawn(move || conv1d_forward_steps(input, weights, bias, g, c * steps, slice));
-        }
-    });
+    gemm_f32_auto(pool, ow, window, g.out_c, &patches, weights, Some(bias), &mut out);
     out
 }
 
@@ -208,6 +260,22 @@ mod tests {
         let pool = ParPool::new(Parallelism::new(4));
         let parallel = conv1d_forward_auto(&pool, &input, &weights, &bias, g);
         assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn gemm_auto_matches_serial_at_any_width() {
+        let (m, k, n) = (64, 48, 50);
+        let a = data(m * k);
+        let b = data(k * n);
+        let bias = data(n);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, Some(&bias), &mut serial);
+        for threads in [1usize, 4] {
+            let pool = ParPool::new(Parallelism::new(threads));
+            let mut parallel = vec![0.0f32; m * n];
+            gemm_f32_auto(&pool, m, k, n, &a, &b, Some(&bias), &mut parallel);
+            assert_eq!(bits(&serial), bits(&parallel), "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,22 +1,32 @@
 //! The typed API facade: every platform mutation flows through here, the
 //! in-process equivalent of the public REST API (paper §4.9).
+//!
+//! Endpoints take [`UserId`]/[`ProjectId`] newtypes rather than positional
+//! `u64`s — a swapped `(project, acting)` pair is now a compile error —
+//! and inference/estimation calls take one [`InferenceSpec`] instead of a
+//! growing list of engine/board/dtype/deadline arguments.
 
-use crate::entities::{Organization, Project, User};
+use crate::entities::{OrgId, Organization, Project, ProjectId, User, UserId};
 use crate::jobs::JobScheduler;
 use crate::{PlatformError, Result};
 use ei_core::impulse::ImpulseDesign;
 use ei_data::cbor::parse_cbor;
 use ei_data::ingest::{parse_csv, parse_json, parse_wav};
 use ei_data::netpbm::parse_netpbm_sample;
-use ei_data::{Sample, SensorKind};
+use ei_data::{Dataset, Sample, SensorKind};
 use ei_nn::spec::ModelSpec;
 use ei_nn::train::TrainConfig;
-use ei_serve::{InferenceRequest, ModelSource, Outcome, Rejected, Server, ServerConfig};
+use ei_serve::{
+    InferenceRequest, InferenceSpec, ModelSource, Outcome, Rejected, Server, ServerConfig,
+};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Mutable platform state behind the API.
+///
+/// Maps stay keyed by raw `u64` so exported JSON is byte-compatible with
+/// pre-newtype backups; the typed ids live at the API boundary.
 #[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
 struct State {
     users: BTreeMap<u64, User>,
@@ -76,10 +86,10 @@ impl Api {
     }
 
     /// Registers a user, returning the id.
-    pub fn create_user(&self, name: &str) -> u64 {
+    pub fn create_user(&self, name: &str) -> UserId {
         let mut s = self.state.write();
-        let id = s.fresh_id();
-        s.users.insert(id, User { id, name: name.to_string() });
+        let id = UserId(s.fresh_id());
+        s.users.insert(id.0, User { id, name: name.to_string() });
         id
     }
 
@@ -88,13 +98,13 @@ impl Api {
     /// # Errors
     ///
     /// Returns [`PlatformError::NotFound`] for an unknown founder.
-    pub fn create_organization(&self, name: &str, founder: u64) -> Result<u64> {
+    pub fn create_organization(&self, name: &str, founder: UserId) -> Result<OrgId> {
         let mut s = self.state.write();
-        if !s.users.contains_key(&founder) {
-            return Err(PlatformError::NotFound { kind: "user", id: founder });
+        if !s.users.contains_key(&founder.0) {
+            return Err(PlatformError::NotFound { kind: "user", id: founder.0 });
         }
-        let id = s.fresh_id();
-        s.orgs.insert(id, Organization { id, name: name.to_string(), members: vec![founder] });
+        let id = OrgId(s.fresh_id());
+        s.orgs.insert(id.0, Organization { id, name: name.to_string(), members: vec![founder] });
         Ok(id)
     }
 
@@ -103,13 +113,13 @@ impl Api {
     /// # Errors
     ///
     /// Returns [`PlatformError::NotFound`] for an unknown owner.
-    pub fn create_project(&self, name: &str, owner: u64) -> Result<u64> {
+    pub fn create_project(&self, name: &str, owner: UserId) -> Result<ProjectId> {
         let mut s = self.state.write();
-        if !s.users.contains_key(&owner) {
-            return Err(PlatformError::NotFound { kind: "user", id: owner });
+        if !s.users.contains_key(&owner.0) {
+            return Err(PlatformError::NotFound { kind: "user", id: owner.0 });
         }
-        let id = s.fresh_id();
-        s.projects.insert(id, Project::new(id, name, owner));
+        let id = ProjectId(s.fresh_id());
+        s.projects.insert(id.0, Project::new(id, name, owner));
         Ok(id)
     }
 
@@ -118,15 +128,20 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown entities or when `acting` is not the owner.
-    pub fn add_collaborator(&self, project: u64, acting: u64, collaborator: u64) -> Result<()> {
+    pub fn add_collaborator(
+        &self,
+        project: ProjectId,
+        acting: UserId,
+        collaborator: UserId,
+    ) -> Result<()> {
         let mut s = self.state.write();
-        if !s.users.contains_key(&collaborator) {
-            return Err(PlatformError::NotFound { kind: "user", id: collaborator });
+        if !s.users.contains_key(&collaborator.0) {
+            return Err(PlatformError::NotFound { kind: "user", id: collaborator.0 });
         }
         let p = s
             .projects
-            .get_mut(&project)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+            .get_mut(&project.0)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
         if p.owner != acting {
             return Err(PlatformError::AccessDenied("only the owner adds collaborators".into()));
         }
@@ -138,20 +153,24 @@ impl Api {
 
     /// Runs `f` with read access to a project, enforcing access control.
     ///
+    /// Crate-internal: external callers go through the typed queries
+    /// ([`Api::dataset`], [`Api::impulse`], [`Api::list_models`], …)
+    /// instead of reaching into [`Project`] directly.
+    ///
     /// # Errors
     ///
     /// Fails for unknown projects or denied access.
-    pub fn with_project<T>(
+    pub(crate) fn with_project<T>(
         &self,
-        project: u64,
-        acting: u64,
+        project: ProjectId,
+        acting: UserId,
         f: impl FnOnce(&Project) -> T,
     ) -> Result<T> {
         let s = self.state.read();
         let p = s
             .projects
-            .get(&project)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+            .get(&project.0)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
         if !p.can_access(acting) && !p.public {
             return Err(PlatformError::AccessDenied(format!("user {acting} on project {project}")));
         }
@@ -160,24 +179,44 @@ impl Api {
 
     /// Runs `f` with write access to a project, enforcing access control.
     ///
+    /// Crate-internal for the same reason as [`Api::with_project`].
+    ///
     /// # Errors
     ///
     /// Fails for unknown projects or denied access.
-    pub fn with_project_mut<T>(
+    pub(crate) fn with_project_mut<T>(
         &self,
-        project: u64,
-        acting: u64,
+        project: ProjectId,
+        acting: UserId,
         f: impl FnOnce(&mut Project) -> T,
     ) -> Result<T> {
         let mut s = self.state.write();
         let p = s
             .projects
-            .get_mut(&project)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+            .get_mut(&project.0)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
         if !p.can_access(acting) {
             return Err(PlatformError::AccessDenied(format!("user {acting} on project {project}")));
         }
         Ok(f(p))
+    }
+
+    /// Read-only snapshot of a project's dataset.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn dataset(&self, project: ProjectId, acting: UserId) -> Result<Dataset> {
+        self.with_project(project, acting, |p| p.dataset.clone())
+    }
+
+    /// The project's impulse design, if one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn impulse(&self, project: ProjectId, acting: UserId) -> Result<Option<ImpulseDesign>> {
+        self.with_project(project, acting, |p| p.impulse.clone())
     }
 
     /// Ingests one sample from a supported payload (the ingestion API).
@@ -190,8 +229,8 @@ impl Api {
     /// Fails on parse errors, unknown formats, or denied access.
     pub fn ingest(
         &self,
-        project: u64,
-        acting: u64,
+        project: ProjectId,
+        acting: UserId,
         format: &str,
         payload: &[u8],
         label: Option<&str>,
@@ -239,7 +278,13 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown projects or denied access.
-    pub fn upload_model(&self, project: u64, acting: u64, name: &str, json: String) -> Result<()> {
+    pub fn upload_model(
+        &self,
+        project: ProjectId,
+        acting: UserId,
+        name: &str,
+        json: String,
+    ) -> Result<()> {
         self.with_project_mut(project, acting, |p| {
             p.models.insert(name.to_string(), json);
         })
@@ -250,14 +295,15 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown projects/models or denied access.
-    pub fn download_model(&self, project: u64, acting: u64, name: &str) -> Result<String> {
+    pub fn download_model(&self, project: ProjectId, acting: UserId, name: &str) -> Result<String> {
         self.with_project(project, acting, |p| p.models.get(name).cloned())?
             .ok_or(PlatformError::NotFound { kind: "model", id: 0 })
     }
 
-    /// Classifies one raw window with a registry model, executing through
-    /// the serving layer (admission control, artifact cache,
-    /// micro-batching) with the project as the billed tenant.
+    /// Classifies one raw window with the registry model `spec` names,
+    /// executing through the serving layer (admission control, artifact
+    /// cache, micro-batching). Billed to `spec.tenant` when set, otherwise
+    /// to the project (`project-<id>`).
     ///
     /// # Errors
     ///
@@ -268,26 +314,19 @@ impl Api {
     /// [`PlatformError::JobFailed`] when the model cannot run.
     pub fn classify(
         &self,
-        project: u64,
-        acting: u64,
-        model_name: &str,
-        engine: ei_runtime::EngineKind,
-        quantized: bool,
+        project: ProjectId,
+        acting: UserId,
+        spec: &InferenceSpec,
         window: Vec<f32>,
     ) -> Result<ei_core::Classification> {
-        let json = self.download_model(project, acting, model_name)?;
+        let json = self.download_model(project, acting, spec.model.as_str())?;
         let server = self.serving();
-        let request = InferenceRequest {
-            tenant: format!("project-{project}"),
-            model: ModelSource::new(model_name, json),
-            // pure classification is board-agnostic; only estimates key
-            // the cache per board
-            board: String::new(),
-            engine,
-            quantized,
+        let request = InferenceRequest::from_spec(
+            spec,
+            ModelSource::new(spec.model.clone(), json),
             window,
-            deadline_ms: 0,
-        };
+            &format!("project-{project}"),
+        );
         let ticket = server.submit(request).map_err(rejection_to_error)?;
         let completion = server
             .resolve(ticket)
@@ -301,8 +340,9 @@ impl Api {
         }
     }
 
-    /// Estimates how a registry model runs on `board` (latency, memory,
-    /// fit), served through the artifact cache like inference.
+    /// Estimates how the registry model `spec` names runs on `spec.board`
+    /// (latency, memory, fit), served through the artifact cache like
+    /// inference.
     ///
     /// # Errors
     ///
@@ -310,20 +350,19 @@ impl Api {
     /// model that does not compile.
     pub fn estimate(
         &self,
-        project: u64,
-        acting: u64,
-        model_name: &str,
-        board: &str,
-        engine: ei_runtime::EngineKind,
-        quantized: bool,
+        project: ProjectId,
+        acting: UserId,
+        spec: &InferenceSpec,
     ) -> Result<ei_serve::Estimate> {
-        let json = self.download_model(project, acting, model_name)?;
-        let source = ModelSource::new(model_name, json);
-        self.serving().estimate(&source, board, engine, quantized).map_err(|e| match e {
-            ei_serve::ServeError::UnknownBoard(b) => {
-                PlatformError::BadRequest(format!("unknown board {b:?}"))
+        let json = self.download_model(project, acting, spec.model.as_str())?;
+        let source = ModelSource::new(spec.model.clone(), json);
+        self.serving().estimate(&source, &spec.board, spec.engine, spec.quantized).map_err(|e| {
+            match e {
+                ei_serve::ServeError::UnknownBoard(b) => {
+                    PlatformError::BadRequest(format!("unknown board {b:?}"))
+                }
+                ei_serve::ServeError::Model(msg) => PlatformError::JobFailed(msg),
             }
-            ei_serve::ServeError::Model(msg) => PlatformError::JobFailed(msg),
         })
     }
 
@@ -332,7 +371,7 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown projects or denied access.
-    pub fn list_models(&self, project: u64, acting: u64) -> Result<Vec<String>> {
+    pub fn list_models(&self, project: ProjectId, acting: UserId) -> Result<Vec<String>> {
         self.with_project(project, acting, |p| p.models.keys().cloned().collect())
     }
 
@@ -341,7 +380,12 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown projects or denied access.
-    pub fn set_impulse(&self, project: u64, acting: u64, impulse: ImpulseDesign) -> Result<()> {
+    pub fn set_impulse(
+        &self,
+        project: ProjectId,
+        acting: UserId,
+        impulse: ImpulseDesign,
+    ) -> Result<()> {
         self.with_project_mut(project, acting, |p| p.impulse = Some(impulse))
     }
 
@@ -350,7 +394,7 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown projects or denied access.
-    pub fn snapshot(&self, project: u64, acting: u64, description: &str) -> Result<u32> {
+    pub fn snapshot(&self, project: ProjectId, acting: UserId, description: &str) -> Result<u32> {
         self.with_project_mut(project, acting, |p| p.snapshot(description))
     }
 
@@ -359,12 +403,12 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown projects or when `acting` is not the owner.
-    pub fn make_public(&self, project: u64, acting: u64, tags: &[&str]) -> Result<()> {
+    pub fn make_public(&self, project: ProjectId, acting: UserId, tags: &[&str]) -> Result<()> {
         let mut s = self.state.write();
         let p = s
             .projects
-            .get_mut(&project)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project })?;
+            .get_mut(&project.0)
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
         if p.owner != acting {
             return Err(PlatformError::AccessDenied("only the owner publishes".into()));
         }
@@ -389,15 +433,15 @@ impl Api {
     pub fn submit_training(
         &self,
         scheduler: &JobScheduler,
-        project: u64,
-        acting: u64,
+        project: ProjectId,
+        acting: UserId,
         model_name: &str,
         spec: ModelSpec,
         config: TrainConfig,
     ) -> Result<u64> {
-        let dataset = self.with_project(project, acting, |p| p.dataset.clone())?;
+        let dataset = self.dataset(project, acting)?;
         let design = self
-            .with_project(project, acting, |p| p.impulse.clone())?
+            .impulse(project, acting)?
             .ok_or_else(|| PlatformError::BadRequest("project has no impulse".into()))?;
         let api = self.clone();
         let name = model_name.to_string();
@@ -410,7 +454,7 @@ impl Api {
     }
 
     /// Lists `(id, name, public)` of all projects a user can see.
-    pub fn list_projects(&self, acting: u64) -> Vec<(u64, String, bool)> {
+    pub fn list_projects(&self, acting: UserId) -> Vec<(ProjectId, String, bool)> {
         let s = self.state.read();
         s.projects
             .values()
@@ -469,7 +513,7 @@ mod tests {
         let alice = api.create_user("alice");
         let project = api.create_project("kws", alice).unwrap();
         assert_eq!(api.list_projects(alice), vec![(project, "kws".to_string(), false)]);
-        assert!(api.create_project("x", 999).is_err());
+        assert!(api.create_project("x", UserId(999)).is_err());
     }
 
     #[test]
@@ -505,10 +549,12 @@ mod tests {
         ]));
         api.ingest(p, u, "cbor", &cbor, Some("idle")).unwrap();
         api.ingest(p, u, "pgm", b"P5\n2 2\n255\nabcd", Some("img")).unwrap();
-        let (total, labels) =
-            api.with_project(p, u, |p| (p.dataset.len(), p.dataset.labels())).unwrap();
-        assert_eq!(total, 5);
-        assert_eq!(labels, vec!["idle".to_string(), "img".to_string(), "move".to_string()]);
+        let dataset = api.dataset(p, u).unwrap();
+        assert_eq!(dataset.len(), 5);
+        assert_eq!(
+            dataset.labels(),
+            vec!["idle".to_string(), "img".to_string(), "move".to_string()]
+        );
         assert!(api.ingest(p, u, "png", b"...", None).is_err());
         assert!(api.ingest(p, u, "csv", b"broken", None).is_err());
     }
@@ -522,7 +568,7 @@ mod tests {
         assert!(api.make_public(p, bob, &[]).is_err(), "non-owner cannot publish");
         api.make_public(p, alice, &["audio", "kws"]).unwrap();
         // public projects become readable (not writable) to everyone
-        assert!(api.with_project(p, bob, |_| ()).is_ok());
+        assert!(api.dataset(p, bob).is_ok());
         assert!(api.with_project_mut(p, bob, |_| ()).is_err());
         assert_eq!(api.public_projects().len(), 1);
         assert!(api.list_projects(bob).iter().any(|(id, _, public)| *id == p && *public));
@@ -632,6 +678,18 @@ mod tests {
         let q = restored.create_project("after-restore", u).unwrap();
         assert!(q > p);
         assert!(Api::import_json("garbage").is_err());
+    }
+
+    #[test]
+    fn typed_ids_refuse_unknown_entities() {
+        // the swapped-argument win is compile-time; unknown typed ids must
+        // still fail cleanly at runtime
+        let api = Api::new();
+        let u = api.create_user("u");
+        assert!(api.create_organization("lab", UserId(77)).is_err());
+        assert!(api.add_collaborator(ProjectId(5), u, u).is_err());
+        assert!(api.dataset(ProjectId(5), u).is_err());
+        assert!(api.impulse(ProjectId(5), u).is_err());
     }
 
     #[test]

@@ -1,15 +1,57 @@
 //! Platform entities: users, organizations, projects and versions.
+//!
+//! Identities are newtypes over `u64` ([`UserId`], [`ProjectId`],
+//! [`OrgId`]): every `Api` endpoint that used to take two or three
+//! positional `u64`s now refuses, at compile time, a swapped
+//! `(project, acting)` pair. They serialize transparently, so exported
+//! platform state is byte-compatible with the untyped format.
 
 use ei_core::impulse::ImpulseDesign;
 use ei_data::Dataset;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_newtype! {
+    /// Identity of a platform user.
+    UserId
+}
+id_newtype! {
+    /// Identity of a project.
+    ProjectId
+}
+id_newtype! {
+    /// Identity of an organization.
+    OrgId
+}
+
 /// A platform user.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct User {
     /// Unique id.
-    pub id: u64,
+    pub id: UserId,
     /// Display name.
     pub name: String,
 }
@@ -19,16 +61,16 @@ pub struct User {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Organization {
     /// Unique id.
-    pub id: u64,
+    pub id: OrgId,
     /// Organization name.
     pub name: String,
     /// Member user ids.
-    pub members: Vec<u64>,
+    pub members: Vec<UserId>,
 }
 
 impl Organization {
     /// `true` when the user belongs to the organization.
-    pub fn has_member(&self, user_id: u64) -> bool {
+    pub fn has_member(&self, user_id: UserId) -> bool {
         self.members.contains(&user_id)
     }
 }
@@ -50,13 +92,13 @@ pub struct ProjectVersion {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Project {
     /// Unique id.
-    pub id: u64,
+    pub id: ProjectId,
     /// Project name.
     pub name: String,
     /// Owning user.
-    pub owner: u64,
+    pub owner: UserId,
     /// Collaborator user ids (beyond the owner).
-    pub collaborators: Vec<u64>,
+    pub collaborators: Vec<UserId>,
     /// The project's dataset.
     pub dataset: Dataset,
     /// The impulse design, once configured.
@@ -74,7 +116,7 @@ pub struct Project {
 
 impl Project {
     /// Creates a fresh private project.
-    pub fn new(id: u64, name: &str, owner: u64) -> Project {
+    pub fn new(id: ProjectId, name: &str, owner: UserId) -> Project {
         Project {
             id,
             name: name.to_string(),
@@ -90,7 +132,7 @@ impl Project {
     }
 
     /// `true` when the user may read/write the project.
-    pub fn can_access(&self, user_id: u64) -> bool {
+    pub fn can_access(&self, user_id: UserId) -> bool {
         self.owner == user_id || self.collaborators.contains(&user_id)
     }
 
@@ -115,17 +157,17 @@ mod tests {
 
     #[test]
     fn access_control() {
-        let mut p = Project::new(1, "demo", 10);
-        assert!(p.can_access(10));
-        assert!(!p.can_access(11));
-        p.collaborators.push(11);
-        assert!(p.can_access(11));
-        assert!(!p.can_access(12));
+        let mut p = Project::new(ProjectId(1), "demo", UserId(10));
+        assert!(p.can_access(UserId(10)));
+        assert!(!p.can_access(UserId(11)));
+        p.collaborators.push(UserId(11));
+        assert!(p.can_access(UserId(11)));
+        assert!(!p.can_access(UserId(12)));
     }
 
     #[test]
     fn snapshots_capture_dataset_version() {
-        let mut p = Project::new(1, "demo", 10);
+        let mut p = Project::new(ProjectId(1), "demo", UserId(10));
         p.dataset.add(Sample::new(0, vec![1.0], SensorKind::Other).with_label("x"));
         let v1 = p.snapshot("initial data");
         p.dataset.add(Sample::new(0, vec![2.0], SensorKind::Other).with_label("y"));
@@ -137,8 +179,18 @@ mod tests {
 
     #[test]
     fn organization_membership() {
-        let org = Organization { id: 1, name: "lab".into(), members: vec![1, 2] };
-        assert!(org.has_member(1));
-        assert!(!org.has_member(3));
+        let org =
+            Organization { id: OrgId(1), name: "lab".into(), members: vec![UserId(1), UserId(2)] };
+        assert!(org.has_member(UserId(1)));
+        assert!(!org.has_member(UserId(3)));
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        // typed ids must keep exported JSON byte-compatible with raw u64s
+        assert_eq!(serde_json::to_string(&ProjectId(7)).unwrap(), "7");
+        let u: UserId = serde_json::from_str("42").unwrap();
+        assert_eq!(u, UserId(42));
+        assert_eq!(format!("project-{}", ProjectId(3)), "project-3");
     }
 }

@@ -30,9 +30,11 @@ pub mod jobs;
 pub mod registry;
 
 pub use api::Api;
-pub use entities::{Organization, Project, ProjectVersion, User};
+pub use entities::{OrgId, Organization, Project, ProjectId, ProjectVersion, User, UserId};
 pub use error::PlatformError;
 pub use jobs::{DeadLetter, JobContext, JobScheduler, JobStatus};
+
+pub use ei_serve::{InferenceSpec, ModelName};
 
 pub use ei_faults::{AttemptRecord, CancelToken, FailureCause, RetryPolicy};
 

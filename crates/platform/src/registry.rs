@@ -2,13 +2,13 @@
 //! allows developers to sort, filter, and search for relevant examples and
 //! public work").
 
-use crate::entities::Project;
+use crate::entities::{Project, ProjectId, UserId};
 
 /// A search hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegistryEntry {
     /// Project id.
-    pub id: u64,
+    pub id: ProjectId,
     /// Project name.
     pub name: String,
     /// Tags.
@@ -44,7 +44,7 @@ pub fn search(projects: &[Project], query: &str) -> Vec<RegistryEntry> {
 
 /// Clones a public project into a new private copy for `new_owner` — the
 /// "review and clone" sharing flow.
-pub fn clone_project(source: &Project, new_id: u64, new_owner: u64) -> Option<Project> {
+pub fn clone_project(source: &Project, new_id: ProjectId, new_owner: UserId) -> Option<Project> {
     if !source.public {
         return None;
     }
@@ -63,7 +63,7 @@ mod tests {
     use ei_data::{Sample, SensorKind};
 
     fn public_project(id: u64, name: &str, tags: &[&str], samples: usize) -> Project {
-        let mut p = Project::new(id, name, 1);
+        let mut p = Project::new(ProjectId(id), name, UserId(1));
         p.public = true;
         p.tags = tags.iter().map(|t| t.to_string()).collect();
         for _ in 0..samples {
@@ -81,7 +81,7 @@ mod tests {
         ];
         let audio = search(&projects, "audio");
         assert_eq!(audio.len(), 2);
-        assert_eq!(audio[0].id, 2, "sorted by dataset size descending");
+        assert_eq!(audio[0].id, ProjectId(2), "sorted by dataset size descending");
         let vision = search(&projects, "PLANT");
         assert_eq!(vision.len(), 1);
         assert_eq!(search(&projects, "").len(), 3);
@@ -98,15 +98,15 @@ mod tests {
     #[test]
     fn cloning_resets_ownership() {
         let source = public_project(1, "shared", &["demo"], 4);
-        let cloned = clone_project(&source, 99, 42).unwrap();
-        assert_eq!(cloned.id, 99);
-        assert_eq!(cloned.owner, 42);
+        let cloned = clone_project(&source, ProjectId(99), UserId(42)).unwrap();
+        assert_eq!(cloned.id, ProjectId(99));
+        assert_eq!(cloned.owner, UserId(42));
         assert!(!cloned.public);
         assert!(cloned.versions.is_empty());
         assert_eq!(cloned.dataset.len(), 4, "data comes along");
         // private projects cannot be cloned
         let mut private = source;
         private.public = false;
-        assert!(clone_project(&private, 100, 42).is_none());
+        assert!(clone_project(&private, ProjectId(100), UserId(42)).is_none());
     }
 }

@@ -11,8 +11,10 @@ use crate::fusion::fold_batch_norm;
 use crate::qparams::{ChannelQuant, FixedMultiplier, QuantParams};
 use crate::{QuantError, Result};
 use ei_nn::layers::conv::{Conv1dGeom, Conv2dGeom};
+use ei_nn::layers::im2col::{depthwise_weight_col, im2col_1d, im2col_2d, im2col_dw_channel};
 use ei_nn::spec::{Activation, Dims, LayerSpec};
 use ei_nn::Sequential;
+use ei_tensor::gemm::gemm_i8_fused;
 
 /// One quantized layer.
 #[derive(Debug, Clone)]
@@ -288,14 +290,18 @@ fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
             let b = layer.bias.as_ref().expect("dense has bias");
             let mults = layer.multipliers.as_ref().expect("dense has multipliers");
             let in_zp = layer.in_q.zero_point;
-            let mut out = Vec::with_capacity(*units);
-            for j in 0..*units {
-                let mut acc = b[j];
-                for (i, &x) in input.iter().enumerate() {
-                    acc += (x as i32 - in_zp) * w[i * units + j] as i32;
-                }
-                out.push(finish(acc, j, mults, layer, act, float_act));
-            }
+            let mut out = vec![0i8; *units];
+            gemm_i8_fused(
+                1,
+                input.len(),
+                *units,
+                input,
+                in_zp,
+                w,
+                b,
+                |j, acc| finish(acc, j, mults, layer, act, float_act),
+                &mut out,
+            );
             Ok(out)
         }
         LayerSpec::Conv1d { filters, kernel, stride, padding, .. } => {
@@ -307,30 +313,26 @@ fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
                 stride: *stride,
                 padding: *padding,
             };
-            let (ow, pad) = g.output();
+            let (ow, _) = g.output();
             let w = layer.weights.as_ref().expect("conv1d has weights");
             let b = layer.bias.as_ref().expect("conv1d has bias");
             let mults = layer.multipliers.as_ref().expect("conv1d has multipliers");
             let in_zp = layer.in_q.zero_point;
-            let mut out = Vec::with_capacity(ow * g.out_c);
-            for ox in 0..ow {
-                for co in 0..g.out_c {
-                    let mut acc = b[co];
-                    for k in 0..*kernel {
-                        let ix = (ox * stride + k) as isize - pad as isize;
-                        if ix < 0 || ix as usize >= g.in_w {
-                            continue;
-                        }
-                        let in_base = (ix as usize) * g.in_c;
-                        let w_base = k * g.in_c * g.out_c;
-                        for ci in 0..g.in_c {
-                            acc += (input[in_base + ci] as i32 - in_zp)
-                                * w[w_base + ci * g.out_c + co] as i32;
-                        }
-                    }
-                    out.push(finish(acc, co, mults, layer, act, float_act));
-                }
-            }
+            // padding taps hold the zero-point code, so `(x - zp) * w == 0`
+            // exactly where the naive kernel's bounds check skipped
+            let patches = im2col_1d(input, g, in_zp as i8);
+            let mut out = vec![0i8; ow * g.out_c];
+            gemm_i8_fused(
+                ow,
+                g.kernel * g.in_c,
+                g.out_c,
+                &patches,
+                in_zp,
+                w,
+                b,
+                |co, acc| finish(acc, co, mults, layer, act, float_act),
+                &mut out,
+            );
             Ok(out)
         }
         LayerSpec::Conv2d { filters, kernel, stride, padding, .. } => {
@@ -406,7 +408,9 @@ fn run_qlayer(layer: &QLayer, input: &[i8]) -> Result<Vec<i8>> {
     }
 }
 
-/// Shared conv2d / depthwise integer kernel.
+/// Shared conv2d / depthwise integer kernel: im2col followed by the fused
+/// GEMM, whose epilogue requantizes (and clamps ReLU bounds) straight out
+/// of the register accumulators.
 fn run_conv2d_like(
     layer: &QLayer,
     input: &[i8],
@@ -415,42 +419,50 @@ fn run_conv2d_like(
     float_act: bool,
     depthwise: bool,
 ) -> Result<Vec<i8>> {
-    let (oh, ow, py, px) = g.output();
+    let (oh, ow, _, _) = g.output();
     let w = layer.weights.as_ref().expect("conv has weights");
     let b = layer.bias.as_ref().expect("conv has bias");
     let mults = layer.multipliers.as_ref().expect("conv has multipliers");
     let in_zp = layer.in_q.zero_point;
-    let mut out = Vec::with_capacity(oh * ow * g.out_c);
-    for oy in 0..oh {
-        for ox in 0..ow {
-            for co in 0..g.out_c {
-                let mut acc = b[co];
-                for ky in 0..g.kernel_h {
-                    let iy = (oy * g.stride + ky) as isize - py as isize;
-                    if iy < 0 || iy as usize >= g.in_h {
-                        continue;
-                    }
-                    for kx in 0..g.kernel_w {
-                        let ix = (ox * g.stride + kx) as isize - px as isize;
-                        if ix < 0 || ix as usize >= g.in_w {
-                            continue;
-                        }
-                        let in_base = ((iy as usize) * g.in_w + ix as usize) * g.in_c;
-                        if depthwise {
-                            let w_idx = (ky * g.kernel_w + kx) * g.in_c + co;
-                            acc += (input[in_base + co] as i32 - in_zp) * w[w_idx] as i32;
-                        } else {
-                            let w_base = (ky * g.kernel_w + kx) * g.in_c * g.out_c;
-                            for ci in 0..g.in_c {
-                                acc += (input[in_base + ci] as i32 - in_zp)
-                                    * w[w_base + ci * g.out_c + co] as i32;
-                            }
-                        }
-                    }
-                }
-                out.push(finish(acc, co, mults, layer, act, float_act));
+    let m = oh * ow;
+    let mut out = vec![0i8; m * g.out_c];
+    if depthwise {
+        // one single-channel GEMV per channel, written back interleaved;
+        // weights are stored `(kh, kw, c)` so each channel's column is a
+        // stride-`c` gather
+        let window = g.kernel_h * g.kernel_w;
+        let mut col = vec![0i8; m];
+        for ch in 0..g.in_c {
+            let patches = im2col_dw_channel(input, g, ch, in_zp as i8);
+            let w_ch = depthwise_weight_col(w, g, ch);
+            gemm_i8_fused(
+                m,
+                window,
+                1,
+                &patches,
+                in_zp,
+                &w_ch,
+                &b[ch..ch + 1],
+                |_, acc| finish(acc, ch, mults, layer, act, float_act),
+                &mut col,
+            );
+            for (pix, &v) in col.iter().enumerate() {
+                out[pix * g.in_c + ch] = v;
             }
         }
+    } else {
+        let patches = im2col_2d(input, g, in_zp as i8);
+        gemm_i8_fused(
+            m,
+            g.kernel_h * g.kernel_w * g.in_c,
+            g.out_c,
+            &patches,
+            in_zp,
+            w,
+            b,
+            |co, acc| finish(acc, co, mults, layer, act, float_act),
+            &mut out,
+        );
     }
     Ok(out)
 }

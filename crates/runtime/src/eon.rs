@@ -1,5 +1,11 @@
 //! EON-style compiled executor: static dispatch, no interpreter, no
 //! serialized schema, dead-kernel elimination.
+//!
+//! Arithmetic is shared with the TFLM-style interpreter: both run the
+//! model through the kernel layer — im2col + cache-blocked GEMM for float
+//! layers (`ei_nn::par`), fused requantizing int8 GEMM for quantized
+//! layers (`ei_quant`) — so engine choice changes dispatch overhead and
+//! memory shape, never the numerics.
 
 use crate::costs;
 use crate::engine::{op_profiles, EngineKind, InferenceEngine, MemoryReport, OpProfile};

@@ -1,5 +1,11 @@
 //! TFLite-Micro-style interpreter: op registry, dynamic dispatch, and the
 //! RAM/flash overheads that come with interpreting a serialized graph.
+//!
+//! Arithmetic is shared with the EON executor: both run the model through
+//! the kernel layer — im2col + cache-blocked GEMM for float layers
+//! (`ei_nn::par`), fused requantizing int8 GEMM for quantized layers
+//! (`ei_quant`) — so engine choice changes dispatch overhead and memory
+//! shape, never the numerics.
 
 use std::collections::BTreeSet;
 

@@ -35,7 +35,9 @@ pub mod server;
 pub use cache::{content_hash, ArtifactKey, CacheStats, CompiledArtifact, CompiledArtifactCache};
 pub use error::ServeError;
 pub use quota::TokenBucket;
-pub use request::{Completion, InferenceRequest, ModelSource, Outcome, Rejected};
+pub use request::{
+    Completion, InferenceRequest, InferenceSpec, ModelName, ModelSource, Outcome, Rejected,
+};
 pub use server::{Estimate, Server, ServerConfig};
 
 /// Crate-wide result alias.

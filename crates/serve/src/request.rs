@@ -5,6 +5,39 @@ use ei_core::Classification;
 use ei_runtime::EngineKind;
 use std::sync::Arc;
 
+/// Name of a model in a project's registry.
+///
+/// A newtype rather than a bare `&str` so the platform and serving layers
+/// share one spelling of "which model" across upload, download, classify
+/// and estimate calls.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelName(pub String);
+
+impl ModelName {
+    /// The raw registry key.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ModelName {
+    fn from(name: &str) -> Self {
+        ModelName(name.to_string())
+    }
+}
+
+impl From<String> for ModelName {
+    fn from(name: String) -> Self {
+        ModelName(name)
+    }
+}
+
+impl std::fmt::Display for ModelName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
 /// A model as the registry stores it: name plus opaque JSON bytes.
 ///
 /// The content hash is computed once at construction; requests carrying
@@ -14,7 +47,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct ModelSource {
     /// Registry name (display only — never part of the cache key).
-    pub name: String,
+    pub name: ModelName,
     /// The model's registry JSON, shared without copying.
     pub json: Arc<String>,
     /// [`content_hash`] of `json`.
@@ -23,9 +56,91 @@ pub struct ModelSource {
 
 impl ModelSource {
     /// Wraps registry bytes, stamping their content hash.
-    pub fn new(name: &str, json: String) -> ModelSource {
+    pub fn new(name: impl Into<ModelName>, json: String) -> ModelSource {
         let content_hash = content_hash(&json);
-        ModelSource { name: name.to_string(), json: Arc::new(json), content_hash }
+        ModelSource { name: name.into(), json: Arc::new(json), content_hash }
+    }
+}
+
+/// *How* to run an inference, minus the input window and the resolved
+/// model bytes: model name, board, engine, dtype, deadline, and an
+/// optional tenant override.
+///
+/// One spec type is shared by `ei_platform::Api::classify`/`estimate` and
+/// the serving layer, replacing the positional argument lists that used
+/// to grow with every new knob. Build with [`InferenceSpec::new`] and
+/// chain the setters:
+///
+/// ```
+/// use ei_runtime::EngineKind;
+/// use ei_serve::InferenceSpec;
+///
+/// let spec = InferenceSpec::new("kws-v1", EngineKind::EonCompiled)
+///     .on_board("nano 33")
+///     .quantized(true)
+///     .deadline_ms(40);
+/// assert_eq!(spec.model.as_str(), "kws-v1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferenceSpec {
+    /// Registry name of the model to run.
+    pub model: ModelName,
+    /// Deployment board context (part of the artifact identity; empty
+    /// means "no board context").
+    pub board: String,
+    /// Execution engine.
+    pub engine: EngineKind,
+    /// `true` to run the int8 artifact.
+    pub quantized: bool,
+    /// Completion deadline, logical milliseconds from admission; `0`
+    /// selects the server's default.
+    pub deadline_ms: u64,
+    /// Tenant override; `None` lets the caller (e.g. the platform API)
+    /// derive one.
+    pub tenant: Option<String>,
+}
+
+impl InferenceSpec {
+    /// A float-path spec with no board context, default deadline, and a
+    /// caller-derived tenant.
+    pub fn new(model: impl Into<ModelName>, engine: EngineKind) -> InferenceSpec {
+        InferenceSpec {
+            model: model.into(),
+            board: String::new(),
+            engine,
+            quantized: false,
+            deadline_ms: 0,
+            tenant: None,
+        }
+    }
+
+    /// Sets the deployment board the artifact is compiled against.
+    #[must_use]
+    pub fn on_board(mut self, board: &str) -> InferenceSpec {
+        self.board = board.to_string();
+        self
+    }
+
+    /// Selects the int8 (`true`) or float (`false`) artifact.
+    #[must_use]
+    pub fn quantized(mut self, quantized: bool) -> InferenceSpec {
+        self.quantized = quantized;
+        self
+    }
+
+    /// Sets the completion deadline in logical milliseconds (`0` = server
+    /// default).
+    #[must_use]
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> InferenceSpec {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Attributes the request to an explicit tenant.
+    #[must_use]
+    pub fn tenant(mut self, tenant: &str) -> InferenceSpec {
+        self.tenant = Some(tenant.to_string());
+        self
     }
 }
 
@@ -50,6 +165,25 @@ pub struct InferenceRequest {
 }
 
 impl InferenceRequest {
+    /// Binds a spec to resolved model bytes, an input window, and the
+    /// tenant to bill when the spec doesn't name one.
+    pub fn from_spec(
+        spec: &InferenceSpec,
+        model: ModelSource,
+        window: Vec<f32>,
+        default_tenant: &str,
+    ) -> InferenceRequest {
+        InferenceRequest {
+            tenant: spec.tenant.clone().unwrap_or_else(|| default_tenant.to_string()),
+            model,
+            board: spec.board.clone(),
+            engine: spec.engine,
+            quantized: spec.quantized,
+            window,
+            deadline_ms: spec.deadline_ms,
+        }
+    }
+
     /// The cache identity this request resolves to.
     pub fn artifact_key(&self) -> ArtifactKey {
         ArtifactKey {
@@ -139,6 +273,29 @@ mod tests {
         let c = ModelSource::new("kws", "{\"v\":2}".into());
         assert_eq!(a.content_hash, b.content_hash, "names never enter the hash");
         assert_ne!(a.content_hash, c.content_hash, "content changes change the key");
+    }
+
+    #[test]
+    fn spec_builder_binds_into_a_request() {
+        let spec = InferenceSpec::new("kws-v1", EngineKind::EonCompiled)
+            .on_board("nano 33")
+            .quantized(true)
+            .deadline_ms(25);
+        let req = InferenceRequest::from_spec(
+            &spec,
+            ModelSource::new(spec.model.clone(), "{}".into()),
+            vec![0.5],
+            "project-3",
+        );
+        assert_eq!(req.tenant, "project-3", "unset tenant falls back to the caller's default");
+        assert_eq!((req.board.as_str(), req.quantized, req.deadline_ms), ("nano 33", true, 25));
+        let billed = InferenceRequest::from_spec(
+            &spec.clone().tenant("acme"),
+            ModelSource::new("kws-v1", "{}".into()),
+            vec![],
+            "project-3",
+        );
+        assert_eq!(billed.tenant, "acme", "explicit tenant wins");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod arena;
 pub mod error;
+pub mod gemm;
 pub mod init;
 pub mod ops;
 pub mod shape;

@@ -1,8 +1,9 @@
 //! Small dense-math helpers shared across the workspace.
 //!
-//! These are reference (scalar) kernels; the quantized integer kernels live
-//! in `ei-quant`, and the cost of running either on a device is modeled in
-//! `ei-device`.
+//! [`matmul`] executes through the cache-blocked kernel in [`crate::gemm`]
+//! (bitwise-identical to the naive oracle in `gemm::reference`); the
+//! quantized integer kernels live in `ei-quant`, and the cost of running
+//! either on a device is modeled in `ei-device`.
 
 use crate::{Result, Shape, Tensor, TensorError};
 
@@ -36,19 +37,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let av = a.as_f32()?;
     let bv = b.as_f32()?;
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let aik = av[i * k + p];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += aik * brow[j];
-            }
-        }
-    }
+    crate::gemm::gemm_f32(m, k, n, av, bv, None, &mut out);
     Tensor::from_f32(Shape::d2(m, n), out)
 }
 

@@ -77,8 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_tracer(tracer.clone());
     let flow = runner.run(vec![
         FlowStage::required("dataset-audit", |_| {
-            let stats =
-                api.with_project(project, bob, |p| p.dataset.stats()).map_err(|e| e.to_string())?;
+            let stats = api.dataset(project, bob).map(|d| d.stats()).map_err(|e| e.to_string())?;
             if stats.total == 0 {
                 return Err("empty dataset".into());
             }
@@ -115,7 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- training as a scheduled, traced job --------------------------------
     let scheduler = JobScheduler::with_clock_and_tracer(2, VirtualClock::shared(), tracer.clone());
-    let dataset = api.with_project(project, alice, |p| p.dataset.clone())?;
+    let dataset = api.dataset(project, alice)?;
     let spec = presets::dense_mlp(design.feature_dims()?, 2, 32);
     let job_design = design.clone();
     let job_tracer = tracer.clone();
@@ -134,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("public registry search 'keyword': {} hit(s): {}", hits.len(), hits[0].name);
 
     // --- per-layer profile on the three paper boards ------------------------
-    let dataset = api.with_project(project, alice, |p| p.dataset.clone())?;
+    let dataset = api.dataset(project, alice)?;
     let trained = design.train(
         &presets::dense_mlp(design.feature_dims()?, 2, 32),
         &dataset,

@@ -19,6 +19,10 @@ echo "==> serving integration suite (EI_THREADS=1 and 4)"
 EI_THREADS=1 cargo test -q --test serving
 EI_THREADS=4 cargo test -q --test serving
 
+echo "==> kernel parity suite (EI_THREADS=1 and 4)"
+EI_THREADS=1 cargo test -q --test kernel_parity
+EI_THREADS=4 cargo test -q --test kernel_parity
+
 echo "==> cargo test --doc"
 cargo test --doc
 
@@ -36,6 +40,35 @@ if compgen -G "results/*.json" > /dev/null; then
   done
 else
   echo "  (no results/*.json yet — run the bench binaries to generate them)"
+fi
+
+echo "==> results/kernels.json kernels are bitwise-equal and ≥2x on dense"
+if [ -f results/kernels.json ]; then
+  for marker in \
+    '"shape":"dense_mlp","kernel":"blocked"' \
+    '"shape":"dense_mlp_int8","kernel":"blocked_fused"' \
+    '"shape":"kws_conv","kernel":"blocked_par"' \
+    '"shape":"vision_depthwise","kernel":"blocked_par"'; do
+    if ! grep -qF -- "$marker" results/kernels.json; then
+      echo "MISSING from results/kernels.json: $marker" >&2
+      exit 1
+    fi
+  done
+  if grep -qF -- '"bitwise_equal":false' results/kernels.json; then
+    echo "a kernel variant diverged from the naive reference" >&2
+    exit 1
+  fi
+  awk -F'"speedup_vs_naive":' '
+    /"shape":"dense_mlp","kernel":"blocked"/ {
+      split($2, a, ","); if (a[1] + 0 < 2.0) { bad = 1 }
+    }
+    END { exit bad }' results/kernels.json || {
+      echo "dense_mlp blocked speedup dropped below 2x" >&2
+      exit 1
+    }
+  echo "  ok results/kernels.json"
+else
+  echo "  (no results/kernels.json yet — run scripts/kernels_demo.sh)"
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the kernel-layer bench (naive reference vs blocked/fused kernels
+# over the MLP-dense, KWS-conv and vision-depthwise shape classes) and
+# sanity-checks the JSONL rows it writes: every shape/kernel pair is
+# present, every row reports bitwise_equal:true, and the bench's own ≥2×
+# speedup assert ran (the bin exits non-zero if the blocked kernel ever
+# regresses below 2× naive on the large-GEMM shape).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin kernels"
+EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin kernels
+
+echo "==> checking results/kernels.json"
+out=results/kernels.json
+for marker in \
+  '"shape":"dense_mlp","kernel":"naive"' \
+  '"shape":"dense_mlp","kernel":"blocked"' \
+  '"shape":"dense_mlp","kernel":"blocked_par"' \
+  '"shape":"dense_mlp_int8","kernel":"blocked_fused"' \
+  '"shape":"kws_conv","kernel":"blocked_par"' \
+  '"shape":"vision_depthwise","kernel":"blocked_par"'; do
+  if ! grep -qF -- "$marker" "$out"; then
+    echo "MISSING from $out: $marker" >&2
+    exit 1
+  fi
+  echo "  found $marker"
+done
+if grep -qF -- '"bitwise_equal":false' "$out"; then
+  echo "a kernel variant diverged from the naive reference" >&2
+  exit 1
+fi
+
+echo "==> kernels demo passed"

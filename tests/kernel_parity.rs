@@ -1,0 +1,189 @@
+//! Kernel parity integration: the blocked/fused kernels must be
+//! *bitwise*-identical to the naive reference loops — not approximately
+//! equal — over awkward shapes, both dtypes, and every pool width.
+//!
+//! That identity is the contract that lets one set of blocked kernels
+//! back both the TFLM-style interpreter and the EON executor (and lets
+//! `EI_THREADS` stay a pure wall-clock knob): if the bits ever diverged,
+//! engine-parity and determinism guarantees elsewhere in the test suite
+//! would silently weaken. Shapes here are deliberately odd — prime dims,
+//! partial register tiles, K panels straddling the `KC` boundary, `Same`
+//! padding with asymmetric overhang — because that is where tiled
+//! kernels break first.
+
+use edgelab::nn::layers::conv::{
+    conv1d_forward, conv2d_forward, depthwise_forward, Conv1dGeom, Conv2dGeom,
+};
+use edgelab::nn::layers::dense::dense_forward;
+use edgelab::nn::par::{
+    conv1d_forward_auto, conv2d_forward_auto, dense_forward_auto, depthwise_forward_auto,
+    gemm_f32_auto,
+};
+use edgelab::nn::spec::Padding;
+use edgelab::par::{ParPool, Parallelism};
+use edgelab::tensor::gemm::{gemm_f32, gemm_i8_fused, reference, KC, MR, NR};
+
+/// Deterministic f32 data mixing zeros, negative zeros and sign flips so
+/// the kernels' `x == 0.0` skip is exercised, not just dense arithmetic.
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+            match h % 11 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => ((h % 113) as f32 - 56.0) * 0.017,
+            }
+        })
+        .collect()
+}
+
+fn data_i8(n: usize, seed: u64) -> Vec<i8> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+            (h >> 32) as i8
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The pool widths every parity check runs at: serial, a fixed width the
+/// CI matrix always covers, and whatever `EI_THREADS` says right now.
+fn pools() -> Vec<ParPool> {
+    vec![
+        ParPool::new(Parallelism::serial()),
+        ParPool::new(Parallelism::new(4)),
+        ParPool::new(Parallelism::from_env()),
+    ]
+}
+
+#[test]
+fn blocked_gemm_matches_reference_on_odd_shapes() {
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (1, 257, 19),
+        (2, 31, NR - 1),
+        (MR - 1, 64, NR + 1),
+        (MR + 1, KC - 1, 2 * NR + 3),
+        (13, KC + 7, 29),
+        (37, 2 * KC + 5, 17),
+        (64, 100, 1),
+    ] {
+        let a = data(m * k, 7);
+        let b = data(k * n, 8);
+        let bias = data(n, 9);
+        let mut want = vec![0.0f32; m * n];
+        reference::matmul_f32(m, k, n, &a, &b, Some(&bias), &mut want);
+        let mut got = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, Some(&bias), &mut got);
+        assert_eq!(bits(&want), bits(&got), "serial blocked, shape ({m},{k},{n})");
+        for pool in pools() {
+            let mut auto = vec![0.0f32; m * n];
+            gemm_f32_auto(&pool, m, k, n, &a, &b, Some(&bias), &mut auto);
+            assert_eq!(
+                bits(&want),
+                bits(&auto),
+                "auto at {} threads, shape ({m},{k},{n})",
+                pool.threads()
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_int8_gemm_matches_two_pass_reference() {
+    for &(m, k, n) in &[(1, 9, 5), (3, 64, 7), (MR + 2, KC + 3, NR + 5), (33, 127, 31)] {
+        let a = data_i8(m * k, 3);
+        let b = data_i8(k * n, 4);
+        let bias: Vec<i32> = (0..n as i32).map(|j| j * 31 - 400).collect();
+        let a_zp = -7;
+        let epi = |j: usize, acc: i32| {
+            let scaled = ((acc as i64 * (1_100_000_000 + j as i64)) >> 38) as i32;
+            scaled.clamp(-128, 127) as i8
+        };
+        let want: Vec<i8> = reference::matmul_i8(m, k, n, &a, a_zp, &b, &bias)
+            .iter()
+            .enumerate()
+            .map(|(i, &acc)| epi(i % n, acc))
+            .collect();
+        let mut got = vec![0i8; m * n];
+        gemm_i8_fused(m, k, n, &a, a_zp, &b, &bias, epi, &mut got);
+        assert_eq!(want, got, "shape ({m},{k},{n})");
+    }
+}
+
+#[test]
+fn conv2d_lowering_is_bitwise_identical_across_pool_widths() {
+    for padding in [Padding::Same, Padding::Valid] {
+        // 19x11 with stride 2 gives asymmetric Same-padding overhang.
+        let g = Conv2dGeom {
+            in_h: 19,
+            in_w: 11,
+            in_c: 13,
+            out_c: 17,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            padding,
+        };
+        let input = data(g.in_h * g.in_w * g.in_c, 21);
+        let weights = data(g.kernel_h * g.kernel_w * g.in_c * g.out_c, 22);
+        let bias = data(g.out_c, 23);
+        let want = conv2d_forward(&input, &weights, &bias, g);
+        for pool in pools() {
+            let got = conv2d_forward_auto(&pool, &input, &weights, &bias, g);
+            assert_eq!(bits(&want), bits(&got), "{padding:?} at {} threads", pool.threads());
+        }
+    }
+}
+
+#[test]
+fn depthwise_bands_are_bitwise_identical_across_pool_widths() {
+    for padding in [Padding::Same, Padding::Valid] {
+        let g = Conv2dGeom {
+            in_h: 41,
+            in_w: 23,
+            in_c: 19,
+            out_c: 19,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding,
+        };
+        let input = data(g.in_h * g.in_w * g.in_c, 31);
+        let weights = data(g.kernel_h * g.kernel_w * g.in_c, 32);
+        let bias = data(g.in_c, 33);
+        let want = depthwise_forward(&input, &weights, &bias, g);
+        for pool in pools() {
+            let got = depthwise_forward_auto(&pool, &input, &weights, &bias, g);
+            assert_eq!(bits(&want), bits(&got), "{padding:?} at {} threads", pool.threads());
+        }
+    }
+}
+
+#[test]
+fn conv1d_and_dense_lowerings_are_bitwise_identical() {
+    let g =
+        Conv1dGeom { in_w: 199, in_c: 23, out_c: 29, kernel: 5, stride: 2, padding: Padding::Same };
+    let input = data(g.in_w * g.in_c, 41);
+    let weights = data(g.kernel * g.in_c * g.out_c, 42);
+    let bias = data(g.out_c, 43);
+    let want = conv1d_forward(&input, &weights, &bias, g);
+
+    let (inputs, units) = (601, 251);
+    let d_in = data(inputs, 44);
+    let d_w = data(inputs * units, 45);
+    let d_b = data(units, 46);
+    let d_want = dense_forward(&d_in, &d_w, &d_b, units);
+
+    for pool in pools() {
+        let got = conv1d_forward_auto(&pool, &input, &weights, &bias, g);
+        assert_eq!(bits(&want), bits(&got), "conv1d at {} threads", pool.threads());
+        let d_got = dense_forward_auto(&pool, &d_in, &d_w, &d_b, units);
+        assert_eq!(bits(&d_want), bits(&d_got), "dense at {} threads", pool.threads());
+    }
+}

@@ -7,7 +7,7 @@ use edgelab::data::synth::KwsGenerator;
 use edgelab::dsp::{DspConfig, MfccConfig};
 use edgelab::nn::{presets, train::TrainConfig};
 use edgelab::platform::registry::{clone_project, search};
-use edgelab::platform::{Api, JobScheduler};
+use edgelab::platform::{Api, JobScheduler, ProjectId};
 
 fn generator() -> KwsGenerator {
     KwsGenerator {
@@ -51,7 +51,7 @@ fn collaborative_project_lifecycle() {
             api.ingest(project, actor, "wav", &wav, Some(label)).unwrap();
         }
     }
-    let stats = api.with_project(project, bob, |p| p.dataset.stats()).unwrap();
+    let stats = api.dataset(project, bob).unwrap().stats();
     assert_eq!(stats.total, 24);
     assert_eq!(stats.per_class.len(), 2);
     assert!(stats.training > 0 && stats.testing > 0);
@@ -63,11 +63,8 @@ fn collaborative_project_lifecycle() {
 
     // training runs as a job on the worker pool
     let scheduler = JobScheduler::new(2);
-    let dataset = api.with_project(project, alice, |p| p.dataset.clone()).unwrap();
-    let design = api
-        .with_project(project, alice, |p| p.impulse.clone())
-        .unwrap()
-        .expect("impulse configured");
+    let dataset = api.dataset(project, alice).unwrap();
+    let design = api.impulse(project, alice).unwrap().expect("impulse configured");
     let job = scheduler
         .submit(1, move || {
             let spec = presets::dense_mlp(design.feature_dims().map_err(|e| e.to_string())?, 2, 16);
@@ -90,7 +87,7 @@ fn collaborative_project_lifecycle() {
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].samples, 24);
     let source = &api.public_projects()[0];
-    let cloned = clone_project(source, 999, bob).expect("public projects clone");
+    let cloned = clone_project(source, ProjectId(999), bob).expect("public projects clone");
     assert_eq!(cloned.owner, bob);
     assert_eq!(cloned.dataset.len(), 24);
 }
@@ -106,7 +103,7 @@ fn access_control_covers_the_whole_surface() {
     assert!(api.set_impulse(project, outsider, impulse()).is_err());
     assert!(api.snapshot(project, outsider, "x").is_err());
     assert!(api.make_public(project, outsider, &[]).is_err());
-    assert!(api.with_project(project, outsider, |_| ()).is_err());
+    assert!(api.dataset(project, outsider).is_err());
     // owner can do all of it
     assert!(api.ingest(project, owner, "wav", &wav, None).is_ok());
     assert!(api.set_impulse(project, owner, impulse()).is_ok());

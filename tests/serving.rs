@@ -15,8 +15,8 @@ use edgelab::par::{ParPool, Parallelism};
 use edgelab::platform::{Api, PlatformError};
 use edgelab::runtime::EngineKind;
 use edgelab::serve::{
-    ArtifactKey, CompiledArtifact, CompiledArtifactCache, InferenceRequest, ModelSource, Outcome,
-    Rejected, Server, ServerConfig,
+    ArtifactKey, CompiledArtifact, CompiledArtifactCache, InferenceRequest, InferenceSpec,
+    ModelSource, Outcome, Rejected, Server, ServerConfig,
 };
 use edgelab::trace::Tracer;
 use std::sync::Arc;
@@ -336,18 +336,15 @@ fn api_classify_and_estimate_run_through_serving() {
     assert!(api.attach_serving(srv).is_err(), "the serving layer attaches once");
 
     let clip = generator().generate(0, 9);
-    let eon = api
-        .classify(project, owner, "kws-v1", EngineKind::EonCompiled, false, clip.clone())
-        .unwrap();
-    let tflm = api
-        .classify(project, owner, "kws-v1", EngineKind::TflmInterpreter, false, clip.clone())
-        .unwrap();
+    let eon_spec = InferenceSpec::new("kws-v1", EngineKind::EonCompiled);
+    let eon = api.classify(project, owner, &eon_spec, clip.clone()).unwrap();
+    let tflm_spec = InferenceSpec::new("kws-v1", EngineKind::TflmInterpreter);
+    let tflm = api.classify(project, owner, &tflm_spec, clip.clone()).unwrap();
     assert_eq!(eon.probabilities, tflm.probabilities, "engines agree bit for bit");
     assert_eq!(eon.label_index, tflm.label_index);
 
     // estimation keys the cache per board and reports deployment fit
-    let estimate =
-        api.estimate(project, owner, "kws-v1", "nano 33", EngineKind::EonCompiled, false).unwrap();
+    let estimate = api.estimate(project, owner, &eon_spec.clone().on_board("nano 33")).unwrap();
     assert_eq!(estimate.board, "Arduino Nano 33 BLE Sense");
     assert!(estimate.total_ms > 0.0);
     assert!(estimate.ram_bytes > 0 && estimate.flash_bytes > 0);
@@ -355,15 +352,20 @@ fn api_classify_and_estimate_run_through_serving() {
 
     // errors stay platform-shaped
     assert!(matches!(
-        api.classify(project, owner, "missing", EngineKind::EonCompiled, false, clip.clone()),
+        api.classify(
+            project,
+            owner,
+            &InferenceSpec::new("missing", EngineKind::EonCompiled),
+            clip.clone()
+        ),
         Err(PlatformError::NotFound { .. })
     ));
     assert!(matches!(
-        api.estimate(project, owner, "kws-v1", "no-such-board", EngineKind::EonCompiled, false),
+        api.estimate(project, owner, &eon_spec.clone().on_board("no-such-board")),
         Err(PlatformError::BadRequest(_))
     ));
     assert!(
-        api.classify(project, outsider, "kws-v1", EngineKind::EonCompiled, false, clip).is_err(),
+        api.classify(project, outsider, &eon_spec, clip).is_err(),
         "access control guards serving too"
     );
 }
