@@ -322,7 +322,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(kb(1024), "1.0");
-        assert_eq!(ms(3.14159), "3.14");
+        assert_eq!(ms(1.239), "1.24");
         assert_eq!(bar(5.0, 10.0, 10), "#####.....");
         assert_eq!(bar(0.0, 0.0, 4), "....");
         assert_eq!(bar(20.0, 10.0, 4), "####");

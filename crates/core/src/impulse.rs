@@ -349,6 +349,21 @@ pub struct TrainedImpulse {
 }
 
 impl TrainedImpulse {
+    /// Assembles a trained impulse from externally trained parts — the
+    /// entry point for alternative training backends (e.g. the `ei-dist`
+    /// parameter-server trainer) that run the optimization loop
+    /// themselves. `feature_cache` must be the training-split features
+    /// the model was fitted on; quantization calibrates against it.
+    pub fn from_parts(
+        design: ImpulseDesign,
+        labels: Vec<String>,
+        model: Sequential,
+        report: TrainingReport,
+        feature_cache: Vec<Vec<f32>>,
+    ) -> TrainedImpulse {
+        TrainedImpulse { design, labels, model, report, feature_cache }
+    }
+
     /// The impulse design.
     pub fn design(&self) -> &ImpulseDesign {
         &self.design

@@ -38,7 +38,7 @@ impl Board {
     /// Arduino Nano 33 BLE Sense (paper Table 1, row 1).
     pub fn nano33_ble_sense() -> Board {
         Board {
-            name: "Nano 33 BLE Sense".into(),
+            name: "Arduino Nano 33 BLE Sense".into(),
             processor: "Arm Cortex-M4".into(),
             clock_hz: 64_000_000,
             flash_bytes: 1024 * 1024,

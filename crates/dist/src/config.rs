@@ -1,0 +1,176 @@
+//! Cluster shape, failure-detection tuning and the error type.
+
+use ei_nn::NnError;
+use std::fmt;
+
+/// Shape and failure-detection parameters of the in-process cluster.
+///
+/// `partitions` is the determinism knob: gradients are folded in fixed
+/// partition order, so two runs agree bitwise exactly when they use the
+/// same partition count — regardless of `workers`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistConfig {
+    /// Number of worker threads to start (≥ 1).
+    pub workers: usize,
+    /// Number of data partitions (≥ 1). Fixed independently of
+    /// `workers`; changing it changes the gradient fold tree and thus
+    /// the trained bits.
+    pub partitions: usize,
+    /// Interval at which healthy workers refresh their heartbeat, in
+    /// clock milliseconds. Informational — workers beat at every command
+    /// boundary, which for TinyML step sizes is far more often.
+    pub heartbeat_ms: u64,
+    /// A worker that has neither replied nor heartbeat within this many
+    /// clock milliseconds of a step's start is declared dead.
+    pub heartbeat_timeout_ms: u64,
+    /// Consecutive empty 1 ms polls past the deadline before the
+    /// orchestrator commits to declaring stale workers dead. The grace
+    /// window lets an alive worker's in-flight reply rescue it when a
+    /// crashed peer has already jumped a virtual clock past the deadline.
+    pub grace_polls: u32,
+    /// Maximum times a single epoch may be rolled back and replayed
+    /// before training fails with [`DistError::RetriesExhausted`].
+    pub max_epoch_retries: u32,
+}
+
+impl DistConfig {
+    /// A cluster of `workers` threads with the default 8-partition
+    /// layout and generous real-time failure detection.
+    pub fn new(workers: usize) -> DistConfig {
+        DistConfig { workers, ..DistConfig::default() }
+    }
+
+    /// Sets the partition count.
+    #[must_use]
+    pub fn with_partitions(mut self, partitions: usize) -> DistConfig {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the heartbeat timeout (and a heartbeat interval at 1/4 of it).
+    #[must_use]
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> DistConfig {
+        self.heartbeat_timeout_ms = timeout_ms;
+        self.heartbeat_ms = (timeout_ms / 4).max(1);
+        self
+    }
+
+    /// Validates the shape parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidConfig`] on a zero worker or partition
+    /// count or a zero heartbeat timeout.
+    pub fn validate(&self) -> Result<(), DistError> {
+        if self.workers == 0 {
+            return Err(DistError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.partitions == 0 {
+            return Err(DistError::InvalidConfig("partitions must be >= 1".into()));
+        }
+        if self.heartbeat_timeout_ms == 0 {
+            return Err(DistError::InvalidConfig("heartbeat_timeout_ms must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DistConfig {
+    fn default() -> DistConfig {
+        DistConfig {
+            workers: 1,
+            partitions: 8,
+            heartbeat_ms: 500,
+            heartbeat_timeout_ms: 30_000,
+            grace_polls: 100,
+            max_epoch_retries: 4,
+        }
+    }
+}
+
+/// Errors surfaced by distributed training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// The cluster shape is unusable.
+    InvalidConfig(String),
+    /// The training set is empty or inputs/labels disagree.
+    InvalidData(String),
+    /// Every worker died; no survivor is left to adopt orphaned
+    /// partitions.
+    AllWorkersDead {
+        /// Epoch during which the last worker was lost.
+        epoch: usize,
+    },
+    /// One epoch was rolled back more than `max_epoch_retries` times.
+    RetriesExhausted {
+        /// The epoch that kept failing.
+        epoch: usize,
+        /// Rollbacks consumed on that epoch.
+        retries: u32,
+    },
+    /// The underlying trainer rejected the model or data.
+    Train(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidConfig(msg) => write!(f, "invalid cluster config: {msg}"),
+            DistError::InvalidData(msg) => write!(f, "invalid training data: {msg}"),
+            DistError::AllWorkersDead { epoch } => {
+                write!(f, "all workers dead during epoch {epoch}; cannot reschedule partitions")
+            }
+            DistError::RetriesExhausted { epoch, retries } => {
+                write!(f, "epoch {epoch} rolled back {retries} times; giving up")
+            }
+            DistError::Train(msg) => write!(f, "training failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<NnError> for DistError {
+    fn from(err: NnError) -> DistError {
+        DistError::Train(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(DistConfig::default().validate().is_ok());
+        assert!(DistConfig::new(4).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_shapes_are_rejected() {
+        assert!(matches!(DistConfig::new(0).validate(), Err(DistError::InvalidConfig(_))));
+        assert!(matches!(
+            DistConfig::new(2).with_partitions(0).validate(),
+            Err(DistError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            DistConfig::new(2).with_timeout_ms(0).validate(),
+            Err(DistError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn timeout_builder_scales_heartbeat() {
+        let cfg = DistConfig::new(2).with_timeout_ms(200);
+        assert_eq!(cfg.heartbeat_timeout_ms, 200);
+        assert_eq!(cfg.heartbeat_ms, 50);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = DistError::AllWorkersDead { epoch: 3 };
+        assert!(e.to_string().contains("epoch 3"));
+        let e = DistError::RetriesExhausted { epoch: 1, retries: 5 };
+        assert!(e.to_string().contains("rolled back 5"));
+    }
+}

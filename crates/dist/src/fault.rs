@@ -1,0 +1,162 @@
+//! Seeded worker-fault injection for the in-process cluster.
+
+use crate::schedule::mix;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// What happens to a worker when an armed fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The worker thread exits without replying — a hard crash.
+    Crash,
+    /// The worker sleeps this many clock milliseconds before computing,
+    /// without heartbeating. A stall longer than the heartbeat timeout is
+    /// detected as a death; a shorter one is a benign slowdown.
+    Stall(u64),
+    /// The worker raises a genuine unwinding panic, which the worker
+    /// shell catches and converts into a silent death.
+    Panic,
+}
+
+/// A script of worker faults keyed by `(worker, epoch, step)`.
+///
+/// Faults are **one-shot**: a fault is consumed when it fires, so a
+/// rolled-back epoch replays clean. Worker 0 is never faulted by
+/// [`DistFaultPlan::seeded`], guaranteeing a survivor exists to adopt
+/// orphaned partitions. [`DistFaultPlan::fresh`] re-arms the full script
+/// for an independent run (e.g. the next tuner trial).
+#[derive(Debug, Clone, Default)]
+pub struct DistFaultPlan {
+    template: FaultScript,
+    armed: Arc<Mutex<FaultScript>>,
+}
+
+/// A fault script keyed by `(worker, epoch, step)`.
+type FaultScript = BTreeMap<(usize, usize, usize), WorkerFault>;
+
+impl DistFaultPlan {
+    /// An empty plan: no faults ever fire.
+    pub fn new() -> DistFaultPlan {
+        DistFaultPlan::default()
+    }
+
+    /// Arms `fault` to fire when `worker` receives the compute command
+    /// for `(epoch, step)`.
+    #[must_use]
+    pub fn inject(
+        mut self,
+        worker: usize,
+        epoch: usize,
+        step: usize,
+        fault: WorkerFault,
+    ) -> DistFaultPlan {
+        self.template.insert((worker, epoch, step), fault);
+        self.rearm();
+        self
+    }
+
+    /// Generates a random fault script: each epoch independently draws a
+    /// fault with probability `crash_rate`, aimed at a random worker in
+    /// `1..workers` (worker 0 is spared) at a random step below
+    /// `steps_hint`. The fault kind cycles through crash, stall-past-
+    /// timeout and panic so every recovery path gets exercised.
+    pub fn seeded(
+        seed: u64,
+        workers: usize,
+        epochs: usize,
+        steps_hint: usize,
+        crash_rate: f64,
+    ) -> DistFaultPlan {
+        let mut plan = DistFaultPlan::new();
+        if workers < 2 || steps_hint == 0 {
+            return plan; // a lone worker must survive; nothing to aim at
+        }
+        for epoch in 0..epochs {
+            let draw = mix(&[seed, epoch as u64, 0xfa0]);
+            if (draw % 10_000) as f64 >= crash_rate * 10_000.0 {
+                continue;
+            }
+            let worker = 1 + (mix(&[seed, epoch as u64, 0xfa1]) % (workers as u64 - 1)) as usize;
+            let step = (mix(&[seed, epoch as u64, 0xfa2]) % steps_hint as u64) as usize;
+            let fault = match mix(&[seed, epoch as u64, 0xfa3]) % 3 {
+                0 => WorkerFault::Crash,
+                1 => WorkerFault::Stall(1_000_000_000), // far past any timeout
+                _ => WorkerFault::Panic,
+            };
+            plan.template.insert((worker, epoch, step), fault);
+        }
+        plan.rearm();
+        plan
+    }
+
+    /// A fully re-armed copy of this plan's script, independent of any
+    /// faults the current run has already consumed.
+    #[must_use]
+    pub fn fresh(&self) -> DistFaultPlan {
+        let mut plan = DistFaultPlan { template: self.template.clone(), ..DistFaultPlan::new() };
+        plan.rearm();
+        plan
+    }
+
+    /// Number of faults in the script (armed or already fired).
+    pub fn len(&self) -> usize {
+        self.template.len()
+    }
+
+    /// `true` when the script contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.template.is_empty()
+    }
+
+    /// Consumes and returns the fault armed for `(worker, epoch, step)`,
+    /// if any.
+    pub(crate) fn take(&self, worker: usize, epoch: usize, step: usize) -> Option<WorkerFault> {
+        self.armed.lock().expect("fault plan lock").remove(&(worker, epoch, step))
+    }
+
+    fn rearm(&mut self) {
+        self.armed = Arc::new(Mutex::new(self.template.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_one_shot() {
+        let plan = DistFaultPlan::new().inject(1, 0, 2, WorkerFault::Crash);
+        assert_eq!(plan.take(1, 0, 2), Some(WorkerFault::Crash));
+        assert_eq!(plan.take(1, 0, 2), None, "consumed faults must not refire on replay");
+    }
+
+    #[test]
+    fn fresh_rearms_consumed_faults() {
+        let plan = DistFaultPlan::new().inject(2, 1, 0, WorkerFault::Panic);
+        assert_eq!(plan.take(2, 1, 0), Some(WorkerFault::Panic));
+        let again = plan.fresh();
+        assert_eq!(again.take(2, 1, 0), Some(WorkerFault::Panic));
+        // the original stays consumed — fresh() is a copy, not a reset
+        assert_eq!(plan.take(2, 1, 0), None);
+    }
+
+    #[test]
+    fn seeded_plans_spare_worker_zero_and_are_reproducible() {
+        let a = DistFaultPlan::seeded(42, 4, 50, 6, 0.5);
+        let b = DistFaultPlan::seeded(42, 4, 50, 6, 0.5);
+        assert_eq!(a.template, b.template);
+        assert!(!a.is_empty(), "50 epochs at 50% should draw at least one fault");
+        for (worker, _, _) in a.template.keys() {
+            assert!(*worker >= 1 && *worker < 4);
+        }
+        let c = DistFaultPlan::seeded(43, 4, 50, 6, 0.5);
+        assert_ne!(a.template, c.template, "different seeds, different scripts");
+    }
+
+    #[test]
+    fn seeded_respects_rate_extremes() {
+        assert!(DistFaultPlan::seeded(7, 4, 20, 4, 0.0).is_empty());
+        assert_eq!(DistFaultPlan::seeded(7, 4, 20, 4, 1.0).len(), 20);
+        assert!(DistFaultPlan::seeded(7, 1, 20, 4, 1.0).is_empty(), "lone worker is spared");
+    }
+}

@@ -1,0 +1,46 @@
+//! Cluster-in-a-process data-parallel training (paper §4.1's "training
+//! jobs run on managed infrastructure", stressed along the fault axis).
+//!
+//! A [`DistTrainer`] runs synchronous data-parallel SGD over worker
+//! threads coordinated by an in-process parameter server. The design
+//! target is *bitwise determinism under failure*:
+//!
+//! - The dataset is split into a **fixed number of partitions** chosen
+//!   independently of the worker count. Workers compute per-batch
+//!   gradient sums for the partitions assigned to them, and the server
+//!   folds partition contributions in ascending partition order. Since
+//!   float addition is non-associative, pinning the fold *tree* (not the
+//!   compute placement) is what makes 1-, 2- and 4-worker runs produce
+//!   byte-identical weights — and identical to [`train_serial_reference`].
+//! - Gradients are pure functions of `(weights, batch, seed)` (see
+//!   `ei_nn::train::Trainer::batch_gradients`), so recomputing a batch on
+//!   a different worker after a crash yields the identical result.
+//! - Workers heartbeat on an injected [`ei_faults::Clock`]. When a worker
+//!   crashes, stalls past its deadline, or panics (driven by a seeded
+//!   [`DistFaultPlan`]), the orchestrator detects the missed heartbeat,
+//!   marks the dead worker's partitions orphaned, reassigns them to
+//!   survivors, rolls the model and optimizer back to the last per-epoch
+//!   checkpoint, and re-runs the epoch. The replay folds the same
+//!   partition sums in the same order, so the final weights match the
+//!   no-fault run bit for bit.
+//!
+//! The trade-off is synchronous-SGD semantics: each optimizer step waits
+//! for every partition's contribution. That is exactly what makes the
+//! result independent of scheduling, and for TinyML-sized models the
+//! per-step compute is small enough that stragglers are cheap.
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+mod fault;
+mod reference;
+pub mod schedule;
+
+pub use cluster::{DistReport, DistTrainer};
+pub use config::{DistConfig, DistError};
+pub use fault::{DistFaultPlan, WorkerFault};
+pub use reference::{train_serial_reference, weight_checksum};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, DistError>;

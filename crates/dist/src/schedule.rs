@@ -1,0 +1,179 @@
+//! Deterministic partitioning, shuffling and per-epoch batch plans.
+//!
+//! Everything in this module is pure arithmetic on `(seed, epoch,
+//! partition, batch)` so the orchestrator and the serial reference can
+//! replay the exact same work list — the precondition for bitwise-equal
+//! weights.
+
+/// One planned minibatch: which partition it belongs to, the sample
+/// indices it covers, and the dropout RNG seed the computing worker must
+/// use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedBatch {
+    /// Owning partition (fold position during reduction).
+    pub partition: usize,
+    /// Dataset indices in this batch.
+    pub indices: Vec<usize>,
+    /// Seed for the per-batch dropout RNG stream.
+    pub seed: u64,
+}
+
+/// splitmix64 — the tiny, well-mixed PRNG step used for every derived
+/// stream in this crate.
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    *state = z ^ (z >> 31);
+}
+
+/// Mixes a list of components into one well-distributed 64-bit seed.
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut state = 0x243f_6a88_85a3_08d3u64; // pi digits, nothing-up-my-sleeve
+    for &p in parts {
+        state ^= p;
+        splitmix64(&mut state);
+    }
+    state
+}
+
+/// Splits `n` samples into `partitions` contiguous chunks; the first
+/// `n % partitions` chunks get one extra sample. Chunks may be empty when
+/// `n < partitions`.
+pub fn partition_indices(n: usize, partitions: usize) -> Vec<Vec<usize>> {
+    let base = n / partitions;
+    let extra = n % partitions;
+    let mut out = Vec::with_capacity(partitions);
+    let mut next = 0usize;
+    for p in 0..partitions {
+        let len = base + usize::from(p < extra);
+        out.push((next..next + len).collect());
+        next += len;
+    }
+    out
+}
+
+/// Fisher–Yates shuffle driven by a splitmix64 stream seeded from `seed`.
+fn shuffled(indices: &[usize], seed: u64) -> Vec<usize> {
+    let mut out = indices.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        splitmix64(&mut state);
+        let j = (state % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Builds the batch plan for one epoch: `plan[step]` lists that step's
+/// batches in ascending partition order (partitions that ran out of
+/// samples are absent from later steps).
+///
+/// Each partition shuffles its own index range with a seed derived from
+/// `(seed, epoch, partition)` and chunks it into `batch_size` batches;
+/// the per-batch dropout seed mixes in the batch number as well. The plan
+/// is a pure function of its arguments, so a rolled-back epoch replays
+/// identically.
+pub fn epoch_plan(
+    partitions: &[Vec<usize>],
+    epoch: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<PlannedBatch>> {
+    let batch_size = batch_size.max(1);
+    let per_part: Vec<Vec<usize>> = partitions
+        .iter()
+        .enumerate()
+        .map(|(p, idx)| shuffled(idx, mix(&[seed, epoch as u64, p as u64, 0xb07])))
+        .collect();
+    let steps = per_part.iter().map(|idx| idx.len().div_ceil(batch_size)).max().unwrap_or(0);
+    let mut plan = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let mut batches = Vec::new();
+        for (p, idx) in per_part.iter().enumerate() {
+            let lo = step * batch_size;
+            if lo >= idx.len() {
+                continue;
+            }
+            let hi = (lo + batch_size).min(idx.len());
+            batches.push(PlannedBatch {
+                partition: p,
+                indices: idx[lo..hi].to_vec(),
+                seed: mix(&[seed, epoch as u64, p as u64, step as u64, 0xd15]),
+            });
+        }
+        plan.push(batches);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_is_contiguous_and_balanced() {
+        let parts = partition_indices(10, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], vec![0, 1, 2]);
+        assert_eq!(parts[1], vec![3, 4, 5]);
+        assert_eq!(parts[2], vec![6, 7]);
+        assert_eq!(parts[3], vec![8, 9]);
+        let flat: Vec<usize> = parts.concat();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_datasets_leave_empty_partitions() {
+        let parts = partition_indices(2, 4);
+        assert_eq!(parts[0], vec![0]);
+        assert_eq!(parts[1], vec![1]);
+        assert!(parts[2].is_empty() && parts[3].is_empty());
+    }
+
+    #[test]
+    fn epoch_plan_is_deterministic_and_covers_every_sample() {
+        let parts = partition_indices(23, 4);
+        let a = epoch_plan(&parts, 2, 4, 77);
+        let b = epoch_plan(&parts, 2, 4, 77);
+        assert_eq!(a, b);
+        let mut seen: Vec<usize> =
+            a.iter().flatten().flat_map(|pb| pb.indices.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        // batches within a step are in ascending partition order
+        for step in &a {
+            let order: Vec<usize> = step.iter().map(|pb| pb.partition).collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(order, sorted);
+        }
+    }
+
+    #[test]
+    fn plans_differ_across_epochs_and_seeds() {
+        let parts = partition_indices(32, 4);
+        let base = epoch_plan(&parts, 0, 4, 1);
+        assert_ne!(base, epoch_plan(&parts, 1, 4, 1));
+        assert_ne!(base, epoch_plan(&parts, 0, 4, 2));
+    }
+
+    #[test]
+    fn shuffle_stays_within_partition() {
+        let parts = partition_indices(16, 4);
+        let plan = epoch_plan(&parts, 0, 2, 9);
+        for pb in plan.iter().flatten() {
+            for &i in &pb.indices {
+                assert!(parts[pb.partition].contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn mix_spreads_inputs() {
+        assert_ne!(mix(&[1, 2, 3]), mix(&[1, 2, 4]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+        assert_eq!(mix(&[5, 5]), mix(&[5, 5]));
+    }
+}

@@ -475,4 +475,83 @@ mod tests {
     fn immediate_policy_has_zero_backoff() {
         assert_eq!(RetryPolicy::immediate(4).backoff_preview(9, 3), vec![0, 0, 0]);
     }
+
+    #[test]
+    fn zero_attempt_policies_clamp_to_one_run() {
+        assert_eq!(RetryPolicy::immediate(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().with_max_attempts(0).max_attempts, 1);
+        // the clamped policy still runs the work exactly once
+        let clock = VirtualClock::new();
+        let mut calls = 0;
+        let r = run(&RetryPolicy::default().with_max_attempts(0), &clock, |_| {
+            calls += 1;
+            Err("doomed".into())
+        });
+        assert_eq!(r.outcome, RetryOutcome::Exhausted { error: "doomed".into() });
+        assert_eq!(calls, 1);
+        assert_eq!(r.attempts.len(), 1);
+        assert!(r.attempts[0].backoff_ms.is_none(), "a single-shot failure never backs off");
+        assert_eq!(clock.now_ms(), 0, "no backoff sleep may consume logical time");
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        // base == cap pins every delay: uniform(base, prev * 3) can only
+        // draw above the cap, so min(cap) flattens the whole schedule
+        let flat = RetryPolicy::default().with_backoff(100, 100).with_seed(5);
+        assert_eq!(flat.backoff_preview(2, 8), vec![100; 8]);
+        // near u64::MAX the decorrelated-jitter growth (`prev * 3`) must
+        // saturate instead of overflowing, and delays stay in [base, cap]
+        let huge = RetryPolicy::default().with_backoff(u64::MAX / 2, u64::MAX).with_seed(5);
+        for delay in huge.backoff_preview(2, 8) {
+            assert!(delay >= u64::MAX / 2, "delay {delay} fell below base");
+        }
+    }
+
+    #[test]
+    fn cancellation_before_the_first_attempt_runs_nothing() {
+        let clock = VirtualClock::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut calls = 0;
+        let r = execute(
+            &RetryPolicy::default(),
+            &clock,
+            0,
+            &token,
+            |_| {},
+            |_| {
+                calls += 1;
+                Ok("never".into())
+            },
+        );
+        assert_eq!(r.outcome, RetryOutcome::Cancelled);
+        assert_eq!(calls, 0, "a pre-cancelled job must not run its closure");
+        assert!(r.attempts.is_empty());
+    }
+
+    #[test]
+    fn cancellation_between_attempts_skips_the_backoff_sleep() {
+        let clock = VirtualClock::new();
+        let token = CancelToken::new();
+        let policy = RetryPolicy::default().with_max_attempts(10).with_backoff(500, 5_000);
+        let t = token.clone();
+        // cancel from the observer after the failure is recorded but
+        // before the backoff sleep starts — the window between attempts
+        let r = execute(
+            &policy,
+            &clock,
+            0,
+            &token,
+            move |event| {
+                if matches!(event, RetryEvent::AttemptFailed { .. }) {
+                    t.cancel();
+                }
+            },
+            |_| Err("fail".into()),
+        );
+        assert_eq!(r.outcome, RetryOutcome::Cancelled);
+        assert_eq!(r.attempts.len(), 1);
+        assert_eq!(clock.now_ms(), 0, "the pending backoff must be skipped, not slept");
+    }
 }

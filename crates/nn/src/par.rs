@@ -29,6 +29,18 @@ use ei_tensor::gemm::{gemm_f32, gemm_f32_acc};
 /// queueing and waking workers would outweigh the arithmetic.
 pub const PAR_MIN_MACS: u64 = 131_072;
 
+/// Convolutions below this many multiply–accumulates skip the im2col
+/// lowering and run the direct serial kernel.
+///
+/// The conv gate is much higher than [`PAR_MIN_MACS`] because lowering
+/// pays for a full patch-matrix materialization (a `kh·kw`-fold copy of
+/// the input) before the GEMM even starts. On TinyML-sized convolutions
+/// — e.g. a 49×10×64 keyword-spotting feature map at ~18 M MACs — that
+/// gather traffic costs more than the arithmetic saved, and the blocked
+/// path benchmarked at 0.88× the naive kernel. Direct convolution keeps
+/// those shapes serial; only camera-scale feature maps cross this bar.
+pub const PAR_MIN_IM2COL_MACS: u64 = 33_554_432;
+
 /// Chunk length that splits `len` units of work into one chunk per pool
 /// thread (at least 1).
 fn chunk_len(len: usize, pool: &ParPool) -> usize {
@@ -42,6 +54,7 @@ fn chunk_len(len: usize, pool: &ParPool) -> usize {
 /// [`PAR_MIN_MACS`], or on a serial pool, runs the blocked kernel inline.
 /// Every partition is bitwise-identical to [`gemm_f32`] because each
 /// output element's accumulation order depends only on its own row.
+#[allow(clippy::too_many_arguments)] // the GEMM shape septet + pool
 pub fn gemm_f32_auto(
     pool: &ParPool,
     m: usize,
@@ -106,7 +119,7 @@ pub fn conv2d_forward_auto(
     bias: &[f32],
     g: Conv2dGeom,
 ) -> Vec<f32> {
-    if pool.threads() == 1 || g.macs() < PAR_MIN_MACS {
+    if pool.threads() == 1 || g.macs() < PAR_MIN_IM2COL_MACS {
         return conv2d_forward(input, weights, bias, g);
     }
     let (oh, ow, _, _) = g.output();
@@ -156,7 +169,7 @@ pub fn conv1d_forward_auto(
     bias: &[f32],
     g: Conv1dGeom,
 ) -> Vec<f32> {
-    if pool.threads() == 1 || g.macs() < PAR_MIN_MACS {
+    if pool.threads() == 1 || g.macs() < PAR_MIN_IM2COL_MACS {
         return conv1d_forward(input, weights, bias, g);
     }
     let (ow, _) = g.output();
@@ -201,16 +214,16 @@ mod tests {
     #[test]
     fn conv2d_auto_is_bitwise_identical() {
         let g = Conv2dGeom {
-            in_h: 17,
-            in_w: 16,
-            in_c: 8,
-            out_c: 16,
+            in_h: 48,
+            in_w: 32,
+            in_c: 48,
+            out_c: 64,
             kernel_h: 3,
             kernel_w: 3,
             stride: 1,
             padding: Padding::Same,
         };
-        assert!(g.macs() >= PAR_MIN_MACS);
+        assert!(g.macs() >= PAR_MIN_IM2COL_MACS);
         let input = data(g.in_h * g.in_w * g.in_c);
         let weights = data(g.kernel_h * g.kernel_w * g.in_c * g.out_c);
         let bias = data(g.out_c);
@@ -245,14 +258,14 @@ mod tests {
     #[test]
     fn conv1d_auto_is_bitwise_identical() {
         let g = Conv1dGeom {
-            in_w: 250,
-            in_c: 16,
-            out_c: 24,
-            kernel: 5,
+            in_w: 2000,
+            in_c: 32,
+            out_c: 64,
+            kernel: 9,
             stride: 1,
             padding: Padding::Same,
         };
-        assert!(g.macs() >= PAR_MIN_MACS);
+        assert!(g.macs() >= PAR_MIN_IM2COL_MACS);
         let input = data(g.in_w * g.in_c);
         let weights = data(g.kernel * g.in_c * g.out_c);
         let bias = data(g.out_c);
@@ -276,6 +289,31 @@ mod tests {
             gemm_f32_auto(&pool, m, k, n, &a, &b, Some(&bias), &mut parallel);
             assert_eq!(bits(&serial), bits(&parallel), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn tinyml_sized_convs_stay_serial() {
+        // the keyword-spotting DS-CNN head: ~18 M MACs, below the im2col
+        // bar but far above PAR_MIN_MACS — must take the direct path
+        let g = Conv2dGeom {
+            in_h: 49,
+            in_w: 10,
+            in_c: 64,
+            out_c: 64,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        assert!(g.macs() >= PAR_MIN_MACS && g.macs() < PAR_MIN_IM2COL_MACS);
+        let input = data(g.in_h * g.in_w * g.in_c);
+        let weights = data(g.kernel_h * g.kernel_w * g.in_c * g.out_c);
+        let bias = data(g.out_c);
+        let pool = ParPool::new(Parallelism::new(4));
+        let steals_before = pool.steals();
+        let out = conv2d_forward_auto(&pool, &input, &weights, &bias, g);
+        assert_eq!(bits(&out), bits(&conv2d_forward(&input, &weights, &bias, g)));
+        assert_eq!(pool.steals(), steals_before, "no tasks should have been queued");
     }
 
     #[test]

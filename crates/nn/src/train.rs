@@ -79,18 +79,35 @@ pub struct TrainingReport {
     pub best_val_accuracy: f32,
 }
 
-/// Snapshot of every parameter tensor (for best-checkpoint restore).
-type Checkpoint = Vec<(Option<Tensor>, Option<Tensor>)>;
+/// Snapshot of every parameter tensor, in layer order.
+///
+/// Used for best-checkpoint restore here and for epoch checkpoints /
+/// replica synchronisation by the distributed trainer (`ei-dist`).
+pub type Checkpoint = Vec<(Option<Tensor>, Option<Tensor>)>;
 
-fn snapshot(model: &Sequential) -> Checkpoint {
+/// Captures a [`Checkpoint`] of every parameter tensor in `model`.
+pub fn snapshot(model: &Sequential) -> Checkpoint {
     model.layers().iter().map(|l| (l.weights.clone(), l.bias.clone())).collect()
 }
 
-fn restore(model: &mut Sequential, ckpt: &Checkpoint) {
+/// Writes a [`Checkpoint`] back into `model`, layer by layer.
+pub fn restore(model: &mut Sequential, ckpt: &Checkpoint) {
     for (layer, (w, b)) in model.layers_mut().iter_mut().zip(ckpt) {
         layer.weights = w.clone();
         layer.bias = b.clone();
     }
+}
+
+/// Summed (not yet averaged) gradients of one minibatch, plus the
+/// bookkeeping a reducer needs to average and report loss.
+#[derive(Debug, Clone)]
+pub struct BatchGrads {
+    /// Per-layer gradient sums, aligned with the model's layer order.
+    pub grads: Vec<LayerGrads>,
+    /// Sum of per-sample losses over the batch.
+    pub loss_sum: f64,
+    /// Number of samples that contributed.
+    pub count: usize,
 }
 
 /// Trains sequential models on in-memory datasets.
@@ -214,6 +231,51 @@ impl Trainer {
             model.backward(&cache, &grad)?
         };
         Ok((loss, grads))
+    }
+
+    /// Computes summed per-layer gradients for the samples selected by
+    /// `batch` (indices into `inputs`/`labels`) without touching the model.
+    ///
+    /// The dropout RNG stream is seeded from `rng_seed` alone, so the result
+    /// depends only on (weights, batch, seed) — never on which thread or
+    /// worker ran it. This is the building block the distributed trainer
+    /// uses to make data-parallel SGD bitwise-identical to serial SGD.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range indices/labels or wrongly sized inputs.
+    pub fn batch_gradients(
+        &self,
+        model: &Sequential,
+        inputs: &[Vec<f32>],
+        labels: &[usize],
+        batch: &[usize],
+        rng_seed: u64,
+    ) -> Result<BatchGrads> {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let mut acc: Option<Vec<LayerGrads>> = None;
+        let mut loss_sum = 0.0f64;
+        for &i in batch {
+            let (input, label) = match (inputs.get(i), labels.get(i)) {
+                (Some(x), Some(&y)) => (x, y),
+                _ => {
+                    return Err(NnError::InvalidTrainingData(format!(
+                        "batch index {i} out of range for {} samples",
+                        inputs.len()
+                    )))
+                }
+            };
+            let (loss, grads) = self.sample_pass(model, input, label, &mut rng)?;
+            loss_sum += loss as f64;
+            acc = Some(match acc {
+                None => grads,
+                Some(mut a) => {
+                    accumulate(&mut a, &grads);
+                    a
+                }
+            });
+        }
+        Ok(BatchGrads { grads: acc.unwrap_or_default(), loss_sum, count: batch.len() })
     }
 
     /// Trains `model` in place and returns the per-epoch report.
@@ -489,6 +551,28 @@ impl Default for Trainer {
     fn default() -> Self {
         Trainer::new(TrainConfig::default())
     }
+}
+
+/// Folds `delta` into `acc` element-wise. The caller fixes the fold order;
+/// folding contributions in a fixed order is what keeps a parallel
+/// reduction bitwise-identical to the serial loop.
+pub fn accumulate_grads(acc: &mut [LayerGrads], delta: &[LayerGrads]) {
+    accumulate(acc, delta);
+}
+
+/// Performs one optimizer step: advances the optimizer's step counter and
+/// applies `grads` (averaged over `batch_len` samples) to every non-frozen
+/// layer, exactly as [`Trainer::train`]'s inner loop does.
+pub fn apply_batch(
+    model: &mut Sequential,
+    grads: &[LayerGrads],
+    optimizer: &mut Optimizer,
+    lr: f32,
+    batch_len: f32,
+    weight_decay: f32,
+) {
+    optimizer.begin_step();
+    apply_grads(model, grads, optimizer, lr, batch_len, weight_decay);
 }
 
 /// Accumulates `delta` into `acc` element-wise.
@@ -828,6 +912,52 @@ mod tests {
             other => panic!("expected train.loss gauge, got {other:?}"),
         }
         assert!(snapshot.contains_key("train.val_accuracy"));
+    }
+
+    #[test]
+    fn batch_gradients_plus_apply_matches_trainer_inner_loop() {
+        // one hand-driven optimizer step via the public pieces must be
+        // bitwise-identical to one step of Trainer::train's inner loop
+        let (inputs, labels) = blobs(8);
+        let batch: Vec<usize> = (0..8).collect();
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            validation_split: 0.0,
+            restore_best: false,
+            ..TrainConfig::default()
+        };
+        let trainer = Trainer::new(cfg.clone());
+
+        let mut manual = Sequential::build(&classifier_spec(), 11).unwrap();
+        let b = trainer.batch_gradients(&manual, &inputs, &labels, &batch, 99).unwrap();
+        assert_eq!(b.count, 8);
+        assert!(b.loss_sum.is_finite());
+        let mut opt = Optimizer::new(cfg.optimizer);
+        apply_batch(&mut manual, &b.grads, &mut opt, cfg.learning_rate, 8.0, 0.0);
+
+        // partition sums computed in any order, folded in fixed partition
+        // order, give bitwise-identical gradients — the invariant the
+        // distributed trainer relies on (float addition is not associative,
+        // so only the fold *order* pins the result, not computation order)
+        let mut split_model = Sequential::build(&classifier_spec(), 11).unwrap();
+        let lo = trainer.batch_gradients(&split_model, &inputs, &labels, &batch[..4], 99).unwrap();
+        let hi = trainer.batch_gradients(&split_model, &inputs, &labels, &batch[4..], 7).unwrap();
+        let mut rev_model = Sequential::build(&classifier_spec(), 11).unwrap();
+        let hi2 = trainer.batch_gradients(&rev_model, &inputs, &labels, &batch[4..], 7).unwrap();
+        let lo2 = trainer.batch_gradients(&rev_model, &inputs, &labels, &batch[..4], 99).unwrap();
+        let mut total = lo.grads;
+        accumulate_grads(&mut total, &hi.grads);
+        let mut total2 = lo2.grads;
+        accumulate_grads(&mut total2, &hi2.grads);
+        let mut opt2 = Optimizer::new(cfg.optimizer);
+        apply_batch(&mut split_model, &total, &mut opt2, cfg.learning_rate, 8.0, 0.0);
+        let mut opt3 = Optimizer::new(cfg.optimizer);
+        apply_batch(&mut rev_model, &total2, &mut opt3, cfg.learning_rate, 8.0, 0.0);
+        assert_eq!(snapshot(&split_model), snapshot(&rev_model));
+
+        // out-of-range batch index is rejected
+        assert!(trainer.batch_gradients(&manual, &inputs, &labels, &[999], 0).is_err());
     }
 
     #[test]

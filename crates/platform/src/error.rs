@@ -45,6 +45,12 @@ pub enum PlatformError {
         /// gave up.
         waited_ms: u64,
     },
+    /// A dead-lettered job cannot be resubmitted: its closure is no
+    /// longer parked (already requeued once, or stranded by shutdown).
+    NotRequeueable {
+        /// The dead-lettered job id.
+        id: u64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -67,6 +73,9 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::DeadlineExceeded { waited_ms } => {
                 write!(f, "serving deadline exceeded after {waited_ms} ms")
+            }
+            PlatformError::NotRequeueable { id } => {
+                write!(f, "dead-lettered job {id} is not requeueable")
             }
         }
     }

@@ -92,6 +92,14 @@ pub struct DeadLetter {
     pub error: String,
     /// Every failed attempt, in order (cause, duration, backoff chosen).
     pub attempts: Vec<AttemptRecord>,
+    /// The retry policy the job originally ran under — the job spec an
+    /// operator inspects before deciding to requeue. `None` when the job
+    /// was stranded by shutdown before its spec reached a worker.
+    pub policy: Option<RetryPolicy>,
+    /// `true` while the job's closure is still parked and
+    /// [`JobScheduler::requeue`] can resubmit it. Cleared by a
+    /// successful requeue; always `false` for shutdown-stranded jobs.
+    pub requeueable: bool,
 }
 
 /// A queued work item.
@@ -122,6 +130,9 @@ struct Shared {
     /// transition, so waiters park instead of sleep-polling.
     jobs_cond: Condvar,
     dead: Mutex<Vec<DeadLetter>>,
+    /// Closures of exhausted jobs, parked for [`JobScheduler::requeue`],
+    /// keyed by the dead-lettered job id.
+    parked: Mutex<HashMap<u64, JobFn>>,
     watch: Mutex<HashMap<u64, WatchEntry>>,
     shutdown: AtomicBool,
     tracer: Tracer,
@@ -334,6 +345,12 @@ impl JobScheduler {
     where
         F: FnMut(&JobContext<'_>) -> std::result::Result<String, String> + Send + 'static,
     {
+        self.submit_boxed(policy, Box::new(work))
+    }
+
+    /// [`JobScheduler::submit_with`] for an already-boxed closure — the
+    /// path [`JobScheduler::requeue`] reuses for parked dead letters.
+    fn submit_boxed(&self, policy: RetryPolicy, work: JobFn) -> Result<u64> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(PlatformError::SchedulerStopped);
         }
@@ -352,7 +369,7 @@ impl JobScheduler {
         );
         self.shared.tracer.event("job.queued", vec![("job", id.into())]);
         self.shared.tracer.counter("jobs.submitted").inc();
-        let job = QueuedJob { id, policy, work: Box::new(work) };
+        let job = QueuedJob { id, policy, work };
         match &self.backend {
             Backend::Dedicated { sender, .. } => {
                 let sender = sender.as_ref().ok_or(PlatformError::SchedulerStopped)?;
@@ -444,6 +461,58 @@ impl JobScheduler {
     /// Terminally failed jobs with their full attempt history.
     pub fn dead_letters(&self) -> Vec<DeadLetter> {
         lock(&self.shared.dead).clone()
+    }
+
+    /// The dead letter recorded for `id`: final failure cause, per-attempt
+    /// history, and the retry policy the job ran under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] when `id` was never
+    /// dead-lettered.
+    pub fn dead_letter(&self, id: u64) -> Result<DeadLetter> {
+        lock(&self.shared.dead)
+            .iter()
+            .find(|l| l.id == id)
+            .cloned()
+            .ok_or(PlatformError::NotFound { kind: "dead letter", id })
+    }
+
+    /// Resubmits a dead-lettered job under its original retry policy and
+    /// returns the **new** job id. The original letter stays in the queue
+    /// for the record but is marked no longer requeueable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NotFound`] when `id` was never
+    /// dead-lettered, [`PlatformError::NotRequeueable`] when its closure
+    /// is no longer parked (already requeued, or stranded by shutdown),
+    /// or [`PlatformError::SchedulerStopped`] after shutdown.
+    pub fn requeue(&self, id: u64) -> Result<u64> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(PlatformError::SchedulerStopped);
+        }
+        let policy = {
+            let mut dead = lock(&self.shared.dead);
+            let letter = dead
+                .iter_mut()
+                .find(|l| l.id == id)
+                .ok_or(PlatformError::NotFound { kind: "dead letter", id })?;
+            match (&letter.policy, letter.requeueable) {
+                (Some(policy), true) => {
+                    let policy = policy.clone();
+                    letter.requeueable = false;
+                    policy
+                }
+                _ => return Err(PlatformError::NotRequeueable { id }),
+            }
+        };
+        let work =
+            lock(&self.shared.parked).remove(&id).ok_or(PlatformError::NotRequeueable { id })?;
+        let new_id = self.submit_boxed(policy, work)?;
+        self.shared.tracer.event("job.requeued", vec![("job", id.into()), ("as", new_id.into())]);
+        self.shared.tracer.counter("jobs.requeued").inc();
+        Ok(new_id)
     }
 
     /// Blocks until the job reaches a terminal state, returning it.
@@ -539,25 +608,25 @@ impl JobScheduler {
         if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
         }
-        // belt-and-braces: workers normally stamp drained jobs themselves
-        let stranded: Vec<u64> = {
+        // belt-and-braces: workers normally stamp drained jobs themselves.
+        // Letters go in before the status flips so a waiter woken by
+        // `Failed` always finds its dead letter (jobs → dead lock order).
+        {
             let mut jobs = lock(&self.shared.jobs);
-            jobs.iter_mut()
-                .filter(|(_, state)| state.status == JobStatus::Queued)
-                .map(|(id, state)| {
+            for (id, state) in jobs.iter_mut() {
+                if state.status == JobStatus::Queued {
+                    self.shared.dead_letter(DeadLetter {
+                        id: *id,
+                        error: SHUTDOWN_ERROR.to_string(),
+                        attempts: Vec::new(),
+                        policy: None,
+                        requeueable: false,
+                    });
                     state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
-                    *id
-                })
-                .collect()
-        };
-        self.shared.notify_status();
-        for id in stranded {
-            self.shared.dead_letter(DeadLetter {
-                id,
-                error: SHUTDOWN_ERROR.to_string(),
-                attempts: Vec::new(),
-            });
+                }
+            }
         }
+        self.shared.notify_status();
     }
 }
 
@@ -593,14 +662,18 @@ fn execute_queued(job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>) {
             return;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
-            state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
-            drop(jobs);
-            shared.notify_status();
+            // letter first, then the waking status flip (see `run_job`);
+            // jobs → dead lock order is used nowhere in reverse
             shared.dead_letter(DeadLetter {
                 id: job.id,
                 error: SHUTDOWN_ERROR.to_string(),
                 attempts: Vec::new(),
+                policy: Some(job.policy.clone()),
+                requeueable: false,
             });
+            state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
+            drop(jobs);
+            shared.notify_status();
             return;
         }
         state.cancel.clone()
@@ -666,8 +739,18 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
             shared.tracer.counter("jobs.finished").inc();
         }
         RetryOutcome::Exhausted { error } => {
-            set_status(JobStatus::Failed(error.clone()));
-            shared.dead_letter(DeadLetter { id, error, attempts: result.attempts });
+            // park the closure and record the letter *before* the status
+            // flip: `Failed` wakes waiters, and a waiter is entitled to
+            // find the dead letter the moment `wait` returns the error
+            lock(&shared.parked).insert(id, job.work);
+            shared.dead_letter(DeadLetter {
+                id,
+                error: error.clone(),
+                attempts: result.attempts,
+                policy: Some(job.policy.clone()),
+                requeueable: true,
+            });
+            set_status(JobStatus::Failed(error));
         }
         RetryOutcome::Cancelled => {
             set_status(JobStatus::Cancelled);
@@ -1083,5 +1166,61 @@ mod tests {
         let snapshot = tracer.metrics_snapshot();
         assert_eq!(snapshot.get("jobs.dead_lettered"), Some(&ei_trace::MetricValue::Counter(1)));
         assert_eq!(snapshot.get("jobs.cancelled"), Some(&ei_trace::MetricValue::Counter(1)));
+    }
+
+    #[test]
+    fn dead_letter_exposes_policy_and_requeue_reruns_the_job() {
+        let clock = Arc::new(VirtualClock::new());
+        let (tracer, collector) = Tracer::collecting(clock.clone());
+        let scheduler = JobScheduler::with_clock_and_tracer(1, clock, tracer.clone());
+        // fails on its first life, succeeds once requeued
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let id = scheduler
+            .submit(1, move || {
+                if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err("transient outage".into())
+                } else {
+                    Ok("recovered".into())
+                }
+            })
+            .unwrap();
+        assert!(scheduler.wait(id).is_err());
+        // the letter carries the original job spec for inspection
+        let letter = scheduler.dead_letter(id).unwrap();
+        assert_eq!(letter.error, "transient outage");
+        assert_eq!(letter.policy.as_ref().map(|p| p.max_attempts), Some(1));
+        assert!(letter.requeueable);
+        // requeue runs the same closure under a fresh id
+        let new_id = scheduler.requeue(id).unwrap();
+        assert_ne!(new_id, id);
+        assert_eq!(scheduler.wait(new_id).unwrap(), "recovered");
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+        // the letter stays for the record but cannot be requeued twice
+        assert!(!scheduler.dead_letter(id).unwrap().requeueable);
+        assert!(matches!(
+            scheduler.requeue(id),
+            Err(PlatformError::NotRequeueable { id: stale }) if stale == id
+        ));
+        assert!(collector.records().iter().any(|r| r.name() == "job.requeued"));
+        let snapshot = tracer.metrics_snapshot();
+        assert_eq!(snapshot.get("jobs.requeued"), Some(&ei_trace::MetricValue::Counter(1)));
+    }
+
+    #[test]
+    fn requeue_rejects_unknown_ids_and_stopped_schedulers() {
+        let mut scheduler = JobScheduler::new(1);
+        assert!(matches!(
+            scheduler.requeue(404),
+            Err(PlatformError::NotFound { kind: "dead letter", id: 404 })
+        ));
+        assert!(matches!(
+            scheduler.dead_letter(404),
+            Err(PlatformError::NotFound { kind: "dead letter", id: 404 })
+        ));
+        let doomed = scheduler.submit(1, || Err("gone".into())).unwrap();
+        let _ = scheduler.wait(doomed);
+        scheduler.shutdown();
+        assert!(matches!(scheduler.requeue(doomed), Err(PlatformError::SchedulerStopped)));
     }
 }

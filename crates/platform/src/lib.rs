@@ -23,6 +23,7 @@
 //! * [`features`] — the MLOps feature-support matrix of paper Table 5.
 
 pub mod api;
+pub mod dist;
 pub mod entities;
 pub mod error;
 pub mod features;

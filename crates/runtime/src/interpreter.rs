@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn missing_kernel_detected() {
         let interp = Interpreter::with_ops(artifact(), &["dense", "flatten"]).unwrap();
-        let err = interp.run(&vec![0.0; 8]).unwrap_err();
+        let err = interp.run(&[0.0; 8]).unwrap_err();
         assert_eq!(err, RuntimeError::MissingKernel("softmax".to_string()));
     }
 

@@ -62,7 +62,7 @@ pub fn gemm_f32_acc(
     col0: usize,
     out: &mut [f32],
 ) {
-    let w = if m == 0 { 0 } else { out.len() / m };
+    let w = out.len().checked_div(m).unwrap_or(0);
     debug_assert_eq!(out.len(), m * w);
     debug_assert!(a.len() >= m * k);
     debug_assert!(b.len() >= k * n);
@@ -172,6 +172,7 @@ fn micro_kernel_f32_edge(
 
 /// Unpacked fallback for tiny row counts: identical operand sequence,
 /// just no panel staging.
+#[allow(clippy::too_many_arguments)] // mirrors gemm_f32_acc's signature + w
 fn gemm_rows_direct(
     m: usize,
     k: usize,

@@ -9,12 +9,13 @@
 //! [`TunerReport::to_json`]) to the serial one.
 
 use crate::space::{Candidate, SearchSpace};
-use ei_core::impulse::ImpulseDesign;
+use ei_core::impulse::{ImpulseDesign, TrainedImpulse};
 use ei_core::{CoreError, Result};
 use ei_data::{Dataset, Split};
 use ei_device::Profiler;
+use ei_dist::{DistConfig, DistFaultPlan, DistTrainer};
 use ei_faults::CancelToken;
-use ei_nn::train::TrainConfig;
+use ei_nn::train::{TrainConfig, Trainer, TrainingReport};
 use ei_nn::Sequential;
 use ei_par::{ParError, ParPool};
 use ei_runtime::{EngineKind, EonProgram, Interpreter, ModelArtifact};
@@ -182,6 +183,8 @@ pub struct EonTuner {
     window_samples: usize,
     pool: Option<Arc<ParPool>>,
     cancel: Option<CancelToken>,
+    dist: Option<DistConfig>,
+    dist_faults: Option<DistFaultPlan>,
 }
 
 impl EonTuner {
@@ -194,7 +197,37 @@ impl EonTuner {
         window_samples: usize,
         config: TunerConfig,
     ) -> EonTuner {
-        EonTuner { space, profiler, config, window_samples, pool: None, cancel: None }
+        EonTuner {
+            space,
+            profiler,
+            config,
+            window_samples,
+            pool: None,
+            cancel: None,
+            dist: None,
+            dist_faults: None,
+        }
+    }
+
+    /// Trains trials on the `ei-dist` data-parallel cluster instead of
+    /// the in-process serial trainer. Distributed training is bitwise
+    /// deterministic at any worker count, so the report is unchanged by
+    /// `dist.workers`; what changes is the failure model — a trial whose
+    /// cluster dies (every worker lost, or an epoch out of retries)
+    /// becomes a skipped-trial record instead of aborting the search.
+    #[must_use]
+    pub fn with_distributed(mut self, dist: DistConfig) -> EonTuner {
+        self.dist = Some(dist);
+        self
+    }
+
+    /// Arms a worker-fault script for distributed trials. Each trial gets
+    /// a [`DistFaultPlan::fresh`] copy, so every trial faces the same
+    /// scripted faults independently.
+    #[must_use]
+    pub fn with_dist_faults(mut self, faults: DistFaultPlan) -> EonTuner {
+        self.dist_faults = Some(faults);
+        self
     }
 
     /// Runs candidate sweeps on `pool` instead of the global pool.
@@ -214,7 +247,7 @@ impl EonTuner {
     }
 
     fn pool(&self) -> &ParPool {
-        self.pool.as_deref().unwrap_or_else(ParPool::global)
+        self.pool.as_deref().unwrap_or_else(|| ParPool::global())
     }
 
     fn is_cancelled(&self) -> bool {
@@ -308,12 +341,57 @@ impl EonTuner {
         let design = ImpulseDesign::new("tuner-trial", self.window_samples, candidate.dsp.clone())?;
         let dims = design.feature_dims()?;
         let spec = candidate.model.spec(dims, classes);
-        let trained = design.train(&spec, dataset, train)?;
+        let trained = match &self.dist {
+            Some(dist) => self.train_distributed(dist, &design, &spec, dataset, train)?,
+            None => design.train(&spec, dataset, train)?,
+        };
         let artifact =
             if self.config.quantize { trained.int8_artifact()? } else { trained.float_artifact() };
         let eval = trained.evaluate(&artifact, dataset, Split::Testing)?;
         result.accuracy = eval.accuracy;
         Ok(result)
+    }
+
+    /// Trains one trial on the `ei-dist` cluster: extract features, init
+    /// the class-prior bias exactly as the serial path does, run the
+    /// data-parallel trainer, and assemble the result via
+    /// [`TrainedImpulse::from_parts`]. A cluster failure (all workers
+    /// dead, retries exhausted) surfaces as [`CoreError::Nn`], which the
+    /// search loops record as a skipped trial.
+    fn train_distributed(
+        &self,
+        dist: &DistConfig,
+        design: &ImpulseDesign,
+        spec: &ei_nn::ModelSpec,
+        dataset: &Dataset,
+        train: &TrainConfig,
+    ) -> Result<TrainedImpulse> {
+        let (features, ys, labels) = design.extract_features(dataset, Split::Training)?;
+        let n_classes = labels.len();
+        let mut model = Sequential::build(spec, train.seed)?;
+        if model.output_dims().len() != n_classes {
+            return Err(CoreError::InvalidImpulse(format!(
+                "model has {} outputs, dataset has {} classes",
+                model.output_dims().len(),
+                n_classes
+            )));
+        }
+        Trainer::new(train.clone()).init_class_bias(&mut model, &ys, n_classes)?;
+        let mut trainer = DistTrainer::new(dist.clone(), train.clone());
+        if let Some(faults) = &self.dist_faults {
+            trainer = trainer.with_faults(faults.fresh());
+        }
+        let dist_report = trainer
+            .train(&mut model, &features, &ys)
+            .map_err(|e| CoreError::Nn(format!("distributed training failed: {e}")))?;
+        let report = TrainingReport {
+            train_loss: dist_report.train_loss,
+            val_loss: Vec::new(),
+            val_accuracy: Vec::new(),
+            best_epoch: dist_report.epochs.saturating_sub(1),
+            best_val_accuracy: f32::NAN,
+        };
+        Ok(TrainedImpulse::from_parts(design.clone(), labels, model, report, features))
     }
 
     /// Random search (the paper's default algorithm): shuffle the cross
@@ -373,12 +451,22 @@ impl EonTuner {
             selected.push(candidate);
         }
 
-        for trial in
-            self.sweep(&selected, |c| self.evaluate_candidate(c, dataset, &self.config.train))?
-        {
-            // A training failure aborts the run with the lowest-index
-            // error — the same error the serial loop would hit first.
-            report.trials.push(trial?);
+        let outcomes =
+            self.sweep(&selected, |c| self.evaluate_candidate(c, dataset, &self.config.train))?;
+        for (candidate, trial) in selected.into_iter().zip(outcomes) {
+            match trial {
+                Ok(trial) => report.trials.push(trial),
+                // Under the distributed backend a dead cluster is an
+                // expected per-trial hazard: record the killed trial and
+                // keep searching, exactly as `run_hyperband` does.
+                Err(err) if self.dist.is_some() => {
+                    report.filtered.push((candidate, format!("evaluation failed: {err}")));
+                }
+                // The serial path keeps its abort-on-first-error
+                // contract: the lowest-index error, as the serial loop
+                // would hit it.
+                Err(err) => return Err(err),
+            }
         }
         report.trials.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
         Ok(report)
@@ -573,8 +661,7 @@ mod tests {
     #[test]
     fn eon_engine_estimates_leaner_than_tflm() {
         let tflm = quick_tuner(1);
-        let mut eon_cfg = TunerConfig::default();
-        eon_cfg.engine = EngineKind::EonCompiled;
+        let eon_cfg = TunerConfig { engine: EngineKind::EonCompiled, ..TunerConfig::default() };
         let eon =
             EonTuner::new(small_space(), Profiler::new(Board::nano33_ble_sense()), 1_000, eon_cfg);
         let candidate = &small_space().candidates()[0];
@@ -663,6 +750,48 @@ mod tests {
         assert!(json.starts_with(r#"{"trials":["#));
         assert!(json.contains(r#""pareto_front":["#));
         assert_eq!(json.matches(r#""accuracy":"#).count(), 2 + report.pareto_front().len());
+    }
+
+    #[test]
+    fn distributed_report_is_identical_at_any_worker_count() {
+        let dataset = small_dataset();
+        let reports: Vec<String> = [1usize, 4]
+            .into_iter()
+            .map(|workers| {
+                let tuner = quick_tuner(2).with_distributed(DistConfig::new(workers));
+                tuner.run(&dataset).unwrap().to_json()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "dist training must not depend on worker count");
+    }
+
+    #[test]
+    fn distributed_trial_survives_injected_worker_crash() {
+        let dataset = small_dataset();
+        let baseline = quick_tuner(1).with_distributed(DistConfig::new(2)).run(&dataset).unwrap();
+        // crash worker 1 mid-epoch in every trial; recovery reruns the
+        // epoch from checkpoint, so the report is bitwise unchanged
+        let faulted = quick_tuner(1)
+            .with_distributed(DistConfig::new(2).with_timeout_ms(40))
+            .with_dist_faults(DistFaultPlan::new().inject(1, 0, 0, ei_dist::WorkerFault::Crash))
+            .run(&dataset)
+            .unwrap();
+        assert_eq!(baseline.trials.len(), 1);
+        assert_eq!(baseline.to_json(), faulted.to_json());
+    }
+
+    #[test]
+    fn distributed_killed_trial_becomes_a_skipped_record() {
+        // a single-worker cluster whose only worker crashes cannot
+        // recover: the trial dies, the search carries on
+        let tuner = quick_tuner(2)
+            .with_distributed(DistConfig::new(1).with_timeout_ms(40))
+            .with_dist_faults(DistFaultPlan::new().inject(0, 0, 0, ei_dist::WorkerFault::Crash));
+        let report = tuner.run(&small_dataset()).unwrap();
+        assert!(report.trials.is_empty());
+        let skipped =
+            report.filtered.iter().filter(|(_, why)| why.contains("evaluation failed")).count();
+        assert_eq!(skipped, 2, "every killed trial recorded, none aborted the run");
     }
 
     #[test]

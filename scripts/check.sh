@@ -23,6 +23,12 @@ echo "==> kernel parity suite (EI_THREADS=1 and 4)"
 EI_THREADS=1 cargo test -q --test kernel_parity
 EI_THREADS=4 cargo test -q --test kernel_parity
 
+echo "==> distributed training suite (EI_THREADS=1 and 4 × two fault seeds)"
+for seed in 42 1337; do
+  EI_THREADS=1 EI_DIST_FAULT_SEED=$seed cargo test -q --test dist_training
+  EI_THREADS=4 EI_DIST_FAULT_SEED=$seed cargo test -q --test dist_training
+done
+
 echo "==> cargo test --doc"
 cargo test --doc
 
@@ -66,9 +72,38 @@ if [ -f results/kernels.json ]; then
       echo "dense_mlp blocked speedup dropped below 2x" >&2
       exit 1
     }
+  awk -F'"speedup_vs_naive":' '
+    /"kernel":"blocked_par"/ {
+      # single-core CI hosts put parallel rows at ~1.0x; a 0.9 floor
+      # absorbs timer noise while catching the 0.88x im2col regression
+      split($2, a, ","); if (a[1] + 0 < 0.9) { bad = 1 }
+    }
+    END { exit bad }' results/kernels.json || {
+      echo "a blocked_par kernel regressed below 0.9x naive" >&2
+      exit 1
+    }
   echo "  ok results/kernels.json"
 else
   echo "  (no results/kernels.json yet — run scripts/kernels_demo.sh)"
+fi
+
+echo "==> results/dist_training.json weights are bitwise-identical"
+if [ -f results/dist_training.json ]; then
+  if grep -vqF '"schema_version":' results/dist_training.json; then
+    echo "row without schema_version in results/dist_training.json" >&2
+    exit 1
+  fi
+  if grep -vqF '"weights_identical":true' results/dist_training.json; then
+    echo "a row is missing weights_identical:true" >&2
+    exit 1
+  fi
+  if grep -qF -- '"weights_identical":false' results/dist_training.json; then
+    echo "a distributed run diverged from the serial-SGD reference" >&2
+    exit 1
+  fi
+  echo "  ok results/dist_training.json"
+else
+  echo "  (no results/dist_training.json yet — run scripts/dist_demo.sh)"
 fi
 
 echo "==> all checks passed"

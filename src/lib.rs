@@ -18,6 +18,7 @@
 //! | [`runtime`] | `ei-runtime` | TFLM-style interpreter vs EON compiler |
 //! | [`device`] | `ei-device` | board models + latency/memory estimation |
 //! | [`data`] | `ei-data` | datasets, ingestion, synthetic workloads |
+//! | [`dist`] | `ei-dist` | fault-tolerant data-parallel distributed training |
 //! | [`core`] | `ei-core` | the impulse pipeline + deployment + firmware SDK |
 //! | [`tuner`] | `ei-tuner` | the EON Tuner (AutoML) |
 //! | [`calibration`] | `ei-calibration` | streaming performance calibration |
@@ -54,6 +55,7 @@ pub use ei_calibration as calibration;
 pub use ei_core as core;
 pub use ei_data as data;
 pub use ei_device as device;
+pub use ei_dist as dist;
 pub use ei_dsp as dsp;
 pub use ei_faults as faults;
 pub use ei_nn as nn;

@@ -71,8 +71,7 @@ proptest! {
         let calib: Vec<Vec<f32>> =
             (0..12).map(|i| random_input(spec.input.len(), seed.wrapping_add(i))).collect();
         let qmodel = quantize_model(&model, &calib).expect("quantizes");
-        for i in 0..4 {
-            let x = &calib[i];
+        for x in calib.iter().take(4) {
             let f = model.forward(x).unwrap();
             let q = qmodel.forward(x).unwrap();
             // post-softmax probabilities must be close
