@@ -1,0 +1,131 @@
+//! Vendored minimal Criterion-compatible benchmark harness.
+//!
+//! Part of the workspace's hermetic-build vendor set (see `vendor/rand`).
+//! Supports the subset the workspace's benches use: `bench_function` with
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`, and
+//! `Criterion::default().sample_size(n)`. Each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and prints the per-iteration
+//! median and range — enough to keep the kernels honest without the full
+//! statistical machinery.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; collects timing samples for named functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints a summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // warm-up + calibration: grow iteration count until one sample
+        // takes ~2ms so short kernels aren't pure timer noise
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(2) || bencher.iters >= 1 << 20 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{name:<32} time: [{} {} {}] ({} samples x {} iters)",
+            format_time(lo),
+            format_time(median),
+            format_time(hi),
+            self.sample_size,
+            bencher.iters,
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Re-export for compatibility with criterion's prelude habit.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

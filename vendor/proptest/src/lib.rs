@@ -1,0 +1,519 @@
+//! Vendored minimal property-testing harness with a proptest-compatible
+//! surface.
+//!
+//! Part of the workspace's hermetic-build vendor set (see `vendor/rand`).
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`, integer/float range strategies,
+//! `collection::vec`, `bool::ANY`, `num::u8::ANY`, `any::<T>()`, tuple
+//! strategies, `.prop_map`, and `[a-z]{n,m}`-style string strategies.
+//! Cases are generated from a deterministic per-test seed; there is no
+//! shrinking — a failing case reports its inputs via the assertion
+//! message instead.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Deterministic seed for a named test.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, gen: &mut Gen) -> O {
+        (self.f)(self.inner.generate(gen))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (gen.next() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (gen.next() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = gen.unit_f64();
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * u;
+                v as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(gen),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Simple `[X-Y]{n,m}`-style string strategies (`&str` literals act as
+/// strategies, matching proptest's regex strings for the subset used here).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, gen: &mut Gen) -> String {
+        match parse_simple_regex(self) {
+            Some((chars, lo, hi)) => {
+                let len = lo + (gen.below((hi - lo + 1) as u64) as usize);
+                (0..len).map(|_| chars[gen.below(chars.len() as u64) as usize]).collect()
+            }
+            // not a recognized pattern: treat it as a literal
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[a-z]{lo,hi}` / `[a-z]{n}` / `[a-z]` into (alphabet, lo, hi).
+fn parse_simple_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let quant = &rest[close + 1..];
+    if quant.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let inner = quant.strip_prefix('{')?.strip_suffix('}')?;
+    match inner.split_once(',') {
+        Some((lo, hi)) => {
+            Some((chars, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+        }
+        None => {
+            let n: usize = inner.trim().parse().ok()?;
+            Some((chars, n, n))
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u8>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range integer strategy (`num::u8::ANY` and friends).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NumAny<T>(std::marker::PhantomData<T>);
+
+macro_rules! num_any {
+    ($($t:ty => $module:ident),*) => {$(
+        impl Strategy for NumAny<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                gen.next() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = NumAny<$t>;
+            fn arbitrary() -> NumAny<$t> {
+                NumAny(std::marker::PhantomData)
+            }
+        }
+        /// Strategies for this integer type.
+        pub mod $module {
+            /// Any value of the type.
+            pub const ANY: super::NumAny<$t> = super::NumAny(std::marker::PhantomData);
+        }
+    )*};
+}
+
+/// Numeric strategies (`proptest::num::u8::ANY`).
+pub mod num {
+    use super::{Arbitrary, Gen, NumAny, Strategy};
+    num_any! {
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Arbitrary, Gen, Strategy};
+
+    /// Strategy producing either boolean.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, gen: &mut Gen) -> bool {
+            gen.next() & 1 == 1
+        }
+    }
+
+    /// Any boolean.
+    pub const ANY: Any = Any;
+
+    impl Arbitrary for bool {
+        type Strategy = Any;
+        fn arbitrary() -> Any {
+            Any
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing vectors of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors with lengths drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + gen.below(span) as usize;
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// The usual proptest imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Declares deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$meta:meta])+ fn $name:ident(
+        $($arg:ident in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut gen = $crate::Gen::new($crate::test_seed(stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut gen);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut gen = crate::Gen::new(7);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&(5u32..17), &mut gen);
+            assert!((5..17).contains(&v));
+            let f = crate::Strategy::generate(&(-1.0f32..1.0), &mut gen);
+            assert!((-1.0..1.0).contains(&f));
+            let i = crate::Strategy::generate(&(-50i64..-10), &mut gen);
+            assert!((-50..-10).contains(&i));
+            let u = crate::Strategy::generate(&(0u8..=255), &mut gen);
+            let _ = u; // full range: only checks no panic
+        }
+    }
+
+    #[test]
+    fn vec_and_regex_strategies() {
+        let mut gen = crate::Gen::new(11);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(
+                &crate::collection::vec(0usize..10, 2..5),
+                &mut gen,
+            );
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let s = crate::Strategy::generate(&"[a-z]{0,12}", &mut gen);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_asserts(
+            x in 1usize..100,
+            pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a, b)),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(x >= 1);
+            prop_assert_eq!(pair.0 as usize + x - x, pair.0 as usize);
+            let _ = flag;
+            prop_assert!(x < 100, "x was {x}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The standard distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of type `T` given randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_32 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_int_64 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int_32!(u8, u16, u32, i8, i16, i32);
+standard_int_64!(u64, i64, usize, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // one bit, like rand 0.8 (i32 sign test)
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 bits of precision, multiply-based: [0, 1)
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, via widening multiply + rejection for
+    //! integers and the `[1, 2)` mantissa trick for floats.
+
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Marker for types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`.
+        fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Samples uniformly from `[low, high]`.
+        fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
+            -> Self;
+    }
+
+    /// Range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_range(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = (*self.start(), *self.end());
+            assert!(low <= high, "gen_range: empty inclusive range");
+            T::sample_range_inclusive(rng, low, high)
+        }
+    }
+
+    #[inline]
+    fn sample_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+        // range == 0 encodes the full 2^32 range
+        if range == 0 {
+            return rng.next_u32();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let m = u64::from(v) * u64::from(range);
+            let (hi, lo) = ((m >> 32) as u32, m as u32);
+            if lo <= zone {
+                return hi;
+            }
+        }
+    }
+
+    #[inline]
+    fn sample_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        if range == 0 {
+            return rng.next_u64();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let m = u128::from(v) * u128::from(range);
+            let (hi, lo) = ((m >> 64) as u64, m as u64);
+            if lo <= zone {
+                return hi;
+            }
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $unsigned:ty, $sample:ident),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let range = high.wrapping_sub(low) as $unsigned;
+                    low.wrapping_add($sample(rng, range.into()) as $t)
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: $t,
+                    high: $t,
+                ) -> $t {
+                    // widen before the +1 so only a genuine full-u32 range
+                    // hits the range==0 "whole type" encoding
+                    let range = (high.wrapping_sub(low) as $unsigned) as u64 + 1;
+                    if range > u32::MAX as u64 {
+                        low.wrapping_add(rng.next_u32() as $t)
+                    } else {
+                        low.wrapping_add($sample(rng, range as u32) as $t)
+                    }
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        u8 => u8, sample_u32,
+        u16 => u16, sample_u32,
+        u32 => u32, sample_u32,
+        i8 => u8, sample_u32,
+        i16 => u16, sample_u32,
+        i32 => u32, sample_u32,
+    );
+
+    macro_rules! uniform_int_64 {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let range = high.wrapping_sub(low) as u64;
+                    low.wrapping_add(sample_u64(rng, range) as $t)
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: $t,
+                    high: $t,
+                ) -> $t {
+                    let range = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                    low.wrapping_add(sample_u64(rng, range) as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_int_64!(u64, i64, usize, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty => $next:ident, $shift:expr, $one_bits:expr),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let scale = high - low;
+                    let offset = low - scale;
+                    // [1, 2) via mantissa bits, then scale
+                    let value1_2 = <$t>::from_bits((rng.$next() >> $shift) | $one_bits);
+                    value1_2 * scale + offset
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: $t,
+                    high: $t,
+                ) -> $t {
+                    // the closed/open distinction is below sampling noise for
+                    // the workspace's uses; clamp keeps the contract honest
+                    Self::sample_range(rng, low, high).min(high)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(
+        f32 => next_u32, 9, 0x3f80_0000u32,
+        f64 => next_u64, 12, 0x3ff0_0000_0000_0000u64,
+    );
+}

@@ -1,0 +1,131 @@
+//! Generator implementations. Only `StdRng` is provided: a ChaCha12 block
+//! cipher in counter mode, the same algorithm the real `rand` 0.8 uses.
+
+use crate::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+/// Words buffered per refill (4 ChaCha blocks, like rand_chacha).
+const BUF_WORDS: usize = 64;
+
+/// The standard RNG: ChaCha12, seeded explicitly.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// 8 key words from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12-13 of the ChaCha state).
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn block(&self, counter: u64, out: &mut [u32; BLOCK_WORDS]) {
+        // "expand 32-byte k"
+        let mut state: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        // 12 rounds = 6 double rounds
+        for _ in 0..6 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        *out = state;
+    }
+
+    fn refill(&mut self) {
+        let mut block = [0u32; BLOCK_WORDS];
+        for i in 0..(BUF_WORDS / BLOCK_WORDS) {
+            self.block(self.counter, &mut block);
+            self.counter = self.counter.wrapping_add(1);
+            self.buf[i * BLOCK_WORDS..(i + 1) * BLOCK_WORDS].copy_from_slice(&block);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng { key, counter: 0, buf: [0; BUF_WORDS], index: BUF_WORDS }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let word = self.buf[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // combine two consecutive u32s (low word first), spanning a refill
+        // boundary if needed — BlockRng's read_u64 semantics
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        if self.index == BUF_WORDS - 1 {
+            let low = self.buf[BUF_WORDS - 1];
+            self.refill();
+            let high = self.buf[0];
+            self.index = 1;
+            (u64::from(high) << 32) | u64::from(low)
+        } else {
+            let low = self.buf[self.index];
+            let high = self.buf[self.index + 1];
+            self.index += 2;
+            (u64::from(high) << 32) | u64::from(low)
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Sequence helpers: in-place Fisher–Yates shuffle.
+
+use crate::{Rng, RngCore};
+
+/// Randomization helpers for slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, back to front — the same
+    /// traversal rand 0.8 uses, including its 32-bit index fast path).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    // `&mut R` is Sized and forwards RngCore, satisfying Rng's bounds
+    let mut by_ref = &mut *rng;
+    if ubound <= u32::MAX as usize {
+        Rng::gen_range(&mut by_ref, 0..ubound as u32) as usize
+    } else {
+        Rng::gen_range(&mut by_ref, 0..ubound)
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! value-tree serde shim (see `vendor/serde`).
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`) and emits
+//! impls of the shim's `Serialize::to_value` / `Deserialize::from_value`.
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (declaration-order object keys, honoring
+//!   `#[serde(default)]` and implicit-`None` `Option` fields);
+//! * tuple structs — one field is a newtype (transparent, matching
+//!   `#[serde(transparent)]`), several serialize as an array;
+//! * enums, externally tagged: unit variants as strings, newtype/tuple
+//!   variants as `{"Variant": payload}`, struct variants as
+//!   `{"Variant": {fields}}`.
+//!
+//! Generic items are not supported (none are derived in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `Serialize` (render to a `serde::value::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` (rebuild from a `serde::value::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model --
+
+struct Field {
+    name: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute groups; returns true when one of them was
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if attr_is_serde_default(&g.stream()) {
+                    has_default = true;
+                }
+            }
+        }
+        has_default
+    }
+
+    /// Skips `pub` / `pub(crate)` / `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn attr_is_serde_default(attr: &TokenStream) -> bool {
+    let mut it = attr.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) => {
+            name.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body: {other:?}"),
+            };
+            Item { name, shape: Shape::Struct(fields) }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected enum body: {other:?}"),
+            };
+            Item { name, shape: Shape::Enum(parse_variants(body)) }
+        }
+        other => panic!("derive shim supports struct/enum, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let has_default = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // consume the type: everything until a comma at angle-bracket depth 0
+        let mut angle_depth = 0i32;
+        let mut first_ty_token: Option<String> = None;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                _ => {}
+            }
+            let t = c.next().expect("peeked token");
+            if first_ty_token.is_none() {
+                first_ty_token = Some(t.to_string());
+            }
+        }
+        let is_option = first_ty_token.as_deref() == Some("Option");
+        fields.push(Field { name, has_default, is_option });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in body {
+        any = true;
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs(); // e.g. #[default]
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // optional discriminant (`= expr`) is not supported with payloads we
+        // care about; skip to the next comma
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// -------------------------------------------------------------- codegen --
+
+const VALUE: &str = "::serde::value::Value";
+const MAP: &str = "::serde::value::Map";
+const DE_ERR: &str = "::serde::value::DeError";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = format!("let mut map = {MAP}::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "map.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str(&format!("{VALUE}::Object(map)"));
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => format!("{VALUE}::Null"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {VALUE}::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\n\
+                         let mut map = {MAP}::new();\n\
+                         map.insert(\"{vname}\".to_string(), ::serde::Serialize::to_value(f0));\n\
+                         {VALUE}::Object(map)\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut map = {MAP}::new();\n\
+                             map.insert(\"{vname}\".to_string(), {VALUE}::Array(vec![{items}]));\n\
+                             {VALUE}::Object(map)\n}}\n",
+                            binds = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::new();
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{n}\".to_string(), \
+                                 ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut inner = {MAP}::new();\n\
+                             {inner}\
+                             let mut map = {MAP}::new();\n\
+                             map.insert(\"{vname}\".to_string(), {VALUE}::Object(inner));\n\
+                             {VALUE}::Object(map)\n}}\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Field initializer for a named field pulled out of `map`.
+fn named_field_init(f: &Field) -> String {
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option {
+        // serde treats absent Option fields as None
+        format!("::serde::Deserialize::from_value(&{VALUE}::Null)?")
+    } else {
+        format!("return Err({DE_ERR}::missing_field(\"{}\"))", f.name)
+    };
+    format!(
+        "{n}: match map.get(\"{n}\") {{\n\
+         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+         None => {missing},\n}}",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields.iter().map(named_field_init).collect();
+            format!(
+                "match value {{\n\
+                 {VALUE}::Object(map) => Ok({name} {{\n{inits},\n}}),\n\
+                 other => Err({DE_ERR}::type_mismatch(\"struct {name}\", other)),\n}}",
+                inits = inits.join(",\n"),
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 {VALUE}::Array(items) if items.len() == {n} => \
+                 Ok({name}({inits})),\n\
+                 other => Err({DE_ERR}::type_mismatch(\"tuple struct {name}\", other)),\n}}",
+                inits = inits.join(", "),
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("{{ let _ = value; Ok({name}) }}"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => \
+                         Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match payload {{\n\
+                             {VALUE}::Array(items) if items.len() == {n} => \
+                             Ok({name}::{vname}({inits})),\n\
+                             other => Err({DE_ERR}::type_mismatch(\
+                             \"{n}-element array for variant {vname}\", other)),\n}},\n",
+                            inits = inits.join(", "),
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs.iter().map(named_field_init).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match payload {{\n\
+                             {VALUE}::Object(map) => Ok({name}::{vname} {{\n{inits},\n}}),\n\
+                             other => Err({DE_ERR}::type_mismatch(\
+                             \"object for variant {vname}\", other)),\n}},\n",
+                            inits = inits.join(",\n"),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 {VALUE}::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err({DE_ERR}::new(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 {VALUE}::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, payload) = map.iter().next().expect(\"one entry\");\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err({DE_ERR}::new(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 other => Err({DE_ERR}::type_mismatch(\"enum {name}\", other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &{VALUE}) -> ::std::result::Result<Self, {DE_ERR}> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

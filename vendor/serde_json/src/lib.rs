@@ -1,0 +1,458 @@
+//! Vendored JSON text layer with a serde_json-compatible surface.
+//!
+//! Part of the workspace's hermetic-build vendor set (see `vendor/rand`).
+//! Shares the [`Value`] tree with the vendored `serde` crate, so derived
+//! types print and parse exactly like the subset of real serde_json this
+//! workspace relies on: compact `to_string`, two-space `to_string_pretty`,
+//! a full JSON parser behind `from_str`, and the `json!` literal macro.
+
+#![warn(missing_docs)]
+
+pub use serde::value::{Number, Value};
+
+/// Object type; the generic parameters exist only for signature
+/// compatibility (`serde_json::Map<String, Value>`), and only the
+/// `(String, Value)` instantiation exists.
+pub type Map<K = String, V = Value> = <(K, V) as ObjectKind>::Map;
+
+/// Maps `Map<K, V>` type parameters onto the one real object type.
+pub trait ObjectKind {
+    /// The concrete map type.
+    type Map;
+}
+
+impl ObjectKind for (String, Value) {
+    type Map = serde::value::Map;
+}
+
+/// JSON serialization/deserialization error.
+pub use serde::value::DeError as Error;
+
+#[doc(hidden)]
+pub use serde::value::Map as __Map;
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for this implementation; the `Result` keeps the real
+/// serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for this implementation (see [`to_string`]).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for this implementation.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails when the tree's shape doesn't match `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Parses a JSON document into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or when the document's shape doesn't match `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from a JSON literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::__Map::new();
+        $crate::json_object!(map () $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ([$($elems:expr,)*]) => {
+        $crate::Value::Array(vec![$($elems,)*])
+    };
+    ([$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!([$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] {$($map:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_array!([$($elems,)* $crate::json!({$($map)*}),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([$($elems,)* $crate::json!([$($arr)*]),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_array!([$($elems,)* $crate::__to_value(&$next),] $($rest)*)
+    };
+    ([$($elems:expr,)*] $last:expr) => {
+        $crate::json_array!([$($elems,)* $crate::__to_value(&$last),])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ($map:ident ()) => {};
+    ($map:ident () $key:tt : $($rest:tt)*) => {
+        $crate::json_object_value!($map [$key] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    ($map:ident [$key:tt] null $(, $($rest:tt)*)?) => {
+        let _ = $map.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_object!($map () $($($rest)*)?);
+    };
+    ($map:ident [$key:tt] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        let _ = $map.insert(($key).to_string(), $crate::json!({$($inner)*}));
+        $crate::json_object!($map () $($($rest)*)?);
+    };
+    ($map:ident [$key:tt] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        let _ = $map.insert(($key).to_string(), $crate::json!([$($inner)*]));
+        $crate::json_object!($map () $($($rest)*)?);
+    };
+    ($map:ident [$key:tt] $value:expr , $($rest:tt)*) => {
+        let _ = $map.insert(($key).to_string(), $crate::__to_value(&$value));
+        $crate::json_object!($map () $($rest)*);
+    };
+    ($map:ident [$key:tt] $value:expr) => {
+        let _ = $map.insert(($key).to_string(), $crate::__to_value(&$value));
+    };
+}
+
+// --------------------------------------------------------------- parser --
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { input: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.input[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = serde::value::Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xd800..0xdc00).contains(&hi) {
+                            // surrogate pair
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::new(format!("invalid escape at byte {}", self.pos))),
+                },
+                Some(c) if c < 0x80 => {
+                    if c < 0x20 {
+                        return Err(Error::new("control character in string"));
+                    }
+                    out.push(c as char);
+                }
+                Some(c) => {
+                    // multi-byte UTF-8: the input is a valid &str, so re-read
+                    // the whole character from the source
+                    let start = self.pos - 1;
+                    let width = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let text = std::str::from_utf8(&self.input[start..start + width])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    out.push_str(text);
+                    self.pos = start + width;
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or_else(|| Error::new("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::new("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("number bytes are ascii");
+        let number = if is_float {
+            let f: f64 =
+                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            Number::from_f64_lossy(f)
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(n) => Number::from_i64(n),
+                Err(_) => Number::from_f64_lossy(
+                    text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                ),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Number::from_u64(n),
+                Err(_) => Number::from_f64_lossy(
+                    text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+                ),
+            }
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_json() {
+        let text = r#"{"name":"kws","count":3,"ratio":0.5,"tags":["a","b"],"none":null,"ok":true}"#;
+        let value: Value = from_str(text).unwrap();
+        assert_eq!(value["name"], "kws");
+        assert_eq!(value["count"], 3);
+        assert_eq!(value["ratio"], 0.5);
+        assert_eq!(value["tags"][1], "b");
+        assert!(value["none"].is_null());
+        assert_eq!(value["ok"], true);
+        assert_eq!(to_string(&value).unwrap(), text);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let id = 7u32;
+        let v = json!({
+            "success": true,
+            "inner": { "list": [1, 2.5, null], "label": "x" },
+            "id": id,
+        });
+        assert_eq!(v["success"], true);
+        assert_eq!(v["inner"]["list"][0], 1);
+        assert_eq!(v["inner"]["list"][1], 2.5);
+        assert!(v["inner"]["list"][2].is_null());
+        assert_eq!(v["inner"]["label"], "x");
+        assert_eq!(v["id"], 7);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: Value = from_str(r#""a\n\t\"\\ é 😀 ü""#).unwrap();
+        assert_eq!(v, "a\n\t\"\\ \u{e9} \u{1f600} ü");
+    }
+
+    #[test]
+    fn float_formatting_keeps_floats_floaty() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        let back: f64 = from_str("1.0").unwrap();
+        assert!((back - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": 1,}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+}
