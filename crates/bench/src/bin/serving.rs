@@ -153,14 +153,16 @@ fn run_trace(models: &[(String, ModelSource)], print: bool) -> ResultsWriter {
         completions.extend(server.drain());
     }
 
-    // group latencies per (tenant, engine)
+    // group latencies per (tenant, engine) and per tenant across engines
     let mut series: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    let mut by_tenant: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     for c in &completions {
         assert!(
             matches!(c.outcome, Outcome::Classified(_)),
             "trace requests must all classify: {c:?}"
         );
         series.entry((c.tenant.clone(), c.engine.to_string())).or_default().push(c.latency_ms);
+        by_tenant.entry(c.tenant.clone()).or_default().push(c.latency_ms);
     }
 
     let stats = server.cache_stats();
@@ -186,6 +188,27 @@ fn run_trace(models: &[(String, ModelSource)], print: bool) -> ResultsWriter {
                 .stamp()
                 .field("tenant", Json::Str(tenant))
                 .field("engine", Json::Str(engine))
+                .field("requests", Json::Uint(lat.len() as u64))
+                .field("p50_ms", Json::Uint(p50))
+                .field("p95_ms", Json::Uint(p95))
+                .field("p99_ms", Json::Uint(p99)),
+        );
+    }
+    // per-tenant aggregates across engines: the ground truth an
+    // `ei_obs::SloSpec` latency objective for that tenant evaluates
+    // against (ei-obs labels `serve.latency_ms` by tenant only)
+    for (tenant, mut lat) in by_tenant {
+        lat.sort_unstable();
+        let (p50, p95, p99) = (percentile(&lat, 50), percentile(&lat, 95), percentile(&lat, 99));
+        if print {
+            println!("{tenant:<8} {:<6} {:>9} {p50:>8} {p95:>8} {p99:>8}", "all", lat.len());
+        }
+        results.push(
+            results
+                .stamp()
+                .field("tenant", Json::Str(tenant))
+                .field("engine", Json::Str("all".into()))
+                .field("slo_ground_truth", Json::Bool(true))
                 .field("requests", Json::Uint(lat.len() as u64))
                 .field("p50_ms", Json::Uint(p50))
                 .field("p95_ms", Json::Uint(p95))

@@ -11,7 +11,7 @@ use ei_nn::train::{
     accumulate_grads, apply_batch, restore, snapshot, BatchGrads, Checkpoint, TrainConfig, Trainer,
 };
 use ei_nn::Sequential;
-use ei_trace::Tracer;
+use ei_trace::{SpanGuard, Tracer};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -239,6 +239,7 @@ impl DistTrainer {
                         Err(Abort::Fatal(err)) => return Err(err),
                         Err(Abort::Dead { workers, cause }) => {
                             self.bury_and_reassign(
+                                &span,
                                 &mut slots,
                                 &mut assignment,
                                 &workers,
@@ -435,9 +436,14 @@ impl DistTrainer {
     }
 
     /// Marks `dead` workers as gone, reassigns their partitions
-    /// round-robin onto survivors, and emits the recovery telemetry.
+    /// round-robin onto survivors, and emits the recovery telemetry
+    /// through the `dist.train` span, so crash events carry the training
+    /// run's causal chain (back to the submitting job/request) for the
+    /// flight recorder.
+    #[allow(clippy::too_many_arguments)]
     fn bury_and_reassign(
         &self,
+        span: &SpanGuard,
         slots: &mut [WorkerSlot],
         assignment: &mut [usize],
         dead: &[usize],
@@ -450,7 +456,7 @@ impl DistTrainer {
             slots[w].beat.store(u64::MAX, Ordering::SeqCst);
             report.crashes_detected += 1;
             self.tracer.counter("dist.crashes_detected").inc();
-            self.tracer.event(
+            span.event(
                 "dist.crash_detected",
                 vec![
                     ("worker", (w as u64).into()),
@@ -472,14 +478,14 @@ impl DistTrainer {
             *owner = survivors[next % survivors.len()];
             next += 1;
             moved += 1;
-            self.tracer.event(
+            span.event(
                 "dist.partition_rescheduled",
                 vec![("partition", (partition as u64).into()), ("worker", (*owner as u64).into())],
             );
         }
         report.partitions_rescheduled += moved;
         self.tracer.counter("dist.partitions_rescheduled").add(moved);
-        self.tracer.event(
+        span.event(
             "dist.partitions_rescheduled",
             vec![("count", moved.into()), ("epoch", (epoch as u64).into())],
         );

@@ -1,0 +1,286 @@
+//! Declarative SLOs evaluated as multi-window burn rates.
+//!
+//! An [`SloSpec`] states an objective ("99% of requests under 100 ms");
+//! an [`SloMonitor`] folds request outcomes into per-window bad-event
+//! fractions and converts them to **burn rates** — the fraction of the
+//! error budget (`1 - target`) being spent, normalized so a burn rate of
+//! `1.0` means "exactly on budget". A breach fires only when *every*
+//! configured window exceeds its threshold (the classic multi-window
+//! guard: the short window proves the problem is happening *now*, the
+//! long window proves it is not a blip), and re-fires are separated by a
+//! cooldown. All timing comes from caller-supplied logical milliseconds,
+//! so monitors are deterministic under an [`ei_faults::VirtualClock`].
+
+use std::collections::VecDeque;
+
+/// One evaluation window of a multi-window burn-rate rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindow {
+    /// Window length in logical milliseconds.
+    pub window_ms: u64,
+    /// Minimum burn rate over the window for this window to vote
+    /// "breach" (e.g. `14.4` = burning a 30-day budget in 2 days).
+    pub burn_threshold: f64,
+}
+
+/// What counts as a "bad" request for an objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// Bad = failed, or slower than `threshold_ms`.
+    Latency {
+        /// Latency objective threshold in logical milliseconds.
+        threshold_ms: f64,
+    },
+    /// Bad = failed.
+    ErrorRate,
+}
+
+/// A declarative service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name, carried on the fired `slo.breach` event.
+    pub name: String,
+    /// Restrict the objective to one tenant (`None` = all traffic).
+    pub tenant: Option<String>,
+    /// What counts as bad.
+    pub kind: SloKind,
+    /// Success objective in `(0, 1)` (e.g. `0.99`); the error budget is
+    /// `1 - target`.
+    pub target: f64,
+    /// Burn-rate windows; **all** must exceed their thresholds to fire.
+    pub windows: Vec<BurnWindow>,
+    /// Minimum logical ms between two firings of this objective.
+    pub cooldown_ms: u64,
+    /// Don't evaluate before this many samples are retained (avoids
+    /// firing off a single bad request at startup).
+    pub min_samples: usize,
+}
+
+impl SloSpec {
+    /// A latency objective: `target` of requests under `threshold_ms`.
+    /// Default windows: a 5 s window at burn ≥ 2 and a 60 s window at
+    /// burn ≥ 1 (tight, bench-scale equivalents of the 1 h/6 h pages),
+    /// 30 s cooldown, 10-sample floor.
+    pub fn latency(name: &str, threshold_ms: f64, target: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            tenant: None,
+            kind: SloKind::Latency { threshold_ms },
+            target,
+            windows: vec![
+                BurnWindow { window_ms: 5_000, burn_threshold: 2.0 },
+                BurnWindow { window_ms: 60_000, burn_threshold: 1.0 },
+            ],
+            cooldown_ms: 30_000,
+            min_samples: 10,
+        }
+    }
+
+    /// An availability objective: `target` of requests succeed.
+    pub fn error_rate(name: &str, target: f64) -> SloSpec {
+        SloSpec { kind: SloKind::ErrorRate, ..SloSpec::latency(name, 0.0, target) }
+    }
+
+    /// Scopes the objective to one tenant's traffic.
+    pub fn for_tenant(mut self, tenant: &str) -> SloSpec {
+        self.tenant = Some(tenant.to_string());
+        self
+    }
+
+    /// Replaces the burn-rate windows.
+    pub fn with_windows(mut self, windows: Vec<BurnWindow>) -> SloSpec {
+        self.windows = windows;
+        self
+    }
+
+    /// Sets the re-fire cooldown.
+    pub fn with_cooldown_ms(mut self, ms: u64) -> SloSpec {
+        self.cooldown_ms = ms;
+        self
+    }
+
+    /// Sets the minimum retained samples before evaluation.
+    pub fn with_min_samples(mut self, n: usize) -> SloSpec {
+        self.min_samples = n;
+        self
+    }
+}
+
+/// A fired breach: every window's burn rate exceeded its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBreach {
+    /// The objective's name.
+    pub name: String,
+    /// The objective's tenant scope, if any.
+    pub tenant: Option<String>,
+    /// Logical ms at which the breach fired.
+    pub at_ms: u64,
+    /// Burn rate per window, in spec order.
+    pub burn_rates: Vec<f64>,
+    /// Samples retained at evaluation time.
+    pub samples: usize,
+}
+
+/// Evaluates one [`SloSpec`] over a stream of request outcomes.
+#[derive(Debug)]
+pub struct SloMonitor {
+    spec: SloSpec,
+    /// (logical ms, was bad) per retained sample, oldest first.
+    samples: VecDeque<(u64, bool)>,
+    last_fired_ms: Option<u64>,
+}
+
+impl SloMonitor {
+    /// A monitor with no history.
+    pub fn new(spec: SloSpec) -> SloMonitor {
+        SloMonitor { spec, samples: VecDeque::new(), last_fired_ms: None }
+    }
+
+    /// The objective under evaluation.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// `true` when this monitor watches `tenant`'s traffic.
+    pub fn watches(&self, tenant: &str) -> bool {
+        self.spec.tenant.as_deref().is_none_or(|t| t == tenant)
+    }
+
+    /// The burn rate over the trailing `window_ms` at `now_ms`: bad
+    /// fraction divided by the error budget (`0.0` with no samples).
+    pub fn burn_rate(&self, now_ms: u64, window_ms: u64) -> f64 {
+        let from = now_ms.saturating_sub(window_ms);
+        let (mut bad, mut total) = (0u64, 0u64);
+        for &(ts, is_bad) in self.samples.iter().rev() {
+            if ts < from {
+                break;
+            }
+            total += 1;
+            bad += is_bad as u64;
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - self.spec.target).max(f64::MIN_POSITIVE);
+        (bad as f64 / total as f64) / budget
+    }
+
+    /// Folds one request outcome in and evaluates the objective.
+    /// `now_ms` must be monotone non-decreasing (use the injected clock).
+    pub fn record(&mut self, now_ms: u64, latency_ms: f64, ok: bool) -> Option<SloBreach> {
+        let bad = match self.spec.kind {
+            SloKind::Latency { threshold_ms } => !ok || latency_ms > threshold_ms,
+            SloKind::ErrorRate => !ok,
+        };
+        self.samples.push_back((now_ms, bad));
+        let horizon = self.spec.windows.iter().map(|w| w.window_ms).max().unwrap_or(0);
+        let from = now_ms.saturating_sub(horizon);
+        while self.samples.front().is_some_and(|&(ts, _)| ts < from) {
+            self.samples.pop_front();
+        }
+        if self.samples.len() < self.spec.min_samples || self.spec.windows.is_empty() {
+            return None;
+        }
+        if let Some(last) = self.last_fired_ms {
+            if now_ms.saturating_sub(last) < self.spec.cooldown_ms {
+                return None;
+            }
+        }
+        let burn_rates: Vec<f64> =
+            self.spec.windows.iter().map(|w| self.burn_rate(now_ms, w.window_ms)).collect();
+        let all_burning =
+            self.spec.windows.iter().zip(&burn_rates).all(|(w, &rate)| rate >= w.burn_threshold);
+        if !all_burning {
+            return None;
+        }
+        self.last_fired_ms = Some(now_ms);
+        Some(SloBreach {
+            name: self.spec.name.clone(),
+            tenant: self.spec.tenant.clone(),
+            at_ms: now_ms,
+            burn_rates,
+            samples: self.samples.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_spec() -> SloSpec {
+        SloSpec::latency("lat", 100.0, 0.9)
+            .with_windows(vec![
+                BurnWindow { window_ms: 100, burn_threshold: 2.0 },
+                BurnWindow { window_ms: 1_000, burn_threshold: 1.0 },
+            ])
+            .with_min_samples(4)
+            .with_cooldown_ms(500)
+    }
+
+    #[test]
+    fn healthy_traffic_never_fires() {
+        let mut m = SloMonitor::new(tight_spec());
+        for t in 0..200u64 {
+            assert_eq!(m.record(t * 10, 5.0, true), None);
+        }
+    }
+
+    #[test]
+    fn sustained_slow_traffic_fires_once_per_cooldown() {
+        let mut m = SloMonitor::new(tight_spec());
+        let mut fired = Vec::new();
+        for t in 0..100u64 {
+            if let Some(b) = m.record(t * 10, 500.0, true) {
+                fired.push(b.at_ms);
+            }
+        }
+        assert!(!fired.is_empty(), "all-bad traffic must breach");
+        assert!(fired.windows(2).all(|w| w[1] - w[0] >= 500), "cooldown not honored: {fired:?}");
+        // Burn rate of all-bad traffic against a 0.9 target is 10x.
+        let rate = m.burn_rate(990, 1_000);
+        assert!((rate - 10.0).abs() < 1e-9, "burn {rate}");
+    }
+
+    #[test]
+    fn short_blip_does_not_fire_the_long_window() {
+        let mut m = SloMonitor::new(tight_spec());
+        // 96 good then 4 bad: short window burns hot, the 1 s window
+        // sits at 4% bad = 0.4 burn < 1.0 → no fire.
+        for t in 0..96u64 {
+            assert_eq!(m.record(t * 10, 5.0, true), None);
+        }
+        for t in 96..100u64 {
+            assert_eq!(m.record(t * 10, 500.0, true), None, "blip at t={t} must not fire");
+        }
+    }
+
+    #[test]
+    fn min_samples_gates_early_evaluation() {
+        let mut m = SloMonitor::new(tight_spec());
+        for t in 0..3u64 {
+            assert_eq!(m.record(t, 999.0, false), None);
+        }
+        assert!(m.record(3, 999.0, false).is_some(), "4th bad sample reaches the floor");
+    }
+
+    #[test]
+    fn error_rate_kind_ignores_latency() {
+        let spec = SloSpec::error_rate("avail", 0.5)
+            .with_windows(vec![BurnWindow { window_ms: 1_000, burn_threshold: 1.0 }])
+            .with_min_samples(1)
+            .with_cooldown_ms(0);
+        let mut m = SloMonitor::new(spec);
+        assert_eq!(m.record(0, 10_000.0, true), None, "slow-but-ok is fine for availability");
+        assert!(m.record(1, 1.0, false).is_some());
+    }
+
+    #[test]
+    fn tenant_scoping() {
+        let m = SloMonitor::new(tight_spec().for_tenant("alpha"));
+        assert!(m.watches("alpha"));
+        assert!(!m.watches("beta"));
+        let all = SloMonitor::new(tight_spec());
+        assert!(all.watches("anyone"));
+    }
+}

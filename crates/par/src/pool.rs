@@ -305,11 +305,18 @@ impl ParPool {
     /// job scheduler uses this to share the pool instead of spawning a
     /// thread per job. A panicking task is caught and dropped; the
     /// worker survives.
+    ///
+    /// The submitter's ambient [`ei_trace::context::TraceContext`] (if
+    /// any) is captured here and entered on the worker for the task's
+    /// duration, so spans the task opens stitch into the submitting
+    /// request's causal tree.
     pub fn spawn_detached<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'static,
     {
+        let ctx = ei_trace::context::current();
         self.inner.push(Box::new(move || {
+            let _entered = ctx.map(ei_trace::context::TraceContext::enter);
             let _ = catch_unwind(AssertUnwindSafe(f));
         }));
     }

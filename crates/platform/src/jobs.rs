@@ -45,7 +45,7 @@ use crate::{PlatformError, Result};
 use ei_faults::retry::{self, RetryEvent, RetryOutcome};
 use ei_faults::{AttemptRecord, CancelToken, Clock, FailureCause, RetryPolicy, SystemClock};
 use ei_par::ParPool;
-use ei_trace::Tracer;
+use ei_trace::{SpanGuard, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -109,6 +109,12 @@ struct QueuedJob {
     id: u64,
     policy: RetryPolicy,
     work: JobFn,
+    /// The job's `"job"` span, opened at submission on the submitter's
+    /// thread (adopting its ambient [`ei_trace::TraceContext`], so a job
+    /// submitted from inside a traced request stitches into that
+    /// request's causal tree) and closed when the job reaches a terminal
+    /// state. Lifecycle events are emitted through it.
+    span: SpanGuard,
 }
 
 struct JobState {
@@ -147,12 +153,16 @@ impl Shared {
     }
 
     /// Records a terminal dead-letter (status already stamped by the
-    /// caller) and mirrors it into the trace stream.
-    fn dead_letter(&self, letter: DeadLetter) {
-        self.tracer.event(
-            "job.dead_letter",
-            vec![("job", letter.id.into()), ("error", letter.error.as_str().into())],
-        );
+    /// caller) and mirrors it into the trace stream — through the job's
+    /// span when the caller still holds it, so the event names its
+    /// causal chain for the flight recorder. Must never take the `jobs`
+    /// lock: shutdown calls this while holding it.
+    fn dead_letter(&self, span: Option<&SpanGuard>, letter: DeadLetter) {
+        let fields = vec![("job", letter.id.into()), ("error", letter.error.as_str().into())];
+        match span {
+            Some(span) => span.event("job.dead_letter", fields),
+            None => self.tracer.event("job.dead_letter", fields),
+        }
         self.tracer.counter("jobs.dead_lettered").inc();
         lock(&self.dead).push(letter);
     }
@@ -367,9 +377,10 @@ impl JobScheduler {
                 attempts: Vec::new(),
             },
         );
-        self.shared.tracer.event("job.queued", vec![("job", id.into())]);
+        let span = self.shared.tracer.span_with("job", vec![("job", id.into())]);
+        span.event("job.queued", vec![("job", id.into())]);
         self.shared.tracer.counter("jobs.submitted").inc();
-        let job = QueuedJob { id, policy, work };
+        let job = QueuedJob { id, policy, work, span };
         match &self.backend {
             Backend::Dedicated { sender, .. } => {
                 let sender = sender.as_ref().ok_or(PlatformError::SchedulerStopped)?;
@@ -615,13 +626,19 @@ impl JobScheduler {
             let mut jobs = lock(&self.shared.jobs);
             for (id, state) in jobs.iter_mut() {
                 if state.status == JobStatus::Queued {
-                    self.shared.dead_letter(DeadLetter {
-                        id: *id,
-                        error: SHUTDOWN_ERROR.to_string(),
-                        attempts: Vec::new(),
-                        policy: None,
-                        requeueable: false,
-                    });
+                    // The job's span is inside the still-queued
+                    // `QueuedJob` (dropped with the channel/pool), so the
+                    // letter is recorded span-free.
+                    self.shared.dead_letter(
+                        None,
+                        DeadLetter {
+                            id: *id,
+                            error: SHUTDOWN_ERROR.to_string(),
+                            attempts: Vec::new(),
+                            policy: None,
+                            requeueable: false,
+                        },
+                    );
                     state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
                 }
             }
@@ -664,13 +681,16 @@ fn execute_queued(job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             // letter first, then the waking status flip (see `run_job`);
             // jobs → dead lock order is used nowhere in reverse
-            shared.dead_letter(DeadLetter {
-                id: job.id,
-                error: SHUTDOWN_ERROR.to_string(),
-                attempts: Vec::new(),
-                policy: Some(job.policy.clone()),
-                requeueable: false,
-            });
+            shared.dead_letter(
+                Some(&job.span),
+                DeadLetter {
+                    id: job.id,
+                    error: SHUTDOWN_ERROR.to_string(),
+                    attempts: Vec::new(),
+                    policy: Some(job.policy.clone()),
+                    requeueable: false,
+                },
+            );
             state.status = JobStatus::Failed(SHUTDOWN_ERROR.to_string());
             drop(jobs);
             shared.notify_status();
@@ -683,6 +703,11 @@ fn execute_queued(job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>) {
 
 fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &CancelToken) {
     let id = job.id;
+    let span = &job.span;
+    // Enter the job's context for the whole run: spans the work opens
+    // (dist.train, par.scope, nested serving calls…) become descendants
+    // of the `"job"` span and share its trace id.
+    let _entered = span.enter();
     let set_status = |status: JobStatus| {
         if let Some(state) = lock(&shared.jobs).get_mut(&id) {
             state.status = status;
@@ -692,9 +717,7 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
     let observer = |event: RetryEvent<'_>| match event {
         RetryEvent::AttemptStarted { attempt, deadline_ms } => {
             set_status(JobStatus::Running(attempt));
-            shared
-                .tracer
-                .event("job.running", vec![("job", id.into()), ("attempt", attempt.into())]);
+            span.event("job.running", vec![("job", id.into()), ("attempt", attempt.into())]);
             if let Some(deadline_ms) = deadline_ms {
                 lock(&shared.watch).insert(id, WatchEntry { attempt, deadline_ms });
             }
@@ -705,7 +728,7 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
         RetryEvent::AttemptFailed { record } => {
             if matches!(record.cause, FailureCause::TimedOut { .. }) {
                 set_status(JobStatus::TimedOut { attempt: record.attempt });
-                shared.tracer.event(
+                span.event(
                     "job.timed_out",
                     vec![("job", id.into()), ("attempt", record.attempt.into())],
                 );
@@ -717,7 +740,7 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
         }
         RetryEvent::BackingOff { next_attempt, delay_ms } => {
             set_status(JobStatus::Backoff { next_attempt, delay_ms });
-            shared.tracer.event(
+            span.event(
                 "job.backoff",
                 vec![
                     ("job", id.into()),
@@ -733,9 +756,7 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
         RetryOutcome::Success { output, .. } => {
             set_status(JobStatus::Finished(output));
             let attempts = result.attempts.len() as u64 + 1;
-            shared
-                .tracer
-                .event("job.finished", vec![("job", id.into()), ("attempts", attempts.into())]);
+            span.event("job.finished", vec![("job", id.into()), ("attempts", attempts.into())]);
             shared.tracer.counter("jobs.finished").inc();
         }
         RetryOutcome::Exhausted { error } => {
@@ -743,18 +764,21 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
             // flip: `Failed` wakes waiters, and a waiter is entitled to
             // find the dead letter the moment `wait` returns the error
             lock(&shared.parked).insert(id, job.work);
-            shared.dead_letter(DeadLetter {
-                id,
-                error: error.clone(),
-                attempts: result.attempts,
-                policy: Some(job.policy.clone()),
-                requeueable: true,
-            });
+            shared.dead_letter(
+                Some(span),
+                DeadLetter {
+                    id,
+                    error: error.clone(),
+                    attempts: result.attempts,
+                    policy: Some(job.policy.clone()),
+                    requeueable: true,
+                },
+            );
             set_status(JobStatus::Failed(error));
         }
         RetryOutcome::Cancelled => {
             set_status(JobStatus::Cancelled);
-            shared.tracer.event("job.cancelled", vec![("job", id.into())]);
+            span.event("job.cancelled", vec![("job", id.into())]);
             shared.tracer.counter("jobs.cancelled").inc();
         }
     }

@@ -35,9 +35,10 @@ use ei_core::Classification;
 use ei_device::{Board, Profiler};
 use ei_faults::retry::{self, RetryOutcome};
 use ei_faults::{CancelToken, Clock, FailureCause, RetryPolicy};
+use ei_obs::Obs;
 use ei_par::ParPool;
 use ei_runtime::EngineKind;
-use ei_trace::Tracer;
+use ei_trace::{SpanGuard, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -120,6 +121,10 @@ struct Pending {
     enqueued_ms: u64,
     deadline_at_ms: u64,
     req: InferenceRequest,
+    /// The request's `serve.request` span, opened at admission and
+    /// closed at completion; its trace id names the whole causal chain
+    /// (batch, pool scope, outcome event) for the flight recorder.
+    span: SpanGuard,
 }
 
 /// State behind the server's admission lock.
@@ -138,6 +143,7 @@ pub struct Server {
     pool: Arc<ParPool>,
     tracer: Tracer,
     cache: CompiledArtifactCache,
+    obs: Option<Arc<Obs>>,
     inner: Mutex<Inner>,
 }
 
@@ -169,6 +175,7 @@ impl Server {
             pool,
             tracer,
             cache,
+            obs: None,
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 buckets: HashMap::new(),
@@ -176,6 +183,15 @@ impl Server {
                 completed: Vec::new(),
             }),
         }
+    }
+
+    /// Attaches an always-on telemetry hub: every completion feeds the
+    /// hub's sharded per-tenant registry and SLO monitors (breaches trip
+    /// its flight recorder). Typically the server's `tracer` is
+    /// `obs.tracer().clone()` so spans land in the same recorder.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Server {
+        self.obs = Some(obs);
+        self
     }
 
     /// The server's configuration.
@@ -218,6 +234,9 @@ impl Server {
         let mut inner = self.lock_inner();
         if inner.queue.len() >= self.config.queue_capacity {
             self.tracer.quiet_counter("serve.rejected.overloaded").inc();
+            if let Some(obs) = &self.obs {
+                obs.registry().add("serve.rejected", &req.tenant, 1);
+            }
             return Err(Rejected::Overloaded { queue_depth: inner.queue.len() });
         }
         let (capacity, refill) = (self.config.quota_capacity, self.config.quota_refill_per_sec);
@@ -227,18 +246,29 @@ impl Server {
             .or_insert_with(|| TokenBucket::new(capacity, refill, now));
         if !bucket.try_take(now) {
             self.tracer.quiet_counter("serve.rejected.quota").inc();
+            if let Some(obs) = &self.obs {
+                obs.registry().add("serve.rejected", &req.tenant, 1);
+            }
             return Err(Rejected::QuotaExceeded { tenant: req.tenant });
         }
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
         let budget_ms =
             if req.deadline_ms == 0 { self.config.default_deadline_ms } else { req.deadline_ms };
+        // The request's causal root. Opened *after* admission (rejects
+        // stay span-free and cheap) and adopts any ambient context, so a
+        // request submitted from inside a traced caller stitches in.
+        let span = self.tracer.span_with(
+            "serve.request",
+            vec![("tenant", req.tenant.clone().into()), ("ticket", ticket.into())],
+        );
         let pending = Pending {
             ticket,
             key: req.artifact_key(),
             enqueued_ms: now,
             deadline_at_ms: now + budget_ms,
             req,
+            span,
         };
         inner.queue.push_back(pending);
         self.tracer.quiet_counter("serve.submitted").inc();
@@ -340,11 +370,21 @@ impl Server {
             batch.into_iter().partition(|p| now < p.deadline_at_ms);
         for p in expired {
             let waited_ms = now.saturating_sub(p.enqueued_ms);
-            self.complete(&p, Outcome::DeadlineExceeded { waited_ms }, now, now, false, 0);
+            self.complete(p, Outcome::DeadlineExceeded { waited_ms }, now, now, false, 0);
         }
         if live.is_empty() {
             return;
         }
+        // The batch span hangs off the oldest member's request, so at
+        // least one causal chain shows the full queue → batch → pool
+        // path; the pool scope below stitches in via the entered context.
+        let batch_span = live[0].span.child_with(
+            "serve.batch",
+            vec![
+                ("batch_size", (live.len() as u64).into()),
+                ("artifact", live[0].key.board.clone().into()),
+            ],
+        );
         let key = live[0].key.clone();
         let json = Arc::clone(&live[0].req.model.json);
         let compiled =
@@ -353,14 +393,16 @@ impl Server {
             Ok(pair) => pair,
             Err(e) => {
                 let finish = self.clock.now_ms();
-                for p in &live {
+                let batch_size = live.len();
+                drop(batch_span);
+                for p in live {
                     self.complete(
                         p,
                         Outcome::Failed(e.to_string()),
                         now,
                         finish,
                         false,
-                        live.len(),
+                        batch_size,
                     );
                 }
                 return;
@@ -383,26 +425,30 @@ impl Server {
         let policy = RetryPolicy::immediate(1).with_timeout(slack_ms);
         let cancel = CancelToken::new();
         let mut outputs: Option<Vec<Result<Classification, ServeError>>> = None;
-        let result = retry::execute(
-            &policy,
-            &*self.clock,
-            key.content_hash,
-            &cancel,
-            |_| {},
-            |_| {
-                self.clock.sleep_ms(service_ms, None);
-                outputs = Some(self.pool.par_map(&live, |p| artifact.classify(&p.req.window)));
-                Ok(String::new())
-            },
-        );
+        let result = {
+            let _in_batch = batch_span.enter();
+            retry::execute(
+                &policy,
+                &*self.clock,
+                key.content_hash,
+                &cancel,
+                |_| {},
+                |_| {
+                    self.clock.sleep_ms(service_ms, None);
+                    outputs = Some(self.pool.par_map(&live, |p| artifact.classify(&p.req.window)));
+                    Ok(String::new())
+                },
+            )
+        };
 
         let finish = self.clock.now_ms();
         let batch_size = live.len();
         self.tracer.histogram("serve.batch_size", &BATCH_BOUNDS).observe(batch_size as f64);
+        drop(batch_span);
         match result.outcome {
             RetryOutcome::Success { .. } => {
                 let outputs = outputs.take().expect("successful attempt stored its outputs");
-                for (p, out) in live.iter().zip(outputs) {
+                for (p, out) in live.into_iter().zip(outputs) {
                     let outcome = if finish > p.deadline_at_ms {
                         Outcome::DeadlineExceeded {
                             waited_ms: finish.saturating_sub(p.enqueued_ms),
@@ -421,7 +467,7 @@ impl Server {
                     .attempts
                     .last()
                     .is_some_and(|a| matches!(a.cause, FailureCause::TimedOut { .. }));
-                for p in &live {
+                for p in live {
                     let outcome = if timed_out {
                         Outcome::DeadlineExceeded {
                             waited_ms: finish.saturating_sub(p.enqueued_ms),
@@ -433,7 +479,7 @@ impl Server {
                 }
             }
             RetryOutcome::Cancelled => {
-                for p in &live {
+                for p in live {
                     self.complete(
                         p,
                         Outcome::Failed("cancelled".into()),
@@ -447,11 +493,12 @@ impl Server {
         }
     }
 
-    /// Records one finished request: completion buffer, per-tenant latency
-    /// histogram and outcome counters.
+    /// Records one finished request: outcome event on (and close of) the
+    /// request span, completion buffer, per-tenant latency histogram,
+    /// outcome counters, and the attached [`Obs`] hub, if any.
     fn complete(
         &self,
-        p: &Pending,
+        p: Pending,
         outcome: Outcome,
         batch_start_ms: u64,
         finish_ms: u64,
@@ -460,15 +507,29 @@ impl Server {
     ) {
         let latency_ms = finish_ms.saturating_sub(p.enqueued_ms);
         let queued_ms = batch_start_ms.saturating_sub(p.enqueued_ms);
-        let counter = match outcome {
+        let event = match outcome {
             Outcome::Classified(_) => "serve.completed",
             Outcome::DeadlineExceeded { .. } => "serve.deadline_exceeded",
             Outcome::Failed(_) => "serve.failed",
         };
-        self.tracer.quiet_counter(counter).inc();
+        self.tracer.quiet_counter(event).inc();
+        // The outcome event lands *inside* the request span (then the
+        // span closes), so a flight recorder triggered on it captures
+        // the whole causal chain by trace id.
+        p.span.event(
+            event,
+            vec![("tenant", p.req.tenant.clone().into()), ("latency_ms", latency_ms.into())],
+        );
         self.tracer
             .histogram(&format!("serve.latency_ms.{}", p.req.tenant), &LATENCY_BOUNDS)
             .observe(latency_ms as f64);
+        if let Some(obs) = &self.obs {
+            obs.record_request(
+                &p.req.tenant,
+                latency_ms as f64,
+                matches!(outcome, Outcome::Classified(_)),
+            );
+        }
         let completion = Completion {
             ticket: p.ticket,
             tenant: p.req.tenant.clone(),
@@ -479,6 +540,7 @@ impl Server {
             cache_hit,
             batch_size,
         };
+        drop(p.span);
         self.lock_inner().completed.push(completion);
     }
 }

@@ -1,0 +1,115 @@
+//! Ambient causal trace context, propagated across threads by hand.
+//!
+//! A [`TraceContext`] names one position in one trace: the trace id (the
+//! root span's id) and the current span id. Each thread keeps an ambient
+//! *stack* of contexts; [`crate::Tracer::span`] consults the top of that
+//! stack when no explicit parent is given, so a span opened anywhere —
+//! a pool task, a scheduler worker, a dist coordinator — stitches into
+//! the request tree whose context was entered on that thread.
+//!
+//! Propagation is explicit and cheap: capture [`current`] where work is
+//! *submitted*, move the `TraceContext` (it is `Copy`) into the closure,
+//! and [`TraceContext::enter`] it where the work *runs*. The returned
+//! [`ContextGuard`] pops the stack on drop, so nesting is automatic and
+//! panic-safe. Guards are deliberately `!Send`: a context must be exited
+//! on the thread that entered it.
+//!
+//! ```
+//! use ei_trace::context::{self, TraceContext};
+//!
+//! assert_eq!(context::current(), None);
+//! let ctx = TraceContext { trace_id: 7, span_id: 9 };
+//! {
+//!     let _guard = ctx.enter();
+//!     assert_eq!(context::current(), Some(ctx));
+//! }
+//! assert_eq!(context::current(), None);
+//! ```
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+/// One position in one causal trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The id of the trace's root span. Every span in one request tree
+    /// carries the same `trace_id`, so a dump can be cut per request.
+    pub trace_id: u64,
+    /// The span that is current at this point — new spans opened under
+    /// this context become its children.
+    pub span_id: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The context on top of this thread's ambient stack, if any.
+pub fn current() -> Option<TraceContext> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+impl TraceContext {
+    /// Pushes this context onto the thread's ambient stack; the guard
+    /// pops it on drop.
+    pub fn enter(self) -> ContextGuard {
+        STACK.with(|s| s.borrow_mut().push(self));
+        ContextGuard { _not_send: PhantomData }
+    }
+}
+
+/// RAII guard for an entered [`TraceContext`]; `!Send` so the pop always
+/// happens on the thread that pushed.
+#[derive(Debug)]
+pub struct ContextGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_nest_and_unwind_in_lifo_order() {
+        let a = TraceContext { trace_id: 1, span_id: 1 };
+        let b = TraceContext { trace_id: 1, span_id: 2 };
+        assert_eq!(current(), None);
+        let ga = a.enter();
+        assert_eq!(current(), Some(a));
+        {
+            let _gb = b.enter();
+            assert_eq!(current(), Some(b));
+        }
+        assert_eq!(current(), Some(a));
+        drop(ga);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn context_is_per_thread() {
+        let ctx = TraceContext { trace_id: 3, span_id: 4 };
+        let _g = ctx.enter();
+        let seen = std::thread::spawn(current).join().unwrap();
+        assert_eq!(seen, None, "ambient context must not leak across threads");
+        assert_eq!(current(), Some(ctx));
+    }
+
+    #[test]
+    fn guard_pops_even_on_panic() {
+        let ctx = TraceContext { trace_id: 5, span_id: 6 };
+        let result = std::panic::catch_unwind(|| {
+            let _g = ctx.enter();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(current(), None);
+    }
+}

@@ -33,10 +33,11 @@ pub fn record_to_json(record: &TraceRecord) -> String {
         .field("seq", Json::Uint(record.seq))
         .field("ts_ms", Json::Uint(record.ts_ms));
     match &record.kind {
-        RecordKind::SpanStart { id, parent, name, fields } => {
+        RecordKind::SpanStart { id, parent, trace, name, fields } => {
             obj.push("type", Json::Str("span_start".into()));
             obj.push("id", Json::Uint(*id));
             obj.push("parent", opt_u64(*parent));
+            obj.push("trace", Json::Uint(*trace));
             obj.push("name", Json::Str(name.clone()));
             obj.push("fields", fields_object(fields));
         }
@@ -143,7 +144,7 @@ pub fn to_prometheus(snapshot: &BTreeMap<String, MetricValue>) -> String {
                 let _ = writeln!(out, "# TYPE {metric} gauge");
                 let _ = writeln!(out, "{metric} {v}");
             }
-            MetricValue::Histogram { bounds, counts, sum, count } => {
+            MetricValue::Histogram { bounds, counts, sum, count, dropped } => {
                 let _ = writeln!(out, "# TYPE {metric} histogram");
                 let mut cumulative = 0u64;
                 for (bound, bucket) in bounds.iter().zip(counts) {
@@ -153,6 +154,9 @@ pub fn to_prometheus(snapshot: &BTreeMap<String, MetricValue>) -> String {
                 let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {count}");
                 let _ = writeln!(out, "{metric}_sum {sum}");
                 let _ = writeln!(out, "{metric}_count {count}");
+                if *dropped > 0 {
+                    let _ = writeln!(out, "{metric}_dropped {dropped}");
+                }
             }
         }
     }
@@ -177,6 +181,7 @@ mod tests {
                 kind: RecordKind::SpanStart {
                     id: 1,
                     parent: None,
+                    trace: 1,
                     name: "flow".into(),
                     fields: vec![("impulse", Value::Str("kws".into()))],
                 },
@@ -213,7 +218,7 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            r#"{"seq":0,"ts_ms":0,"type":"span_start","id":1,"parent":null,"name":"flow","fields":{"impulse":"kws"}}"#
+            r#"{"seq":0,"ts_ms":0,"type":"span_start","id":1,"parent":null,"trace":1,"name":"flow","fields":{"impulse":"kws"}}"#
         );
         assert_eq!(
             lines[1],
@@ -252,6 +257,7 @@ mod tests {
                 counts: vec![1, 2, 1],
                 sum: 25.5,
                 count: 4,
+                dropped: 0,
             },
         );
         let text = to_prometheus(&snapshot);
@@ -265,6 +271,53 @@ mod tests {
                         jobs_dead 2\n\
                         # TYPE train_loss gauge\n\
                         train_loss 0.25\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_inf_bucket_counts_overflow_observations() {
+        // 3 observations above the last bound: finite buckets stay below
+        // the +Inf line, and +Inf must equal _count exactly.
+        let mut snapshot = BTreeMap::new();
+        snapshot.insert(
+            "lat.ms".to_string(),
+            MetricValue::Histogram {
+                bounds: vec![1.0, 10.0],
+                counts: vec![1, 0, 3],
+                sum: 3001.5,
+                count: 4,
+                dropped: 0,
+            },
+        );
+        let text = to_prometheus(&snapshot);
+        let expected = "# TYPE lat_ms histogram\n\
+                        lat_ms_bucket{le=\"1\"} 1\n\
+                        lat_ms_bucket{le=\"10\"} 1\n\
+                        lat_ms_bucket{le=\"+Inf\"} 4\n\
+                        lat_ms_sum 3001.5\n\
+                        lat_ms_count 4\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_empty_bounds_histogram_is_inf_only() {
+        let mut snapshot = BTreeMap::new();
+        snapshot.insert(
+            "free.ms".to_string(),
+            MetricValue::Histogram {
+                bounds: vec![],
+                counts: vec![2],
+                sum: 7.0,
+                count: 2,
+                dropped: 1,
+            },
+        );
+        let text = to_prometheus(&snapshot);
+        let expected = "# TYPE free_ms histogram\n\
+                        free_ms_bucket{le=\"+Inf\"} 2\n\
+                        free_ms_sum 7\n\
+                        free_ms_count 2\n\
+                        free_ms_dropped 1\n";
         assert_eq!(text, expected);
     }
 

@@ -15,6 +15,9 @@
 //! * [`tracer`] — the cloneable [`Tracer`] handle and RAII [`SpanGuard`].
 //!   A disabled tracer ([`Tracer::disabled`]) reduces every operation to
 //!   an `Option` check: span guards are no-ops and no metric is recorded.
+//! * [`context`] — ambient per-thread [`TraceContext`] propagation, so a
+//!   span opened on a worker thread stitches into the submitting
+//!   request's causal tree (every span carries its root's `trace` id).
 //! * [`subscriber`] — the [`Subscriber`] sink trait and the
 //!   [`CollectingSubscriber`] used by tests, benches and the examples.
 //! * [`metrics`] — counters, gauges and fixed-bucket histograms,
@@ -28,6 +31,7 @@
 //! trainer and `ei-device`'s profiler all accept a [`Tracer`], so one
 //! collecting subscriber observes the whole pipeline end to end.
 
+pub mod context;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -36,6 +40,7 @@ pub mod subscriber;
 pub mod tracer;
 pub mod value;
 
+pub use context::{ContextGuard, TraceContext};
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use record::{RecordKind, TraceRecord};
 pub use subscriber::{CollectingSubscriber, Subscriber};

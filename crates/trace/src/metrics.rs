@@ -19,15 +19,31 @@ pub enum MetricValue {
     Histogram {
         /// Upper bounds of the finite buckets, ascending. An implicit
         /// `+Inf` bucket catches everything above the last bound.
+        /// Sanitized at series creation: non-finite bounds are removed,
+        /// the rest sorted and deduplicated (empty bounds are legal — the
+        /// series degenerates to a `+Inf`-only bucket).
         bounds: Vec<f64>,
         /// Observation counts per bucket (`bounds.len() + 1` entries,
         /// the last being the `+Inf` bucket). Buckets are not cumulative.
+        /// An observation exactly on a bound lands in that bound's
+        /// bucket (`v <= bound`, Prometheus `le` semantics).
         counts: Vec<u64>,
-        /// Sum of all observations.
+        /// Sum of all accepted observations.
         sum: f64,
-        /// Total observation count.
+        /// Total accepted observation count.
         count: u64,
+        /// NaN/±inf observations rejected rather than poisoning `sum`.
+        dropped: u64,
     },
+}
+
+/// Removes non-finite entries, sorts ascending and deduplicates, so one
+/// observation maps to exactly one bucket.
+fn sanitize_bounds(bounds: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds compare totally"));
+    out.dedup();
+    out
 }
 
 /// A thread-safe metric aggregation table.
@@ -62,14 +78,16 @@ impl MetricsRegistry {
                 series.insert(name.to_string(), MetricValue::Gauge(*v));
             }
             MetricUpdate::HistogramObserve(v) => {
-                let entry =
-                    series.entry(name.to_string()).or_insert_with(|| MetricValue::Histogram {
-                        bounds: bounds.to_vec(),
-                        counts: vec![0; bounds.len() + 1],
-                        sum: 0.0,
-                        count: 0,
-                    });
-                if let MetricValue::Histogram { bounds, counts, sum, count } = entry {
+                let entry = series.entry(name.to_string()).or_insert_with(|| {
+                    let bounds = sanitize_bounds(bounds);
+                    let counts = vec![0; bounds.len() + 1];
+                    MetricValue::Histogram { bounds, counts, sum: 0.0, count: 0, dropped: 0 }
+                });
+                if let MetricValue::Histogram { bounds, counts, sum, count, dropped } = entry {
+                    if !v.is_finite() {
+                        *dropped += 1;
+                        return;
+                    }
                     let idx = bounds.iter().position(|b| v <= b).unwrap_or(bounds.len());
                     counts[idx] += 1;
                     *sum += v;
@@ -139,6 +157,67 @@ mod tests {
                 assert_eq!(counts, &vec![1, 2, 1, 1]);
                 assert_eq!(*count, 5);
                 assert!((sum - 5_060.5).abs() < 1e-9);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observation_exactly_on_a_bound_lands_in_that_bucket() {
+        let reg = MetricsRegistry::new();
+        let bounds = [1.0, 10.0];
+        for v in [1.0, 10.0, 10.0] {
+            reg.apply("ms", &MetricUpdate::HistogramObserve(v), &bounds);
+        }
+        match reg.snapshot().get("ms") {
+            Some(MetricValue::Histogram { counts, .. }) => assert_eq!(counts, &vec![1, 2, 0]),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_not_summed() {
+        let reg = MetricsRegistry::new();
+        let bounds = [1.0];
+        for v in [0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.0] {
+            reg.apply("ms", &MetricUpdate::HistogramObserve(v), &bounds);
+        }
+        match reg.snapshot().get("ms") {
+            Some(MetricValue::Histogram { counts, sum, count, dropped, .. }) => {
+                assert_eq!(counts, &vec![1, 1]);
+                assert_eq!(*count, 2);
+                assert_eq!(*dropped, 3);
+                assert!((sum - 2.5).abs() < 1e-12, "sum must not be poisoned: {sum}");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_bounds_degenerate_to_an_inf_only_bucket() {
+        let reg = MetricsRegistry::new();
+        for v in [3.0, 4.0] {
+            reg.apply("ms", &MetricUpdate::HistogramObserve(v), &[]);
+        }
+        match reg.snapshot().get("ms") {
+            Some(MetricValue::Histogram { bounds, counts, count, .. }) => {
+                assert!(bounds.is_empty());
+                assert_eq!(counts, &vec![2]);
+                assert_eq!(*count, 2);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsorted_duplicate_or_non_finite_bounds_are_sanitized_at_creation() {
+        let reg = MetricsRegistry::new();
+        let messy = [10.0, 1.0, f64::INFINITY, 10.0, f64::NAN];
+        reg.apply("ms", &MetricUpdate::HistogramObserve(5.0), &messy);
+        match reg.snapshot().get("ms") {
+            Some(MetricValue::Histogram { bounds, counts, .. }) => {
+                assert_eq!(bounds, &vec![1.0, 10.0]);
+                assert_eq!(counts, &vec![0, 1, 0]);
             }
             other => panic!("expected histogram, got {other:?}"),
         }

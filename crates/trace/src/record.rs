@@ -20,8 +20,13 @@ pub enum RecordKind {
     SpanStart {
         /// Tracer-unique span id (1-based, monotonically assigned).
         id: u64,
-        /// Enclosing span, if any.
+        /// Enclosing span, if any (explicit child, or picked up from the
+        /// thread's ambient [`crate::context::TraceContext`]).
         parent: Option<u64>,
+        /// The id of this trace's root span — equal to `id` for a root,
+        /// inherited from the parent otherwise. Cutting a record stream
+        /// on `trace` yields one request's full causal tree.
+        trace: u64,
         /// Span name (e.g. `"flow.stage"`).
         name: String,
         /// Structured context captured at open.

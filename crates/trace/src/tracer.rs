@@ -1,5 +1,6 @@
 //! The [`Tracer`] handle, RAII span guards and metric handles.
 
+use crate::context::{ContextGuard, TraceContext};
 use crate::metrics::MetricsRegistry;
 use crate::record::{MetricUpdate, RecordKind, TraceRecord};
 use crate::subscriber::{CollectingSubscriber, Subscriber};
@@ -81,29 +82,48 @@ impl Tracer {
         inner.subscriber.record(&record);
     }
 
-    fn open_span(&self, name: &str, parent: Option<u64>, fields: Vec<Field>) -> SpanGuard {
+    fn open_span(&self, name: &str, parent: Option<TraceContext>, fields: Vec<Field>) -> SpanGuard {
         let Some(inner) = &self.inner else {
             return SpanGuard {
                 tracer: Tracer::disabled(),
                 id: 0,
+                trace: 0,
                 name: String::new(),
                 start_ms: 0,
             };
         };
         let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        // No explicit parent: adopt the thread's ambient context, so a
+        // span opened inside entered work stitches into the request tree.
+        let parent = parent.or_else(crate::context::current);
+        let (parent_id, trace) = match parent {
+            Some(ctx) => (Some(ctx.span_id), ctx.trace_id),
+            None => (None, id),
+        };
         let start_ms = inner.clock.now_ms();
-        Self::emit(inner, RecordKind::SpanStart { id, parent, name: name.to_string(), fields });
-        SpanGuard { tracer: self.clone(), id, name: name.to_string(), start_ms }
+        Self::emit(
+            inner,
+            RecordKind::SpanStart { id, parent: parent_id, trace, name: name.to_string(), fields },
+        );
+        SpanGuard { tracer: self.clone(), id, trace, name: name.to_string(), start_ms }
     }
 
-    /// Opens a root span; the returned guard closes it on drop.
+    /// Opens a span; the returned guard closes it on drop. The span is a
+    /// root unless the thread has an ambient [`TraceContext`] entered, in
+    /// which case it becomes a child of that context's span.
     pub fn span(&self, name: &str) -> SpanGuard {
         self.open_span(name, None, Vec::new())
     }
 
-    /// Opens a root span with structured context.
+    /// Like [`Tracer::span`], with structured context.
     pub fn span_with(&self, name: &str, fields: Vec<Field>) -> SpanGuard {
         self.open_span(name, None, fields)
+    }
+
+    /// Opens a span as a child of an explicit [`TraceContext`] (e.g. one
+    /// carried across threads by hand), bypassing the ambient stack.
+    pub fn span_in(&self, name: &str, ctx: TraceContext, fields: Vec<Field>) -> SpanGuard {
+        self.open_span(name, Some(ctx), fields)
     }
 
     /// Emits a point-in-time event outside any span.
@@ -173,6 +193,7 @@ impl Tracer {
 pub struct SpanGuard {
     tracer: Tracer,
     id: u64,
+    trace: u64,
     name: String,
     start_ms: u64,
 }
@@ -183,14 +204,28 @@ impl SpanGuard {
         self.tracer.inner.as_ref().map(|_| self.id)
     }
 
+    /// This span's position as a [`TraceContext`] (carry it across a
+    /// thread boundary, then [`TraceContext::enter`] it there), or
+    /// `None` on a disabled tracer.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.tracer.inner.as_ref().map(|_| TraceContext { trace_id: self.trace, span_id: self.id })
+    }
+
+    /// Enters this span's context on the current thread, so spans opened
+    /// below (even through other handles to the same tracer) become its
+    /// descendants. No-op (`None`) on a disabled tracer.
+    pub fn enter(&self) -> Option<ContextGuard> {
+        self.context().map(TraceContext::enter)
+    }
+
     /// Opens a child span.
     pub fn child(&self, name: &str) -> SpanGuard {
-        self.tracer.open_span(name, self.id(), Vec::new())
+        self.tracer.open_span(name, self.context(), Vec::new())
     }
 
     /// Opens a child span with structured context.
     pub fn child_with(&self, name: &str, fields: Vec<Field>) -> SpanGuard {
-        self.tracer.open_span(name, self.id(), fields)
+        self.tracer.open_span(name, self.context(), fields)
     }
 
     /// Emits an event inside this span.
@@ -361,6 +396,73 @@ mod tests {
         tracer.histogram("h", &[1.0]).observe(2.0);
         assert!(tracer.metrics_snapshot().is_empty());
         assert_eq!(tracer.prometheus(), "");
+    }
+
+    #[test]
+    fn spans_carry_their_roots_trace_id() {
+        let (tracer, collector, _) = traced();
+        {
+            let root = tracer.span("serve.request");
+            let _child = root.child("serve.batch");
+            let _other_root = tracer.span("unrelated");
+        }
+        let records = collector.records();
+        let starts: Vec<(u64, Option<u64>, u64)> = records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                RecordKind::SpanStart { id, parent, trace, .. } => Some((*id, *parent, *trace)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![(1, None, 1), (2, Some(1), 1), (3, None, 3)]);
+    }
+
+    #[test]
+    fn ambient_context_stitches_spans_across_handles() {
+        let (tracer, collector, _) = traced();
+        let root = tracer.span("serve.request");
+        let ctx = root.context().unwrap();
+        // Simulate a worker thread: fresh handle, explicit context entry.
+        let worker_tracer = tracer.clone();
+        let handle = std::thread::spawn(move || {
+            let _entered = ctx.enter();
+            let job = worker_tracer.span("job");
+            job.event("job.running", vec![]);
+        });
+        handle.join().unwrap();
+        drop(root);
+        let records = collector.records();
+        match &records[1].kind {
+            RecordKind::SpanStart { parent, trace, name, .. } => {
+                assert_eq!(name, "job");
+                assert_eq!(*parent, Some(1));
+                assert_eq!(*trace, 1);
+            }
+            other => panic!("expected stitched job span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entered_span_adopts_later_roots() {
+        let (tracer, collector, _) = traced();
+        {
+            let root = tracer.span("outer");
+            let _entered = root.enter();
+            // span() with no explicit parent picks up the ambient context.
+            let _inner = tracer.span("inner");
+        }
+        let records = collector.records();
+        match &records[1].kind {
+            RecordKind::SpanStart { parent, trace, .. } => {
+                assert_eq!((*parent, *trace), (Some(1), 1));
+            }
+            other => panic!("expected adopted span, got {other:?}"),
+        }
+        // Disabled tracers hand out no context and enter() is a no-op.
+        let disabled = Tracer::disabled();
+        let span = disabled.span("nothing");
+        assert!(span.context().is_none());
+        assert!(span.enter().is_none());
     }
 
     #[test]

@@ -29,6 +29,10 @@ for seed in 42 1337; do
   EI_THREADS=4 EI_DIST_FAULT_SEED=$seed cargo test -q --test dist_training
 done
 
+echo "==> observability suite (EI_THREADS=1 and 4)"
+EI_THREADS=1 cargo test -q --test observability
+EI_THREADS=4 cargo test -q --test observability
+
 echo "==> cargo test --doc"
 cargo test --doc
 
@@ -104,6 +108,29 @@ if [ -f results/dist_training.json ]; then
   echo "  ok results/dist_training.json"
 else
   echo "  (no results/dist_training.json yet — run scripts/dist_demo.sh)"
+fi
+
+echo "==> results/obs_overhead.json telemetry stays under 5% with identical dumps"
+if [ -f results/obs_overhead.json ]; then
+  if grep -vqF '"schema_version":' results/obs_overhead.json; then
+    echo "row without schema_version in results/obs_overhead.json" >&2
+    exit 1
+  fi
+  if ! grep -qF -- '"dumps_identical":true' results/obs_overhead.json; then
+    echo "flight dumps diverged across pool widths or runs" >&2
+    exit 1
+  fi
+  awk -F'"overhead_ratio":' '
+    NF > 1 {
+      split($2, a, /[,}]/); if (a[1] + 0 > 1.05) { bad = 1 }
+    }
+    END { exit bad }' results/obs_overhead.json || {
+      echo "always-on telemetry overhead exceeded 1.05x" >&2
+      exit 1
+    }
+  echo "  ok results/obs_overhead.json"
+else
+  echo "  (no results/obs_overhead.json yet — run scripts/obs_demo.sh)"
 fi
 
 echo "==> all checks passed"

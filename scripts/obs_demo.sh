@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the always-on telemetry bench (quiet-path overhead + fault-dump
+# determinism on a virtual clock) and sanity-checks the JSONL rows it
+# writes: the quiet-path row must report overhead_ratio <= 1.05 and the
+# fault-dump row dumps_identical:true — the bin itself asserts both, so
+# a regression fails the run before the rows are written.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release -p ei-bench --bin obs_overhead"
+cargo run --release -p ei-bench --bin obs_overhead
+
+echo "==> checking results/obs_overhead.json"
+out=results/obs_overhead.json
+for marker in '"kind":"quiet_path"' '"kind":"fault_dumps"'; do
+  if ! grep -qF -- "$marker" "$out"; then
+    echo "MISSING from $out: $marker" >&2
+    exit 1
+  fi
+  echo "  found $marker"
+done
+if ! grep -qF -- '"dumps_identical":true' "$out"; then
+  echo "flight dumps diverged across pool widths or runs" >&2
+  exit 1
+fi
+awk -F'"overhead_ratio":' '
+  NF > 1 {
+    split($2, a, /[,}]/); if (a[1] + 0 > 1.05) { bad = 1 }
+  }
+  END { exit bad }' "$out" || {
+    echo "always-on telemetry overhead exceeded 1.05x" >&2
+    exit 1
+  }
+
+echo "==> obs demo passed"

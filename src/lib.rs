@@ -28,6 +28,7 @@
 //! | [`serve`] | `ei-serve` | multi-tenant inference serving + artifact cache |
 //! | [`faults`] | `ei-faults` | retry policies, mock clock, fault injection |
 //! | [`trace`] | `ei-trace` | structured spans, metrics, trace exporters |
+//! | [`obs`] | `ei-obs` | production telemetry: SLO monitors + flight recorder |
 //! | [`par`] | `ei-par` | deterministic work-stealing thread pool |
 //!
 //! # Quickstart
@@ -59,6 +60,7 @@ pub use ei_dist as dist;
 pub use ei_dsp as dsp;
 pub use ei_faults as faults;
 pub use ei_nn as nn;
+pub use ei_obs as obs;
 pub use ei_par as par;
 pub use ei_platform as platform;
 pub use ei_quant as quant;
@@ -82,6 +84,7 @@ mod tests {
         let _ = crate::calibration::PostProcessConfig::default();
         let _ = crate::faults::RetryPolicy::default();
         let _ = crate::trace::Tracer::disabled();
+        let _ = crate::obs::SloSpec::latency("t", 100.0, 0.99);
         let _ = crate::par::Parallelism::serial();
     }
 }

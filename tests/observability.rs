@@ -1,18 +1,30 @@
 //! Cross-crate observability guarantees: the per-layer profile sums
 //! exactly to the end-to-end estimate on every paper board and engine, a
-//! disabled subscriber changes nothing, and traces under a
-//! [`VirtualClock`] are byte-for-byte deterministic across runs.
+//! disabled subscriber changes nothing, traces under a [`VirtualClock`]
+//! are byte-for-byte deterministic across runs, and the `ei-obs` layer's
+//! flight recorder cuts byte-identical causal dumps for every fault
+//! class — deadline overruns, dead letters and dist worker crashes — at
+//! any pool width.
+//!
+//! `scripts/check.sh` runs this suite under both `EI_THREADS=1` and `4`.
 
 use edgelab::core::impulse::ImpulseDesign;
 use edgelab::core::workflow::{FlowRunner, FlowStage};
 use edgelab::data::synth::KwsGenerator;
 use edgelab::device::{Board, Profiler};
+use edgelab::dist::{DistConfig, DistFaultPlan, DistTrainer, WorkerFault};
 use edgelab::dsp::{DspConfig, MfccConfig};
-use edgelab::faults::{RetryPolicy, VirtualClock};
-use edgelab::nn::{presets, train::TrainConfig};
-use edgelab::runtime::{EonProgram, InferenceEngine, Interpreter};
+use edgelab::faults::{Clock, RetryPolicy, VirtualClock};
+use edgelab::nn::spec::{Activation, Dims, LayerSpec, ModelSpec};
+use edgelab::nn::{presets, train::TrainConfig, Sequential};
+use edgelab::obs::{FlightDump, Obs, ObsRegistry, SloSpec, OTHER_LABEL};
+use edgelab::par::{ParPool, Parallelism};
+use edgelab::platform::JobScheduler;
+use edgelab::runtime::{EngineKind, EonProgram, InferenceEngine, Interpreter};
+use edgelab::serve::{InferenceRequest, ModelSource, Outcome, Server, ServerConfig};
 use edgelab::trace::Tracer;
 use ei_bench::Task;
+use std::sync::Arc;
 
 #[test]
 fn per_layer_rows_sum_exactly_to_the_estimate_on_every_board_and_engine() {
@@ -129,4 +141,277 @@ fn traces_under_virtual_clock_are_byte_for_byte_deterministic() {
     assert_eq!(jsonl_a, jsonl_b, "JSONL trace must be deterministic");
     assert_eq!(chrome_a, chrome_b, "Chrome trace must be deterministic");
     assert_eq!(prom_a, prom_b, "Prometheus exposition must be deterministic");
+}
+
+// --- ei-obs: flight recorder + SLO + sharded registry, end to end ---
+
+/// A tiny served model (two classes, small MLP) for the serving paths.
+fn served_model_json() -> String {
+    let generator = KwsGenerator {
+        classes: vec!["go".into(), "stop".into()],
+        sample_rate_hz: 4_000,
+        duration_s: 0.25,
+        noise: 0.02,
+    };
+    let design = ImpulseDesign::new(
+        "obs-serve",
+        1_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 16,
+            sample_rate_hz: 4_000,
+        }),
+    )
+    .unwrap();
+    let spec = presets::dense_mlp(design.feature_dims().unwrap(), 2, 16);
+    let config =
+        TrainConfig { epochs: 4, batch_size: 8, learning_rate: 0.01, ..TrainConfig::default() };
+    design.train(&spec, &generator.dataset(6, 7), &config).unwrap().to_json().unwrap()
+}
+
+fn serve_request(tenant: &str, model: &ModelSource, deadline_ms: u64) -> InferenceRequest {
+    InferenceRequest {
+        tenant: tenant.to_string(),
+        model: model.clone(),
+        board: String::new(),
+        engine: EngineKind::EonCompiled,
+        quantized: false,
+        window: KwsGenerator {
+            classes: vec!["go".into(), "stop".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        }
+        .generate(0, 3),
+        deadline_ms,
+    }
+}
+
+/// Tentpole: a deadline overrun inside a micro-batch trips the flight
+/// recorder, and the capture holds the complete causal chain — request
+/// span, batch span, and the parallel scope that ran it — byte for byte
+/// identical at every pool width.
+#[test]
+fn deadline_dump_captures_the_request_chain_at_any_pool_width() {
+    let json = served_model_json();
+    let run = |threads: Parallelism| -> Vec<FlightDump> {
+        let clock = VirtualClock::shared();
+        let obs = Obs::builder(clock.clone() as Arc<dyn Clock>).build();
+        let srv = Server::new(
+            // the 1 s batch overhead guarantees the 200 ms deadline blows
+            ServerConfig { batch_overhead_ms: 1_000, ..ServerConfig::default() },
+            clock as Arc<dyn Clock>,
+            Arc::new(ParPool::with_tracer(threads, obs.tracer().clone())),
+            obs.tracer().clone(),
+        )
+        .with_obs(Arc::clone(&obs));
+        let model = ModelSource::new("kws", json.clone());
+        let ticket = srv.submit(serve_request("alpha", &model, 200)).unwrap();
+        let completion = srv.resolve(ticket).expect("completed");
+        assert!(
+            matches!(completion.outcome, Outcome::DeadlineExceeded { .. }),
+            "the batch must overrun: {completion:?}"
+        );
+        obs.dumps()
+    };
+
+    let serial = run(Parallelism::serial());
+    assert_eq!(serial.len(), 1, "exactly one deadline dump");
+    let dump = &serial[0];
+    assert_eq!(dump.trigger, "serve.deadline_exceeded");
+    assert!(dump.trace.is_some(), "the trigger must resolve to a causal trace");
+    for name in ["serve.request", "serve.batch", "par.scope", "serve.deadline_exceeded"] {
+        assert!(
+            dump.jsonl.contains(&format!("\"name\":\"{name}\"")),
+            "dump must hold {name}:\n{}",
+            dump.jsonl
+        );
+    }
+    assert_eq!(serial, run(Parallelism::new(4)), "dumps must not depend on pool width");
+    assert_eq!(serial, run(Parallelism::from_env()), "dumps must not depend on EI_THREADS");
+}
+
+/// A job that exhausts its retries dead-letters, and the dump chains
+/// back through the `job` span to the submitter's ambient request span.
+#[test]
+fn dead_letter_dump_chains_back_to_the_submitting_request() {
+    let run = || -> Vec<FlightDump> {
+        let clock = VirtualClock::shared();
+        let obs = Obs::builder(clock.clone() as Arc<dyn Clock>).build();
+        let scheduler =
+            JobScheduler::with_clock_and_tracer(1, clock as Arc<dyn Clock>, obs.tracer().clone());
+        let root = obs.tracer().span("pipeline.request");
+        let id = {
+            let _ambient = root.enter();
+            scheduler.submit(2, || Err("disk full".into())).unwrap()
+        };
+        assert!(scheduler.wait(id).is_err(), "the job must exhaust its retries");
+        drop(root);
+        obs.dumps()
+    };
+
+    let dumps = run();
+    assert_eq!(dumps.len(), 1, "one dead letter, one dump");
+    let dump = &dumps[0];
+    assert_eq!(dump.trigger, "job.dead_letter");
+    assert!(dump.trace.is_some());
+    for name in ["pipeline.request", "job", "job.queued", "job.running", "job.dead_letter"] {
+        assert!(
+            dump.jsonl.contains(&format!("\"name\":\"{name}\"")),
+            "dump must chain back through {name}:\n{}",
+            dump.jsonl
+        );
+    }
+    assert_eq!(dumps, run(), "the dead-letter dump must be byte-identical across runs");
+}
+
+/// An injected dist worker crash trips the recorder, and the capture
+/// chains the crash back through `dist.train` to the training request.
+#[test]
+fn dist_crash_dump_chains_back_to_the_training_request() {
+    let spec = ModelSpec::new(Dims::new(1, 6, 1))
+        .layer(LayerSpec::Flatten)
+        .layer(LayerSpec::Dense { units: 8, activation: Activation::Relu })
+        .layer(LayerSpec::Dense { units: 2, activation: Activation::None })
+        .layer(LayerSpec::Softmax);
+    let inputs: Vec<Vec<f32>> =
+        (0..24).map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }; 6]).collect();
+    let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
+
+    let run = || -> Vec<FlightDump> {
+        let clock = VirtualClock::shared();
+        let obs = Obs::builder(clock.clone() as Arc<dyn Clock>).build();
+        let root = obs.tracer().span("train.request");
+        // one partition per worker: the doomed worker receives exactly one
+        // command in the fatal step, so the coordinator never races its
+        // thread exit on a second send and detection is always via the
+        // heartbeat deadline (cause "missed_heartbeat"), never the closed
+        // channel — keeping the dump byte-identical across runs
+        let trainer = DistTrainer::new(
+            DistConfig::new(2).with_partitions(2).with_timeout_ms(50),
+            TrainConfig {
+                epochs: 2,
+                batch_size: 6,
+                learning_rate: 0.01,
+                validation_split: 0.0,
+                seed: 7,
+                ..TrainConfig::default()
+            },
+        )
+        .with_clock(clock as Arc<dyn Clock>)
+        .with_tracer(obs.tracer().clone())
+        .with_faults(DistFaultPlan::new().inject(1, 1, 0, WorkerFault::Crash));
+        let mut model = Sequential::build(&spec, 7).unwrap();
+        let report = {
+            let _ambient = root.enter();
+            trainer.train(&mut model, &inputs, &labels).unwrap()
+        };
+        assert_eq!(report.crashes_detected, 1);
+        drop(root);
+        obs.dumps()
+    };
+
+    let dumps = run();
+    assert_eq!(dumps.len(), 1, "one crash, one dump");
+    let dump = &dumps[0];
+    assert_eq!(dump.trigger, "dist.crash_detected");
+    assert!(dump.trace.is_some());
+    // the capture is cut at trigger time, so it ends at the crash event
+    for name in ["train.request", "dist.train", "dist.epoch", "dist.crash_detected"] {
+        assert!(
+            dump.jsonl.contains(&format!("\"name\":\"{name}\"")),
+            "dump must chain back through {name}:\n{}",
+            dump.jsonl
+        );
+    }
+    assert_eq!(dumps, run(), "the crash dump must be byte-identical across runs");
+}
+
+/// Satellite: N threads hammering M tenant series concurrently merge to
+/// exactly the snapshot a serial run produces — counters, histograms
+/// (integer-valued observations, so sums are exact) and gauges.
+#[test]
+fn concurrent_metric_recording_merges_to_the_serial_reference() {
+    const THREADS: usize = 8;
+    const TENANTS: usize = 16;
+    const ROUNDS: usize = 50;
+    const BOUNDS: [f64; 3] = [1.0, 5.0, 10.0];
+
+    let record = |registry: &ObsRegistry| {
+        for round in 0..ROUNDS {
+            for t in 0..TENANTS {
+                let tenant = format!("tenant-{t}");
+                registry.add("hammer.requests", &tenant, 1);
+                registry.observe("hammer.latency_ms", &tenant, (round % 12) as f64, &BOUNDS);
+                // same value from every thread: last-write-wins is stable
+                registry.set_gauge("hammer.inflight", &tenant, t as f64);
+            }
+        }
+    };
+
+    let serial = ObsRegistry::new(1, 64);
+    for _ in 0..THREADS {
+        record(&serial);
+    }
+
+    let hammered = Arc::new(ObsRegistry::new(4, 64));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&hammered);
+            std::thread::spawn(move || record(&registry))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(hammered.counter("hammer.requests", "tenant-0"), Some((THREADS * ROUNDS) as u64));
+    assert_eq!(
+        hammered.snapshot(),
+        serial.snapshot(),
+        "concurrent merge must equal the serial reference"
+    );
+    assert_eq!(hammered.to_prometheus(), serial.to_prometheus());
+}
+
+/// Satellite: served traffic breaching a latency SLO leaves a breach
+/// dump, while the label-cardinality cap folds overflow tenants into
+/// `__other__` instead of growing the registry.
+#[test]
+fn served_slo_breach_dumps_and_overflow_tenants_fold() {
+    let json = served_model_json();
+    let clock = VirtualClock::shared();
+    let obs = Obs::builder(clock.clone() as Arc<dyn Clock>)
+        .label_cap(2)
+        // virtual-clock service time (compile + batch) dwarfs 1 ms
+        .slo(SloSpec::latency("serve-p99", 1.0, 0.99).with_min_samples(3).with_cooldown_ms(0))
+        .build();
+    let srv = Server::new(
+        ServerConfig::default(),
+        clock as Arc<dyn Clock>,
+        Arc::new(ParPool::new(Parallelism::from_env())),
+        obs.tracer().clone(),
+    )
+    .with_obs(Arc::clone(&obs));
+    let model = ModelSource::new("kws", json);
+    for t in 0..4 {
+        let ticket = srv.submit(serve_request(&format!("tenant-{t}"), &model, 0)).unwrap();
+        let completion = srv.resolve(ticket).expect("completed");
+        assert!(matches!(completion.outcome, Outcome::Classified(_)), "{completion:?}");
+    }
+
+    assert!(
+        obs.dumps().iter().any(|d| d.trigger == "slo.breach"),
+        "slow traffic must breach the 1 ms objective: {:?}",
+        obs.dumps().iter().map(|d| d.trigger.clone()).collect::<Vec<_>>()
+    );
+    assert!(obs.registry().folded() > 0, "tenants past the cap of 2 must fold");
+    let prometheus = obs.prometheus();
+    assert!(prometheus.contains("tenant=\"tenant-0\""), "admitted tenants keep their series");
+    assert!(
+        prometheus.contains(&format!("tenant=\"{OTHER_LABEL}\"")),
+        "folded tenants must surface as {OTHER_LABEL}:\n{prometheus}"
+    );
 }
