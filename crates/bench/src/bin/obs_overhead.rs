@@ -120,6 +120,7 @@ fn request(
         quantized: false,
         window,
         deadline_ms,
+        precomputed: false,
     }
 }
 

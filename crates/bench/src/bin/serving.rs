@@ -93,6 +93,7 @@ fn request(
         quantized: false,
         window,
         deadline_ms: 0,
+        precomputed: false,
     }
 }
 

@@ -83,6 +83,40 @@ impl MfeBlock {
     pub fn frames(&self, input_len: usize) -> usize {
         self.framing.frame_count(input_len)
     }
+
+    /// The frame layout this block cuts its input into.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Features produced per frame (one Mel filter each).
+    pub fn features_per_frame(&self) -> usize {
+        self.config.n_filters
+    }
+
+    /// One feature column from an already-windowed frame.
+    ///
+    /// This is the single per-frame pipeline (power FFT → Mel filterbank →
+    /// log) shared by batch [`DspBlock::process`] and the incremental
+    /// [`crate::streaming::StreamingExtractor`], which is what makes
+    /// streaming features bitwise-equal to batch recomputation: both paths
+    /// run the very same instructions on the very same windowed samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InputLengthMismatch`] unless `windowed` is
+    /// exactly one frame long.
+    pub fn frame_column(&self, windowed: &[f32]) -> Result<Vec<f32>> {
+        if windowed.len() != self.framing.frame_len {
+            return Err(DspError::InputLengthMismatch {
+                expected: self.framing.frame_len,
+                actual: windowed.len(),
+            });
+        }
+        let power = power_spectrum(windowed, self.fft_len)?;
+        let energies = self.filterbank.apply(&power)?;
+        Ok(energies.iter().map(|&e| (e.max(LOG_FLOOR)).ln()).collect())
+    }
 }
 
 impl DspBlock for MfeBlock {
@@ -110,9 +144,7 @@ impl DspBlock for MfeBlock {
         let frames = windowed_frames(input, self.framing, WindowKind::Hann)?;
         let mut out = Vec::with_capacity(frames.len() * self.config.n_filters);
         for frame in &frames {
-            let power = power_spectrum(frame, self.fft_len)?;
-            let energies = self.filterbank.apply(&power)?;
-            out.extend(energies.iter().map(|&e| (e.max(LOG_FLOOR)).ln()));
+            out.extend(self.frame_column(frame)?);
         }
         Ok(out)
     }
@@ -210,6 +242,30 @@ impl SpectrogramBlock {
     pub fn frames(&self, input_len: usize) -> usize {
         self.framing.frame_count(input_len)
     }
+
+    /// The frame layout this block cuts its input into.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// One feature column (log-power bins) from an already-windowed frame;
+    /// the shared per-frame pipeline batch and streaming extraction both
+    /// run (see [`MfeBlock::frame_column`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InputLengthMismatch`] unless `windowed` is
+    /// exactly one frame long.
+    pub fn frame_column(&self, windowed: &[f32]) -> Result<Vec<f32>> {
+        if windowed.len() != self.framing.frame_len {
+            return Err(DspError::InputLengthMismatch {
+                expected: self.framing.frame_len,
+                actual: windowed.len(),
+            });
+        }
+        let power = power_spectrum(windowed, self.config.fft_len)?;
+        Ok(power.iter().map(|&p| (p.max(LOG_FLOOR)).ln()).collect())
+    }
 }
 
 impl DspBlock for SpectrogramBlock {
@@ -237,8 +293,7 @@ impl DspBlock for SpectrogramBlock {
         let frames = windowed_frames(input, self.framing, WindowKind::Hann)?;
         let mut out = Vec::with_capacity(frames.len() * self.bins());
         for frame in &frames {
-            let power = power_spectrum(frame, self.config.fft_len)?;
-            out.extend(power.iter().map(|&p| (p.max(LOG_FLOOR)).ln()));
+            out.extend(self.frame_column(frame)?);
         }
         Ok(out)
     }
@@ -329,6 +384,30 @@ impl MfccBlock {
             high_hz: 0.0,
         })?;
         Ok(MfccBlock { config, mfe })
+    }
+
+    /// The frame layout this block cuts its input into.
+    pub fn framing(&self) -> Framing {
+        self.mfe.framing()
+    }
+
+    /// Cepstral coefficients produced per frame.
+    pub fn features_per_frame(&self) -> usize {
+        self.config.n_coefficients
+    }
+
+    /// One cepstral column from an already-windowed frame: the inner
+    /// [`MfeBlock::frame_column`] followed by the per-frame DCT-II — the
+    /// identical pipeline batch [`DspBlock::process`] applies frame by
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InputLengthMismatch`] unless `windowed` is
+    /// exactly one frame long.
+    pub fn frame_column(&self, windowed: &[f32]) -> Result<Vec<f32>> {
+        let log_energies = self.mfe.frame_column(windowed)?;
+        Ok(dct2(&log_energies, self.config.n_coefficients))
     }
 }
 

@@ -40,6 +40,7 @@ pub mod error;
 pub mod fft;
 pub mod mel;
 pub mod parallel;
+pub mod streaming;
 pub mod window;
 
 pub use autotune::{autotune_audio, AutotuneGoal};
@@ -49,6 +50,7 @@ pub use blocks::{
 };
 pub use custom::{register_custom_block, BlockFactory, CustomParams};
 pub use error::DspError;
+pub use streaming::StreamingExtractor;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DspError>;

@@ -203,6 +203,55 @@ mod tests {
         assert_eq!(err, DspError::InputTooShort { required: 10, actual: 5 });
     }
 
+    // The streaming windower leans on these exact edge behaviors: a window
+    // longer than the signal yields zero frames (never a short frame), a
+    // negative-overlap stride leaves gaps, and trailing samples that don't
+    // fill a frame are dropped, not padded.
+
+    #[test]
+    fn window_longer_than_signal_yields_zero_frames() {
+        let f = Framing::new(256, 64).unwrap();
+        assert_eq!(f.frame_count(255), 0);
+        assert_eq!(f.offsets(255).count(), 0);
+        let err = windowed_frames(&vec![1.0; 255], f, WindowKind::Rectangular).unwrap_err();
+        assert_eq!(err, DspError::InputTooShort { required: 256, actual: 255 });
+        // exactly one frame fits once the signal reaches the frame length
+        assert_eq!(f.frame_count(256), 1);
+    }
+
+    #[test]
+    fn negative_overlap_stride_leaves_gaps() {
+        // stride 25 > frame 10: frames at 0, 25, 50, 75 with 15-sample gaps
+        let f = Framing::new(10, 25).unwrap();
+        let signal: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(f.offsets(signal.len()).collect::<Vec<_>>(), vec![0, 25, 50, 75]);
+        let frames = windowed_frames(&signal, f, WindowKind::Rectangular).unwrap();
+        assert_eq!(frames.len(), 4);
+        // each frame starts at its offset; the gap samples appear in none
+        for (frame, start) in frames.iter().zip([0usize, 25, 50, 75]) {
+            assert_eq!(frame[0], start as f32);
+            assert_eq!(frame[9], (start + 9) as f32);
+        }
+        // zero overlap (stride == frame) tiles the signal exactly
+        let tiled = Framing::new(10, 10).unwrap();
+        assert_eq!(tiled.frame_count(100), 10);
+    }
+
+    #[test]
+    fn last_partial_window_is_dropped() {
+        // 95 samples, frame 20, stride 15: last full frame starts at 75
+        // (75 + 20 = 95); a hypothetical frame at 90 would need 110 samples
+        let f = Framing::new(20, 15).unwrap();
+        assert_eq!(f.frame_count(95), 6);
+        assert_eq!(f.frame_count(109), 6, "14 trailing samples never yield a short frame");
+        assert_eq!(f.frame_count(110), 7, "the 110th sample completes the next frame");
+        let signal: Vec<f32> = (0..109).map(|i| i as f32).collect();
+        let frames = windowed_frames(&signal, f, WindowKind::Rectangular).unwrap();
+        assert_eq!(frames.len(), 6);
+        assert!(frames.iter().all(|fr| fr.len() == 20), "frames are never padded or truncated");
+        assert_eq!(frames[5][19], 94.0, "last emitted sample is 75 + 19");
+    }
+
     proptest! {
         #[test]
         fn prop_frame_count_consistent_with_offsets(

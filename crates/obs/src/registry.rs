@@ -248,7 +248,10 @@ impl ObsRegistry {
     /// A merged point-in-time copy of every series, sorted by
     /// `(metric, label)`. `__other__` partials recorded in different
     /// shards are summed (counters/histograms) or resolved by write
-    /// stamp (gauges).
+    /// stamp (gauges). Write stamps are erased from the merged view —
+    /// they only order writes *during* the merge, and leaving them in
+    /// would make two snapshots with identical gauge values compare
+    /// unequal depending on thread interleaving.
     pub fn snapshot(&self) -> BTreeMap<SeriesKey, SeriesValue> {
         let mut out: BTreeMap<SeriesKey, SeriesValue> = BTreeMap::new();
         for shard in &self.shards {
@@ -262,6 +265,11 @@ impl ObsRegistry {
                         merge(e.get_mut(), value);
                     }
                 }
+            }
+        }
+        for value in out.values_mut() {
+            if let SeriesValue::Gauge { stamp, .. } = value {
+                *stamp = 0;
             }
         }
         out

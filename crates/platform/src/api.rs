@@ -19,7 +19,8 @@ use ei_nn::train::TrainConfig;
 use ei_serve::{
     InferenceRequest, InferenceSpec, ModelSource, Outcome, Rejected, Server, ServerConfig,
 };
-use parking_lot::RwLock;
+use ei_stream::{SessionConfig, SessionStats, StreamError, StreamSession, WindowVerdict};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
@@ -42,6 +43,22 @@ impl State {
     }
 }
 
+/// Live streaming sessions. Not part of [`State`]: a live stream is bound
+/// to this process (its DSP buffers and serving tickets cannot survive an
+/// export/import round trip), so backups deliberately exclude it.
+#[derive(Debug, Default)]
+struct StreamTable {
+    next_id: u64,
+    sessions: BTreeMap<u64, StreamEntry>,
+}
+
+/// One open stream and the project it is billed against.
+#[derive(Debug)]
+struct StreamEntry {
+    project: ProjectId,
+    session: StreamSession,
+}
+
 /// The platform API. Cheap to clone; clones share state (like concurrent
 /// API clients hitting one backend).
 #[derive(Debug, Clone, Default)]
@@ -51,6 +68,8 @@ pub struct Api {
     /// through. Lazily built on first use (so the many callers that never
     /// serve inference pay nothing); clones share it like `state`.
     serving: Arc<OnceLock<Arc<Server>>>,
+    /// Open streaming sessions (process-local; see [`StreamTable`]).
+    streams: Arc<Mutex<StreamTable>>,
 }
 
 impl Api {
@@ -366,6 +385,106 @@ impl Api {
         })
     }
 
+    /// Opens a continuous-inference stream against the registry model
+    /// `model`, returning a session id for [`Api::stream_push`] /
+    /// [`Api::stream_close`].
+    ///
+    /// When `config.tenant` is empty the session bills to the project
+    /// (`project-<id>`), matching [`Api::classify`]; an explicit tenant
+    /// (e.g. a per-device id) is kept, so quotas and SLO monitors can be
+    /// scoped finer than the project.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects/models or denied access, and
+    /// [`PlatformError::BadRequest`] when the session config does not fit
+    /// the model's impulse design (misaligned hop, non-streamable DSP
+    /// block, undecodable model).
+    pub fn stream_open(
+        &self,
+        project: ProjectId,
+        acting: UserId,
+        model: &str,
+        mut config: SessionConfig,
+    ) -> Result<u64> {
+        let json = self.download_model(project, acting, model)?;
+        if config.tenant.is_empty() {
+            config.tenant = format!("project-{project}");
+        }
+        let source = ModelSource::new(model, json);
+        let session =
+            StreamSession::open(self.serving().clone(), source, config).map_err(stream_to_error)?;
+        let mut table = self.streams.lock();
+        table.next_id += 1;
+        let id = table.next_id;
+        table.sessions.insert(id, StreamEntry { project, session });
+        Ok(id)
+    }
+
+    /// Feeds one chunk of raw samples into an open stream and returns the
+    /// windows classified so far (possibly none — ingest never waits for
+    /// inference). Dropped windows are visible in [`Api::stream_stats`],
+    /// not here.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sessions or denied access (write access to the
+    /// owning project is re-checked on every call, so revoking a
+    /// collaborator also cuts their live streams).
+    pub fn stream_push(
+        &self,
+        session: u64,
+        acting: UserId,
+        samples: &[f32],
+    ) -> Result<Vec<WindowVerdict>> {
+        self.with_stream(session, acting, |s| {
+            s.push(samples).map_err(stream_to_error)?;
+            Ok(s.poll())
+        })?
+    }
+
+    /// Counters for an open stream (windows, drops, oracle verdicts).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sessions or denied access.
+    pub fn stream_stats(&self, session: u64, acting: UserId) -> Result<SessionStats> {
+        self.with_stream(session, acting, |s| s.stats())
+    }
+
+    /// Closes a stream: drains outstanding inference and returns the final
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sessions or denied access.
+    pub fn stream_close(&self, session: u64, acting: UserId) -> Result<SessionStats> {
+        let mut table = self.streams.lock();
+        let entry = table
+            .sessions
+            .get(&session)
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
+        self.with_project_mut(entry.project, acting, |_| ())?;
+        let entry = table.sessions.remove(&session).expect("checked above");
+        Ok(entry.session.close())
+    }
+
+    /// Runs `f` on an open stream after re-checking project write access.
+    fn with_stream<T>(
+        &self,
+        session: u64,
+        acting: UserId,
+        f: impl FnOnce(&mut StreamSession) -> T,
+    ) -> Result<T> {
+        let mut table = self.streams.lock();
+        let entry = table
+            .sessions
+            .get_mut(&session)
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
+        self.with_project_mut(entry.project, acting, |_| ())?;
+        Ok(f(&mut entry.session))
+    }
+
     /// Lists registry model names.
     ///
     /// # Errors
@@ -490,7 +609,11 @@ impl Api {
     pub fn import_json(json: &str) -> Result<Api> {
         let state: State =
             serde_json::from_str(json).map_err(|e| PlatformError::BadRequest(e.to_string()))?;
-        Ok(Api { state: Arc::new(RwLock::new(state)), serving: Arc::default() })
+        Ok(Api {
+            state: Arc::new(RwLock::new(state)),
+            serving: Arc::default(),
+            streams: Arc::default(),
+        })
     }
 }
 
@@ -500,6 +623,11 @@ fn rejection_to_error(rejected: Rejected) -> PlatformError {
         Rejected::Overloaded { queue_depth } => PlatformError::Overloaded { queue_depth },
         Rejected::QuotaExceeded { tenant } => PlatformError::QuotaExceeded { tenant },
     }
+}
+
+/// Maps a streaming-layer error to the platform error space.
+fn stream_to_error(e: StreamError) -> PlatformError {
+    PlatformError::BadRequest(e.to_string())
 }
 
 #[cfg(test)]
@@ -690,6 +818,76 @@ mod tests {
         assert!(api.add_collaborator(ProjectId(5), u, u).is_err());
         assert!(api.dataset(ProjectId(5), u).is_err());
         assert!(api.impulse(ProjectId(5), u).is_err());
+    }
+
+    #[test]
+    fn streaming_session_lifecycle() {
+        let api = Api::new();
+        let alice = api.create_user("alice");
+        let outsider = api.create_user("outsider");
+        let p = api.create_project("live-kws", alice).unwrap();
+
+        // deterministic serving stack for the stream to ride on
+        let clock = ei_faults::VirtualClock::shared();
+        let server = Arc::new(Server::new(
+            ServerConfig::default(),
+            clock as Arc<dyn ei_faults::Clock>,
+            Arc::new(ei_par::ParPool::new(ei_par::Parallelism::serial())),
+            ei_trace::Tracer::disabled(),
+        ));
+        api.attach_serving(server).unwrap();
+
+        // train + register a tiny audio model (window 1000, frame stride 64)
+        let gen = ei_data::synth::KwsGenerator {
+            classes: vec!["yes".into(), "no".into()],
+            sample_rate_hz: 4_000,
+            duration_s: 0.25,
+            noise: 0.02,
+        };
+        let design = ImpulseDesign::new(
+            "live",
+            1_000,
+            ei_dsp::DspConfig::Mfcc(ei_dsp::MfccConfig {
+                frame_s: 0.032,
+                stride_s: 0.016,
+                n_coefficients: 8,
+                n_filters: 16,
+                sample_rate_hz: 4_000,
+            }),
+        )
+        .unwrap();
+        let spec = ei_nn::presets::dense_mlp(design.feature_dims().unwrap(), 2, 8);
+        let config = TrainConfig { epochs: 2, seed: 11, ..TrainConfig::default() };
+        let json = design.train(&spec, &gen.dataset(4, 11), &config).unwrap().to_json().unwrap();
+        api.upload_model(p, alice, "kws", json).unwrap();
+
+        // misaligned hop is a BadRequest, not a panic
+        assert!(matches!(
+            api.stream_open(p, alice, "kws", SessionConfig::new("", 100)),
+            Err(PlatformError::BadRequest(_))
+        ));
+        assert!(api.stream_open(p, alice, "missing", SessionConfig::new("", 256)).is_err());
+
+        let mut cfg = SessionConfig::new("", 256);
+        cfg.max_pending = 64;
+        let sid = api.stream_open(p, alice, "kws", cfg).unwrap();
+
+        // outsiders can neither feed nor close someone else's stream
+        assert!(api.stream_push(sid, outsider, &[0.0; 64]).is_err());
+        assert!(api.stream_close(sid, outsider).is_err());
+        assert!(api.stream_push(999, alice, &[0.0; 64]).is_err(), "unknown session");
+
+        let signal: Vec<f32> = (0..4).flat_map(|i| gen.generate(i % 2, i as u64)).collect();
+        let mut verdicts = Vec::new();
+        for chunk in signal.chunks(500) {
+            verdicts.extend(api.stream_push(sid, alice, chunk).unwrap());
+        }
+        let stats = api.stream_close(sid, alice).unwrap();
+        assert!(stats.windows_classified >= 10, "stats {stats:?}");
+        assert!(stats.features_identical(), "incremental DSP must match batch bitwise");
+        assert!(!verdicts.is_empty());
+        // empty tenant defaulted to the project billing identity
+        assert!(api.stream_close(sid, alice).is_err(), "closed sessions are gone");
     }
 
     #[test]

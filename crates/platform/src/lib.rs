@@ -19,6 +19,11 @@
 //!   backoff, per-attempt watchdog timeouts, panic isolation, cooperative
 //!   cancellation and a dead-letter queue (the EKS substitute, built on
 //!   `ei-faults`);
+//! * streaming endpoints ([`Api::stream_open`](api::Api::stream_open) /
+//!   [`Api::stream_push`](api::Api::stream_push) /
+//!   [`Api::stream_close`](api::Api::stream_close)) — live
+//!   continuous-inference sessions over `ei-stream`, billed to the
+//!   project and access-checked per call;
 //! * [`registry`] — the searchable public-project index;
 //! * [`features`] — the MLOps feature-support matrix of paper Table 5.
 
@@ -36,6 +41,8 @@ pub use error::PlatformError;
 pub use jobs::{DeadLetter, JobContext, JobScheduler, JobStatus};
 
 pub use ei_serve::{InferenceSpec, ModelName};
+
+pub use ei_stream::{SessionConfig, SessionStats, WindowVerdict};
 
 pub use ei_faults::{AttemptRecord, CancelToken, FailureCause, RetryPolicy};
 

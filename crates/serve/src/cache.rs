@@ -164,8 +164,25 @@ impl CompiledArtifact {
         let block =
             self.impulse.design().dsp_block().map_err(|e| ServeError::Model(e.to_string()))?;
         let features = block.process(raw).map_err(|e| ServeError::Model(e.to_string()))?;
+        self.classify_features(&features)
+    }
+
+    /// Classifies an already-extracted feature window, skipping the DSP
+    /// stage. This is the dispatch path for streaming sessions, whose
+    /// incremental extractor computed each overlapping window's columns
+    /// exactly once; [`CompiledArtifact::classify`] funnels through it, so
+    /// both paths run the identical engine call and argmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] for wrongly sized feature vectors or
+    /// engine failures.
+    pub fn classify_features(
+        &self,
+        features: &[f32],
+    ) -> Result<ei_core::Classification, ServeError> {
         let probabilities =
-            self.engine.run(&features).map_err(|e| ServeError::Model(e.to_string()))?;
+            self.engine.run(features).map_err(|e| ServeError::Model(e.to_string()))?;
         let label_index = ei_tensor::ops::argmax(&probabilities);
         Ok(ei_core::Classification {
             label: self.impulse.labels().get(label_index).cloned().unwrap_or_default(),

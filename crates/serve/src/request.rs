@@ -157,11 +157,18 @@ pub struct InferenceRequest {
     pub engine: EngineKind,
     /// `true` to run the int8 artifact.
     pub quantized: bool,
-    /// Raw input window.
+    /// Input window: raw samples by default, or already-extracted DSP
+    /// features when `precomputed` is set.
     pub window: Vec<f32>,
     /// Completion deadline, logical milliseconds from admission; `0`
     /// selects the server's default.
     pub deadline_ms: u64,
+    /// `true` when `window` holds DSP features rather than raw samples,
+    /// so dispatch skips the artifact's DSP stage and feeds the engine
+    /// directly. Streaming sessions set this: their incremental extractor
+    /// already computed each frame column exactly once, and re-running
+    /// DSP per overlapping window would throw that reuse away.
+    pub precomputed: bool,
 }
 
 impl InferenceRequest {
@@ -181,7 +188,16 @@ impl InferenceRequest {
             quantized: spec.quantized,
             window,
             deadline_ms: spec.deadline_ms,
+            precomputed: false,
         }
+    }
+
+    /// Marks `window` as already-extracted DSP features (see the
+    /// `precomputed` field).
+    #[must_use]
+    pub fn with_precomputed_features(mut self) -> InferenceRequest {
+        self.precomputed = true;
+        self
     }
 
     /// The cache identity this request resolves to.

@@ -134,6 +134,9 @@ struct Inner {
     buckets: HashMap<String, TokenBucket>,
     next_ticket: u64,
     completed: Vec<Completion>,
+    /// Admitted-but-not-completed requests per tenant, mirrored into the
+    /// obs registry as the `serve.inflight` gauge.
+    inflight: HashMap<String, u64>,
 }
 
 /// The multi-tenant serving front-end.
@@ -181,6 +184,7 @@ impl Server {
                 buckets: HashMap::new(),
                 next_ticket: 1,
                 completed: Vec::new(),
+                inflight: HashMap::new(),
             }),
         }
     }
@@ -202,6 +206,37 @@ impl Server {
     /// The serving clock.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The tracer requests are recorded through. Callers that open their
+    /// own spans on it (e.g. a streaming session's `stream.session` span)
+    /// get `serve.request` stitched in as a child via the ambient context.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Admitted-but-not-completed requests for `tenant`.
+    pub fn tenant_inflight(&self, tenant: &str) -> u64 {
+        self.lock_inner().inflight.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Mirrors the admission-queue depth into the obs registry (the
+    /// tracer's quiet gauge only surfaces in per-run exports, which left
+    /// backpressure invisible to always-on telemetry until requests were
+    /// actually rejected). The `__all__` sentinel marks the one
+    /// cross-tenant series, mirroring the registry's `__other__` overflow
+    /// label.
+    fn publish_queue_depth(&self, depth: usize) {
+        if let Some(obs) = &self.obs {
+            obs.registry().set_gauge("serve.queue_depth", "__all__", depth as f64);
+        }
+    }
+
+    /// Mirrors one tenant's in-flight count into the obs registry.
+    fn publish_inflight(&self, tenant: &str, count: u64) {
+        if let Some(obs) = &self.obs {
+            obs.registry().set_gauge("serve.inflight", tenant, count as f64);
+        }
     }
 
     /// Current artifact-cache counters.
@@ -270,9 +305,18 @@ impl Server {
             req,
             span,
         };
+        let tenant = pending.req.tenant.clone();
         inner.queue.push_back(pending);
+        let depth = inner.queue.len();
+        let inflight = {
+            let count = inner.inflight.entry(tenant.clone()).or_insert(0);
+            *count += 1;
+            *count
+        };
         self.tracer.quiet_counter("serve.submitted").inc();
-        self.tracer.quiet_gauge("serve.queue_depth").set(inner.queue.len() as f64);
+        self.tracer.quiet_gauge("serve.queue_depth").set(depth as f64);
+        self.publish_queue_depth(depth);
+        self.publish_inflight(&tenant, inflight);
         Ok(ticket)
     }
 
@@ -355,6 +399,7 @@ impl Server {
                     }
                 }
                 self.tracer.quiet_gauge("serve.queue_depth").set(inner.queue.len() as f64);
+                self.publish_queue_depth(inner.queue.len());
                 batch
             };
             self.run_batch(batch);
@@ -435,7 +480,13 @@ impl Server {
                 |_| {},
                 |_| {
                     self.clock.sleep_ms(service_ms, None);
-                    outputs = Some(self.pool.par_map(&live, |p| artifact.classify(&p.req.window)));
+                    outputs = Some(self.pool.par_map(&live, |p| {
+                        if p.req.precomputed {
+                            artifact.classify_features(&p.req.window)
+                        } else {
+                            artifact.classify(&p.req.window)
+                        }
+                    }));
                     Ok(String::new())
                 },
             )
@@ -541,6 +592,13 @@ impl Server {
             batch_size,
         };
         drop(p.span);
-        self.lock_inner().completed.push(completion);
+        let inflight = {
+            let mut inner = self.lock_inner();
+            inner.completed.push(completion);
+            let count = inner.inflight.entry(p.req.tenant.clone()).or_insert(0);
+            *count = count.saturating_sub(1);
+            *count
+        };
+        self.publish_inflight(&p.req.tenant, inflight);
     }
 }

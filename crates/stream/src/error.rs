@@ -1,0 +1,47 @@
+//! Error type of the streaming layer.
+
+use ei_dsp::DspError;
+
+/// Why a session could not be opened or fed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The session configuration is inconsistent with the model's impulse
+    /// design (e.g. a hop that doesn't align with the DSP frame stride).
+    InvalidConfig(String),
+    /// The model JSON could not be decoded into a trained impulse.
+    Model(String),
+    /// The DSP layer rejected the design or a sample chunk.
+    Dsp(DspError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InvalidConfig(msg) => write!(f, "invalid stream config: {msg}"),
+            StreamError::Model(msg) => write!(f, "model error: {msg}"),
+            StreamError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<DspError> for StreamError {
+    fn from(e: DspError) -> StreamError {
+        StreamError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            StreamError::InvalidConfig("bad hop".into()).to_string(),
+            "invalid stream config: bad hop"
+        );
+        assert!(StreamError::Model("nope".into()).to_string().contains("nope"));
+    }
+}

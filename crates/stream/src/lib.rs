@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Streaming ingestion and continuous inference sessions.
+//!
+//! Everything below `ei-serve` classifies one whole window per request —
+//! but the paper's deployed impulses run against *live* sensor streams:
+//! audio arrives in small chunks, overlapping windows slide over it, and
+//! the device reports a smoothed decision, not one-off classifications.
+//! This crate is that vertical:
+//!
+//! * [`StreamSession`] — one tenant-attributed live stream. Chunked
+//!   samples go in via [`StreamSession::push`] (which never blocks on
+//!   inference); classified windows come back from
+//!   [`StreamSession::poll`].
+//! * **Incremental DSP** — each session drives an
+//!   [`ei_dsp::StreamingExtractor`]: per-frame FFT/Mel columns are
+//!   computed exactly once and shared across every overlapping window, and
+//!   an optional batch-recompute oracle asserts the assembled features are
+//!   *bitwise* equal to what batch `process` would produce.
+//! * **Serving integration** — feature windows are submitted to the
+//!   shared [`ei_serve::Server`] with `precomputed` set, so admission
+//!   control, per-tenant quotas, the compiled-artifact cache,
+//!   micro-batching, `serve.request` causal spans and ei-obs SLO monitors
+//!   all apply unchanged. The session's own `stream.session` span is
+//!   entered around each submit, so every request's causal chain leads
+//!   back to its stream.
+//! * **Backpressure** — a session whose frames outrun inference keeps at
+//!   most `max_pending` assembled windows: overflow drops the *oldest*
+//!   window first (bounding staleness) and counts the drop; quota and
+//!   deadline rejections are likewise counted, never retried.
+//! * [`MajorityVote`] — the paper's performance-calibration smoothing:
+//!   the reported label is the majority over the last K window votes.
+//!
+//! All timing is charged to the server's injected [`ei_faults::Clock`], so
+//! a sustained multi-tenant streaming load test on a
+//! [`ei_faults::VirtualClock`] is byte-for-byte reproducible at any
+//! `EI_THREADS` (see the `streaming` bench bin).
+
+pub mod error;
+pub mod session;
+pub mod smoother;
+
+pub use error::StreamError;
+pub use session::{SessionConfig, SessionStats, StreamSession, WindowVerdict};
+pub use smoother::MajorityVote;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StreamError>;

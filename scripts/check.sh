@@ -33,6 +33,10 @@ echo "==> observability suite (EI_THREADS=1 and 4)"
 EI_THREADS=1 cargo test -q --test observability
 EI_THREADS=4 cargo test -q --test observability
 
+echo "==> streaming suite (EI_THREADS=1 and 4)"
+EI_THREADS=1 cargo test -q --test streaming
+EI_THREADS=4 cargo test -q --test streaming
+
 echo "==> cargo test --doc"
 cargo test --doc
 
@@ -132,5 +136,45 @@ if [ -f results/obs_overhead.json ]; then
 else
   echo "  (no results/obs_overhead.json yet — run scripts/obs_demo.sh)"
 fi
+
+echo "==> results/streaming.json features are bitwise-identical with bounded staleness"
+if [ -f results/streaming.json ]; then
+  if grep -vqF '"schema_version":' results/streaming.json; then
+    echo "row without schema_version in results/streaming.json" >&2
+    exit 1
+  fi
+  if ! grep -qF -- '"features_identical":true' results/streaming.json; then
+    echo "no row proves features_identical:true" >&2
+    exit 1
+  fi
+  if grep -qF -- '"features_identical":false' results/streaming.json; then
+    echo "incremental streaming DSP diverged from the batch oracle" >&2
+    exit 1
+  fi
+  awk -F'"staleness_p99_ms":' '
+    NF > 1 {
+      # drop-oldest backpressure bounds staleness even when overloaded;
+      # the ceiling catches a broken shed policy letting backlogs grow
+      split($2, a, /[,}]/); if (a[1] + 0 > 500) { bad = 1 }
+    }
+    END { exit bad }' results/streaming.json || {
+      echo "p99 window staleness exceeded the 500 ms ceiling" >&2
+      exit 1
+    }
+  echo "  ok results/streaming.json"
+else
+  echo "  (no results/streaming.json yet — run scripts/stream_demo.sh)"
+fi
+
+echo "==> no orphaned results/*.txt shadowing a JSON successor"
+for f in results/*.txt; do
+  [ -e "$f" ] || continue
+  stem=$(basename "$f" .txt)
+  if grep -rqF "ResultsWriter::new(\"$stem\")" crates/bench/src; then
+    echo "orphaned $f: the \"$stem\" bench writes results/$stem.json now — delete the stale .txt" >&2
+    exit 1
+  fi
+done
+echo "  ok: no stale .txt outputs"
 
 echo "==> all checks passed"

@@ -7,8 +7,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> EDGELAB_QUICK=1 cargo run --release --bin scaling"
-EDGELAB_QUICK=1 cargo run --release --bin scaling
+echo "==> EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin scaling"
+EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin scaling
 
 echo "==> checking results/parallel_scaling.json"
 out=results/parallel_scaling.json

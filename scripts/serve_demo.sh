@@ -7,8 +7,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> EDGELAB_QUICK=1 cargo run --release --bin serving"
-EDGELAB_QUICK=1 cargo run --release --bin serving
+echo "==> EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin serving"
+EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin serving
 
 echo "==> checking results/serving.json"
 out=results/serving.json

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Smoke-runs the streaming-session bench with shortened streams and
+# sanity-checks the JSONL rows it writes: every scenario/tenant pair is
+# present, every row proves the incremental DSP features bitwise-equal to
+# batch recomputation, the overloaded scenario actually shed windows, and
+# the sweep stayed byte-for-byte reproducible (the bench runs everything
+# twice — and on both a 1-thread and a 4-thread pool — and asserts
+# equality before writing).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin streaming"
+EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin streaming
+
+echo "==> checking results/streaming.json"
+out=results/streaming.json
+for scenario in nominal bursty overloaded; do
+  for tenant in alpha beta gamma; do
+    marker="\"scenario\":\"$scenario\",\"tenant\":\"$tenant\""
+    if ! grep -qF -- "$marker" "$out"; then
+      echo "MISSING from $out: $marker" >&2
+      exit 1
+    fi
+  done
+  echo "  found all tenants for scenario $scenario"
+done
+if grep -qF -- '"features_identical":false' "$out"; then
+  echo "incremental DSP diverged from the batch oracle" >&2
+  exit 1
+fi
+echo "  features_identical on every row"
+awk -F'"drops_backpressure":' '
+  /"scenario":"overloaded"/ && NF > 1 {
+    split($2, a, /[,}]/); total += a[1]
+  }
+  END { exit total > 0 ? 0 : 1 }' "$out" || {
+    echo "the overloaded scenario shed no windows — backpressure is not engaging" >&2
+    exit 1
+  }
+echo "  overloaded scenario shed windows through backpressure"
+for field in '"summary":true' '"pools_identical":true' '"staleness_p99_ms":'; do
+  if ! grep -qF -- "$field" "$out"; then
+    echo "MISSING from $out: $field" >&2
+    exit 1
+  fi
+  echo "  found $field"
+done
+
+echo "==> streaming demo passed"

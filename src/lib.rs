@@ -26,6 +26,7 @@
 //! | [`active`] | `ei-active` | embeddings, 2-D projection, auto-labeling |
 //! | [`platform`] | `ei-platform` | projects, API facade, job scheduler |
 //! | [`serve`] | `ei-serve` | multi-tenant inference serving + artifact cache |
+//! | [`stream`] | `ei-stream` | streaming ingestion + continuous inference sessions |
 //! | [`faults`] | `ei-faults` | retry policies, mock clock, fault injection |
 //! | [`trace`] | `ei-trace` | structured spans, metrics, trace exporters |
 //! | [`obs`] | `ei-obs` | production telemetry: SLO monitors + flight recorder |
@@ -66,6 +67,7 @@ pub use ei_platform as platform;
 pub use ei_quant as quant;
 pub use ei_runtime as runtime;
 pub use ei_serve as serve;
+pub use ei_stream as stream;
 pub use ei_tensor as tensor;
 pub use ei_trace as trace;
 pub use ei_tuner as tuner;
@@ -86,5 +88,6 @@ mod tests {
         let _ = crate::trace::Tracer::disabled();
         let _ = crate::obs::SloSpec::latency("t", 100.0, 0.99);
         let _ = crate::par::Parallelism::serial();
+        let _ = crate::stream::MajorityVote::new(3);
     }
 }

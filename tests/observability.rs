@@ -186,6 +186,7 @@ fn serve_request(tenant: &str, model: &ModelSource, deadline_ms: u64) -> Inferen
         }
         .generate(0, 3),
         deadline_ms,
+        precomputed: false,
     }
 }
 

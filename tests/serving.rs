@@ -83,6 +83,7 @@ fn request(
         quantized: false,
         window,
         deadline_ms: 0,
+        precomputed: false,
     }
 }
 
