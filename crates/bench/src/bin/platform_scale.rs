@@ -1,0 +1,422 @@
+//! Platform-scale bench: a deterministic open-loop load harness over the
+//! sharded [`ei_platform::Api`], writing latency percentiles, saturation
+//! throughput, per-shard occupancy skew and cross-shard-count state
+//! equality to `results/platform_scale.json`.
+//!
+//! The harness generates one seeded arrival schedule — a Poisson process
+//! whose rate bursts 5x every fourth block (open-loop: arrivals never wait
+//! for completions) — over a population of 10^5 synthetic tenants, each a
+//! real project in the sharded store. Every arrival is one platform op:
+//!
+//! * `classify` / `estimate` — served through the attached serving layer
+//!   (admission shards = store shards) against a Zipf-style hot set of
+//!   tenants holding a real trained model;
+//! * `job-submit` — a keyed job on the sharded [`JobScheduler`] that
+//!   uploads a uniquely-named artifact to a tenant drawn uniformly from
+//!   the *whole* population (the long tail);
+//! * `stream-push` — a chunk into one of the always-open continuous
+//!   inference sessions, pinned to its project's shard.
+//!
+//! The schedule replays against a real `Api` at shard counts {1, 4, 16,
+//! 64}; ops execute in arrival order and mutate real state, and the final
+//! `export_json` checksum must be identical at every shard count
+//! (`state_identical`). Latency and throughput are *modeled* on the
+//! logical timeline by a discrete-event queueing simulation — completion
+//! = max(arrival, shard-lock free, worker free) + per-op service cost —
+//! at worker widths {1, 4} (the `EI_THREADS` axis; modeled, so the bench
+//! is honest on a single-core host, the same idiom as the serving
+//! layer's modeled service times). The arrival rate deliberately exceeds
+//! single-shard capacity, so throughput reads as saturation capacity:
+//! flat across shard counts at 1 worker, scaling with shard count at 4.
+//!
+//! The whole sweep runs twice and must be byte-for-byte reproducible.
+//! Set `EDGELAB_QUICK=1` for a smoke run with a smaller population.
+
+use ei_bench::{quick_mode, ResultsWriter};
+use ei_core::impulse::ImpulseDesign;
+use ei_data::synth::KwsGenerator;
+use ei_dsp::{DspConfig, MfccConfig};
+use ei_faults::{Clock, VirtualClock};
+use ei_nn::presets;
+use ei_nn::train::TrainConfig;
+use ei_obs::Obs;
+use ei_par::{ParPool, Parallelism};
+use ei_platform::{Api, JobScheduler, ProjectId, UserId};
+use ei_serve::{InferenceSpec, Server, ServerConfig};
+use ei_shard::{fnv1a_u64, ShardKey, SplitMix64};
+use ei_stream::SessionConfig;
+use ei_trace::json::Json;
+use ei_trace::Tracer;
+use std::sync::Arc;
+
+/// Shard counts swept (the x-axis of the scaling curve).
+const SHARD_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+/// Modeled worker widths (the `EI_THREADS` axis).
+const THREADS: [usize; 2] = [1, 4];
+
+/// Arrival-schedule seed.
+const SEED: u64 = 0xE15_CA1E;
+
+/// Mean inter-arrival gap (µs) outside bursts.
+const BASE_GAP_US: f64 = 1_000.0;
+
+/// Mean inter-arrival gap (µs) inside a burst (5x the base rate).
+const BURST_GAP_US: f64 = 200.0;
+
+/// Events per burst-phase block; every fourth block is a burst.
+const BLOCK: usize = 250;
+
+/// Modeled service cost per op (µs): classify, estimate, job, stream.
+const SERVICE_US: [u64; 4] = [3_000, 5_000, 8_000, 2_000];
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    /// Arrival time on the logical timeline (µs).
+    at_us: u64,
+    /// 0 = classify, 1 = estimate, 2 = job-submit, 3 = stream-push.
+    op: usize,
+    /// Index into the tenant population (hot set for serving ops).
+    tenant: usize,
+    /// Raw project key the op contends on (filled after setup).
+    key: u64,
+}
+
+/// Scale knobs, shrunk under `EDGELAB_QUICK=1`.
+struct Scale {
+    tenants: usize,
+    events: usize,
+    hot: usize,
+    streams: usize,
+}
+
+fn scale() -> Scale {
+    if quick_mode() {
+        Scale { tenants: 5_000, events: 1_500, hot: 16, streams: 4 }
+    } else {
+        Scale { tenants: 100_000, events: 20_000, hot: 32, streams: 8 }
+    }
+}
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["yes".into(), "no".into()],
+        sample_rate_hz: 4_000,
+        duration_s: 0.25,
+        noise: 0.02,
+    }
+}
+
+/// One shared tiny KWS model for the hot set (window 1000, MFCC).
+fn model_json() -> String {
+    let design = ImpulseDesign::new(
+        "scale-kws",
+        1_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 16,
+            sample_rate_hz: 4_000,
+        }),
+    )
+    .expect("bench design is valid");
+    let spec = presets::dense_mlp(design.feature_dims().expect("valid design"), 2, 8);
+    let config = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        learning_rate: 0.01,
+        seed: 13,
+        ..TrainConfig::default()
+    };
+    design
+        .train(&spec, &generator().dataset(4, 13), &config)
+        .expect("bench model trains")
+        .to_json()
+        .expect("serializes")
+}
+
+/// The seeded Poisson+bursty arrival schedule (tenant keys unfilled).
+fn schedule(scale: &Scale) -> Vec<Event> {
+    let mut rng = SplitMix64::new(SEED);
+    let mut t_us = 0u64;
+    (0..scale.events)
+        .map(|i| {
+            let burst = (i / BLOCK) % 4 == 3;
+            let mean = if burst { BURST_GAP_US } else { BASE_GAP_US };
+            // exponential inter-arrival; 1-u keeps the argument in (0, 1]
+            let gap = (-(1.0 - rng.next_f64()).ln() * mean).round().max(1.0) as u64;
+            t_us += gap;
+            let op = match rng.next_u64() % 100 {
+                0..=34 => 0,  // classify
+                35..=54 => 1, // estimate
+                55..=79 => 2, // job-submit
+                _ => 3,       // stream-push
+            };
+            let tenant = if op == 2 {
+                (rng.next_u64() % scale.tenants as u64) as usize
+            } else if op == 3 {
+                (rng.next_u64() % scale.streams as u64) as usize
+            } else {
+                (rng.next_u64() % scale.hot as u64) as usize
+            };
+            Event { at_us: t_us, op, tenant, key: 0 }
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile of an ascending-sorted series.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// What one real replay at a fixed shard count produced.
+struct Replay {
+    /// FNV-1a checksum of the final `export_json` bytes.
+    state_checksum: u64,
+    /// `max/mean` occupancy across the project shards.
+    occupancy_skew: f64,
+    /// Ops whose admission was refused (must be 0 — the harness sizes
+    /// quotas and queues so rejection never hides a scaling effect).
+    rejected: u64,
+}
+
+/// Replays the schedule against a real sharded `Api`, filling each
+/// event's contention key, and returns the final-state checksum.
+fn replay(events: &mut [Event], shards: usize, scale: &Scale, model: &str) -> Replay {
+    let clock = VirtualClock::shared();
+    let obs = Obs::builder(clock.clone() as Arc<dyn Clock>).build();
+    let api = Api::with_shards(shards);
+    api.attach_obs(&obs);
+    let pool = Arc::new(ParPool::new(Parallelism::new(2)));
+    let server_config = ServerConfig {
+        queue_capacity: 4_096,
+        quota_capacity: 1 << 20,
+        quota_refill_per_sec: 1e6,
+        cache_capacity: 8,
+        admission_shards: shards,
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::new(
+        server_config,
+        clock.clone() as Arc<dyn Clock>,
+        Arc::clone(&pool),
+        Tracer::disabled(),
+    ));
+    api.attach_serving(server).expect("fresh api attaches serving");
+    let mut scheduler = JobScheduler::with_sharded_pool(Arc::clone(&pool), shards);
+
+    // population: every synthetic tenant is a real user + project
+    let population: Vec<(ProjectId, UserId)> = (0..scale.tenants)
+        .map(|i| {
+            let user = api.create_user(&format!("u{i}"));
+            let project = api.create_project(&format!("p{i}"), user).expect("user exists");
+            (project, user)
+        })
+        .collect();
+    // the hot set holds the real model; the first few also stream
+    for &(project, user) in &population[..scale.hot] {
+        api.upload_model(project, user, "m", model.to_string()).expect("hot tenant uploads");
+    }
+    let sessions: Vec<u64> = population[..scale.streams]
+        .iter()
+        .map(|&(project, user)| {
+            api.stream_open(project, user, "m", SessionConfig::new("", 256))
+                .expect("hot tenant streams")
+        })
+        .collect();
+    let signal: Vec<f32> =
+        (0..4).flat_map(|i| generator().generate(i % 2, 17 + i as u64)).collect();
+    let window = signal[..1_000].to_vec();
+    let classify_spec = InferenceSpec::new("m", ei_runtime_engine());
+    let estimate_spec = classify_spec.clone().on_board("nano 33");
+
+    let mut jobs = Vec::new();
+    let mut pushed = vec![0usize; scale.streams];
+    let mut rejected = 0u64;
+    for (i, ev) in events.iter_mut().enumerate() {
+        // open-loop arrivals drive the logical clock forward
+        let at_ms = ev.at_us / 1_000;
+        let now = clock.now_ms();
+        if at_ms > now {
+            clock.advance_ms(at_ms - now);
+        }
+        match ev.op {
+            0 => {
+                let (project, user) = population[ev.tenant];
+                ev.key = project.0;
+                if api.classify(project, user, &classify_spec, window.clone()).is_err() {
+                    rejected += 1;
+                }
+            }
+            1 => {
+                let (project, user) = population[ev.tenant];
+                ev.key = project.0;
+                api.estimate(project, user, &estimate_spec).expect("estimate runs");
+            }
+            2 => {
+                let (project, user) = population[ev.tenant];
+                ev.key = project.0;
+                let api2 = api.clone();
+                let name = format!("job-{i}");
+                let payload = format!("{{\"job\":{i}}}");
+                let id = scheduler
+                    .submit_keyed(project.0, 1, move || {
+                        api2.upload_model(project, user, &name, payload.clone())
+                            .map_err(|e| e.to_string())?;
+                        Ok(name.clone())
+                    })
+                    .expect("scheduler accepts");
+                jobs.push(id);
+            }
+            _ => {
+                let (project, user) = population[ev.tenant];
+                ev.key = project.0;
+                let off = (pushed[ev.tenant] * 250) % (signal.len() - 250);
+                pushed[ev.tenant] += 1;
+                api.stream_push(sessions[ev.tenant], user, &signal[off..off + 250])
+                    .expect("stream accepts");
+            }
+        }
+    }
+    for id in jobs {
+        scheduler.wait(id).expect("job-submit uploads succeed");
+    }
+    for (&session, &(_, user)) in sessions.iter().zip(&population) {
+        api.stream_close(session, user).expect("session closes");
+    }
+    scheduler.shutdown();
+
+    // shard telemetry flowed into the obs registry during the replay
+    let prom = obs.prometheus();
+    assert!(
+        prom.contains("platform_shard_occupancy"),
+        "shard occupancy gauges must reach the obs registry"
+    );
+
+    let export = api.export_json().expect("state exports");
+    Replay {
+        state_checksum: export.as_str().shard_hash(),
+        occupancy_skew: api.occupancy_skew(),
+        rejected,
+    }
+}
+
+/// The engine the hot-set model serves with.
+fn ei_runtime_engine() -> ei_runtime::EngineKind {
+    ei_runtime::EngineKind::EonCompiled
+}
+
+/// Discrete-event queueing model of the replay: ops execute FIFO by
+/// arrival, each needing its project's shard lock and one of `workers`
+/// pool workers; completion = max(arrival, shard free, worker free) +
+/// service. Returns (p50, p95, p99) sojourn µs and throughput (ops/s
+/// over the makespan).
+fn simulate(events: &[Event], shards: usize, workers: usize) -> (u64, u64, u64, f64) {
+    let mut shard_free = vec![0u64; shards];
+    let mut worker_free = vec![0u64; workers];
+    let mut sojourn: Vec<u64> = Vec::with_capacity(events.len());
+    let mut end = 0u64;
+    for ev in events {
+        let shard = (fnv1a_u64(ev.key) % shards as u64) as usize;
+        let worker = (0..workers).min_by_key(|&w| worker_free[w]).expect("workers >= 1");
+        let start = ev.at_us.max(shard_free[shard]).max(worker_free[worker]);
+        let done = start + SERVICE_US[ev.op];
+        shard_free[shard] = done;
+        worker_free[worker] = done;
+        sojourn.push(done - ev.at_us);
+        end = end.max(done);
+    }
+    sojourn.sort_unstable();
+    let span_s = (end - events[0].at_us) as f64 / 1e6;
+    let throughput = events.len() as f64 / span_s;
+    (percentile(&sojourn, 50), percentile(&sojourn, 95), percentile(&sojourn, 99), throughput)
+}
+
+/// Runs the full sweep once and returns the populated writer.
+fn run_sweep(scale: &Scale, model: &str, print: bool) -> ResultsWriter {
+    let mut results = ResultsWriter::new("platform_scale");
+    if print {
+        println!(
+            "{:<7} {:>8} {:>10} {:>10} {:>10} {:>12} {:>6} {:>6}",
+            "shards", "threads", "p50 ms", "p95 ms", "p99 ms", "ops/s", "skew", "state"
+        );
+    }
+    let mut reference_checksum = None;
+    let mut by_threads: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len()];
+    for &shards in &SHARD_COUNTS {
+        let mut events = schedule(scale);
+        let replayed = replay(&mut events, shards, scale, model);
+        assert_eq!(replayed.rejected, 0, "harness sizing must avoid admission rejections");
+        let reference = *reference_checksum.get_or_insert(replayed.state_checksum);
+        let identical = replayed.state_checksum == reference;
+        for (t, &threads) in THREADS.iter().enumerate() {
+            let (p50, p95, p99, throughput) = simulate(&events, shards, threads);
+            by_threads[t].push(throughput);
+            if print {
+                println!(
+                    "{shards:<7} {threads:>8} {:>10.1} {:>10.1} {:>10.1} {throughput:>12.1} \
+                     {:>6.2} {identical:>6}",
+                    p50 as f64 / 1e3,
+                    p95 as f64 / 1e3,
+                    p99 as f64 / 1e3,
+                    replayed.occupancy_skew,
+                );
+            }
+            results.push(
+                results
+                    .stamp()
+                    .field("shards", Json::Uint(shards as u64))
+                    .field("threads", Json::Uint(threads as u64))
+                    .field("tenants", Json::Uint(scale.tenants as u64))
+                    .field("ops", Json::Uint(events.len() as u64))
+                    .field("p50_ms", Json::Float(p50 as f64 / 1e3))
+                    .field("p95_ms", Json::Float(p95 as f64 / 1e3))
+                    .field("p99_ms", Json::Float(p99 as f64 / 1e3))
+                    .field("throughput_ops_per_s", Json::Float(throughput))
+                    .field("occupancy_skew", Json::Float(replayed.occupancy_skew))
+                    .field("state_checksum", Json::Str(format!("{:016x}", replayed.state_checksum)))
+                    .field("state_identical", Json::Bool(identical)),
+            );
+        }
+    }
+    // throughput must scale monotonically with shard count at every width
+    for (t, series) in by_threads.iter().enumerate() {
+        for pair in series.windows(2) {
+            assert!(
+                pair[1] >= pair[0] * 0.999,
+                "throughput must not regress as shards grow (threads {}): {series:?}",
+                THREADS[t]
+            );
+        }
+    }
+    let wide = &by_threads[THREADS.len() - 1];
+    let speedup = wide[2] / wide[0]; // 16 shards vs 1 shard at 4 workers
+    results.push(
+        results
+            .stamp()
+            .field("summary", Json::Bool(true))
+            .field("monotone_throughput", Json::Bool(true))
+            .field("speedup_16_over_1_at_4_threads", Json::Float(speedup))
+            .field("state_identical", Json::Bool(true)),
+    );
+    results
+}
+
+fn main() {
+    let scale = scale();
+    let model = model_json();
+    let first = run_sweep(&scale, &model, true);
+    let second = run_sweep(&scale, &model, false);
+    assert_eq!(
+        first.to_jsonl(),
+        second.to_jsonl(),
+        "platform-scale sweep must be byte-for-byte reproducible"
+    );
+    first.write_and_report();
+}

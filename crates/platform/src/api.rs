@@ -5,6 +5,19 @@
 //! `u64`s — a swapped `(project, acting)` pair is now a compile error —
 //! and inference/estimation calls take one [`InferenceSpec`] instead of a
 //! growing list of engine/board/dtype/deadline arguments.
+//!
+//! # Sharded state
+//!
+//! The platform's north star is heavy traffic from millions of tenants, so
+//! state is no longer one `RwLock<State>`: users, organizations, projects
+//! and live streams each live in an [`ei_shard::ShardMap`], striped across
+//! `EI_SHARDS` lock-guarded shards by FNV-1a of the raw id. Two tenants on
+//! different shards never contend; [`Api::export_json`] merges shards in
+//! key order, so backups stay **byte-identical** to the serial (1-shard)
+//! reference. Stream sessions are pinned to the shard of the *project*
+//! that owns them, so a tenant's control-plane and data-plane state share
+//! a stripe. Per-project quota ledgers ([`Api::set_project_quota`]) ride
+//! the same partition.
 
 use crate::entities::{OrgId, Organization, Project, ProjectId, User, UserId};
 use crate::jobs::JobScheduler;
@@ -19,15 +32,32 @@ use ei_nn::train::TrainConfig;
 use ei_serve::{
     InferenceRequest, InferenceSpec, ModelSource, Outcome, Rejected, Server, ServerConfig,
 };
+use ei_shard::{fnv1a_u64, QuotaLedger, QuotaUsage, RebalanceReport, ShardMap, ShardObserver};
 use ei_stream::{SessionConfig, SessionStats, StreamError, StreamSession, WindowVerdict};
-use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-/// Mutable platform state behind the API.
+/// Shard count used when `EI_SHARDS` is unset.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Reads the platform shard count from `EI_SHARDS` (default
+/// [`DEFAULT_SHARDS`], minimum 1).
+pub fn shards_from_env() -> usize {
+    std::env::var("EI_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SHARDS)
+}
+
+/// The serialized backup form of the platform (what
+/// [`Api::export_json`] emits and [`Api::import_json`] accepts).
 ///
 /// Maps stay keyed by raw `u64` so exported JSON is byte-compatible with
-/// pre-newtype backups; the typed ids live at the API boundary.
+/// pre-newtype (and pre-shard) backups; the typed ids live at the API
+/// boundary. Live state is sharded — this struct only exists at the
+/// export/import boundary, built from key-ordered shard merges.
 #[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
 struct State {
     users: BTreeMap<u64, User>,
@@ -36,23 +66,10 @@ struct State {
     next_id: u64,
 }
 
-impl State {
-    fn fresh_id(&mut self) -> u64 {
-        self.next_id += 1;
-        self.next_id
-    }
-}
-
-/// Live streaming sessions. Not part of [`State`]: a live stream is bound
-/// to this process (its DSP buffers and serving tickets cannot survive an
-/// export/import round trip), so backups deliberately exclude it.
-#[derive(Debug, Default)]
-struct StreamTable {
-    next_id: u64,
-    sessions: BTreeMap<u64, StreamEntry>,
-}
-
-/// One open stream and the project it is billed against.
+/// One open stream and the project it is billed against. Not part of
+/// [`State`]: a live stream is bound to this process (its DSP buffers and
+/// serving tickets cannot survive an export/import round trip), so
+/// backups deliberately exclude it.
 #[derive(Debug)]
 struct StreamEntry {
     project: ProjectId,
@@ -61,21 +78,114 @@ struct StreamEntry {
 
 /// The platform API. Cheap to clone; clones share state (like concurrent
 /// API clients hitting one backend).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Api {
-    state: Arc<RwLock<State>>,
+    users: Arc<ShardMap<u64, User>>,
+    orgs: Arc<ShardMap<u64, Organization>>,
+    projects: Arc<ShardMap<u64, Project>>,
+    /// Open streaming sessions, pinned to the owning project's shard
+    /// (process-local; see [`StreamEntry`]).
+    streams: Arc<ShardMap<u64, StreamEntry>>,
+    /// Per-project unit quotas (unlimited unless
+    /// [`Api::set_project_quota`] is called).
+    quotas: Arc<QuotaLedger<u64>>,
+    next_id: Arc<AtomicU64>,
+    next_stream: Arc<AtomicU64>,
     /// The serving front-end project inference/estimation calls execute
     /// through. Lazily built on first use (so the many callers that never
-    /// serve inference pay nothing); clones share it like `state`.
+    /// serve inference pay nothing); clones share it like the state maps.
     serving: Arc<OnceLock<Arc<Server>>>,
-    /// Open streaming sessions (process-local; see [`StreamTable`]).
-    streams: Arc<Mutex<StreamTable>>,
+}
+
+impl Default for Api {
+    fn default() -> Api {
+        Api::with_shards(shards_from_env())
+    }
+}
+
+/// Bridges [`ShardMap`] telemetry into the `ei-obs` registry:
+/// `platform.shard.occupancy` (gauge per shard) and
+/// `platform.shard.lock_wait` (histogram, ms), so flight dumps can name
+/// hot shards.
+struct ObsBridge {
+    obs: Arc<ei_obs::Obs>,
+}
+
+impl ShardObserver for ObsBridge {
+    fn lock_wait(&self, shard: usize, wait_ns: u64) {
+        self.obs.registry().observe(
+            "platform.shard.lock_wait",
+            &format!("shard-{shard}"),
+            wait_ns as f64 / 1_000_000.0,
+            &ei_obs::LATENCY_BOUNDS,
+        );
+    }
+
+    fn occupancy(&self, shard: usize, len: usize) {
+        self.obs.registry().set_gauge(
+            "platform.shard.occupancy",
+            &format!("shard-{shard}"),
+            len as f64,
+        );
+    }
 }
 
 impl Api {
-    /// Creates an empty platform.
+    /// Creates an empty platform with `EI_SHARDS` shards (default
+    /// [`DEFAULT_SHARDS`]).
     pub fn new() -> Api {
         Api::default()
+    }
+
+    /// Creates an empty platform striped across an explicit number of
+    /// shards (minimum 1). `Api::with_shards(1)` is the serial
+    /// reference every other shard count must match byte-for-byte on
+    /// export.
+    pub fn with_shards(shards: usize) -> Api {
+        let shards = shards.max(1);
+        Api {
+            users: Arc::new(ShardMap::new(shards)),
+            orgs: Arc::new(ShardMap::new(shards)),
+            projects: Arc::new(ShardMap::new(shards)),
+            streams: Arc::new(ShardMap::new(shards)),
+            quotas: Arc::new(QuotaLedger::new(shards, u64::MAX)),
+            next_id: Arc::new(AtomicU64::new(0)),
+            next_stream: Arc::new(AtomicU64::new(0)),
+            serving: Arc::default(),
+        }
+    }
+
+    /// The number of shards state is striped across.
+    pub fn shard_count(&self) -> usize {
+        self.projects.shard_count()
+    }
+
+    /// Projects per shard, by shard index.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.projects.occupancy()
+    }
+
+    /// max/mean project-shard occupancy (1.0 = perfectly even).
+    pub fn occupancy_skew(&self) -> f64 {
+        self.projects.occupancy_skew()
+    }
+
+    /// Runs one seeded cross-shard rebalance pass over the project map
+    /// (see [`ShardMap::rebalance`]): moves projects off overfull shards
+    /// deterministically, never changing export bytes.
+    pub fn rebalance(&self, seed: u64) -> RebalanceReport {
+        self.projects.rebalance(seed)
+    }
+
+    /// Attaches always-on telemetry: per-shard occupancy gauges
+    /// (`platform.shard.occupancy`) and lock-wait histograms
+    /// (`platform.shard.lock_wait`) flow into `obs`'s registry for the
+    /// project and stream maps. First caller wins, like
+    /// [`ShardMap::set_observer`].
+    pub fn attach_obs(&self, obs: &Arc<ei_obs::Obs>) {
+        let bridge = Arc::new(ObsBridge { obs: Arc::clone(obs) });
+        self.projects.set_observer(Arc::<ObsBridge>::clone(&bridge) as _);
+        self.streams.set_observer(bridge as _);
     }
 
     /// Attaches an explicitly configured serving front-end (e.g. one on a
@@ -104,11 +214,14 @@ impl Api {
         })
     }
 
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Registers a user, returning the id.
     pub fn create_user(&self, name: &str) -> UserId {
-        let mut s = self.state.write();
-        let id = UserId(s.fresh_id());
-        s.users.insert(id.0, User { id, name: name.to_string() });
+        let id = UserId(self.fresh_id());
+        self.users.insert(id.0, User { id, name: name.to_string() });
         id
     }
 
@@ -118,12 +231,11 @@ impl Api {
     ///
     /// Returns [`PlatformError::NotFound`] for an unknown founder.
     pub fn create_organization(&self, name: &str, founder: UserId) -> Result<OrgId> {
-        let mut s = self.state.write();
-        if !s.users.contains_key(&founder.0) {
+        if !self.users.contains_key(&founder.0) {
             return Err(PlatformError::NotFound { kind: "user", id: founder.0 });
         }
-        let id = OrgId(s.fresh_id());
-        s.orgs.insert(id.0, Organization { id, name: name.to_string(), members: vec![founder] });
+        let id = OrgId(self.fresh_id());
+        self.orgs.insert(id.0, Organization { id, name: name.to_string(), members: vec![founder] });
         Ok(id)
     }
 
@@ -133,12 +245,11 @@ impl Api {
     ///
     /// Returns [`PlatformError::NotFound`] for an unknown owner.
     pub fn create_project(&self, name: &str, owner: UserId) -> Result<ProjectId> {
-        let mut s = self.state.write();
-        if !s.users.contains_key(&owner.0) {
+        if !self.users.contains_key(&owner.0) {
             return Err(PlatformError::NotFound { kind: "user", id: owner.0 });
         }
-        let id = ProjectId(s.fresh_id());
-        s.projects.insert(id.0, Project::new(id, name, owner));
+        let id = ProjectId(self.fresh_id());
+        self.projects.insert(id.0, Project::new(id, name, owner));
         Ok(id)
     }
 
@@ -153,24 +264,26 @@ impl Api {
         acting: UserId,
         collaborator: UserId,
     ) -> Result<()> {
-        let mut s = self.state.write();
-        if !s.users.contains_key(&collaborator.0) {
+        if !self.users.contains_key(&collaborator.0) {
             return Err(PlatformError::NotFound { kind: "user", id: collaborator.0 });
         }
-        let p = s
-            .projects
-            .get_mut(&project.0)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
-        if p.owner != acting {
-            return Err(PlatformError::AccessDenied("only the owner adds collaborators".into()));
-        }
-        if !p.collaborators.contains(&collaborator) {
-            p.collaborators.push(collaborator);
-        }
-        Ok(())
+        self.projects
+            .with_mut(&project.0, |p| {
+                if p.owner != acting {
+                    return Err(PlatformError::AccessDenied(
+                        "only the owner adds collaborators".into(),
+                    ));
+                }
+                if !p.collaborators.contains(&collaborator) {
+                    p.collaborators.push(collaborator);
+                }
+                Ok(())
+            })
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?
     }
 
     /// Runs `f` with read access to a project, enforcing access control.
+    /// Only the project's own shard lock is held.
     ///
     /// Crate-internal: external callers go through the typed queries
     /// ([`Api::dataset`], [`Api::impulse`], [`Api::list_models`], …)
@@ -185,18 +298,20 @@ impl Api {
         acting: UserId,
         f: impl FnOnce(&Project) -> T,
     ) -> Result<T> {
-        let s = self.state.read();
-        let p = s
-            .projects
-            .get(&project.0)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
-        if !p.can_access(acting) && !p.public {
-            return Err(PlatformError::AccessDenied(format!("user {acting} on project {project}")));
-        }
-        Ok(f(p))
+        self.projects
+            .with(&project.0, |p| {
+                if !p.can_access(acting) && !p.public {
+                    return Err(PlatformError::AccessDenied(format!(
+                        "user {acting} on project {project}"
+                    )));
+                }
+                Ok(f(p))
+            })
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?
     }
 
     /// Runs `f` with write access to a project, enforcing access control.
+    /// Only the project's own shard lock is held.
     ///
     /// Crate-internal for the same reason as [`Api::with_project`].
     ///
@@ -209,15 +324,16 @@ impl Api {
         acting: UserId,
         f: impl FnOnce(&mut Project) -> T,
     ) -> Result<T> {
-        let mut s = self.state.write();
-        let p = s
-            .projects
-            .get_mut(&project.0)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
-        if !p.can_access(acting) {
-            return Err(PlatformError::AccessDenied(format!("user {acting} on project {project}")));
-        }
-        Ok(f(p))
+        self.projects
+            .with_mut(&project.0, |p| {
+                if !p.can_access(acting) {
+                    return Err(PlatformError::AccessDenied(format!(
+                        "user {acting} on project {project}"
+                    )));
+                }
+                Ok(f(p))
+            })
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?
     }
 
     /// Read-only snapshot of a project's dataset.
@@ -238,14 +354,58 @@ impl Api {
         self.with_project(project, acting, |p| p.impulse.clone())
     }
 
+    /// Sets a per-project unit quota (owner only). Ingestion and
+    /// inference calls charge one unit each; once `limit` units are
+    /// used, further calls fail with [`PlatformError::QuotaExceeded`].
+    /// Projects without an explicit quota are unlimited.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or when `acting` is not the owner.
+    pub fn set_project_quota(&self, project: ProjectId, acting: UserId, limit: u64) -> Result<()> {
+        let owner = self.with_project(project, acting, |p| p.owner)?;
+        if owner != acting {
+            return Err(PlatformError::AccessDenied("only the owner sets quotas".into()));
+        }
+        self.quotas.set_limit(&project.0, limit);
+        Ok(())
+    }
+
+    /// The project's quota ledger (limit, used units, denied calls),
+    /// tracked on the project's own shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or denied access.
+    pub fn project_quota(&self, project: ProjectId, acting: UserId) -> Result<QuotaUsage> {
+        self.with_project(project, acting, |_| ())?;
+        Ok(self.quotas.usage(&project.0).unwrap_or(QuotaUsage {
+            limit: u64::MAX,
+            used: 0,
+            denied: 0,
+        }))
+    }
+
+    /// Charges one quota unit to `project`, mapping denial to the
+    /// platform error space.
+    fn charge_quota(&self, project: ProjectId) -> Result<()> {
+        if self.quotas.charge(&project.0, 1).is_admitted() {
+            Ok(())
+        } else {
+            Err(PlatformError::QuotaExceeded { tenant: format!("project-{project}") })
+        }
+    }
+
     /// Ingests one sample from a supported payload (the ingestion API).
     ///
     /// `format` is `"json"`, `"cbor"`, `"csv"`, `"wav"`, `"pgm"` or
     /// `"ppm"`; binary formats pass raw bytes, text formats pass UTF-8.
+    /// Charges one quota unit on success.
     ///
     /// # Errors
     ///
-    /// Fails on parse errors, unknown formats, or denied access.
+    /// Fails on parse errors, unknown formats, denied access, or an
+    /// exhausted project quota.
     pub fn ingest(
         &self,
         project: ProjectId,
@@ -285,7 +445,13 @@ impl Api {
             Some(l) => sample.with_label(l),
             None => sample,
         };
-        self.with_project_mut(project, acting, |p| p.dataset.add(sample))
+        self.charge_quota(project)?;
+        let added = self.with_project_mut(project, acting, |p| p.dataset.add(sample));
+        if added.is_err() {
+            // the sample never landed; refund the unit
+            self.quotas.release(&project.0, 1);
+        }
+        added
     }
 
     /// Stores a trained-impulse artifact in the project's model registry.
@@ -322,13 +488,13 @@ impl Api {
     /// Classifies one raw window with the registry model `spec` names,
     /// executing through the serving layer (admission control, artifact
     /// cache, micro-batching). Billed to `spec.tenant` when set, otherwise
-    /// to the project (`project-<id>`).
+    /// to the project (`project-<id>`); charges one project quota unit.
     ///
     /// # Errors
     ///
     /// Fails for unknown projects/models or denied access;
     /// [`PlatformError::Overloaded`] / [`PlatformError::QuotaExceeded`]
-    /// when admission refuses the request;
+    /// when admission (or the project quota) refuses the request;
     /// [`PlatformError::DeadlineExceeded`] when it misses its deadline;
     /// [`PlatformError::JobFailed`] when the model cannot run.
     pub fn classify(
@@ -339,6 +505,7 @@ impl Api {
         window: Vec<f32>,
     ) -> Result<ei_core::Classification> {
         let json = self.download_model(project, acting, spec.model.as_str())?;
+        self.charge_quota(project)?;
         let server = self.serving();
         let request = InferenceRequest::from_spec(
             spec,
@@ -387,7 +554,8 @@ impl Api {
 
     /// Opens a continuous-inference stream against the registry model
     /// `model`, returning a session id for [`Api::stream_push`] /
-    /// [`Api::stream_close`].
+    /// [`Api::stream_close`]. The session is pinned to the owning
+    /// project's shard, so stream and project state share a stripe.
     ///
     /// When `config.tenant` is empty the session bills to the project
     /// (`project-<id>`), matching [`Api::classify`]; an explicit tenant
@@ -414,10 +582,9 @@ impl Api {
         let source = ModelSource::new(model, json);
         let session =
             StreamSession::open(self.serving().clone(), source, config).map_err(stream_to_error)?;
-        let mut table = self.streams.lock();
-        table.next_id += 1;
-        let id = table.next_id;
-        table.sessions.insert(id, StreamEntry { project, session });
+        let id = self.next_stream.fetch_add(1, Ordering::SeqCst) + 1;
+        let shard = (fnv1a_u64(project.0) % self.streams.shard_count() as u64) as usize;
+        self.streams.insert_at(id, StreamEntry { project, session }, shard);
         Ok(id)
     }
 
@@ -459,30 +626,35 @@ impl Api {
     ///
     /// Fails for unknown sessions or denied access.
     pub fn stream_close(&self, session: u64, acting: UserId) -> Result<SessionStats> {
-        let mut table = self.streams.lock();
-        let entry = table
-            .sessions
-            .get(&session)
+        let project = self
+            .streams
+            .with(&session, |e| e.project)
             .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
-        self.with_project_mut(entry.project, acting, |_| ())?;
-        let entry = table.sessions.remove(&session).expect("checked above");
+        self.with_project_mut(project, acting, |_| ())?;
+        let entry = self
+            .streams
+            .remove(&session)
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
         Ok(entry.session.close())
     }
 
     /// Runs `f` on an open stream after re-checking project write access.
+    /// Stream-shard and project-shard locks are taken one at a time,
+    /// never nested.
     fn with_stream<T>(
         &self,
         session: u64,
         acting: UserId,
         f: impl FnOnce(&mut StreamSession) -> T,
     ) -> Result<T> {
-        let mut table = self.streams.lock();
-        let entry = table
-            .sessions
-            .get_mut(&session)
+        let project = self
+            .streams
+            .with(&session, |e| e.project)
             .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
-        self.with_project_mut(entry.project, acting, |_| ())?;
-        Ok(f(&mut entry.session))
+        self.with_project_mut(project, acting, |_| ())?;
+        self.streams
+            .with_mut(&session, |e| f(&mut e.session))
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session })
     }
 
     /// Lists registry model names.
@@ -523,24 +695,25 @@ impl Api {
     ///
     /// Fails for unknown projects or when `acting` is not the owner.
     pub fn make_public(&self, project: ProjectId, acting: UserId, tags: &[&str]) -> Result<()> {
-        let mut s = self.state.write();
-        let p = s
-            .projects
-            .get_mut(&project.0)
-            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?;
-        if p.owner != acting {
-            return Err(PlatformError::AccessDenied("only the owner publishes".into()));
-        }
-        p.public = true;
-        p.tags = tags.iter().map(|t| t.to_string()).collect();
-        Ok(())
+        self.projects
+            .with_mut(&project.0, |p| {
+                if p.owner != acting {
+                    return Err(PlatformError::AccessDenied("only the owner publishes".into()));
+                }
+                p.public = true;
+                p.tags = tags.iter().map(|t| t.to_string()).collect();
+                Ok(())
+            })
+            .ok_or(PlatformError::NotFound { kind: "project", id: project.0 })?
     }
 
     /// Submits a full training job to a scheduler: extracts the project's
     /// dataset and impulse, trains `spec` on a worker, and on success
     /// stores the trained artifact in the model registry under
     /// `model_name`. Returns the job id (poll/wait via the scheduler; the
-    /// job output is the best validation accuracy).
+    /// job output is the best validation accuracy). On a sharded
+    /// scheduler the job routes to the project's submission queue, so
+    /// one tenant's training burst cannot starve another shard.
     ///
     /// This is the "programmatically … train models" automation path of
     /// paper §4.9 in one call.
@@ -564,7 +737,7 @@ impl Api {
             .ok_or_else(|| PlatformError::BadRequest("project has no impulse".into()))?;
         let api = self.clone();
         let name = model_name.to_string();
-        scheduler.submit(1, move || {
+        scheduler.submit_keyed(project.0, 1, move || {
             let trained = design.train(&spec, &dataset, &config).map_err(|e| e.to_string())?;
             let json = trained.to_json().map_err(|e| e.to_string())?;
             api.upload_model(project, acting, &name, json).map_err(|e| e.to_string())?;
@@ -572,20 +745,47 @@ impl Api {
         })
     }
 
-    /// Lists `(id, name, public)` of all projects a user can see.
+    /// Lists `(id, name, public)` of all projects a user can see, in id
+    /// order (a key-ordered merge across shards — identical at any shard
+    /// count).
     pub fn list_projects(&self, acting: UserId) -> Vec<(ProjectId, String, bool)> {
-        let s = self.state.read();
-        s.projects
-            .values()
-            .filter(|p| p.can_access(acting) || p.public)
-            .map(|p| (p.id, p.name.clone(), p.public))
-            .collect()
+        let mut out = Vec::new();
+        self.projects.for_each(|_, p| {
+            if p.can_access(acting) || p.public {
+                out.push((p.id, p.name.clone(), p.public));
+            }
+        });
+        out
     }
 
-    /// Snapshot of all public projects (for the registry).
+    /// Snapshot of all public projects (for the registry), in id order.
     pub fn public_projects(&self) -> Vec<Project> {
-        let s = self.state.read();
-        s.projects.values().filter(|p| p.public).cloned().collect()
+        let mut out = Vec::new();
+        self.projects.for_each(|_, p| {
+            if p.public {
+                out.push(p.clone());
+            }
+        });
+        out
+    }
+
+    /// The registry's merged view: every public project, keyed by raw id,
+    /// merged across shards in key order (so downstream ordering is
+    /// shard-count independent). Feed this to [`crate::registry::search`].
+    pub fn registry_snapshot(&self) -> BTreeMap<u64, Project> {
+        let mut out = BTreeMap::new();
+        self.projects.for_each(|k, p| {
+            if p.public {
+                out.insert(*k, p.clone());
+            }
+        });
+        out
+    }
+
+    /// Searches the public-project registry (see
+    /// [`crate::registry::search`]) over the merged shard snapshot.
+    pub fn search_registry(&self, query: &str) -> Vec<crate::registry::RegistryEntry> {
+        crate::registry::search(&self.registry_snapshot(), query)
     }
 
     /// Serializes the entire platform state (users, organizations,
@@ -593,15 +793,25 @@ impl Api {
     /// the backup/migration path behind §4.10's "migrate the
     /// infrastructure … with a reasonable amount of effort".
     ///
+    /// Each map merges its shards in key order under all shard locks at
+    /// once, so the emitted bytes are identical at any shard count.
+    ///
     /// # Errors
     ///
     /// Returns [`PlatformError::BadRequest`] on serialization failure.
     pub fn export_json(&self) -> Result<String> {
-        serde_json::to_string(&*self.state.read())
-            .map_err(|e| PlatformError::BadRequest(e.to_string()))
+        let state = State {
+            users: self.users.snapshot(),
+            orgs: self.orgs.snapshot(),
+            projects: self.projects.snapshot(),
+            next_id: self.next_id.load(Ordering::SeqCst),
+        };
+        serde_json::to_string(&state).map_err(|e| PlatformError::BadRequest(e.to_string()))
     }
 
-    /// Restores a platform from [`Api::export_json`] output.
+    /// Restores a platform from [`Api::export_json`] output, scattering
+    /// entries back across `EI_SHARDS` shards (the payload itself is
+    /// shard-count agnostic).
     ///
     /// # Errors
     ///
@@ -609,11 +819,18 @@ impl Api {
     pub fn import_json(json: &str) -> Result<Api> {
         let state: State =
             serde_json::from_str(json).map_err(|e| PlatformError::BadRequest(e.to_string()))?;
-        Ok(Api {
-            state: Arc::new(RwLock::new(state)),
-            serving: Arc::default(),
-            streams: Arc::default(),
-        })
+        let api = Api::new();
+        api.next_id.store(state.next_id, Ordering::SeqCst);
+        for (k, v) in state.users {
+            api.users.insert(k, v);
+        }
+        for (k, v) in state.orgs {
+            api.orgs.insert(k, v);
+        }
+        for (k, v) in state.projects {
+            api.projects.insert(k, v);
+        }
+        Ok(api)
     }
 }
 
@@ -809,6 +1026,85 @@ mod tests {
     }
 
     #[test]
+    fn export_bytes_identical_across_shard_counts() {
+        let build = |shards: usize| {
+            let api = Api::with_shards(shards);
+            let u = api.create_user("u");
+            for i in 0..20 {
+                let p = api.create_project(&format!("p{i}"), u).unwrap();
+                api.ingest(p, u, "csv", b"x\n1\n", Some("k")).unwrap();
+                api.upload_model(p, u, "m", format!("{{\"i\": {i}}}")).unwrap();
+                if i % 3 == 0 {
+                    api.make_public(p, u, &["tag"]).unwrap();
+                }
+            }
+            api
+        };
+        let serial = build(1).export_json().unwrap();
+        for shards in [4, 16, 64] {
+            assert_eq!(
+                build(shards).export_json().unwrap(),
+                serial,
+                "{shards}-shard export must match the serial reference byte-for-byte"
+            );
+        }
+        // and a restored sharded platform re-exports the same bytes
+        assert_eq!(Api::import_json(&serial).unwrap().export_json().unwrap(), serial);
+    }
+
+    #[test]
+    fn project_quotas_charge_and_deny() {
+        let api = Api::new();
+        let u = api.create_user("u");
+        let outsider = api.create_user("o");
+        let p = api.create_project("metered", u).unwrap();
+        // unlimited by default
+        api.ingest(p, u, "csv", b"x\n1\n", None).unwrap();
+        assert!(api.set_project_quota(p, outsider, 5).is_err(), "owner only");
+        api.set_project_quota(p, u, 2).unwrap();
+        api.ingest(p, u, "csv", b"x\n2\n", None).unwrap();
+        let denied = api.ingest(p, u, "csv", b"x\n3\n", None);
+        assert!(matches!(denied, Err(PlatformError::QuotaExceeded { .. })), "{denied:?}");
+        let usage = api.project_quota(p, u).unwrap();
+        assert_eq!((usage.used, usage.limit, usage.denied), (2, 2, 1));
+        // a failed (denied-access) ingest refunds its unit
+        api.set_project_quota(p, u, 3).unwrap();
+        assert!(api.ingest(p, outsider, "csv", b"x\n4\n", None).is_err());
+        assert_eq!(api.project_quota(p, u).unwrap().used, 2);
+        assert_eq!(api.dataset(p, u).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn shard_introspection_and_rebalance() {
+        let api = Api::with_shards(4);
+        let u = api.create_user("u");
+        for i in 0..32 {
+            api.create_project(&format!("p{i}"), u).unwrap();
+        }
+        assert_eq!(api.shard_count(), 4);
+        assert_eq!(api.shard_occupancy().iter().sum::<usize>(), 32);
+        let before = api.export_json().unwrap();
+        let report = api.rebalance(7);
+        assert!(report.skew_after <= report.skew_before);
+        // placement changed (possibly), bytes did not
+        assert_eq!(api.export_json().unwrap(), before);
+        assert!(api.occupancy_skew() >= 1.0);
+    }
+
+    #[test]
+    fn shard_telemetry_lands_in_obs() {
+        let clock = ei_faults::VirtualClock::shared();
+        let obs = ei_obs::Obs::builder(clock as Arc<dyn ei_faults::Clock>).build();
+        let api = Api::with_shards(2);
+        api.attach_obs(&obs);
+        let u = api.create_user("u");
+        api.create_project("observed", u).unwrap();
+        let metrics = obs.prometheus();
+        assert!(metrics.contains("platform_shard_occupancy"), "{metrics}");
+        assert!(metrics.contains("platform_shard_lock_wait"), "{metrics}");
+    }
+
+    #[test]
     fn typed_ids_refuse_unknown_entities() {
         // the swapped-argument win is compile-time; unknown typed ids must
         // still fail cleanly at runtime
@@ -871,6 +1167,10 @@ mod tests {
         let mut cfg = SessionConfig::new("", 256);
         cfg.max_pending = 64;
         let sid = api.stream_open(p, alice, "kws", cfg).unwrap();
+
+        // the session is pinned to its project's shard
+        let expected = (fnv1a_u64(p.0) % api.streams.shard_count() as u64) as usize;
+        assert_eq!(api.streams.shard_of(&sid), expected);
 
         // outsiders can neither feed nor close someone else's stream
         assert!(api.stream_push(sid, outsider, &[0.0; 64]).is_err());

@@ -45,8 +45,9 @@ use crate::{PlatformError, Result};
 use ei_faults::retry::{self, RetryEvent, RetryOutcome};
 use ei_faults::{AttemptRecord, CancelToken, Clock, FailureCause, RetryPolicy, SystemClock};
 use ei_par::ParPool;
+use ei_shard::{fnv1a_u64, DeadLetterShards};
 use ei_trace::{SpanGuard, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -142,6 +143,12 @@ struct Shared {
     watch: Mutex<HashMap<u64, WatchEntry>>,
     shutdown: AtomicBool,
     tracer: Tracer,
+    /// job id → tenant key, recorded at submission. Sharded backends use
+    /// it to place dead letters into the failing tenant's shard view.
+    job_key: Mutex<HashMap<u64, u64>>,
+    /// Per-shard dead-letter index (sharded backends only): which jobs
+    /// died on which shard, keyed by the tenant key that routed them.
+    dead_shards: Option<Arc<DeadLetterShards<u64>>>,
 }
 
 impl Shared {
@@ -164,6 +171,10 @@ impl Shared {
             None => self.tracer.event("job.dead_letter", fields),
         }
         self.tracer.counter("jobs.dead_lettered").inc();
+        if let Some(shards) = &self.dead_shards {
+            let key = lock(&self.job_key).get(&letter.id).copied().unwrap_or(letter.id);
+            shards.push(key, letter.id, letter.error.clone());
+        }
         lock(&self.dead).push(letter);
     }
 }
@@ -200,6 +211,25 @@ const STATUS_WAIT_CAP_MS: u64 = 1;
 /// Message shutdown stamps on jobs it refuses to run.
 const SHUTDOWN_ERROR: &str = "scheduler shut down";
 
+/// One per-shard submission queue of a sharded backend. `draining` is
+/// `true` while a drainer task owns the queue; a submit that flips it
+/// from `false` spawns a new drainer on the shared pool.
+struct ShardQueue {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    draining: AtomicBool,
+}
+
+/// Decrements the in-flight count even if execution unwinds — and wakes
+/// the shutdown drain — so shutdown never waits forever.
+struct ActiveSlot(Arc<AtomicUsize>, Arc<Shared>);
+
+impl Drop for ActiveSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.1.notify_status();
+    }
+}
+
 /// Where a scheduler executes its attempts.
 enum Backend {
     /// Dedicated worker threads draining an mpsc channel.
@@ -207,6 +237,11 @@ enum Backend {
     /// Detached tasks on a shared [`ei_par::ParPool`]; `active` counts
     /// submitted-but-not-terminal jobs so shutdown can wait them out.
     Pool { pool: Arc<ParPool>, active: Arc<AtomicUsize> },
+    /// Per-shard FIFO submission queues feeding the shared pool: jobs
+    /// route to `fnv1a(key) % shards`, one shard's jobs run in
+    /// submission order (a single drainer task owns the queue at a
+    /// time), different shards run concurrently up to the pool budget.
+    Sharded { pool: Arc<ParPool>, active: Arc<AtomicUsize>, queues: Arc<Vec<ShardQueue>> },
 }
 
 /// A fixed-size worker pool with retry, timeout, panic-isolation,
@@ -228,6 +263,9 @@ impl std::fmt::Debug for JobScheduler {
         match &self.backend {
             Backend::Dedicated { workers, .. } => s.field("workers", &workers.len()),
             Backend::Pool { pool, .. } => s.field("pool_threads", &pool.threads()),
+            Backend::Sharded { pool, queues, .. } => {
+                s.field("pool_threads", &pool.threads()).field("shards", &queues.len())
+            }
         };
         s.finish_non_exhaustive()
     }
@@ -327,6 +365,97 @@ impl JobScheduler {
         }
     }
 
+    /// Starts a shard-aware pool-backed scheduler (system clock):
+    /// `shards` per-tenant FIFO submission queues feed `pool`. Use
+    /// [`JobScheduler::submit_keyed`] to route jobs by tenant key — one
+    /// tenant's burst queues behind itself on its shard instead of
+    /// starving the whole scheduler.
+    pub fn with_sharded_pool(pool: Arc<ParPool>, shards: usize) -> JobScheduler {
+        JobScheduler::with_sharded_pool_clock_and_tracer(
+            pool,
+            shards,
+            Arc::new(SystemClock::new()),
+            Tracer::disabled(),
+        )
+    }
+
+    /// Starts a sharded pool-backed scheduler on an explicit clock and
+    /// tracer; see [`JobScheduler::with_sharded_pool`].
+    pub fn with_sharded_pool_clock_and_tracer(
+        pool: Arc<ParPool>,
+        shards: usize,
+        clock: Arc<dyn Clock>,
+        tracer: Tracer,
+    ) -> JobScheduler {
+        let shards = shards.max(1);
+        let shared = Arc::new(Shared {
+            tracer,
+            dead_shards: Some(Arc::new(DeadLetterShards::new(shards))),
+            ..Shared::default()
+        });
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || watchdog_loop(&shared, &clock))
+        };
+        let queues = (0..shards)
+            .map(|_| ShardQueue {
+                queue: Mutex::new(VecDeque::new()),
+                draining: AtomicBool::new(false),
+            })
+            .collect();
+        JobScheduler {
+            backend: Backend::Sharded {
+                pool,
+                active: Arc::new(AtomicUsize::new(0)),
+                queues: Arc::new(queues),
+            },
+            shared,
+            clock,
+            watchdog: Some(watchdog),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// The number of submission shards (1 for non-sharded backends).
+    pub fn shard_count(&self) -> usize {
+        match &self.backend {
+            Backend::Sharded { queues, .. } => queues.len(),
+            _ => 1,
+        }
+    }
+
+    /// Jobs waiting in each shard's submission queue, by shard index
+    /// (empty for non-sharded backends, which queue elsewhere).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        match &self.backend {
+            Backend::Sharded { queues, .. } => {
+                queues.iter().map(|q| lock(&q.queue).len()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Dead letters produced by jobs routed to `shard` — the hot-shard
+    /// operator's view. On a non-sharded backend shard 0 holds every
+    /// letter.
+    pub fn dead_letters_in_shard(&self, shard: usize) -> Vec<DeadLetter> {
+        match &self.shared.dead_shards {
+            None => {
+                if shard == 0 {
+                    self.dead_letters()
+                } else {
+                    Vec::new()
+                }
+            }
+            Some(shards) => {
+                let ids: std::collections::HashSet<u64> =
+                    shards.shard_view(shard).iter().map(|e| e.job).collect();
+                self.dead_letters().into_iter().filter(|l| ids.contains(&l.id)).collect()
+            }
+        }
+    }
+
     /// The clock the scheduler runs on.
     pub fn clock(&self) -> Arc<dyn Clock> {
         Arc::clone(&self.clock)
@@ -345,6 +474,34 @@ impl JobScheduler {
         self.submit_with(RetryPolicy::immediate(attempts), move |_| work())
     }
 
+    /// Submits a job routed by a tenant key (a project/user raw id): on a
+    /// sharded backend it lands on submission shard `fnv1a(key) % shards`
+    /// and runs FIFO with respect to every other job sharing that shard.
+    /// Non-sharded backends accept the key (it still tags the job for
+    /// [`JobScheduler::dead_letters_in_shard`]) but route as usual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::SchedulerStopped`] after shutdown.
+    pub fn submit_keyed<F>(&self, key: u64, attempts: u32, mut work: F) -> Result<u64>
+    where
+        F: FnMut() -> std::result::Result<String, String> + Send + 'static,
+    {
+        self.submit_keyed_with(key, RetryPolicy::immediate(attempts), move |_| work())
+    }
+
+    /// [`JobScheduler::submit_keyed`] with an explicit [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::SchedulerStopped`] after shutdown.
+    pub fn submit_keyed_with<F>(&self, key: u64, policy: RetryPolicy, work: F) -> Result<u64>
+    where
+        F: FnMut(&JobContext<'_>) -> std::result::Result<String, String> + Send + 'static,
+    {
+        self.submit_boxed_keyed(policy, Box::new(work), Some(key))
+    }
+
     /// Submits a job governed by `policy`; the closure receives a
     /// [`JobContext`] with the attempt number and the job's cancel token.
     ///
@@ -361,6 +518,19 @@ impl JobScheduler {
     /// [`JobScheduler::submit_with`] for an already-boxed closure — the
     /// path [`JobScheduler::requeue`] reuses for parked dead letters.
     fn submit_boxed(&self, policy: RetryPolicy, work: JobFn) -> Result<u64> {
+        self.submit_boxed_keyed(policy, work, None)
+    }
+
+    /// The one true submission path: allocates the id, registers state,
+    /// and hands the job to the backend. `key` routes sharded backends
+    /// (`None` falls back to the job's own id, spreading unkeyed jobs
+    /// evenly).
+    fn submit_boxed_keyed(
+        &self,
+        policy: RetryPolicy,
+        work: JobFn,
+        key: Option<u64>,
+    ) -> Result<u64> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(PlatformError::SchedulerStopped);
         }
@@ -369,6 +539,8 @@ impl JobScheduler {
             *next += 1;
             *next
         };
+        let key = key.unwrap_or(id);
+        lock(&self.shared.job_key).insert(id, key);
         lock(&self.shared.jobs).insert(
             id,
             JobState {
@@ -387,24 +559,29 @@ impl JobScheduler {
                 sender.send(job).map_err(|_| PlatformError::SchedulerStopped)?;
             }
             Backend::Pool { pool, active } => {
-                /// Decrements the in-flight count even if execution
-                /// unwinds — and wakes the shutdown drain — so shutdown
-                /// never waits forever.
-                struct Active(Arc<AtomicUsize>, Arc<Shared>);
-                impl Drop for Active {
-                    fn drop(&mut self) {
-                        self.0.fetch_sub(1, Ordering::SeqCst);
-                        self.1.notify_status();
-                    }
-                }
                 active.fetch_add(1, Ordering::SeqCst);
-                let guard = Active(Arc::clone(active), Arc::clone(&self.shared));
+                let guard = ActiveSlot(Arc::clone(active), Arc::clone(&self.shared));
                 let shared = Arc::clone(&self.shared);
                 let clock = Arc::clone(&self.clock);
                 pool.spawn_detached(move || {
                     let _guard = guard;
                     execute_queued(job, &shared, &clock);
                 });
+            }
+            Backend::Sharded { pool, active, queues } => {
+                let shard = (fnv1a_u64(key) % queues.len() as u64) as usize;
+                active.fetch_add(1, Ordering::SeqCst);
+                lock(&queues[shard].queue).push_back(job);
+                // first submitter after idle owns spawning the drainer
+                if !queues[shard].draining.swap(true, Ordering::SeqCst) {
+                    let queues = Arc::clone(queues);
+                    let active = Arc::clone(active);
+                    let shared = Arc::clone(&self.shared);
+                    let clock = Arc::clone(&self.clock);
+                    pool.spawn_detached(move || {
+                        drain_shard(&queues, shard, &shared, &clock, &active);
+                    });
+                }
             }
         }
         Ok(id)
@@ -606,10 +783,11 @@ impl JobScheduler {
                     let _ = handle.join();
                 }
             }
-            Backend::Pool { active, .. } => {
+            Backend::Pool { active, .. } | Backend::Sharded { active, .. } => {
                 // queued tasks observe the shutdown flag when the pool
-                // reaches them and fail fast, so this drains promptly;
-                // each finishing task notifies the status condvar
+                // (or a shard drainer) reaches them and fail fast, so
+                // this drains promptly; each finishing task notifies the
+                // status condvar
                 let mut jobs = lock(&self.shared.jobs);
                 while active.load(Ordering::SeqCst) > 0 {
                     jobs = wait_on(&self.shared.jobs_cond, jobs);
@@ -650,6 +828,40 @@ impl JobScheduler {
 impl Drop for JobScheduler {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Drains one submission shard on a pool thread: jobs run strictly in
+/// submission order (per-shard FIFO). When the queue looks empty the
+/// drainer retires — unless a submit raced the handoff, in which case it
+/// reclaims the queue and keeps going, so no job is ever stranded
+/// without a drainer.
+fn drain_shard(
+    queues: &Arc<Vec<ShardQueue>>,
+    shard: usize,
+    shared: &Arc<Shared>,
+    clock: &Arc<dyn Clock>,
+    active: &Arc<AtomicUsize>,
+) {
+    loop {
+        let job = lock(&queues[shard].queue).pop_front();
+        match job {
+            Some(job) => {
+                let _slot = ActiveSlot(Arc::clone(active), Arc::clone(shared));
+                execute_queued(job, shared, clock);
+            }
+            None => {
+                queues[shard].draining.store(false, Ordering::SeqCst);
+                // a submit may have pushed between the empty pop and the
+                // flag store and seen `draining == true` (so spawned no
+                // drainer); reclaim the queue if so
+                if lock(&queues[shard].queue).is_empty()
+                    || queues[shard].draining.swap(true, Ordering::SeqCst)
+                {
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -1229,6 +1441,101 @@ mod tests {
         assert!(collector.records().iter().any(|r| r.name() == "job.requeued"));
         let snapshot = tracer.metrics_snapshot();
         assert_eq!(snapshot.get("jobs.requeued"), Some(&ei_trace::MetricValue::Counter(1)));
+    }
+
+    #[test]
+    fn sharded_scheduler_runs_jobs_and_reports_shards() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(4)));
+        let scheduler = JobScheduler::with_sharded_pool(pool, 4);
+        assert_eq!(scheduler.shard_count(), 4);
+        assert_eq!(scheduler.queue_depths().len(), 4);
+        let ids: Vec<u64> = (0..16u64)
+            .map(|i| scheduler.submit_keyed(i, 1, move || Ok(format!("job {i}"))).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(scheduler.wait(*id).unwrap(), format!("job {i}"));
+        }
+        // unkeyed submission works too (routes by job id)
+        let plain = scheduler.submit(1, || Ok("plain".into())).unwrap();
+        assert_eq!(scheduler.wait(plain).unwrap(), "plain");
+    }
+
+    #[test]
+    fn same_key_jobs_run_fifo_even_on_a_wide_pool() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(4)));
+        let scheduler = JobScheduler::with_sharded_pool(pool, 8);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let ids: Vec<u64> = (0..12u32)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                scheduler
+                    .submit_keyed(42, 1, move || {
+                        // same tenant key -> same shard -> strict FIFO
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        lock(&order).push(i);
+                        Ok(String::new())
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for id in ids {
+            scheduler.wait(id).unwrap();
+        }
+        assert_eq!(*lock(&order), (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn dead_letters_land_in_the_tenants_shard_view() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(2)));
+        let scheduler = JobScheduler::with_sharded_pool(Arc::clone(&pool), 4);
+        let key_a = 7u64;
+        let key_b = 1000u64;
+        let dead_a = scheduler.submit_keyed(key_a, 1, || Err("a failed".into())).unwrap();
+        let dead_b = scheduler.submit_keyed(key_b, 1, || Err("b failed".into())).unwrap();
+        let ok = scheduler.submit_keyed(key_a, 1, || Ok("fine".into())).unwrap();
+        assert!(scheduler.wait(dead_a).is_err());
+        assert!(scheduler.wait(dead_b).is_err());
+        scheduler.wait(ok).unwrap();
+        let shard_a = (fnv1a_u64(key_a) % 4) as usize;
+        let shard_b = (fnv1a_u64(key_b) % 4) as usize;
+        assert_ne!(shard_a, shard_b, "test keys should land on distinct shards");
+        let view_a = scheduler.dead_letters_in_shard(shard_a);
+        assert!(view_a.iter().any(|l| l.id == dead_a));
+        assert!(!view_a.iter().any(|l| l.id == dead_b));
+        let view_b = scheduler.dead_letters_in_shard(shard_b);
+        assert!(view_b.iter().any(|l| l.id == dead_b));
+        // the global queue still sees everything
+        assert_eq!(scheduler.dead_letters().len(), 2);
+        // non-sharded backends expose everything through shard 0
+        let plain = JobScheduler::new(1);
+        let dead = plain.submit(1, || Err("x".into())).unwrap();
+        let _ = plain.wait(dead);
+        assert_eq!(plain.dead_letters_in_shard(0).len(), 1);
+        assert!(plain.dead_letters_in_shard(3).is_empty());
+    }
+
+    #[test]
+    fn sharded_scheduler_shuts_down_cleanly() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(2)));
+        let mut scheduler = JobScheduler::with_sharded_pool(Arc::clone(&pool), 4);
+        let ids: Vec<u64> = (0..8u64)
+            .map(|i| scheduler.submit_keyed(i, 1, move || Ok("ok".into())).unwrap())
+            .collect();
+        scheduler.shutdown();
+        for id in ids {
+            // every job reached a terminal state: finished before the
+            // drain, or failed fast by the shutdown flag — never stranded
+            assert!(matches!(
+                scheduler.status(id).unwrap(),
+                JobStatus::Finished(_) | JobStatus::Failed(_)
+            ));
+        }
+        assert!(matches!(
+            scheduler.submit_keyed(1, 1, || Ok(String::new())),
+            Err(PlatformError::SchedulerStopped)
+        ));
+        // the shared pool survives the scheduler
+        assert_eq!(pool.par_map(&[1, 2], |x| x + 1), vec![2, 3]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! public work").
 
 use crate::entities::{Project, ProjectId, UserId};
+use std::collections::BTreeMap;
 
 /// A search hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,12 +20,15 @@ pub struct RegistryEntry {
 
 /// Searches public projects by free-text query over names and tags.
 ///
-/// Empty queries list everything, sorted by dataset size (descending) then
-/// name — "sort, filter, and search".
-pub fn search(projects: &[Project], query: &str) -> Vec<RegistryEntry> {
+/// Takes the sharded store's merged snapshot
+/// ([`crate::Api::registry_snapshot`]) — a key-ordered map, so the
+/// candidate order (and therefore every tie-break) is deterministic at
+/// any shard count. Empty queries list everything, sorted by dataset
+/// size (descending) then name — "sort, filter, and search".
+pub fn search(snapshot: &BTreeMap<u64, Project>, query: &str) -> Vec<RegistryEntry> {
     let needle = query.trim().to_lowercase();
-    let mut hits: Vec<RegistryEntry> = projects
-        .iter()
+    let mut hits: Vec<RegistryEntry> = snapshot
+        .values()
         .filter(|p| p.public)
         .filter(|p| {
             needle.is_empty()
@@ -72,13 +76,17 @@ mod tests {
         p
     }
 
+    fn snapshot_of(projects: Vec<Project>) -> BTreeMap<u64, Project> {
+        projects.into_iter().map(|p| (p.id.0, p)).collect()
+    }
+
     #[test]
     fn search_matches_name_and_tags() {
-        let projects = vec![
+        let projects = snapshot_of(vec![
             public_project(1, "keyword-spotting", &["audio"], 10),
             public_project(2, "fall-detection", &["imu", "audio"], 20),
             public_project(3, "plant-disease", &["vision"], 5),
-        ];
+        ]);
         let audio = search(&projects, "audio");
         assert_eq!(audio.len(), 2);
         assert_eq!(audio[0].id, ProjectId(2), "sorted by dataset size descending");
@@ -92,7 +100,7 @@ mod tests {
     fn private_projects_never_listed() {
         let mut p = public_project(1, "secret", &[], 3);
         p.public = false;
-        assert!(search(&[p], "").is_empty());
+        assert!(search(&snapshot_of(vec![p]), "").is_empty());
     }
 
     #[test]

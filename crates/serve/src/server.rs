@@ -3,15 +3,22 @@
 //! A [`Server`] is the single door through which tenant inference enters
 //! the pipeline:
 //!
-//! 1. **Admission** — [`Server::submit`] checks the bounded queue first
-//!    (full ⇒ [`Rejected::Overloaded`], so memory stays bounded under
-//!    overload), then the tenant's token bucket (empty ⇒
+//! 1. **Admission** — [`Server::submit`] routes the request to its
+//!    tenant's admission shard (FNV-1a of the tenant id, the same
+//!    placement function `ei-shard` uses platform-wide), checks that
+//!    shard's bounded queue first (full ⇒ [`Rejected::Overloaded`], so
+//!    memory stays bounded under overload), then the tenant's token
+//!    bucket, which lives on the same shard (empty ⇒
 //!    [`Rejected::QuotaExceeded`]). Admitted requests get a ticket and an
-//!    absolute logical-clock deadline.
-//! 2. **Micro-batching** — [`Server::drain`] repeatedly takes the oldest
+//!    absolute logical-clock deadline. With the default
+//!    [`ServerConfig::admission_shards`] of 1 the server behaves exactly
+//!    as the unsharded original.
+//! 2. **Micro-batching** — [`Server::drain`] walks the admission shards
+//!    in index order; within a shard it repeatedly takes the oldest
 //!    pending request and groups up to `max_batch` queued requests that
 //!    resolve to the *same* [`ArtifactKey`] into one batch, so one
-//!    compiled artifact amortizes across tenants.
+//!    compiled artifact amortizes across tenants. All shards feed the
+//!    one shared [`ParPool`].
 //! 3. **Dispatch** — each batch runs as a single [`ei_faults::retry`]
 //!    attempt whose per-attempt timeout is the batch's deadline slack
 //!    (deadline propagation), executing every window through one
@@ -38,6 +45,7 @@ use ei_faults::{CancelToken, Clock, FailureCause, RetryPolicy};
 use ei_obs::Obs;
 use ei_par::ParPool;
 use ei_runtime::EngineKind;
+use ei_shard::ShardKey;
 use ei_trace::{SpanGuard, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -68,6 +76,13 @@ pub struct ServerConfig {
     pub batch_overhead_ms: u64,
     /// Modeled per-request service time (logical ms).
     pub per_item_ms: u64,
+    /// Admission shards. Tenants stripe across shards by FNV-1a of the
+    /// tenant id; each shard has its own bounded sub-queue (capacity
+    /// `queue_capacity / admission_shards`, rounded up) and owns its
+    /// tenants' token buckets, so admission for one tenant population
+    /// never contends on another's shard. `1` (the default) reproduces
+    /// the unsharded server exactly.
+    pub admission_shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +96,7 @@ impl Default for ServerConfig {
             quota_refill_per_sec: 64.0,
             batch_overhead_ms: 2,
             per_item_ms: 1,
+            admission_shards: 1,
         }
     }
 }
@@ -130,8 +146,11 @@ struct Pending {
 /// State behind the server's admission lock.
 #[derive(Debug)]
 struct Inner {
-    queue: VecDeque<Pending>,
-    buckets: HashMap<String, TokenBucket>,
+    /// One bounded sub-queue per admission shard; a tenant's requests
+    /// always land on `fnv1a(tenant) % shards`.
+    queues: Vec<VecDeque<Pending>>,
+    /// Token buckets, held on the owning tenant's shard.
+    buckets: Vec<HashMap<String, TokenBucket>>,
     next_ticket: u64,
     completed: Vec<Completion>,
     /// Admitted-but-not-completed requests per tenant, mirrored into the
@@ -172,6 +191,7 @@ impl Server {
         tracer: Tracer,
     ) -> Server {
         let cache = CompiledArtifactCache::new(config.cache_capacity, tracer.clone());
+        let shards = config.admission_shards.max(1);
         Server {
             config,
             clock,
@@ -180,13 +200,37 @@ impl Server {
             cache,
             obs: None,
             inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                buckets: HashMap::new(),
+                queues: (0..shards).map(|_| VecDeque::new()).collect(),
+                buckets: (0..shards).map(|_| HashMap::new()).collect(),
                 next_ticket: 1,
                 completed: Vec::new(),
                 inflight: HashMap::new(),
             }),
         }
+    }
+
+    /// Number of admission shards (at least 1).
+    pub fn admission_shards(&self) -> usize {
+        self.config.admission_shards.max(1)
+    }
+
+    /// The admission shard `tenant`'s requests (and token bucket) live
+    /// on: FNV-1a of the tenant id modulo the shard count — the same
+    /// placement function the platform's `ei-shard` stores use.
+    pub fn admission_shard_of(&self, tenant: &str) -> usize {
+        (tenant.shard_hash() % self.admission_shards() as u64) as usize
+    }
+
+    /// Pending requests per admission shard, in shard-index order.
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.lock_inner().queues.iter().map(VecDeque::len).collect()
+    }
+
+    /// Each shard's queue bound: the configured total capacity split
+    /// evenly (rounded up), so one shard's overload cannot consume
+    /// another shard's admission budget.
+    fn per_shard_capacity(&self) -> usize {
+        self.config.queue_capacity.div_ceil(self.admission_shards()).max(1)
     }
 
     /// Attaches an always-on telemetry hub: every completion feeds the
@@ -244,9 +288,9 @@ impl Server {
         self.cache.stats()
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued, summed across admission shards.
     pub fn queue_depth(&self) -> usize {
-        self.lock_inner().queue.len()
+        self.lock_inner().queues.iter().map(VecDeque::len).sum()
     }
 
     fn lock_inner(&self) -> MutexGuard<'_, Inner> {
@@ -255,28 +299,30 @@ impl Server {
 
     /// Admits one request, returning its ticket.
     ///
-    /// Admission is two cheap checks under one lock — queue bound first
-    /// (overload must not drain quota), then the tenant's token bucket —
-    /// and never compiles or copies model bytes, so a rejection costs
-    /// nothing and queue memory stays bounded at `queue_capacity`.
+    /// Admission is two cheap checks under one lock, both on the
+    /// tenant's admission shard — shard queue bound first (overload must
+    /// not drain quota), then the tenant's token bucket — and never
+    /// compiles or copies model bytes, so a rejection costs nothing and
+    /// queue memory stays bounded at `queue_capacity` across shards.
     ///
     /// # Errors
     ///
-    /// [`Rejected::Overloaded`] when the queue is full,
+    /// [`Rejected::Overloaded`] when the tenant's shard queue is full,
     /// [`Rejected::QuotaExceeded`] when the tenant is out of tokens.
     pub fn submit(&self, req: InferenceRequest) -> Result<u64, Rejected> {
         let now = self.clock.now_ms();
+        let shard = self.admission_shard_of(&req.tenant);
+        let per_shard = self.per_shard_capacity();
         let mut inner = self.lock_inner();
-        if inner.queue.len() >= self.config.queue_capacity {
+        if inner.queues[shard].len() >= per_shard {
             self.tracer.quiet_counter("serve.rejected.overloaded").inc();
             if let Some(obs) = &self.obs {
                 obs.registry().add("serve.rejected", &req.tenant, 1);
             }
-            return Err(Rejected::Overloaded { queue_depth: inner.queue.len() });
+            return Err(Rejected::Overloaded { queue_depth: inner.queues[shard].len() });
         }
         let (capacity, refill) = (self.config.quota_capacity, self.config.quota_refill_per_sec);
-        let bucket = inner
-            .buckets
+        let bucket = inner.buckets[shard]
             .entry(req.tenant.clone())
             .or_insert_with(|| TokenBucket::new(capacity, refill, now));
         if !bucket.try_take(now) {
@@ -306,8 +352,8 @@ impl Server {
             span,
         };
         let tenant = pending.req.tenant.clone();
-        inner.queue.push_back(pending);
-        let depth = inner.queue.len();
+        inner.queues[shard].push_back(pending);
+        let depth = inner.queues.iter().map(VecDeque::len).sum::<usize>();
         let inflight = {
             let count = inner.inflight.entry(tenant.clone()).or_insert(0);
             *count += 1;
@@ -382,27 +428,34 @@ impl Server {
         })
     }
 
-    /// Dispatches queued requests batch by batch until the queue is empty.
+    /// Dispatches queued requests batch by batch until every shard queue
+    /// is empty, visiting shards in index order so dispatch order is
+    /// deterministic at any shard count. Batches form within one shard
+    /// (a tenant's requests never straddle shards) and all of them feed
+    /// the one shared pool.
     fn process_queue(&self) {
-        loop {
-            let batch = {
-                let mut inner = self.lock_inner();
-                let Some(front) = inner.queue.front() else { break };
-                let key = front.key.clone();
-                let mut batch = Vec::new();
-                let mut i = 0;
-                while i < inner.queue.len() && batch.len() < self.config.max_batch {
-                    if inner.queue[i].key == key {
-                        batch.push(inner.queue.remove(i).expect("index is in range"));
-                    } else {
-                        i += 1;
+        for shard in 0..self.admission_shards() {
+            loop {
+                let batch = {
+                    let mut inner = self.lock_inner();
+                    let Some(front) = inner.queues[shard].front() else { break };
+                    let key = front.key.clone();
+                    let mut batch = Vec::new();
+                    let mut i = 0;
+                    while i < inner.queues[shard].len() && batch.len() < self.config.max_batch {
+                        if inner.queues[shard][i].key == key {
+                            batch.push(inner.queues[shard].remove(i).expect("index is in range"));
+                        } else {
+                            i += 1;
+                        }
                     }
-                }
-                self.tracer.quiet_gauge("serve.queue_depth").set(inner.queue.len() as f64);
-                self.publish_queue_depth(inner.queue.len());
-                batch
-            };
-            self.run_batch(batch);
+                    let depth = inner.queues.iter().map(VecDeque::len).sum::<usize>();
+                    self.tracer.quiet_gauge("serve.queue_depth").set(depth as f64);
+                    self.publish_queue_depth(depth);
+                    batch
+                };
+                self.run_batch(batch);
+            }
         }
     }
 

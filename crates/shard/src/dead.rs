@@ -1,0 +1,121 @@
+//! [`DeadLetterShards`]: per-shard dead-letter views.
+//!
+//! Failures land on the shard of the tenant key that produced them, so
+//! an operator staring at a hot shard can pull exactly that shard's
+//! failures ([`DeadLetterShards::shard_view`]) without scanning a
+//! global queue; a merged, deterministically ordered view serves the
+//! fleet-wide dashboard.
+
+use std::sync::{Mutex, MutexGuard};
+
+use crate::map::ShardKey;
+
+/// One dead-lettered item: which tenant key produced it, the job/op id,
+/// and the terminal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadEntry<K> {
+    /// The tenant key whose work failed.
+    pub key: K,
+    /// The failed job/operation id.
+    pub job: u64,
+    /// The terminal error message.
+    pub error: String,
+}
+
+/// Per-shard dead-letter storage. See the module docs.
+#[derive(Debug)]
+pub struct DeadLetterShards<K> {
+    shards: Vec<Mutex<Vec<DeadEntry<K>>>>,
+}
+
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<K: Ord + Clone + ShardKey> DeadLetterShards<K> {
+    /// Dead-letter views striped over `shards` locks (min 1).
+    pub fn new(shards: usize) -> DeadLetterShards<K> {
+        DeadLetterShards { shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key`'s failures land on.
+    pub fn shard_of(&self, key: &K) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Records a failure on `key`'s shard.
+    pub fn push(&self, key: K, job: u64, error: impl Into<String>) {
+        let idx = self.shard_of(&key);
+        lock_plain(&self.shards[idx]).push(DeadEntry { key, job, error: error.into() });
+    }
+
+    /// The failures recorded on shard `idx`, in arrival order.
+    pub fn shard_view(&self, idx: usize) -> Vec<DeadEntry<K>> {
+        lock_plain(&self.shards[idx % self.shards.len()]).clone()
+    }
+
+    /// Every failure, merged across shards and sorted by `(key, job)` so
+    /// the view is deterministic regardless of shard count.
+    pub fn merged(&self) -> Vec<DeadEntry<K>> {
+        let guards: Vec<_> = self.shards.iter().map(lock_plain).collect();
+        let mut out: Vec<DeadEntry<K>> = guards.iter().flat_map(|g| g.iter().cloned()).collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key).then(a.job.cmp(&b.job)));
+        out
+    }
+
+    /// Total failures across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_plain(s).len()).sum()
+    }
+
+    /// `true` when no shard holds a failure.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock_plain(s).is_empty())
+    }
+
+    /// Drains every shard (index order), returning the removed entries
+    /// sorted by `(key, job)`.
+    pub fn drain(&self) -> Vec<DeadEntry<K>> {
+        let mut out: Vec<DeadEntry<K>> = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut lock_plain(shard));
+        }
+        out.sort_by(|a, b| a.key.cmp(&b.key).then(a.job.cmp(&b.job)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_shard_views_and_merged_order() {
+        let dead: DeadLetterShards<u64> = DeadLetterShards::new(4);
+        for t in [9u64, 3, 9, 1] {
+            dead.push(t, t * 10, format!("boom-{t}"));
+        }
+        dead.push(9, 5, "late");
+        assert_eq!(dead.len(), 5);
+        let shard9 = dead.shard_view(dead.shard_of(&9));
+        assert!(shard9.iter().all(|e| dead.shard_of(&e.key) == dead.shard_of(&9)));
+        assert!(shard9.iter().filter(|e| e.key == 9).count() == 3);
+        let merged = dead.merged();
+        let order: Vec<(u64, u64)> = merged.iter().map(|e| (e.key, e.job)).collect();
+        assert_eq!(order, vec![(1, 10), (3, 30), (9, 5), (9, 90), (9, 90)]);
+        // merged order is shard-count independent
+        let one: DeadLetterShards<u64> = DeadLetterShards::new(1);
+        for e in &merged {
+            one.push(e.key, e.job, e.error.clone());
+        }
+        assert_eq!(one.merged(), merged);
+        let drained = dead.drain();
+        assert_eq!(drained, merged);
+        assert!(dead.is_empty());
+    }
+}

@@ -1,0 +1,640 @@
+//! [`ShardMap`]: a striped key→value store with consistent snapshots and
+//! a seeded rebalance pass.
+//!
+//! Entries stripe across N independently locked shards by FNV-1a of the
+//! key, so writers for different tenants almost never contend. Three
+//! properties the platform layer leans on:
+//!
+//! 1. **Placement is a pure function.** A key's *home* shard is
+//!    `fnv1a(key) % shards`. An override table (fed by [`ShardMap::insert_at`]
+//!    pins and [`ShardMap::rebalance`] moves) is consulted first, so a
+//!    key always has exactly one live shard.
+//! 2. **Snapshots are consistent and key-ordered.** [`ShardMap::snapshot`]
+//!    locks every shard (in index order, the crate-wide lock order) and
+//!    merges into one `BTreeMap`, so serializing a snapshot yields bytes
+//!    independent of the shard count — a 64-shard export equals the
+//!    serial reference byte for byte.
+//! 3. **Rebalance is deterministic.** Given the same occupancy and seed,
+//!    [`ShardMap::rebalance`] picks the same keys to move (seeded
+//!    partial Fisher–Yates over each overfull shard's sorted keys) and
+//!    the same destinations (underfull shards in index order).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// FNV-1a over the 8 little-endian bytes of a `u64` — the shard hash for
+/// numeric tenant ids ([`ShardKey`] for `u64` and the platform id
+/// newtypes route through this).
+pub fn fnv1a_u64(raw: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in raw.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over raw bytes (string tenant keys).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A key that knows its shard hash. Typed id newtypes implement this by
+/// hashing their raw `u64`, so `ProjectId(7)` and `UserId(7)` of the
+/// platform land wherever raw `7` would — placement survives newtype
+/// migrations.
+pub trait ShardKey {
+    /// A stable 64-bit hash of the key (FNV-1a by convention).
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for u64 {
+    fn shard_hash(&self) -> u64 {
+        fnv1a_u64(*self)
+    }
+}
+
+impl ShardKey for u32 {
+    fn shard_hash(&self) -> u64 {
+        fnv1a_u64(*self as u64)
+    }
+}
+
+impl ShardKey for usize {
+    fn shard_hash(&self) -> u64 {
+        fnv1a_u64(*self as u64)
+    }
+}
+
+impl ShardKey for String {
+    fn shard_hash(&self) -> u64 {
+        fnv1a_bytes(self.as_bytes())
+    }
+}
+
+impl ShardKey for &str {
+    fn shard_hash(&self) -> u64 {
+        fnv1a_bytes(self.as_bytes())
+    }
+}
+
+/// Telemetry hooks a [`ShardMap`] calls with its lock-wait times and
+/// per-shard occupancy. The platform bridges this into the `ei-obs`
+/// registry (`platform.shard.lock_wait`, `platform.shard.occupancy`)
+/// so flight dumps can name hot shards. With no observer attached the
+/// map never reads a wall clock.
+pub trait ShardObserver: Send + Sync {
+    /// One lock acquisition on `shard` waited `wait_ns` nanoseconds.
+    fn lock_wait(&self, shard: usize, wait_ns: u64);
+    /// `shard` now holds `len` entries (called after inserts/removes).
+    fn occupancy(&self, shard: usize, len: usize);
+}
+
+/// What a [`ShardMap::rebalance`] pass did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceReport {
+    /// Entries moved between shards.
+    pub moved: usize,
+    /// Entries evicted by the `evict` predicate before rebalancing.
+    pub evicted: usize,
+    /// max/mean occupancy before the pass (1.0 = perfectly even).
+    pub skew_before: f64,
+    /// max/mean occupancy after the pass.
+    pub skew_after: f64,
+}
+
+/// A striped, tenant-partitioned key→value store. See the module docs.
+pub struct ShardMap<K, V> {
+    shards: Vec<Mutex<BTreeMap<K, V>>>,
+    /// Keys living away from their home shard (pins + rebalance moves).
+    /// Lock order: `overrides` before any shard, shards in index order.
+    overrides: Mutex<BTreeMap<K, usize>>,
+    observer: OnceLock<Arc<dyn ShardObserver>>,
+}
+
+impl<K, V> std::fmt::Debug for ShardMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardMap").field("shards", &self.shards.len()).finish_non_exhaustive()
+    }
+}
+
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<K: Ord + Clone + ShardKey, V> ShardMap<K, V> {
+    /// A map striped over `shards` locks (clamped to at least 1).
+    pub fn new(shards: usize) -> ShardMap<K, V> {
+        let shards = shards.max(1);
+        ShardMap {
+            shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            overrides: Mutex::new(BTreeMap::new()),
+            observer: OnceLock::new(),
+        }
+    }
+
+    /// Attaches telemetry hooks (first caller wins; later calls are
+    /// ignored so racing attachers cannot swap observers mid-flight).
+    pub fn set_observer(&self, observer: Arc<dyn ShardObserver>) {
+        let _ = self.observer.set(observer);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` hashes to, ignoring overrides.
+    pub fn home_shard(&self, key: &K) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// The shard `key` currently lives in (override table first).
+    pub fn shard_of(&self, key: &K) -> usize {
+        if let Some(&s) = lock_plain(&self.overrides).get(key) {
+            return s;
+        }
+        self.home_shard(key)
+    }
+
+    /// Locks shard `idx`, timing the wait when an observer is attached.
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, BTreeMap<K, V>> {
+        match self.observer.get() {
+            None => lock_plain(&self.shards[idx]),
+            Some(obs) => {
+                let started = std::time::Instant::now();
+                let guard = lock_plain(&self.shards[idx]);
+                obs.lock_wait(idx, started.elapsed().as_nanos() as u64);
+                guard
+            }
+        }
+    }
+
+    fn note_occupancy(&self, idx: usize, len: usize) {
+        if let Some(obs) = self.observer.get() {
+            obs.occupancy(idx, len);
+        }
+    }
+
+    /// Inserts `key → value` into its current shard, returning any
+    /// previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let idx = self.shard_of(&key);
+        let mut shard = self.lock_shard(idx);
+        let prev = shard.insert(key, value);
+        let len = shard.len();
+        drop(shard);
+        self.note_occupancy(idx, len);
+        prev
+    }
+
+    /// Inserts `key → value` pinned to an explicit shard (recorded in the
+    /// override table), e.g. to co-locate a stream session with the shard
+    /// of the project that owns it.
+    pub fn insert_at(&self, key: K, value: V, shard: usize) -> Option<V> {
+        let shard = shard % self.shards.len();
+        let mut overrides = lock_plain(&self.overrides);
+        let old = if shard == self.home_shard(&key) {
+            overrides.remove(&key)
+        } else {
+            overrides.insert(key.clone(), shard)
+        };
+        // A re-pin must not strand the old copy in its previous shard.
+        if let Some(old_shard) = old {
+            if old_shard != shard {
+                lock_plain(&self.shards[old_shard]).remove(&key);
+            }
+        } else if self.home_shard(&key) != shard {
+            lock_plain(&self.shards[self.home_shard(&key)]).remove(&key);
+        }
+        drop(overrides);
+        let mut guard = self.lock_shard(shard);
+        let prev = guard.insert(key, value);
+        let len = guard.len();
+        drop(guard);
+        self.note_occupancy(shard, len);
+        prev
+    }
+
+    /// Clones the value for `key`.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let idx = self.shard_of(key);
+        self.lock_shard(idx).get(key).cloned()
+    }
+
+    /// `true` when `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let idx = self.shard_of(key);
+        self.lock_shard(idx).contains_key(key)
+    }
+
+    /// Runs `f` with a shared reference to the value, under only that
+    /// key's shard lock.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let idx = self.shard_of(key);
+        let guard = self.lock_shard(idx);
+        guard.get(key).map(f)
+    }
+
+    /// Runs `f` with a mutable reference to the value, under only that
+    /// key's shard lock.
+    pub fn with_mut<R>(&self, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        let idx = self.shard_of(key);
+        let mut guard = self.lock_shard(idx);
+        guard.get_mut(key).map(f)
+    }
+
+    /// Removes `key`, returning its value and clearing any override.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut overrides = lock_plain(&self.overrides);
+        let idx = overrides.remove(key).unwrap_or_else(|| self.home_shard(key));
+        drop(overrides);
+        let mut shard = self.lock_shard(idx);
+        let prev = shard.remove(key);
+        let len = shard.len();
+        drop(shard);
+        self.note_occupancy(idx, len);
+        prev
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_plain(s).len()).sum()
+    }
+
+    /// `true` when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock_plain(s).is_empty())
+    }
+
+    /// Entries per shard, by shard index.
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| lock_plain(s).len()).collect()
+    }
+
+    /// max/mean shard occupancy: 1.0 is perfectly even, `shards` is
+    /// worst-case (everything on one shard). Empty maps report 1.0.
+    pub fn occupancy_skew(&self) -> f64 {
+        let occ = self.occupancy();
+        let total: usize = occ.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / occ.len() as f64;
+        occ.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    /// A consistent point-in-time copy merged in key order: all shard
+    /// locks are held at once (in index order), so the snapshot is a
+    /// cut no concurrent writer can straddle, and the merged `BTreeMap`
+    /// serializes to the same bytes at any shard count.
+    pub fn snapshot(&self) -> BTreeMap<K, V>
+    where
+        V: Clone,
+    {
+        let guards: Vec<_> = (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        let mut out = BTreeMap::new();
+        for guard in &guards {
+            for (k, v) in guard.iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+
+    /// Visits every entry in **key order** without cloning values: all
+    /// shard locks are held at once (index order) and the per-shard
+    /// `BTreeMap` iterators are k-way merged. The read-side companion
+    /// to [`ShardMap::snapshot`] for scans that only need references
+    /// (listings, filtered views, checksums).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let guards: Vec<_> = (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        let mut iters: Vec<_> = guards.iter().map(|g| g.iter().peekable()).collect();
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_key: Option<&K> = None;
+            for (i, it) in iters.iter_mut().enumerate() {
+                if let Some(&(k, _)) = it.peek() {
+                    if best_key.is_none_or(|bk| k < bk) {
+                        best_key = Some(k);
+                        best = Some(i);
+                    }
+                }
+            }
+            match best {
+                None => break,
+                Some(i) => {
+                    let (k, v) = iters[i].next().expect("peeked above");
+                    f(k, v);
+                }
+            }
+        }
+    }
+
+    /// Removes every entry matching `pred` (shard by shard, in index
+    /// order), returning the evicted pairs sorted by key.
+    pub fn evict_where(&self, mut pred: impl FnMut(&K, &V) -> bool) -> Vec<(K, V)> {
+        let mut evicted = Vec::new();
+        for idx in 0..self.shards.len() {
+            let mut shard = self.lock_shard(idx);
+            let doomed: Vec<K> =
+                shard.iter().filter(|(k, v)| pred(k, v)).map(|(k, _)| k.clone()).collect();
+            for k in doomed {
+                if let Some(v) = shard.remove(&k) {
+                    evicted.push((k, v));
+                }
+            }
+            let len = shard.len();
+            drop(shard);
+            self.note_occupancy(idx, len);
+        }
+        if !evicted.is_empty() {
+            let mut overrides = lock_plain(&self.overrides);
+            for (k, _) in &evicted {
+                overrides.remove(k);
+            }
+        }
+        evicted.sort_by(|a, b| a.0.cmp(&b.0));
+        evicted
+    }
+
+    /// One seeded cross-shard rebalance pass for skewed tenant
+    /// distributions.
+    ///
+    /// Holding the override table and every shard lock, the pass moves
+    /// entries out of shards above the even-occupancy target
+    /// (`ceil(len / shards)`) into shards below it. Which entries move
+    /// is a seeded partial Fisher–Yates over the overfull shard's sorted
+    /// keys — deterministic for a given `(occupancy, seed)` — and each
+    /// move is recorded in the override table (or erased, when a key
+    /// happens to move back to its home shard). Snapshot bytes are
+    /// unchanged by construction: only placement moves, never values.
+    pub fn rebalance(&self, seed: u64) -> RebalanceReport {
+        let mut overrides = lock_plain(&self.overrides);
+        let mut guards: Vec<_> = self.shards.iter().map(lock_plain).collect();
+        let occ_before: Vec<usize> = guards.iter().map(|g| g.len()).collect();
+        let total: usize = occ_before.iter().sum();
+        let skew = |occ: &[usize]| {
+            if total == 0 {
+                1.0
+            } else {
+                *occ.iter().max().expect("at least one shard") as f64
+                    / (total as f64 / occ.len() as f64)
+            }
+        };
+        let skew_before = skew(&occ_before);
+        if total == 0 {
+            return RebalanceReport { moved: 0, evicted: 0, skew_before, skew_after: skew_before };
+        }
+        let target = total.div_ceil(self.shards.len());
+        let mut rng = SplitMix64::new(seed);
+        let mut moved = 0usize;
+        for src in 0..guards.len() {
+            let excess = guards[src].len().saturating_sub(target);
+            if excess == 0 {
+                continue;
+            }
+            // Seeded selection: partial Fisher–Yates over sorted keys.
+            let mut keys: Vec<K> = guards[src].keys().cloned().collect();
+            for i in 0..excess {
+                let j = i + (rng.next_u64() % (keys.len() - i) as u64) as usize;
+                keys.swap(i, j);
+            }
+            for key in keys.into_iter().take(excess) {
+                // Destination: first shard (index order) below target.
+                let Some(dst) = (0..guards.len()).find(|&d| d != src && guards[d].len() < target)
+                else {
+                    break;
+                };
+                let value = guards[src].remove(&key).expect("key was just listed");
+                guards[dst].insert(key.clone(), value);
+                if dst == self.home_shard(&key) {
+                    overrides.remove(&key);
+                } else {
+                    overrides.insert(key, dst);
+                }
+                moved += 1;
+            }
+        }
+        let occ_after: Vec<usize> = guards.iter().map(|g| g.len()).collect();
+        let lens: Vec<usize> = occ_after.clone();
+        drop(guards);
+        drop(overrides);
+        for (idx, len) in lens.into_iter().enumerate() {
+            self.note_occupancy(idx, len);
+        }
+        RebalanceReport { moved, evicted: 0, skew_before, skew_after: skew(&occ_after) }
+    }
+}
+
+/// SplitMix64 — the crate's seeded RNG for rebalance selection (and the
+/// load harness's arrival processes). Deterministic and dependency-free.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn insert_get_remove_across_shards() {
+        let map: ShardMap<u64, String> = ShardMap::new(8);
+        for i in 0..100u64 {
+            assert!(map.insert(i, format!("v{i}")).is_none());
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&42), Some("v42".to_string()));
+        assert_eq!(map.insert(42, "new".into()), Some("v42".to_string()));
+        assert_eq!(map.remove(&42), Some("new".to_string()));
+        assert!(!map.contains_key(&42));
+        assert_eq!(map.len(), 99);
+        assert!(map.with(&7, |v| v.clone()).is_some());
+        map.with_mut(&7, |v| v.push('!'));
+        assert_eq!(map.get(&7), Some("v7!".to_string()));
+    }
+
+    #[test]
+    fn snapshot_merge_order_is_shard_count_independent() {
+        let feed = |map: &ShardMap<u64, u64>| {
+            for i in (0..200u64).rev() {
+                map.insert(i, i * 3);
+            }
+        };
+        let one: ShardMap<u64, u64> = ShardMap::new(1);
+        let many: ShardMap<u64, u64> = ShardMap::new(16);
+        feed(&one);
+        feed(&many);
+        assert_eq!(one.snapshot(), many.snapshot());
+        // key order, not shard order
+        let keys: Vec<u64> = many.snapshot().keys().copied().collect();
+        assert_eq!(keys, (0..200u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_in_key_order_without_cloning() {
+        let map: ShardMap<u64, u64> = ShardMap::new(8);
+        for i in [7u64, 1, 9, 3, 200, 42] {
+            map.insert(i, i * 2);
+        }
+        let mut seen = Vec::new();
+        map.for_each(|k, v| seen.push((*k, *v)));
+        assert_eq!(seen, vec![(1, 2), (3, 6), (7, 14), (9, 18), (42, 84), (200, 400)]);
+    }
+
+    #[test]
+    fn empty_shard_snapshot_exports_cleanly() {
+        let map: ShardMap<u64, u64> = ShardMap::new(16);
+        assert!(map.snapshot().is_empty());
+        assert!(map.is_empty());
+        assert_eq!(map.occupancy(), vec![0; 16]);
+        assert_eq!(map.occupancy_skew(), 1.0);
+        // one entry: 15 shards stay empty, snapshot still merges fine
+        map.insert(5, 50);
+        assert_eq!(map.snapshot().into_iter().collect::<Vec<_>>(), vec![(5, 50)]);
+    }
+
+    #[test]
+    fn insert_at_pins_and_repins_without_stranding() {
+        let map: ShardMap<u64, &'static str> = ShardMap::new(4);
+        map.insert_at(9, "pinned", 2);
+        assert_eq!(map.shard_of(&9), 2);
+        assert_eq!(map.occupancy()[2], 1);
+        // re-pin to another shard: the old copy must vanish
+        map.insert_at(9, "moved", 3);
+        assert_eq!(map.shard_of(&9), 3);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&9), Some("moved"));
+        // pinning to the home shard erases the override
+        let home = map.home_shard(&9);
+        map.insert_at(9, "home", home);
+        assert_eq!(map.shard_of(&9), home);
+        assert_eq!(map.len(), 1);
+        // removal clears overrides so a later insert uses the home shard
+        map.insert_at(11, "x", (map.home_shard(&11) + 1) % 4);
+        map.remove(&11);
+        map.insert(11, "y");
+        assert_eq!(map.shard_of(&11), map.home_shard(&11));
+    }
+
+    #[test]
+    fn rebalance_is_deterministic_and_keeps_snapshot_bytes() {
+        let build = || {
+            let map: ShardMap<u64, u64> = ShardMap::new(4);
+            // skew everything onto shard 0
+            for i in 0..64u64 {
+                map.insert_at(i, i, 0);
+            }
+            map
+        };
+        let a = build();
+        let b = build();
+        let before = a.snapshot();
+        assert!(a.occupancy_skew() > 3.9, "skew {}", a.occupancy_skew());
+        let ra = a.rebalance(1234);
+        let rb = b.rebalance(1234);
+        assert_eq!(ra, rb, "same seed + occupancy must move the same keys");
+        assert!(ra.moved >= 48 - 1, "moved {}", ra.moved);
+        assert!(ra.skew_after <= 1.01, "skew after {}", ra.skew_after);
+        assert_eq!(a.occupancy(), b.occupancy());
+        // placement moved, content did not
+        assert_eq!(a.snapshot(), before);
+        // lookups still find every key through the override table
+        for i in 0..64u64 {
+            assert_eq!(a.get(&i), Some(i));
+        }
+        // a different seed may choose different keys but the same balance
+        let c = build();
+        let rc = c.rebalance(9);
+        assert_eq!(rc.moved, ra.moved);
+        assert_eq!(c.snapshot(), before);
+    }
+
+    #[test]
+    fn evict_where_returns_sorted_pairs_and_clears_overrides() {
+        let map: ShardMap<u64, u64> = ShardMap::new(4);
+        for i in 0..20u64 {
+            map.insert(i, i);
+        }
+        map.insert_at(100, 100, 1);
+        let evicted = map.evict_where(|k, _| *k % 2 == 0);
+        let keys: Vec<u64> = evicted.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 100]);
+        assert_eq!(map.len(), 10);
+        // the evicted pinned key re-inserts at its home shard
+        map.insert(100, 1);
+        assert_eq!(map.shard_of(&100), map.home_shard(&100));
+    }
+
+    #[test]
+    fn observer_sees_occupancy_and_lock_waits() {
+        struct Counts {
+            occupancy: AtomicU64,
+            waits: AtomicU64,
+        }
+        impl ShardObserver for Counts {
+            fn lock_wait(&self, _shard: usize, _wait_ns: u64) {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+            }
+            fn occupancy(&self, _shard: usize, _len: usize) {
+                self.occupancy.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let map: ShardMap<u64, u64> = ShardMap::new(2);
+        let counts = Arc::new(Counts { occupancy: AtomicU64::new(0), waits: AtomicU64::new(0) });
+        map.set_observer(counts.clone());
+        map.insert(1, 1);
+        map.insert(2, 2);
+        map.remove(&1);
+        assert_eq!(counts.occupancy.load(Ordering::Relaxed), 3);
+        assert!(counts.waits.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn string_keys_shard_stably() {
+        let map: ShardMap<String, u64> = ShardMap::new(8);
+        map.insert("tenant-a".into(), 1);
+        assert_eq!(map.shard_of(&"tenant-a".to_string()), map.home_shard(&"tenant-a".to_string()));
+        assert_eq!("tenant-a".shard_hash(), "tenant-a".to_string().shard_hash());
+    }
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = SplitMix64::new(7).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,181 @@
+//! [`QuotaLedger`]: per-shard quota accounting for tenant keys.
+//!
+//! Each tenant's ledger (limit, admitted units, denied attempts) lives
+//! on the shard its key hashes to, so a `charge` only takes that
+//! tenant's shard lock — admission control scales with the store it
+//! protects. A merged, key-ordered snapshot serves billing/export.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+use crate::map::ShardKey;
+
+/// Outcome of [`QuotaLedger::charge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// The units were admitted; `remaining` is what's left of the limit
+    /// (`u64::MAX` for unlimited tenants).
+    Admitted {
+        /// Units left before the tenant hits its limit.
+        remaining: u64,
+    },
+    /// The charge would exceed the limit; nothing was admitted.
+    Denied {
+        /// Units already admitted for this tenant.
+        used: u64,
+        /// The tenant's limit.
+        limit: u64,
+    },
+}
+
+impl QuotaDecision {
+    /// `true` when the charge was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, QuotaDecision::Admitted { .. })
+    }
+}
+
+/// One tenant's quota state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaUsage {
+    /// The tenant's unit limit (`u64::MAX` = unlimited).
+    pub limit: u64,
+    /// Units admitted so far.
+    pub used: u64,
+    /// Charges denied so far.
+    pub denied: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ledger {
+    limit: u64,
+    used: u64,
+    denied: u64,
+}
+
+/// A sharded per-tenant quota ledger. See the module docs.
+#[derive(Debug)]
+pub struct QuotaLedger<K> {
+    shards: Vec<Mutex<BTreeMap<K, Ledger>>>,
+    default_limit: u64,
+}
+
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<K: Ord + Clone + ShardKey> QuotaLedger<K> {
+    /// A ledger striped over `shards` locks. `default_limit` applies to
+    /// tenants that never got an explicit [`QuotaLedger::set_limit`]
+    /// (`u64::MAX` = unlimited, the platform default — quotas are
+    /// opt-in and existing flows never see a denial).
+    pub fn new(shards: usize, default_limit: u64) -> QuotaLedger<K> {
+        QuotaLedger {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            default_limit,
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    fn entry<'a>(
+        guard: &'a mut BTreeMap<K, Ledger>,
+        key: &K,
+        default_limit: u64,
+    ) -> &'a mut Ledger {
+        guard.entry(key.clone()).or_insert(Ledger { limit: default_limit, used: 0, denied: 0 })
+    }
+
+    /// Sets `key`'s unit limit (does not reset usage).
+    pub fn set_limit(&self, key: &K, limit: u64) {
+        let mut guard = lock_plain(&self.shards[self.shard_of(key)]);
+        Self::entry(&mut guard, key, self.default_limit).limit = limit;
+    }
+
+    /// Atomically admits or denies `units` against `key`'s ledger,
+    /// under only that tenant's shard lock.
+    pub fn charge(&self, key: &K, units: u64) -> QuotaDecision {
+        let mut guard = lock_plain(&self.shards[self.shard_of(key)]);
+        let ledger = Self::entry(&mut guard, key, self.default_limit);
+        if ledger.used.saturating_add(units) > ledger.limit {
+            ledger.denied += 1;
+            QuotaDecision::Denied { used: ledger.used, limit: ledger.limit }
+        } else {
+            ledger.used += units;
+            QuotaDecision::Admitted { remaining: ledger.limit.saturating_sub(ledger.used) }
+        }
+    }
+
+    /// Refunds `units` to `key` (e.g. a job that never ran).
+    pub fn release(&self, key: &K, units: u64) {
+        let mut guard = lock_plain(&self.shards[self.shard_of(key)]);
+        let ledger = Self::entry(&mut guard, key, self.default_limit);
+        ledger.used = ledger.used.saturating_sub(units);
+    }
+
+    /// `key`'s current usage, if the tenant has a ledger.
+    pub fn usage(&self, key: &K) -> Option<QuotaUsage> {
+        let guard = lock_plain(&self.shards[self.shard_of(key)]);
+        guard.get(key).map(|l| QuotaUsage { limit: l.limit, used: l.used, denied: l.denied })
+    }
+
+    /// Units admitted per shard, by shard index.
+    pub fn used_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| lock_plain(s).values().map(|l| l.used).sum()).collect()
+    }
+
+    /// A key-ordered merged snapshot of every tenant's ledger, locking
+    /// all shards at once (index order) for a consistent cut.
+    pub fn snapshot(&self) -> BTreeMap<K, QuotaUsage> {
+        let guards: Vec<_> = self.shards.iter().map(lock_plain).collect();
+        let mut out = BTreeMap::new();
+        for guard in &guards {
+            for (k, l) in guard.iter() {
+                out.insert(
+                    k.clone(),
+                    QuotaUsage { limit: l.limit, used: l.used, denied: l.denied },
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default_then_limited() {
+        let ledger: QuotaLedger<u64> = QuotaLedger::new(8, u64::MAX);
+        assert!(ledger.charge(&1, 1_000_000).is_admitted());
+        ledger.set_limit(&1, 1_000_001);
+        assert!(ledger.charge(&1, 1).is_admitted());
+        let denied = ledger.charge(&1, 1);
+        assert_eq!(denied, QuotaDecision::Denied { used: 1_000_001, limit: 1_000_001 });
+        let usage = ledger.usage(&1).unwrap();
+        assert_eq!(usage.denied, 1);
+        ledger.release(&1, 1);
+        assert!(ledger.charge(&1, 1).is_admitted());
+    }
+
+    #[test]
+    fn snapshot_merges_in_key_order_across_shard_counts() {
+        let fill = |l: &QuotaLedger<u64>| {
+            for t in (0..50u64).rev() {
+                l.charge(&t, t);
+            }
+        };
+        let one: QuotaLedger<u64> = QuotaLedger::new(1, u64::MAX);
+        let many: QuotaLedger<u64> = QuotaLedger::new(16, u64::MAX);
+        fill(&one);
+        fill(&many);
+        let a = one.snapshot();
+        let b = many.snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.keys().copied().collect::<Vec<_>>(), (0..50u64).collect::<Vec<_>>());
+        assert_eq!(many.used_per_shard().iter().sum::<u64>(), (0..50u64).sum::<u64>());
+    }
+}

@@ -129,7 +129,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- publish to the community registry ----------------------------------
     api.make_public(project, alice, &["audio", "keyword-spotting", "demo"])?;
-    let hits = search(&api.public_projects(), "keyword");
+    let hits = search(&api.registry_snapshot(), "keyword");
     println!("public registry search 'keyword': {} hit(s): {}", hits.len(), hits[0].name);
 
     // --- per-layer profile on the three paper boards ------------------------

@@ -37,6 +37,12 @@ echo "==> streaming suite (EI_THREADS=1 and 4)"
 EI_THREADS=1 cargo test -q --test streaming
 EI_THREADS=4 cargo test -q --test streaming
 
+echo "==> shard-invariance suite (EI_THREADS=1 and 4 × EI_SHARDS=1 and 16)"
+for shards in 1 16; do
+  EI_THREADS=1 EI_SHARDS=$shards cargo test -q --test shard_invariance
+  EI_THREADS=4 EI_SHARDS=$shards cargo test -q --test shard_invariance
+done
+
 echo "==> cargo test --doc"
 cargo test --doc
 
@@ -164,6 +170,36 @@ if [ -f results/streaming.json ]; then
   echo "  ok results/streaming.json"
 else
   echo "  (no results/streaming.json yet — run scripts/stream_demo.sh)"
+fi
+
+echo "==> results/platform_scale.json state is shard-count invariant and throughput scales"
+if [ -f results/platform_scale.json ]; then
+  if grep -vqF '"schema_version":' results/platform_scale.json; then
+    echo "row without schema_version in results/platform_scale.json" >&2
+    exit 1
+  fi
+  if ! grep -qF -- '"state_identical":true' results/platform_scale.json; then
+    echo "no row proves state_identical:true" >&2
+    exit 1
+  fi
+  if grep -qF -- '"state_identical":false' results/platform_scale.json; then
+    echo "platform state diverged across shard counts" >&2
+    exit 1
+  fi
+  awk '
+    /"shards":1,"threads":4/ && /"throughput_ops_per_s":/ {
+      split($0, a, /"throughput_ops_per_s":/); split(a[2], b, /[,}]/); base = b[1] + 0
+    }
+    /"shards":16,"threads":4/ && /"throughput_ops_per_s":/ {
+      split($0, a, /"throughput_ops_per_s":/); split(a[2], b, /[,}]/); wide = b[1] + 0
+    }
+    END { exit (base > 0 && wide >= 2 * base) ? 0 : 1 }' results/platform_scale.json || {
+      echo "16-shard throughput dropped below 2x the 1-shard figure at 4 workers" >&2
+      exit 1
+    }
+  echo "  ok results/platform_scale.json"
+else
+  echo "  (no results/platform_scale.json yet — run scripts/shard_demo.sh)"
 fi
 
 echo "==> no orphaned results/*.txt shadowing a JSON successor"

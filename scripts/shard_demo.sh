@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Smoke-runs the platform-scale load harness over the sharded platform
+# store and sanity-checks the JSONL rows it writes: every (shards,
+# threads) cell of the {1,4,16,64} x {1,4} sweep is present, every row
+# proves the final platform state byte-identical across shard counts
+# (state_identical), and the 16-shard saturation throughput at 4 modeled
+# workers is at least 2x the 1-shard figure. The bench runs the whole
+# sweep twice and asserts byte-for-byte reproducibility before writing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin platform_scale"
+EDGELAB_QUICK=1 cargo run --release -p ei-bench --bin platform_scale
+
+echo "==> checking results/platform_scale.json"
+out=results/platform_scale.json
+for shards in 1 4 16 64; do
+  for threads in 1 4; do
+    marker="\"shards\":$shards,\"threads\":$threads"
+    if ! grep -qF -- "$marker" "$out"; then
+      echo "MISSING from $out: $marker" >&2
+      exit 1
+    fi
+  done
+  echo "  found both thread widths for $shards shard(s)"
+done
+if grep -qF -- '"state_identical":false' "$out"; then
+  echo "platform state diverged across shard counts" >&2
+  exit 1
+fi
+echo "  state_identical on every row"
+awk '
+  /"shards":1,"threads":4/ && /"throughput_ops_per_s":/ {
+    split($0, a, /"throughput_ops_per_s":/); split(a[2], b, /[,}]/); base = b[1] + 0
+  }
+  /"shards":16,"threads":4/ && /"throughput_ops_per_s":/ {
+    split($0, a, /"throughput_ops_per_s":/); split(a[2], b, /[,}]/); wide = b[1] + 0
+  }
+  END { exit (base > 0 && wide >= 2 * base) ? 0 : 1 }' "$out" || {
+    echo "16-shard throughput is not >= 2x the 1-shard figure at 4 workers" >&2
+    exit 1
+  }
+echo "  16 shards >= 2x 1 shard at 4 modeled workers"
+for field in '"summary":true' '"monotone_throughput":true' '"occupancy_skew":'; do
+  if ! grep -qF -- "$field" "$out"; then
+    echo "MISSING from $out: $field" >&2
+    exit 1
+  fi
+  echo "  found $field"
+done
+
+echo "==> shard demo passed"

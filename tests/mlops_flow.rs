@@ -83,7 +83,7 @@ fn collaborative_project_lifecycle() {
 
     // publish, search, clone
     api.make_public(project, alice, &["audio", "switch"]).unwrap();
-    let hits = search(&api.public_projects(), "switch");
+    let hits = search(&api.registry_snapshot(), "switch");
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].samples, 24);
     let source = &api.public_projects()[0];

@@ -314,6 +314,69 @@ fn micro_batched_trace_is_deterministic_across_thread_counts() {
     assert_eq!(t_serial, t_env);
 }
 
+/// Sharded admission: tenants stripe deterministically across shards,
+/// per-shard bounds isolate a flooding tenant, and shard count never
+/// changes any request's outcome.
+#[test]
+fn sharded_admission_isolates_tenants_and_preserves_outcomes() {
+    let json = model_json(16, 7);
+    let model = ModelSource::new("kws", json);
+    let gen = generator();
+
+    // the same 12-request trace through 1 and 4 admission shards
+    let run = |shards: usize| {
+        let config = ServerConfig { admission_shards: shards, ..ServerConfig::default() };
+        let (_clock, srv) = server(config);
+        assert_eq!(srv.admission_shards(), shards);
+        for i in 0..12u64 {
+            let tenant = format!("tenant-{}", i % 4);
+            let clip = gen.generate((i % 2) as usize, i * 3 + 1);
+            srv.submit(request(&tenant, &model, EngineKind::EonCompiled, clip)).unwrap();
+        }
+        let depths = srv.shard_depths();
+        assert_eq!(depths.len(), shards);
+        assert_eq!(depths.iter().sum::<usize>(), 12, "every submission queued");
+        let mut completions = srv.drain();
+        assert_eq!(completions.len(), 12);
+        completions.sort_by_key(|c| c.ticket);
+        completions
+            .into_iter()
+            .map(|c| {
+                assert!(matches!(c.outcome, Outcome::Classified(_)), "{c:?}");
+                (c.tenant, format!("{:?}", c.outcome))
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4), "shard count must not change any request's outcome");
+
+    // per-shard bounds: a flooding tenant fills only its own shard
+    let config = ServerConfig {
+        admission_shards: 4,
+        queue_capacity: 8, // 2 per shard
+        quota_capacity: 100,
+        ..ServerConfig::default()
+    };
+    let (_clock, srv) = server(config);
+    let flooder = "flood";
+    let victim_shard = srv.admission_shard_of(flooder);
+    let other = (0..32)
+        .map(|i| format!("t-{i}"))
+        .find(|t| srv.admission_shard_of(t) != victim_shard)
+        .expect("some tenant lands on another shard");
+    let clip = gen.generate(0, 3);
+    let req = |t: &str| request(t, &model, EngineKind::EonCompiled, clip.clone());
+    assert!(srv.submit(req(flooder)).is_ok());
+    assert!(srv.submit(req(flooder)).is_ok());
+    assert_eq!(
+        srv.submit(req(flooder)),
+        Err(Rejected::Overloaded { queue_depth: 2 }),
+        "the flooder's shard is full at its own bound"
+    );
+    assert!(srv.submit(req(&other)).is_ok(), "other shards keep admitting");
+    assert_eq!(srv.shard_depths().iter().sum::<usize>(), 3);
+    assert_eq!(srv.drain().len(), 3);
+}
+
 /// The platform API path: registry models classify and estimate through
 /// the attached serving layer, with project-scoped tenancy and access
 /// control intact.

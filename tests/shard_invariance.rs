@@ -1,0 +1,215 @@
+//! Shard invariance: the whole platform surface must be byte-identical
+//! at any shard count. The same serving + MLOps + streaming flow runs on
+//! a 1-shard and a 16-shard [`Api`], and every observable — the
+//! `export_json` bytes, registry search order, classification outputs,
+//! stream counters, job results and quota decisions — must match
+//! exactly. `scripts/check.sh` runs this suite under `EI_THREADS=1` and
+//! `4` and `EI_SHARDS=1` and `16`, so the contract holds across the
+//! pool-width axis too.
+
+use edgelab::core::impulse::ImpulseDesign;
+use edgelab::data::ingest::to_wav_bytes;
+use edgelab::data::synth::KwsGenerator;
+use edgelab::dsp::{DspConfig, MfccConfig};
+use edgelab::faults::{Clock, VirtualClock};
+use edgelab::nn::{presets, train::TrainConfig};
+use edgelab::par::{ParPool, Parallelism};
+use edgelab::platform::{Api, InferenceSpec, JobScheduler, PlatformError, SessionConfig};
+use edgelab::runtime::EngineKind;
+use edgelab::serve::{Server, ServerConfig};
+use edgelab::trace::Tracer;
+use std::sync::Arc;
+
+fn generator() -> KwsGenerator {
+    KwsGenerator {
+        classes: vec!["go".into(), "stop".into()],
+        sample_rate_hz: 4_000,
+        duration_s: 0.25,
+        noise: 0.02,
+    }
+}
+
+fn design() -> ImpulseDesign {
+    ImpulseDesign::new(
+        "invariance-kws",
+        1_000,
+        DspConfig::Mfcc(MfccConfig {
+            frame_s: 0.032,
+            stride_s: 0.016,
+            n_coefficients: 8,
+            n_filters: 16,
+            sample_rate_hz: 4_000,
+        }),
+    )
+    .expect("valid design")
+}
+
+fn model_json() -> String {
+    let d = design();
+    let spec = presets::dense_mlp(d.feature_dims().expect("valid design"), 2, 8);
+    let config = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        learning_rate: 0.01,
+        seed: 21,
+        ..TrainConfig::default()
+    };
+    d.train(&spec, &generator().dataset(4, 21), &config)
+        .expect("training succeeds")
+        .to_json()
+        .expect("serializes")
+}
+
+/// Runs one end-to-end platform flow at `shards` shards and returns every
+/// observable as a single comparable string.
+fn flow(shards: usize, model: &str) -> String {
+    let mut log = Vec::new();
+    let clock = VirtualClock::shared();
+    let pool = Arc::new(ParPool::new(Parallelism::from_env()));
+    let api = Api::with_shards(shards);
+    let server = Arc::new(Server::new(
+        ServerConfig { admission_shards: shards, ..ServerConfig::default() },
+        clock.clone() as Arc<dyn Clock>,
+        Arc::clone(&pool),
+        Tracer::disabled(),
+    ));
+    api.attach_serving(server).expect("attaches");
+    let mut scheduler = JobScheduler::with_sharded_pool(Arc::clone(&pool), shards);
+
+    // --- MLOps flow: users, org, projects, data, versions, registry ----
+    let alice = api.create_user("alice");
+    let bob = api.create_user("bob");
+    api.create_organization("acme", alice).expect("org");
+    let projects: Vec<_> = (0..12)
+        .map(|i| api.create_project(&format!("proj-{i}"), alice).expect("project"))
+        .collect();
+    let wav = to_wav_bytes(4_000, &generator().generate(0, 5));
+    for (i, &p) in projects.iter().enumerate() {
+        api.ingest(p, alice, "wav", &wav, Some(if i % 2 == 0 { "go" } else { "stop" }))
+            .expect("ingest");
+        api.upload_model(p, alice, "m", model.to_string()).expect("upload");
+        api.snapshot(p, alice, &format!("v-{i}")).expect("snapshot");
+    }
+    api.add_collaborator(projects[0], alice, bob).expect("collab");
+    for (i, &p) in projects.iter().enumerate().take(6) {
+        api.make_public(p, alice, &["kws", if i % 2 == 0 { "even" } else { "odd" }])
+            .expect("publish");
+    }
+    let hits: Vec<String> = api
+        .search_registry("kws")
+        .into_iter()
+        .map(|e| format!("{}:{}:{}", e.id, e.name, e.samples))
+        .collect();
+    log.push(format!("search={hits:?}"));
+    log.push(format!("list={:?}", api.list_projects(bob)));
+
+    // --- serving flow: classify + estimate through admission ------------
+    let clip = generator().generate(0, 9);
+    let spec = InferenceSpec::new("m", EngineKind::EonCompiled);
+    let c = api.classify(projects[0], alice, &spec, clip.clone()).expect("classifies");
+    log.push(format!("classify={c:?}"));
+    let e = api.estimate(projects[1], alice, &spec.clone().on_board("nano 33")).expect("estimate");
+    log.push(format!("estimate={e:?}"));
+
+    // --- quota flow: a capped project denies identically ----------------
+    api.set_project_quota(projects[2], alice, 2).expect("cap");
+    let w = to_wav_bytes(4_000, &[0.0; 64]);
+    let q: Vec<bool> =
+        (0..4).map(|_| api.ingest(projects[2], alice, "wav", &w, None).is_ok()).collect();
+    assert!(matches!(
+        api.ingest(projects[2], alice, "wav", &w, None),
+        Err(PlatformError::QuotaExceeded { .. })
+    ));
+    log.push(format!(
+        "quota={q:?} usage={:?}",
+        api.project_quota(projects[2], alice).expect("usage")
+    ));
+
+    // --- streaming flow: session pinned to the project's shard ----------
+    let session = api
+        .stream_open(projects[3], alice, "m", SessionConfig::new("", 256))
+        .expect("stream opens");
+    let signal: Vec<f32> =
+        (0..3).flat_map(|i| generator().generate(i % 2, 31 + i as u64)).collect();
+    for chunk in signal.chunks(256).take(8) {
+        let verdicts = api.stream_push(session, alice, chunk).expect("push");
+        log.push(format!(
+            "verdicts={:?}",
+            verdicts.iter().map(|v| (v.seq, v.smoothed_label.clone())).collect::<Vec<_>>()
+        ));
+    }
+    let stats = api.stream_close(session, alice).expect("closes");
+    log.push(format!(
+        "stream windows={} classified={} identical={}",
+        stats.windows_emitted,
+        stats.windows_classified,
+        stats.features_identical()
+    ));
+
+    // --- jobs flow: keyed jobs, FIFO per tenant, dead letters -----------
+    let mut job_ids = Vec::new();
+    for (i, &p) in projects.iter().enumerate().take(8) {
+        let id =
+            scheduler.submit_keyed(p.0, 1, move || Ok(format!("job-{i}"))).expect("job accepted");
+        job_ids.push(id);
+    }
+    let outputs: Vec<String> =
+        job_ids.iter().map(|&id| scheduler.wait(id).expect("job succeeds")).collect();
+    log.push(format!("jobs={outputs:?}"));
+    let failing = scheduler
+        .submit_keyed(projects[0].0, 1, || Err::<String, _>("boom".into()))
+        .expect("accepted");
+    assert!(scheduler.wait(failing).is_err());
+    let letters: Vec<u64> = scheduler.dead_letters().iter().map(|l| l.id).collect();
+    log.push(format!("dead={letters:?}"));
+    scheduler.shutdown();
+
+    // --- rebalance must never change observable state -------------------
+    let before = api.export_json().expect("exports");
+    let report = api.rebalance(42);
+    let after = api.export_json().expect("exports");
+    assert_eq!(before, after, "rebalance must not change exported bytes");
+    assert!(report.skew_after <= report.skew_before.max(1.0) + 1e-9);
+
+    // --- export / import round-trip -------------------------------------
+    let imported = Api::import_json(&after).expect("imports");
+    assert_eq!(imported.export_json().expect("re-exports"), after, "round-trip is exact");
+
+    log.push(format!("export={after}"));
+    log.join("\n")
+}
+
+/// The tentpole contract: 1 shard and 16 shards produce byte-identical
+/// observables for the same serving + MLOps + streaming + jobs flow.
+#[test]
+fn whole_platform_flow_is_identical_at_1_and_16_shards() {
+    let model = model_json();
+    let one = flow(1, &model);
+    let sixteen = flow(16, &model);
+    assert_eq!(one, sixteen, "shard count must never change observable behavior");
+}
+
+/// A 64-shard store (more shards than some maps have entries, so many
+/// shards stay empty) still exports the identical bytes.
+#[test]
+fn empty_shards_do_not_perturb_export() {
+    let model = model_json();
+    let one = flow(1, &model);
+    let wide = flow(64, &model);
+    assert_eq!(one, wide);
+}
+
+/// `EI_SHARDS` drives `Api::new` placement without changing observables:
+/// an export taken from an explicit 1-shard store imports into the
+/// env-derived layout and re-exports the same bytes.
+#[test]
+fn env_shard_count_round_trips_export() {
+    let api = Api::with_shards(1);
+    let u = api.create_user("u");
+    for i in 0..10 {
+        api.create_project(&format!("p-{i}"), u).expect("project");
+    }
+    let exported = api.export_json().expect("exports");
+    let imported = Api::import_json(&exported).expect("imports");
+    assert_eq!(imported.export_json().expect("re-exports"), exported);
+}
