@@ -191,6 +191,14 @@ impl Obs {
         &self.recorder
     }
 
+    /// The injected clock every monitor and burn-rate window reads.
+    /// Layers that make time-based decisions off this hub's telemetry
+    /// (e.g. a rebalance policy polling occupancy gauges) should read
+    /// the same clock so their windows line up with the monitors'.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
     /// Folds one completed request into the registry and every matching
     /// SLO monitor; fires `slo.breach` (tripping the recorder) on
     /// breach. Call this from the serving completion path.

@@ -19,7 +19,7 @@
 //! a stripe. Per-project quota ledgers ([`Api::set_project_quota`]) ride
 //! the same partition.
 
-use crate::entities::{OrgId, Organization, Project, ProjectId, User, UserId};
+use crate::entities::{OrgId, Organization, Project, ProjectId, SessionId, User, UserId};
 use crate::jobs::JobScheduler;
 use crate::{PlatformError, Result};
 use ei_core::impulse::ImpulseDesign;
@@ -30,13 +30,17 @@ use ei_data::{Dataset, Sample, SensorKind};
 use ei_nn::spec::ModelSpec;
 use ei_nn::train::TrainConfig;
 use ei_serve::{
-    InferenceRequest, InferenceSpec, ModelSource, Outcome, Rejected, Server, ServerConfig,
+    CacheStats, InferenceRequest, InferenceSpec, ModelSource, Outcome, Rejected, Server,
+    ServerConfig,
 };
-use ei_shard::{fnv1a_u64, QuotaLedger, QuotaUsage, RebalanceReport, ShardMap, ShardObserver};
+use ei_shard::{
+    fnv1a_u64, QuotaLedger, QuotaUsage, RebalancePolicy, RebalancePolicyStatus, RebalanceReport,
+    ShardMap, ShardObserver,
+};
 use ei_stream::{SessionConfig, SessionStats, StreamError, StreamSession, WindowVerdict};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Shard count used when `EI_SHARDS` is unset.
 pub const DEFAULT_SHARDS: usize = 8;
@@ -49,6 +53,34 @@ pub fn shards_from_env() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(DEFAULT_SHARDS)
+}
+
+/// One consolidated snapshot of the sharded store, returned by
+/// [`Api::shard_report`]: everything the separate `shard_count` /
+/// `shard_occupancy` / `occupancy_skew` calls reported, plus the
+/// rebalance-policy status and the serving artifact-cache counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shards state is striped across.
+    pub shards: usize,
+    /// Projects per shard, by shard index.
+    pub occupancy: Vec<usize>,
+    /// max/mean project-shard occupancy (1.0 = perfectly even).
+    pub skew: f64,
+    /// The most recent rebalance outcome (manual or policy-driven).
+    pub last_rebalance: Option<RebalanceReport>,
+    /// Status of the installed [`RebalancePolicy`], if any.
+    pub policy: Option<RebalancePolicyStatus>,
+    /// Artifact-cache counters merged across stripes (`None` until a
+    /// serving layer is attached or lazily initialized).
+    pub cache: Option<CacheStats>,
+    /// Per-stripe artifact-cache counters, in stripe-index order (empty
+    /// without a serving layer).
+    pub cache_shards: Vec<CacheStats>,
+}
+
+fn lock_plain<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The serialized backup form of the platform (what
@@ -95,6 +127,15 @@ pub struct Api {
     /// through. Lazily built on first use (so the many callers that never
     /// serve inference pay nothing); clones share it like the state maps.
     serving: Arc<OnceLock<Arc<Server>>>,
+    /// The telemetry hub [`Api::attach_obs`] bridged shard gauges into,
+    /// kept so [`Api::poll_rebalance`] can read the live occupancy
+    /// gauges (and the hub's clock) back out.
+    obs: Arc<OnceLock<Arc<ei_obs::Obs>>>,
+    /// The installed telemetry-driven rebalance policy, if any.
+    rebalance_policy: Arc<Mutex<Option<RebalancePolicy>>>,
+    /// The most recent rebalance outcome (manual or policy-driven),
+    /// surfaced in [`Api::shard_report`].
+    last_rebalance: Arc<Mutex<Option<RebalanceReport>>>,
 }
 
 impl Default for Api {
@@ -152,40 +193,127 @@ impl Api {
             next_id: Arc::new(AtomicU64::new(0)),
             next_stream: Arc::new(AtomicU64::new(0)),
             serving: Arc::default(),
+            obs: Arc::default(),
+            rebalance_policy: Arc::default(),
+            last_rebalance: Arc::default(),
         }
     }
 
     /// The number of shards state is striped across.
+    #[deprecated(since = "0.1.0", note = "use `Api::shard_report().shards` instead")]
     pub fn shard_count(&self) -> usize {
         self.projects.shard_count()
     }
 
     /// Projects per shard, by shard index.
+    #[deprecated(since = "0.1.0", note = "use `Api::shard_report().occupancy` instead")]
     pub fn shard_occupancy(&self) -> Vec<usize> {
         self.projects.occupancy()
     }
 
     /// max/mean project-shard occupancy (1.0 = perfectly even).
+    #[deprecated(since = "0.1.0", note = "use `Api::shard_report().skew` instead")]
     pub fn occupancy_skew(&self) -> f64 {
         self.projects.occupancy_skew()
     }
 
+    /// One consolidated snapshot of the sharded store: shard count,
+    /// per-shard occupancy and skew of the project map, the last
+    /// rebalance outcome, the installed [`RebalancePolicy`]'s status,
+    /// and the serving layer's artifact-cache counters (merged and per
+    /// cache stripe; empty until a serving layer is attached or lazily
+    /// initialized). Replaces the separate `shard_count` /
+    /// `shard_occupancy` / `occupancy_skew` calls, which survive one
+    /// release as deprecated delegates.
+    pub fn shard_report(&self) -> ShardReport {
+        let occupancy = self.projects.occupancy();
+        let (cache, cache_shards) = match self.serving.get() {
+            Some(server) => (Some(server.cache_stats()), server.cache_shard_stats()),
+            None => (None, Vec::new()),
+        };
+        ShardReport {
+            shards: self.projects.shard_count(),
+            occupancy,
+            skew: self.projects.occupancy_skew(),
+            last_rebalance: lock_plain(&self.last_rebalance).clone(),
+            policy: lock_plain(&self.rebalance_policy).as_ref().map(RebalancePolicy::status),
+            cache,
+            cache_shards,
+        }
+    }
+
     /// Runs one seeded cross-shard rebalance pass over the project map
     /// (see [`ShardMap::rebalance`]): moves projects off overfull shards
-    /// deterministically, never changing export bytes.
+    /// deterministically, never changing export bytes. The outcome is
+    /// recorded for [`Api::shard_report`].
     pub fn rebalance(&self, seed: u64) -> RebalanceReport {
-        self.projects.rebalance(seed)
+        let report = self.projects.rebalance(seed);
+        *lock_plain(&self.last_rebalance) = Some(report.clone());
+        report
+    }
+
+    /// Installs (or replaces) the telemetry-driven rebalance policy
+    /// consulted by [`Api::poll_rebalance`].
+    pub fn set_rebalance_policy(&self, policy: RebalancePolicy) {
+        *lock_plain(&self.rebalance_policy) = Some(policy);
+    }
+
+    /// Feeds one occupancy observation to the installed
+    /// [`RebalancePolicy`] and, when it fires, runs the rebalance it
+    /// asked for — closing the loop from the `platform.shard.occupancy`
+    /// gauges back to [`Api::rebalance`], with no manual seed.
+    ///
+    /// The observation is read from the attached telemetry hub
+    /// ([`Api::attach_obs`]) — the same `platform.shard.occupancy`
+    /// gauge vector operators watch — at the hub clock's current time,
+    /// and falls back to the live project map when no hub is attached
+    /// (so the policy still works without telemetry, observing at time
+    /// 0). Returns the rebalance report when a rebalance ran; `None`
+    /// while the policy holds off (or none is installed). Like any
+    /// rebalance, a policy-driven one never changes export bytes.
+    pub fn poll_rebalance(&self) -> Option<RebalanceReport> {
+        let seed = {
+            let mut guard = lock_plain(&self.rebalance_policy);
+            let policy = guard.as_mut()?;
+            let (occupancy, now_ms) = match self.obs.get() {
+                Some(obs) => (
+                    self.occupancy_from_gauges(obs).unwrap_or_else(|| self.projects.occupancy()),
+                    obs.clock().now_ms(),
+                ),
+                None => (self.projects.occupancy(), 0),
+            };
+            policy.observe(&occupancy, now_ms)?
+        };
+        Some(self.rebalance(seed))
+    }
+
+    /// Reads the `platform.shard.occupancy` gauge vector back out of the
+    /// obs registry, in shard-index order (`None` until the gauges have
+    /// been published at least once).
+    fn occupancy_from_gauges(&self, obs: &Arc<ei_obs::Obs>) -> Option<Vec<usize>> {
+        let snapshot = obs.registry().snapshot();
+        let occupancy: Vec<usize> = (0..self.projects.shard_count())
+            .map(|shard| {
+                match snapshot.get(&("platform.shard.occupancy".into(), format!("shard-{shard}"))) {
+                    Some(ei_obs::SeriesValue::Gauge { value, .. }) => *value as usize,
+                    _ => 0,
+                }
+            })
+            .collect();
+        occupancy.iter().any(|&n| n > 0).then_some(occupancy)
     }
 
     /// Attaches always-on telemetry: per-shard occupancy gauges
     /// (`platform.shard.occupancy`) and lock-wait histograms
     /// (`platform.shard.lock_wait`) flow into `obs`'s registry for the
-    /// project and stream maps. First caller wins, like
-    /// [`ShardMap::set_observer`].
+    /// project and stream maps, and [`Api::poll_rebalance`] reads its
+    /// occupancy observations (and clock) back from the same hub. First
+    /// caller wins, like [`ShardMap::set_observer`].
     pub fn attach_obs(&self, obs: &Arc<ei_obs::Obs>) {
         let bridge = Arc::new(ObsBridge { obs: Arc::clone(obs) });
         self.projects.set_observer(Arc::<ObsBridge>::clone(&bridge) as _);
         self.streams.set_observer(bridge as _);
+        let _ = self.obs.set(Arc::clone(obs));
     }
 
     /// Attaches an explicitly configured serving front-end (e.g. one on a
@@ -371,6 +499,38 @@ impl Api {
         Ok(())
     }
 
+    /// Gives a project a burst bucket on top of its cumulative quota
+    /// (owner only): at most `capacity` units of burst, refilled at
+    /// `refill_per_sec` units per second of the serving clock — the
+    /// same token-bucket shape as the serving layer's admission
+    /// buckets. A `capacity` of 0 removes the bucket. Charges remain a
+    /// single atomic admit-or-deny on the project's shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown projects or when `acting` is not the owner.
+    pub fn set_project_burst(
+        &self,
+        project: ProjectId,
+        acting: UserId,
+        capacity: u64,
+        refill_per_sec: f64,
+    ) -> Result<()> {
+        let owner = self.with_project(project, acting, |p| p.owner)?;
+        if owner != acting {
+            return Err(PlatformError::AccessDenied("only the owner sets quotas".into()));
+        }
+        self.quotas.set_burst(&project.0, capacity, refill_per_sec, self.quota_now_ms());
+        Ok(())
+    }
+
+    /// The logical time quota charges refill against: the serving clock
+    /// when a serving layer is attached, else 0 (projects without a
+    /// burst bucket never read it).
+    fn quota_now_ms(&self) -> u64 {
+        self.serving.get().map_or(0, |server| server.clock().now_ms())
+    }
+
     /// The project's quota ledger (limit, used units, denied calls),
     /// tracked on the project's own shard.
     ///
@@ -387,9 +547,10 @@ impl Api {
     }
 
     /// Charges one quota unit to `project`, mapping denial to the
-    /// platform error space.
+    /// platform error space. Burst buckets refill against the serving
+    /// clock; projects without one behave exactly as before.
     fn charge_quota(&self, project: ProjectId) -> Result<()> {
-        if self.quotas.charge(&project.0, 1).is_admitted() {
+        if self.quotas.charge_at(&project.0, 1, self.quota_now_ms()).is_admitted() {
             Ok(())
         } else {
             Err(PlatformError::QuotaExceeded { tenant: format!("project-{project}") })
@@ -528,7 +689,9 @@ impl Api {
 
     /// Estimates how the registry model `spec` names runs on `spec.board`
     /// (latency, memory, fit), served through the artifact cache like
-    /// inference.
+    /// inference. Billed to `spec.tenant` when set, otherwise to the
+    /// project (`project-<id>`) — the same tenant resolution as
+    /// [`Api::classify`], so both paths stripe to the same cache shard.
     ///
     /// # Errors
     ///
@@ -542,14 +705,15 @@ impl Api {
     ) -> Result<ei_serve::Estimate> {
         let json = self.download_model(project, acting, spec.model.as_str())?;
         let source = ModelSource::new(spec.model.clone(), json);
-        self.serving().estimate(&source, &spec.board, spec.engine, spec.quantized).map_err(|e| {
-            match e {
+        let tenant = spec.tenant.clone().unwrap_or_else(|| format!("project-{project}"));
+        self.serving().estimate(&tenant, &source, &spec.board, spec.engine, spec.quantized).map_err(
+            |e| match e {
                 ei_serve::ServeError::UnknownBoard(b) => {
                     PlatformError::BadRequest(format!("unknown board {b:?}"))
                 }
                 ei_serve::ServeError::Model(msg) => PlatformError::JobFailed(msg),
-            }
-        })
+            },
+        )
     }
 
     /// Opens a continuous-inference stream against the registry model
@@ -574,7 +738,7 @@ impl Api {
         acting: UserId,
         model: &str,
         mut config: SessionConfig,
-    ) -> Result<u64> {
+    ) -> Result<SessionId> {
         let json = self.download_model(project, acting, model)?;
         if config.tenant.is_empty() {
             config.tenant = format!("project-{project}");
@@ -585,7 +749,7 @@ impl Api {
         let id = self.next_stream.fetch_add(1, Ordering::SeqCst) + 1;
         let shard = (fnv1a_u64(project.0) % self.streams.shard_count() as u64) as usize;
         self.streams.insert_at(id, StreamEntry { project, session }, shard);
-        Ok(id)
+        Ok(SessionId(id))
     }
 
     /// Feeds one chunk of raw samples into an open stream and returns the
@@ -600,7 +764,7 @@ impl Api {
     /// collaborator also cuts their live streams).
     pub fn stream_push(
         &self,
-        session: u64,
+        session: SessionId,
         acting: UserId,
         samples: &[f32],
     ) -> Result<Vec<WindowVerdict>> {
@@ -615,7 +779,7 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown sessions or denied access.
-    pub fn stream_stats(&self, session: u64, acting: UserId) -> Result<SessionStats> {
+    pub fn stream_stats(&self, session: SessionId, acting: UserId) -> Result<SessionStats> {
         self.with_stream(session, acting, |s| s.stats())
     }
 
@@ -625,36 +789,38 @@ impl Api {
     /// # Errors
     ///
     /// Fails for unknown sessions or denied access.
-    pub fn stream_close(&self, session: u64, acting: UserId) -> Result<SessionStats> {
+    pub fn stream_close(&self, session: SessionId, acting: UserId) -> Result<SessionStats> {
         let project = self
             .streams
-            .with(&session, |e| e.project)
-            .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
+            .with(&session.0, |e| e.project)
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session.0 })?;
         self.with_project_mut(project, acting, |_| ())?;
         let entry = self
             .streams
-            .remove(&session)
-            .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
+            .remove(&session.0)
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session.0 })?;
         Ok(entry.session.close())
     }
 
     /// Runs `f` on an open stream after re-checking project write access.
     /// Stream-shard and project-shard locks are taken one at a time,
-    /// never nested.
+    /// never nested. The stream map stays keyed by the raw `u64` inside
+    /// the [`SessionId`], so session placement (and any exported state)
+    /// is byte-identical to the untyped API.
     fn with_stream<T>(
         &self,
-        session: u64,
+        session: SessionId,
         acting: UserId,
         f: impl FnOnce(&mut StreamSession) -> T,
     ) -> Result<T> {
         let project = self
             .streams
-            .with(&session, |e| e.project)
-            .ok_or(PlatformError::NotFound { kind: "stream", id: session })?;
+            .with(&session.0, |e| e.project)
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session.0 })?;
         self.with_project_mut(project, acting, |_| ())?;
         self.streams
-            .with_mut(&session, |e| f(&mut e.session))
-            .ok_or(PlatformError::NotFound { kind: "stream", id: session })
+            .with_mut(&session.0, |e| f(&mut e.session))
+            .ok_or(PlatformError::NotFound { kind: "stream", id: session.0 })
     }
 
     /// Lists registry model names.
@@ -1075,20 +1241,107 @@ mod tests {
     }
 
     #[test]
+    fn project_burst_refills_on_the_serving_clock() {
+        let api = Api::new();
+        let clock = ei_faults::VirtualClock::shared();
+        let server = Arc::new(Server::new(
+            ServerConfig::default(),
+            Arc::clone(&clock) as Arc<dyn ei_faults::Clock>,
+            Arc::new(ei_par::ParPool::new(ei_par::Parallelism::serial())),
+            ei_trace::Tracer::disabled(),
+        ));
+        api.attach_serving(server).unwrap();
+        let u = api.create_user("u");
+        let outsider = api.create_user("o");
+        let p = api.create_project("bursty", u).unwrap();
+        assert!(api.set_project_burst(p, outsider, 2, 1.0).is_err(), "owner only");
+        api.set_project_burst(p, u, 2, 1.0).unwrap();
+        // two units of burst admit, the third denies with zero tokens left
+        api.ingest(p, u, "csv", b"x\n1\n", None).unwrap();
+        api.ingest(p, u, "csv", b"x\n2\n", None).unwrap();
+        let denied = api.ingest(p, u, "csv", b"x\n3\n", None);
+        assert!(matches!(denied, Err(PlatformError::QuotaExceeded { .. })), "{denied:?}");
+        // one refilled token per logical second of serving-clock time
+        clock.advance_ms(1_000);
+        api.ingest(p, u, "csv", b"x\n3\n", None).unwrap();
+        assert!(api.ingest(p, u, "csv", b"x\n4\n", None).is_err(), "bucket dry again");
+        let usage = api.project_quota(p, u).unwrap();
+        assert_eq!((usage.used, usage.denied), (3, 2));
+        // removing the bucket restores plain cumulative accounting
+        api.set_project_burst(p, u, 0, 0.0).unwrap();
+        api.ingest(p, u, "csv", b"x\n4\n", None).unwrap();
+    }
+
+    #[test]
     fn shard_introspection_and_rebalance() {
         let api = Api::with_shards(4);
         let u = api.create_user("u");
         for i in 0..32 {
             api.create_project(&format!("p{i}"), u).unwrap();
         }
-        assert_eq!(api.shard_count(), 4);
-        assert_eq!(api.shard_occupancy().iter().sum::<usize>(), 32);
+        let report = api.shard_report();
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.occupancy.iter().sum::<usize>(), 32);
+        assert!(report.skew >= 1.0);
+        assert_eq!(report.last_rebalance, None);
+        assert_eq!(report.policy, None);
+        assert_eq!(report.cache, None, "no serving layer attached yet");
         let before = api.export_json().unwrap();
-        let report = api.rebalance(7);
-        assert!(report.skew_after <= report.skew_before);
+        let rebalanced = api.rebalance(7);
+        assert!(rebalanced.skew_after <= rebalanced.skew_before);
         // placement changed (possibly), bytes did not
         assert_eq!(api.export_json().unwrap(), before);
-        assert!(api.occupancy_skew() >= 1.0);
+        assert_eq!(api.shard_report().last_rebalance, Some(rebalanced));
+    }
+
+    /// The deprecated one-number introspection calls survive one release
+    /// as thin delegates and must agree with the consolidated report.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_introspection_delegates_match_shard_report() {
+        let api = Api::with_shards(4);
+        let u = api.create_user("u");
+        for i in 0..9 {
+            api.create_project(&format!("p{i}"), u).unwrap();
+        }
+        let report = api.shard_report();
+        assert_eq!(api.shard_count(), report.shards);
+        assert_eq!(api.shard_occupancy(), report.occupancy);
+        assert!((api.occupancy_skew() - report.skew).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_driven_rebalance_fires_from_telemetry_and_keeps_bytes() {
+        let clock = ei_faults::VirtualClock::shared();
+        let obs = ei_obs::Obs::builder(Arc::clone(&clock) as Arc<dyn ei_faults::Clock>).build();
+        let api = Api::with_shards(4);
+        api.attach_obs(&obs);
+        let u = api.create_user("u");
+        for i in 0..24 {
+            api.create_project(&format!("p{i}"), u).unwrap();
+        }
+        // no policy installed: polling is a no-op
+        assert_eq!(api.poll_rebalance(), None);
+        api.set_rebalance_policy(RebalancePolicy::new(1.01, 2));
+        let skewed = api.shard_report().skew > 1.01;
+        let before = api.export_json().unwrap();
+        clock.advance_ms(50);
+        let first = api.poll_rebalance();
+        assert_eq!(first, None, "one observation is not a streak");
+        clock.advance_ms(50);
+        let second = api.poll_rebalance();
+        if skewed {
+            let report = second.expect("two consecutive over-threshold observations trigger");
+            assert!(report.skew_after <= report.skew_before);
+            let status = api.shard_report().policy.expect("policy installed");
+            assert_eq!(status.triggers, 1);
+            assert_eq!(status.last_trigger_ms, Some(100));
+            assert_eq!(api.shard_report().last_rebalance, Some(report));
+        } else {
+            assert_eq!(second, None);
+        }
+        // telemetry-driven or not, rebalance never changes exported bytes
+        assert_eq!(api.export_json().unwrap(), before);
     }
 
     #[test]
@@ -1170,12 +1423,12 @@ mod tests {
 
         // the session is pinned to its project's shard
         let expected = (fnv1a_u64(p.0) % api.streams.shard_count() as u64) as usize;
-        assert_eq!(api.streams.shard_of(&sid), expected);
+        assert_eq!(api.streams.shard_of(&sid.0), expected);
 
         // outsiders can neither feed nor close someone else's stream
         assert!(api.stream_push(sid, outsider, &[0.0; 64]).is_err());
         assert!(api.stream_close(sid, outsider).is_err());
-        assert!(api.stream_push(999, alice, &[0.0; 64]).is_err(), "unknown session");
+        assert!(api.stream_push(SessionId(999), alice, &[0.0; 64]).is_err(), "unknown session");
 
         let signal: Vec<f32> = (0..4).flat_map(|i| gen.generate(i % 2, i as u64)).collect();
         let mut verdicts = Vec::new();

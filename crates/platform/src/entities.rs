@@ -46,6 +46,13 @@ id_newtype! {
     /// Identity of an organization.
     OrgId
 }
+id_newtype! {
+    /// Identity of an open streaming session, handed out by
+    /// `Api::stream_open` and consumed by the other `stream_*`
+    /// endpoints. Serializes transparently as the raw `u64`, so any
+    /// recorded session handles stay byte-compatible.
+    SessionId
+}
 
 /// A platform user.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,5 +199,8 @@ mod tests {
         let u: UserId = serde_json::from_str("42").unwrap();
         assert_eq!(u, UserId(42));
         assert_eq!(format!("project-{}", ProjectId(3)), "project-3");
+        assert_eq!(serde_json::to_string(&SessionId(9)).unwrap(), "9");
+        let s: SessionId = serde_json::from_str("9").unwrap();
+        assert_eq!((s, s.0, format!("{s}")), (SessionId(9), 9, "9".into()));
     }
 }

@@ -89,6 +89,10 @@ pub enum JobStatus {
 pub struct DeadLetter {
     /// The job id.
     pub id: u64,
+    /// The tenant key the job was routed under (the job's own id for
+    /// unkeyed submissions) — the attribution a hot-shard operator
+    /// pivots on. Stamped by the scheduler when the letter is recorded.
+    pub key: u64,
     /// Description of the final failure.
     pub error: String,
     /// Every failed attempt, in order (cause, duration, backoff chosen).
@@ -164,7 +168,8 @@ impl Shared {
     /// span when the caller still holds it, so the event names its
     /// causal chain for the flight recorder. Must never take the `jobs`
     /// lock: shutdown calls this while holding it.
-    fn dead_letter(&self, span: Option<&SpanGuard>, letter: DeadLetter) {
+    fn dead_letter(&self, span: Option<&SpanGuard>, mut letter: DeadLetter) {
+        letter.key = lock(&self.job_key).get(&letter.id).copied().unwrap_or(letter.id);
         let fields = vec![("job", letter.id.into()), ("error", letter.error.as_str().into())];
         match span {
             Some(span) => span.event("job.dead_letter", fields),
@@ -172,8 +177,7 @@ impl Shared {
         }
         self.tracer.counter("jobs.dead_lettered").inc();
         if let Some(shards) = &self.dead_shards {
-            let key = lock(&self.job_key).get(&letter.id).copied().unwrap_or(letter.id);
-            shards.push(key, letter.id, letter.error.clone());
+            shards.push(letter.key, letter.id, letter.error.clone());
         }
         lock(&self.dead).push(letter);
     }
@@ -449,9 +453,11 @@ impl JobScheduler {
                 }
             }
             Some(shards) => {
-                let ids: std::collections::HashSet<u64> =
-                    shards.shard_view(shard).iter().map(|e| e.job).collect();
-                self.dead_letters().into_iter().filter(|l| ids.contains(&l.id)).collect()
+                let shard = shard % shards.shard_count();
+                self.dead_letters()
+                    .into_iter()
+                    .filter(|l| shards.shard_of(&l.key) == shard)
+                    .collect()
             }
         }
     }
@@ -646,9 +652,14 @@ impl JobScheduler {
             .ok_or(PlatformError::NotFound { kind: "job", id })
     }
 
-    /// Terminally failed jobs with their full attempt history.
+    /// Terminally failed jobs with their full attempt history, sorted by
+    /// `(key, id)` — the same deterministic order
+    /// [`DeadLetterShards::merged`] uses — so the fleet-wide view reads
+    /// identically on every backend and at every shard count.
     pub fn dead_letters(&self) -> Vec<DeadLetter> {
-        lock(&self.shared.dead).clone()
+        let mut out = lock(&self.shared.dead).clone();
+        out.sort_by(|a, b| a.key.cmp(&b.key).then(a.id.cmp(&b.id)));
+        out
     }
 
     /// The dead letter recorded for `id`: final failure cause, per-attempt
@@ -811,6 +822,7 @@ impl JobScheduler {
                         None,
                         DeadLetter {
                             id: *id,
+                            key: 0, // stamped by `Shared::dead_letter`
                             error: SHUTDOWN_ERROR.to_string(),
                             attempts: Vec::new(),
                             policy: None,
@@ -897,6 +909,7 @@ fn execute_queued(job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>) {
                 Some(&job.span),
                 DeadLetter {
                     id: job.id,
+                    key: 0, // stamped by `Shared::dead_letter`
                     error: SHUTDOWN_ERROR.to_string(),
                     attempts: Vec::new(),
                     policy: Some(job.policy.clone()),
@@ -980,6 +993,7 @@ fn run_job(mut job: QueuedJob, shared: &Shared, clock: &Arc<dyn Clock>, token: &
                 Some(span),
                 DeadLetter {
                     id,
+                    key: 0, // stamped by `Shared::dead_letter`
                     error: error.clone(),
                     attempts: result.attempts,
                     policy: Some(job.policy.clone()),
@@ -1512,6 +1526,52 @@ mod tests {
         let _ = plain.wait(dead);
         assert_eq!(plain.dead_letters_in_shard(0).len(), 1);
         assert!(plain.dead_letters_in_shard(3).is_empty());
+    }
+
+    /// Regression: letters carry their tenant key, and the global view is
+    /// `(key, id)`-sorted exactly like `DeadLetterShards::merged()`, no
+    /// matter which shard's worker lost the race to record first.
+    #[test]
+    fn dead_letters_are_attributed_and_merge_in_key_order() {
+        let pool = Arc::new(ParPool::new(ei_par::Parallelism::new(2)));
+        let scheduler = JobScheduler::with_sharded_pool(Arc::clone(&pool), 4);
+        // failures submitted out of tenant order, across three tenants
+        let submitted: Vec<(u64, u64)> = [900u64, 3, 900, 41, 3]
+            .iter()
+            .map(|&tenant| {
+                let id = scheduler
+                    .submit_keyed(tenant, 1, move || Err(format!("tenant {tenant} failed")))
+                    .unwrap();
+                (tenant, id)
+            })
+            .collect();
+        for (_, id) in &submitted {
+            assert!(scheduler.wait(*id).is_err());
+        }
+        let letters = scheduler.dead_letters();
+        assert_eq!(letters.len(), submitted.len());
+        // every letter is attributed to the tenant that submitted it
+        let mut expected = submitted.clone();
+        expected.sort_unstable();
+        let got: Vec<(u64, u64)> = letters.iter().map(|l| (l.key, l.id)).collect();
+        assert_eq!(got, expected, "global view must be (key, id)-sorted");
+        // and per-shard views partition the global one by key placement
+        let mut reassembled: Vec<(u64, u64)> = (0..scheduler.shard_count())
+            .flat_map(|s| scheduler.dead_letters_in_shard(s))
+            .map(|l| (l.key, l.id))
+            .collect();
+        reassembled.sort_unstable();
+        assert_eq!(reassembled, expected);
+        for shard in 0..scheduler.shard_count() {
+            for letter in scheduler.dead_letters_in_shard(shard) {
+                assert_eq!((fnv1a_u64(letter.key) % 4) as usize, shard);
+            }
+        }
+        // unkeyed submissions attribute to their own job id
+        let plain = JobScheduler::new(1);
+        let id = plain.submit(1, || Err("x".into())).unwrap();
+        let _ = plain.wait(id);
+        assert_eq!(plain.dead_letters()[0].key, id);
     }
 
     #[test]

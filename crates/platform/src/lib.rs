@@ -35,8 +35,10 @@ pub mod features;
 pub mod jobs;
 pub mod registry;
 
-pub use api::Api;
-pub use entities::{OrgId, Organization, Project, ProjectId, ProjectVersion, User, UserId};
+pub use api::{Api, ShardReport};
+pub use entities::{
+    OrgId, Organization, Project, ProjectId, ProjectVersion, SessionId, User, UserId,
+};
 pub use error::PlatformError;
 pub use jobs::{DeadLetter, JobContext, JobScheduler, JobStatus};
 

@@ -12,6 +12,12 @@
 //! A cache hit must be indistinguishable from a cold compile except in
 //! latency — [`CompiledArtifact::classify`] is deterministic, so hit and
 //! miss paths return byte-identical classifications and memory plans.
+//!
+//! The cache stripes by *tenant* (FNV-1a, the platform-wide placement
+//! function) into independent LRU shards — see
+//! [`CompiledArtifactCache::with_shards`] — so under multi-tenant
+//! contention one tenant's cold compiles never serialize another
+//! tenant's hits.
 
 use crate::error::ServeError;
 use ei_core::TrainedImpulse;
@@ -20,6 +26,7 @@ use ei_runtime::planner::MemoryPlan;
 use ei_runtime::{
     EngineKind, EonProgram, InferenceEngine, Interpreter, MemoryReport, ModelArtifact,
 };
+use ei_shard::ShardKey;
 use ei_trace::Tracer;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -232,87 +239,39 @@ impl CacheStats {
     }
 }
 
-/// LRU cache of [`CompiledArtifact`]s with hit/miss/eviction counters.
-///
-/// Counters are mirrored into the tracer's metrics registry as the quiet
-/// series `serve.cache.{hit,miss,eviction}` (registry-only: lookup order
-/// under concurrent tenants is scheduling-dependent, so they stay out of
-/// the deterministic record stream).
-pub struct CompiledArtifactCache {
-    capacity: usize,
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+            entries: self.entries + rhs.entries,
+        }
+    }
+}
+
+/// One stripe of the cache: its own LRU list, lock and counters.
+struct CacheShard {
     /// LRU order: front = least recently used, back = most recently used.
     entries: Mutex<VecDeque<Arc<CompiledArtifact>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
-    tracer: Tracer,
 }
 
-impl std::fmt::Debug for CompiledArtifactCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompiledArtifactCache")
-            .field("capacity", &self.capacity)
-            .field("stats", &self.stats())
-            .finish_non_exhaustive()
-    }
-}
-
-impl CompiledArtifactCache {
-    /// A cache holding at most `capacity` compiled artifacts (clamped to
-    /// at least one).
-    pub fn new(capacity: usize, tracer: Tracer) -> CompiledArtifactCache {
-        CompiledArtifactCache {
-            capacity: capacity.max(1),
+impl CacheShard {
+    fn new() -> CacheShard {
+        CacheShard {
             entries: Mutex::new(VecDeque::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            tracer,
         }
     }
 
-    /// Looks up `key`, building (and inserting) via `build` on a miss.
-    ///
-    /// Returns the entry plus `true` on a hit, `false` on a cold compile.
-    /// The build runs under the cache lock, so concurrent misses for one
-    /// key compile exactly once.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the builder's error; a failed build inserts nothing.
-    pub fn get_or_insert_with(
-        &self,
-        key: &ArtifactKey,
-        build: impl FnOnce() -> Result<CompiledArtifact, ServeError>,
-    ) -> Result<(Arc<CompiledArtifact>, bool), ServeError> {
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(pos) = entries.iter().position(|a| a.key() == key) {
-            let entry = entries.remove(pos).expect("position is in range");
-            entries.push_back(Arc::clone(&entry));
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.tracer.quiet_counter("serve.cache.hit").inc();
-            return Ok((entry, true));
-        }
-        let entry = Arc::new(build()?);
-        entries.push_back(Arc::clone(&entry));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.tracer.quiet_counter("serve.cache.miss").inc();
-        while entries.len() > self.capacity {
-            entries.pop_front();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            self.tracer.quiet_counter("serve.cache.eviction").inc();
-        }
-        Ok((entry, false))
-    }
-
-    /// `true` when `key` is resident (does not touch LRU order or stats).
-    pub fn contains(&self, key: &ArtifactKey) -> bool {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        entries.iter().any(|a| a.key() == key)
-    }
-
-    /// Current counters.
-    pub fn stats(&self) -> CacheStats {
+    fn stats(&self) -> CacheStats {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -320,6 +279,127 @@ impl CompiledArtifactCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: entries.len(),
         }
+    }
+}
+
+/// Tenant-striped LRU cache of [`CompiledArtifact`]s with per-shard
+/// hit/miss/eviction counters.
+///
+/// The cache stripes over `shards` independent LRU lists, each behind its
+/// own lock with its own `capacity`-entry budget; a lookup takes only the
+/// lock of the shard its *tenant* hashes to (FNV-1a, the platform-wide
+/// placement function), so one tenant's cold compiles never stall another
+/// tenant's hits on a different stripe. With one shard (the default) the
+/// cache behaves exactly as the unsharded original. A hit is byte-identical
+/// to a cold compile regardless of which stripe served it —
+/// [`CompiledArtifact::classify`] is deterministic and striping only moves
+/// *where* an entry lives, never what it computes.
+///
+/// Counters are mirrored into the tracer's metrics registry as the quiet
+/// series `serve.cache.{hit,miss,eviction}` (registry-only: lookup order
+/// under concurrent tenants is scheduling-dependent, so they stay out of
+/// the deterministic record stream).
+pub struct CompiledArtifactCache {
+    /// Per-shard entry budget (total capacity = `capacity × shards`).
+    capacity: usize,
+    shards: Vec<CacheShard>,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for CompiledArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledArtifactCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledArtifactCache {
+    /// An unsharded cache holding at most `capacity` compiled artifacts
+    /// (clamped to at least one) — identical to
+    /// [`CompiledArtifactCache::with_shards`] at one shard.
+    pub fn new(capacity: usize, tracer: Tracer) -> CompiledArtifactCache {
+        CompiledArtifactCache::with_shards(capacity, 1, tracer)
+    }
+
+    /// A cache striped over `shards` stripes, each holding at most
+    /// `capacity` compiled artifacts (both clamped to at least one).
+    pub fn with_shards(capacity: usize, shards: usize, tracer: Tracer) -> CompiledArtifactCache {
+        CompiledArtifactCache {
+            capacity: capacity.max(1),
+            shards: (0..shards.max(1)).map(|_| CacheShard::new()).collect(),
+            tracer,
+        }
+    }
+
+    /// Number of cache stripes (at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stripe `tenant`'s artifacts live on: FNV-1a of the tenant id
+    /// modulo the stripe count.
+    pub fn shard_of(&self, tenant: &str) -> usize {
+        (tenant.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up `key` on `tenant`'s stripe, building (and inserting) via
+    /// `build` on a miss.
+    ///
+    /// Returns the entry plus `true` on a hit, `false` on a cold compile.
+    /// The build runs under the stripe's lock, so concurrent misses for
+    /// one key on one stripe compile exactly once; lookups on other
+    /// stripes proceed unblocked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; a failed build inserts nothing.
+    pub fn get_or_insert_with(
+        &self,
+        tenant: &str,
+        key: &ArtifactKey,
+        build: impl FnOnce() -> Result<CompiledArtifact, ServeError>,
+    ) -> Result<(Arc<CompiledArtifact>, bool), ServeError> {
+        let shard = &self.shards[self.shard_of(tenant)];
+        let mut entries = shard.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = entries.iter().position(|a| a.key() == key) {
+            let entry = entries.remove(pos).expect("position is in range");
+            entries.push_back(Arc::clone(&entry));
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.tracer.quiet_counter("serve.cache.hit").inc();
+            return Ok((entry, true));
+        }
+        let entry = Arc::new(build()?);
+        entries.push_back(Arc::clone(&entry));
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        self.tracer.quiet_counter("serve.cache.miss").inc();
+        while entries.len() > self.capacity {
+            entries.pop_front();
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+            self.tracer.quiet_counter("serve.cache.eviction").inc();
+        }
+        Ok((entry, false))
+    }
+
+    /// `true` when `key` is resident on `tenant`'s stripe (does not touch
+    /// LRU order or stats).
+    pub fn contains(&self, tenant: &str, key: &ArtifactKey) -> bool {
+        let shard = &self.shards[self.shard_of(tenant)];
+        let entries = shard.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.iter().any(|a| a.key() == key)
+    }
+
+    /// Merged counters across every stripe (one consistent-enough
+    /// snapshot: each stripe is read atomically, stripes in index order).
+    pub fn stats(&self) -> CacheStats {
+        self.shards.iter().map(CacheShard::stats).fold(CacheStats::default(), |a, b| a + b)
+    }
+
+    /// Per-stripe counters, in stripe-index order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(CacheShard::stats).collect()
     }
 }
 
@@ -341,5 +421,27 @@ mod tests {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         let s = CacheStats { hits: 3, misses: 1, evictions: 0, entries: 1 };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_striping_is_stable_and_merges_stats() {
+        let cache = CompiledArtifactCache::with_shards(4, 8, Tracer::disabled());
+        assert_eq!(cache.shard_count(), 8);
+        // placement is the pure FNV-1a function, so it never moves
+        assert_eq!(cache.shard_of("project-1"), cache.shard_of("project-1"));
+        assert_eq!(cache.shard_of("project-1"), ("project-1".shard_hash() % 8) as usize);
+        // merged stats are the sum of per-stripe stats
+        let merged = cache.stats();
+        let per: CacheStats =
+            cache.shard_stats().into_iter().fold(CacheStats::default(), |a, b| a + b);
+        assert_eq!(merged, per);
+        assert_eq!(cache.shard_stats().len(), 8);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let cache = CompiledArtifactCache::with_shards(0, 0, Tracer::disabled());
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.shard_of("anyone"), 0);
     }
 }

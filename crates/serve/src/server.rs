@@ -83,6 +83,13 @@ pub struct ServerConfig {
     /// never contends on another's shard. `1` (the default) reproduces
     /// the unsharded server exactly.
     pub admission_shards: usize,
+    /// Artifact-cache stripes. The compiled-artifact cache stripes by
+    /// FNV-1a of the tenant id — the same placement function as
+    /// `admission_shards` — into independent LRU lists of
+    /// `cache_capacity` entries each, so one tenant's cold compiles
+    /// never serialize another stripe's hits. `1` (the default)
+    /// reproduces the single-LRU original exactly.
+    pub cache_shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +104,7 @@ impl Default for ServerConfig {
             batch_overhead_ms: 2,
             per_item_ms: 1,
             admission_shards: 1,
+            cache_shards: 1,
         }
     }
 }
@@ -190,7 +198,11 @@ impl Server {
         pool: Arc<ParPool>,
         tracer: Tracer,
     ) -> Server {
-        let cache = CompiledArtifactCache::new(config.cache_capacity, tracer.clone());
+        let cache = CompiledArtifactCache::with_shards(
+            config.cache_capacity,
+            config.cache_shards,
+            tracer.clone(),
+        );
         let shards = config.admission_shards.max(1);
         Server {
             config,
@@ -283,9 +295,19 @@ impl Server {
         }
     }
 
-    /// Current artifact-cache counters.
+    /// Current artifact-cache counters, merged across every stripe.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-stripe artifact-cache counters, in stripe-index order.
+    pub fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Number of artifact-cache stripes (at least 1).
+    pub fn cache_shards(&self) -> usize {
+        self.cache.shard_count()
     }
 
     /// Requests currently queued, summed across admission shards.
@@ -384,8 +406,9 @@ impl Server {
 
     /// Estimates on-device cost for a model through the artifact cache
     /// (the platform's pre-deployment "how will this run on board X"
-    /// call). A miss charges the modeled compile cost to the clock, just
-    /// like the inference path.
+    /// call), billed to `tenant` — the lookup takes only that tenant's
+    /// cache stripe. A miss charges the modeled compile cost to the
+    /// clock, just like the inference path.
     ///
     /// # Errors
     ///
@@ -393,6 +416,7 @@ impl Server {
     /// [`ServeError::Model`] when the model fails to compile.
     pub fn estimate(
         &self,
+        tenant: &str,
         model: &ModelSource,
         board: &str,
         engine: EngineKind,
@@ -408,7 +432,7 @@ impl Server {
         let json = Arc::clone(&model.json);
         let (artifact, hit) = self
             .cache
-            .get_or_insert_with(&key, || CompiledArtifact::compile(key.clone(), &json))?;
+            .get_or_insert_with(tenant, &key, || CompiledArtifact::compile(key.clone(), &json))?;
         if !hit {
             self.clock.sleep_ms(artifact.compile_cost_ms(), None);
         }
@@ -485,8 +509,12 @@ impl Server {
         );
         let key = live[0].key.clone();
         let json = Arc::clone(&live[0].req.model.json);
-        let compiled =
-            self.cache.get_or_insert_with(&key, || CompiledArtifact::compile(key.clone(), &json));
+        // batches form within one admission shard and share one artifact;
+        // the lookup is billed to (and striped by) the oldest member's
+        // tenant, the same request that owns the batch span
+        let compiled = self.cache.get_or_insert_with(&live[0].req.tenant, &key, || {
+            CompiledArtifact::compile(key.clone(), &json)
+        });
         let (artifact, hit) = match compiled {
             Ok(pair) => pair,
             Err(e) => {

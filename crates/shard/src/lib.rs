@@ -23,6 +23,9 @@
 //!   are a pure function of `(occupancy, seed)`, recorded in an
 //!   override table consulted on lookup, and never change snapshot
 //!   bytes.
+//! * a [`RebalancePolicy`] that closes the telemetry loop: it watches
+//!   the per-shard occupancy gauges and derives the rebalance seed from
+//!   the observed skew history, so operators no longer hand-pick seeds.
 //!
 //! Everything is `std`-only and deterministic: shard choice is a pure
 //! function of the key, merges are key-ordered, and the rebalance pass
@@ -30,8 +33,10 @@
 
 pub mod dead;
 pub mod map;
+pub mod policy;
 pub mod quota;
 
 pub use dead::{DeadEntry, DeadLetterShards};
 pub use map::{fnv1a_u64, RebalanceReport, ShardKey, ShardMap, ShardObserver, SplitMix64};
+pub use policy::{RebalancePolicy, RebalancePolicyStatus};
 pub use quota::{QuotaDecision, QuotaLedger, QuotaUsage};

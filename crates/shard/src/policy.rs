@@ -1,0 +1,196 @@
+//! [`RebalancePolicy`]: telemetry-driven rebalance triggering.
+//!
+//! PR 9's [`crate::ShardMap::rebalance`] takes a manual seed — an
+//! operator decides *when* to rebalance and *what* seed to use. This
+//! module closes the loop: a policy watches the per-shard occupancy the
+//! platform already publishes as telemetry gauges
+//! (`platform.shard.occupancy` in `ei-obs`) and fires when the
+//! occupancy skew stays above a threshold for N consecutive
+//! observations on the injected clock. The seed it hands back is a pure
+//! function of the observed occupancy vector and the trigger count, so
+//! a policy-driven rebalance is exactly as reproducible as a
+//! manual-seed one — and just as snapshot-byte-neutral, because the
+//! policy only ever *chooses a seed*; the move mechanics are unchanged.
+
+use crate::map::fnv1a_u64;
+
+/// Point-in-time view of a [`RebalancePolicy`] for operator reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalancePolicyStatus {
+    /// Skew above which observations count toward triggering.
+    pub skew_threshold: f64,
+    /// Consecutive over-threshold observations required to trigger.
+    pub consecutive: u32,
+    /// Over-threshold observations in the current streak.
+    pub streak: u32,
+    /// Rebalances triggered so far.
+    pub triggers: u64,
+    /// Clock time of the last trigger, if any.
+    pub last_trigger_ms: Option<u64>,
+}
+
+/// Decides *when* a skewed store should rebalance and *what seed* to
+/// use, from the same occupancy telemetry operators watch.
+///
+/// Feed it one occupancy observation per polling interval via
+/// [`RebalancePolicy::observe`]; it returns `Some(seed)` once the skew
+/// (max/mean occupancy, the [`crate::ShardMap::occupancy_skew`]
+/// definition) has exceeded `skew_threshold` for `consecutive`
+/// observations in a row, then resets its streak. An optional cooldown
+/// suppresses re-triggering until `cooldown_ms` of clock time has
+/// passed since the last trigger, so a persistently skewed store (skew
+/// that moves cannot fix, e.g. one giant tenant) doesn't thrash.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    skew_threshold: f64,
+    consecutive: u32,
+    cooldown_ms: u64,
+    streak: u32,
+    triggers: u64,
+    last_trigger_ms: Option<u64>,
+}
+
+impl RebalancePolicy {
+    /// A policy that triggers once skew exceeds `skew_threshold` for
+    /// `consecutive` observations in a row (`consecutive` is clamped to
+    /// at least 1), with no cooldown.
+    pub fn new(skew_threshold: f64, consecutive: u32) -> RebalancePolicy {
+        RebalancePolicy {
+            skew_threshold,
+            consecutive: consecutive.max(1),
+            cooldown_ms: 0,
+            streak: 0,
+            triggers: 0,
+            last_trigger_ms: None,
+        }
+    }
+
+    /// Suppresses re-triggering for `cooldown_ms` of clock time after
+    /// each trigger (the streak still accumulates underneath).
+    pub fn with_cooldown_ms(mut self, cooldown_ms: u64) -> RebalancePolicy {
+        self.cooldown_ms = cooldown_ms;
+        self
+    }
+
+    /// Feeds one occupancy observation (entries per shard, in shard
+    /// index order — the `platform.shard.occupancy` gauge vector) taken
+    /// at clock time `now_ms`.
+    ///
+    /// Returns `Some(seed)` when the policy decides to rebalance: the
+    /// skew exceeded the threshold on this and the previous
+    /// `consecutive - 1` observations, and any cooldown has elapsed.
+    /// The seed is a pure FNV-1a fold of the occupancy vector mixed
+    /// with the trigger ordinal, so identical telemetry histories
+    /// always produce identical seeds (and therefore identical moves).
+    pub fn observe(&mut self, occupancy: &[usize], now_ms: u64) -> Option<u64> {
+        if Self::skew(occupancy) <= self.skew_threshold {
+            self.streak = 0;
+            return None;
+        }
+        self.streak = self.streak.saturating_add(1);
+        if self.streak < self.consecutive {
+            return None;
+        }
+        if let Some(last) = self.last_trigger_ms {
+            if self.cooldown_ms > 0 && now_ms < last.saturating_add(self.cooldown_ms) {
+                return None;
+            }
+        }
+        self.streak = 0;
+        self.triggers += 1;
+        self.last_trigger_ms = Some(now_ms);
+        Some(Self::seed(occupancy, self.triggers))
+    }
+
+    /// The policy's current state for [`RebalancePolicyStatus`] reports.
+    pub fn status(&self) -> RebalancePolicyStatus {
+        RebalancePolicyStatus {
+            skew_threshold: self.skew_threshold,
+            consecutive: self.consecutive,
+            streak: self.streak,
+            triggers: self.triggers,
+            last_trigger_ms: self.last_trigger_ms,
+        }
+    }
+
+    /// max/mean occupancy — the same definition as
+    /// [`crate::ShardMap::occupancy_skew`]. Empty vectors report 1.0.
+    fn skew(occupancy: &[usize]) -> f64 {
+        let total: usize = occupancy.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / occupancy.len() as f64;
+        occupancy.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    /// Deterministic seed: FNV-1a over the occupancy counts, mixed with
+    /// the trigger ordinal so repeated triggers on an unchanged skew
+    /// profile still explore different move sets.
+    fn seed(occupancy: &[usize], trigger: u64) -> u64 {
+        let folded = occupancy.iter().fold(trigger, |acc, &n| fnv1a_u64(acc ^ fnv1a_u64(n as u64)));
+        fnv1a_u64(folded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_only_after_consecutive_over_threshold_observations() {
+        let mut policy = RebalancePolicy::new(1.5, 3);
+        let skewed = [10usize, 0, 0, 0]; // skew 4.0
+        let even = [3usize, 3, 2, 2]; // skew 1.2
+        assert_eq!(policy.observe(&skewed, 0), None);
+        assert_eq!(policy.observe(&skewed, 100), None);
+        let seed = policy.observe(&skewed, 200);
+        assert!(seed.is_some(), "third consecutive observation triggers");
+        // an under-threshold observation resets the streak
+        assert_eq!(policy.observe(&skewed, 300), None);
+        assert_eq!(policy.observe(&even, 400), None);
+        assert_eq!(policy.observe(&skewed, 500), None);
+        assert_eq!(policy.observe(&skewed, 600), None);
+        let again = policy.observe(&skewed, 700);
+        assert!(again.is_some());
+        assert_ne!(seed, again, "trigger ordinal perturbs the seed");
+        assert_eq!(policy.status().triggers, 2);
+        assert_eq!(policy.status().last_trigger_ms, Some(700));
+    }
+
+    #[test]
+    fn identical_histories_produce_identical_seeds() {
+        let run = || {
+            let mut policy = RebalancePolicy::new(1.5, 2);
+            let mut seeds = Vec::new();
+            for i in 0..10u64 {
+                if let Some(seed) = policy.observe(&[7, 1, 0, 0], i * 50) {
+                    seeds.push(seed);
+                }
+            }
+            seeds
+        };
+        let a = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, run(), "policy seeds are a pure function of telemetry history");
+    }
+
+    #[test]
+    fn cooldown_suppresses_retriggers_until_elapsed() {
+        let mut policy = RebalancePolicy::new(1.5, 1).with_cooldown_ms(1_000);
+        let skewed = [9usize, 0, 0];
+        assert!(policy.observe(&skewed, 0).is_some());
+        assert_eq!(policy.observe(&skewed, 500), None, "inside cooldown");
+        assert_eq!(policy.observe(&skewed, 999), None);
+        assert!(policy.observe(&skewed, 1_000).is_some(), "cooldown elapsed");
+    }
+
+    #[test]
+    fn empty_and_even_occupancy_never_trigger() {
+        let mut policy = RebalancePolicy::new(1.0, 1);
+        assert_eq!(policy.observe(&[], 0), None);
+        assert_eq!(policy.observe(&[0, 0, 0], 1), None);
+        assert_eq!(policy.observe(&[5, 5, 5], 2), None, "skew exactly 1.0 is not > threshold");
+        assert_eq!(policy.status().streak, 0);
+    }
+}

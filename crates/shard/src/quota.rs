@@ -4,6 +4,15 @@
 //! on the shard its key hashes to, so a `charge` only takes that
 //! tenant's shard lock — admission control scales with the store it
 //! protects. A merged, key-ordered snapshot serves billing/export.
+//!
+//! Tenants can additionally carry a *burst bucket*
+//! ([`QuotaLedger::set_burst`]): a token bucket with per-tenant burst
+//! capacity and clock-driven refill, the same shape as the serving
+//! layer's admission buckets. [`QuotaLedger::charge_at`] refills from
+//! elapsed logical time, then admits or denies atomically under the one
+//! shard lock — a denial consumes neither tokens nor cumulative units.
+//! Tenants without a bucket (the default) behave exactly as the plain
+//! cumulative ledger.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
@@ -46,11 +55,36 @@ pub struct QuotaUsage {
     pub denied: u64,
 }
 
+/// One tenant's burst bucket: capacity, refill rate, and the current
+/// token level as of `updated_ms` on the caller's clock.
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    capacity: u64,
+    refill_per_sec: f64,
+    tokens: f64,
+    updated_ms: u64,
+}
+
+impl Burst {
+    /// Advances the bucket to `now_ms`, refilling `refill_per_sec`
+    /// tokens per elapsed second, saturating at `capacity`. Time never
+    /// runs backwards: a stale `now_ms` leaves the bucket untouched.
+    fn refill(&mut self, now_ms: u64) {
+        if now_ms > self.updated_ms {
+            let elapsed_ms = (now_ms - self.updated_ms) as f64;
+            self.tokens = (self.tokens + elapsed_ms * self.refill_per_sec / 1_000.0)
+                .min(self.capacity as f64);
+            self.updated_ms = now_ms;
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Ledger {
     limit: u64,
     used: u64,
     denied: u64,
+    burst: Option<Burst>,
 }
 
 /// A sharded per-tenant quota ledger. See the module docs.
@@ -85,7 +119,12 @@ impl<K: Ord + Clone + ShardKey> QuotaLedger<K> {
         key: &K,
         default_limit: u64,
     ) -> &'a mut Ledger {
-        guard.entry(key.clone()).or_insert(Ledger { limit: default_limit, used: 0, denied: 0 })
+        guard.entry(key.clone()).or_insert(Ledger {
+            limit: default_limit,
+            used: 0,
+            denied: 0,
+            burst: None,
+        })
     }
 
     /// Sets `key`'s unit limit (does not reset usage).
@@ -94,18 +133,67 @@ impl<K: Ord + Clone + ShardKey> QuotaLedger<K> {
         Self::entry(&mut guard, key, self.default_limit).limit = limit;
     }
 
-    /// Atomically admits or denies `units` against `key`'s ledger,
-    /// under only that tenant's shard lock.
-    pub fn charge(&self, key: &K, units: u64) -> QuotaDecision {
+    /// Gives `key` a burst bucket: at most `capacity` units of burst,
+    /// refilled at `refill_per_sec` units per second of the caller's
+    /// clock, full as of `now_ms`. A `capacity` of 0 removes the bucket,
+    /// degenerating the tenant back to the plain cumulative ledger.
+    pub fn set_burst(&self, key: &K, capacity: u64, refill_per_sec: f64, now_ms: u64) {
         let mut guard = lock_plain(&self.shards[self.shard_of(key)]);
         let ledger = Self::entry(&mut guard, key, self.default_limit);
-        if ledger.used.saturating_add(units) > ledger.limit {
+        ledger.burst = (capacity > 0).then_some(Burst {
+            capacity,
+            refill_per_sec,
+            tokens: capacity as f64,
+            updated_ms: now_ms,
+        });
+    }
+
+    /// Atomically admits or denies `units` against `key`'s ledger,
+    /// under only that tenant's shard lock. Equivalent to
+    /// [`QuotaLedger::charge_at`] with no time elapsed — a tenant with a
+    /// burst bucket gets no refill.
+    pub fn charge(&self, key: &K, units: u64) -> QuotaDecision {
+        self.charge_at(key, units, 0)
+    }
+
+    /// Atomically admits or denies `units` against `key`'s ledger at
+    /// logical time `now_ms`, under only that tenant's shard lock.
+    ///
+    /// When the tenant carries a burst bucket ([`QuotaLedger::set_burst`])
+    /// the bucket first refills from the time elapsed since its last
+    /// charge (saturating at the burst capacity), then the charge is
+    /// admitted only if *both* the cumulative limit and the bucket allow
+    /// it — denial consumes neither, the same admit-or-deny atomicity as
+    /// the plain ledger. Tenants without a bucket ignore `now_ms`
+    /// entirely, so this is byte-for-byte the PR 9 `charge` for them.
+    pub fn charge_at(&self, key: &K, units: u64, now_ms: u64) -> QuotaDecision {
+        let mut guard = lock_plain(&self.shards[self.shard_of(key)]);
+        let ledger = Self::entry(&mut guard, key, self.default_limit);
+        if let Some(burst) = &mut ledger.burst {
+            burst.refill(now_ms);
+        }
+        let over_limit = ledger.used.saturating_add(units) > ledger.limit;
+        let out_of_burst = ledger.burst.as_ref().is_some_and(|b| b.tokens < units as f64);
+        if over_limit || out_of_burst {
             ledger.denied += 1;
             QuotaDecision::Denied { used: ledger.used, limit: ledger.limit }
         } else {
+            if let Some(burst) = &mut ledger.burst {
+                burst.tokens -= units as f64;
+            }
             ledger.used += units;
             QuotaDecision::Admitted { remaining: ledger.limit.saturating_sub(ledger.used) }
         }
+    }
+
+    /// `key`'s burst tokens projected to `now_ms` (read-only: the stored
+    /// bucket is not refilled). `None` when the tenant has no bucket.
+    pub fn burst_tokens(&self, key: &K, now_ms: u64) -> Option<f64> {
+        let guard = lock_plain(&self.shards[self.shard_of(key)]);
+        guard.get(key).and_then(|l| l.burst).map(|mut b| {
+            b.refill(now_ms);
+            b.tokens
+        })
     }
 
     /// Refunds `units` to `key` (e.g. a job that never ran).
@@ -159,6 +247,112 @@ mod tests {
         assert_eq!(usage.denied, 1);
         ledger.release(&1, 1);
         assert!(ledger.charge(&1, 1).is_admitted());
+    }
+
+    #[test]
+    fn zero_burst_degenerates_to_plain_ledger() {
+        // no bucket, and a bucket explicitly removed with capacity 0,
+        // must both make the same decisions as the PR 9 cumulative
+        // ledger for the same charge sequence, at any timestamps
+        let plain: QuotaLedger<u64> = QuotaLedger::new(4, u64::MAX);
+        let bursty: QuotaLedger<u64> = QuotaLedger::new(4, u64::MAX);
+        bursty.set_burst(&7, 3, 1_000.0, 0);
+        bursty.set_burst(&7, 0, 1_000.0, 0); // capacity 0 removes it
+        plain.set_limit(&7, 5);
+        bursty.set_limit(&7, 5);
+        for (i, &units) in [2u64, 2, 2, 1, 9].iter().enumerate() {
+            assert_eq!(
+                plain.charge(&7, units),
+                bursty.charge_at(&7, units, i as u64 * 1_000),
+                "charge {i} must not depend on time without a bucket"
+            );
+        }
+        assert_eq!(plain.usage(&7), bursty.usage(&7));
+        assert_eq!(bursty.burst_tokens(&7, u64::MAX), None);
+    }
+
+    #[test]
+    fn burst_refills_on_the_clock_and_saturates_at_capacity() {
+        let ledger: QuotaLedger<u64> = QuotaLedger::new(4, u64::MAX);
+        // 4 burst units, refilled at 2 per second
+        ledger.set_burst(&1, 4, 2.0, 0);
+        for _ in 0..4 {
+            assert!(ledger.charge_at(&1, 1, 0).is_admitted(), "burst capacity admits");
+        }
+        let denied = ledger.charge_at(&1, 1, 0);
+        assert_eq!(denied, QuotaDecision::Denied { used: 4, limit: u64::MAX });
+        assert_eq!(ledger.usage(&1).unwrap().denied, 1);
+        // 500 ms refills exactly one token
+        assert!(ledger.charge_at(&1, 1, 500).is_admitted());
+        assert!(!ledger.charge_at(&1, 1, 500).is_admitted(), "the one token is spent");
+        // a denial never consumes tokens: the very next refilled charge admits
+        assert!(ledger.charge_at(&1, 1, 1_000).is_admitted());
+        // an hour refills far more than 4 tokens but the bucket saturates
+        assert_eq!(ledger.burst_tokens(&1, 3_600_000 + 1_000), Some(4.0));
+        for _ in 0..4 {
+            assert!(ledger.charge_at(&1, 1, 3_600_000 + 1_000).is_admitted());
+        }
+        assert!(!ledger.charge_at(&1, 1, 3_600_000 + 1_000).is_admitted());
+        // time running backwards never refills
+        assert!(!ledger.charge_at(&1, 1, 0).is_admitted());
+    }
+
+    #[test]
+    fn burst_and_cumulative_limit_deny_atomically() {
+        let ledger: QuotaLedger<u64> = QuotaLedger::new(2, u64::MAX);
+        ledger.set_limit(&3, 2);
+        ledger.set_burst(&3, 10, 0.0, 0);
+        assert!(ledger.charge_at(&3, 1, 0).is_admitted());
+        assert!(ledger.charge_at(&3, 1, 0).is_admitted());
+        // cumulative limit denies even though 8 burst tokens remain...
+        assert!(!ledger.charge_at(&3, 1, 0).is_admitted());
+        // ...and the denial consumed no tokens
+        assert_eq!(ledger.burst_tokens(&3, 0), Some(8.0));
+        assert_eq!(ledger.usage(&3).unwrap(), QuotaUsage { limit: 2, used: 2, denied: 1 });
+    }
+
+    #[test]
+    fn concurrent_charges_match_the_serial_ledger() {
+        // 8 real threads, each hammering its own tenant key with the
+        // same deterministic (units, now_ms) sequence the serial ledger
+        // replays — the merged snapshots and burst levels must be equal
+        const THREADS: u64 = 8;
+        const CHARGES: u64 = 200;
+        let concurrent: std::sync::Arc<QuotaLedger<u64>> =
+            std::sync::Arc::new(QuotaLedger::new(4, u64::MAX));
+        let serial: QuotaLedger<u64> = QuotaLedger::new(4, u64::MAX);
+        for ledger in [&*concurrent, &serial] {
+            for key in 0..THREADS {
+                ledger.set_limit(&key, 150);
+                ledger.set_burst(&key, 8, 100.0, 0);
+            }
+        }
+        let schedule = |key: u64, i: u64| (1 + (key + i) % 2, i * 20); // (units, now_ms)
+        std::thread::scope(|scope| {
+            for key in 0..THREADS {
+                let ledger = std::sync::Arc::clone(&concurrent);
+                scope.spawn(move || {
+                    for i in 0..CHARGES {
+                        let (units, now_ms) = schedule(key, i);
+                        ledger.charge_at(&key, units, now_ms);
+                    }
+                });
+            }
+        });
+        for key in 0..THREADS {
+            for i in 0..CHARGES {
+                let (units, now_ms) = schedule(key, i);
+                serial.charge_at(&key, units, now_ms);
+            }
+        }
+        assert_eq!(concurrent.snapshot(), serial.snapshot());
+        for key in 0..THREADS {
+            assert_eq!(
+                concurrent.burst_tokens(&key, CHARGES * 20),
+                serial.burst_tokens(&key, CHARGES * 20),
+                "burst level for key {key}"
+            );
+        }
     }
 
     #[test]

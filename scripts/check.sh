@@ -197,6 +197,26 @@ if [ -f results/platform_scale.json ]; then
       echo "16-shard throughput dropped below 2x the 1-shard figure at 4 workers" >&2
       exit 1
     }
+  if ! grep -qF -- '"racing_state_identical":true' results/platform_scale.json; then
+    echo "no row proves racing_state_identical:true" >&2
+    exit 1
+  fi
+  if grep -qF -- '"racing_state_identical":false' results/platform_scale.json; then
+    echo "a racing replay diverged from the serial reference" >&2
+    exit 1
+  fi
+  if ! grep -qF -- '"cache_shard_hit_rates":' results/platform_scale.json; then
+    echo "no row carries per-shard cache hit rates" >&2
+    exit 1
+  fi
+  awk -F'"cache_speedup_16_over_1_at_4_threads":' '
+    NF > 1 {
+      split($2, a, /[,}]/); if (a[1] + 0 < 1.5) { bad = 1 }; seen = 1
+    }
+    END { exit (seen && !bad) ? 0 : 1 }' results/platform_scale.json || {
+      echo "16-stripe cache speedup missing or below 1.5x at 4 workers" >&2
+      exit 1
+    }
   echo "  ok results/platform_scale.json"
 else
   echo "  (no results/platform_scale.json yet — run scripts/shard_demo.sh)"

@@ -3,9 +3,13 @@
 # store and sanity-checks the JSONL rows it writes: every (shards,
 # threads) cell of the {1,4,16,64} x {1,4} sweep is present, every row
 # proves the final platform state byte-identical across shard counts
-# (state_identical), and the 16-shard saturation throughput at 4 modeled
-# workers is at least 2x the 1-shard figure. The bench runs the whole
-# sweep twice and asserts byte-for-byte reproducibility before writing.
+# (state_identical) AND across a racing replay from real concurrent
+# threads (racing_state_identical), per-stripe artifact-cache hit rates
+# are reported, the 16-shard saturation throughput at 4 modeled workers
+# is at least 2x the 1-shard figure, and the 16-stripe artifact cache
+# beats the single stripe by at least 1.5x at 4 workers. The bench runs
+# the whole sweep twice and asserts byte-for-byte reproducibility
+# before writing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,7 +45,26 @@ awk '
     exit 1
   }
 echo "  16 shards >= 2x 1 shard at 4 modeled workers"
-for field in '"summary":true' '"monotone_throughput":true' '"occupancy_skew":'; do
+if grep -qF -- '"racing_state_identical":false' "$out"; then
+  echo "a racing replay diverged from the serial reference" >&2
+  exit 1
+fi
+if ! grep -qF -- '"racing_state_identical":true' "$out"; then
+  echo "no row proves racing_state_identical:true" >&2
+  exit 1
+fi
+echo "  racing_state_identical on every racing row"
+awk -F'"cache_speedup_16_over_1_at_4_threads":' '
+  NF > 1 {
+    split($2, a, /[,}]/); if (a[1] + 0 < 1.5) { bad = 1 }; seen = 1
+  }
+  END { exit (seen && !bad) ? 0 : 1 }' "$out" || {
+    echo "16-stripe cache speedup missing or below 1.5x at 4 workers" >&2
+    exit 1
+  }
+echo "  16-stripe artifact cache >= 1.5x 1 stripe at 4 workers"
+for field in '"summary":true' '"monotone_throughput":true' '"occupancy_skew":' \
+  '"cache_shard_hit_rates":' '"cache_hit_rate":'; do
   if ! grep -qF -- "$field" "$out"; then
     echo "MISSING from $out: $field" >&2
     exit 1

@@ -128,11 +128,12 @@ fn cache_hit_is_byte_identical_to_cold_compile_and_5x_faster() {
 
     // the memoized memory plan is the one a fresh compile produces
     let cache = CompiledArtifactCache::new(4, Tracer::disabled());
-    let (first, was_hit) =
-        cache.get_or_insert_with(&key, || CompiledArtifact::compile(key.clone(), &json)).unwrap();
+    let (first, was_hit) = cache
+        .get_or_insert_with("a", &key, || CompiledArtifact::compile(key.clone(), &json))
+        .unwrap();
     assert!(!was_hit);
     let (second, was_hit) =
-        cache.get_or_insert_with(&key, || panic!("hit path must not rebuild")).unwrap();
+        cache.get_or_insert_with("a", &key, || panic!("hit path must not rebuild")).unwrap();
     assert!(was_hit);
     assert_eq!(first.plan(), ground_truth.plan());
     assert_eq!(second.plan(), first.plan(), "hit serves the identical plan");
